@@ -1,0 +1,59 @@
+//! Shared few-shot table harness for Tables V and VI.
+
+use mb_bench::{run_row, BENCH_SEEDS};
+use mb_core::baselines::name_matching_accuracy;
+use mb_core::pipeline::{DataSource, Method};
+use mb_eval::{ExperimentContext, Table};
+
+/// Run the full Table V/VI row set on the given test domains.
+pub fn run_fewshot_table(title: &str, file: &str, domains: &[&str]) {
+    let ctx = ExperimentContext::build(mb_bench::bench_context_config(42));
+    let mut headers: Vec<String> = vec!["Method".into(), "Data".into()];
+    for d in domains {
+        headers.push(format!("{d} R@64"));
+        headers.push(format!("{d} N.Acc"));
+        headers.push(format!("{d} U.Acc"));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(title, &headers_ref);
+
+    // Name Matching row (no retrieval stage).
+    let mut nm_row = vec!["Name Matching".to_string(), "-".to_string()];
+    for d in domains {
+        let task_domain = ctx.dataset.world().domain(d);
+        let acc = name_matching_accuracy(
+            ctx.dataset.world().kb(),
+            task_domain.id,
+            &ctx.dataset.split(d).test,
+        );
+        nm_row.push("-".into());
+        nm_row.push("-".into());
+        nm_row.push(format!("{acc:.2}"));
+    }
+    t.row(&nm_row);
+
+    let rows = [
+        (Method::Blink, DataSource::Seed),
+        (Method::Blink, DataSource::Syn),
+        (Method::Blink, DataSource::SynSeed),
+        (Method::Dl4el, DataSource::SynSeed),
+        (Method::MetaBlink, DataSource::SynSeed),
+        (Method::MetaBlink, DataSource::SynStarSeed),
+    ];
+    for (method, source) in rows {
+        let mut cells = vec![method.label().to_string(), source.label().to_string()];
+        for d in domains {
+            let r = run_row(&ctx, d, method, source, BENCH_SEEDS);
+            cells.push(r.recall.fmt());
+            cells.push(r.normalized.fmt());
+            cells.push(r.unnormalized.fmt());
+        }
+        t.row(&cells);
+        eprintln!("  done: {} {}", method.label(), source.label());
+    }
+    t.note(&format!(
+        "mean±std over {} model seeds; paper shape: MetaBLINK > BLINK(Syn+Seed) ~ DL4EL > BLINK(Syn) > BLINK(Seed); Name Matching weak",
+        BENCH_SEEDS.len()
+    ));
+    t.emit(file);
+}

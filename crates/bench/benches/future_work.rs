@@ -1,0 +1,90 @@
+//! Future-work extensions at benchmark scale (paper Section VIII):
+//! NIL prediction with a calibrated threshold, and document-level
+//! joint linking with the coherence pass.
+
+use mb_common::Rng;
+use mb_core::coherence::{compare_on_documents, CoherenceConfig};
+use mb_core::nil::NilAwareLinker;
+use mb_core::pipeline::{train, DataSource, Method};
+use mb_core::{LinkerConfig, TwoStageLinker};
+use mb_datagen::mentions::{generate_mentions, generate_one};
+use mb_datagen::LinkedMention;
+use mb_eval::{ExperimentContext, Table};
+
+fn main() {
+    let ctx = ExperimentContext::build(mb_bench::bench_context_config(42));
+    let domain = "Lego";
+    let cfg = mb_bench::bench_model_config(42);
+    let task = ctx.task(domain);
+    let model = train(&task, Method::MetaBlink, DataSource::SynSeed, &cfg);
+    let world = ctx.dataset.world();
+    let dom = world.domain(domain);
+    let linker = TwoStageLinker::new(
+        &model.bi,
+        &model.cross,
+        &ctx.vocab,
+        world.kb(),
+        world.kb().domain_entities(dom.id),
+        LinkerConfig { k: 64, ..model.linker_cfg },
+    );
+    let split = ctx.dataset.split(domain);
+
+    // ---------------- NIL prediction ----------------
+    let foreign = world.domain("YuGiOh").clone();
+    let mut rng = Rng::seed_from_u64(0xF0);
+    let nil_pool = generate_mentions(world, &foreign, 300, &mut rng).mentions;
+    let (dev_nil, test_nil) = nil_pool.split_at(150);
+    let calibrated = NilAwareLinker::calibrate(&linker, &split.dev, dev_nil, 60);
+    let never = NilAwareLinker::with_threshold(&linker, f64::NEG_INFINITY);
+
+    let mut t = Table::new(
+        "Future work — NIL prediction on a mixed test set (Lego linkable + YuGiOh out-of-KB)",
+        &["Policy", "Precision", "Recall", "F1", "NIL detection"],
+    );
+    for (label, nil_linker) in [("never-NIL (paper's assumption)", &never), ("calibrated threshold", &calibrated)] {
+        let m = nil_linker.evaluate(&split.test, test_nil);
+        t.row(&[
+            label.to_string(),
+            format!("{:.3}", m.precision()),
+            format!("{:.3}", m.recall()),
+            format!("{:.3}", m.f1()),
+            format!("{:.3}", m.nil_accuracy()),
+        ]);
+    }
+    t.note(&format!("calibrated score threshold: {:.3}", calibrated.threshold()));
+    t.emit("future_work_nil");
+
+    // ---------------- Document coherence ----------------
+    let dict = world.kb().domain_entities(dom.id);
+    let mut doc_rng = Rng::seed_from_u64(0xD0C);
+    let documents: Vec<Vec<LinkedMention>> = (0..60)
+        .map(|k| {
+            let anchor = dict[(k * 7) % dict.len()];
+            let mut doc = vec![generate_one(world, dom, anchor, &mut doc_rng)];
+            for &rel in &world.meta(anchor).related {
+                doc.push(generate_one(world, dom, rel, &mut doc_rng));
+            }
+            doc
+        })
+        .collect();
+    let (indep, coh, total) =
+        compare_on_documents(&linker, &documents, &CoherenceConfig::default());
+    let mut c = Table::new(
+        "Future work — document-level joint linking with coherence (Lego)",
+        &["Linking", "Correct", "Total", "Accuracy %"],
+    );
+    c.row(&[
+        "independent (per mention)".to_string(),
+        indep.to_string(),
+        total.to_string(),
+        format!("{:.2}", 100.0 * indep as f64 / total as f64),
+    ]);
+    c.row(&[
+        "joint (coherence re-scoring)".to_string(),
+        coh.to_string(),
+        total.to_string(),
+        format!("{:.2}", 100.0 * coh as f64 / total as f64),
+    ]);
+    c.note("documents mention an anchor entity plus its KB-related entities; the coherence pass re-scores candidates by relatedness to the other mentions' picks");
+    c.emit("future_work_coherence");
+}

@@ -1,0 +1,34 @@
+//! Table IV — few-shot split sizes per test domain (50/50/rest).
+
+use mb_eval::{ExperimentContext, Table};
+
+fn main() {
+    let ctx = ExperimentContext::build(mb_bench::bench_context_config(42));
+    let mut t = Table::new(
+        "Table IV — few-shot entity linking dataset",
+        &["Domain", "#Train (seed)", "#Dev", "#Test", "#Test (paper/4)"],
+    );
+    let paper_tests = [
+        ("Forgotten Realms", 1_100usize),
+        ("Lego", 1_099),
+        ("Star Trek", 4_127),
+        ("YuGiOh", 3_274),
+    ];
+    for name in ctx.test_domains() {
+        let s = ctx.dataset.split(&name);
+        let paper = paper_tests
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, c)| c / 4)
+            .unwrap_or(0);
+        t.row(&[
+            name.clone(),
+            s.seed.len().to_string(),
+            s.dev.len().to_string(),
+            s.test.len().to_string(),
+            paper.to_string(),
+        ]);
+    }
+    t.note("seed/dev sizes are the paper's 50/50; test counts scaled ÷4");
+    t.emit("table4_fewshot_split");
+}

@@ -1,0 +1,14 @@
+//! Table V — few-shot entity linking on Forgotten Realms and Lego:
+//! R@64, N.Acc, U.Acc for Name Matching, BLINK (Seed / Syn / Syn+Seed),
+//! DL4EL (Syn+Seed) and MetaBLINK (Syn+Seed / Syn*+Seed), aggregated
+//! over model seeds.
+
+mod fewshot_common;
+
+fn main() {
+    fewshot_common::run_fewshot_table(
+        "Table V — U.Acc on Forgotten Realms and Lego (few-shot)",
+        "table5_fewshot_fr_lego",
+        &["Forgotten Realms", "Lego"],
+    );
+}

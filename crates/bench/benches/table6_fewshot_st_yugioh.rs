@@ -1,0 +1,12 @@
+//! Table VI — few-shot entity linking on Star Trek and YuGiOh (same
+//! rows as Table V).
+
+mod fewshot_common;
+
+fn main() {
+    fewshot_common::run_fewshot_table(
+        "Table VI — U.Acc on Star Trek and YuGiOh (few-shot)",
+        "table6_fewshot_st_yugioh",
+        &["Star Trek", "YuGiOh"],
+    );
+}

@@ -1,0 +1,57 @@
+//! Shape probe — developer tool for iterating on experiment shapes.
+//!
+//! Runs the Table V/VI row set on a single domain at bench scale and
+//! prints per-row timings. Knobs via env vars (BI_META_STEPS,
+//! BI_META_LR, CROSS_META_STEPS, CROSS_META_LR, SEED_MIX,
+//! POST_SEED_MIX, MODEL_SEED, WARM_START).
+//!
+//! ```sh
+//! cargo run --release -p mb-bench --bin probe -- "Star Trek"
+//! ```
+
+use mb_core::pipeline::{train, DataSource, Method};
+use mb_eval::ExperimentContext;
+use std::time::Instant;
+
+fn main() {
+    let domain = std::env::args().nth(1).unwrap_or_else(|| "Lego".to_string());
+    let t0 = Instant::now();
+    let ctx = ExperimentContext::build(mb_bench::bench_context_config(42));
+    eprintln!("context built in {:?}", t0.elapsed());
+    let mut cfg = mb_bench::bench_model_config(42);
+    let env_f = |k: &str, d: f64| std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d);
+    let env_u = |k: &str, d: usize| std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d);
+    cfg.bi_meta.steps = env_u("BI_META_STEPS", cfg.bi_meta.steps);
+    cfg.bi_meta.lr = env_f("BI_META_LR", cfg.bi_meta.lr);
+    cfg.bi_meta.seed_mix = env_f("SEED_MIX", cfg.bi_meta.seed_mix);
+    cfg.cross_meta.steps = env_u("CROSS_META_STEPS", cfg.cross_meta.steps);
+    cfg.cross_meta.lr = env_f("CROSS_META_LR", cfg.cross_meta.lr);
+    cfg.cross_meta.seed_mix = env_f("SEED_MIX", cfg.cross_meta.seed_mix);
+    cfg.seed_supervision_mix = env_f("POST_SEED_MIX", cfg.seed_supervision_mix);
+    cfg.seed = env_u("MODEL_SEED", 42) as u64;
+    cfg.warm_start = env_u("WARM_START", 1) == 1;
+    let task = ctx.task(&domain);
+    let split = ctx.dataset.split(&domain);
+    eprintln!("domain {domain}: {} entities, syn {} pairs, test {}",
+        ctx.dataset.world().kb().domain_entities(task.domain.id).len(),
+        task.syn.rewritten.len(), split.test.len());
+    let nm = mb_core::baselines::name_matching_accuracy(
+        ctx.dataset.world().kb(), task.domain.id, &split.test);
+    println!("NameMatching          U.Acc {nm:.2}");
+    for (method, source) in [
+        (Method::Blink, DataSource::Seed),
+        (Method::Blink, DataSource::Syn),
+        (Method::Blink, DataSource::SynSeed),
+        (Method::Dl4el, DataSource::SynSeed),
+        (Method::MetaBlink, DataSource::SynSeed),
+        (Method::MetaBlink, DataSource::SynStarSeed),
+    ] {
+        let t = Instant::now();
+        let model = train(&task, method, source, &cfg);
+        let m = model.evaluate(&task, &split.test);
+        println!(
+            "{:<10} {:<12} R@64 {:>6.2}  N.Acc {:>6.2}  U.Acc {:>6.2}   ({:?})",
+            method.label(), source.label(), m.recall_at_k, m.normalized_acc, m.unnormalized_acc, t.elapsed()
+        );
+    }
+}

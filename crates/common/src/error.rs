@@ -1,0 +1,89 @@
+//! Workspace-wide error type.
+//!
+//! Library crates in this workspace return [`Result`] for fallible
+//! operations that a caller can reasonably recover from (bad
+//! configuration, shape mismatches discovered at runtime boundaries,
+//! serialization problems). Programming errors — indexing bugs, violated
+//! internal invariants — panic instead, per standard Rust practice.
+
+use std::fmt;
+
+/// Errors produced by metablink-rs crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Tensor or batch shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the expected shape(s).
+        expected: String,
+        /// What the caller actually provided.
+        got: String,
+        /// The operation that rejected the shapes.
+        op: &'static str,
+    },
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig(String),
+    /// A referenced entity / domain / vocabulary item does not exist.
+    NotFound(String),
+    /// A dataset or model file failed to parse.
+    Parse(String),
+    /// Training diverged (NaN/Inf loss or parameters).
+    Diverged(String),
+    /// An empty input where at least one element is required.
+    Empty(&'static str),
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::ShapeMismatch`].
+    pub fn shape(op: &'static str, expected: impl Into<String>, got: impl Into<String>) -> Self {
+        Error::ShapeMismatch {
+            expected: expected.into(),
+            got: got.into(),
+            op,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { expected, got, op } => {
+                write!(f, "shape mismatch in {op}: expected {expected}, got {got}")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Diverged(msg) => write!(f, "training diverged: {msg}"),
+            Error::Empty(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::shape("matmul", "[2, 3]", "[4, 5]");
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: expected [2, 3], got [4, 5]"
+        );
+        assert!(Error::InvalidConfig("dim must be > 0".into())
+            .to_string()
+            .contains("dim must be > 0"));
+        assert!(Error::Empty("batch").to_string().contains("batch"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,106 @@
+//! Lightweight opt-in progress/timing reporting for long experiments.
+//!
+//! The experiment harnesses run for minutes; [`Stopwatch`] provides
+//! scoped timing and [`ProgressMeter`] coarse `eprintln!`-based progress
+//! lines (no terminal control codes, so output composes with `tee` and
+//! CI logs). Reporting is silent unless enabled, so library code can
+//! instrument unconditionally.
+
+use std::time::Instant;
+
+/// A simple scoped stopwatch.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    label: String,
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing.
+    pub fn start(label: impl Into<String>) -> Self {
+        Stopwatch { label: label.into(), start: Instant::now() }
+    }
+
+    /// Elapsed seconds so far.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Print `label: N.NNs` to stderr and return the elapsed seconds.
+    pub fn report(&self) -> f64 {
+        let secs = self.elapsed_secs();
+        eprintln!("{}: {secs:.2}s", self.label);
+        secs
+    }
+}
+
+/// Coarse progress meter: reports every `every` increments.
+#[derive(Debug)]
+pub struct ProgressMeter {
+    label: String,
+    total: usize,
+    done: usize,
+    every: usize,
+    enabled: bool,
+    start: Instant,
+}
+
+impl ProgressMeter {
+    /// A meter over `total` units, reporting every `every` increments
+    /// when `enabled`.
+    pub fn new(label: impl Into<String>, total: usize, every: usize, enabled: bool) -> Self {
+        ProgressMeter {
+            label: label.into(),
+            total,
+            done: 0,
+            every: every.max(1),
+            enabled,
+            start: Instant::now(),
+        }
+    }
+
+    /// Record one completed unit.
+    pub fn tick(&mut self) {
+        self.done += 1;
+        if self.enabled && (self.done.is_multiple_of(self.every) || self.done == self.total) {
+            let rate = self.done as f64 / self.start.elapsed().as_secs_f64().max(1e-9);
+            eprintln!(
+                "{}: {}/{} ({rate:.1}/s)",
+                self.label, self.done, self.total
+            );
+        }
+    }
+
+    /// Units completed so far.
+    pub fn done(&self) -> usize {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_nonnegative_time() {
+        let sw = Stopwatch::start("test");
+        assert!(sw.elapsed_secs() >= 0.0);
+        assert!(sw.report() >= 0.0);
+    }
+
+    #[test]
+    fn meter_counts_ticks() {
+        let mut m = ProgressMeter::new("units", 5, 2, false);
+        for _ in 0..5 {
+            m.tick();
+        }
+        assert_eq!(m.done(), 5);
+    }
+
+    #[test]
+    fn meter_with_zero_every_does_not_divide_by_zero() {
+        let mut m = ProgressMeter::new("units", 3, 0, true);
+        m.tick();
+        assert_eq!(m.done(), 1);
+    }
+}

@@ -1,0 +1,374 @@
+//! Deterministic, portable pseudo-random number generation.
+//!
+//! [`Rng`] is a Xoshiro256++ generator seeded through SplitMix64, the
+//! construction recommended by the xoshiro authors. It is `Clone`, cheap,
+//! and produces identical streams on every platform. [`Rng::split`]
+//! derives statistically independent child streams, which the data
+//! generator uses to give every domain / module its own stream so that
+//! changing one component never perturbs another component's randomness.
+
+/// Advance a SplitMix64 state and return the next output.
+///
+/// Used both for seeding Xoshiro and for [`Rng::split`].
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic Xoshiro256++ pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use mb_common::Rng;
+/// let mut a = Rng::seed_from_u64(42);
+/// let mut b = Rng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    ///
+    /// The seed is expanded with SplitMix64 so that similar seeds
+    /// (0, 1, 2, ...) still yield well-separated states.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derive an independent child generator keyed by `stream`.
+    ///
+    /// Two children with different stream ids, or children of different
+    /// parents, produce unrelated sequences. The parent is not advanced.
+    pub fn split(&self, stream: u64) -> Rng {
+        // Mix the full parent state with the stream id through SplitMix64.
+        let mut sm = self.s[0]
+            ^ self.s[1].rotate_left(17)
+            ^ self.s[2].rotate_left(31)
+            ^ self.s[3].rotate_left(47)
+            ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output (Xoshiro256++ scrambler).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "range_f64: lo must be <= hi");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's unbiased method.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Rng::below called with n = 0");
+        let n = n as u64;
+        // Lemire's multiply-shift rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "Rng::range requires lo < hi (got {lo}..{hi})");
+        lo + self.below(hi - lo)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal draw (Box–Muller; one value per call, the pair's
+    /// second value is discarded to keep the stream position simple).
+    pub fn gaussian(&mut self) -> f64 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.f64().max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.gaussian()
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly pick a reference from a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "Rng::choose on empty slice");
+        &xs[self.below(xs.len())]
+    }
+
+    /// Sample `k` distinct indices from `0..n` (Floyd's algorithm order is
+    /// not needed here; we shuffle a prefix for simplicity and determinism).
+    ///
+    /// Returns fewer than `k` indices only if `k > n` (then all of `0..n`,
+    /// shuffled).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k.min(n));
+        idx
+    }
+
+    /// Weighted choice: pick index `i` with probability `w[i] / Σw`.
+    ///
+    /// Weights must be non-negative and finite; if they sum to zero the
+    /// draw falls back to uniform.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "choose_weighted on empty weights");
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        if total <= 0.0 || !total.is_finite() {
+            return self.below(weights.len());
+        }
+        let mut target = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w > 0.0 {
+                target -= w;
+                if target <= 0.0 {
+                    return i;
+                }
+            }
+        }
+        // Floating-point slack: return the last positive-weight index.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .unwrap_or(weights.len() - 1)
+    }
+
+    /// Sample from a (truncated) geometric-ish length distribution in
+    /// `[min_len, max_len]` with decay `p` — used for title/mention lengths.
+    pub fn length(&mut self, min_len: usize, max_len: usize, p: f64) -> usize {
+        let mut len = min_len;
+        while len < max_len && self.chance(p) {
+            len += 1;
+        }
+        len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn split_is_independent_and_stable() {
+        let parent = Rng::seed_from_u64(3);
+        let mut c1 = parent.split(0);
+        let mut c2 = parent.split(1);
+        let mut c1_again = parent.split(0);
+        assert_eq!(c1.next_u64(), c1_again.next_u64());
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut r = Rng::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n = 0")]
+    fn below_zero_panics() {
+        Rng::seed_from_u64(0).below(0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng::seed_from_u64(13);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from_u64(17);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = Rng::seed_from_u64(19);
+        let idx = r.sample_indices(100, 30);
+        assert_eq!(idx.len(), 30);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30);
+    }
+
+    #[test]
+    fn sample_indices_caps_at_n() {
+        let mut r = Rng::seed_from_u64(21);
+        let idx = r.sample_indices(5, 30);
+        assert_eq!(idx.len(), 5);
+    }
+
+    #[test]
+    fn choose_weighted_prefers_heavy() {
+        let mut r = Rng::seed_from_u64(23);
+        let w = [1.0, 0.0, 9.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[r.choose_weighted(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 5);
+    }
+
+    #[test]
+    fn choose_weighted_zero_total_falls_back_to_uniform() {
+        let mut r = Rng::seed_from_u64(25);
+        let w = [0.0, 0.0, 0.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..3_000 {
+            counts[r.choose_weighted(&w)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700);
+        }
+    }
+
+    #[test]
+    fn length_respects_bounds() {
+        let mut r = Rng::seed_from_u64(27);
+        for _ in 0..1_000 {
+            let l = r.length(1, 4, 0.5);
+            assert!((1..=4).contains(&l));
+        }
+    }
+
+    #[test]
+    fn range_f64_bounds() {
+        let mut r = Rng::seed_from_u64(29);
+        for _ in 0..1_000 {
+            let x = r.range_f64(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+}

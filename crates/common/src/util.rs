@@ -1,0 +1,195 @@
+//! Small numeric and collection utilities shared across the workspace.
+
+/// Numerically stable log-sum-exp over a slice.
+///
+/// Returns `-inf` for an empty slice (the identity of log-sum-exp).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+/// Softmax of a slice (stable). Empty input yields an empty vector.
+pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = xs.iter().map(|x| (x - m).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / total).collect()
+}
+
+/// Mean of a slice; 0.0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation; 0.0 for fewer than two elements.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Indices that would sort `xs` descending (ties broken by index, stable).
+pub fn argsort_desc(xs: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[b].partial_cmp(&xs[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx
+}
+
+/// Index of the maximum element; `None` for empty input. NaNs lose ties.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Top-`k` indices by value, descending. Uses a partial selection so the
+/// cost is `O(n log k)` — this is the hot path of dense retrieval.
+pub fn top_k_desc(xs: &[f64], k: usize) -> Vec<usize> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    /// Min-heap entry ordered by score then (reversed) index for
+    /// deterministic tie-breaking.
+    struct Entry(f64, usize);
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reverse: BinaryHeap is a max-heap, we want the *worst* kept
+            // element on top so it can be evicted.
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| self.1.cmp(&other.1))
+        }
+    }
+
+    if k == 0 || xs.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(xs.len());
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for (i, &x) in xs.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        if heap.len() < k {
+            heap.push(Entry(x, i));
+        } else if let Some(worst) = heap.peek() {
+            if x > worst.0 || (x == worst.0 && i < worst.1) {
+                heap.pop();
+                heap.push(Entry(x, i));
+            }
+        }
+    }
+    let mut out: Vec<(f64, usize)> = heap.into_iter().map(|Entry(x, i)| (x, i)).collect();
+    out.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal).then(a.1.cmp(&b.1)));
+    out.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Clamp a value into `[lo, hi]`.
+#[inline]
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+/// True if two floats are within `tol` absolutely or relatively.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sum_exp_matches_naive() {
+        let xs: [f64; 3] = [1.0, 2.0, 3.0];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!(approx_eq(log_sum_exp(&xs), naive, 1e-12));
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable_for_large_inputs() {
+        let xs = [1000.0, 1000.0];
+        let v = log_sum_exp(&xs);
+        assert!(approx_eq(v, 1000.0 + 2.0_f64.ln(), 1e-9));
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_inf() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_monotone() {
+        let p = softmax(&[0.0, 1.0, 2.0]);
+        assert!(approx_eq(p.iter().sum::<f64>(), 1.0, 1e-12));
+        assert!(p[0] < p[1] && p[1] < p[2]);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!(approx_eq(mean(&[1.0, 2.0, 3.0]), 2.0, 1e-12));
+        assert!(approx_eq(std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]), 2.138, 1e-3));
+    }
+
+    #[test]
+    fn argsort_desc_orders() {
+        assert_eq!(argsort_desc(&[1.0, 3.0, 2.0]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn argmax_handles_nan_and_empty() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f64::NAN, 1.0, 0.5]), Some(1));
+        assert_eq!(argmax(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn top_k_matches_argsort_prefix() {
+        let xs = [0.3, 0.9, 0.1, 0.9, 0.5, -1.0];
+        assert_eq!(top_k_desc(&xs, 3), argsort_desc(&xs)[..3].to_vec());
+        assert_eq!(top_k_desc(&xs, 0), Vec::<usize>::new());
+        assert_eq!(top_k_desc(&xs, 100).len(), xs.len());
+    }
+
+    #[test]
+    fn top_k_deterministic_on_ties() {
+        let xs = [1.0, 1.0, 1.0, 1.0];
+        assert_eq!(top_k_desc(&xs, 2), vec![0, 1]);
+    }
+}

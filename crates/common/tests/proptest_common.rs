@@ -1,0 +1,84 @@
+//! Property-based tests of the RNG and numeric utilities.
+
+use mb_common::util::{argsort_desc, log_sum_exp, softmax, top_k_desc};
+use mb_common::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn below_stays_in_range(seed in any::<u64>(), n in 1usize..1000) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut xs in proptest::collection::vec(0u32..100, 0..50)) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut original = xs.clone();
+        rng.shuffle(&mut xs);
+        original.sort_unstable();
+        xs.sort_unstable();
+        prop_assert_eq!(original, xs);
+    }
+
+    #[test]
+    fn choose_weighted_only_picks_positive_weights(
+        seed in any::<u64>(),
+        weights in proptest::collection::vec(0.0..5.0f64, 1..12),
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let total: f64 = weights.iter().sum();
+        for _ in 0..30 {
+            let i = rng.choose_weighted(&weights);
+            prop_assert!(i < weights.len());
+            if total > 0.0 {
+                prop_assert!(weights[i] > 0.0, "picked zero-weight index {i} of {weights:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_streams_are_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let parent = Rng::seed_from_u64(seed);
+        let mut a = parent.split(stream);
+        let mut b = parent.split(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(xs in proptest::collection::vec(-50.0..50.0f64, 1..20)) {
+        let lse = log_sum_exp(&xs);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(xs in proptest::collection::vec(-30.0..30.0f64, 1..20)) {
+        let p = softmax(&xs);
+        prop_assert_eq!(p.len(), xs.len());
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_is_argsort_prefix(xs in proptest::collection::vec(-100.0..100.0f64, 0..40), k in 0usize..50) {
+        let top = top_k_desc(&xs, k);
+        let full = argsort_desc(&xs);
+        prop_assert_eq!(top.as_slice(), &full[..k.min(xs.len())]);
+    }
+
+    #[test]
+    fn gaussian_is_finite(seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.gaussian().is_finite());
+        }
+    }
+}

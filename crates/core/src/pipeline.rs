@@ -1,0 +1,513 @@
+//! MetaBLINK training framework (Algorithm 2) and the BLINK / DL4EL
+//! training paths, parameterised by data source so every row of
+//! Tables V–IX is one call.
+//!
+//! Step 1 (exact matching) and step 2 (rewriting) of Algorithm 2 live
+//! in `mb-nlg`; this module consumes their output and runs step 3 —
+//! training the two-stage linker, with or without the meta-learning
+//! reweighting of Algorithm 1.
+
+use crate::baselines::{train_biencoder_dl4el, Dl4elConfig};
+use crate::linker::{LinkMetrics, LinkerConfig, TwoStageLinker};
+use crate::reweight::{
+    train_biencoder_meta, train_crossencoder_meta, MetaConfig, MetaStats,
+};
+use mb_common::Rng;
+use mb_datagen::world::{DomainInfo, World};
+use mb_datagen::LinkedMention;
+use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
+use mb_encoders::crossencoder::{CandidateSet, CrossEncoder, CrossEncoderConfig};
+use mb_encoders::input::{InputConfig, TrainPair};
+use mb_encoders::train::{train_biencoder, train_crossencoder, TrainConfig};
+use mb_nlg::SynDataset;
+use mb_tensor::optim::Adam;
+use mb_text::Vocab;
+
+/// Which labeled data trains the linker — one per table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataSource {
+    /// Seed only.
+    Seed,
+    /// Exact-match synthetic data only (Table X row 1).
+    ExactMatch,
+    /// Rewritten synthetic data (syn).
+    Syn,
+    /// Rewritten synthetic data from the adapted rewriter (syn*).
+    SynStar,
+    /// syn + seed.
+    SynSeed,
+    /// syn* + seed.
+    SynStarSeed,
+    /// General-domain (source) data only — the zero-shot BLINK
+    /// baseline of Table VII.
+    General,
+    /// General-domain (source) data + seed (Table IX).
+    GeneralSeed,
+    /// General + syn + seed (Table IX).
+    GeneralSynSeed,
+    /// General + syn* + seed (Table IX).
+    GeneralSynStarSeed,
+}
+
+impl DataSource {
+    /// Human-readable label matching the paper's "Data" column.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataSource::Seed => "Seed",
+            DataSource::ExactMatch => "Exact Match",
+            DataSource::Syn => "Syn",
+            DataSource::SynStar => "Syn*",
+            DataSource::SynSeed => "Syn+Seed",
+            DataSource::SynStarSeed => "Syn*+Seed",
+            DataSource::General => "General",
+            DataSource::GeneralSeed => "General+Seed",
+            DataSource::GeneralSynSeed => "General+Syn+Seed",
+            DataSource::GeneralSynStarSeed => "General+Syn*+Seed",
+        }
+    }
+
+    fn uses_seed(self) -> bool {
+        !matches!(
+            self,
+            DataSource::ExactMatch | DataSource::Syn | DataSource::SynStar | DataSource::General
+        )
+    }
+
+    fn uses_general(self) -> bool {
+        matches!(
+            self,
+            DataSource::General
+                | DataSource::GeneralSeed
+                | DataSource::GeneralSynSeed
+                | DataSource::GeneralSynStarSeed
+        )
+    }
+
+    fn synthetic_kind(self) -> Option<SynKind> {
+        match self {
+            DataSource::ExactMatch => Some(SynKind::Exact),
+            DataSource::Syn | DataSource::SynSeed | DataSource::GeneralSynSeed => Some(SynKind::Syn),
+            DataSource::SynStar | DataSource::SynStarSeed | DataSource::GeneralSynStarSeed => {
+                Some(SynKind::SynStar)
+            }
+            DataSource::Seed | DataSource::General | DataSource::GeneralSeed => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SynKind {
+    Exact,
+    Syn,
+    SynStar,
+}
+
+/// Training method — one per table row group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Plain two-stage training (Wu et al.).
+    Blink,
+    /// DL4EL in-batch denoising on the bi-encoder (Le & Titov).
+    Dl4el,
+    /// Meta-learning reweighting (this paper).
+    MetaBlink,
+}
+
+impl Method {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Blink => "BLINK",
+            Method::Dl4el => "DL4EL",
+            Method::MetaBlink => "MetaBLINK",
+        }
+    }
+}
+
+/// Everything needed to train/evaluate on one target domain.
+pub struct TargetTask<'a> {
+    /// The world.
+    pub world: &'a World,
+    /// Shared vocabulary.
+    pub vocab: &'a Vocab,
+    /// The target domain.
+    pub domain: &'a DomainInfo,
+    /// Synthetic data from the source-trained rewriter (syn) — also
+    /// carries the exact-match pairs.
+    pub syn: &'a SynDataset,
+    /// Synthetic data from the target-adapted rewriter (syn*).
+    pub syn_star: &'a SynDataset,
+    /// The seed set (few-shot split or zero-shot mined).
+    pub seed: &'a [LinkedMention],
+    /// Pooled source-domain gold mentions ("General").
+    pub general: &'a [LinkedMention],
+}
+
+/// Full configuration for one training run.
+#[derive(Debug, Clone, Copy)]
+pub struct MetaBlinkConfig {
+    /// Linker/eval settings (k, truncation).
+    pub linker: LinkerConfig,
+    /// Bi-encoder architecture.
+    pub bi: BiEncoderConfig,
+    /// Cross-encoder architecture.
+    pub cross: CrossEncoderConfig,
+    /// Plain bi-encoder training settings.
+    pub bi_train: TrainConfig,
+    /// Plain cross-encoder training settings.
+    pub cross_train: TrainConfig,
+    /// Meta-training settings for the bi-encoder.
+    pub bi_meta: MetaConfig,
+    /// Meta-training settings for the cross-encoder.
+    pub cross_meta: MetaConfig,
+    /// DL4EL settings (noise ratio etc.).
+    pub dl4el: Dl4elConfig,
+    /// Candidates per set when building cross-encoder training data
+    /// (the paper uses the bi-encoder's 64; smaller is cheaper).
+    pub k_train_candidates: usize,
+    /// Cap on cross-encoder training sets (cost control).
+    pub cross_train_cap: usize,
+    /// Fraction of meta steps that also take a plain gradient step on
+    /// the seed batch (the seed is labeled data, not only
+    /// meta-supervision). 0 disables.
+    pub seed_supervision_mix: f64,
+    /// Warm-start MetaBLINK with plain BLINK training before the
+    /// meta-reweighted phase (see the ablation bench).
+    pub warm_start: bool,
+    /// Master seed for model init and sampling.
+    pub seed: u64,
+}
+
+impl Default for MetaBlinkConfig {
+    fn default() -> Self {
+        MetaBlinkConfig {
+            linker: LinkerConfig::default(),
+            bi: BiEncoderConfig::default(),
+            cross: CrossEncoderConfig::default(),
+            bi_train: TrainConfig { epochs: 8, batch_size: 32, lr: 5e-3, seed: 1 },
+            cross_train: TrainConfig { epochs: 2, batch_size: 1, lr: 5e-3, seed: 2 },
+            bi_meta: MetaConfig { steps: 400, syn_batch: 24, seed_batch: 16, lr: 1e-3, seed: 3, ..Default::default() },
+            cross_meta: MetaConfig { steps: 250, syn_batch: 8, seed_batch: 6, lr: 1e-3, seed: 4, ..Default::default() },
+            dl4el: Dl4elConfig::default(),
+            k_train_candidates: 16,
+            cross_train_cap: 600,
+            seed_supervision_mix: 0.3,
+            warm_start: true,
+            seed: 0,
+        }
+    }
+}
+
+impl MetaBlinkConfig {
+    /// A fast, small configuration for tests.
+    pub fn fast_test() -> Self {
+        MetaBlinkConfig {
+            bi: BiEncoderConfig { emb_dim: 16, hidden: 16, out_dim: 16, ..Default::default() },
+            cross: CrossEncoderConfig { emb_dim: 16, hidden: 16, ..Default::default() },
+            bi_train: TrainConfig { epochs: 4, batch_size: 16, lr: 0.01, seed: 1 },
+            cross_train: TrainConfig { epochs: 1, batch_size: 1, lr: 0.01, seed: 2 },
+            bi_meta: MetaConfig { steps: 60, syn_batch: 12, seed_batch: 8, lr: 0.01, seed: 3, ..Default::default() },
+            cross_meta: MetaConfig { steps: 40, syn_batch: 6, seed_batch: 4, lr: 0.01, seed: 4, ..Default::default() },
+            k_train_candidates: 8,
+            cross_train_cap: 120,
+            linker: LinkerConfig { k: 16, input: InputConfig::default() },
+            ..Default::default()
+        }
+    }
+}
+
+/// A trained two-stage model plus meta-training diagnostics.
+pub struct TrainedLinker {
+    /// The trained bi-encoder.
+    pub bi: BiEncoder,
+    /// The trained cross-encoder.
+    pub cross: CrossEncoder,
+    /// Linker configuration used in training (and default for eval).
+    pub linker_cfg: LinkerConfig,
+    /// Bi-encoder meta statistics (meta method only).
+    pub bi_meta_stats: Option<MetaStats>,
+    /// Cross-encoder meta statistics (meta method only).
+    pub cross_meta_stats: Option<MetaStats>,
+    /// Indices into the synthetic slice used for meta stats (aligned
+    /// with `bi_meta_stats.sampled`).
+    pub syn_len: usize,
+}
+
+impl TrainedLinker {
+    /// Evaluate on mentions against the target dictionary.
+    pub fn evaluate(&self, task: &TargetTask<'_>, mentions: &[LinkedMention]) -> LinkMetrics {
+        let dict = task.world.kb().domain_entities(task.domain.id);
+        let linker = TwoStageLinker::new(
+            &self.bi,
+            &self.cross,
+            task.vocab,
+            task.world.kb(),
+            dict,
+            self.linker_cfg,
+        );
+        linker.evaluate(mentions)
+    }
+}
+
+/// Collect the synthetic mentions of the configured kind.
+fn synthetic_mentions<'t>(task: &'t TargetTask<'_>, kind: SynKind) -> Vec<&'t LinkedMention> {
+    match kind {
+        SynKind::Exact => task.syn.exact.iter().map(|p| &p.mention).collect(),
+        SynKind::Syn => task.syn.rewritten.iter().map(|p| &p.mention).collect(),
+        SynKind::SynStar => task.syn_star.rewritten.iter().map(|p| &p.mention).collect(),
+    }
+}
+
+fn featurize(task: &TargetTask<'_>, cfg: &MetaBlinkConfig, mentions: &[&LinkedMention]) -> Vec<TrainPair> {
+    mentions
+        .iter()
+        .map(|m| TrainPair::from_mention(task.vocab, &cfg.linker.input, task.world.kb(), m))
+        .collect()
+}
+
+/// Train a linker with the given method and data source (Algorithm 2
+/// step 3 and the baseline equivalents).
+pub fn train(task: &TargetTask<'_>, method: Method, source: DataSource, cfg: &MetaBlinkConfig) -> TrainedLinker {
+    let rng = Rng::seed_from_u64(cfg.seed);
+    let mut bi = BiEncoder::new(task.vocab, cfg.bi, &mut rng.split(1));
+    let mut cross = CrossEncoder::new(task.vocab, cfg.cross, &mut rng.split(2));
+
+    // ---------------- Assemble data ----------------
+    let syn_mentions: Vec<&LinkedMention> = source
+        .synthetic_kind()
+        .map(|k| synthetic_mentions(task, k))
+        .unwrap_or_default();
+    let seed_mentions: Vec<&LinkedMention> = if source.uses_seed() {
+        task.seed.iter().collect()
+    } else {
+        Vec::new()
+    };
+    let general_mentions: Vec<&LinkedMention> = if source.uses_general() {
+        task.general.iter().collect()
+    } else {
+        Vec::new()
+    };
+    let syn_pairs = featurize(task, cfg, &syn_mentions);
+    let seed_pairs = featurize(task, cfg, &seed_mentions);
+    let general_pairs = featurize(task, cfg, &general_mentions);
+
+    // For meta methods: the reweighted pool is synthetic (+ general,
+    // which the meta mechanism may also weight); the seed is the
+    // meta-supervision. For plain methods everything is concatenated.
+    let mut weighted_pool = syn_pairs.clone();
+    weighted_pool.extend(general_pairs.iter().cloned());
+    let mut concat = weighted_pool.clone();
+    concat.extend(seed_pairs.iter().cloned());
+
+    // ---------------- Stage one: bi-encoder ----------------
+    let use_meta = method == Method::MetaBlink && !seed_pairs.is_empty() && weighted_pool.len() >= 2;
+    let bi_meta_stats = match (method, use_meta) {
+        (Method::MetaBlink, true) => {
+            // Warm start exactly like BLINK (the paper builds MetaBLINK
+            // on BLINK and keeps its hyper-parameters), then refine
+            // with the meta-reweighted phase of Algorithm 1, which
+            // downweights the noisy synthetic pairs.
+            if cfg.warm_start {
+                train_biencoder(&mut bi, &concat, &cfg.bi_train);
+            }
+            let mut opt = Adam::new(cfg.bi_meta.lr);
+            let stats = train_biencoder_meta(&mut bi, &weighted_pool, &seed_pairs, &mut opt, &cfg.bi_meta);
+            // Seed supervision mix: a few plain epochs on the seed.
+            if cfg.seed_supervision_mix > 0.0 && !seed_pairs.is_empty() {
+                let epochs = ((cfg.bi_train.epochs as f64) * cfg.seed_supervision_mix).ceil() as usize;
+                let tc = TrainConfig { epochs, ..cfg.bi_train };
+                train_biencoder(&mut bi, &seed_pairs, &tc);
+            }
+            Some(stats)
+        }
+        _ => {
+            if method == Method::Dl4el {
+                train_biencoder_dl4el(&mut bi, &concat, &cfg.dl4el);
+            } else {
+                train_biencoder(&mut bi, &concat, &cfg.bi_train);
+            }
+            None
+        }
+    };
+
+    // ---------------- Stage two: cross-encoder ----------------
+    // Candidate sets come from the *trained* bi-encoder, retrieved from
+    // each mention's own domain dictionary: the target dictionary for
+    // synthetic/seed mentions, the source dictionaries for general
+    // mentions — matching the paper, where the cross-encoder trains on
+    // the candidate sets of whatever labeled data it is given.
+    let build_sets = |mentions: &[&LinkedMention], cap: usize| -> Vec<CandidateSet> {
+        use std::collections::HashMap;
+        let mut linkers: HashMap<mb_kb::DomainId, TwoStageLinker<'_>> = HashMap::new();
+        let mut out = Vec::new();
+        for m in mentions.iter().take(cap) {
+            let domain = task.world.kb().entity(m.entity).domain;
+            let linker = linkers.entry(domain).or_insert_with(|| {
+                TwoStageLinker::new(
+                    &bi,
+                    &cross,
+                    task.vocab,
+                    task.world.kb(),
+                    task.world.kb().domain_entities(domain),
+                    LinkerConfig { k: cfg.k_train_candidates, input: cfg.linker.input },
+                )
+            });
+            let retrieved = linker.candidates(m);
+            let set = linker.candidate_set(m, &retrieved);
+            if set.gold_index.is_some() {
+                out.push(set);
+            }
+        }
+        out
+    };
+    let syn_sets = build_sets(
+        &weighted_pool_mentions(&syn_mentions, &general_mentions),
+        cfg.cross_train_cap,
+    );
+    let seed_sets = build_sets(&seed_mentions, cfg.cross_train_cap);
+
+    let cross_meta_stats = if use_meta && !syn_sets.is_empty() && !seed_sets.is_empty() {
+        // Warm start like BLINK, then meta-refine (as stage one).
+        if cfg.warm_start {
+            let mut warm = syn_sets.clone();
+            warm.extend(seed_sets.iter().cloned());
+            train_crossencoder(&mut cross, &warm, &cfg.cross_train);
+        }
+        let mut opt = Adam::new(cfg.cross_meta.lr);
+        let stats = train_crossencoder_meta(&mut cross, &syn_sets, &seed_sets, &mut opt, &cfg.cross_meta);
+        if cfg.seed_supervision_mix > 0.0 {
+            train_crossencoder(&mut cross, &seed_sets, &TrainConfig { epochs: 1, ..cfg.cross_train });
+        }
+        Some(stats)
+    } else {
+        let mut all_sets = syn_sets;
+        all_sets.extend(seed_sets);
+        train_crossencoder(&mut cross, &all_sets, &cfg.cross_train);
+        None
+    };
+
+    TrainedLinker {
+        bi,
+        cross,
+        linker_cfg: cfg.linker,
+        bi_meta_stats,
+        cross_meta_stats,
+        syn_len: weighted_pool.len(),
+    }
+}
+
+fn weighted_pool_mentions<'t>(
+    syn: &[&'t LinkedMention],
+    general: &[&'t LinkedMention],
+) -> Vec<&'t LinkedMention> {
+    let mut v: Vec<&LinkedMention> = syn.to_vec();
+    v.extend(general.iter().copied());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_datagen::world::DomainRole;
+    use mb_datagen::{Dataset, DatasetConfig};
+    use mb_encoders::input::build_vocab;
+    use mb_nlg::generate::{generate_syn, train_source_rewriter};
+    use mb_nlg::rewriter::RewriterConfig;
+
+    struct Fixture {
+        ds: Dataset,
+        vocab: Vocab,
+        syn: SynDataset,
+        syn_star: SynDataset,
+        general: Vec<LinkedMention>,
+    }
+
+    fn fixture() -> Fixture {
+        let ds = Dataset::generate(DatasetConfig::tiny(59));
+        let vocab = build_vocab(ds.world().kb(), [], 1);
+        let mut rng = Rng::seed_from_u64(7);
+        let source_mentions: Vec<(String, Vec<LinkedMention>)> = ds
+            .world()
+            .domains_with_role(DomainRole::Train)
+            .iter()
+            .map(|d| (d.name.clone(), ds.mentions(&d.name).mentions.clone()))
+            .collect();
+        let rw = train_source_rewriter(ds.world(), &source_mentions, RewriterConfig::default(), &mut rng);
+        let domain = ds.world().domain("TargetX").clone();
+        let docs = mb_datagen::corpus::unlabeled_documents(ds.world(), &domain, 100, &mut rng);
+        let rw_star = rw.adapt(docs.iter().map(String::as_str));
+        let syn = generate_syn(ds.world(), &domain, &rw, 350, &mut Rng::seed_from_u64(8));
+        let syn_star = generate_syn(ds.world(), &domain, &rw_star, 350, &mut Rng::seed_from_u64(8));
+        let general: Vec<LinkedMention> = source_mentions
+            .iter()
+            .flat_map(|(_, ms)| ms.iter().cloned())
+            .collect();
+        Fixture { ds, vocab, syn, syn_star, general }
+    }
+
+    fn task<'a>(f: &'a Fixture) -> TargetTask<'a> {
+        TargetTask {
+            world: f.ds.world(),
+            vocab: &f.vocab,
+            domain: f.ds.world().domain("TargetX"),
+            syn: &f.syn,
+            syn_star: &f.syn_star,
+            seed: &f.ds.split("TargetX").seed,
+            general: &f.general,
+        }
+    }
+
+    #[test]
+    fn blink_trains_on_each_source_without_panicking() {
+        let f = fixture();
+        let t = task(&f);
+        let cfg = MetaBlinkConfig::fast_test();
+        for source in [DataSource::Seed, DataSource::Syn, DataSource::SynSeed] {
+            let model = train(&t, Method::Blink, source, &cfg);
+            let m = model.evaluate(&t, &f.ds.split("TargetX").test[..30]);
+            assert!(m.recall_at_k >= 0.0 && m.recall_at_k <= 100.0);
+            assert!(!model.bi.params().has_non_finite());
+        }
+    }
+
+    #[test]
+    fn metablink_produces_meta_stats_and_beats_nothing_burning() {
+        let f = fixture();
+        let t = task(&f);
+        let cfg = MetaBlinkConfig::fast_test();
+        let model = train(&t, Method::MetaBlink, DataSource::SynSeed, &cfg);
+        let stats = model.bi_meta_stats.as_ref().expect("meta stats");
+        assert!(!stats.step_losses.is_empty());
+        assert_eq!(stats.sampled.len(), model.syn_len);
+        let m = model.evaluate(&t, &f.ds.split("TargetX").test[..30]);
+        assert!(m.unnormalized_acc >= 0.0);
+    }
+
+    #[test]
+    fn dl4el_trains() {
+        let f = fixture();
+        let t = task(&f);
+        let cfg = MetaBlinkConfig::fast_test();
+        let model = train(&t, Method::Dl4el, DataSource::SynSeed, &cfg);
+        assert!(model.bi_meta_stats.is_none());
+        assert!(!model.bi.params().has_non_finite());
+    }
+
+    #[test]
+    fn general_source_includes_out_of_domain_pairs() {
+        let f = fixture();
+        let t = task(&f);
+        let cfg = MetaBlinkConfig::fast_test();
+        let model = train(&t, Method::MetaBlink, DataSource::GeneralSynSeed, &cfg);
+        assert!(model.syn_len > f.syn.rewritten.len(), "general pairs missing from pool");
+    }
+
+    #[test]
+    fn source_labels_cover_paper_rows() {
+        assert_eq!(DataSource::SynStarSeed.label(), "Syn*+Seed");
+        assert_eq!(Method::MetaBlink.label(), "MetaBLINK");
+        assert!(DataSource::Seed.uses_seed());
+        assert!(!DataSource::Syn.uses_seed());
+        assert!(DataSource::GeneralSynSeed.uses_general());
+    }
+}

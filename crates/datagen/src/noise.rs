@@ -1,0 +1,104 @@
+//! Adversarial noise injection (Figure 4 harness).
+//!
+//! The paper validates the meta-learning denoiser by generating *bad*
+//! training pairs — mentions relinked to random entities — and
+//! measuring how often the reweighting selects them versus normal data.
+
+use crate::mentions::LinkedMention;
+use mb_common::Rng;
+use mb_kb::EntityId;
+
+/// A training pair tagged with its provenance for the selection-ratio
+/// measurement.
+#[derive(Debug, Clone)]
+pub struct TaggedPair {
+    /// The (possibly corrupted) mention.
+    pub mention: LinkedMention,
+    /// True if this pair was deliberately corrupted.
+    pub is_bad: bool,
+}
+
+/// Append `bad_count` corrupted copies of random mentions, each
+/// relinked to a random *different* entity from `entity_pool`.
+///
+/// Returns the tagged combination of all normal pairs plus the bad
+/// ones, shuffled.
+///
+/// # Panics
+/// Panics if `entity_pool` has fewer than two entities (no wrong entity
+/// exists to link to) or `mentions` is empty while `bad_count > 0`.
+pub fn inject_bad_pairs(
+    mentions: &[LinkedMention],
+    entity_pool: &[EntityId],
+    bad_count: usize,
+    rng: &mut Rng,
+) -> Vec<TaggedPair> {
+    assert!(
+        entity_pool.len() >= 2 || bad_count == 0,
+        "need at least two entities to corrupt links"
+    );
+    assert!(
+        !mentions.is_empty() || bad_count == 0,
+        "cannot corrupt an empty mention list"
+    );
+    let mut out: Vec<TaggedPair> = mentions
+        .iter()
+        .map(|m| TaggedPair { mention: m.clone(), is_bad: false })
+        .collect();
+    for _ in 0..bad_count {
+        let src = rng.choose(mentions);
+        let mut wrong = *rng.choose(entity_pool);
+        while wrong == src.entity {
+            wrong = *rng.choose(entity_pool);
+        }
+        let mut corrupted = src.clone();
+        corrupted.entity = wrong;
+        out.push(TaggedPair { mention: corrupted, is_bad: true });
+    }
+    rng.shuffle(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mentions::generate_mentions;
+    use crate::world::{World, WorldConfig};
+
+    #[test]
+    fn injects_requested_bad_count_with_wrong_links() {
+        let world = World::generate(WorldConfig::tiny(9));
+        let domain = world.domain("TargetX").clone();
+        let mut rng = Rng::seed_from_u64(4);
+        let ms = generate_mentions(&world, &domain, 60, &mut rng);
+        let pool = world.kb().domain_entities(domain.id).to_vec();
+        let tagged = inject_bad_pairs(&ms.mentions, &pool, 30, &mut rng);
+        assert_eq!(tagged.len(), 90);
+        let bad: Vec<_> = tagged.iter().filter(|t| t.is_bad).collect();
+        assert_eq!(bad.len(), 30);
+        // A corrupted pair must have a different gold entity from the
+        // original mention with the same text.
+        for b in &bad {
+            let original_gold = ms
+                .mentions
+                .iter()
+                .find(|m| m.text() == b.mention.text() && m.surface == b.mention.surface)
+                .map(|m| m.entity);
+            if let Some(orig) = original_gold {
+                assert_ne!(b.mention.entity, orig, "bad pair still correctly linked");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_bad_count_is_identity_up_to_shuffle() {
+        let world = World::generate(WorldConfig::tiny(9));
+        let domain = world.domain("TargetX").clone();
+        let mut rng = Rng::seed_from_u64(4);
+        let ms = generate_mentions(&world, &domain, 20, &mut rng);
+        let pool = world.kb().domain_entities(domain.id).to_vec();
+        let tagged = inject_bad_pairs(&ms.mentions, &pool, 0, &mut rng);
+        assert_eq!(tagged.len(), 20);
+        assert!(tagged.iter().all(|t| !t.is_bad));
+    }
+}

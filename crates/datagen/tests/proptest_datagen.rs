@@ -1,0 +1,61 @@
+//! Property-based tests of world generation invariants.
+
+use mb_common::Rng;
+use mb_datagen::mentions::generate_mentions;
+use mb_datagen::world::{DomainRole, DomainSpec, World, WorldConfig};
+use proptest::prelude::*;
+
+fn tiny_config(seed: u64, entities: usize, gap: f64) -> WorldConfig {
+    WorldConfig {
+        seed,
+        general_vocab: 80,
+        ambiguity_rate: 0.15,
+        domains: vec![
+            DomainSpec::new("Src", DomainRole::Train, 40, 60, 0.4),
+            DomainSpec::new("Tgt", DomainRole::Test, entities, 60, gap),
+        ],
+    }
+}
+
+proptest! {
+    // World generation is comparatively expensive; keep case counts low.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn worlds_are_deterministic_and_well_formed(seed in 0u64..1000, entities in 30usize..80, gap in 0.1..0.9f64) {
+        let a = World::generate(tiny_config(seed, entities, gap));
+        let b = World::generate(tiny_config(seed, entities, gap));
+        prop_assert_eq!(a.kb().len(), b.kb().len());
+        let tgt = a.domain("Tgt");
+        prop_assert_eq!(a.kb().domain_entities(tgt.id).len(), entities);
+        for (ea, eb) in a.kb().entities().iter().zip(b.kb().entities()) {
+            prop_assert_eq!(&ea.title, &eb.title);
+            prop_assert!(!ea.title.is_empty());
+            prop_assert!(!ea.description.is_empty());
+        }
+        // Every entity has keywords and at least one alias.
+        for e in a.kb().entities() {
+            let m = a.meta(e.id);
+            prop_assert_eq!(m.keywords.len(), 3);
+            prop_assert!(!m.aliases.is_empty());
+            prop_assert!(m.popularity > 0.0);
+        }
+    }
+
+    #[test]
+    fn mentions_link_within_domain_with_consistent_categories(seed in 0u64..500) {
+        let world = World::generate(tiny_config(seed, 50, 0.5));
+        let domain = world.domain("Tgt").clone();
+        let ms = generate_mentions(&world, &domain, 80, &mut Rng::seed_from_u64(seed ^ 7));
+        prop_assert_eq!(ms.len(), 80);
+        for m in &ms.mentions {
+            prop_assert_eq!(world.kb().entity(m.entity).domain, domain.id);
+            let title = &world.kb().entity(m.entity).title;
+            prop_assert_eq!(m.category, mb_text::overlap::classify(&m.surface, title));
+            prop_assert!(!m.surface.trim().is_empty());
+        }
+        // Category histogram sums to the mention count.
+        let counts = ms.category_counts();
+        prop_assert_eq!(counts.iter().sum::<usize>(), ms.len());
+    }
+}

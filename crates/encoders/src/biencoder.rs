@@ -1,0 +1,399 @@
+//! The bi-encoder (candidate-generation stage).
+//!
+//! Two small encoders over a shared token-embedding table:
+//!
+//! ```text
+//! mᵢ = normalize(W₂ᵐ tanh(W₁ᵐ · meanpool(E[tokens(mᵢ, ctx)]) + b₁ᵐ) + b₂ᵐ)   (Eq. 3)
+//! eᵢ = normalize(W₂ᵉ tanh(W₁ᵉ · meanpool(E[tokens(eᵢ, desp)]) + b₁ᵉ) + b₂ᵉ)   (Eq. 4)
+//! S(mᵢ, eⱼ) = τ · mᵢ · eⱼ                                                    (Eq. 5)
+//! ```
+//!
+//! trained with the in-batch negative loss of Eq. 6. The temperature τ
+//! (`score_scale`) compensates for normalised vectors; rankings are
+//! unaffected.
+
+use crate::input::TrainPair;
+use mb_common::Rng;
+use mb_tensor::optim::Optimizer;
+use mb_tensor::params::{GradVec, ParamId};
+use mb_tensor::{init, Params, Tape, Tensor, Var};
+use mb_text::Vocab;
+
+/// Bi-encoder hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BiEncoderConfig {
+    /// Token embedding dimension.
+    pub emb_dim: usize,
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Output vector dimension.
+    pub out_dim: usize,
+    /// Score temperature τ multiplying the cosine similarity.
+    pub score_scale: f64,
+    /// Use the paper's Eq. 6 (gold excluded from the denominator).
+    /// `false` selects standard in-batch softmax cross-entropy — kept
+    /// for the loss ablation.
+    pub exclude_gold_in_loss: bool,
+    /// Initialise the encoder heads near identity, so the untrained
+    /// model matches mentions to entities through shared token
+    /// embeddings — the substitute for BERT's transferable pretrained
+    /// representations (requires `emb_dim == hidden == out_dim`).
+    pub identity_init: bool,
+}
+
+impl Default for BiEncoderConfig {
+    fn default() -> Self {
+        BiEncoderConfig {
+            emb_dim: 32,
+            hidden: 32,
+            out_dim: 32,
+            score_scale: 8.0,
+            exclude_gold_in_loss: true,
+            identity_init: true,
+        }
+    }
+}
+
+/// Parameter handles of one encoder side.
+#[derive(Debug, Clone, Copy)]
+struct SideIds {
+    w1: ParamId,
+    b1: ParamId,
+    w2: ParamId,
+    b2: ParamId,
+}
+
+/// The bi-encoder model.
+#[derive(Debug, Clone)]
+pub struct BiEncoder {
+    cfg: BiEncoderConfig,
+    params: Params,
+    emb: ParamId,
+    mention_side: SideIds,
+    entity_side: SideIds,
+    vocab_len: usize,
+}
+
+impl BiEncoder {
+    /// Initialise a bi-encoder for the given vocabulary.
+    pub fn new(vocab: &Vocab, cfg: BiEncoderConfig, rng: &mut Rng) -> Self {
+        assert!(cfg.emb_dim > 0 && cfg.hidden > 0 && cfg.out_dim > 0);
+        if cfg.identity_init {
+            assert!(
+                cfg.emb_dim == cfg.hidden && cfg.hidden == cfg.out_dim,
+                "identity_init requires emb_dim == hidden == out_dim, got {}/{}/{}",
+                cfg.emb_dim,
+                cfg.hidden,
+                cfg.out_dim
+            );
+        }
+        let mut params = Params::new();
+        let emb = params.add("emb", init::embedding(vocab.len(), cfg.emb_dim, rng));
+        let side = |prefix: &str, params: &mut Params, rng: &mut Rng| {
+            let (w1, w2) = if cfg.identity_init {
+                // Mild noise keeps the two sides from being exactly
+                // symmetric while preserving the bag-matching behaviour.
+                (
+                    init::near_identity(cfg.emb_dim, 0.9, 0.02, rng),
+                    init::near_identity(cfg.emb_dim, 0.9, 0.02, rng),
+                )
+            } else {
+                (
+                    init::xavier_uniform(cfg.emb_dim, cfg.hidden, rng),
+                    init::xavier_uniform(cfg.hidden, cfg.out_dim, rng),
+                )
+            };
+            SideIds {
+                w1: params.add(format!("{prefix}.w1"), w1),
+                b1: params.add(format!("{prefix}.b1"), init::zeros_bias(cfg.hidden)),
+                w2: params.add(format!("{prefix}.w2"), w2),
+                b2: params.add(format!("{prefix}.b2"), init::zeros_bias(cfg.out_dim)),
+            }
+        };
+        let mention_side = side("mention", &mut params, rng);
+        let entity_side = side("entity", &mut params, rng);
+        BiEncoder { cfg, params, emb, mention_side, entity_side, vocab_len: vocab.len() }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &BiEncoderConfig {
+        &self.cfg
+    }
+
+    /// Borrow the parameters (for checkpointing).
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Mutably borrow the parameters (for optimizer steps).
+    pub fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
+    }
+
+    /// Replace the parameters (e.g. restoring a checkpoint).
+    ///
+    /// # Panics
+    /// Panics if the shapes don't match the current model.
+    pub fn set_params(&mut self, params: Params) {
+        assert_eq!(params.len(), self.params.len(), "set_params: layout mismatch");
+        for ((na, ta), (nb, tb)) in params.iter().zip(self.params.iter()) {
+            assert_eq!(na, nb, "set_params: name mismatch");
+            assert_eq!(ta.shape(), tb.shape(), "set_params: shape mismatch for {na}");
+        }
+        self.params = params;
+    }
+
+    fn encode_side(&self, tape: &mut Tape, vars: &[Var], side: SideIds, bags: Vec<Vec<u32>>) -> Var {
+        let pooled = tape.bag_embed(vars[self.emb_var_index()], bags);
+        let h = tape.linear(pooled, vars[side.w1.index()], vars[side.b1.index()]);
+        let h = tape.tanh(h);
+        let out = tape.linear(h, vars[side.w2.index()], vars[side.b2.index()]);
+        tape.row_l2_normalize(out, 1e-9)
+    }
+
+    fn emb_var_index(&self) -> usize {
+        self.emb.index()
+    }
+
+    /// Build the forward graph for a batch of pairs, returning the
+    /// injected parameter vars, the mention/entity encodings, and the
+    /// per-example Eq. 6 losses.
+    ///
+    /// # Panics
+    /// Panics on an empty batch, or a batch of one pair when the config
+    /// excludes gold from the denominator (Eq. 6 needs a negative).
+    pub fn forward_losses(&self, tape: &mut Tape, batch: &[TrainPair]) -> BiForward {
+        assert!(!batch.is_empty(), "forward_losses: empty batch");
+        let vars = self.params.inject(tape);
+        let m_bags: Vec<Vec<u32>> = batch.iter().map(|p| p.mention.clone()).collect();
+        let e_bags: Vec<Vec<u32>> = batch.iter().map(|p| p.entity.clone()).collect();
+        let m_enc = self.encode_side(tape, &vars, self.mention_side, m_bags);
+        let e_enc = self.encode_side(tape, &vars, self.entity_side, e_bags);
+        let raw_scores = tape.matmul_t(m_enc, e_enc);
+        let scores = tape.scale(raw_scores, self.cfg.score_scale);
+        let exclude = self.cfg.exclude_gold_in_loss && batch.len() >= 2;
+        let losses = tape.in_batch_neg_loss(scores, exclude);
+        BiForward { vars, mentions: m_enc, entities: e_enc, scores, losses }
+    }
+
+    /// Like [`BiEncoder::forward_losses`], with extra entity bags
+    /// appended as additional negatives: the score matrix becomes
+    /// `[n, n + extras]` and each row's loss is softmax cross-entropy
+    /// against its diagonal gold (the standard hard-negative in-batch
+    /// formulation of BLINK's second training stage).
+    ///
+    /// # Panics
+    /// Panics on an empty batch.
+    pub fn forward_losses_with_negatives(
+        &self,
+        tape: &mut Tape,
+        batch: &[TrainPair],
+        extra_entity_bags: Vec<Vec<u32>>,
+    ) -> (Vec<Var>, Var) {
+        assert!(!batch.is_empty(), "forward_losses_with_negatives: empty batch");
+        let vars = self.params.inject(tape);
+        let m_bags: Vec<Vec<u32>> = batch.iter().map(|p| p.mention.clone()).collect();
+        let mut e_bags: Vec<Vec<u32>> = batch.iter().map(|p| p.entity.clone()).collect();
+        e_bags.extend(extra_entity_bags);
+        let m_enc = self.encode_side(tape, &vars, self.mention_side, m_bags);
+        let e_enc = self.encode_side(tape, &vars, self.entity_side, e_bags);
+        let raw_scores = tape.matmul_t(m_enc, e_enc);
+        let scores = tape.scale(raw_scores, self.cfg.score_scale);
+        let targets: Vec<usize> = (0..batch.len()).collect();
+        let losses = tape.softmax_ce_rows(scores, targets);
+        (vars, losses)
+    }
+
+    /// One optimizer step on a batch augmented with extra negatives;
+    /// returns the mean loss.
+    pub fn train_step_with_negatives(
+        &mut self,
+        batch: &[TrainPair],
+        extra_entity_bags: Vec<Vec<u32>>,
+        opt: &mut dyn Optimizer,
+    ) -> f64 {
+        let mut tape = Tape::new();
+        let (vars, losses) = self.forward_losses_with_negatives(&mut tape, batch, extra_entity_bags);
+        let mean = tape.mean_all(losses);
+        let value = tape.value(mean).item();
+        let grads = tape.backward(mean);
+        let gv = self.params.collect_grads(&vars, &grads);
+        opt.step(&mut self.params, &gv);
+        value
+    }
+
+    /// Mean loss over a batch (diagnostic convenience).
+    pub fn batch_loss(&self, batch: &[TrainPair]) -> f64 {
+        let mut tape = Tape::new();
+        let fwd = self.forward_losses(&mut tape, batch);
+        tape.value(fwd.losses).mean()
+    }
+
+    /// Gradient of the mean batch loss, for plain training steps.
+    pub fn batch_grad(&self, batch: &[TrainPair]) -> (f64, GradVec) {
+        let mut tape = Tape::new();
+        let fwd = self.forward_losses(&mut tape, batch);
+        let mean = tape.mean_all(fwd.losses);
+        let loss = tape.value(mean).item();
+        let grads = tape.backward(mean);
+        (loss, self.params.collect_grads(&fwd.vars, &grads))
+    }
+
+    /// Apply one optimizer step on a batch; returns the mean loss.
+    pub fn train_step(&mut self, batch: &[TrainPair], opt: &mut dyn Optimizer) -> f64 {
+        let (loss, grads) = self.batch_grad(batch);
+        opt.step(&mut self.params, &grads);
+        loss
+    }
+
+    /// Encode mention bags to vectors (inference).
+    pub fn embed_mentions(&self, bags: Vec<Vec<u32>>) -> Tensor {
+        self.embed(bags, self.mention_side)
+    }
+
+    /// Encode entity bags to vectors (inference).
+    pub fn embed_entities(&self, bags: Vec<Vec<u32>>) -> Tensor {
+        self.embed(bags, self.entity_side)
+    }
+
+    fn embed(&self, bags: Vec<Vec<u32>>, side: SideIds) -> Tensor {
+        if bags.is_empty() {
+            return Tensor::zeros(vec![0, self.cfg.out_dim]);
+        }
+        let mut tape = Tape::new();
+        let vars = self.params.inject(&mut tape);
+        let enc = self.encode_side(&mut tape, &vars, side, bags);
+        tape.value(enc).clone()
+    }
+
+    /// Vocabulary size this model was built for.
+    pub fn vocab_len(&self) -> usize {
+        self.vocab_len
+    }
+
+    /// Index (in parameter order) of the token-embedding table —
+    /// the sparse parameter the meta-reweighting excludes from its
+    /// gradient dot products.
+    pub fn embedding_param_index(&self) -> usize {
+        self.emb.index()
+    }
+}
+
+/// Handles produced by [`BiEncoder::forward_losses`].
+pub struct BiForward {
+    /// Parameter leaves in [`Params`] order.
+    pub vars: Vec<Var>,
+    /// `[n, out_dim]` mention encodings.
+    pub mentions: Var,
+    /// `[n, out_dim]` entity encodings.
+    pub entities: Var,
+    /// `[n, n]` scaled score matrix.
+    pub scores: Var,
+    /// `[n]` per-example losses (Eq. 6).
+    pub losses: Var,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{build_vocab, InputConfig, TrainPair};
+    use mb_datagen::{World, WorldConfig};
+    use mb_tensor::optim::Adam;
+
+    fn setup() -> (World, Vocab, Vec<TrainPair>) {
+        let world = World::generate(WorldConfig::tiny(17));
+        let vocab = build_vocab(world.kb(), [], 1);
+        let domain = world.domain("TargetX").clone();
+        let mut rng = Rng::seed_from_u64(2);
+        let ms = mb_datagen::mentions::generate_mentions(&world, &domain, 64, &mut rng);
+        let cfg = InputConfig::default();
+        let pairs: Vec<TrainPair> = ms
+            .mentions
+            .iter()
+            .map(|m| TrainPair::from_mention(&vocab, &cfg, world.kb(), m))
+            .collect();
+        (world, vocab, pairs)
+    }
+
+    fn tiny_cfg() -> BiEncoderConfig {
+        BiEncoderConfig { emb_dim: 16, hidden: 16, out_dim: 16, ..Default::default() }
+    }
+
+    #[test]
+    fn encodings_are_unit_norm() {
+        let (_, vocab, pairs) = setup();
+        let model = BiEncoder::new(&vocab, tiny_cfg(), &mut Rng::seed_from_u64(3));
+        let vecs = model.embed_entities(pairs.iter().take(8).map(|p| p.entity.clone()).collect());
+        for i in 0..vecs.rows() {
+            let n: f64 = vecs.row(i).iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((n - 1.0).abs() < 1e-9, "row norm {n}");
+        }
+    }
+
+    #[test]
+    fn empty_embed_is_empty() {
+        let (_, vocab, _) = setup();
+        let model = BiEncoder::new(&vocab, tiny_cfg(), &mut Rng::seed_from_u64(3));
+        assert_eq!(model.embed_mentions(vec![]).rows(), 0);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (_, vocab, pairs) = setup();
+        let mut model = BiEncoder::new(&vocab, tiny_cfg(), &mut Rng::seed_from_u64(4));
+        let batch = &pairs[..16];
+        let before = model.batch_loss(batch);
+        let mut opt = Adam::new(0.01);
+        for _ in 0..30 {
+            model.train_step(batch, &mut opt);
+        }
+        let after = model.batch_loss(batch);
+        assert!(after < before * 0.8, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn gradcheck_full_model() {
+        let (_, vocab, pairs) = setup();
+        let small = BiEncoderConfig { emb_dim: 4, hidden: 4, out_dim: 4, ..Default::default() };
+        let model = BiEncoder::new(&vocab, small, &mut Rng::seed_from_u64(5));
+        let batch: Vec<TrainPair> = pairs[..3].to_vec();
+        let (_, analytic) = model.batch_grad(&batch);
+        let mut f = |p: &mb_tensor::Params| {
+            let mut m = model.clone();
+            m.set_params(p.clone());
+            m.batch_loss(&batch)
+        };
+        let numeric = mb_tensor::gradcheck::numeric_grad_params(&mut f, model.params(), 1e-5);
+        let err = mb_tensor::gradcheck::max_rel_error(&analytic, &numeric);
+        assert!(err < 1e-5, "gradcheck failed: {err}");
+    }
+
+    #[test]
+    fn singleton_batch_falls_back_to_including_gold() {
+        let (_, vocab, pairs) = setup();
+        let model = BiEncoder::new(&vocab, tiny_cfg(), &mut Rng::seed_from_u64(6));
+        // Must not panic.
+        let loss = model.batch_loss(&pairs[..1]);
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn set_params_round_trip_preserves_outputs() {
+        let (_, vocab, pairs) = setup();
+        let model = BiEncoder::new(&vocab, tiny_cfg(), &mut Rng::seed_from_u64(7));
+        let saved = model.params().clone();
+        let mut model2 = BiEncoder::new(&vocab, tiny_cfg(), &mut Rng::seed_from_u64(99));
+        model2.set_params(saved);
+        let a = model.embed_entities(vec![pairs[0].entity.clone()]);
+        let b = model2.embed_entities(vec![pairs[0].entity.clone()]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let (_, vocab, _) = setup();
+        let model = BiEncoder::new(&vocab, tiny_cfg(), &mut Rng::seed_from_u64(8));
+        model.batch_loss(&[]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Featurization: mentions and entities → token-id bags.
+//!
+//! The bi-encoder's `ENCODER_m(mᵢ, context(mᵢ))` takes the mention
+//! surface plus a truncated context window; `ENCODER_e(eᵢ, desp(eᵢ))`
+//! takes the title plus a truncated description (Eqs. 3–4). Both sides
+//! share one vocabulary.
+//!
+//! The vocabulary is built over *all* domains' raw text (descriptions
+//! and unlabeled corpora), not just labeled source data: the paper's
+//! BERT wordpiece vocabulary likewise covers target-domain strings even
+//! though no target-domain *labels* exist. Only labels are few-shot.
+
+use mb_datagen::LinkedMention;
+use mb_kb::{Entity, EntityId, KnowledgeBase};
+use mb_text::tokenizer::tokenize;
+use mb_text::vocab::VocabBuilder;
+use mb_text::Vocab;
+
+/// Truncation limits for encoder inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct InputConfig {
+    /// Max context tokens kept on each side of the mention.
+    pub max_context: usize,
+    /// Max description tokens kept for an entity.
+    pub max_description: usize,
+}
+
+impl Default for InputConfig {
+    fn default() -> Self {
+        InputConfig { max_context: 12, max_description: 24 }
+    }
+}
+
+/// Token bag for a mention: surface tokens + the last `max_context`
+/// tokens of the left context + the first `max_context` of the right.
+pub fn mention_bag(vocab: &Vocab, cfg: &InputConfig, mention: &LinkedMention) -> Vec<u32> {
+    let mut tokens = tokenize(&mention.surface);
+    let left = tokenize(&mention.left);
+    let skip = left.len().saturating_sub(cfg.max_context);
+    tokens.extend(left.into_iter().skip(skip));
+    let mut right = tokenize(&mention.right);
+    right.truncate(cfg.max_context);
+    tokens.extend(right);
+    vocab.encode_tokens(&tokens)
+}
+
+/// Token bag for an entity: title tokens + truncated description.
+pub fn entity_bag(vocab: &Vocab, cfg: &InputConfig, entity: &Entity) -> Vec<u32> {
+    let mut tokens = tokenize(&entity.title);
+    let mut desc = tokenize(&entity.description);
+    desc.truncate(cfg.max_description);
+    tokens.extend(desc);
+    vocab.encode_tokens(&tokens)
+}
+
+/// Token bag of just the mention surface (cross-encoder interaction
+/// feature).
+pub fn surface_bag(vocab: &Vocab, mention: &LinkedMention) -> Vec<u32> {
+    vocab.encode(&mention.surface)
+}
+
+/// Token bag of just the entity title (cross-encoder interaction
+/// feature).
+pub fn title_bag(vocab: &Vocab, entity: &Entity) -> Vec<u32> {
+    vocab.encode(&entity.title)
+}
+
+/// A featurized training pair `(mᵢ, eᵢ)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainPair {
+    /// Mention-side bag (surface + context).
+    pub mention: Vec<u32>,
+    /// Surface-only bag.
+    pub surface: Vec<u32>,
+    /// Entity-side bag (title + description).
+    pub entity: Vec<u32>,
+    /// Title-only bag.
+    pub title: Vec<u32>,
+    /// The gold entity id.
+    pub gold: EntityId,
+}
+
+impl TrainPair {
+    /// Featurize a labeled mention against its gold entity.
+    pub fn from_mention(
+        vocab: &Vocab,
+        cfg: &InputConfig,
+        kb: &KnowledgeBase,
+        mention: &LinkedMention,
+    ) -> TrainPair {
+        let entity = kb.entity(mention.entity);
+        TrainPair {
+            mention: mention_bag(vocab, cfg, mention),
+            surface: surface_bag(vocab, mention),
+            entity: entity_bag(vocab, cfg, entity),
+            title: title_bag(vocab, entity),
+            gold: mention.entity,
+        }
+    }
+}
+
+/// Build a vocabulary over the whole knowledge base plus any extra raw
+/// documents (e.g. unlabeled target corpora), with a minimum count.
+pub fn build_vocab<'a>(
+    kb: &KnowledgeBase,
+    extra_docs: impl IntoIterator<Item = &'a str>,
+    min_count: u64,
+) -> Vocab {
+    let mut b = VocabBuilder::new();
+    for e in kb.entities() {
+        b.add_text(&e.title);
+        b.add_text(&e.description);
+    }
+    for d in extra_docs {
+        b.add_text(d);
+    }
+    b.build(min_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_datagen::{World, WorldConfig};
+
+    fn setup() -> (mb_datagen::World, Vocab) {
+        let world = World::generate(WorldConfig::tiny(13));
+        let vocab = build_vocab(world.kb(), [], 1);
+        (world, vocab)
+    }
+
+    #[test]
+    fn vocab_covers_all_domains() {
+        let (world, vocab) = setup();
+        // Spot-check a few description tokens from the target domain.
+        let target = world.domain("TargetX");
+        let id = world.kb().domain_entities(target.id)[0];
+        let desc = &world.kb().entity(id).description;
+        assert!(vocab.oov_rate(desc) < 0.01, "target description is OOV");
+    }
+
+    #[test]
+    fn mention_bag_truncates_context() {
+        let (_, vocab) = setup();
+        let cfg = InputConfig { max_context: 2, max_description: 4 };
+        let m = LinkedMention {
+            left: "a b c d e ".into(),
+            surface: "target name".into(),
+            right: " v w x y z".into(),
+            entity: EntityId(0),
+            category: mb_text::OverlapCategory::LowOverlap,
+        };
+        let bag = mention_bag(&vocab, &cfg, &m);
+        // 2 surface + last-2 of left + first-2 of right.
+        assert_eq!(bag.len(), 6);
+    }
+
+    #[test]
+    fn entity_bag_includes_title_and_truncated_description() {
+        let (world, vocab) = setup();
+        let cfg = InputConfig { max_context: 4, max_description: 3 };
+        let e = &world.kb().entities()[0];
+        let bag = entity_bag(&vocab, &cfg, e);
+        let title_len = tokenize(&e.title).len();
+        assert_eq!(bag.len(), title_len + 3.min(tokenize(&e.description).len()));
+    }
+
+    #[test]
+    fn train_pair_links_gold() {
+        let (world, vocab) = setup();
+        let cfg = InputConfig::default();
+        let domain = world.domain("TargetX").clone();
+        let mut rng = mb_common::Rng::seed_from_u64(1);
+        let ms = mb_datagen::mentions::generate_mentions(&world, &domain, 5, &mut rng);
+        for m in &ms.mentions {
+            let p = TrainPair::from_mention(&vocab, &cfg, world.kb(), m);
+            assert_eq!(p.gold, m.entity);
+            assert!(!p.mention.is_empty());
+            assert!(!p.entity.is_empty());
+        }
+    }
+
+    #[test]
+    fn min_count_shrinks_vocab() {
+        let (world, _) = setup();
+        let v1 = build_vocab(world.kb(), [], 1);
+        let v3 = build_vocab(world.kb(), [], 3);
+        assert!(v3.len() < v1.len());
+    }
+}

@@ -1,0 +1,30 @@
+//! # mb-encoders
+//!
+//! The BLINK-style two-stage linker on the CPU-scale substrate:
+//!
+//! * [`biencoder::BiEncoder`] — independent mention/entity encoders over
+//!   a shared token-embedding table, trained with the paper's in-batch
+//!   negative loss (Eq. 6); powers dense candidate generation.
+//! * [`crossencoder::CrossEncoder`] — joint mention–entity scorer over
+//!   interaction features, trained with per-mention softmax ranking
+//!   loss; powers candidate re-ranking.
+//! * [`retrieval`] — brute-force and partitioned (IVF-style) top-k dense
+//!   indices over entity embeddings.
+//! * [`input`] — featurization of mentions/entities into token bags and
+//!   vocabulary construction.
+//! * [`train`] — plain (unweighted) trainers used by the BLINK baseline;
+//!   the meta-reweighted trainer lives in `mb-core`.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index loops are clearer in numeric kernels
+
+pub mod biencoder;
+pub mod crossencoder;
+pub mod input;
+pub mod retrieval;
+pub mod train;
+
+pub use biencoder::{BiEncoder, BiEncoderConfig};
+pub use crossencoder::{CrossEncoder, CrossEncoderConfig};
+pub use input::{entity_bag, mention_bag, InputConfig, TrainPair};
+pub use retrieval::DenseIndex;

@@ -1,0 +1,82 @@
+//! Property-based tests of encoder and retrieval invariants.
+
+use mb_common::Rng;
+use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
+use mb_encoders::retrieval::DenseIndex;
+use mb_kb::EntityId;
+use mb_tensor::Tensor;
+use mb_text::vocab::VocabBuilder;
+use proptest::prelude::*;
+
+fn vocab(n_words: usize) -> mb_text::Vocab {
+    let mut b = VocabBuilder::new();
+    for i in 0..n_words {
+        b.add(&format!("word{i}"));
+    }
+    b.build(1)
+}
+
+fn bag_strategy(vocab_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..vocab_len as u32, 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encodings_are_unit_norm_and_deterministic(
+        seed in 0u64..1000,
+        bags in proptest::collection::vec(bag_strategy(40), 1..6),
+    ) {
+        let v = vocab(39); // +1 for <unk> = 40 ids
+        let cfg = BiEncoderConfig { emb_dim: 8, hidden: 8, out_dim: 8, ..Default::default() };
+        let model = BiEncoder::new(&v, cfg, &mut Rng::seed_from_u64(seed));
+        let a = model.embed_entities(bags.clone());
+        let b = model.embed_entities(bags.clone());
+        prop_assert_eq!(a.clone(), b);
+        for i in 0..a.rows() {
+            let n: f64 = a.row(i).iter().map(|x| x * x).sum::<f64>().sqrt();
+            prop_assert!((n - 1.0).abs() < 1e-6, "row norm {n}");
+        }
+    }
+
+    #[test]
+    fn bag_order_does_not_matter_for_mean_pooling(
+        seed in 0u64..1000,
+        mut bag in bag_strategy(40),
+    ) {
+        let v = vocab(39);
+        let cfg = BiEncoderConfig { emb_dim: 8, hidden: 8, out_dim: 8, ..Default::default() };
+        let model = BiEncoder::new(&v, cfg, &mut Rng::seed_from_u64(seed));
+        let a = model.embed_mentions(vec![bag.clone()]);
+        bag.reverse();
+        let b = model.embed_mentions(vec![bag]);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dense_index_top_k_is_sorted_and_within_bounds(
+        n in 2usize..60,
+        d in 2usize..8,
+        k in 1usize..70,
+        seed in 0u64..500,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let vectors = Tensor::randn(vec![n, d], 0.0, 1.0, &mut rng);
+        let ids: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+        let index = DenseIndex::from_vectors(vectors, ids);
+        let query: Vec<f64> = (0..d).map(|_| rng.gaussian()).collect();
+        let top = index.top_k(&query, k);
+        prop_assert_eq!(top.len(), k.min(n));
+        for pair in top.windows(2) {
+            prop_assert!(pair[0].1 >= pair[1].1);
+        }
+        // Scores agree with a direct recomputation.
+        let all = index.score_all(&query);
+        for (id, s) in &top {
+            prop_assert!((all[id.0 as usize] - s).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-category accuracy breakdown.
+//!
+//! The paper's future-work section says: *"We will subdivide the entity
+//! mentions and make statistics on the accuracy of different categories
+//! to conduct a more deeply exploration."* This module implements that
+//! analysis: two-stage metrics stratified by the mention–title overlap
+//! category, which exposes *where* a linker's accuracy comes from (a
+//! surface matcher aces High Overlap and collapses on Low Overlap; a
+//! semantic linker is flatter across categories).
+
+use mb_core::linker::{LinkMetrics, TwoStageLinker};
+use mb_datagen::LinkedMention;
+use mb_text::OverlapCategory;
+
+/// Metrics per overlap category, in [`OverlapCategory::all`] order.
+#[derive(Debug, Clone)]
+pub struct CategoryBreakdown {
+    /// One entry per category (some may cover zero mentions).
+    pub per_category: [(OverlapCategory, LinkMetrics); 4],
+    /// Metrics over all mentions.
+    pub overall: LinkMetrics,
+}
+
+impl CategoryBreakdown {
+    /// Evaluate a linker with per-category stratification.
+    pub fn evaluate(linker: &TwoStageLinker<'_>, mentions: &[LinkedMention]) -> Self {
+        let overall = linker.evaluate(mentions);
+        let per_category = OverlapCategory::all().map(|cat| {
+            let subset: Vec<LinkedMention> = mentions
+                .iter()
+                .filter(|m| m.category == cat)
+                .cloned()
+                .collect();
+            (cat, linker.evaluate(&subset))
+        });
+        CategoryBreakdown { per_category, overall }
+    }
+
+    /// The metrics for one category.
+    pub fn of(&self, cat: OverlapCategory) -> &LinkMetrics {
+        &self
+            .per_category
+            .iter()
+            .find(|(c, _)| *c == cat)
+            .expect("all categories present")
+            .1
+    }
+
+    /// Spread between the easiest and hardest category's U.Acc —
+    /// a surface-shortcut indicator (large spread = the model leans on
+    /// surface overlap). Categories with no mentions are skipped.
+    pub fn shortcut_spread(&self) -> f64 {
+        let accs: Vec<f64> = self
+            .per_category
+            .iter()
+            .filter(|(_, m)| m.count > 0)
+            .map(|(_, m)| m.unnormalized_acc)
+            .collect();
+        if accs.is_empty() {
+            return 0.0;
+        }
+        let max = accs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = accs.iter().copied().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+
+    /// Render as a report table.
+    pub fn to_table(&self, title: &str) -> crate::Table {
+        let mut t = crate::Table::new(title, &["Category", "#mentions", "R@k", "N.Acc", "U.Acc"]);
+        for (cat, m) in &self.per_category {
+            t.row(&[
+                cat.label().to_string(),
+                m.count.to_string(),
+                format!("{:.2}", m.recall_at_k),
+                format!("{:.2}", m.normalized_acc),
+                format!("{:.2}", m.unnormalized_acc),
+            ]);
+        }
+        t.row(&[
+            "(all)".to_string(),
+            self.overall.count.to_string(),
+            format!("{:.2}", self.overall.recall_at_k),
+            format!("{:.2}", self.overall.normalized_acc),
+            format!("{:.2}", self.overall.unnormalized_acc),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_common::Rng;
+    use mb_core::pipeline::{train, DataSource, Method, MetaBlinkConfig, TargetTask};
+    use mb_core::LinkerConfig;
+    use mb_datagen::mentions::generate_mentions;
+    use mb_datagen::{World, WorldConfig};
+    use mb_encoders::input::build_vocab;
+
+    #[test]
+    fn breakdown_partitions_and_exposes_the_shortcut() {
+        let world = World::generate(WorldConfig::tiny(83));
+        let vocab = build_vocab(world.kb(), [], 1);
+        let domain = world.domain("TargetX").clone();
+        let mut rng = Rng::seed_from_u64(6);
+        let ms = generate_mentions(&world, &domain, 220, &mut rng);
+        let (train_ms, test_ms) = ms.mentions.split_at(150);
+        let empty = mb_nlg::SynDataset {
+            domain: domain.name.clone(),
+            exact: vec![],
+            rewritten: vec![],
+        };
+        let task = TargetTask {
+            world: &world,
+            vocab: &vocab,
+            domain: world.domain("TargetX"),
+            syn: &empty,
+            syn_star: &empty,
+            seed: train_ms,
+            general: &[],
+        };
+        let model = train(&task, Method::Blink, DataSource::Seed, &MetaBlinkConfig::fast_test());
+        let linker = TwoStageLinker::new(
+            &model.bi,
+            &model.cross,
+            &vocab,
+            world.kb(),
+            world.kb().domain_entities(domain.id),
+            LinkerConfig { k: 16, ..model.linker_cfg },
+        );
+        let b = CategoryBreakdown::evaluate(&linker, test_ms);
+
+        // Partition: counts add up.
+        let sum: usize = b.per_category.iter().map(|(_, m)| m.count).sum();
+        assert_eq!(sum, b.overall.count);
+        assert_eq!(b.overall.count, test_ms.len());
+
+        // High Overlap should be at least as easy as Low Overlap for
+        // any model with a surface channel.
+        let high = b.of(OverlapCategory::HighOverlap);
+        let low = b.of(OverlapCategory::LowOverlap);
+        if high.count > 5 && low.count > 5 {
+            assert!(
+                high.unnormalized_acc + 15.0 >= low.unnormalized_acc,
+                "high {:.1} vs low {:.1}",
+                high.unnormalized_acc,
+                low.unnormalized_acc
+            );
+        }
+        assert!(b.shortcut_spread() >= 0.0);
+
+        // Table renders with 5 rows + overall.
+        let table = b.to_table("Breakdown");
+        assert_eq!(table.len(), 5);
+    }
+}

@@ -1,0 +1,255 @@
+//! Shared experiment context.
+//!
+//! Building the benchmark is the expensive, common prefix of every
+//! experiment: generate the world and mentions, build the vocabulary,
+//! train the rewriter on the source domains (Eq. 1), adapt it per
+//! target domain (syn*), and run the synthetic-supervision pipeline.
+//! [`ExperimentContext::build`] does all of it once; each table harness
+//! then asks for per-domain [`TargetTask`]s.
+
+use mb_common::Rng;
+use mb_core::pipeline::TargetTask;
+use mb_datagen::corpus::unlabeled_documents;
+use mb_datagen::world::DomainRole;
+use mb_datagen::{Dataset, DatasetConfig, LinkedMention, WorldConfig};
+use mb_encoders::input::build_vocab;
+use mb_nlg::generate::{generate_syn, train_source_rewriter};
+use mb_nlg::rewriter::RewriterConfig;
+use mb_nlg::SynDataset;
+use mb_text::Vocab;
+
+/// Scale and seed knobs for an experiment context.
+#[derive(Debug, Clone, Copy)]
+pub struct ContextConfig {
+    /// World seed (all randomness derives from it).
+    pub seed: u64,
+    /// Entity scale divisor for train/dev domains.
+    pub entity_scale: usize,
+    /// Entity scale divisor for test domains.
+    pub test_entity_scale: usize,
+    /// Mention scale divisor for test domains.
+    pub mention_scale: usize,
+    /// Text occurrences scanned by exact matching, as a multiple of the
+    /// domain's entity count.
+    pub syn_volume_factor: f64,
+    /// Unlabeled target documents used for rewriter adaptation.
+    pub adapt_docs: usize,
+    /// Cap on the pooled "General" source-domain mentions.
+    pub general_cap: usize,
+}
+
+impl ContextConfig {
+    /// The benchmark scale used by the paper-table harnesses.
+    pub fn bench_default(seed: u64) -> Self {
+        ContextConfig {
+            seed,
+            entity_scale: 40,
+            test_entity_scale: 10,
+            mention_scale: 4,
+            syn_volume_factor: 2.0,
+            adapt_docs: 300,
+            general_cap: 2_000,
+        }
+    }
+
+    /// A small configuration for integration tests.
+    pub fn small(seed: u64) -> Self {
+        ContextConfig {
+            seed,
+            entity_scale: 320,
+            test_entity_scale: 100,
+            mention_scale: 8,
+            syn_volume_factor: 2.0,
+            adapt_docs: 80,
+            general_cap: 400,
+        }
+    }
+}
+
+/// Everything the experiments share, built once.
+pub struct ExperimentContext {
+    /// The generated benchmark.
+    pub dataset: Dataset,
+    /// Shared vocabulary over all domains.
+    pub vocab: Vocab,
+    /// Per-test-domain synthetic data from the source rewriter (syn).
+    pub syn: Vec<(String, SynDataset)>,
+    /// Per-test-domain synthetic data from the adapted rewriter (syn*).
+    pub syn_star: Vec<(String, SynDataset)>,
+    /// Pooled (capped) source-domain gold mentions.
+    pub general: Vec<LinkedMention>,
+}
+
+impl ExperimentContext {
+    /// Build the full context. Deterministic in `cfg.seed`.
+    pub fn build(cfg: ContextConfig) -> Self {
+        let world_cfg = WorldConfig::zeshel_like(
+            cfg.seed,
+            cfg.entity_scale,
+            cfg.test_entity_scale,
+            cfg.mention_scale,
+        );
+        Self::build_with_world(cfg, world_cfg)
+    }
+
+    /// Build with an explicit world configuration (used by tests and
+    /// custom-domain examples).
+    pub fn build_with_world(cfg: ContextConfig, world_cfg: WorldConfig) -> Self {
+        let dataset = Dataset::generate(DatasetConfig::new(world_cfg));
+        let world = dataset.world();
+        let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xE9A1);
+
+        // Vocabulary over all raw text (see mb-encoders::input docs).
+        let mut extra_docs: Vec<String> = Vec::new();
+        for d in world.domains() {
+            let mut doc_rng = rng.split(0xD0C5 + d.id.0 as u64);
+            extra_docs.extend(unlabeled_documents(world, d, 50, &mut doc_rng));
+        }
+        let vocab = build_vocab(world.kb(), extra_docs.iter().map(String::as_str), 1);
+
+        // Rewriter on source domains.
+        let source_mentions: Vec<(String, Vec<LinkedMention>)> = world
+            .domains_with_role(DomainRole::Train)
+            .iter()
+            .map(|d| (d.name.clone(), dataset.mentions(&d.name).mentions.clone()))
+            .collect();
+        let rewriter =
+            train_source_rewriter(world, &source_mentions, RewriterConfig::default(), &mut rng);
+
+        // Synthetic data per test domain (syn and syn*).
+        let mut syn = Vec::new();
+        let mut syn_star = Vec::new();
+        for d in world.domains_with_role(DomainRole::Test) {
+            let volume = (world.kb().domain_entities(d.id).len() as f64 * cfg.syn_volume_factor)
+                .round() as usize;
+            let gen_rng = rng.split(0x0515 + d.id.0 as u64);
+            let s = generate_syn(world, d, &rewriter, volume, &mut gen_rng.split(0));
+            let mut adapt_rng = gen_rng.split(1);
+            let docs = unlabeled_documents(world, d, cfg.adapt_docs, &mut adapt_rng);
+            let adapted = rewriter.adapt(docs.iter().map(String::as_str));
+            // Same occurrence stream as syn: only the rewriter differs.
+            let ss = generate_syn(world, d, &adapted, volume, &mut gen_rng.split(0));
+            syn.push((d.name.clone(), s));
+            syn_star.push((d.name.clone(), ss));
+        }
+
+        // Pooled general data, shuffled and capped.
+        let mut general: Vec<LinkedMention> = source_mentions
+            .iter()
+            .flat_map(|(_, ms)| ms.iter().cloned())
+            .collect();
+        let mut pool_rng = rng.split(0x6E6E);
+        pool_rng.shuffle(&mut general);
+        general.truncate(cfg.general_cap);
+
+        ExperimentContext { dataset, vocab, syn, syn_star, general }
+    }
+
+    /// The target task bundle for one test domain.
+    ///
+    /// # Panics
+    /// Panics for non-test domains.
+    pub fn task(&self, domain: &str) -> TargetTask<'_> {
+        let world = self.dataset.world();
+        TargetTask {
+            world,
+            vocab: &self.vocab,
+            domain: world.domain(domain),
+            syn: self.syn_of(domain),
+            syn_star: self.syn_star_of(domain),
+            seed: &self.dataset.split(domain).seed,
+            general: &self.general,
+        }
+    }
+
+    /// A task variant with a custom seed set (zero-shot mined seeds).
+    pub fn task_with_seed<'a>(&'a self, domain: &str, seed: &'a [LinkedMention]) -> TargetTask<'a> {
+        let world = self.dataset.world();
+        TargetTask {
+            world,
+            vocab: &self.vocab,
+            domain: world.domain(domain),
+            syn: self.syn_of(domain),
+            syn_star: self.syn_star_of(domain),
+            seed,
+            general: &self.general,
+        }
+    }
+
+    /// The syn dataset of a test domain.
+    pub fn syn_of(&self, domain: &str) -> &SynDataset {
+        &self
+            .syn
+            .iter()
+            .find(|(n, _)| n == domain)
+            .unwrap_or_else(|| panic!("no syn data for {domain:?}"))
+            .1
+    }
+
+    /// The syn* dataset of a test domain.
+    pub fn syn_star_of(&self, domain: &str) -> &SynDataset {
+        &self
+            .syn_star
+            .iter()
+            .find(|(n, _)| n == domain)
+            .unwrap_or_else(|| panic!("no syn* data for {domain:?}"))
+            .1
+    }
+
+    /// Names of the test domains, in benchmark order.
+    pub fn test_domains(&self) -> Vec<String> {
+        self.dataset
+            .world()
+            .domains_with_role(DomainRole::Test)
+            .iter()
+            .map(|d| d.name.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_context_builds_all_parts() {
+        let ctx = ExperimentContext::build(ContextConfig::small(3));
+        assert_eq!(ctx.test_domains().len(), 4);
+        for d in ctx.test_domains() {
+            assert!(!ctx.syn_of(&d).rewritten.is_empty(), "no syn for {d}");
+            assert!(!ctx.syn_star_of(&d).rewritten.is_empty(), "no syn* for {d}");
+            let task = ctx.task(&d);
+            assert_eq!(task.seed.len(), 50);
+        }
+        assert!(!ctx.general.is_empty());
+        assert!(ctx.general.len() <= 400);
+    }
+
+    #[test]
+    fn syn_and_syn_star_share_occurrences() {
+        let ctx = ExperimentContext::build(ContextConfig::small(5));
+        let d = &ctx.test_domains()[0];
+        let a = ctx.syn_of(d);
+        let b = ctx.syn_star_of(d);
+        assert_eq!(a.exact.len(), b.exact.len());
+        // Same contexts, potentially different rewritten surfaces.
+        for (x, y) in a.rewritten.iter().zip(&b.rewritten) {
+            assert_eq!(x.mention.left, y.mention.left);
+            assert_eq!(x.mention.entity, y.mention.entity);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = ExperimentContext::build(ContextConfig::small(7));
+        let b = ExperimentContext::build(ContextConfig::small(7));
+        let d = &a.test_domains()[1];
+        assert_eq!(
+            a.syn_of(d).rewritten.len(),
+            b.syn_of(d).rewritten.len()
+        );
+        for (x, y) in a.syn_of(d).rewritten.iter().zip(&b.syn_of(d).rewritten) {
+            assert_eq!(x.mention.surface, y.mention.surface);
+        }
+    }
+}

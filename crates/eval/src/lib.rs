@@ -1,0 +1,20 @@
+//! # mb-eval
+//!
+//! Evaluation protocol and experiment infrastructure: the shared
+//! [`ExperimentContext`] every table/figure harness builds on (world +
+//! vocabulary + rewriters + synthetic datasets + general pool), plain
+//! aggregation statistics over seeds, and fixed-width report tables
+//! that are written both to stdout and `target/experiments/`.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index loops are clearer in table layout code
+
+pub mod breakdown;
+pub mod context;
+pub mod report;
+pub mod stats;
+
+pub use breakdown::CategoryBreakdown;
+pub use context::{ContextConfig, ExperimentContext};
+pub use report::Table;
+pub use stats::Aggregate;

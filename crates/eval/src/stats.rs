@@ -1,0 +1,58 @@
+//! Aggregation over repeated runs (seeds).
+
+use mb_common::util::{mean, std_dev};
+
+/// Mean ± sample standard deviation of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Mean value.
+    pub mean: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub std: f64,
+    /// Number of measurements.
+    pub n: usize,
+}
+
+impl Aggregate {
+    /// Aggregate a slice of measurements.
+    pub fn of(values: &[f64]) -> Self {
+        Aggregate { mean: mean(values), std: std_dev(values), n: values.len() }
+    }
+
+    /// Format as `12.34` or `12.34±0.56` when multiple seeds ran.
+    pub fn fmt(&self) -> String {
+        if self.n > 1 {
+            format!("{:.2}±{:.2}", self.mean, self.std)
+        } else {
+            format!("{:.2}", self.mean)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_value() {
+        let a = Aggregate::of(&[42.5]);
+        assert_eq!(a.mean, 42.5);
+        assert_eq!(a.std, 0.0);
+        assert_eq!(a.fmt(), "42.50");
+    }
+
+    #[test]
+    fn multiple_values() {
+        let a = Aggregate::of(&[1.0, 2.0, 3.0]);
+        assert!((a.mean - 2.0).abs() < 1e-12);
+        assert!((a.std - 1.0).abs() < 1e-12);
+        assert_eq!(a.fmt(), "2.00±1.00");
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let a = Aggregate::of(&[]);
+        assert_eq!(a.mean, 0.0);
+        assert_eq!(a.n, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! BM25 ranking over entity text — the "traditional IR techniques"
+//! candidate generator that Logeswaran et al. used before dense
+//! retrieval (discussed in the paper's related work). Serves as a
+//! non-neural candidate-generation baseline and as a retrieval
+//! comparison point in the micro-benchmarks.
+
+use crate::entity::EntityId;
+use mb_text::tokenizer::tokenize;
+use std::collections::HashMap;
+
+/// Standard BM25 parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (typical: 1.2).
+    pub k1: f64,
+    /// Length normalisation (typical: 0.75).
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// An immutable BM25 index over a set of entities' text.
+#[derive(Debug, Clone)]
+pub struct Bm25Index {
+    params: Bm25Params,
+    /// token → (doc slot, term frequency) postings.
+    postings: HashMap<String, Vec<(u32, u32)>>,
+    doc_len: Vec<u32>,
+    avg_len: f64,
+    ids: Vec<EntityId>,
+}
+
+impl Bm25Index {
+    /// Index `(id, text)` pairs (e.g. title + description per entity).
+    pub fn build<'a>(docs: impl IntoIterator<Item = (EntityId, &'a str)>, params: Bm25Params) -> Self {
+        let mut postings: HashMap<String, Vec<(u32, u32)>> = HashMap::new();
+        let mut doc_len = Vec::new();
+        let mut ids = Vec::new();
+        for (slot, (id, text)) in docs.into_iter().enumerate() {
+            let tokens = tokenize(text);
+            let mut tf: HashMap<String, u32> = HashMap::new();
+            for t in tokens.iter() {
+                *tf.entry(t.clone()).or_insert(0) += 1;
+            }
+            for (t, c) in tf {
+                postings.entry(t).or_default().push((slot as u32, c));
+            }
+            doc_len.push(tokens.len() as u32);
+            ids.push(id);
+        }
+        let avg_len = if doc_len.is_empty() {
+            0.0
+        } else {
+            doc_len.iter().map(|&l| l as f64).sum::<f64>() / doc_len.len() as f64
+        };
+        Bm25Index { params, postings, doc_len, avg_len, ids }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Robertson–Sparck-Jones idf with the usual +1 floor.
+    fn idf(&self, token: &str) -> f64 {
+        let n = self.ids.len() as f64;
+        let df = self.postings.get(token).map_or(0, Vec::len) as f64;
+        (((n - df + 0.5) / (df + 0.5)) + 1.0).ln()
+    }
+
+    /// Top-k documents for a free-text query, descending by BM25 score.
+    /// Documents matching no query token are never returned.
+    pub fn top_k(&self, query: &str, k: usize) -> Vec<(EntityId, f64)> {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        let mut seen = std::collections::HashSet::new();
+        for token in tokenize(query) {
+            if !seen.insert(token.clone()) {
+                continue;
+            }
+            let Some(posting) = self.postings.get(&token) else { continue };
+            let idf = self.idf(&token);
+            for &(slot, tf) in posting {
+                let len_norm = 1.0 - self.params.b
+                    + self.params.b * self.doc_len[slot as usize] as f64 / self.avg_len.max(1e-9);
+                let tf = tf as f64;
+                let term = idf * (tf * (self.params.k1 + 1.0)) / (tf + self.params.k1 * len_norm);
+                *scores.entry(slot).or_insert(0.0) += term;
+            }
+        }
+        let mut ranked: Vec<(u32, f64)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
+            .into_iter()
+            .map(|(slot, s)| (self.ids[slot as usize], s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Bm25Index {
+        Bm25Index::build(
+            [
+                (EntityId(0), "the red dragon guards the dragon hoard"),
+                (EntityId(1), "a blue wizard in the tower"),
+                (EntityId(2), "the dragon tower of the east"),
+                (EntityId(3), "completely unrelated text about bricks"),
+            ],
+            Bm25Params::default(),
+        )
+    }
+
+    #[test]
+    fn ranks_by_term_relevance() {
+        let ix = sample();
+        let top = ix.top_k("red dragon", 4);
+        assert_eq!(top[0].0, EntityId(0), "doc 0 has both terms and repeated dragon");
+        // Non-matching docs are excluded entirely.
+        assert!(top.iter().all(|(id, _)| *id != EntityId(3)));
+        assert!(top.iter().all(|(_, s)| *s > 0.0));
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let ix = sample();
+        // "wizard" appears once in the corpus; "the" appears everywhere.
+        let top = ix.top_k("the wizard", 1);
+        assert_eq!(top[0].0, EntityId(1));
+    }
+
+    #[test]
+    fn scores_decrease_down_the_ranking() {
+        let ix = sample();
+        let top = ix.top_k("dragon tower", 4);
+        for pair in top.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_query_and_empty_index() {
+        let ix = sample();
+        assert!(ix.top_k("", 5).is_empty());
+        assert!(ix.top_k("zzznothing", 5).is_empty());
+        let empty = Bm25Index::build(std::iter::empty(), Bm25Params::default());
+        assert!(empty.is_empty());
+        assert!(empty.top_k("anything", 3).is_empty());
+    }
+
+    #[test]
+    fn repeated_query_tokens_count_once() {
+        let ix = sample();
+        let once = ix.top_k("dragon", 4);
+        let thrice = ix.top_k("dragon dragon dragon", 4);
+        assert_eq!(once, thrice);
+    }
+
+    #[test]
+    fn k_caps_results() {
+        let ix = sample();
+        assert_eq!(ix.top_k("the", 2).len(), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Lookup structures over a frozen entity set.
+//!
+//! All keys are the *canonical* tokenized form (lowercase, punctuation
+//! stripped, single-space joined) so lookups are robust to case and
+//! punctuation — the same canonicalisation `mb-text` uses everywhere.
+
+use crate::entity::EntityId;
+use mb_text::tokenizer::{detokenize, tokenize};
+use std::collections::HashMap;
+
+/// Canonicalise a surface string for index keys.
+pub fn canonical(s: &str) -> String {
+    detokenize(&tokenize(s))
+}
+
+/// Exact-title index: canonical title → entities carrying it.
+///
+/// Multiple entities can share a title string across domains (and even
+/// within one: think disambiguation-free duplicates), so values are
+/// vectors in insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct TitleIndex {
+    map: HashMap<String, Vec<EntityId>>,
+}
+
+impl TitleIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        TitleIndex::default()
+    }
+
+    /// Register an entity under its title.
+    pub fn insert(&mut self, title: &str, id: EntityId) {
+        self.map.entry(canonical(title)).or_default().push(id);
+    }
+
+    /// Entities whose title matches `name` exactly (canonicalised).
+    pub fn lookup(&self, name: &str) -> &[EntityId] {
+        self.map.get(&canonical(name)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct canonical titles.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no titles are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Alias table: alternative surface forms → entities. In the paper's
+/// setting this powerful resource exists for rich source domains but is
+/// *unavailable* in the few-shot target domains; `mb-datagen` only
+/// populates it for training domains.
+#[derive(Debug, Clone, Default)]
+pub struct AliasTable {
+    map: HashMap<String, Vec<EntityId>>,
+}
+
+impl AliasTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        AliasTable::default()
+    }
+
+    /// Register an alias for an entity.
+    pub fn insert(&mut self, alias: &str, id: EntityId) {
+        let key = canonical(alias);
+        let ids = self.map.entry(key).or_default();
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+    }
+
+    /// Entities known under `alias`.
+    pub fn lookup(&self, alias: &str) -> &[EntityId] {
+        self.map.get(&canonical(alias)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct aliases.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the table has no aliases.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Inverted token index over entity titles: token → posting list of
+/// entities whose title contains the token. Posting lists are kept
+/// sorted and deduplicated.
+#[derive(Debug, Clone, Default)]
+pub struct TokenIndex {
+    map: HashMap<String, Vec<EntityId>>,
+}
+
+impl TokenIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        TokenIndex::default()
+    }
+
+    /// Index an entity's title tokens.
+    pub fn insert_title(&mut self, title: &str, id: EntityId) {
+        for tok in tokenize(title) {
+            let posting = self.map.entry(tok).or_default();
+            if posting.last() != Some(&id) {
+                posting.push(id);
+            }
+        }
+    }
+
+    /// Posting list for a token (empty for unknown tokens).
+    pub fn posting(&self, token: &str) -> &[EntityId] {
+        self.map.get(token).map_or(&[], Vec::as_slice)
+    }
+
+    /// Entities ranked by how many of `query`'s distinct tokens appear
+    /// in their title, descending, ties broken by id. At most `k`
+    /// results. This is the traditional-IR candidate generator used by
+    /// the `Logeswaran et al.`-style comparison path.
+    pub fn candidates(&self, query: &str, k: usize) -> Vec<EntityId> {
+        let mut counts: HashMap<EntityId, usize> = HashMap::new();
+        let mut seen_tokens = std::collections::HashSet::new();
+        for tok in tokenize(query) {
+            if !seen_tokens.insert(tok.clone()) {
+                continue;
+            }
+            for &id in self.posting(&tok) {
+                *counts.entry(id).or_insert(0) += 1;
+            }
+        }
+        let mut scored: Vec<(EntityId, usize)> = counts.into_iter().collect();
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Number of distinct tokens indexed.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalisation() {
+        assert_eq!(canonical("The GOLDEN-Master!"), "the golden master");
+    }
+
+    #[test]
+    fn title_index_is_case_insensitive() {
+        let mut ix = TitleIndex::new();
+        ix.insert("The Curse", EntityId(3));
+        assert_eq!(ix.lookup("the curse"), &[EntityId(3)]);
+        assert_eq!(ix.lookup("THE CURSE!"), &[EntityId(3)]);
+        assert!(ix.lookup("missing").is_empty());
+    }
+
+    #[test]
+    fn title_index_collects_duplicates() {
+        let mut ix = TitleIndex::new();
+        ix.insert("Mercury", EntityId(1));
+        ix.insert("mercury", EntityId(2));
+        assert_eq!(ix.lookup("Mercury"), &[EntityId(1), EntityId(2)]);
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn alias_table_dedups_per_alias() {
+        let mut t = AliasTable::new();
+        t.insert("big blue", EntityId(7));
+        t.insert("Big Blue", EntityId(7));
+        t.insert("big blue", EntityId(8));
+        assert_eq!(t.lookup("BIG blue"), &[EntityId(7), EntityId(8)]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn token_index_candidates_ranked_by_overlap() {
+        let mut ix = TokenIndex::new();
+        ix.insert_title("red dragon", EntityId(0));
+        ix.insert_title("blue dragon", EntityId(1));
+        ix.insert_title("red castle", EntityId(2));
+        let c = ix.candidates("red dragon lair", 10);
+        assert_eq!(c[0], EntityId(0)); // matches both tokens
+        assert_eq!(c.len(), 3);
+        let c1 = ix.candidates("red dragon", 1);
+        assert_eq!(c1, vec![EntityId(0)]);
+    }
+
+    #[test]
+    fn token_index_repeated_query_tokens_count_once() {
+        let mut ix = TokenIndex::new();
+        ix.insert_title("red dragon", EntityId(0));
+        ix.insert_title("blue dragon lair", EntityId(1));
+        // "dragon dragon dragon" must not triple-count.
+        let c = ix.candidates("dragon dragon dragon blue", 10);
+        assert_eq!(c[0], EntityId(1));
+    }
+
+    #[test]
+    fn empty_queries_yield_nothing() {
+        let ix = TokenIndex::new();
+        assert!(ix.candidates("anything", 5).is_empty());
+        let ix2 = {
+            let mut ix2 = TokenIndex::new();
+            ix2.insert_title("a b", EntityId(0));
+            ix2
+        };
+        assert!(ix2.candidates("", 5).is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! The frozen knowledge base and its builder.
+
+use crate::entity::{DomainId, Entity, EntityId, RelationId, Triple};
+use crate::index::{AliasTable, TitleIndex, TokenIndex};
+use mb_common::{Error, Result};
+use std::collections::HashMap;
+
+/// Mutable builder for a [`KnowledgeBase`].
+#[derive(Debug, Default)]
+pub struct KbBuilder {
+    domains: Vec<String>,
+    domain_ids: HashMap<String, DomainId>,
+    relations: Vec<String>,
+    relation_ids: HashMap<String, RelationId>,
+    entities: Vec<Entity>,
+    aliases: Vec<(String, EntityId)>,
+    triples: Vec<Triple>,
+}
+
+impl KbBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        KbBuilder::default()
+    }
+
+    /// Register (or look up) a domain by name.
+    pub fn domain(&mut self, name: &str) -> DomainId {
+        if let Some(&id) = self.domain_ids.get(name) {
+            return id;
+        }
+        let id = DomainId(u16::try_from(self.domains.len()).expect("too many domains"));
+        self.domains.push(name.to_string());
+        self.domain_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Register (or look up) a relation type by name.
+    pub fn relation(&mut self, name: &str) -> RelationId {
+        if let Some(&id) = self.relation_ids.get(name) {
+            return id;
+        }
+        let id = RelationId(u16::try_from(self.relations.len()).expect("too many relations"));
+        self.relations.push(name.to_string());
+        self.relation_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Add an entity, returning its id.
+    pub fn add_entity(&mut self, title: &str, description: &str, domain: DomainId) -> EntityId {
+        let id = EntityId(u32::try_from(self.entities.len()).expect("too many entities"));
+        self.entities.push(Entity {
+            id,
+            title: title.to_string(),
+            description: description.to_string(),
+            domain,
+        });
+        id
+    }
+
+    /// Add an alias surface form for an entity (source domains only, by
+    /// convention — the builder does not enforce it, the data generator
+    /// does).
+    pub fn add_alias(&mut self, alias: &str, id: EntityId) {
+        self.aliases.push((alias.to_string(), id));
+    }
+
+    /// Add a fact triple.
+    pub fn add_triple(&mut self, head: EntityId, relation: RelationId, tail: EntityId) {
+        self.triples.push(Triple { head, relation, tail });
+    }
+
+    /// Freeze into an indexed [`KnowledgeBase`].
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] if an alias or triple references a
+    /// non-existent entity.
+    pub fn build(self) -> Result<KnowledgeBase> {
+        let n = self.entities.len();
+        let check = |id: EntityId| -> Result<()> {
+            if (id.0 as usize) < n {
+                Ok(())
+            } else {
+                Err(Error::NotFound(format!("entity id {} (kb has {n})", id.0)))
+            }
+        };
+        let mut title_index = TitleIndex::new();
+        let mut token_index = TokenIndex::new();
+        for e in &self.entities {
+            title_index.insert(&e.title, e.id);
+            token_index.insert_title(&e.title, e.id);
+        }
+        let mut alias_table = AliasTable::new();
+        for (alias, id) in &self.aliases {
+            check(*id)?;
+            alias_table.insert(alias, *id);
+        }
+        let mut outgoing: Vec<Vec<(RelationId, EntityId)>> = vec![Vec::new(); n];
+        for t in &self.triples {
+            check(t.head)?;
+            check(t.tail)?;
+            outgoing[t.head.0 as usize].push((t.relation, t.tail));
+        }
+        let mut by_domain: Vec<Vec<EntityId>> = vec![Vec::new(); self.domains.len()];
+        for e in &self.entities {
+            by_domain[e.domain.0 as usize].push(e.id);
+        }
+        Ok(KnowledgeBase {
+            domains: self.domains,
+            relations: self.relations,
+            entities: self.entities,
+            triples: self.triples,
+            title_index,
+            alias_table,
+            token_index,
+            outgoing,
+            by_domain,
+        })
+    }
+}
+
+/// A frozen, indexed knowledge base `G = {E; R; T}`.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    domains: Vec<String>,
+    relations: Vec<String>,
+    entities: Vec<Entity>,
+    triples: Vec<Triple>,
+    title_index: TitleIndex,
+    alias_table: AliasTable,
+    token_index: TokenIndex,
+    outgoing: Vec<Vec<(RelationId, EntityId)>>,
+    by_domain: Vec<Vec<EntityId>>,
+}
+
+impl KnowledgeBase {
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True if the KB has no entities.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Borrow an entity.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids (they can only come from a different
+    /// KB, which is a programming error).
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.0 as usize]
+    }
+
+    /// All entities in id order.
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// All fact triples.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Number of domains.
+    pub fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// A domain's name.
+    pub fn domain_name(&self, id: DomainId) -> &str {
+        &self.domains[id.0 as usize]
+    }
+
+    /// Find a domain id by name.
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] for unknown names.
+    pub fn domain_by_name(&self, name: &str) -> Result<DomainId> {
+        self.domains
+            .iter()
+            .position(|d| d == name)
+            .map(|i| DomainId(i as u16))
+            .ok_or_else(|| Error::NotFound(format!("domain {name:?}")))
+    }
+
+    /// A relation's name.
+    pub fn relation_name(&self, id: RelationId) -> &str {
+        &self.relations[id.0 as usize]
+    }
+
+    /// Entity ids belonging to a domain, in id order.
+    pub fn domain_entities(&self, domain: DomainId) -> &[EntityId] {
+        &self.by_domain[domain.0 as usize]
+    }
+
+    /// Entities whose title exactly matches `name` (canonicalised).
+    pub fn by_title(&self, name: &str) -> &[EntityId] {
+        self.title_index.lookup(name)
+    }
+
+    /// Entities known under `alias` in the alias table.
+    pub fn by_alias(&self, alias: &str) -> &[EntityId] {
+        self.alias_table.lookup(alias)
+    }
+
+    /// IR-style candidates: entities ranked by title-token overlap with
+    /// `query`, at most `k`.
+    pub fn token_candidates(&self, query: &str, k: usize) -> Vec<EntityId> {
+        self.token_index.candidates(query, k)
+    }
+
+    /// Outgoing `(relation, tail)` edges of an entity.
+    pub fn neighbors(&self, id: EntityId) -> &[(RelationId, EntityId)] {
+        &self.outgoing[id.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let lego = b.domain("Lego");
+        let tv = b.domain("Doctor Who");
+        let part_of = b.relation("part_of");
+        let brick = b.add_entity("Red Brick", "a red building brick", lego);
+        let set = b.add_entity("Castle Set (2015)", "a castle-themed set", lego);
+        let doctor = b.add_entity("The Doctor", "a time traveller", tv);
+        b.add_alias("big red", brick);
+        b.add_triple(brick, part_of, set);
+        let _ = doctor;
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn entities_and_domains() {
+        let kb = sample_kb();
+        assert_eq!(kb.len(), 3);
+        assert_eq!(kb.num_domains(), 2);
+        let lego = kb.domain_by_name("Lego").unwrap();
+        assert_eq!(kb.domain_entities(lego).len(), 2);
+        assert_eq!(kb.domain_name(lego), "Lego");
+        assert!(kb.domain_by_name("Fallout").is_err());
+    }
+
+    #[test]
+    fn dedup_domain_and_relation_registration() {
+        let mut b = KbBuilder::new();
+        let a = b.domain("X");
+        let a2 = b.domain("X");
+        assert_eq!(a, a2);
+        let r = b.relation("rel");
+        let r2 = b.relation("rel");
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn title_and_alias_lookup() {
+        let kb = sample_kb();
+        let hits = kb.by_title("red brick");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(kb.entity(hits[0]).title, "Red Brick");
+        assert_eq!(kb.by_alias("BIG RED").len(), 1);
+        assert!(kb.by_title("unknown").is_empty());
+    }
+
+    #[test]
+    fn token_candidates_cross_domain() {
+        let kb = sample_kb();
+        let c = kb.token_candidates("castle set", 5);
+        assert_eq!(kb.entity(c[0]).title, "Castle Set (2015)");
+    }
+
+    #[test]
+    fn neighbors_follow_triples() {
+        let kb = sample_kb();
+        let brick = kb.by_title("red brick")[0];
+        let n = kb.neighbors(brick);
+        assert_eq!(n.len(), 1);
+        assert_eq!(kb.entity(n[0].1).title, "Castle Set (2015)");
+        assert_eq!(kb.relation_name(n[0].0), "part_of");
+    }
+
+    #[test]
+    fn build_rejects_dangling_references() {
+        let mut b = KbBuilder::new();
+        let d = b.domain("D");
+        let e = b.add_entity("A", "a", d);
+        b.add_alias("ghost", EntityId(99));
+        let _ = e;
+        assert!(b.build().is_err());
+
+        let mut b2 = KbBuilder::new();
+        let d2 = b2.domain("D");
+        let e2 = b2.add_entity("A", "a", d2);
+        let r = b2.relation("r");
+        b2.add_triple(e2, r, EntityId(42));
+        assert!(b2.build().is_err());
+    }
+
+    #[test]
+    fn empty_kb_is_valid() {
+        let kb = KbBuilder::new().build().unwrap();
+        assert!(kb.is_empty());
+        assert_eq!(kb.num_domains(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of knowledge-base index consistency.
+
+use mb_kb::bm25::{Bm25Index, Bm25Params};
+use mb_kb::{EntityId, KbBuilder};
+use proptest::prelude::*;
+
+fn title_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z]{2,7}", 1..4).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn title_index_finds_every_inserted_title(titles in proptest::collection::vec(title_strategy(), 1..30)) {
+        let mut b = KbBuilder::new();
+        let d = b.domain("D");
+        let ids: Vec<EntityId> = titles
+            .iter()
+            .map(|t| b.add_entity(t, "desc words here", d))
+            .collect();
+        let kb = b.build().unwrap();
+        for (t, id) in titles.iter().zip(&ids) {
+            prop_assert!(kb.by_title(t).contains(id), "title {t:?} lost");
+            // Case-insensitive.
+            prop_assert!(kb.by_title(&t.to_uppercase()).contains(id));
+        }
+        prop_assert_eq!(kb.len(), titles.len());
+    }
+
+    #[test]
+    fn token_candidates_only_return_entities_sharing_a_token(
+        titles in proptest::collection::vec(title_strategy(), 2..20),
+        query in title_strategy(),
+    ) {
+        let mut b = KbBuilder::new();
+        let d = b.domain("D");
+        for t in &titles {
+            b.add_entity(t, "", d);
+        }
+        let kb = b.build().unwrap();
+        let qtokens: std::collections::HashSet<String> =
+            mb_text::tokenize(&query).into_iter().collect();
+        for id in kb.token_candidates(&query, 50) {
+            let title_tokens: std::collections::HashSet<String> =
+                mb_text::tokenize(&kb.entity(id).title).into_iter().collect();
+            prop_assert!(
+                !qtokens.is_disjoint(&title_tokens),
+                "candidate shares no token with the query"
+            );
+        }
+    }
+
+    #[test]
+    fn bm25_scores_are_positive_and_only_for_matching_docs(
+        docs in proptest::collection::vec(title_strategy(), 1..20),
+        query in title_strategy(),
+    ) {
+        let ix = Bm25Index::build(
+            docs.iter()
+                .enumerate()
+                .map(|(i, t)| (EntityId(i as u32), t.as_str())),
+            Bm25Params::default(),
+        );
+        let qtokens: std::collections::HashSet<String> =
+            mb_text::tokenize(&query).into_iter().collect();
+        for (id, score) in ix.top_k(&query, docs.len()) {
+            prop_assert!(score > 0.0);
+            let doc_tokens: std::collections::HashSet<String> =
+                mb_text::tokenize(&docs[id.0 as usize]).into_iter().collect();
+            prop_assert!(!qtokens.is_disjoint(&doc_tokens));
+        }
+    }
+}

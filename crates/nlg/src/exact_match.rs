@@ -1,0 +1,119 @@
+//! Exact ("name") matching — the first stage of synthetic supervision.
+//!
+//! Following Le et al. (and the paper's Section IV-A), mentions in
+//! unlabeled target text whose surface matches an entity title exactly
+//! are linked to that entity. This yields *trivial* pairs (mention ==
+//! title → surface-shortcut bias) and a small number of *wrong* pairs:
+//! a surface that equals the bare base of an ambiguity group links to
+//! the bare-base entity even when the text is about the disambiguated
+//! sibling (the Table II failure mode). Both defects are exactly what
+//! mention rewriting and meta-learning repair downstream.
+
+use crate::generate::{SynPair, SynSource};
+use mb_common::Rng;
+use mb_datagen::mentions::generate_mentions;
+use mb_datagen::world::{DomainInfo, World};
+
+/// Scan `volume` occurrences of in-domain text for title matches.
+///
+/// The occurrences are drawn from the same generative process as gold
+/// mentions (they *are* real usages — we just pretend the labels are
+/// unknown and recover them by name matching). Each pair records the
+/// matched label and, for noise-analysis harnesses only, the true
+/// entity. Occurrences whose surface matches no in-domain title are
+/// discarded, exactly like the heuristic in the paper.
+pub fn exact_match_pairs(
+    world: &World,
+    domain: &DomainInfo,
+    volume: usize,
+    rng: &mut Rng,
+) -> Vec<SynPair> {
+    let occurrences = generate_mentions(world, domain, volume, rng);
+    let mut out = Vec::new();
+    for occ in occurrences.mentions {
+        let hits = world.kb().by_title(&occ.surface);
+        // Restrict to the target domain's dictionary.
+        let hit = hits
+            .iter()
+            .copied()
+            .find(|&id| world.kb().entity(id).domain == domain.id);
+        let Some(matched) = hit else { continue };
+        let true_entity = occ.entity;
+        let mut mention = occ;
+        mention.entity = matched;
+        // Category must reflect the *labeled* entity's title.
+        mention.category =
+            mb_text::overlap::classify(&mention.surface, &world.kb().entity(matched).title);
+        out.push(SynPair { mention, true_entity, source: SynSource::ExactMatch });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_datagen::{World, WorldConfig};
+    use mb_text::OverlapCategory;
+
+    fn setup() -> (World, Vec<SynPair>) {
+        let world = World::generate(WorldConfig::tiny(31));
+        let domain = world.domain("TargetX").clone();
+        let mut rng = Rng::seed_from_u64(4);
+        let pairs = exact_match_pairs(&world, &domain, 600, &mut rng);
+        (world, pairs)
+    }
+
+    #[test]
+    fn produces_pairs_with_title_matching_surfaces() {
+        let (world, pairs) = setup();
+        assert!(pairs.len() > 30, "only {} exact-match pairs", pairs.len());
+        for p in &pairs {
+            let hits = world.kb().by_title(&p.mention.surface);
+            assert!(hits.contains(&p.mention.entity));
+        }
+    }
+
+    #[test]
+    fn labels_are_high_overlap_against_matched_title() {
+        let (_, pairs) = setup();
+        for p in &pairs {
+            assert_eq!(p.mention.category, OverlapCategory::HighOverlap);
+        }
+    }
+
+    #[test]
+    fn contains_organic_noise_from_ambiguity_groups() {
+        let (_, pairs) = setup();
+        let wrong = pairs.iter().filter(|p| p.mention.entity != p.true_entity).count();
+        // Ambiguity groups guarantee some mislinks, but they must be the
+        // minority.
+        assert!(wrong > 0, "expected some wrong exact matches");
+        assert!(wrong * 3 < pairs.len(), "{wrong}/{} wrong matches", pairs.len());
+    }
+
+    #[test]
+    fn low_overlap_usages_are_dropped() {
+        let (world, pairs) = setup();
+        // No surviving pair has a surface that is a Low Overlap alias of
+        // its matched entity.
+        for p in &pairs {
+            let title = &world.kb().entity(p.mention.entity).title;
+            assert_ne!(
+                mb_text::overlap::classify(&p.mention.surface, title),
+                OverlapCategory::LowOverlap
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let world = World::generate(WorldConfig::tiny(31));
+        let domain = world.domain("TargetX").clone();
+        let a = exact_match_pairs(&world, &domain, 100, &mut Rng::seed_from_u64(9));
+        let b = exact_match_pairs(&world, &domain, 100, &mut Rng::seed_from_u64(9));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mention, y.mention);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # mb-nlg
+//!
+//! Weak supervision for the target domain (the left half of the paper's
+//! Figure 2): **exact matching** plus **mention rewriting**.
+//!
+//! The paper rewrites mentions with a T5 model fine-tuned on a
+//! `summarize:` task over source-domain (description → mention) pairs,
+//! optionally adapted to the target domain with an unsupervised
+//! denoising objective (producing the better `syn*` data). T5 is not
+//! runnable on this substrate, so the rewriter here is the closest
+//! behavioural equivalent: a **learned extractive summariser** — a
+//! logistic scorer over TF-IDF / position / surface features, trained on
+//! the same source-domain supervision, whose "denoising adaptation" is a
+//! re-estimation of corpus statistics on unlabeled target text. It
+//! reproduces the three properties the rest of the system depends on:
+//! rewritten mentions (a) differ from titles, (b) are drawn from the
+//! description's salient content, and (c) move closer to the gold
+//! mention distribution, with `syn*` closer than `syn` (Table XI).
+
+#![warn(missing_docs)]
+
+pub mod exact_match;
+pub mod features;
+pub mod generate;
+pub mod rewriter;
+
+pub use exact_match::exact_match_pairs;
+pub use generate::{generate_syn, SynDataset, SynPair, SynSource};
+pub use rewriter::{Rewriter, RewriterConfig};

@@ -1,0 +1,81 @@
+//! Property-based tests of the rewriter's guarantees.
+
+use mb_common::Rng;
+use mb_nlg::rewriter::{RewriteExample, Rewriter, RewriterConfig};
+use mb_text::tfidf::TfIdf;
+use mb_text::tokenize;
+use proptest::prelude::*;
+
+fn sentence() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z]{3,8}", 3..15).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rewrites_are_short_and_drawn_from_the_description(
+        seed in 0u64..500,
+        desc in sentence(),
+        title in "[a-z]{3,8}",
+    ) {
+        let stats = TfIdf::fit([desc.as_str()]);
+        let examples = vec![RewriteExample {
+            description: desc.clone(),
+            title: title.clone(),
+            mention: tokenize(&desc).first().cloned().unwrap_or_default(),
+        }];
+        let mut rng = Rng::seed_from_u64(seed);
+        let cfg = RewriterConfig { epochs: 3, ..Default::default() };
+        let rw = Rewriter::train(&examples, stats, cfg, &mut rng);
+        if let Some(m) = rw.rewrite(&desc, &title, &mut rng) {
+            let toks = tokenize(&m);
+            prop_assert!(!toks.is_empty());
+            prop_assert!(toks.len() <= cfg.max_len + 1, "mention too long: {m:?}");
+            let desc_tokens: std::collections::HashSet<String> =
+                tokenize(&desc).into_iter().collect();
+            for t in toks {
+                prop_assert!(
+                    t == "the" || desc_tokens.contains(&t),
+                    "token {t:?} not from the description"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn token_scores_cover_all_content_tokens(desc in sentence(), title in "[a-z]{3,8}") {
+        let stats = TfIdf::fit([desc.as_str()]);
+        let rw = Rewriter::train(&[], stats, RewriterConfig::default(), &mut Rng::seed_from_u64(1));
+        let scored = rw.token_scores(&desc, &title);
+        let distinct_content: std::collections::HashSet<String> = tokenize(&desc)
+            .into_iter()
+            .filter(|t| !mb_text::stopwords::is_stopword(t))
+            .collect();
+        prop_assert_eq!(scored.len(), distinct_content.len());
+        for (t, pos, z) in scored {
+            prop_assert!(distinct_content.contains(&t));
+            prop_assert!(z.is_finite());
+            prop_assert!(pos < tokenize(&desc).len());
+        }
+    }
+
+    #[test]
+    fn adaptation_is_monotone_in_corpus_size(
+        docs in proptest::collection::vec(sentence(), 1..6),
+    ) {
+        let rw = Rewriter::train(
+            &[],
+            TfIdf::fit(["base corpus document"]),
+            RewriterConfig::default(),
+            &mut Rng::seed_from_u64(2),
+        );
+        let adapted = rw.adapt(docs.iter().map(String::as_str));
+        prop_assert_eq!(
+            adapted.stats().num_docs(),
+            rw.stats().num_docs() + docs.len() as u64
+        );
+        // Weights are untouched by adaptation.
+        prop_assert_eq!(rw.weights(), adapted.weights());
+    }
+}

@@ -1,0 +1,103 @@
+//! Finite-difference gradient verification.
+//!
+//! Used by this crate's own op tests and — crucially — by `mb-core`'s
+//! meta-gradient tests, which verify the analytic reduction of Eq. 12
+//! against central differences of the full bilevel objective.
+
+use crate::params::{GradVec, ParamId, Params};
+use crate::tensor::Tensor;
+
+/// Central-difference gradient of `f` with respect to a single tensor.
+pub fn numeric_grad_tensor(f: &mut dyn FnMut(&Tensor) -> f64, x: &Tensor, eps: f64) -> Tensor {
+    let mut g = Tensor::zeros(x.shape().to_vec());
+    for i in 0..x.numel() {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        g.data_mut()[i] = (f(&xp) - f(&xm)) / (2.0 * eps);
+    }
+    g
+}
+
+/// Central-difference gradient of `f` with respect to every parameter
+/// in `params`, returned in parameter order.
+pub fn numeric_grad_params(
+    f: &mut dyn FnMut(&Params) -> f64,
+    params: &Params,
+    eps: f64,
+) -> GradVec {
+    let mut out = Vec::with_capacity(params.len());
+    for pi in 0..params.len() {
+        let id = ParamId(pi);
+        let shape = params.get(id).shape().to_vec();
+        let mut g = Tensor::zeros(shape);
+        for i in 0..params.get(id).numel() {
+            let mut pp = params.clone();
+            pp.get_mut(id).data_mut()[i] += eps;
+            let mut pm = params.clone();
+            pm.get_mut(id).data_mut()[i] -= eps;
+            g.data_mut()[i] = (f(&pp) - f(&pm)) / (2.0 * eps);
+        }
+        out.push(g);
+    }
+    GradVec::from_tensors(out)
+}
+
+/// Maximum elementwise relative error between analytic and numeric
+/// gradients (relative to `max(1, |a|, |b|)`).
+pub fn max_rel_error(analytic: &GradVec, numeric: &GradVec) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (a, b) in analytic.iter().zip(numeric.iter()) {
+        for (&x, &y) in a.data().iter().zip(b.data()) {
+            let scale = 1.0_f64.max(x.abs()).max(y.abs());
+            worst = worst.max((x - y).abs() / scale);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    #[test]
+    fn numeric_grad_of_quadratic() {
+        let x = Tensor::vector(&[1.0, -2.0]);
+        let g = numeric_grad_tensor(&mut |x| x.data().iter().map(|v| v * v).sum(), &x, 1e-5);
+        assert!((g.data()[0] - 2.0).abs() < 1e-6);
+        assert!((g.data()[1] + 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn params_gradcheck_matches_autodiff() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::matrix(&[&[0.3, -0.4], &[0.1, 0.9]]));
+        let b = params.add("b", Tensor::vector(&[0.2, -0.1]));
+        let _ = (w, b);
+
+        let mut loss = |p: &Params| -> f64 {
+            let mut tape = Tape::new();
+            let vars = p.inject(&mut tape);
+            let x = tape.leaf(Tensor::matrix(&[&[1.0, 2.0], &[-1.0, 0.5]]));
+            let y = tape.linear(x, vars[0], vars[1]);
+            let h = tape.tanh(y);
+            let l = tape.mean_all(h);
+            tape.value(l).item()
+        };
+
+        let numeric = numeric_grad_params(&mut loss, &params, 1e-5);
+        let analytic = {
+            let mut tape = Tape::new();
+            let vars = params.inject(&mut tape);
+            let x = tape.leaf(Tensor::matrix(&[&[1.0, 2.0], &[-1.0, 0.5]]));
+            let y = tape.linear(x, vars[0], vars[1]);
+            let h = tape.tanh(y);
+            let l = tape.mean_all(h);
+            let grads = tape.backward(l);
+            params.collect_grads(&vars, &grads)
+        };
+        assert!(max_rel_error(&analytic, &numeric) < 1e-6);
+    }
+}

@@ -1,0 +1,41 @@
+//! # mb-tensor
+//!
+//! A small, dependency-free dense tensor library with tape-based
+//! reverse-mode automatic differentiation, written for the metablink-rs
+//! reproduction of *"Effective Few-Shot Named Entity Linking by
+//! Meta-Learning"* (ICDE 2022).
+//!
+//! The paper trains BERT-scale encoders on GPUs; this crate is the
+//! CPU-scale substitute substrate. It provides exactly what the
+//! reproduction needs, implemented carefully rather than generally:
+//!
+//! * [`Tensor`] — row-major `f64` tensors with shape checking.
+//! * [`Tape`]/[`Var`] — an autodiff tape with fused operators for the
+//!   paper's losses: the in-batch negative entity-linking loss (Eq. 6),
+//!   per-row softmax cross-entropy (cross-encoder ranking), binary cross
+//!   entropy (the rewriter's span scorer), bag-of-embedding lookup with
+//!   mean pooling, and row L2-normalisation.
+//! * [`optim`] — SGD (with momentum/weight decay) and Adam.
+//! * [`params`] — named parameter collections with (de)serialization.
+//! * [`gradcheck`] — central-finite-difference gradient verification,
+//!   used extensively by this crate's tests and by `mb-core`'s
+//!   meta-gradient tests.
+//!
+//! `f64` is used throughout: the meta-learning reweighting step compares
+//! tiny gradient dot products, and double precision keeps those tests
+//! deterministic and tight.
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index loops are clearer in numeric kernels
+
+pub mod gradcheck;
+pub mod init;
+pub mod optim;
+pub mod params;
+pub mod serialize;
+pub mod tape;
+pub mod tensor;
+
+pub use params::Params;
+pub use tape::{Tape, Var};
+pub use tensor::Tensor;

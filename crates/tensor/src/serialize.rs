@@ -1,0 +1,190 @@
+//! Plain-text checkpoint format for [`Params`].
+//!
+//! The format is deliberately simple and diff-able:
+//!
+//! ```text
+//! mb-params v1
+//! param <name> <rank> <dim0> <dim1> ...
+//! <value> <value> ...
+//! ```
+//!
+//! Values are written with `{:e}` (full round-trip precision for f64 via
+//! 17 significant digits), one line per parameter.
+
+use crate::params::Params;
+use crate::tensor::Tensor;
+use mb_common::{Error, Result};
+
+const MAGIC: &str = "mb-params v1";
+
+/// Serialize parameters to the text format.
+pub fn to_string(params: &Params) -> String {
+    let mut out = String::from(MAGIC);
+    out.push('\n');
+    for (name, tensor) in params.iter() {
+        out.push_str("param ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&tensor.rank().to_string());
+        for d in tensor.shape() {
+            out.push(' ');
+            out.push_str(&d.to_string());
+        }
+        out.push('\n');
+        let mut first = true;
+        for v in tensor.data() {
+            if !first {
+                out.push(' ');
+            }
+            first = false;
+            out.push_str(&format!("{v:.17e}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse parameters from the text format.
+///
+/// # Errors
+/// Returns [`Error::Parse`] on any structural or numeric problem.
+pub fn from_string(s: &str) -> Result<Params> {
+    let mut lines = s.lines();
+    let magic = lines.next().ok_or_else(|| Error::Parse("empty checkpoint".into()))?;
+    if magic.trim() != MAGIC {
+        return Err(Error::Parse(format!("bad magic line {magic:?}")));
+    }
+    let mut params = Params::new();
+    while let Some(header) = lines.next() {
+        let header = header.trim();
+        if header.is_empty() {
+            continue;
+        }
+        let mut parts = header.split_whitespace();
+        match parts.next() {
+            Some("param") => {}
+            other => return Err(Error::Parse(format!("expected 'param', got {other:?}"))),
+        }
+        let name = parts
+            .next()
+            .ok_or_else(|| Error::Parse("param line missing name".into()))?;
+        let rank: usize = parts
+            .next()
+            .ok_or_else(|| Error::Parse("param line missing rank".into()))?
+            .parse()
+            .map_err(|e| Error::Parse(format!("bad rank: {e}")))?;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let d: usize = parts
+                .next()
+                .ok_or_else(|| Error::Parse(format!("param {name}: missing dimension")))?
+                .parse()
+                .map_err(|e| Error::Parse(format!("param {name}: bad dimension: {e}")))?;
+            shape.push(d);
+        }
+        if parts.next().is_some() {
+            return Err(Error::Parse(format!("param {name}: trailing tokens on header")));
+        }
+        let numel: usize = shape.iter().product();
+        let data_line = lines
+            .next()
+            .ok_or_else(|| Error::Parse(format!("param {name}: missing data line")))?;
+        let data: Vec<f64> = data_line
+            .split_whitespace()
+            .map(|t| {
+                t.parse::<f64>()
+                    .map_err(|e| Error::Parse(format!("param {name}: bad value {t:?}: {e}")))
+            })
+            .collect::<Result<_>>()?;
+        if data.len() != numel {
+            return Err(Error::Parse(format!(
+                "param {name}: shape {shape:?} needs {numel} values, found {}",
+                data.len()
+            )));
+        }
+        params.add(name, Tensor::from_vec(shape, data));
+    }
+    Ok(params)
+}
+
+/// Write parameters to a file.
+///
+/// # Errors
+/// Returns [`Error::Parse`] wrapping the IO failure message.
+pub fn save(params: &Params, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, to_string(params))
+        .map_err(|e| Error::Parse(format!("writing {}: {e}", path.display())))
+}
+
+/// Read parameters from a file.
+///
+/// # Errors
+/// Returns [`Error::Parse`] on IO or format problems.
+pub fn load(path: &std::path::Path) -> Result<Params> {
+    let s = std::fs::read_to_string(path)
+        .map_err(|e| Error::Parse(format!("reading {}: {e}", path.display())))?;
+    from_string(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_common::Rng;
+
+    fn sample() -> Params {
+        let mut rng = Rng::seed_from_u64(42);
+        let mut p = Params::new();
+        p.add("emb", Tensor::randn(vec![4, 3], 0.0, 1.0, &mut rng));
+        p.add("w1", Tensor::randn(vec![3, 2], 0.0, 0.3, &mut rng));
+        p.add("b1", Tensor::vector(&[0.0, -1.5]));
+        p.add("scalar", Tensor::scalar(std::f64::consts::PI));
+        p
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let p = sample();
+        let s = to_string(&p);
+        let q = from_string(&s).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn round_trip_preserves_extreme_values() {
+        let mut p = Params::new();
+        p.add("x", Tensor::vector(&[1e-308, -1e308, 0.0, f64::MIN_POSITIVE, 1.0 / 3.0]));
+        let q = from_string(&to_string(&p)).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(from_string("nope\n").is_err());
+        assert!(from_string("").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_value_count() {
+        let s = "mb-params v1\nparam w 1 3\n1.0 2.0\n";
+        let err = from_string(s).unwrap_err();
+        assert!(err.to_string().contains("needs 3 values"));
+    }
+
+    #[test]
+    fn rejects_garbage_values() {
+        let s = "mb-params v1\nparam w 1 1\nhello\n";
+        assert!(from_string(s).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("mb_tensor_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.txt");
+        let p = sample();
+        save(&p, &path).unwrap();
+        let q = load(&path).unwrap();
+        assert_eq!(p, q);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,59 @@
+//! Property-based round-trip tests of the checkpoint format.
+
+use mb_tensor::{serialize, Params, Tensor};
+use proptest::prelude::*;
+
+fn param_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.]{0,12}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_params_round_trip_exactly(
+        specs in proptest::collection::vec(
+            (param_name(), 1usize..5, 1usize..5,
+             proptest::collection::vec(proptest::num::f64::NORMAL | proptest::num::f64::ZERO, 1..25)),
+            1..6,
+        )
+    ) {
+        let mut params = Params::new();
+        let mut used = std::collections::HashSet::new();
+        for (name, r, c, data) in specs {
+            if !used.insert(name.clone()) {
+                continue; // names must be unique
+            }
+            let numel = r * c;
+            let mut values = data;
+            values.resize(numel, 0.0);
+            params.add(&name, Tensor::from_vec(vec![r, c], values));
+        }
+        let text = serialize::to_string(&params);
+        let parsed = serialize::from_string(&text).expect("round trip parse");
+        prop_assert_eq!(parsed, params);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(garbage in ".{0,300}") {
+        // Must return Err or Ok, never panic.
+        let _ = serialize::from_string(&garbage);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_valid_input(
+        flip in 0usize..200,
+        replacement in proptest::char::range('!', '~'),
+    ) {
+        let mut params = Params::new();
+        params.add("w", Tensor::from_vec(vec![2, 2], vec![1.0, -2.5, 3.25, 0.0]));
+        let text = serialize::to_string(&params);
+        let mut chars: Vec<char> = text.chars().collect();
+        if !chars.is_empty() {
+            let idx = flip % chars.len();
+            chars[idx] = replacement;
+        }
+        let mutated: String = chars.into_iter().collect();
+        let _ = serialize::from_string(&mutated);
+    }
+}

@@ -1,0 +1,79 @@
+//! Levenshtein edit distance (character-level), used by the seed filter
+//! ("correct spelling" heuristic) and the error-analysis harness.
+
+/// Character-level Levenshtein distance between two strings.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalised edit similarity in `[0, 1]`: `1 − d/max(|a|, |b|)`;
+/// 1.0 for two empty strings.
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let denom = la.max(lb);
+    if denom == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn symmetry_and_triangle() {
+        let words = ["dragon", "dragoon", "wagon", ""];
+        for a in words {
+            for b in words {
+                assert_eq!(levenshtein(a, b), levenshtein(b, a));
+                for c in words {
+                    assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        let s = edit_similarity("dragon", "dragoon");
+        assert!(s > 0.8 && s < 1.0);
+    }
+
+    #[test]
+    fn unicode_is_char_based() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! The paper's four mention–title overlap categories (Section VI-A).
+//!
+//! Based on the string overlap between a mention and its gold entity's
+//! title, every sample falls into exactly one of:
+//!
+//! * **High Overlap** — mention text equals title text.
+//! * **Multiple Categories** — title is the mention followed by a
+//!   disambiguation phrase, e.g. mention `"SORA"` vs title
+//!   `"SORA (satellite)"`.
+//! * **Ambiguous Substring** — mention is a proper substring of the
+//!   title (but not the disambiguation pattern above).
+//! * **Low Overlap** — none of the above; the majority category in the
+//!   Zeshel test domains, and the reason pure name matching fails.
+
+use crate::tokenizer::tokenize;
+
+/// The paper's four categories, in decreasing surface overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverlapCategory {
+    /// Mention text equals title text.
+    HighOverlap,
+    /// Title = mention + parenthesised disambiguation phrase.
+    MultipleCategories,
+    /// Mention is a proper substring of the title.
+    AmbiguousSubstring,
+    /// No containment relation.
+    LowOverlap,
+}
+
+impl OverlapCategory {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OverlapCategory::HighOverlap => "High Overlap",
+            OverlapCategory::MultipleCategories => "Multiple Categories",
+            OverlapCategory::AmbiguousSubstring => "Ambiguous Substring",
+            OverlapCategory::LowOverlap => "Low Overlap",
+        }
+    }
+
+    /// All categories, for stratified reporting.
+    pub fn all() -> [OverlapCategory; 4] {
+        [
+            OverlapCategory::HighOverlap,
+            OverlapCategory::MultipleCategories,
+            OverlapCategory::AmbiguousSubstring,
+            OverlapCategory::LowOverlap,
+        ]
+    }
+}
+
+/// The title's base text before any parenthesised disambiguation phrase,
+/// or `None` if the title has no such phrase.
+pub fn title_base(title: &str) -> Option<&str> {
+    let open = title.find('(')?;
+    // Require the parenthetical to close and to be at the end.
+    let rest = title[open..].trim_end();
+    if !rest.ends_with(')') {
+        return None;
+    }
+    let base = title[..open].trim();
+    if base.is_empty() {
+        None
+    } else {
+        Some(base)
+    }
+}
+
+/// Classify a (mention, title) pair into its overlap category.
+///
+/// Comparison is on the canonical tokenized form, so case and
+/// punctuation differences do not matter.
+pub fn classify(mention: &str, title: &str) -> OverlapCategory {
+    let m = tokenize(mention);
+    let t = tokenize(title);
+    if m.is_empty() || t.is_empty() {
+        return OverlapCategory::LowOverlap;
+    }
+    if m == t {
+        return OverlapCategory::HighOverlap;
+    }
+    if let Some(base) = title_base(title) {
+        if tokenize(base) == m {
+            return OverlapCategory::MultipleCategories;
+        }
+    }
+    // Proper contiguous token-subsequence containment.
+    if m.len() < t.len() && t.windows(m.len()).any(|w| w == m.as_slice()) {
+        return OverlapCategory::AmbiguousSubstring;
+    }
+    OverlapCategory::LowOverlap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_overlap() {
+        assert_eq!(classify("The Curse", "the curse"), OverlapCategory::HighOverlap);
+        assert_eq!(classify("Taku", "Taku"), OverlapCategory::HighOverlap);
+    }
+
+    #[test]
+    fn multiple_categories() {
+        assert_eq!(
+            classify("SORA", "SORA (satellite)"),
+            OverlapCategory::MultipleCategories
+        );
+        assert_eq!(
+            classify("satellite", "Satellite (series)"),
+            OverlapCategory::MultipleCategories
+        );
+    }
+
+    #[test]
+    fn ambiguous_substring() {
+        assert_eq!(
+            classify("Hanasaki", "Mr. Hanasaki"),
+            OverlapCategory::AmbiguousSubstring
+        );
+        assert_eq!(
+            classify("golden master", "the curse of the golden master"),
+            OverlapCategory::AmbiguousSubstring
+        );
+    }
+
+    #[test]
+    fn low_overlap() {
+        assert_eq!(
+            classify("the fourth episode", "The Curse of the Golden Master"),
+            OverlapCategory::LowOverlap
+        );
+        // Non-contiguous subsequence is NOT a substring.
+        assert_eq!(classify("curse master", "curse of the master"), OverlapCategory::LowOverlap);
+    }
+
+    #[test]
+    fn empty_inputs_are_low_overlap() {
+        assert_eq!(classify("", "title"), OverlapCategory::LowOverlap);
+        assert_eq!(classify("mention", ""), OverlapCategory::LowOverlap);
+    }
+
+    #[test]
+    fn title_base_extraction() {
+        assert_eq!(title_base("SORA (satellite)"), Some("SORA"));
+        assert_eq!(title_base("Foo Bar (x y)"), Some("Foo Bar"));
+        assert_eq!(title_base("No Parens"), None);
+        assert_eq!(title_base("(only parens)"), None);
+        assert_eq!(title_base("Trailing (open"), None);
+    }
+
+    #[test]
+    fn disambiguation_beats_substring() {
+        // Mention equals the base: must be MultipleCategories even though
+        // it is also a substring.
+        assert_eq!(
+            classify("sora", "SORA (satellite)"),
+            OverlapCategory::MultipleCategories
+        );
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            OverlapCategory::all().iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

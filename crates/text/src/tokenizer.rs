@@ -1,0 +1,84 @@
+//! Lowercasing word tokenizer.
+//!
+//! Splits on anything that is not alphanumeric, lowercases ASCII, and
+//! keeps digit runs as tokens. Parenthesised disambiguation phrases —
+//! `"SORA (satellite)"` — survive as separate tokens, which the overlap
+//! classifier and the self-match seed miner rely on.
+
+/// Tokenize text into lowercase alphanumeric tokens.
+///
+/// # Examples
+/// ```
+/// use mb_text::tokenize;
+/// assert_eq!(tokenize("The Curse-of the GOLDEN Master!"),
+///            vec!["the", "curse", "of", "the", "golden", "master"]);
+/// assert_eq!(tokenize("SORA (satellite)"), vec!["sora", "satellite"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lower in ch.to_lowercase() {
+                current.push(lower);
+            }
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Join tokens back into a canonical single-space string.
+pub fn detokenize(tokens: &[String]) -> String {
+    tokens.join(" ")
+}
+
+/// Tokenize and keep only tokens of at least `min_len` characters.
+pub fn tokenize_min_len(text: &str, min_len: usize) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| t.chars().count() >= min_len)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(tokenize("Hello, World"), vec!["hello", "world"]);
+        assert_eq!(tokenize("a-b_c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(tokenize("season 3 episode 4"), vec!["season", "3", "episode", "4"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Übermensch Café"), vec!["übermensch", "café"]);
+    }
+
+    #[test]
+    fn detokenize_round_trip_on_canonical_text() {
+        let text = "the fourth episode";
+        assert_eq!(detokenize(&tokenize(text)), text);
+    }
+
+    #[test]
+    fn min_len_filter() {
+        assert_eq!(tokenize_min_len("a an the cat", 3), vec!["the", "cat"]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Vocabulary interning.
+//!
+//! Maps tokens to dense `u32` ids for the embedding tables. Id 0 is
+//! always `<unk>`; unknown tokens at encode time map there, which is how
+//! the encoders behave on out-of-domain words (the paper's premise is
+//! exactly that target domains contain unseen vocabulary).
+
+use std::collections::HashMap;
+
+/// Reserved id for unknown tokens.
+pub const UNK: u32 = 0;
+
+/// A frozen token → id mapping built from corpus counts.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    token_to_id: HashMap<String, u32>,
+    id_to_token: Vec<String>,
+}
+
+/// Incremental builder counting token frequencies before freezing.
+#[derive(Debug, Clone, Default)]
+pub struct VocabBuilder {
+    counts: HashMap<String, u64>,
+}
+
+impl VocabBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        VocabBuilder::default()
+    }
+
+    /// Count one token occurrence.
+    pub fn add(&mut self, token: &str) {
+        *self.counts.entry(token.to_string()).or_insert(0) += 1;
+    }
+
+    /// Count every token in a pre-tokenized sequence.
+    pub fn add_tokens(&mut self, tokens: &[String]) {
+        for t in tokens {
+            self.add(t);
+        }
+    }
+
+    /// Count every token of a raw text.
+    pub fn add_text(&mut self, text: &str) {
+        for t in crate::tokenizer::tokenize(text) {
+            *self.counts.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// Freeze into a [`Vocab`], keeping tokens with at least `min_count`
+    /// occurrences. Ordering is by descending count then lexicographic,
+    /// which makes the vocabulary (and thus every downstream model)
+    /// deterministic.
+    pub fn build(self, min_count: u64) -> Vocab {
+        let mut entries: Vec<(String, u64)> = self
+            .counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut vocab = Vocab {
+            token_to_id: HashMap::with_capacity(entries.len() + 1),
+            id_to_token: Vec::with_capacity(entries.len() + 1),
+        };
+        vocab.push("<unk>");
+        for (token, _) in entries {
+            vocab.push(&token);
+        }
+        vocab
+    }
+}
+
+impl Vocab {
+    fn push(&mut self, token: &str) {
+        let id = self.id_to_token.len() as u32;
+        self.id_to_token.push(token.to_string());
+        self.token_to_id.insert(token.to_string(), id);
+    }
+
+    /// Vocabulary size including `<unk>`.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True only for a freshly-defaulted vocab with no `<unk>` entry.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// The id of a token, or [`UNK`].
+    pub fn id(&self, token: &str) -> u32 {
+        self.token_to_id.get(token).copied().unwrap_or(UNK)
+    }
+
+    /// True if the token is in-vocabulary.
+    pub fn contains(&self, token: &str) -> bool {
+        self.token_to_id.contains_key(token)
+    }
+
+    /// The token string for an id.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids.
+    pub fn token(&self, id: u32) -> &str {
+        &self.id_to_token[id as usize]
+    }
+
+    /// Encode a raw text into ids (unknowns map to [`UNK`]).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        crate::tokenizer::tokenize(text)
+            .iter()
+            .map(|t| self.id(t))
+            .collect()
+    }
+
+    /// Encode pre-tokenized tokens into ids.
+    pub fn encode_tokens(&self, tokens: &[String]) -> Vec<u32> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+
+    /// Fraction of tokens in `text` that are out-of-vocabulary — a cheap
+    /// domain-gap proxy used by the seed filter.
+    pub fn oov_rate(&self, text: &str) -> f64 {
+        let ids = self.encode(text);
+        if ids.is_empty() {
+            return 0.0;
+        }
+        ids.iter().filter(|&&i| i == UNK).count() as f64 / ids.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vocab {
+        let mut b = VocabBuilder::new();
+        b.add_text("the cat sat on the mat the cat");
+        b.build(1)
+    }
+
+    #[test]
+    fn unk_is_id_zero() {
+        let v = sample();
+        assert_eq!(v.id("<unk>"), UNK);
+        assert_eq!(v.token(UNK), "<unk>");
+        assert_eq!(v.id("zebra"), UNK);
+    }
+
+    #[test]
+    fn frequency_then_lexicographic_order() {
+        let v = sample();
+        // "the" (3) then "cat" (2) then {mat, on, sat} alphabetical.
+        assert_eq!(v.token(1), "the");
+        assert_eq!(v.token(2), "cat");
+        assert_eq!(v.token(3), "mat");
+        assert_eq!(v.token(4), "on");
+        assert_eq!(v.token(5), "sat");
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let mut b = VocabBuilder::new();
+        b.add_text("aaa aaa bbb");
+        let v = b.build(2);
+        assert!(v.contains("aaa"));
+        assert!(!v.contains("bbb"));
+    }
+
+    #[test]
+    fn encode_maps_unknowns() {
+        let v = sample();
+        let ids = v.encode("the dog");
+        assert_eq!(ids, vec![v.id("the"), UNK]);
+    }
+
+    #[test]
+    fn oov_rate_bounds() {
+        let v = sample();
+        assert_eq!(v.oov_rate(""), 0.0);
+        assert_eq!(v.oov_rate("the cat"), 0.0);
+        assert_eq!(v.oov_rate("zebra quagga"), 1.0);
+        let half = v.oov_rate("the zebra");
+        assert!((half - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let v1 = sample();
+        let v2 = sample();
+        for id in 0..v1.len() as u32 {
+            assert_eq!(v1.token(id), v2.token(id));
+        }
+    }
+}

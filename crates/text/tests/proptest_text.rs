@@ -1,0 +1,95 @@
+//! Property-based tests of the text substrate.
+
+use mb_text::edit::levenshtein;
+use mb_text::overlap::{classify, OverlapCategory};
+use mb_text::rouge::{rouge_1, rouge_l};
+use mb_text::tokenizer::{detokenize, tokenize};
+use mb_text::vocab::VocabBuilder;
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+fn words(max: usize) -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(word(), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tokenize_detokenize_round_trip(ws in words(8)) {
+        let text = ws.join(" ");
+        let toks = tokenize(&text);
+        prop_assert_eq!(&toks, &ws);
+        prop_assert_eq!(tokenize(&detokenize(&toks)), toks);
+    }
+
+    #[test]
+    fn tokenize_never_panics_and_is_lowercase(s in ".{0,120}") {
+        for t in tokenize(&s) {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+            // Lowercasing is idempotent (some chars, e.g. mathematical
+            // capitals, have no lowercase mapping and stay as-is).
+            prop_assert_eq!(t.to_lowercase(), t);
+        }
+    }
+
+    #[test]
+    fn levenshtein_is_a_metric(a in "[a-z]{0,10}", b in "[a-z]{0,10}", c in "[a-z]{0,10}") {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        // Bounded by the longer string.
+        prop_assert!(levenshtein(&a, &b) <= a.chars().count().max(b.chars().count()));
+    }
+
+    #[test]
+    fn rouge_scores_are_bounded_and_reflexive(a in words(6), b in words(6)) {
+        let ta = a.join(" ");
+        let tb = b.join(" ");
+        for s in [rouge_1(&ta, &tb), rouge_l(&ta, &tb)] {
+            prop_assert!((0.0..=1.0).contains(&s.precision));
+            prop_assert!((0.0..=1.0).contains(&s.recall));
+            prop_assert!((0.0..=1.0).contains(&s.f1));
+        }
+        prop_assert!((rouge_1(&ta, &ta).f1 - 1.0).abs() < 1e-12);
+        // Unigram ROUGE F1 is symmetric.
+        let ab = rouge_1(&ta, &tb).f1;
+        let ba = rouge_1(&tb, &ta).f1;
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_classification_is_total_and_consistent(m in words(4), t in words(4)) {
+        let mention = m.join(" ");
+        let title = t.join(" ");
+        let cat = classify(&mention, &title);
+        if tokenize(&mention) == tokenize(&title) {
+            prop_assert_eq!(cat, OverlapCategory::HighOverlap);
+        }
+        if cat == OverlapCategory::HighOverlap {
+            prop_assert_eq!(tokenize(&mention), tokenize(&title));
+        }
+    }
+
+    #[test]
+    fn vocab_encode_ids_are_in_range(docs in proptest::collection::vec(words(10), 1..6)) {
+        let mut b = VocabBuilder::new();
+        for d in &docs {
+            b.add_text(&d.join(" "));
+        }
+        let v = b.build(1);
+        for d in &docs {
+            for id in v.encode(&d.join(" ")) {
+                prop_assert!((id as usize) < v.len());
+                // Everything was added with min_count 1, so no UNKs.
+                prop_assert!(id != mb_text::vocab::UNK);
+            }
+        }
+        // A token never seen maps to UNK.
+        prop_assert_eq!(v.id("zzzneverseenzzz"), mb_text::vocab::UNK);
+    }
+}

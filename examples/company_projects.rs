@@ -1,0 +1,84 @@
+//! Linking mentions of internal company projects — the paper's second
+//! motivating scenario: a project dictionary whose entries are known by
+//! informal nicknames in chat/issue text (Low Overlap mentions), with
+//! no alias table to fall back on.
+//!
+//! The example inspects the synthetic-supervision pipeline itself:
+//! how exact matching seeds the data, how rewriting diversifies the
+//! surfaces, and what the meta-learning selects.
+//!
+//! ```sh
+//! cargo run --release --example company_projects
+//! ```
+
+use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::datagen::world::{DomainRole, DomainSpec, WorldConfig};
+use metablink::eval::{ContextConfig, ExperimentContext};
+use metablink::text::OverlapCategory;
+
+fn main() {
+    let world_cfg = WorldConfig {
+        seed: 77,
+        general_vocab: 400,
+        ambiguity_rate: 0.2,
+        domains: vec![
+            DomainSpec::new("Public Docs", DomainRole::Train, 400, 600, 0.3),
+            DomainSpec::new("Eng Wiki", DomainRole::Train, 400, 600, 0.3),
+            DomainSpec::new("Company Projects", DomainRole::Test, 300, 400, 0.65),
+        ],
+    };
+    println!("building the Company Projects benchmark …");
+    let ctx = ExperimentContext::build_with_world(ContextConfig::small(77), world_cfg);
+    let domain = "Company Projects";
+    let task = ctx.task(domain);
+    let split = ctx.dataset.split(domain);
+
+    // How do people actually mention projects? Mostly informally.
+    let counts = ctx.dataset.mentions(domain).category_counts();
+    let total: usize = counts.iter().sum();
+    println!("\nmention surface forms in project chatter:");
+    for (cat, c) in OverlapCategory::all().iter().zip(counts) {
+        println!("  {:<20} {:>5.1}%", cat.label(), 100.0 * c as f64 / total as f64);
+    }
+
+    // The synthetic-supervision pipeline.
+    let syn = task.syn;
+    println!(
+        "\nsynthetic supervision: {} exact-match pairs → {} rewritten pairs \
+         ({:.1}% weak-label noise)",
+        syn.exact.len(),
+        syn.rewritten.len(),
+        100.0 * syn.noise_rate()
+    );
+    println!("example rewrites (title → generated mention):");
+    for p in syn.rewritten.iter().take(4) {
+        let e = ctx.dataset.world().kb().entity(p.mention.entity);
+        println!("  {:<28} → {:?}", e.title, p.mention.surface);
+    }
+
+    // Train and inspect the meta-learning selection statistics.
+    let cfg = MetaBlinkConfig::fast_test();
+    let model = train(&task, Method::MetaBlink, DataSource::SynSeed, &cfg);
+    let m = model.evaluate(&task, &split.test);
+    println!(
+        "\nMetaBLINK on {} test mentions: R@{} {:.2}%, N.Acc {:.2}%, U.Acc {:.2}%",
+        split.test.len(),
+        cfg.linker.k,
+        m.recall_at_k,
+        m.normalized_acc,
+        m.unnormalized_acc
+    );
+    if let Some(stats) = &model.bi_meta_stats {
+        let clean: Vec<usize> = (0..task.syn.rewritten.len())
+            .filter(|&i| !task.syn.rewritten[i].is_mislabeled())
+            .collect();
+        let noisy: Vec<usize> = (0..task.syn.rewritten.len())
+            .filter(|&i| task.syn.rewritten[i].is_mislabeled())
+            .collect();
+        println!(
+            "meta-learning selection ratio: clean pairs {:.3}, mislabeled pairs {:.3}",
+            stats.mean_selection_ratio(clean),
+            stats.mean_selection_ratio(noisy)
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Document-level linking with global coherence and NIL prediction —
+//! the two extensions the paper names as future work (Section VIII),
+//! implemented in `mb-core::{coherence, nil}`.
+//!
+//! ```sh
+//! cargo run --release --example document_linking
+//! ```
+
+use metablink::common::Rng;
+use metablink::core::coherence::{compare_on_documents, CoherenceConfig};
+use metablink::core::nil::NilAwareLinker;
+use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::core::{LinkerConfig, TwoStageLinker};
+use metablink::datagen::mentions::{generate_mentions, generate_one};
+use metablink::datagen::LinkedMention;
+use metablink::eval::{ContextConfig, ExperimentContext};
+
+fn main() {
+    println!("building benchmark + training a linker …");
+    let ctx = ExperimentContext::build(ContextConfig::small(31));
+    let domain = "Forgotten Realms";
+    let task = ctx.task(domain);
+    let split = ctx.dataset.split(domain);
+    let cfg = MetaBlinkConfig::fast_test();
+    let model = train(&task, Method::MetaBlink, DataSource::SynSeed, &cfg);
+
+    let world = ctx.dataset.world();
+    let dom = world.domain(domain);
+    let linker = TwoStageLinker::new(
+        &model.bi,
+        &model.cross,
+        &ctx.vocab,
+        world.kb(),
+        world.kb().domain_entities(dom.id),
+        LinkerConfig { k: 16, ..model.linker_cfg },
+    );
+
+    // ------------------------------------------------------------------
+    // 1. Global coherence: documents mentioning related entities.
+    // ------------------------------------------------------------------
+    let dict = world.kb().domain_entities(dom.id);
+    let mut rng = Rng::seed_from_u64(3);
+    let documents: Vec<Vec<LinkedMention>> = (0..20)
+        .map(|k| {
+            let anchor = dict[(k * 5) % dict.len()];
+            let mut doc = vec![generate_one(world, dom, anchor, &mut rng)];
+            for &rel in &world.meta(anchor).related {
+                doc.push(generate_one(world, dom, rel, &mut rng));
+            }
+            doc
+        })
+        .collect();
+    let (independent, coherent, total) =
+        compare_on_documents(&linker, &documents, &CoherenceConfig::default());
+    println!(
+        "\ncoherence on {} documents ({} mentions):\n  independent linking: {}/{} correct\n  \
+         joint (coherence):   {}/{} correct",
+        documents.len(),
+        total,
+        independent,
+        total,
+        coherent,
+        total
+    );
+
+    // ------------------------------------------------------------------
+    // 2. NIL prediction: mix in mentions whose entity is NOT in the KB
+    //    (here: mentions from another domain's dictionary).
+    // ------------------------------------------------------------------
+    let foreign = world.domain("Lego").clone();
+    let nil_pool = generate_mentions(world, &foreign, 120, &mut rng).mentions;
+    let (dev_link, test_link) = split.test.split_at(split.test.len() / 2);
+    let (dev_nil, test_nil) = nil_pool.split_at(60);
+
+    let calibrated = NilAwareLinker::calibrate(&linker, dev_link, dev_nil, 50);
+    println!(
+        "\nNIL threshold calibrated on dev: {:.3}",
+        calibrated.threshold()
+    );
+    let with_nil = calibrated.evaluate(test_link, test_nil);
+    let never = NilAwareLinker::with_threshold(&linker, f64::NEG_INFINITY)
+        .evaluate(test_link, test_nil);
+    println!(
+        "mixed test set ({} linkable + {} NIL mentions):",
+        test_link.len(),
+        test_nil.len()
+    );
+    println!(
+        "  never-NIL linker:  P {:.3}  R {:.3}  F1 {:.3}  (NIL detection {:.3})",
+        never.precision(),
+        never.recall(),
+        never.f1(),
+        never.nil_accuracy()
+    );
+    println!(
+        "  calibrated linker: P {:.3}  R {:.3}  F1 {:.3}  (NIL detection {:.3})",
+        with_nil.precision(),
+        with_nil.recall(),
+        with_nil.f1(),
+        with_nil.nil_accuracy()
+    );
+}

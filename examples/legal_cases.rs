@@ -1,0 +1,62 @@
+//! Few-shot linking in a custom specialised dictionary — the paper's
+//! motivating "legal cases" scenario: a domain-specific entity
+//! dictionary with no alias tables, no popularity statistics, and only
+//! a handful of labeled examples.
+//!
+//! This example builds a world whose target domain stands in for a
+//! legal-case dictionary, shows that name matching and seed-only
+//! training fail, and that the weak-supervision + meta-learning
+//! pipeline recovers most of the lost accuracy.
+//!
+//! ```sh
+//! cargo run --release --example legal_cases
+//! ```
+
+use metablink::core::baselines::name_matching_accuracy;
+use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::datagen::world::{DomainRole, DomainSpec, WorldConfig};
+use metablink::eval::{ContextConfig, ExperimentContext};
+
+fn main() {
+    // A bespoke world: two rich source domains (general news-like
+    // corpora) and one "Legal Cases" target dictionary. The large gap
+    // (0.7) models legal jargon that barely overlaps ordinary text.
+    let world_cfg = WorldConfig {
+        seed: 2026,
+        general_vocab: 400,
+        ambiguity_rate: 0.15,
+        domains: vec![
+            DomainSpec::new("News Archive", DomainRole::Train, 400, 600, 0.35),
+            DomainSpec::new("Business Register", DomainRole::Train, 400, 600, 0.35),
+            DomainSpec::new("Legal Cases", DomainRole::Test, 350, 400, 0.70),
+        ],
+    };
+    println!("building the Legal Cases benchmark …");
+    let ctx = ExperimentContext::build_with_world(ContextConfig::small(2026), world_cfg);
+    let domain = "Legal Cases";
+    let task = ctx.task(domain);
+    let split = ctx.dataset.split(domain);
+    println!(
+        "dictionary: {} cases; labeled examples: {}; unlabeled test mentions: {}",
+        ctx.dataset.world().kb().domain_entities(task.domain.id).len(),
+        split.seed.len(),
+        split.test.len()
+    );
+
+    let cfg = MetaBlinkConfig::fast_test();
+    let nm = name_matching_accuracy(ctx.dataset.world().kb(), task.domain.id, &split.test);
+    println!("\n{:<28} U.Acc = {nm:>6.2}%", "Name Matching");
+
+    for (label, method, source) in [
+        ("BLINK (50 labeled only)", Method::Blink, DataSource::Seed),
+        ("BLINK (synthetic only)", Method::Blink, DataSource::Syn),
+        ("MetaBLINK (syn + 50 seed)", Method::MetaBlink, DataSource::SynSeed),
+    ] {
+        let m = train(&task, method, source, &cfg).evaluate(&task, &split.test);
+        println!("{:<28} U.Acc = {:>6.2}%  (R@{} {:.2}%, N.Acc {:.2}%)",
+            label, m.unnormalized_acc, cfg.linker.k, m.recall_at_k, m.normalized_acc);
+    }
+    println!("\nThe few labeled cases alone cannot train the linker; the synthetic\n\
+              supervision generated from the case descriptions plus the\n\
+              meta-learning reweighting recovers usable accuracy.");
+}

@@ -1,0 +1,63 @@
+//! Zero-shot domain transfer: no labeled in-domain data at all.
+//!
+//! The seed set is *mined* instead of labeled (Section VI-C): quality
+//! rules filter the synthetic pairs, and the self-match heuristic turns
+//! disambiguation-phrase titles into exact labeled mentions found in
+//! their own descriptions.
+//!
+//! ```sh
+//! cargo run --release --example zero_shot_transfer
+//! ```
+
+use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::core::seed::{mine_zero_shot_seed, self_match_seeds, SeedFilterConfig};
+use metablink::eval::{ContextConfig, ExperimentContext};
+
+fn main() {
+    println!("building benchmark …");
+    let ctx = ExperimentContext::build(ContextConfig::small(5));
+    let domain = "YuGiOh";
+    let world = ctx.dataset.world();
+    let dom = world.domain(domain);
+
+    // Mine the seed.
+    let self_matched = self_match_seeds(world.kb(), world.kb().domain_entities(dom.id));
+    println!(
+        "self-match mining found {} exact in-description mentions; examples:",
+        self_matched.len()
+    );
+    for s in self_matched.iter().take(3) {
+        println!("  {:?} inside the description of {:?}",
+            s.surface, world.kb().entity(s.entity).title);
+    }
+    let mined = mine_zero_shot_seed(
+        world.kb(),
+        &ctx.vocab,
+        world.kb().domain_entities(dom.id),
+        &ctx.syn_of(domain).rewritten,
+        &SeedFilterConfig::default(),
+        50,
+    );
+    println!("mined seed set: {} mentions (self-match + filtered synthetic)", mined.len());
+
+    // Train with the mined seed against the labeled-seed upper bound.
+    let cfg = MetaBlinkConfig::fast_test();
+    let test = &ctx.dataset.split(domain).test;
+
+    let task_zero = ctx.task_with_seed(domain, &mined);
+    let zero = train(&task_zero, Method::MetaBlink, DataSource::GeneralSynSeed, &cfg)
+        .evaluate(&task_zero, test);
+
+    let task_few = ctx.task(domain); // the real 50-sample seed
+    let few = train(&task_few, Method::MetaBlink, DataSource::GeneralSynSeed, &cfg)
+        .evaluate(&task_few, test);
+
+    let baseline = train(&task_zero, Method::Blink, DataSource::General, &cfg)
+        .evaluate(&task_zero, test);
+
+    println!("\nU.Acc on {} unlabeled test mentions:", test.len());
+    println!("  BLINK, general-domain training only  {:>6.2}%", baseline.unnormalized_acc);
+    println!("  MetaBLINK, mined (zero-shot) seed    {:>6.2}%", zero.unnormalized_acc);
+    println!("  MetaBLINK, labeled (few-shot) seed   {:>6.2}%", few.unnormalized_acc);
+    println!("\nmined seeds recover much of the few-shot gain without any labeling.");
+}

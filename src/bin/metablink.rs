@@ -1,0 +1,294 @@
+//! `metablink` — command-line interface to the reproduction.
+//!
+//! ```text
+//! metablink generate --seed 42 --scale small
+//! metablink train    --seed 42 --scale small --domain Lego --method metablink --source syn+seed --out model_dir
+//! metablink evaluate --model model_dir
+//! metablink link     --model model_dir --left "after the duel, " --surface "the dark magician" --right " summoned a trap"
+//! ```
+//!
+//! Checkpoints are plain-text parameter files plus a manifest recording
+//! the benchmark configuration, so a model can be reloaded without
+//! shipping the (deterministically regenerable) benchmark itself.
+
+use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::core::{LinkerConfig, TwoStageLinker};
+use metablink::datagen::LinkedMention;
+use metablink::encoders::biencoder::BiEncoder;
+use metablink::encoders::crossencoder::CrossEncoder;
+use metablink::eval::{ContextConfig, ExperimentContext};
+use metablink::common::Rng;
+use metablink::tensor::serialize;
+use metablink::text::OverlapCategory;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = parse_flags(rest);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "train" => cmd_train(&opts),
+        "evaluate" => cmd_evaluate(&opts),
+        "link" => cmd_link(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+metablink — few-shot entity linking by meta-learning (ICDE 2022 reproduction)
+
+USAGE:
+  metablink generate  --seed <u64> --scale <small|bench>
+  metablink train     --seed <u64> --scale <small|bench> --domain <name>
+                      --method <blink|dl4el|metablink> --source <seed|syn|syn+seed|syn*+seed|...>
+                      --out <dir>
+  metablink evaluate  --model <dir> [--limit <n>]
+  metablink link      --model <dir> --surface <text> [--left <text>] [--right <text>] [--k <n>]";
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            map.insert(key.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    map
+}
+
+fn flag<'a>(opts: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    opts.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn context(seed: u64, scale: &str) -> Result<ExperimentContext, String> {
+    let cfg = match scale {
+        "small" => ContextConfig::small(seed),
+        "bench" => ContextConfig::bench_default(seed),
+        other => return Err(format!("unknown scale {other:?} (small|bench)")),
+    };
+    eprintln!("generating benchmark (seed {seed}, scale {scale}) …");
+    Ok(ExperimentContext::build(cfg))
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = flag(opts, "seed", "42").parse().map_err(|e| format!("--seed: {e}"))?;
+    let ctx = context(seed, flag(opts, "scale", "small"))?;
+    let world = ctx.dataset.world();
+    println!("{:<20} {:>9} {:>9} {:>9}", "domain", "entities", "mentions", "role");
+    for d in world.domains() {
+        let role = format!("{:?}", d.role);
+        println!(
+            "{:<20} {:>9} {:>9} {:>9}",
+            d.name,
+            world.kb().domain_entities(d.id).len(),
+            ctx.dataset.mentions(&d.name).len(),
+            role
+        );
+    }
+    for name in ctx.test_domains() {
+        let syn = ctx.syn_of(&name);
+        println!(
+            "synthetic[{name}]: {} exact-match pairs, {} rewritten ({:.1}% noise)",
+            syn.exact.len(),
+            syn.rewritten.len(),
+            100.0 * syn.noise_rate()
+        );
+    }
+    Ok(())
+}
+
+fn parse_method(s: &str) -> Result<Method, String> {
+    match s {
+        "blink" => Ok(Method::Blink),
+        "dl4el" => Ok(Method::Dl4el),
+        "metablink" => Ok(Method::MetaBlink),
+        other => Err(format!("unknown method {other:?}")),
+    }
+}
+
+fn parse_source(s: &str) -> Result<DataSource, String> {
+    match s.to_lowercase().as_str() {
+        "seed" => Ok(DataSource::Seed),
+        "exact" | "exact-match" => Ok(DataSource::ExactMatch),
+        "syn" => Ok(DataSource::Syn),
+        "syn*" => Ok(DataSource::SynStar),
+        "syn+seed" => Ok(DataSource::SynSeed),
+        "syn*+seed" => Ok(DataSource::SynStarSeed),
+        "general" => Ok(DataSource::General),
+        "general+seed" => Ok(DataSource::GeneralSeed),
+        "general+syn+seed" => Ok(DataSource::GeneralSynSeed),
+        "general+syn*+seed" => Ok(DataSource::GeneralSynStarSeed),
+        other => Err(format!("unknown source {other:?}")),
+    }
+}
+
+/// Manifest tying a checkpoint to its (regenerable) benchmark.
+struct Manifest {
+    seed: u64,
+    scale: String,
+    domain: String,
+}
+
+impl Manifest {
+    fn save(&self, dir: &Path) -> Result<(), String> {
+        let text = format!("seed={}\nscale={}\ndomain={}\n", self.seed, self.scale, self.domain);
+        std::fs::write(dir.join("manifest.txt"), text).map_err(|e| e.to_string())
+    }
+
+    fn load(dir: &Path) -> Result<Manifest, String> {
+        let text = std::fs::read_to_string(dir.join("manifest.txt")).map_err(|e| e.to_string())?;
+        let mut map = HashMap::new();
+        for line in text.lines() {
+            if let Some((k, v)) = line.split_once('=') {
+                map.insert(k.to_string(), v.to_string());
+            }
+        }
+        Ok(Manifest {
+            seed: map
+                .get("seed")
+                .and_then(|s| s.parse().ok())
+                .ok_or("manifest: bad seed")?,
+            scale: map.get("scale").cloned().ok_or("manifest: missing scale")?,
+            domain: map.get("domain").cloned().ok_or("manifest: missing domain")?,
+        })
+    }
+}
+
+fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = flag(opts, "seed", "42").parse().map_err(|e| format!("--seed: {e}"))?;
+    let scale = flag(opts, "scale", "small").to_string();
+    let domain = flag(opts, "domain", "Lego").to_string();
+    let method = parse_method(flag(opts, "method", "metablink"))?;
+    let source = parse_source(flag(opts, "source", "syn+seed"))?;
+    let out = PathBuf::from(flag(opts, "out", "metablink_model"));
+
+    let ctx = context(seed, &scale)?;
+    if !ctx.test_domains().contains(&domain) {
+        return Err(format!("{domain:?} is not a test domain ({:?})", ctx.test_domains()));
+    }
+    let task = ctx.task(&domain);
+    let cfg = if scale == "bench" {
+        MetaBlinkConfig::default()
+    } else {
+        MetaBlinkConfig::fast_test()
+    };
+    eprintln!("training {} on {} ({domain}) …", method.label(), source.label());
+    let model = train(&task, method, source, &cfg);
+    let metrics = model.evaluate(&task, &ctx.dataset.split(&domain).test);
+    println!(
+        "test: R@{} {:.2}%  N.Acc {:.2}%  U.Acc {:.2}%",
+        cfg.linker.k, metrics.recall_at_k, metrics.normalized_acc, metrics.unnormalized_acc
+    );
+
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    serialize::save(model.bi.params(), &out.join("biencoder.mbp")).map_err(|e| e.to_string())?;
+    serialize::save(model.cross.params(), &out.join("crossencoder.mbp"))
+        .map_err(|e| e.to_string())?;
+    Manifest { seed, scale, domain }.save(&out)?;
+    println!("model written to {}", out.display());
+    Ok(())
+}
+
+/// Rebuild the context and models from a checkpoint directory.
+fn load_model(dir: &Path) -> Result<(ExperimentContext, String, BiEncoder, CrossEncoder), String> {
+    let manifest = Manifest::load(dir)?;
+    let ctx = context(manifest.seed, &manifest.scale)?;
+    let cfg = if manifest.scale == "bench" {
+        MetaBlinkConfig::default()
+    } else {
+        MetaBlinkConfig::fast_test()
+    };
+    let mut bi = BiEncoder::new(&ctx.vocab, cfg.bi, &mut Rng::seed_from_u64(0));
+    bi.set_params(serialize::load(&dir.join("biencoder.mbp")).map_err(|e| e.to_string())?);
+    let mut cross = CrossEncoder::new(&ctx.vocab, cfg.cross, &mut Rng::seed_from_u64(0));
+    cross.set_params(serialize::load(&dir.join("crossencoder.mbp")).map_err(|e| e.to_string())?);
+    Ok((ctx, manifest.domain, bi, cross))
+}
+
+fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dir = PathBuf::from(flag(opts, "model", "metablink_model"));
+    let limit: usize = flag(opts, "limit", "0").parse().map_err(|e| format!("--limit: {e}"))?;
+    let (ctx, domain, bi, cross) = load_model(&dir)?;
+    let world = ctx.dataset.world();
+    let dom = world.domain(&domain);
+    let linker = TwoStageLinker::new(
+        &bi,
+        &cross,
+        &ctx.vocab,
+        world.kb(),
+        world.kb().domain_entities(dom.id),
+        LinkerConfig::default(),
+    );
+    let test = &ctx.dataset.split(&domain).test;
+    let test = if limit > 0 && limit < test.len() { &test[..limit] } else { test };
+    let m = linker.evaluate(test);
+    println!(
+        "{domain}: {} mentions  R@64 {:.2}%  N.Acc {:.2}%  U.Acc {:.2}%",
+        m.count, m.recall_at_k, m.normalized_acc, m.unnormalized_acc
+    );
+    Ok(())
+}
+
+fn cmd_link(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dir = PathBuf::from(flag(opts, "model", "metablink_model"));
+    let surface = flag(opts, "surface", "").to_string();
+    if surface.is_empty() {
+        return Err("--surface is required".into());
+    }
+    let left = flag(opts, "left", "").to_string();
+    let right = flag(opts, "right", "").to_string();
+    let k: usize = flag(opts, "k", "5").parse().map_err(|e| format!("--k: {e}"))?;
+
+    let (ctx, domain, bi, cross) = load_model(&dir)?;
+    let world = ctx.dataset.world();
+    let dom = world.domain(&domain);
+    let linker = TwoStageLinker::new(
+        &bi,
+        &cross,
+        &ctx.vocab,
+        world.kb(),
+        world.kb().domain_entities(dom.id),
+        LinkerConfig::default(),
+    );
+    let mention = LinkedMention {
+        left,
+        surface,
+        right,
+        entity: mb_kb::EntityId(0), // unknown; only used for gold marking
+        category: OverlapCategory::LowOverlap,
+    };
+    let retrieved = linker.candidates(&mention);
+    let set = linker.candidate_set(&mention, &retrieved);
+    let scores = cross.score(&set);
+    let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    println!("top candidates in {domain}:");
+    for (rank, (idx, score)) in ranked.into_iter().take(k).enumerate() {
+        let e = world.kb().entity(retrieved[idx].0);
+        let mut desc = e.description.clone();
+        desc.truncate(60);
+        println!("  {:>2}. {:<30} {score:>8.3}  {desc}…", rank + 1, e.title);
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # metablink
+//!
+//! Facade crate for **metablink-rs**, a full-system Rust reproduction of
+//! *"Effective Few-Shot Named Entity Linking by Meta-Learning"*
+//! (Li et al., ICDE 2022).
+//!
+//! This crate re-exports the public API of every workspace member so that
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use metablink::prelude::*;
+//!
+//! let rng = Rng::seed_from_u64(42);
+//! assert_eq!(rng.clone().next_u64(), rng.clone().next_u64());
+//! ```
+//!
+//! See the README for the quickstart and `DESIGN.md` for the system
+//! inventory and experiment index.
+
+#![warn(missing_docs)]
+
+pub use mb_common as common;
+pub use mb_core as core;
+pub use mb_datagen as datagen;
+pub use mb_encoders as encoders;
+pub use mb_eval as eval;
+pub use mb_kb as kb;
+pub use mb_nlg as nlg;
+pub use mb_tensor as tensor;
+pub use mb_text as text;
+
+/// Convenient re-exports of the most commonly used types.
+pub mod prelude {
+    pub use mb_common::{Error, Result, Rng};
+}

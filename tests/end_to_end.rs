@@ -1,0 +1,97 @@
+//! Cross-crate integration tests: the full pipeline at small scale.
+//!
+//! A single small [`ExperimentContext`] is shared across tests through
+//! a `OnceLock` so the expensive setup (world generation, rewriter
+//! training, synthetic data) runs once.
+
+use metablink::core::baselines::name_matching_accuracy;
+use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::eval::{ContextConfig, ExperimentContext};
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::build(ContextConfig::small(11)))
+}
+
+#[test]
+fn context_has_all_test_domains_and_splits() {
+    let c = ctx();
+    let domains = c.test_domains();
+    assert_eq!(domains.len(), 4);
+    for d in &domains {
+        let split = c.dataset.split(d);
+        assert_eq!(split.seed.len(), 50);
+        assert_eq!(split.dev.len(), 50);
+        assert!(!split.test.is_empty());
+        assert!(!c.syn_of(d).rewritten.is_empty());
+    }
+}
+
+#[test]
+fn metablink_end_to_end_beats_name_matching() {
+    let c = ctx();
+    let domain = "Lego";
+    let task = c.task(domain);
+    let split = c.dataset.split(domain);
+    let cfg = MetaBlinkConfig::fast_test();
+    let model = train(&task, Method::MetaBlink, DataSource::SynSeed, &cfg);
+    let metrics = model.evaluate(&task, &split.test);
+    let nm = name_matching_accuracy(c.dataset.world().kb(), task.domain.id, &split.test);
+    assert!(
+        metrics.unnormalized_acc > nm,
+        "MetaBLINK {:.2} should beat Name Matching {:.2}",
+        metrics.unnormalized_acc,
+        nm
+    );
+    // Metric identities.
+    assert!(metrics.recall_at_k >= metrics.unnormalized_acc);
+    assert!((0.0..=100.0).contains(&metrics.normalized_acc));
+    assert_eq!(metrics.count, split.test.len());
+}
+
+#[test]
+fn combining_synthetic_and_seed_does_not_hurt() {
+    // The paper's Tables V/VI: Syn+Seed dominates Seed-only. At this
+    // small integration scale we assert the non-strict version.
+    let c = ctx();
+    let domain = "YuGiOh";
+    let task = c.task(domain);
+    let split = c.dataset.split(domain);
+    let cfg = MetaBlinkConfig::fast_test();
+    let seed_only = train(&task, Method::Blink, DataSource::Seed, &cfg).evaluate(&task, &split.test);
+    let combined =
+        train(&task, Method::Blink, DataSource::SynSeed, &cfg).evaluate(&task, &split.test);
+    assert!(
+        combined.unnormalized_acc + 5.0 > seed_only.unnormalized_acc,
+        "Syn+Seed {:.2} far below Seed-only {:.2}",
+        combined.unnormalized_acc,
+        seed_only.unnormalized_acc
+    );
+}
+
+#[test]
+fn training_is_deterministic_in_the_seed() {
+    let c = ctx();
+    let domain = "Forgotten Realms";
+    let task = c.task(domain);
+    let split = c.dataset.split(domain);
+    let cfg = MetaBlinkConfig::fast_test();
+    let a = train(&task, Method::Blink, DataSource::SynSeed, &cfg).evaluate(&task, &split.test);
+    let b = train(&task, Method::Blink, DataSource::SynSeed, &cfg).evaluate(&task, &split.test);
+    assert_eq!(a.recall_at_k, b.recall_at_k);
+    assert_eq!(a.unnormalized_acc, b.unnormalized_acc);
+}
+
+#[test]
+fn dl4el_runs_and_stays_finite() {
+    let c = ctx();
+    let domain = "Star Trek";
+    let task = c.task(domain);
+    let split = c.dataset.split(domain);
+    let cfg = MetaBlinkConfig::fast_test();
+    let model = train(&task, Method::Dl4el, DataSource::SynSeed, &cfg);
+    assert!(!model.bi.params().has_non_finite());
+    let m = model.evaluate(&task, &split.test[..60.min(split.test.len())]);
+    assert!(m.unnormalized_acc.is_finite());
+}

@@ -1,0 +1,87 @@
+//! Integration tests of the future-work extensions (NIL prediction,
+//! document coherence, per-category breakdown) through the facade.
+
+use metablink::common::Rng;
+use metablink::core::coherence::{link_document, relatedness, CoherenceConfig};
+use metablink::core::nil::{NilAwareLinker, NilDecision};
+use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::core::{LinkerConfig, TwoStageLinker};
+use metablink::datagen::mentions::generate_mentions;
+use metablink::eval::{CategoryBreakdown, ContextConfig, ExperimentContext};
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::build(ContextConfig::small(17)))
+}
+
+fn model() -> &'static metablink::core::pipeline::TrainedLinker {
+    static MODEL: OnceLock<metablink::core::pipeline::TrainedLinker> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let task = ctx().task("Lego");
+        train(&task, Method::MetaBlink, DataSource::SynSeed, &MetaBlinkConfig::fast_test())
+    })
+}
+
+fn linker() -> TwoStageLinker<'static> {
+    let c = ctx();
+    let m = model();
+    let dom = c.dataset.world().domain("Lego");
+    TwoStageLinker::new(
+        &m.bi,
+        &m.cross,
+        &c.vocab,
+        c.dataset.world().kb(),
+        c.dataset.world().kb().domain_entities(dom.id),
+        LinkerConfig { k: 16, ..m.linker_cfg },
+    )
+}
+
+#[test]
+fn nil_calibration_detects_out_of_kb_mentions() {
+    let c = ctx();
+    let l = linker();
+    let split = c.dataset.split("Lego");
+    // Out-of-KB pool: mentions from a different domain.
+    let foreign = c.dataset.world().domain("YuGiOh").clone();
+    let mut rng = Rng::seed_from_u64(3);
+    let nil_pool = generate_mentions(c.dataset.world(), &foreign, 60, &mut rng).mentions;
+    let nil_aware = NilAwareLinker::calibrate(&l, &split.dev, &nil_pool[..30], 30);
+    let metrics = nil_aware.evaluate(&split.test, &nil_pool[30..]);
+    assert!(metrics.nil_accuracy() > 0.2, "NIL detection {:.3}", metrics.nil_accuracy());
+    // Decisions are well-formed.
+    match nil_aware.predict(&split.test[0]) {
+        NilDecision::Linked(_, score) => assert!(score.is_finite()),
+        NilDecision::Nil => {}
+    }
+}
+
+#[test]
+fn coherence_produces_in_dictionary_predictions() {
+    let c = ctx();
+    let l = linker();
+    let world = c.dataset.world();
+    let dom = world.domain("Lego");
+    let dict = world.kb().domain_entities(dom.id);
+    let mut rng = Rng::seed_from_u64(5);
+    let doc = generate_mentions(world, dom, 6, &mut rng).mentions;
+    let out = link_document(&l, &doc, &CoherenceConfig::default());
+    assert_eq!(out.len(), 6);
+    for o in out.into_iter().flatten() {
+        assert!(dict.contains(&o));
+    }
+    // Relatedness is symmetric-ish at the extremes.
+    assert_eq!(relatedness(world.kb(), dict[0], dict[0]), 1.0);
+}
+
+#[test]
+fn category_breakdown_partitions_the_test_set() {
+    let c = ctx();
+    let l = linker();
+    let split = c.dataset.split("Lego");
+    let b = CategoryBreakdown::evaluate(&l, &split.test);
+    let sum: usize = b.per_category.iter().map(|(_, m)| m.count).sum();
+    assert_eq!(sum, split.test.len());
+    assert!(b.shortcut_spread() >= 0.0);
+    assert!(!b.to_table("t").is_empty());
+}

@@ -1,0 +1,123 @@
+//! Integration tests of the weak-supervision chain
+//! (exact matching → rewriting → seed mining) across crates.
+
+use metablink::core::seed::{mine_zero_shot_seed, self_match_seeds, SeedFilterConfig};
+use metablink::eval::{ContextConfig, ExperimentContext};
+use metablink::nlg::SynSource;
+use metablink::text::rouge::paired_rouge1_f1;
+use metablink::text::OverlapCategory;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::build(ContextConfig::small(13)))
+}
+
+#[test]
+fn exact_match_pairs_are_trivial_and_rewritten_are_not() {
+    let c = ctx();
+    for d in c.test_domains() {
+        let syn = c.syn_of(&d);
+        assert!(syn
+            .exact
+            .iter()
+            .all(|p| p.mention.category == OverlapCategory::HighOverlap));
+        let high = syn
+            .rewritten
+            .iter()
+            .filter(|p| p.mention.category == OverlapCategory::HighOverlap)
+            .count();
+        assert!(
+            high * 2 < syn.rewritten.len().max(1),
+            "{d}: {high}/{} rewritten pairs still high-overlap",
+            syn.rewritten.len()
+        );
+    }
+}
+
+#[test]
+fn rewritten_mentions_closer_to_gold_distribution() {
+    // The Table XI invariant at integration scale: per-entity paired
+    // ROUGE-1 of syn beats exact match on most domains.
+    let c = ctx();
+    let mut wins = 0;
+    let mut total = 0;
+    for d in c.test_domains() {
+        let gold = &c.dataset.mentions(&d).mentions;
+        let syn = c.syn_of(&d);
+        fn pairs_of<'a>(
+            src: &'a [metablink::nlg::SynPair],
+            gold: &'a [metablink::datagen::LinkedMention],
+        ) -> Vec<(&'a str, &'a str)> {
+            let mut out = Vec::new();
+            for p in src {
+                for g in gold.iter().filter(|g| g.entity == p.mention.entity) {
+                    out.push((p.mention.surface.as_str(), g.surface.as_str()));
+                }
+            }
+            out
+        }
+        let exact = paired_rouge1_f1(&pairs_of(&syn.exact, gold));
+        let rewritten = paired_rouge1_f1(&pairs_of(&syn.rewritten, gold));
+        total += 1;
+        if rewritten > exact {
+            wins += 1;
+        }
+    }
+    assert!(wins * 2 > total, "syn beat exact on only {wins}/{total} domains");
+}
+
+#[test]
+fn zero_shot_seed_mining_produces_clean_labels() {
+    let c = ctx();
+    let world = c.dataset.world();
+    let d = world.domain("YuGiOh");
+    let ids = world.kb().domain_entities(d.id);
+    let self_matched = self_match_seeds(world.kb(), ids);
+    // Self-matched seeds are exact by construction.
+    for s in &self_matched {
+        assert_eq!(s.text(), world.kb().entity(s.entity).description);
+    }
+    let mined = mine_zero_shot_seed(
+        world.kb(),
+        &c.vocab,
+        ids,
+        &c.syn_of("YuGiOh").rewritten,
+        &SeedFilterConfig::default(),
+        40,
+    );
+    assert!(!mined.is_empty());
+    assert!(mined.len() <= 40);
+    for s in &mined {
+        assert_eq!(world.kb().entity(s.entity).domain, d.id);
+    }
+}
+
+#[test]
+fn syn_star_differs_from_syn_only_in_surfaces() {
+    let c = ctx();
+    let d = &c.test_domains()[0];
+    let syn = c.syn_of(d);
+    let star = c.syn_star_of(d);
+    assert_eq!(syn.rewritten.len(), star.rewritten.len());
+    let mut changed = 0;
+    for (a, b) in syn.rewritten.iter().zip(&star.rewritten) {
+        assert_eq!(a.mention.entity, b.mention.entity);
+        assert_eq!(a.mention.left, b.mention.left);
+        if a.mention.surface != b.mention.surface {
+            changed += 1;
+        }
+        assert_eq!(a.source, SynSource::Rewritten);
+    }
+    // Adaptation changes some but not all rewrites.
+    assert!(changed < syn.rewritten.len(), "all surfaces changed");
+}
+
+#[test]
+fn noise_rate_is_plausible() {
+    let c = ctx();
+    for d in c.test_domains() {
+        let rate = c.syn_of(&d).noise_rate();
+        assert!((0.0..0.5).contains(&rate), "{d}: noise rate {rate}");
+    }
+}
