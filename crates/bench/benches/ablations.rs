@@ -35,7 +35,7 @@ fn main() {
         ]);
     }
     t1.note("the two forms differ by a constant shift of the softmax support; performance is expected to be close");
-    t1.emit("ablation_loss_form");
+    mb_bench::harness::emit_table(&t1, "ablation_loss_form");
 
     // ---- Warm start and seed anchoring ------------------------------
     let mut t2 = Table::new(
@@ -62,7 +62,7 @@ fn main() {
         ]);
         eprintln!("  done: {label}");
     }
-    t2.emit("ablation_meta_variants");
+    mb_bench::harness::emit_table(&t2, "ablation_meta_variants");
 
     // ---- Seed size sweep --------------------------------------------
     let mut t3 = Table::new(
@@ -75,10 +75,11 @@ fn main() {
         let seed_slice = &full_seed[..n.min(full_seed.len())];
         let task_n = ctx.task_with_seed(domain, seed_slice);
         let cfg = mb_bench::bench_model_config(42);
-        let m = train(&task_n, Method::MetaBlink, DataSource::SynSeed, &cfg).evaluate(&task_n, test);
+        let m =
+            train(&task_n, Method::MetaBlink, DataSource::SynSeed, &cfg).evaluate(&task_n, test);
         t3.row(&[n.to_string(), format!("{:.2}", m.unnormalized_acc)]);
         eprintln!("  done: seed={n}");
     }
     t3.note("the paper selects the seed size among {10..100}; 50 is its default");
-    t3.emit("ablation_seed_size");
+    mb_bench::harness::emit_table(&t3, "ablation_seed_size");
 }

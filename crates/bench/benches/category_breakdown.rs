@@ -42,11 +42,8 @@ fn main() {
         );
         let b = CategoryBreakdown::evaluate(&linker, test);
         let mut t = b.to_table(label);
-        t.note(&format!(
-            "shortcut spread (max−min category U.Acc): {:.2}",
-            b.shortcut_spread()
-        ));
-        t.emit(file);
+        t.note(&format!("shortcut spread (max−min category U.Acc): {:.2}", b.shortcut_spread()));
+        mb_bench::harness::emit_table(&t, file);
         eprintln!("  done: {label}");
     }
 }

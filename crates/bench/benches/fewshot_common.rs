@@ -55,5 +55,5 @@ pub fn run_fewshot_table(title: &str, file: &str, domains: &[&str]) {
         "mean±std over {} model seeds; paper shape: MetaBLINK > BLINK(Syn+Seed) ~ DL4EL > BLINK(Syn) > BLINK(Seed); Name Matching weak",
         BENCH_SEEDS.len()
     ));
-    t.emit(file);
+    mb_bench::harness::emit_table(&t, file);
 }

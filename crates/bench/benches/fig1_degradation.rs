@@ -41,5 +41,5 @@ fn main() {
         eprintln!("  done: n={n}");
     }
     t.note("paper shape: steep degradation below ~100 samples — the few-shot regime");
-    t.emit("fig1_degradation");
+    mb_bench::harness::emit_table(&t, "fig1_degradation");
 }

@@ -45,14 +45,33 @@ fn main() {
     match env_u("WARM_MODE", 0) {
         0 => {}
         1 => {
-            train_biencoder(&mut model, &pairs,
-                &TrainConfig { epochs: 6, batch_size: 32, lr: 5e-3, seed: 2 });
+            train_biencoder(
+                &mut model,
+                &pairs,
+                &TrainConfig { epochs: 6, batch_size: 32, lr: 5e-3, seed: 2 },
+            );
         }
         _ => {
-            train_biencoder(&mut model, &pairs,
-                &TrainConfig { epochs: env_u("WARM_MIX_EPOCHS", 6), batch_size: 32, lr: 5e-3, seed: 2 });
-            train_biencoder(&mut model, &seed_pairs,
-                &TrainConfig { epochs: env_u("WARM_SEED_EPOCHS", 10), batch_size: 16, lr: 5e-3, seed: 3 });
+            train_biencoder(
+                &mut model,
+                &pairs,
+                &TrainConfig {
+                    epochs: env_u("WARM_MIX_EPOCHS", 6),
+                    batch_size: 32,
+                    lr: 5e-3,
+                    seed: 2,
+                },
+            );
+            train_biencoder(
+                &mut model,
+                &seed_pairs,
+                &TrainConfig {
+                    epochs: env_u("WARM_SEED_EPOCHS", 10),
+                    batch_size: 16,
+                    lr: 5e-3,
+                    seed: 3,
+                },
+            );
         }
     }
     let meta_cfg = MetaConfig {
@@ -77,8 +96,7 @@ fn main() {
     }
     let stats = train_biencoder_meta(&mut model, &pairs, &seed_pairs, &mut opt, &meta_cfg);
 
-    let normal_idx: Vec<usize> =
-        (0..tagged.len()).filter(|&i| !tagged[i].is_bad).collect();
+    let normal_idx: Vec<usize> = (0..tagged.len()).filter(|&i| !tagged[i].is_bad).collect();
     let bad_idx: Vec<usize> = (0..tagged.len()).filter(|&i| tagged[i].is_bad).collect();
     let normal = stats.mean_selection_ratio(normal_idx.iter().copied());
     let bad = stats.mean_selection_ratio(bad_idx.iter().copied());
@@ -87,16 +105,8 @@ fn main() {
         "Figure 4 — meta-learning selection ratio of normal vs injected bad data (bi-encoder, YuGiOh)",
         &["Data source", "#pairs", "Mean selection ratio"],
     );
-    t.row(&[
-        "normal (syn)".into(),
-        normal_idx.len().to_string(),
-        format!("{:.3}", normal),
-    ]);
-    t.row(&[
-        "bad (random entity)".into(),
-        bad_idx.len().to_string(),
-        format!("{:.3}", bad),
-    ]);
+    t.row(&["normal (syn)".into(), normal_idx.len().to_string(), format!("{:.3}", normal)]);
+    t.row(&["bad (random entity)".into(), bad_idx.len().to_string(), format!("{:.3}", bad)]);
     t.note(&format!(
         "paper shape: normal > bad (paper: ~0.5 vs ~0.2). Observed gap {:+.3} (ratio {:.2}x); \
          the direction reproduces, the magnitude is attenuated on this substrate — see EXPERIMENTS.md. \
@@ -105,5 +115,5 @@ fn main() {
         normal / bad.max(1e-9),
         stats.zero_weight_steps
     ));
-    t.emit("fig4_meta_selection");
+    mb_bench::harness::emit_table(&t, "fig4_meta_selection");
 }

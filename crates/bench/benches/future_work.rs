@@ -41,7 +41,9 @@ fn main() {
         "Future work — NIL prediction on a mixed test set (Lego linkable + YuGiOh out-of-KB)",
         &["Policy", "Precision", "Recall", "F1", "NIL detection"],
     );
-    for (label, nil_linker) in [("never-NIL (paper's assumption)", &never), ("calibrated threshold", &calibrated)] {
+    for (label, nil_linker) in
+        [("never-NIL (paper's assumption)", &never), ("calibrated threshold", &calibrated)]
+    {
         let m = nil_linker.evaluate(&split.test, test_nil);
         t.row(&[
             label.to_string(),
@@ -52,7 +54,7 @@ fn main() {
         ]);
     }
     t.note(&format!("calibrated score threshold: {:.3}", calibrated.threshold()));
-    t.emit("future_work_nil");
+    mb_bench::harness::emit_table(&t, "future_work_nil");
 
     // ---------------- Document coherence ----------------
     let dict = world.kb().domain_entities(dom.id);
@@ -86,5 +88,5 @@ fn main() {
         format!("{:.2}", 100.0 * coh as f64 / total as f64),
     ]);
     c.note("documents mention an anchor entity plus its KB-related entities; the coherence pass re-scores candidates by relatedness to the other mentions' picks");
-    c.emit("future_work_coherence");
+    mb_bench::harness::emit_table(&c, "future_work_coherence");
 }

@@ -1,9 +1,10 @@
-//! Criterion micro-benchmarks of the substrate hot paths: tokenizer
-//! throughput, encoder forward/training steps, exact vs partitioned
-//! top-k retrieval, one meta-reweight step vs a plain training step,
-//! and world generation.
+//! Micro-benchmarks of the substrate hot paths: tokenizer throughput,
+//! encoder forward/training steps, exact vs partitioned top-k
+//! retrieval, one meta-reweight step vs a plain training step, and
+//! world generation. Runs on the in-repo timing harness (`mb_bench::harness`)
+//! and writes `target/experiments/micro.{txt,json}`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mb_bench::harness::Harness;
 use mb_common::Rng;
 use mb_core::reweight::biencoder_meta_step;
 use mb_datagen::mentions::generate_mentions;
@@ -22,69 +23,62 @@ fn fixture() -> (World, mb_text::Vocab, Vec<TrainPair>) {
     let mut rng = Rng::seed_from_u64(3);
     let ms = generate_mentions(&world, &domain, 256, &mut rng);
     let cfg = InputConfig::default();
-    let pairs = ms
-        .mentions
-        .iter()
-        .map(|m| TrainPair::from_mention(&vocab, &cfg, world.kb(), m))
-        .collect();
+    let pairs =
+        ms.mentions.iter().map(|m| TrainPair::from_mention(&vocab, &cfg, world.kb(), m)).collect();
     (world, vocab, pairs)
 }
 
-fn bench_tokenizer(c: &mut Criterion) {
+fn bench_tokenizer(h: &mut Harness) {
     let text = "The Curse of the Golden Master is the fourth episode of the third season, \
                 which was aired on April 16 and featured the strongest duel of the year."
         .repeat(8);
-    let mut g = c.benchmark_group("tokenizer");
-    g.throughput(Throughput::Bytes(text.len() as u64));
-    g.bench_function("tokenize_1KB", |b| b.iter(|| tokenize(std::hint::black_box(&text))));
-    g.finish();
+    h.bench_units("tokenizer/tokenize_1KB", text.len() as f64, "B", || {
+        std::hint::black_box(tokenize(std::hint::black_box(&text)));
+    });
 }
 
-fn bench_encoder(c: &mut Criterion) {
+fn bench_encoder(h: &mut Harness) {
     let (_, vocab, pairs) = fixture();
-    let model = BiEncoder::new(
-        &vocab,
-        BiEncoderConfig::default(),
-        &mut Rng::seed_from_u64(1),
-    );
+    let model = BiEncoder::new(&vocab, BiEncoderConfig::default(), &mut Rng::seed_from_u64(1));
     let batch: Vec<TrainPair> = pairs[..32].to_vec();
-    let mut g = c.benchmark_group("biencoder");
-    g.throughput(Throughput::Elements(32));
-    g.bench_function("forward_loss_batch32", |b| {
-        b.iter(|| model.batch_loss(std::hint::black_box(&batch)))
+    h.bench_units("biencoder/forward_loss_batch32", 32.0, "pair", || {
+        std::hint::black_box(model.batch_loss(std::hint::black_box(&batch)));
     });
-    g.bench_function("train_step_batch32", |b| {
+    {
         let mut m = model.clone();
         let mut opt = Adam::new(1e-3);
-        b.iter(|| m.train_step(std::hint::black_box(&batch), &mut opt))
+        h.bench_units("biencoder/train_step_batch32", 32.0, "pair", || {
+            std::hint::black_box(m.train_step(std::hint::black_box(&batch), &mut opt));
+        });
+    }
+    let bags: Vec<Vec<u32>> = pairs[..64].iter().map(|p| p.entity.clone()).collect();
+    h.bench_units("biencoder/embed_entities_batch64", 64.0, "entity", || {
+        std::hint::black_box(model.embed_entities(std::hint::black_box(bags.clone())));
     });
-    g.bench_function("embed_entities_batch64", |b| {
-        let bags: Vec<Vec<u32>> = pairs[..64].iter().map(|p| p.entity.clone()).collect();
-        b.iter(|| model.embed_entities(std::hint::black_box(bags.clone())))
-    });
-    g.finish();
 }
 
-fn bench_meta_step(c: &mut Criterion) {
+fn bench_meta_step(h: &mut Harness) {
     let (_, vocab, pairs) = fixture();
-    let mut g = c.benchmark_group("meta");
     // Plain step vs one meta-reweight step at the same batch size: the
     // overhead factor is the headline cost of Algorithm 1 (the paper
     // reports 2× memory; we measure time).
-    let cfgs = [8usize, 16, 24];
-    for n in cfgs {
-        g.bench_with_input(BenchmarkId::new("plain_step", n), &n, |b, &n| {
-            let mut m = BiEncoder::new(&vocab, BiEncoderConfig::default(), &mut Rng::seed_from_u64(1));
+    for n in [8usize, 16, 24] {
+        {
+            let mut m =
+                BiEncoder::new(&vocab, BiEncoderConfig::default(), &mut Rng::seed_from_u64(1));
             let mut opt = Sgd::new(1e-3);
             let batch: Vec<TrainPair> = pairs[..n].to_vec();
-            b.iter(|| m.train_step(std::hint::black_box(&batch), &mut opt))
-        });
-        g.bench_with_input(BenchmarkId::new("meta_step", n), &n, |b, &n| {
-            let mut m = BiEncoder::new(&vocab, BiEncoderConfig::default(), &mut Rng::seed_from_u64(1));
+            h.bench(&format!("meta/plain_step/{n}"), || {
+                std::hint::black_box(m.train_step(std::hint::black_box(&batch), &mut opt));
+            });
+        }
+        {
+            let mut m =
+                BiEncoder::new(&vocab, BiEncoderConfig::default(), &mut Rng::seed_from_u64(1));
             let mut opt = Sgd::new(1e-3);
             let mut rng = Rng::seed_from_u64(5);
-            b.iter(|| {
-                biencoder_meta_step(
+            h.bench(&format!("meta/meta_step/{n}"), || {
+                std::hint::black_box(biencoder_meta_step(
                     &mut m,
                     &pairs[..128],
                     &pairs[128..160],
@@ -95,15 +89,13 @@ fn bench_meta_step(c: &mut Criterion) {
                     true,
                     true,
                     &mut rng,
-                )
-            })
-        });
+                ));
+            });
+        }
     }
-    g.finish();
 }
 
-fn bench_retrieval(c: &mut Criterion) {
-    let mut g = c.benchmark_group("retrieval_top64");
+fn bench_retrieval(h: &mut Harness) {
     for &n in &[1_000usize, 10_000, 50_000] {
         let mut rng = Rng::seed_from_u64(9);
         let mut vectors = Tensor::randn(vec![n, 32], 0.0, 1.0, &mut rng);
@@ -118,31 +110,27 @@ fn bench_retrieval(c: &mut Criterion) {
         let nlist = (n as f64).sqrt() as usize;
         let ivf = PartitionedIndex::build(vectors, ids, nlist, nlist / 8 + 1, &mut rng);
         let query: Vec<f64> = (0..32).map(|_| rng.gaussian()).collect();
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
-            b.iter(|| exact.top_k(std::hint::black_box(&query), 64))
+        h.bench_units(&format!("retrieval_top64/exact/{n}"), n as f64, "vec", || {
+            std::hint::black_box(exact.top_k(std::hint::black_box(&query), 64));
         });
-        g.bench_with_input(BenchmarkId::new("ivf_probe12%", n), &n, |b, _| {
-            b.iter(|| ivf.top_k(std::hint::black_box(&query), 64))
+        h.bench_units(&format!("retrieval_top64/ivf_probe12%/{n}"), n as f64, "vec", || {
+            std::hint::black_box(ivf.top_k(std::hint::black_box(&query), 64));
         });
     }
-    g.finish();
 }
 
-fn bench_worldgen(c: &mut Criterion) {
-    let mut g = c.benchmark_group("datagen");
-    g.bench_function("world_tiny_250_entities", |b| {
-        b.iter(|| World::generate(std::hint::black_box(WorldConfig::tiny(11))))
+fn bench_worldgen(h: &mut Harness) {
+    h.bench("datagen/world_tiny_250_entities", || {
+        std::hint::black_box(World::generate(std::hint::black_box(WorldConfig::tiny(11))));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_tokenizer,
-    bench_encoder,
-    bench_meta_step,
-    bench_retrieval,
-    bench_worldgen
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_tokenizer(&mut h);
+    bench_encoder(&mut h);
+    bench_meta_step(&mut h);
+    bench_retrieval(&mut h);
+    bench_worldgen(&mut h);
+    h.report("Micro-benchmarks — substrate hot paths", "micro");
+}

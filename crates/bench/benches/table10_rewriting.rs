@@ -28,5 +28,5 @@ fn main() {
         eprintln!("  done: {}", source.label());
     }
     t.note("paper shape: Syn beats Exact Match on both metrics in every domain (rewriting breaks the surface shortcut); Syn* edges Syn in most cells");
-    t.emit("table10_rewriting");
+    mb_bench::harness::emit_table(&t, "table10_rewriting");
 }

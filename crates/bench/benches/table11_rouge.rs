@@ -33,13 +33,8 @@ fn main() {
         let exact = 100.0 * paired_rouge1_f1(&entity_pairs(&syn.exact, gold));
         let s = 100.0 * paired_rouge1_f1(&entity_pairs(&syn.rewritten, gold));
         let ss = 100.0 * paired_rouge1_f1(&entity_pairs(&syn_star.rewritten, gold));
-        t.row(&[
-            name.clone(),
-            format!("{exact:.2}"),
-            format!("{s:.2}"),
-            format!("{ss:.2}"),
-        ]);
+        t.row(&[name.clone(), format!("{exact:.2}"), format!("{s:.2}"), format!("{ss:.2}")]);
     }
     t.note("paper shape: syn* >= syn > exact match on every domain");
-    t.emit("table11_rouge");
+    mb_bench::harness::emit_table(&t, "table11_rouge");
 }

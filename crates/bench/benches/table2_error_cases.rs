@@ -64,5 +64,5 @@ fn main() {
         }
     }
     t.note("each row: the exact-match-trained model picks a surface-similar wrong entity; the syn-trained model uses the context keywords");
-    t.emit("table2_error_cases");
+    mb_bench::harness::emit_table(&t, "table2_error_cases");
 }

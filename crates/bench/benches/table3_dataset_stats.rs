@@ -33,7 +33,7 @@ fn main() {
         ]);
     }
     t.note("generated counts are paper counts ÷40 (train/dev) and ÷10 (test); see DESIGN.md");
-    t.emit("table3_dataset_stats");
+    mb_bench::harness::emit_table(&t, "table3_dataset_stats");
 
     let mut c = Table::new(
         "Table III (b) — mention overlap categories per test domain (%)",
@@ -48,5 +48,5 @@ fn main() {
     }
     let _ = OverlapCategory::all();
     c.note("Low Overlap is the majority type, as in the paper — the reason Name Matching fails");
-    c.emit("table3b_overlap_categories");
+    mb_bench::harness::emit_table(&c, "table3b_overlap_categories");
 }

@@ -16,11 +16,7 @@ fn main() {
     ];
     for name in ctx.test_domains() {
         let s = ctx.dataset.split(&name);
-        let paper = paper_tests
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, c)| c / 4)
-            .unwrap_or(0);
+        let paper = paper_tests.iter().find(|(n, _)| *n == name).map(|(_, c)| c / 4).unwrap_or(0);
         t.row(&[
             name.clone(),
             s.seed.len().to_string(),
@@ -30,5 +26,5 @@ fn main() {
         ]);
     }
     t.note("seed/dev sizes are the paper's 50/50; test counts scaled ÷4");
-    t.emit("table4_fewshot_split");
+    mb_bench::harness::emit_table(&t, "table4_fewshot_split");
 }

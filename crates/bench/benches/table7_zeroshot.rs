@@ -59,5 +59,5 @@ fn main() {
         eprintln!("  done: {label}");
     }
     t.note("paper shape: gains over the General baseline concentrate in the large-gap domains (Lego, YuGiOh); Forgotten Realms / Star Trek move little");
-    t.emit("table7_zeroshot");
+    mb_bench::harness::emit_table(&t, "table7_zeroshot");
 }

@@ -54,5 +54,5 @@ fn main() {
         eprintln!("  done: {} {}", method.label(), source.label());
     }
     t.note("paper shape: jointly using general + synthetic + seed is best on average; general and synthetic each help alone");
-    t.emit("table9_transfer_sources");
+    mb_bench::harness::emit_table(&t, "table9_transfer_sources");
 }

@@ -32,11 +32,17 @@ fn main() {
     cfg.warm_start = env_u("WARM_START", 1) == 1;
     let task = ctx.task(&domain);
     let split = ctx.dataset.split(&domain);
-    eprintln!("domain {domain}: {} entities, syn {} pairs, test {}",
+    eprintln!(
+        "domain {domain}: {} entities, syn {} pairs, test {}",
         ctx.dataset.world().kb().domain_entities(task.domain.id).len(),
-        task.syn.rewritten.len(), split.test.len());
+        task.syn.rewritten.len(),
+        split.test.len()
+    );
     let nm = mb_core::baselines::name_matching_accuracy(
-        ctx.dataset.world().kb(), task.domain.id, &split.test);
+        ctx.dataset.world().kb(),
+        task.domain.id,
+        &split.test,
+    );
     println!("NameMatching          U.Acc {nm:.2}");
     for (method, source) in [
         (Method::Blink, DataSource::Seed),
@@ -51,7 +57,12 @@ fn main() {
         let m = model.evaluate(&task, &split.test);
         println!(
             "{:<10} {:<12} R@64 {:>6.2}  N.Acc {:>6.2}  U.Acc {:>6.2}   ({:?})",
-            method.label(), source.label(), m.recall_at_k, m.normalized_acc, m.unnormalized_acc, t.elapsed()
+            method.label(),
+            source.label(),
+            m.recall_at_k,
+            m.normalized_acc,
+            m.unnormalized_acc,
+            t.elapsed()
         );
     }
 }

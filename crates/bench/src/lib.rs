@@ -1,11 +1,15 @@
 //! # mb-bench
 //!
 //! Experiment harnesses: one bench target per table/figure of the
-//! paper (custom harness, printing paper-shaped tables and writing
-//! `target/experiments/*.txt`), plus criterion micro-benchmarks.
+//! paper (printing paper-shaped tables and writing
+//! `target/experiments/*.txt` + `*.json`), plus micro-benchmarks on
+//! the in-repo timing harness in [`harness`] — no criterion, so the
+//! whole workspace builds with no network access.
 //!
 //! This library crate holds the shared configuration so every harness
 //! measures the same models at the same scale.
+
+pub mod harness;
 
 use mb_core::pipeline::MetaBlinkConfig;
 use mb_core::reweight::MetaConfig;
@@ -30,8 +34,22 @@ pub fn bench_model_config(seed: u64) -> MetaBlinkConfig {
         cross: CrossEncoderConfig { emb_dim: 32, hidden: 32, ..Default::default() },
         bi_train: TrainConfig { epochs: 10, batch_size: 32, lr: 5e-3, seed: seed ^ 1 },
         cross_train: TrainConfig { epochs: 2, batch_size: 1, lr: 5e-3, seed: seed ^ 2 },
-        bi_meta: MetaConfig { steps: 400, syn_batch: 24, seed_batch: 16, lr: 1e-3, seed: seed ^ 3, ..Default::default() },
-        cross_meta: MetaConfig { steps: 250, syn_batch: 8, seed_batch: 6, lr: 1e-3, seed: seed ^ 4, ..Default::default() },
+        bi_meta: MetaConfig {
+            steps: 400,
+            syn_batch: 24,
+            seed_batch: 16,
+            lr: 1e-3,
+            seed: seed ^ 3,
+            ..Default::default()
+        },
+        cross_meta: MetaConfig {
+            steps: 250,
+            syn_batch: 8,
+            seed_batch: 6,
+            lr: 1e-3,
+            seed: seed ^ 4,
+            ..Default::default()
+        },
         k_train_candidates: 16,
         cross_train_cap: 500,
         seed,

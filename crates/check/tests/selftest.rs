@@ -1,0 +1,134 @@
+//! Self-tests of the mb-check framework: shrinking terminates at a
+//! known minimal counterexample, seeds are reproducible, and the macro
+//! surface works end to end.
+
+use mb_check::gen::{self, Gen};
+use mb_check::{Config, Outcome};
+use std::cell::RefCell;
+
+#[test]
+fn shrinks_vector_to_minimal_counterexample() {
+    // Known-false property: "every vector is shorter than 5". The
+    // greedy shrinker must terminate at the unique local minimum
+    // [0, 0, 0, 0, 0]: shorter vectors pass, and every element shrinks
+    // to the range's lower bound.
+    let cfg = Config::new(64);
+    let g = gen::vec_of(gen::u32_in(0..100), 0..30);
+    let outcome = mb_check::run(&cfg, "selftest::short_vecs", &g, |xs| {
+        mb_check::prop_assert!(xs.len() < 5);
+        Ok(())
+    });
+    match outcome {
+        Outcome::Failed { minimal, shrink_steps, .. } => {
+            assert_eq!(minimal, vec![0u32; 5], "not the local minimum");
+            assert!(shrink_steps < cfg.max_shrink_steps, "shrink budget exhausted");
+        }
+        Outcome::Passed { .. } => panic!("known-false property passed"),
+    }
+}
+
+#[test]
+fn shrinks_integer_to_boundary() {
+    // "x < 50" fails exactly on [50, 1000); the minimum is 50.
+    let cfg = Config::new(64);
+    let g = (gen::u64_in(0..1000),);
+    let outcome = mb_check::run(&cfg, "selftest::int_boundary", &g, |&(x,)| {
+        mb_check::prop_assert!(x < 50);
+        Ok(())
+    });
+    match outcome {
+        Outcome::Failed { minimal, .. } => assert_eq!(minimal.0, 50),
+        Outcome::Passed { .. } => panic!("known-false property passed"),
+    }
+}
+
+#[test]
+fn shrinking_handles_panicking_properties() {
+    // Panics count as failures and shrink like assertion failures.
+    let cfg = Config::new(64);
+    let g = (gen::usize_in(0..100),);
+    let outcome = mb_check::run(&cfg, "selftest::panics", &g, |&(x,)| {
+        assert!(x < 10, "boom");
+        Ok(())
+    });
+    match outcome {
+        Outcome::Failed { minimal, error, .. } => {
+            assert_eq!(minimal.0, 10);
+            assert!(error.contains("panicked"), "error was: {error}");
+        }
+        Outcome::Passed { .. } => panic!("known-false property passed"),
+    }
+}
+
+#[test]
+fn identical_seed_produces_identical_cases() {
+    let collect_with = |seed: u64| {
+        let seen: RefCell<Vec<(u64, Vec<f64>, String)>> = RefCell::new(Vec::new());
+        let cfg = Config { cases: 32, seed, max_shrink_steps: 0 };
+        let g = (
+            gen::u64_any(),
+            gen::vec_of(gen::f64_in(-3.0..3.0), 0..8),
+            gen::lowercase_string(1..=6),
+        );
+        let outcome = mb_check::run(&cfg, "selftest::determinism", &g, |v| {
+            seen.borrow_mut().push(v.clone());
+            Ok(())
+        });
+        assert!(matches!(outcome, Outcome::Passed { cases: 32 }));
+        seen.into_inner()
+    };
+    let a = collect_with(0xDEAD_BEEF);
+    let b = collect_with(0xDEAD_BEEF);
+    let c = collect_with(0xBEEF_DEAD);
+    assert_eq!(a, b, "same seed must generate the same cases");
+    assert_ne!(a, c, "different seeds should generate different cases");
+}
+
+#[test]
+fn reported_seed_replays_the_failure() {
+    // The seed in a failure report regenerates the exact same original
+    // input — this is what `MB_CHECK_SEED=<seed>` relies on.
+    let cfg = Config::new(128);
+    let g = gen::vec_of(gen::u32_in(0..50), 0..20);
+    let prop = |xs: &Vec<u32>| -> Result<(), String> {
+        mb_check::prop_assert!(xs.iter().sum::<u32>() < 60);
+        Ok(())
+    };
+    match mb_check::run(&cfg, "selftest::replay", &g, prop) {
+        Outcome::Failed { seed, original, .. } => {
+            let mut rng = mb_common::Rng::seed_from_u64(seed);
+            let regenerated = g.generate(&mut rng);
+            assert_eq!(regenerated, original);
+            assert!(prop(&regenerated).is_err(), "replayed input must still fail");
+        }
+        Outcome::Passed { .. } => panic!("expected at least one failing case"),
+    }
+}
+
+#[test]
+fn string_generators_respect_length_and_alphabet() {
+    let cfg = Config::new(256);
+    let g = (gen::lowercase_string(2..=7), gen::charset_string("abc_.", 1..=4));
+    let outcome = mb_check::run(&cfg, "selftest::strings", &g, |(w, s)| {
+        let n = w.chars().count();
+        mb_check::prop_assert!((2..=7).contains(&n), "bad length {n}");
+        mb_check::prop_assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        mb_check::prop_assert!(s.chars().all(|c| "abc_.".contains(c)));
+        Ok(())
+    });
+    assert!(matches!(outcome, Outcome::Passed { .. }));
+}
+
+// The macro surface, used exactly as the ported suites use it.
+mb_check::check! {
+    #![config(cases = 64)]
+
+    fn macro_defined_property_runs(
+        x in gen::u64_in(0..1000),
+        mut xs in gen::vec_of(gen::u32_in(0..10), 0..6),
+    ) {
+        xs.push(x as u32);
+        mb_check::prop_assert!(!xs.is_empty());
+        mb_check::prop_assert_eq!(xs.last().copied(), Some(x as u32));
+    }
+}

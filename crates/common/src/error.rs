@@ -36,11 +36,7 @@ pub enum Error {
 impl Error {
     /// Convenience constructor for [`Error::ShapeMismatch`].
     pub fn shape(op: &'static str, expected: impl Into<String>, got: impl Into<String>) -> Self {
-        Error::ShapeMismatch {
-            expected: expected.into(),
-            got: got.into(),
-            op,
-        }
+        Error::ShapeMismatch { expected: expected.into(), got: got.into(), op }
     }
 }
 
@@ -71,10 +67,7 @@ mod tests {
     #[test]
     fn display_formats() {
         let e = Error::shape("matmul", "[2, 3]", "[4, 5]");
-        assert_eq!(
-            e.to_string(),
-            "shape mismatch in matmul: expected [2, 3], got [4, 5]"
-        );
+        assert_eq!(e.to_string(), "shape mismatch in matmul: expected [2, 3], got [4, 5]");
         assert!(Error::InvalidConfig("dim must be > 0".into())
             .to_string()
             .contains("dim must be > 0"));

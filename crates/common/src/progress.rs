@@ -64,10 +64,7 @@ impl ProgressMeter {
         self.done += 1;
         if self.enabled && (self.done.is_multiple_of(self.every) || self.done == self.total) {
             let rate = self.done as f64 / self.start.elapsed().as_secs_f64().max(1e-9);
-            eprintln!(
-                "{}: {}/{} ({rate:.1}/s)",
-                self.label, self.done, self.total
-            );
+            eprintln!("{}: {}/{} ({rate:.1}/s)", self.label, self.done, self.total);
         }
     }
 

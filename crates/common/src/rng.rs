@@ -41,12 +41,8 @@ impl Rng {
     /// (0, 1, 2, ...) still yield well-separated states.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Rng { s }
     }
 
@@ -61,22 +57,15 @@ impl Rng {
             ^ self.s[2].rotate_left(31)
             ^ self.s[3].rotate_left(47)
             ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Rng { s }
     }
 
     /// Next raw 64-bit output (Xoshiro256++ scrambler).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -206,10 +195,7 @@ impl Rng {
             }
         }
         // Floating-point slack: return the last positive-weight index.
-        weights
-            .iter()
-            .rposition(|&w| w > 0.0)
-            .unwrap_or(weights.len() - 1)
+        weights.iter().rposition(|&w| w > 0.0).unwrap_or(weights.len() - 1)
     }
 
     /// Sample from a (truncated) geometric-ish length distribution in

@@ -1,22 +1,20 @@
 //! Property-based tests of the RNG and numeric utilities.
 
+use mb_check::{gen, prop_assert, prop_assert_eq};
 use mb_common::util::{argsort_desc, log_sum_exp, softmax, top_k_desc};
 use mb_common::Rng;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+mb_check::check! {
+    #![config(cases = 128)]
 
-    #[test]
-    fn below_stays_in_range(seed in any::<u64>(), n in 1usize..1000) {
+    fn below_stays_in_range(seed in gen::u64_any(), n in gen::usize_in(1..1000)) {
         let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..50 {
             prop_assert!(rng.below(n) < n);
         }
     }
 
-    #[test]
-    fn shuffle_preserves_multiset(seed in any::<u64>(), mut xs in proptest::collection::vec(0u32..100, 0..50)) {
+    fn shuffle_preserves_multiset(seed in gen::u64_any(), mut xs in gen::vec_of(gen::u32_in(0..100), 0..50)) {
         let mut rng = Rng::seed_from_u64(seed);
         let mut original = xs.clone();
         rng.shuffle(&mut xs);
@@ -25,10 +23,9 @@ proptest! {
         prop_assert_eq!(original, xs);
     }
 
-    #[test]
     fn choose_weighted_only_picks_positive_weights(
-        seed in any::<u64>(),
-        weights in proptest::collection::vec(0.0..5.0f64, 1..12),
+        seed in gen::u64_any(),
+        weights in gen::vec_of(gen::f64_in(0.0..5.0), 1..12),
     ) {
         let mut rng = Rng::seed_from_u64(seed);
         let total: f64 = weights.iter().sum();
@@ -41,8 +38,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn split_streams_are_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+    fn split_streams_are_reproducible(seed in gen::u64_any(), stream in gen::u64_any()) {
         let parent = Rng::seed_from_u64(seed);
         let mut a = parent.split(stream);
         let mut b = parent.split(stream);
@@ -51,31 +47,27 @@ proptest! {
         }
     }
 
-    #[test]
-    fn log_sum_exp_bounds(xs in proptest::collection::vec(-50.0..50.0f64, 1..20)) {
+    fn log_sum_exp_bounds(xs in gen::vec_of(gen::f64_in(-50.0..50.0), 1..20)) {
         let lse = log_sum_exp(&xs);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(lse >= max - 1e-12);
         prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
     }
 
-    #[test]
-    fn softmax_is_a_distribution(xs in proptest::collection::vec(-30.0..30.0f64, 1..20)) {
+    fn softmax_is_a_distribution(xs in gen::vec_of(gen::f64_in(-30.0..30.0), 1..20)) {
         let p = softmax(&xs);
         prop_assert_eq!(p.len(), xs.len());
         prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
         prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
-    #[test]
-    fn top_k_is_argsort_prefix(xs in proptest::collection::vec(-100.0..100.0f64, 0..40), k in 0usize..50) {
+    fn top_k_is_argsort_prefix(xs in gen::vec_of(gen::f64_in(-100.0..100.0), 0..40), k in gen::usize_in(0..50)) {
         let top = top_k_desc(&xs, k);
         let full = argsort_desc(&xs);
         prop_assert_eq!(top.as_slice(), &full[..k.min(xs.len())]);
     }
 
-    #[test]
-    fn gaussian_is_finite(seed in any::<u64>()) {
+    fn gaussian_is_finite(seed in gen::u64_any()) {
         let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..100 {
             prop_assert!(rng.gaussian().is_finite());

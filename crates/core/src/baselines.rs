@@ -20,10 +20,7 @@ pub fn name_matching_predict(
     domain: DomainId,
     mention: &LinkedMention,
 ) -> Option<EntityId> {
-    kb.by_title(&mention.surface)
-        .iter()
-        .copied()
-        .find(|&id| kb.entity(id).domain == domain)
+    kb.by_title(&mention.surface).iter().copied().find(|&id| kb.entity(id).domain == domain)
 }
 
 /// Unnormalised accuracy (%) of Name Matching over gold mentions.
@@ -35,10 +32,8 @@ pub fn name_matching_accuracy(
     if mentions.is_empty() {
         return 0.0;
     }
-    let correct = mentions
-        .iter()
-        .filter(|m| name_matching_predict(kb, domain, m) == Some(m.entity))
-        .count();
+    let correct =
+        mentions.iter().filter(|m| name_matching_predict(kb, domain, m) == Some(m.entity)).count();
     100.0 * correct as f64 / mentions.len() as f64
 }
 

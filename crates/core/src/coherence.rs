@@ -39,8 +39,7 @@ pub fn relatedness(kb: &KnowledgeBase, a: EntityId, b: EntityId) -> f64 {
     if a == b {
         return 1.0;
     }
-    if kb.neighbors(a).iter().any(|(_, t)| *t == b)
-        || kb.neighbors(b).iter().any(|(_, t)| *t == a)
+    if kb.neighbors(a).iter().any(|(_, t)| *t == b) || kb.neighbors(b).iter().any(|(_, t)| *t == a)
     {
         return 1.0;
     }
@@ -75,11 +74,8 @@ pub fn link_document(
         let set = linker.candidate_set(m, &retrieved);
         let scores = linker.cross.score(&set);
         let probs = mb_common::util::softmax(&scores);
-        let mut scored: Vec<(EntityId, f64)> = retrieved
-            .iter()
-            .map(|(id, _)| *id)
-            .zip(probs)
-            .collect();
+        let mut scored: Vec<(EntityId, f64)> =
+            retrieved.iter().map(|(id, _)| *id).zip(probs).collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(cfg.top_k);
         candidates.push(scored);
@@ -150,7 +146,7 @@ pub fn compare_on_documents(
 mod tests {
     use super::*;
     use crate::linker::LinkerConfig;
-    use crate::pipeline::{train, DataSource, Method, MetaBlinkConfig, TargetTask};
+    use crate::pipeline::{train, DataSource, MetaBlinkConfig, Method, TargetTask};
     use mb_common::Rng;
     use mb_datagen::mentions::{generate_mentions, generate_one};
     use mb_datagen::{World, WorldConfig};
@@ -162,7 +158,8 @@ mod tests {
         let domain = world.domain("TargetX").clone();
         let mut rng = Rng::seed_from_u64(5);
         let ms = generate_mentions(&world, &domain, 150, &mut rng);
-        let empty = mb_nlg::SynDataset { domain: domain.name.clone(), exact: vec![], rewritten: vec![] };
+        let empty =
+            mb_nlg::SynDataset { domain: domain.name.clone(), exact: vec![], rewritten: vec![] };
         let task = TargetTask {
             world: &world,
             vocab: &vocab,

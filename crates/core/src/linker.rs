@@ -80,7 +80,11 @@ impl<'a> TwoStageLinker<'a> {
 
     /// Build a cross-encoder candidate set for a mention from retrieved
     /// candidates, marking the gold index when present.
-    pub fn candidate_set(&self, mention: &LinkedMention, retrieved: &[(EntityId, f64)]) -> CandidateSet {
+    pub fn candidate_set(
+        &self,
+        mention: &LinkedMention,
+        retrieved: &[(EntityId, f64)],
+    ) -> CandidateSet {
         let pair = TrainPair {
             mention: mention_bag(self.vocab, &self.cfg.input, mention),
             surface: surface_bag(self.vocab, mention),
@@ -93,10 +97,7 @@ impl<'a> TwoStageLinker<'a> {
             .iter()
             .map(|(id, _)| {
                 let e = self.kb.entity(*id);
-                (
-                    entity_bag(self.vocab, &self.cfg.input, e),
-                    title_bag(self.vocab, e),
-                )
+                (entity_bag(self.vocab, &self.cfg.input, e), title_bag(self.vocab, e))
             })
             .collect();
         CandidateSet::new(&pair, cands, gold_index)
@@ -229,16 +230,18 @@ mod tests {
         let ms = mb_datagen::mentions::generate_mentions(&world, &domain, 220, &mut rng);
         let (train, test) = ms.mentions.split_at(150);
         let icfg = InputConfig::default();
-        let pairs: Vec<TrainPair> = train
-            .iter()
-            .map(|m| TrainPair::from_mention(&vocab, &icfg, world.kb(), m))
-            .collect();
+        let pairs: Vec<TrainPair> =
+            train.iter().map(|m| TrainPair::from_mention(&vocab, &icfg, world.kb(), m)).collect();
         let mut bi = BiEncoder::new(
             &vocab,
             BiEncoderConfig { emb_dim: 16, hidden: 16, out_dim: 16, ..Default::default() },
             &mut Rng::seed_from_u64(1),
         );
-        train_biencoder(&mut bi, &pairs, &TrainConfig { epochs: 10, batch_size: 24, lr: 0.01, seed: 2 });
+        train_biencoder(
+            &mut bi,
+            &pairs,
+            &TrainConfig { epochs: 10, batch_size: 24, lr: 0.01, seed: 2 },
+        );
         // Cross-encoder trained on bi-encoder candidates.
         let mut cross = CrossEncoder::new(
             &vocab,
@@ -263,7 +266,11 @@ mod tests {
                 })
                 .collect();
             let mut c2 = cross.clone();
-            train_crossencoder(&mut c2, &sets, &TrainConfig { epochs: 4, batch_size: 1, lr: 0.01, seed: 4 });
+            train_crossencoder(
+                &mut c2,
+                &sets,
+                &TrainConfig { epochs: 4, batch_size: 1, lr: 0.01, seed: 4 },
+            );
             cross = c2;
         }
         Fixture { world, vocab, bi, cross, train: train.to_vec(), test: test.to_vec() }
@@ -288,7 +295,11 @@ mod tests {
         assert!(m.recall_at_k > 50.0, "recall {}", m.recall_at_k);
         // U.Acc ≈ R × N.Acc (both are over the same test set).
         let product = m.recall_at_k / 100.0 * m.normalized_acc / 100.0 * 100.0;
-        assert!((m.unnormalized_acc - product).abs() < 1.0, "U {} vs R*N {product}", m.unnormalized_acc);
+        assert!(
+            (m.unnormalized_acc - product).abs() < 1.0,
+            "U {} vs R*N {product}",
+            m.unnormalized_acc
+        );
         // And beats random ranking of candidates (1/16 of recall).
         assert!(m.unnormalized_acc > 10.0, "U.Acc {}", m.unnormalized_acc);
     }

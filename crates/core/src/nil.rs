@@ -185,7 +185,7 @@ fn top_scored(linker: &TwoStageLinker<'_>, mention: &LinkedMention) -> Option<(f
 mod tests {
     use super::*;
     use crate::linker::LinkerConfig;
-    use crate::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+    use crate::pipeline::{train, DataSource, MetaBlinkConfig, Method};
     use mb_common::Rng;
     use mb_datagen::mentions::generate_mentions;
     use mb_datagen::{World, WorldConfig};
@@ -194,7 +194,13 @@ mod tests {
     /// Build a trained linker over TargetX plus a pool of "NIL"
     /// mentions: mentions whose gold entity is in a *different* domain
     /// (so they are genuinely out of the dictionary).
-    fn fixture() -> (World, mb_text::Vocab, crate::pipeline::TrainedLinker, Vec<LinkedMention>, Vec<LinkedMention>) {
+    fn fixture() -> (
+        World,
+        mb_text::Vocab,
+        crate::pipeline::TrainedLinker,
+        Vec<LinkedMention>,
+        Vec<LinkedMention>,
+    ) {
         let world = World::generate(WorldConfig::tiny(71));
         let vocab = build_vocab(world.kb(), [], 1);
         let domain = world.domain("TargetX").clone();
@@ -206,11 +212,8 @@ mod tests {
         // Train quickly on half the in-domain mentions via the pipeline
         // (Seed source with a custom seed set).
         let (train_half, rest) = ms.mentions.split_at(120);
-        let ctx_like_syn = mb_nlg::SynDataset {
-            domain: domain.name.clone(),
-            exact: vec![],
-            rewritten: vec![],
-        };
+        let ctx_like_syn =
+            mb_nlg::SynDataset { domain: domain.name.clone(), exact: vec![], rewritten: vec![] };
         let task = crate::pipeline::TargetTask {
             world: &world,
             vocab: &vocab,

@@ -9,9 +9,7 @@
 
 use crate::baselines::{train_biencoder_dl4el, Dl4elConfig};
 use crate::linker::{LinkMetrics, LinkerConfig, TwoStageLinker};
-use crate::reweight::{
-    train_biencoder_meta, train_crossencoder_meta, MetaConfig, MetaStats,
-};
+use crate::reweight::{train_biencoder_meta, train_crossencoder_meta, MetaConfig, MetaStats};
 use mb_common::Rng;
 use mb_datagen::world::{DomainInfo, World};
 use mb_datagen::LinkedMention;
@@ -86,7 +84,9 @@ impl DataSource {
     fn synthetic_kind(self) -> Option<SynKind> {
         match self {
             DataSource::ExactMatch => Some(SynKind::Exact),
-            DataSource::Syn | DataSource::SynSeed | DataSource::GeneralSynSeed => Some(SynKind::Syn),
+            DataSource::Syn | DataSource::SynSeed | DataSource::GeneralSynSeed => {
+                Some(SynKind::Syn)
+            }
             DataSource::SynStar | DataSource::SynStarSeed | DataSource::GeneralSynStarSeed => {
                 Some(SynKind::SynStar)
             }
@@ -186,8 +186,22 @@ impl Default for MetaBlinkConfig {
             cross: CrossEncoderConfig::default(),
             bi_train: TrainConfig { epochs: 8, batch_size: 32, lr: 5e-3, seed: 1 },
             cross_train: TrainConfig { epochs: 2, batch_size: 1, lr: 5e-3, seed: 2 },
-            bi_meta: MetaConfig { steps: 400, syn_batch: 24, seed_batch: 16, lr: 1e-3, seed: 3, ..Default::default() },
-            cross_meta: MetaConfig { steps: 250, syn_batch: 8, seed_batch: 6, lr: 1e-3, seed: 4, ..Default::default() },
+            bi_meta: MetaConfig {
+                steps: 400,
+                syn_batch: 24,
+                seed_batch: 16,
+                lr: 1e-3,
+                seed: 3,
+                ..Default::default()
+            },
+            cross_meta: MetaConfig {
+                steps: 250,
+                syn_batch: 8,
+                seed_batch: 6,
+                lr: 1e-3,
+                seed: 4,
+                ..Default::default()
+            },
             dl4el: Dl4elConfig::default(),
             k_train_candidates: 16,
             cross_train_cap: 600,
@@ -206,8 +220,22 @@ impl MetaBlinkConfig {
             cross: CrossEncoderConfig { emb_dim: 16, hidden: 16, ..Default::default() },
             bi_train: TrainConfig { epochs: 4, batch_size: 16, lr: 0.01, seed: 1 },
             cross_train: TrainConfig { epochs: 1, batch_size: 1, lr: 0.01, seed: 2 },
-            bi_meta: MetaConfig { steps: 60, syn_batch: 12, seed_batch: 8, lr: 0.01, seed: 3, ..Default::default() },
-            cross_meta: MetaConfig { steps: 40, syn_batch: 6, seed_batch: 4, lr: 0.01, seed: 4, ..Default::default() },
+            bi_meta: MetaConfig {
+                steps: 60,
+                syn_batch: 12,
+                seed_batch: 8,
+                lr: 0.01,
+                seed: 3,
+                ..Default::default()
+            },
+            cross_meta: MetaConfig {
+                steps: 40,
+                syn_batch: 6,
+                seed_batch: 4,
+                lr: 0.01,
+                seed: 4,
+                ..Default::default()
+            },
             k_train_candidates: 8,
             cross_train_cap: 120,
             linker: LinkerConfig { k: 16, input: InputConfig::default() },
@@ -258,7 +286,11 @@ fn synthetic_mentions<'t>(task: &'t TargetTask<'_>, kind: SynKind) -> Vec<&'t Li
     }
 }
 
-fn featurize(task: &TargetTask<'_>, cfg: &MetaBlinkConfig, mentions: &[&LinkedMention]) -> Vec<TrainPair> {
+fn featurize(
+    task: &TargetTask<'_>,
+    cfg: &MetaBlinkConfig,
+    mentions: &[&LinkedMention],
+) -> Vec<TrainPair> {
     mentions
         .iter()
         .map(|m| TrainPair::from_mention(task.vocab, &cfg.linker.input, task.world.kb(), m))
@@ -267,26 +299,23 @@ fn featurize(task: &TargetTask<'_>, cfg: &MetaBlinkConfig, mentions: &[&LinkedMe
 
 /// Train a linker with the given method and data source (Algorithm 2
 /// step 3 and the baseline equivalents).
-pub fn train(task: &TargetTask<'_>, method: Method, source: DataSource, cfg: &MetaBlinkConfig) -> TrainedLinker {
+pub fn train(
+    task: &TargetTask<'_>,
+    method: Method,
+    source: DataSource,
+    cfg: &MetaBlinkConfig,
+) -> TrainedLinker {
     let rng = Rng::seed_from_u64(cfg.seed);
     let mut bi = BiEncoder::new(task.vocab, cfg.bi, &mut rng.split(1));
     let mut cross = CrossEncoder::new(task.vocab, cfg.cross, &mut rng.split(2));
 
     // ---------------- Assemble data ----------------
-    let syn_mentions: Vec<&LinkedMention> = source
-        .synthetic_kind()
-        .map(|k| synthetic_mentions(task, k))
-        .unwrap_or_default();
-    let seed_mentions: Vec<&LinkedMention> = if source.uses_seed() {
-        task.seed.iter().collect()
-    } else {
-        Vec::new()
-    };
-    let general_mentions: Vec<&LinkedMention> = if source.uses_general() {
-        task.general.iter().collect()
-    } else {
-        Vec::new()
-    };
+    let syn_mentions: Vec<&LinkedMention> =
+        source.synthetic_kind().map(|k| synthetic_mentions(task, k)).unwrap_or_default();
+    let seed_mentions: Vec<&LinkedMention> =
+        if source.uses_seed() { task.seed.iter().collect() } else { Vec::new() };
+    let general_mentions: Vec<&LinkedMention> =
+        if source.uses_general() { task.general.iter().collect() } else { Vec::new() };
     let syn_pairs = featurize(task, cfg, &syn_mentions);
     let seed_pairs = featurize(task, cfg, &seed_mentions);
     let general_pairs = featurize(task, cfg, &general_mentions);
@@ -300,7 +329,8 @@ pub fn train(task: &TargetTask<'_>, method: Method, source: DataSource, cfg: &Me
     concat.extend(seed_pairs.iter().cloned());
 
     // ---------------- Stage one: bi-encoder ----------------
-    let use_meta = method == Method::MetaBlink && !seed_pairs.is_empty() && weighted_pool.len() >= 2;
+    let use_meta =
+        method == Method::MetaBlink && !seed_pairs.is_empty() && weighted_pool.len() >= 2;
     let bi_meta_stats = match (method, use_meta) {
         (Method::MetaBlink, true) => {
             // Warm start exactly like BLINK (the paper builds MetaBLINK
@@ -311,10 +341,12 @@ pub fn train(task: &TargetTask<'_>, method: Method, source: DataSource, cfg: &Me
                 train_biencoder(&mut bi, &concat, &cfg.bi_train);
             }
             let mut opt = Adam::new(cfg.bi_meta.lr);
-            let stats = train_biencoder_meta(&mut bi, &weighted_pool, &seed_pairs, &mut opt, &cfg.bi_meta);
+            let stats =
+                train_biencoder_meta(&mut bi, &weighted_pool, &seed_pairs, &mut opt, &cfg.bi_meta);
             // Seed supervision mix: a few plain epochs on the seed.
             if cfg.seed_supervision_mix > 0.0 && !seed_pairs.is_empty() {
-                let epochs = ((cfg.bi_train.epochs as f64) * cfg.seed_supervision_mix).ceil() as usize;
+                let epochs =
+                    ((cfg.bi_train.epochs as f64) * cfg.seed_supervision_mix).ceil() as usize;
                 let tc = TrainConfig { epochs, ..cfg.bi_train };
                 train_biencoder(&mut bi, &seed_pairs, &tc);
             }
@@ -360,10 +392,8 @@ pub fn train(task: &TargetTask<'_>, method: Method, source: DataSource, cfg: &Me
         }
         out
     };
-    let syn_sets = build_sets(
-        &weighted_pool_mentions(&syn_mentions, &general_mentions),
-        cfg.cross_train_cap,
-    );
+    let syn_sets =
+        build_sets(&weighted_pool_mentions(&syn_mentions, &general_mentions), cfg.cross_train_cap);
     let seed_sets = build_sets(&seed_mentions, cfg.cross_train_cap);
 
     let cross_meta_stats = if use_meta && !syn_sets.is_empty() && !seed_sets.is_empty() {
@@ -374,9 +404,14 @@ pub fn train(task: &TargetTask<'_>, method: Method, source: DataSource, cfg: &Me
             train_crossencoder(&mut cross, &warm, &cfg.cross_train);
         }
         let mut opt = Adam::new(cfg.cross_meta.lr);
-        let stats = train_crossencoder_meta(&mut cross, &syn_sets, &seed_sets, &mut opt, &cfg.cross_meta);
+        let stats =
+            train_crossencoder_meta(&mut cross, &syn_sets, &seed_sets, &mut opt, &cfg.cross_meta);
         if cfg.seed_supervision_mix > 0.0 {
-            train_crossencoder(&mut cross, &seed_sets, &TrainConfig { epochs: 1, ..cfg.cross_train });
+            train_crossencoder(
+                &mut cross,
+                &seed_sets,
+                &TrainConfig { epochs: 1, ..cfg.cross_train },
+            );
         }
         Some(stats)
     } else {
@@ -432,16 +467,19 @@ mod tests {
             .iter()
             .map(|d| (d.name.clone(), ds.mentions(&d.name).mentions.clone()))
             .collect();
-        let rw = train_source_rewriter(ds.world(), &source_mentions, RewriterConfig::default(), &mut rng);
+        let rw = train_source_rewriter(
+            ds.world(),
+            &source_mentions,
+            RewriterConfig::default(),
+            &mut rng,
+        );
         let domain = ds.world().domain("TargetX").clone();
         let docs = mb_datagen::corpus::unlabeled_documents(ds.world(), &domain, 100, &mut rng);
         let rw_star = rw.adapt(docs.iter().map(String::as_str));
         let syn = generate_syn(ds.world(), &domain, &rw, 350, &mut Rng::seed_from_u64(8));
         let syn_star = generate_syn(ds.world(), &domain, &rw_star, 350, &mut Rng::seed_from_u64(8));
-        let general: Vec<LinkedMention> = source_mentions
-            .iter()
-            .flat_map(|(_, ms)| ms.iter().cloned())
-            .collect();
+        let general: Vec<LinkedMention> =
+            source_mentions.iter().flat_map(|(_, ms)| ms.iter().cloned()).collect();
         Fixture { ds, vocab, syn, syn_star, general }
     }
 

@@ -189,11 +189,8 @@ impl MetaStats {
     /// Mean selection ratio over a subset of example indices, ignoring
     /// never-sampled examples.
     pub fn mean_selection_ratio(&self, indices: impl IntoIterator<Item = usize>) -> f64 {
-        let ratios: Vec<f64> = indices
-            .into_iter()
-            .map(|i| self.selection_ratio(i))
-            .filter(|r| !r.is_nan())
-            .collect();
+        let ratios: Vec<f64> =
+            indices.into_iter().map(|i| self.selection_ratio(i)).filter(|r| !r.is_nan()).collect();
         mb_common::util::mean(&ratios)
     }
 }
@@ -307,7 +304,10 @@ pub fn train_biencoder_meta(
 
 /// Per-example gradients for cross-encoder candidate sets (each set is
 /// its own tape; the paper trains the cross-encoder at batch size 1).
-fn crossencoder_example_grads(model: &CrossEncoder, batch: &[&CandidateSet]) -> Vec<(f64, GradVec)> {
+fn crossencoder_example_grads(
+    model: &CrossEncoder,
+    batch: &[&CandidateSet],
+) -> Vec<(f64, GradVec)> {
     batch.iter().map(|s| model.example_grad(s)).collect()
 }
 
@@ -480,7 +480,8 @@ mod tests {
         let (_, seed_grad_at_phi) = model.batch_grad(seed_set);
 
         // Analytic: ∂l_g/∂w_j |_{w=0} = −α ⟨∇l_g(φ), ∇l_j(φ)⟩.
-        let analytic: Vec<f64> = per.iter().map(|(_, g)| -alpha * seed_grad_at_phi.dot(g)).collect();
+        let analytic: Vec<f64> =
+            per.iter().map(|(_, g)| -alpha * seed_grad_at_phi.dot(g)).collect();
 
         // Numeric: perturb w_j, apply the inner SGD step, evaluate l_g.
         let eps = 1e-4;
@@ -515,7 +516,8 @@ mod tests {
         let syn = &pairs[..30];
         let seed_set = &pairs[30..];
         let mut opt = Sgd::new(0.05);
-        let cfg = MetaConfig { steps: 20, syn_batch: 8, seed_batch: 6, seed: 3, ..Default::default() };
+        let cfg =
+            MetaConfig { steps: 20, syn_batch: 8, seed_batch: 6, seed: 3, ..Default::default() };
         let stats = train_biencoder_meta(&mut model, syn, seed_set, &mut opt, &cfg);
         assert_eq!(stats.step_losses.len(), 20);
         assert_eq!(stats.sampled.len(), 30);
@@ -541,10 +543,8 @@ mod tests {
         let seed_set: Vec<TrainPair> = pairs[80..120].to_vec();
         let good: Vec<TrainPair> = pairs[..40].to_vec();
         let mut bad: Vec<TrainPair> = pairs[40..80].to_vec();
-        let rotated: Vec<(Vec<u32>, Vec<u32>)> = bad
-            .iter()
-            .map(|p| (p.entity.clone(), p.title.clone()))
-            .collect();
+        let rotated: Vec<(Vec<u32>, Vec<u32>)> =
+            bad.iter().map(|p| (p.entity.clone(), p.title.clone())).collect();
         for (i, p) in bad.iter_mut().enumerate() {
             let (e, t) = rotated[(i + 13) % rotated.len()].clone();
             p.entity = e;
@@ -554,11 +554,13 @@ mod tests {
         syn.extend(bad);
         // Pre-train on the seed set so encoder gradients carry semantic
         // signal (Algorithm 2 trains on source domains first).
-        let mut pre = mb_encoders::train::TrainConfig { epochs: 20, batch_size: 16, lr: 0.01, seed: 5 };
+        let mut pre =
+            mb_encoders::train::TrainConfig { epochs: 20, batch_size: 16, lr: 0.01, seed: 5 };
         pre.epochs = 20;
         mb_encoders::train::train_biencoder(&mut model, &seed_set, &pre);
         let mut opt = Sgd::new(0.01);
-        let cfg = MetaConfig { steps: 250, syn_batch: 12, seed_batch: 16, seed: 9, ..Default::default() };
+        let cfg =
+            MetaConfig { steps: 250, syn_batch: 12, seed_batch: 16, seed: 9, ..Default::default() };
         let stats = train_biencoder_meta(&mut model, &syn, &seed_set, &mut opt, &cfg);
         (stats.mean_selection_ratio(0..40), stats.mean_selection_ratio(40..80))
     }
@@ -579,10 +581,8 @@ mod tests {
         // meta_example_weights on handcrafted gradients.
         let mk = |v: &[f64]| GradVec::from_tensors(vec![Tensor::vector(v)]);
         let seed_g = mk(&[1.0, 0.0]);
-        let w = meta_example_weights(
-            &[mk(&[2.0, 0.0]), mk(&[-1.0, 0.0]), mk(&[2.0, 5.0])],
-            &seed_g,
-        );
+        let w =
+            meta_example_weights(&[mk(&[2.0, 0.0]), mk(&[-1.0, 0.0]), mk(&[2.0, 5.0])], &seed_g);
         // Dots: 2, -1→0, 2 ⇒ normalized [0.5, 0, 0.5].
         assert!((w[0] - 0.5).abs() < 1e-12);
         assert_eq!(w[1], 0.0);

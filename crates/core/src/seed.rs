@@ -141,7 +141,8 @@ mod tests {
                 (d.name.clone(), ms.mentions)
             })
             .collect();
-        let rw = train_source_rewriter(&world, &source_mentions, RewriterConfig::default(), &mut rng);
+        let rw =
+            train_source_rewriter(&world, &source_mentions, RewriterConfig::default(), &mut rng);
         let domain = world.domain("TargetX").clone();
         let syn = generate_syn(&world, &domain, &rw, 400, &mut rng);
         (world, vocab, syn.rewritten)
@@ -182,14 +183,8 @@ mod tests {
         let (world, vocab, syn) = setup();
         let domain = world.domain("TargetX");
         let ids = world.kb().domain_entities(domain.id);
-        let seed = mine_zero_shot_seed(
-            world.kb(),
-            &vocab,
-            ids,
-            &syn,
-            &SeedFilterConfig::default(),
-            25,
-        );
+        let seed =
+            mine_zero_shot_seed(world.kb(), &vocab, ids, &syn, &SeedFilterConfig::default(), 25);
         assert!(seed.len() <= 25);
         assert!(!seed.is_empty());
         // All labels must be in-domain.
@@ -205,21 +200,13 @@ mod tests {
         let (world, vocab, syn) = setup();
         let domain = world.domain("TargetX");
         let ids = world.kb().domain_entities(domain.id);
-        let seed = mine_zero_shot_seed(
-            world.kb(),
-            &vocab,
-            ids,
-            &syn,
-            &SeedFilterConfig::default(),
-            40,
-        );
+        let seed =
+            mine_zero_shot_seed(world.kb(), &vocab, ids, &syn, &SeedFilterConfig::default(), 40);
         // Self-match seeds are correct by construction; filtered ones
         // inherit syn noise. Overall correctness must be high. We can
         // check self-match portion exactly.
-        let self_matched = seed
-            .iter()
-            .filter(|s| s.category == OverlapCategory::MultipleCategories)
-            .count();
+        let self_matched =
+            seed.iter().filter(|s| s.category == OverlapCategory::MultipleCategories).count();
         assert!(self_matched > 0);
     }
 }

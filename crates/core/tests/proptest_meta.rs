@@ -1,23 +1,26 @@
 //! Property-based tests of the meta-weight computation (Eqs. 12–14).
 
+use mb_check::gen::{self, F64In, VecGen};
+use mb_check::{prop_assert, prop_assert_eq};
 use mb_core::reweight::{meta_example_weights, meta_example_weights_opts};
 use mb_tensor::params::GradVec;
 use mb_tensor::Tensor;
-use proptest::prelude::*;
 
 fn gradvec(data: Vec<f64>) -> GradVec {
     GradVec::from_tensors(vec![Tensor::from_vec(vec![data.len()], data)])
 }
 
-fn grads(n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(proptest::collection::vec(-5.0..5.0f64, d..=d), 1..n)
+fn grads(n: usize, d: usize) -> VecGen<VecGen<F64In>> {
+    gen::vec_of(gen::vec_of(gen::f64_in(-5.0..5.0), d), 1..n)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+mb_check::check! {
+    #![config(cases = 128)]
 
-    #[test]
-    fn weights_are_a_subprobability_distribution(gs in grads(10, 6), seed in proptest::collection::vec(-5.0..5.0f64, 6)) {
+    fn weights_are_a_subprobability_distribution(
+        gs in grads(10, 6),
+        seed in gen::vec_of(gen::f64_in(-5.0..5.0), 6),
+    ) {
         let example: Vec<GradVec> = gs.into_iter().map(gradvec).collect();
         let seed_grad = gradvec(seed);
         for normalize in [false, true] {
@@ -30,8 +33,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn anti_aligned_examples_get_zero_weight(seed in proptest::collection::vec(0.1..5.0f64, 6)) {
+    fn anti_aligned_examples_get_zero_weight(seed in gen::vec_of(gen::f64_in(0.1..5.0), 6)) {
         let seed_grad = gradvec(seed.clone());
         let aligned = gradvec(seed.clone());
         let anti = gradvec(seed.iter().map(|x| -x).collect());
@@ -40,11 +42,10 @@ proptest! {
         prop_assert_eq!(w[1], 0.0);
     }
 
-    #[test]
     fn weights_invariant_to_positive_seed_scaling(
         gs in grads(8, 5),
-        seed in proptest::collection::vec(-5.0..5.0f64, 5),
-        k in 0.01..100.0f64,
+        seed in gen::vec_of(gen::f64_in(-5.0..5.0), 5),
+        k in gen::f64_in(0.01..100.0),
     ) {
         // Normalisation (Eq. 14) cancels any positive rescaling of the
         // seed gradient.
@@ -58,11 +59,10 @@ proptest! {
         }
     }
 
-    #[test]
     fn normalized_weights_invariant_to_example_scaling(
-        seed in proptest::collection::vec(-5.0..5.0f64, 5),
-        example in proptest::collection::vec(-5.0..5.0f64, 5),
-        k in 0.01..100.0f64,
+        seed in gen::vec_of(gen::f64_in(-5.0..5.0), 5),
+        example in gen::vec_of(gen::f64_in(-5.0..5.0), 5),
+        k in gen::f64_in(0.01..100.0),
     ) {
         // With normalize=true, rescaling one example's gradient must not
         // change the weights (the magnitude confound is removed).
@@ -77,7 +77,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn zero_seed_gradient_triggers_delta_guard(gs in grads(6, 4)) {
         let example: Vec<GradVec> = gs.into_iter().map(gradvec).collect();
         let zero = gradvec(vec![0.0; 4]);

@@ -63,12 +63,8 @@ mod tests {
         let domain = world.domain("TargetX").clone();
         let docs = unlabeled_documents(&world, &domain, 60, &mut Rng::seed_from_u64(2));
         let text = docs.join(" ").to_lowercase();
-        let hits = domain
-            .lexicon
-            .specific_words()
-            .iter()
-            .filter(|w| text.contains(w.as_str()))
-            .count();
+        let hits =
+            domain.lexicon.specific_words().iter().filter(|w| text.contains(w.as_str())).count();
         assert!(hits > 5, "only {hits} domain words appear in the corpus");
     }
 

@@ -20,14 +20,11 @@
 use mb_common::Rng;
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kr",
-    "l", "m", "n", "p", "pr", "qu", "r", "s", "sh", "sk", "st", "t", "th",
-    "tr", "v", "w", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kr", "l", "m", "n", "p", "pr",
+    "qu", "r", "s", "sh", "sk", "st", "t", "th", "tr", "v", "w", "z",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ae", "ia", "ou", "ei"];
-const CODAS: &[&str] = &[
-    "", "", "", "l", "n", "r", "s", "st", "th", "x", "k", "m", "nd", "rk",
-];
+const CODAS: &[&str] = &["", "", "", "l", "n", "r", "s", "st", "th", "x", "k", "m", "nd", "rk"];
 
 /// Generate one pronounceable pseudo-word of 2–3 syllables.
 // clippy's explicit_auto_deref suggestion breaks type inference here
@@ -49,7 +46,9 @@ pub fn pseudo_word(rng: &mut Rng) -> String {
 /// Themed stems for the named Zeshel domains (empty for unknown names).
 pub fn themed_stems(domain: &str) -> &'static [&'static str] {
     match domain {
-        "American Football" => &["quarterback", "touchdown", "stadium", "coach", "playoff", "league"],
+        "American Football" => {
+            &["quarterback", "touchdown", "stadium", "coach", "playoff", "league"]
+        }
         "Doctor Who" => &["tardis", "dalek", "regeneration", "timelord", "sonic", "companion"],
         "Fallout" => &["vault", "wasteland", "raider", "stimpak", "overseer", "mutant"],
         "Final Fantasy" => &["chocobo", "summon", "crystal", "airship", "esper", "limit"],

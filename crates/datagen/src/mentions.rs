@@ -97,7 +97,12 @@ pub const CATEGORY_WEIGHTS: [f64; 4] = [0.18, 0.10, 0.15, 0.57];
 /// Entities are sampled by popularity; the surface category is sampled
 /// from [`CATEGORY_WEIGHTS`] restricted to what the entity's title
 /// permits (e.g. Multiple Categories needs a disambiguation phrase).
-pub fn generate_mentions(world: &World, domain: &DomainInfo, count: usize, rng: &mut Rng) -> MentionSet {
+pub fn generate_mentions(
+    world: &World,
+    domain: &DomainInfo,
+    count: usize,
+    rng: &mut Rng,
+) -> MentionSet {
     let ids = world.kb().domain_entities(domain.id);
     assert!(!ids.is_empty(), "cannot generate mentions for empty domain {}", domain.name);
     let popularity: Vec<f64> = ids.iter().map(|&id| world.meta(id).popularity).collect();
@@ -110,7 +115,12 @@ pub fn generate_mentions(world: &World, domain: &DomainInfo, count: usize, rng: 
 }
 
 /// Generate one mention for a specific entity.
-pub fn generate_one(world: &World, domain: &DomainInfo, id: EntityId, rng: &mut Rng) -> LinkedMention {
+pub fn generate_one(
+    world: &World,
+    domain: &DomainInfo,
+    id: EntityId,
+    rng: &mut Rng,
+) -> LinkedMention {
     let entity = world.kb().entity(id);
     let meta = world.meta(id);
     let title = &entity.title;
@@ -147,7 +157,12 @@ pub fn generate_one(world: &World, domain: &DomainInfo, id: EntityId, rng: &mut 
 }
 
 /// Compose the left/right context around a mention slot.
-fn compose_context(world: &World, domain: &DomainInfo, id: EntityId, rng: &mut Rng) -> (String, String) {
+fn compose_context(
+    world: &World,
+    domain: &DomainInfo,
+    id: EntityId,
+    rng: &mut Rng,
+) -> (String, String) {
     let meta = world.meta(id);
     let lex = &domain.lexicon;
     let kw1 = rng.choose(&meta.keywords).clone();

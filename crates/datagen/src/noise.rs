@@ -37,14 +37,9 @@ pub fn inject_bad_pairs(
         entity_pool.len() >= 2 || bad_count == 0,
         "need at least two entities to corrupt links"
     );
-    assert!(
-        !mentions.is_empty() || bad_count == 0,
-        "cannot corrupt an empty mention list"
-    );
-    let mut out: Vec<TaggedPair> = mentions
-        .iter()
-        .map(|m| TaggedPair { mention: m.clone(), is_bad: false })
-        .collect();
+    assert!(!mentions.is_empty() || bad_count == 0, "cannot corrupt an empty mention list");
+    let mut out: Vec<TaggedPair> =
+        mentions.iter().map(|m| TaggedPair { mention: m.clone(), is_bad: false }).collect();
     for _ in 0..bad_count {
         let src = rng.choose(mentions);
         let mut wrong = *rng.choose(entity_pool);

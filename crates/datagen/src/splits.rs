@@ -77,11 +77,11 @@ mod tests {
         assert_eq!(split.test.len(), 40);
         assert_eq!(split.total(), set.len());
         // Partition: counts of each distinct mention add up.
-        let count_in = |part: &[LinkedMention], m: &LinkedMention| {
-            part.iter().filter(|x| *x == m).count()
-        };
+        let count_in =
+            |part: &[LinkedMention], m: &LinkedMention| part.iter().filter(|x| *x == m).count();
         for m in &set.mentions {
-            let total = count_in(&split.seed, m) + count_in(&split.dev, m) + count_in(&split.test, m);
+            let total =
+                count_in(&split.seed, m) + count_in(&split.dev, m) + count_in(&split.test, m);
             let orig = set.mentions.iter().filter(|x| *x == m).count();
             assert_eq!(total, orig);
         }

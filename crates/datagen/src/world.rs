@@ -101,12 +101,8 @@ pub const ZESHEL_DOMAINS: &[(&str, DomainRole, usize)] = &[
 
 /// Paper mention counts for the four test domains (Table IV totals:
 /// 50 train + 50 dev + test).
-pub const ZESHEL_TEST_MENTIONS: &[(&str, usize)] = &[
-    ("Forgotten Realms", 1_200),
-    ("Lego", 1_199),
-    ("Star Trek", 4_227),
-    ("YuGiOh", 3_374),
-];
+pub const ZESHEL_TEST_MENTIONS: &[(&str, usize)] =
+    &[("Forgotten Realms", 1_200), ("Lego", 1_199), ("Star Trek", 4_227), ("YuGiOh", 3_374)];
 
 /// Domain-gap parameters chosen so the generated benchmark reproduces
 /// Table VIII's ordering: Forgotten Realms / Star Trek close to the
@@ -369,11 +365,8 @@ fn stage_domain(
         if group == 1 {
             // Possibly give a lone entity a disambiguation phrase too.
             let type_word = rng.choose(TYPE_WORDS).to_string();
-            let title = if rng.chance(0.15) {
-                format!("{base} ({type_word})")
-            } else {
-                base.clone()
-            };
+            let title =
+                if rng.chance(0.15) { format!("{base} ({type_word})") } else { base.clone() };
             if let Some(e) = try_stage(&title, &type_word, lexicon, &mut taken, &mut rng) {
                 staged.push(e);
             }
@@ -418,8 +411,7 @@ fn stage_domain(
     let titles: Vec<String> = staged.iter().map(|s| s.title.clone()).collect();
     let mut desc_rng = domain_rng.split(12);
     for s in &mut staged {
-        let related_titles: Vec<&str> =
-            s.related.iter().map(|&r| titles[r].as_str()).collect();
+        let related_titles: Vec<&str> = s.related.iter().map(|&r| titles[r].as_str()).collect();
         s.description = compose_description(
             &s.title,
             &s.type_word,
@@ -500,10 +492,7 @@ fn compose_description(
     }
     if rng.chance(0.7) {
         let filler3 = lexicon.content_word(rng).to_string();
-        sentences.push(format!(
-            "The {type_word} is associated with {} and {filler3}.",
-            kw[0]
-        ));
+        sentences.push(format!("The {type_word} is associated with {} and {filler3}.", kw[0]));
     }
     sentences.join(" ")
 }
@@ -641,9 +630,10 @@ mod tests {
         for &id in w.kb().domain_entities(target.id) {
             for alias in &w.meta(id).aliases {
                 assert!(
-                    w.kb().by_alias(alias).iter().all(|hit| {
-                        w.kb().entity(*hit).domain != target.id
-                    }),
+                    w.kb()
+                        .by_alias(alias)
+                        .iter()
+                        .all(|hit| { w.kb().entity(*hit).domain != target.id }),
                     "target-domain alias leaked into alias table"
                 );
             }

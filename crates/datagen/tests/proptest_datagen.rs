@@ -1,9 +1,9 @@
 //! Property-based tests of world generation invariants.
 
+use mb_check::{gen, prop_assert, prop_assert_eq};
 use mb_common::Rng;
 use mb_datagen::mentions::generate_mentions;
 use mb_datagen::world::{DomainRole, DomainSpec, World, WorldConfig};
-use proptest::prelude::*;
 
 fn tiny_config(seed: u64, entities: usize, gap: f64) -> WorldConfig {
     WorldConfig {
@@ -17,12 +17,15 @@ fn tiny_config(seed: u64, entities: usize, gap: f64) -> WorldConfig {
     }
 }
 
-proptest! {
-    // World generation is comparatively expensive; keep case counts low.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+mb_check::check! {
+    // World generation is comparatively expensive; stay at the floor.
+    #![config(cases = 32)]
 
-    #[test]
-    fn worlds_are_deterministic_and_well_formed(seed in 0u64..1000, entities in 30usize..80, gap in 0.1..0.9f64) {
+    fn worlds_are_deterministic_and_well_formed(
+        seed in gen::u64_in(0..1000),
+        entities in gen::usize_in(30..80),
+        gap in gen::f64_in(0.1..0.9),
+    ) {
         let a = World::generate(tiny_config(seed, entities, gap));
         let b = World::generate(tiny_config(seed, entities, gap));
         prop_assert_eq!(a.kb().len(), b.kb().len());
@@ -42,8 +45,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn mentions_link_within_domain_with_consistent_categories(seed in 0u64..500) {
+    fn mentions_link_within_domain_with_consistent_categories(seed in gen::u64_in(0..500)) {
         let world = World::generate(tiny_config(seed, 50, 0.5));
         let domain = world.domain("Tgt").clone();
         let ms = generate_mentions(&world, &domain, 80, &mut Rng::seed_from_u64(seed ^ 7));

@@ -143,7 +143,13 @@ impl BiEncoder {
         self.params = params;
     }
 
-    fn encode_side(&self, tape: &mut Tape, vars: &[Var], side: SideIds, bags: Vec<Vec<u32>>) -> Var {
+    fn encode_side(
+        &self,
+        tape: &mut Tape,
+        vars: &[Var],
+        side: SideIds,
+        bags: Vec<Vec<u32>>,
+    ) -> Var {
         let pooled = tape.bag_embed(vars[self.emb_var_index()], bags);
         let h = tape.linear(pooled, vars[side.w1.index()], vars[side.b1.index()]);
         let h = tape.tanh(h);
@@ -213,7 +219,8 @@ impl BiEncoder {
         opt: &mut dyn Optimizer,
     ) -> f64 {
         let mut tape = Tape::new();
-        let (vars, losses) = self.forward_losses_with_negatives(&mut tape, batch, extra_entity_bags);
+        let (vars, losses) =
+            self.forward_losses_with_negatives(&mut tape, batch, extra_entity_bags);
         let mean = tape.mean_all(losses);
         let value = tape.value(mean).item();
         let grads = tape.backward(mean);

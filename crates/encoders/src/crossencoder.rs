@@ -111,10 +111,8 @@ impl CrossEncoder {
         let b_surf = params.add("surf.b", init::zeros_bias(cfg.hidden));
         let w_out = params.add("out.w", init::xavier_uniform(cfg.hidden, 1, rng));
         let b_out = params.add("out.b", init::zeros_bias(1));
-        let gamma = params.add(
-            "gamma",
-            mb_tensor::Tensor::from_vec(vec![1, 1], vec![cfg.dot_gamma_init]),
-        );
+        let gamma =
+            params.add("gamma", mb_tensor::Tensor::from_vec(vec![1, 1], vec![cfg.dot_gamma_init]));
         CrossEncoder { cfg, params, emb, w_sem, b_sem, w_surf, b_surf, w_out, b_out, gamma }
     }
 
@@ -153,8 +151,10 @@ impl CrossEncoder {
         let k = set.len();
         let vars = self.params.inject(tape);
         let emb = vars[self.emb.index()];
-        let m_bags: Vec<Vec<u32>> = std::iter::repeat_with(|| set.mention.clone()).take(k).collect();
-        let s_bags: Vec<Vec<u32>> = std::iter::repeat_with(|| set.surface.clone()).take(k).collect();
+        let m_bags: Vec<Vec<u32>> =
+            std::iter::repeat_with(|| set.mention.clone()).take(k).collect();
+        let s_bags: Vec<Vec<u32>> =
+            std::iter::repeat_with(|| set.surface.clone()).take(k).collect();
         let m_pool = tape.bag_embed(emb, m_bags);
         let s_pool = tape.bag_embed(emb, s_bags);
         let e_pool = tape.bag_embed(emb, set.entities.clone());

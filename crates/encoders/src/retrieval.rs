@@ -27,7 +27,13 @@ impl DenseIndex {
     /// # Panics
     /// Panics if row count and id count differ.
     pub fn from_vectors(vectors: Tensor, ids: Vec<EntityId>) -> Self {
-        assert_eq!(vectors.rows(), ids.len(), "DenseIndex: {} rows vs {} ids", vectors.rows(), ids.len());
+        assert_eq!(
+            vectors.rows(),
+            ids.len(),
+            "DenseIndex: {} rows vs {} ids",
+            vectors.rows(),
+            ids.len()
+        );
         DenseIndex { vectors, ids }
     }
 
@@ -39,10 +45,8 @@ impl DenseIndex {
         kb: &KnowledgeBase,
         ids: &[EntityId],
     ) -> Self {
-        let bags: Vec<Vec<u32>> = ids
-            .iter()
-            .map(|&id| entity_bag(vocab, cfg, kb.entity(id)))
-            .collect();
+        let bags: Vec<Vec<u32>> =
+            ids.iter().map(|&id| entity_bag(vocab, cfg, kb.entity(id))).collect();
         let vectors = model.embed_entities(bags);
         DenseIndex { vectors, ids: ids.to_vec() }
     }
@@ -65,10 +69,7 @@ impl DenseIndex {
     /// Exact top-k by dot product, descending.
     pub fn top_k(&self, query: &[f64], k: usize) -> Vec<(EntityId, f64)> {
         let scores = self.score_all(query);
-        top_k_desc(&scores, k)
-            .into_iter()
-            .map(|i| (self.ids[i], scores[i]))
-            .collect()
+        top_k_desc(&scores, k).into_iter().map(|i| (self.ids[i], scores[i])).collect()
     }
 
     /// Dot product of the query against every indexed vector.
@@ -103,7 +104,13 @@ impl PartitionedIndex {
     ///
     /// # Panics
     /// Panics if `nlist == 0` or there are fewer vectors than clusters.
-    pub fn build(vectors: Tensor, ids: Vec<EntityId>, nlist: usize, nprobe: usize, rng: &mut Rng) -> Self {
+    pub fn build(
+        vectors: Tensor,
+        ids: Vec<EntityId>,
+        nlist: usize,
+        nprobe: usize,
+        rng: &mut Rng,
+    ) -> Self {
         assert!(nlist > 0, "nlist must be positive");
         let n = vectors.rows();
         assert!(n >= nlist, "need at least {nlist} vectors, got {n}");

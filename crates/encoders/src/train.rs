@@ -59,7 +59,11 @@ impl TrainStats {
 ///
 /// Batches are built from a fresh shuffle each epoch. Batches of size 1
 /// are skipped when the loss excludes gold (no negatives exist).
-pub fn train_biencoder(model: &mut BiEncoder, pairs: &[TrainPair], cfg: &TrainConfig) -> TrainStats {
+pub fn train_biencoder(
+    model: &mut BiEncoder,
+    pairs: &[TrainPair],
+    cfg: &TrainConfig,
+) -> TrainStats {
     let mut stats = TrainStats::default();
     if pairs.is_empty() {
         return stats;
@@ -204,7 +208,9 @@ mod tests {
     use super::*;
     use crate::biencoder::BiEncoderConfig;
     use crate::crossencoder::CrossEncoderConfig;
-    use crate::input::{build_vocab, entity_bag, entity_bag as mb_encoders_entity_bag, title_bag, InputConfig};
+    use crate::input::{
+        build_vocab, entity_bag, entity_bag as mb_encoders_entity_bag, title_bag, InputConfig,
+    };
     use mb_datagen::{World, WorldConfig};
     use mb_text::Vocab;
 
@@ -323,7 +329,11 @@ mod tests {
         let bi_cfg = BiEncoderConfig { emb_dim: 16, hidden: 16, out_dim: 16, ..Default::default() };
         let mut model = BiEncoder::new(&vocab, bi_cfg, &mut Rng::seed_from_u64(4));
         // Plain warm-up, then a hard-negative round.
-        train_biencoder(&mut model, &pairs, &TrainConfig { epochs: 3, batch_size: 16, lr: 0.01, seed: 1 });
+        train_biencoder(
+            &mut model,
+            &pairs,
+            &TrainConfig { epochs: 3, batch_size: 16, lr: 0.01, seed: 1 },
+        );
         let recall_before = recall_at_k(&model, &vocab, &pairs, &pool_bags, &ids, 8);
         let stats = train_biencoder_hard_negatives(
             &mut model,
@@ -371,7 +381,8 @@ mod tests {
         let (_, vocab, pairs) = setup();
         let bi_cfg = BiEncoderConfig { emb_dim: 8, hidden: 8, out_dim: 8, ..Default::default() };
         let mut model = BiEncoder::new(&vocab, bi_cfg, &mut Rng::seed_from_u64(4));
-        let s1 = train_biencoder_hard_negatives(&mut model, &[], &[], &[], 2, &TrainConfig::default());
+        let s1 =
+            train_biencoder_hard_negatives(&mut model, &[], &[], &[], 2, &TrainConfig::default());
         assert!(s1.epoch_losses.is_empty());
         let s2 = train_biencoder_hard_negatives(
             &mut model,

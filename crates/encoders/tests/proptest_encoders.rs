@@ -1,12 +1,13 @@
 //! Property-based tests of encoder and retrieval invariants.
 
+use mb_check::gen::{self, U32In, VecGen};
+use mb_check::{prop_assert, prop_assert_eq};
 use mb_common::Rng;
 use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
 use mb_encoders::retrieval::DenseIndex;
 use mb_kb::EntityId;
 use mb_tensor::Tensor;
 use mb_text::vocab::VocabBuilder;
-use proptest::prelude::*;
 
 fn vocab(n_words: usize) -> mb_text::Vocab {
     let mut b = VocabBuilder::new();
@@ -16,17 +17,16 @@ fn vocab(n_words: usize) -> mb_text::Vocab {
     b.build(1)
 }
 
-fn bag_strategy(vocab_len: usize) -> impl Strategy<Value = Vec<u32>> {
-    proptest::collection::vec(0..vocab_len as u32, 1..12)
+fn bag(vocab_len: usize) -> VecGen<U32In> {
+    gen::vec_of(gen::u32_in(0..vocab_len as u32), 1..12)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+mb_check::check! {
+    #![config(cases = 32)]
 
-    #[test]
     fn encodings_are_unit_norm_and_deterministic(
-        seed in 0u64..1000,
-        bags in proptest::collection::vec(bag_strategy(40), 1..6),
+        seed in gen::u64_in(0..1000),
+        bags in gen::vec_of(bag(40), 1..6),
     ) {
         let v = vocab(39); // +1 for <unk> = 40 ids
         let cfg = BiEncoderConfig { emb_dim: 8, hidden: 8, out_dim: 8, ..Default::default() };
@@ -40,10 +40,9 @@ proptest! {
         }
     }
 
-    #[test]
     fn bag_order_does_not_matter_for_mean_pooling(
-        seed in 0u64..1000,
-        mut bag in bag_strategy(40),
+        seed in gen::u64_in(0..1000),
+        mut bag in bag(40),
     ) {
         let v = vocab(39);
         let cfg = BiEncoderConfig { emb_dim: 8, hidden: 8, out_dim: 8, ..Default::default() };
@@ -56,12 +55,11 @@ proptest! {
         }
     }
 
-    #[test]
     fn dense_index_top_k_is_sorted_and_within_bounds(
-        n in 2usize..60,
-        d in 2usize..8,
-        k in 1usize..70,
-        seed in 0u64..500,
+        n in gen::usize_in(2..60),
+        d in gen::usize_in(2..8),
+        k in gen::usize_in(1..70),
+        seed in gen::u64_in(0..500),
     ) {
         let mut rng = Rng::seed_from_u64(seed);
         let vectors = Tensor::randn(vec![n, d], 0.0, 1.0, &mut rng);

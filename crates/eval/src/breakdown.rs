@@ -26,11 +26,8 @@ impl CategoryBreakdown {
     pub fn evaluate(linker: &TwoStageLinker<'_>, mentions: &[LinkedMention]) -> Self {
         let overall = linker.evaluate(mentions);
         let per_category = OverlapCategory::all().map(|cat| {
-            let subset: Vec<LinkedMention> = mentions
-                .iter()
-                .filter(|m| m.category == cat)
-                .cloned()
-                .collect();
+            let subset: Vec<LinkedMention> =
+                mentions.iter().filter(|m| m.category == cat).cloned().collect();
             (cat, linker.evaluate(&subset))
         });
         CategoryBreakdown { per_category, overall }
@@ -38,12 +35,7 @@ impl CategoryBreakdown {
 
     /// The metrics for one category.
     pub fn of(&self, cat: OverlapCategory) -> &LinkMetrics {
-        &self
-            .per_category
-            .iter()
-            .find(|(c, _)| *c == cat)
-            .expect("all categories present")
-            .1
+        &self.per_category.iter().find(|(c, _)| *c == cat).expect("all categories present").1
     }
 
     /// Spread between the easiest and hardest category's U.Acc —
@@ -91,7 +83,7 @@ impl CategoryBreakdown {
 mod tests {
     use super::*;
     use mb_common::Rng;
-    use mb_core::pipeline::{train, DataSource, Method, MetaBlinkConfig, TargetTask};
+    use mb_core::pipeline::{train, DataSource, MetaBlinkConfig, Method, TargetTask};
     use mb_core::LinkerConfig;
     use mb_datagen::mentions::generate_mentions;
     use mb_datagen::{World, WorldConfig};
@@ -105,11 +97,8 @@ mod tests {
         let mut rng = Rng::seed_from_u64(6);
         let ms = generate_mentions(&world, &domain, 220, &mut rng);
         let (train_ms, test_ms) = ms.mentions.split_at(150);
-        let empty = mb_nlg::SynDataset {
-            domain: domain.name.clone(),
-            exact: vec![],
-            rewritten: vec![],
-        };
+        let empty =
+            mb_nlg::SynDataset { domain: domain.name.clone(), exact: vec![], rewritten: vec![] };
         let task = TargetTask {
             world: &world,
             vocab: &vocab,

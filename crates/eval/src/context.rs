@@ -134,10 +134,8 @@ impl ExperimentContext {
         }
 
         // Pooled general data, shuffled and capped.
-        let mut general: Vec<LinkedMention> = source_mentions
-            .iter()
-            .flat_map(|(_, ms)| ms.iter().cloned())
-            .collect();
+        let mut general: Vec<LinkedMention> =
+            source_mentions.iter().flat_map(|(_, ms)| ms.iter().cloned()).collect();
         let mut pool_rng = rng.split(0x6E6E);
         pool_rng.shuffle(&mut general);
         general.truncate(cfg.general_cap);
@@ -244,10 +242,7 @@ mod tests {
         let a = ExperimentContext::build(ContextConfig::small(7));
         let b = ExperimentContext::build(ContextConfig::small(7));
         let d = &a.test_domains()[1];
-        assert_eq!(
-            a.syn_of(d).rewritten.len(),
-            b.syn_of(d).rewritten.len()
-        );
+        assert_eq!(a.syn_of(d).rewritten.len(), b.syn_of(d).rewritten.len());
         for (x, y) in a.syn_of(d).rewritten.iter().zip(&b.syn_of(d).rewritten) {
             assert_eq!(x.mention.surface, y.mention.surface);
         }

@@ -16,5 +16,5 @@ pub mod stats;
 
 pub use breakdown::CategoryBreakdown;
 pub use context::{ContextConfig, ExperimentContext};
-pub use report::Table;
+pub use report::{output_dir, Table};
 pub use stats::Aggregate;

@@ -58,6 +58,26 @@ impl Table {
         self.rows.len()
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows added so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The footnotes added so far.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
     /// True if no rows were added.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
@@ -151,11 +171,8 @@ mod tests {
         assert!(r.contains("| MetaBLINK | 39.14 |"));
         assert!(r.contains("note: higher is better"));
         // All body lines have the same width.
-        let widths: std::collections::HashSet<usize> = r
-            .lines()
-            .filter(|l| l.starts_with('|'))
-            .map(|l| l.chars().count())
-            .collect();
+        let widths: std::collections::HashSet<usize> =
+            r.lines().filter(|l| l.starts_with('|')).map(|l| l.chars().count()).collect();
         assert_eq!(widths.len(), 1);
     }
 

@@ -36,7 +36,10 @@ pub struct Bm25Index {
 
 impl Bm25Index {
     /// Index `(id, text)` pairs (e.g. title + description per entity).
-    pub fn build<'a>(docs: impl IntoIterator<Item = (EntityId, &'a str)>, params: Bm25Params) -> Self {
+    pub fn build<'a>(
+        docs: impl IntoIterator<Item = (EntityId, &'a str)>,
+        params: Bm25Params,
+    ) -> Self {
         let mut postings: HashMap<String, Vec<(u32, u32)>> = HashMap::new();
         let mut doc_len = Vec::new();
         let mut ids = Vec::new();
@@ -98,15 +101,10 @@ impl Bm25Index {
         }
         let mut ranked: Vec<(u32, f64)> = scores.into_iter().collect();
         ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
         ranked.truncate(k);
-        ranked
-            .into_iter()
-            .map(|(slot, s)| (self.ids[slot as usize], s))
-            .collect()
+        ranked.into_iter().map(|(slot, s)| (self.ids[slot as usize], s)).collect()
     }
 }
 

@@ -1,18 +1,21 @@
 //! Property-based tests of knowledge-base index consistency.
 
+use mb_check::gen::{self, StringGen, VecGen};
+use mb_check::{prop_assert, prop_assert_eq};
 use mb_kb::bm25::{Bm25Index, Bm25Params};
 use mb_kb::{EntityId, KbBuilder};
-use proptest::prelude::*;
 
-fn title_strategy() -> impl Strategy<Value = String> {
-    proptest::collection::vec("[a-z]{2,7}", 1..4).prop_map(|ws| ws.join(" "))
+/// 1–3 lowercase words; joined with spaces in the property bodies
+/// (generating the word vector directly keeps shrinking useful).
+fn title_words() -> VecGen<StringGen<gen::CharIn>> {
+    gen::vec_of(gen::lowercase_string(2..=7), 1..4)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+mb_check::check! {
+    #![config(cases = 32)]
 
-    #[test]
-    fn title_index_finds_every_inserted_title(titles in proptest::collection::vec(title_strategy(), 1..30)) {
+    fn title_index_finds_every_inserted_title(title_ws in gen::vec_of(title_words(), 1..30)) {
+        let titles: Vec<String> = title_ws.iter().map(|ws| ws.join(" ")).collect();
         let mut b = KbBuilder::new();
         let d = b.domain("D");
         let ids: Vec<EntityId> = titles
@@ -28,15 +31,15 @@ proptest! {
         prop_assert_eq!(kb.len(), titles.len());
     }
 
-    #[test]
     fn token_candidates_only_return_entities_sharing_a_token(
-        titles in proptest::collection::vec(title_strategy(), 2..20),
-        query in title_strategy(),
+        title_ws in gen::vec_of(title_words(), 2..20),
+        query_ws in title_words(),
     ) {
+        let query = query_ws.join(" ");
         let mut b = KbBuilder::new();
         let d = b.domain("D");
-        for t in &titles {
-            b.add_entity(t, "", d);
+        for ws in &title_ws {
+            b.add_entity(&ws.join(" "), "", d);
         }
         let kb = b.build().unwrap();
         let qtokens: std::collections::HashSet<String> =
@@ -51,11 +54,12 @@ proptest! {
         }
     }
 
-    #[test]
     fn bm25_scores_are_positive_and_only_for_matching_docs(
-        docs in proptest::collection::vec(title_strategy(), 1..20),
-        query in title_strategy(),
+        doc_ws in gen::vec_of(title_words(), 1..20),
+        query_ws in title_words(),
     ) {
+        let docs: Vec<String> = doc_ws.iter().map(|ws| ws.join(" ")).collect();
+        let query = query_ws.join(" ");
         let ix = Bm25Index::build(
             docs.iter()
                 .enumerate()

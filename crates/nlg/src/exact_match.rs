@@ -33,10 +33,7 @@ pub fn exact_match_pairs(
     for occ in occurrences.mentions {
         let hits = world.kb().by_title(&occ.surface);
         // Restrict to the target domain's dictionary.
-        let hit = hits
-            .iter()
-            .copied()
-            .find(|&id| world.kb().entity(id).domain == domain.id);
+        let hit = hits.iter().copied().find(|&id| world.kb().entity(id).domain == domain.id);
         let Some(matched) = hit else { continue };
         let true_entity = occ.entity;
         let mut mention = occ;

@@ -36,10 +36,7 @@ pub fn candidates(description: &str, title: &str, stats: &TfIdf) -> Vec<TokenCan
         *tf.entry(t.as_str()).or_insert(0) += 1;
     }
     // Max TF-IDF for normalisation.
-    let max_w = tokens
-        .iter()
-        .map(|t| tf[t.as_str()] as f64 * stats.idf(t))
-        .fold(1e-12, f64::max);
+    let max_w = tokens.iter().map(|t| tf[t.as_str()] as f64 * stats.idf(t)).fold(1e-12, f64::max);
 
     let mut seen = HashSet::new();
     let mut out = Vec::new();

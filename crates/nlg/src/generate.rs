@@ -100,7 +100,12 @@ pub fn train_source_rewriter(
 /// surface replaces the original in the same context; the weak label is
 /// unchanged. Pairs whose description yields no rewrite are kept
 /// verbatim.
-pub fn rewrite_pairs(world: &World, pairs: &[SynPair], rewriter: &Rewriter, rng: &mut Rng) -> Vec<SynPair> {
+pub fn rewrite_pairs(
+    world: &World,
+    pairs: &[SynPair],
+    rewriter: &Rewriter,
+    rng: &mut Rng,
+) -> Vec<SynPair> {
     pairs
         .iter()
         .map(|p| {
@@ -140,10 +145,7 @@ mod tests {
 
     /// Pair every synthetic mention with each gold mention of the same
     /// entity (Table XI's distribution-similarity measurement).
-    fn entity_pairs<'a>(
-        syn: &'a [SynPair],
-        gold: &'a [LinkedMention],
-    ) -> Vec<(&'a str, &'a str)> {
+    fn entity_pairs<'a>(syn: &'a [SynPair], gold: &'a [LinkedMention]) -> Vec<(&'a str, &'a str)> {
         let mut out = Vec::new();
         for p in syn {
             for g in gold.iter().filter(|g| g.entity == p.mention.entity) {
@@ -177,11 +179,8 @@ mod tests {
         let syn = generate_syn(&world, &domain, &rewriter, 500, &mut rng);
         assert!(!syn.exact.is_empty());
         assert_eq!(syn.exact.len(), syn.rewritten.len());
-        let rewritten_count = syn
-            .rewritten
-            .iter()
-            .filter(|p| p.source == SynSource::Rewritten)
-            .count();
+        let rewritten_count =
+            syn.rewritten.iter().filter(|p| p.source == SynSource::Rewritten).count();
         assert!(
             rewritten_count * 10 >= syn.rewritten.len() * 9,
             "only {rewritten_count}/{} rewritten",
@@ -230,7 +229,7 @@ mod tests {
     }
 
     #[test]
-    fn adaptation_helps_or_matches_on_target(){
+    fn adaptation_helps_or_matches_on_target() {
         let (world, rewriter) = setup();
         let domain = world.domain("TargetX").clone();
         let mut rng = Rng::seed_from_u64(9);

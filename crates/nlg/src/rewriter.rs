@@ -130,8 +130,7 @@ impl Rewriter {
         candidates(description, title, &self.stats)
             .into_iter()
             .map(|c| {
-                let z: f64 =
-                    c.features.iter().zip(w.data()).map(|(f, wi)| f * wi).sum::<f64>() + b;
+                let z: f64 = c.features.iter().zip(w.data()).map(|(f, wi)| f * wi).sum::<f64>() + b;
                 (c.token, c.first_position, z)
             })
             .collect()
@@ -161,11 +160,8 @@ impl Rewriter {
         }
         scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
         let len = rng.length(1, self.cfg.max_len, self.cfg.extend_p).min(scored.len());
-        let mut picked: Vec<(String, usize)> = scored
-            .into_iter()
-            .take(len)
-            .map(|(t, pos, _)| (t, pos))
-            .collect();
+        let mut picked: Vec<(String, usize)> =
+            scored.into_iter().take(len).map(|(t, pos, _)| (t, pos)).collect();
         picked.sort_by_key(|(_, pos)| *pos);
         let body = picked.into_iter().map(|(t, _)| t).collect::<Vec<_>>().join(" ");
         Some(if rng.chance(self.cfg.the_p) { format!("the {body}") } else { body })
@@ -178,10 +174,7 @@ impl Rewriter {
 
     /// The learned feature weights (diagnostics).
     pub fn weights(&self) -> Vec<f64> {
-        self.params
-            .get(self.params.id_of("w").expect("w"))
-            .data()
-            .to_vec()
+        self.params.get(self.params.id_of("w").expect("w")).data().to_vec()
     }
 }
 
@@ -244,10 +237,7 @@ mod tests {
             let toks = mb_text::tokenize(&m);
             assert!(!toks.is_empty() && toks.len() <= 4, "mention {m:?}");
             for t in toks {
-                assert!(
-                    t == "the" || desc.contains(&t),
-                    "token {t:?} not from the description"
-                );
+                assert!(t == "the" || desc.contains(&t), "token {t:?} not from the description");
             }
         }
     }

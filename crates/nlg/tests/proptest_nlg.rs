@@ -1,23 +1,23 @@
 //! Property-based tests of the rewriter's guarantees.
 
+use mb_check::{gen, prop_assert, prop_assert_eq, Gen};
 use mb_common::Rng;
 use mb_nlg::rewriter::{RewriteExample, Rewriter, RewriterConfig};
 use mb_text::tfidf::TfIdf;
 use mb_text::tokenize;
-use proptest::prelude::*;
 
-fn sentence() -> impl Strategy<Value = String> {
-    proptest::collection::vec("[a-z]{3,8}", 3..15).prop_map(|ws| ws.join(" "))
+/// A 3–14 word sentence of 3–8 letter lowercase words.
+fn sentence() -> impl Gen<Value = String> {
+    gen::vec_of(gen::lowercase_string(3..=8), 3..15).map(|ws| ws.join(" "))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+mb_check::check! {
+    #![config(cases = 32)]
 
-    #[test]
     fn rewrites_are_short_and_drawn_from_the_description(
-        seed in 0u64..500,
+        seed in gen::u64_in(0..500),
         desc in sentence(),
-        title in "[a-z]{3,8}",
+        title in gen::lowercase_string(3..=8),
     ) {
         let stats = TfIdf::fit([desc.as_str()]);
         let examples = vec![RewriteExample {
@@ -43,8 +43,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn token_scores_cover_all_content_tokens(desc in sentence(), title in "[a-z]{3,8}") {
+    fn token_scores_cover_all_content_tokens(desc in sentence(), title in gen::lowercase_string(3..=8)) {
         let stats = TfIdf::fit([desc.as_str()]);
         let rw = Rewriter::train(&[], stats, RewriterConfig::default(), &mut Rng::seed_from_u64(1));
         let scored = rw.token_scores(&desc, &title);
@@ -60,9 +59,8 @@ proptest! {
         }
     }
 
-    #[test]
     fn adaptation_is_monotone_in_corpus_size(
-        docs in proptest::collection::vec(sentence(), 1..6),
+        docs in gen::vec_of(sentence(), 1..6),
     ) {
         let rw = Rewriter::train(
             &[],

@@ -7,9 +7,7 @@ use mb_common::Rng;
 /// weight matrix: `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
 pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
     let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
-    let data = (0..fan_in * fan_out)
-        .map(|_| rng.range_f64(-limit, limit))
-        .collect();
+    let data = (0..fan_in * fan_out).map(|_| rng.range_f64(-limit, limit)).collect();
     Tensor::from_vec(vec![fan_in, fan_out], data)
 }
 

@@ -159,22 +159,14 @@ impl Optimizer for Adam {
             let g = grads.get(id);
             let mi = &mut m[i];
             let vi = &mut v[i];
-            for ((mj, vj), &gj) in mi
-                .data_mut()
-                .iter_mut()
-                .zip(vi.data_mut().iter_mut())
-                .zip(g.data())
+            for ((mj, vj), &gj) in
+                mi.data_mut().iter_mut().zip(vi.data_mut().iter_mut()).zip(g.data())
             {
                 *mj = self.beta1 * *mj + (1.0 - self.beta1) * gj;
                 *vj = self.beta2 * *vj + (1.0 - self.beta2) * gj * gj;
             }
             let p = params.get_mut(id);
-            for ((pj, &mj), &vj) in p
-                .data_mut()
-                .iter_mut()
-                .zip(mi.data())
-                .zip(vi.data())
-            {
+            for ((pj, &mj), &vj) in p.data_mut().iter_mut().zip(mi.data()).zip(vi.data()) {
                 let mhat = mj / bc1;
                 let vhat = vj / bc2;
                 *pj -= self.lr * mhat / (vhat.sqrt() + self.eps);

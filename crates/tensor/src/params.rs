@@ -42,10 +42,7 @@ impl Params {
     /// loudly.
     pub fn add(&mut self, name: impl Into<String>, tensor: Tensor) -> ParamId {
         let name = name.into();
-        assert!(
-            !self.names.contains(&name),
-            "Params::add: duplicate parameter name {name:?}"
-        );
+        assert!(!self.names.contains(&name), "Params::add: duplicate parameter name {name:?}");
         self.names.push(name);
         self.tensors.push(tensor);
         ParamId(self.tensors.len() - 1)
@@ -144,11 +141,7 @@ impl GradVec {
     /// A zero gradient matching `params` shapes.
     pub fn zeros_like(params: &Params) -> Self {
         GradVec {
-            grads: params
-                .tensors
-                .iter()
-                .map(|t| Tensor::zeros(t.shape().to_vec()))
-                .collect(),
+            grads: params.tensors.iter().map(|t| Tensor::zeros(t.shape().to_vec())).collect(),
         }
     }
 
@@ -179,11 +172,7 @@ impl GradVec {
     /// Panics on misaligned shapes.
     pub fn dot(&self, other: &GradVec) -> f64 {
         assert_eq!(self.grads.len(), other.grads.len(), "GradVec::dot length mismatch");
-        self.grads
-            .iter()
-            .zip(&other.grads)
-            .map(|(a, b)| a.dot(b))
-            .sum()
+        self.grads.iter().zip(&other.grads).map(|(a, b)| a.dot(b)).sum()
     }
 
     /// Dot product restricted to parameters selected by `keep`
@@ -214,11 +203,7 @@ impl GradVec {
 
     /// Global L2 norm across all gradients.
     pub fn norm(&self) -> f64 {
-        self.grads
-            .iter()
-            .map(|g| g.data().iter().map(|x| x * x).sum::<f64>())
-            .sum::<f64>()
-            .sqrt()
+        self.grads.iter().map(|g| g.data().iter().map(|x| x * x).sum::<f64>()).sum::<f64>().sqrt()
     }
 
     /// In-place `self += k * other`.

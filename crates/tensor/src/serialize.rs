@@ -65,9 +65,7 @@ pub fn from_string(s: &str) -> Result<Params> {
             Some("param") => {}
             other => return Err(Error::Parse(format!("expected 'param', got {other:?}"))),
         }
-        let name = parts
-            .next()
-            .ok_or_else(|| Error::Parse("param line missing name".into()))?;
+        let name = parts.next().ok_or_else(|| Error::Parse("param line missing name".into()))?;
         let rank: usize = parts
             .next()
             .ok_or_else(|| Error::Parse("param line missing rank".into()))?
@@ -86,9 +84,8 @@ pub fn from_string(s: &str) -> Result<Params> {
             return Err(Error::Parse(format!("param {name}: trailing tokens on header")));
         }
         let numel: usize = shape.iter().product();
-        let data_line = lines
-            .next()
-            .ok_or_else(|| Error::Parse(format!("param {name}: missing data line")))?;
+        let data_line =
+            lines.next().ok_or_else(|| Error::Parse(format!("param {name}: missing data line")))?;
         let data: Vec<f64> = data_line
             .split_whitespace()
             .map(|t| {

@@ -38,7 +38,11 @@ enum Op {
     /// `a @ bᵀ` — the bi-encoder score matrix kernel.
     MatmulT(Var, Var),
     /// `x @ w + b` with `b` broadcast over rows.
-    Linear { x: Var, w: Var, b: Var },
+    Linear {
+        x: Var,
+        w: Var,
+        b: Var,
+    },
     Tanh(Var),
     Relu(Var),
     Sigmoid(Var),
@@ -47,31 +51,54 @@ enum Op {
     /// Sum over all elements, producing a scalar.
     SumAll(Var),
     /// Row-wise L2 normalisation with an epsilon floor.
-    RowL2Normalize { x: Var, eps: f64 },
+    RowL2Normalize {
+        x: Var,
+        eps: f64,
+    },
     /// Mean-pooled embedding-bag lookup: row i of the output is the mean
     /// of `table` rows listed in `bags[i]` (zero vector for empty bags).
-    BagEmbed { table: Var, bags: Vec<Vec<u32>> },
+    BagEmbed {
+        table: Var,
+        bags: Vec<Vec<u32>>,
+    },
     /// Row-wise dot product of two `[n, d]` tensors, producing `[n]`.
     RowsDot(Var, Var),
     /// The paper's Eq. 6 in-batch negative loss over an `[n, n]` score
     /// matrix whose diagonal holds the gold scores; produces `[n]`
     /// per-example losses. When `exclude_gold` is true the denominator
     /// omits the gold entity (as printed in the paper).
-    InBatchNegLoss { scores: Var, exclude_gold: bool },
+    InBatchNegLoss {
+        scores: Var,
+        exclude_gold: bool,
+    },
     /// Per-row softmax cross-entropy: `[n, k]` logits and a gold column
     /// per row; produces `[n]` losses. Used by the cross-encoder ranker.
-    SoftmaxCrossEntropyRows { logits: Var, targets: Vec<usize> },
+    SoftmaxCrossEntropyRows {
+        logits: Var,
+        targets: Vec<usize>,
+    },
     /// Numerically-stable binary cross-entropy with logits; elementwise,
     /// produces a tensor of per-element losses.
-    BceWithLogits { logits: Var, targets: Vec<f64> },
+    BceWithLogits {
+        logits: Var,
+        targets: Vec<f64>,
+    },
     /// `Σᵢ wᵢ xᵢ` over a rank-1 tensor, producing a scalar. This is the
     /// weighted synthetic-batch loss of Algorithm 1 (lines 4 and 10).
-    WeightedSum { xs: Var, weights: Vec<f64> },
+    WeightedSum {
+        xs: Var,
+        weights: Vec<f64>,
+    },
     /// Pick a single element of a rank-1 tensor as a scalar — used to
     /// extract one example's loss for per-example gradients.
-    Gather { xs: Var, index: usize },
+    Gather {
+        xs: Var,
+        index: usize,
+    },
     /// View with a different shape (same element count, same order).
-    Reshape { x: Var },
+    Reshape {
+        x: Var,
+    },
 }
 
 struct Node {
@@ -346,22 +373,15 @@ impl Tape {
         for (i, o) in out.iter_mut().enumerate() {
             let row = sv.row(i);
             let lse = if exclude_gold {
-                let rest: Vec<f64> = row
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| *j != i)
-                    .map(|(_, &s)| s)
-                    .collect();
+                let rest: Vec<f64> =
+                    row.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, &s)| s).collect();
                 log_sum_exp(&rest)
             } else {
                 log_sum_exp(row)
             };
             *o = -row[i] + lse;
         }
-        self.push(
-            Tensor::from_vec(vec![n], out),
-            Op::InBatchNegLoss { scores, exclude_gold },
-        )
+        self.push(Tensor::from_vec(vec![n], out), Op::InBatchNegLoss { scores, exclude_gold })
     }
 
     /// Per-row softmax cross-entropy over `[n, k]` logits → `[n]` losses.
@@ -380,10 +400,7 @@ impl Tape {
             let row = lv.row(i);
             *o = -row[t] + log_sum_exp(row);
         }
-        self.push(
-            Tensor::from_vec(vec![n], out),
-            Op::SoftmaxCrossEntropyRows { logits, targets },
-        )
+        self.push(Tensor::from_vec(vec![n], out), Op::SoftmaxCrossEntropyRows { logits, targets })
     }
 
     /// Elementwise binary cross-entropy with logits (stable form).
@@ -461,10 +478,7 @@ impl Tape {
             self.val(loss).shape()
         );
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Tensor::from_vec(
-            self.val(loss).shape().to_vec(),
-            vec![1.0],
-        ));
+        grads[loss.0] = Some(Tensor::from_vec(self.val(loss).shape().to_vec(), vec![1.0]));
 
         for idx in (0..=loss.0).rev() {
             let g = match grads[idx].take() {
@@ -936,11 +950,7 @@ mod tests {
             let (_, g, sv, losses) = run(&s0);
             // Hand-check loss of row 0.
             let row = s0.row(0);
-            let denom: Vec<f64> = if exclude {
-                row[1..].to_vec()
-            } else {
-                row.to_vec()
-            };
+            let denom: Vec<f64> = if exclude { row[1..].to_vec() } else { row.to_vec() };
             let expect = -row[0] + log_sum_exp(&denom);
             assert!(approx_eq(losses.data()[0], expect, 1e-12));
             assert_close(g.get(sv).unwrap(), &numeric_grad(&|s| run(s).0, &s0), 1e-5);

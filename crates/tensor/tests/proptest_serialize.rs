@@ -1,20 +1,24 @@
 //! Property-based round-trip tests of the checkpoint format.
 
+use mb_check::gen::{self, CharsetChar, StringGen};
+use mb_check::prop_assert_eq;
 use mb_tensor::{serialize, Params, Tensor};
-use proptest::prelude::*;
 
-fn param_name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_.]{0,12}"
+fn param_name() -> StringGen<CharsetChar> {
+    gen::charset_string("abcdefghijklmnopqrstuvwxyz0123456789_.", 1..=13)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+mb_check::check! {
+    #![config(cases = 48)]
 
-    #[test]
     fn arbitrary_params_round_trip_exactly(
-        specs in proptest::collection::vec(
-            (param_name(), 1usize..5, 1usize..5,
-             proptest::collection::vec(proptest::num::f64::NORMAL | proptest::num::f64::ZERO, 1..25)),
+        specs in gen::vec_of(
+            (
+                param_name(),
+                gen::usize_in(1..5),
+                gen::usize_in(1..5),
+                gen::vec_of(gen::f64_normal_or_zero(), 1..25),
+            ),
             1..6,
         )
     ) {
@@ -34,16 +38,14 @@ proptest! {
         prop_assert_eq!(parsed, params);
     }
 
-    #[test]
-    fn parser_never_panics_on_garbage(garbage in ".{0,300}") {
+    fn parser_never_panics_on_garbage(garbage in gen::any_string(0..=300)) {
         // Must return Err or Ok, never panic.
         let _ = serialize::from_string(&garbage);
     }
 
-    #[test]
     fn parser_never_panics_on_mutated_valid_input(
-        flip in 0usize..200,
-        replacement in proptest::char::range('!', '~'),
+        flip in gen::usize_in(0..200),
+        replacement in gen::char_in('!', '~'),
     ) {
         let mut params = Params::new();
         params.add("w", Tensor::from_vec(vec![2, 2], vec![1.0, -2.5, 3.25, 0.0]));

@@ -1,16 +1,16 @@
 //! Property-based tests of tensor algebra and autodiff invariants.
 
+use mb_check::gen::{self, F64In, VecGen};
+use mb_check::{prop_assert, prop_assert_eq};
 use mb_tensor::{Tape, Tensor};
-use proptest::prelude::*;
 
-fn vec_f64(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-10.0..10.0f64, len)
+fn vec_f64(len: usize) -> VecGen<F64In> {
+    gen::vec_of(gen::f64_in(-10.0..10.0), len)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+mb_check::check! {
+    #![config(cases = 64)]
 
-    #[test]
     fn add_is_commutative_and_associative(a in vec_f64(12), b in vec_f64(12), c in vec_f64(12)) {
         let ta = Tensor::from_vec(vec![3, 4], a);
         let tb = Tensor::from_vec(vec![3, 4], b);
@@ -27,7 +27,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn matmul_distributes_over_addition(a in vec_f64(6), b in vec_f64(6), c in vec_f64(6)) {
         // (A + B) C == AC + BC
         let ta = Tensor::from_vec(vec![2, 3], a);
@@ -40,7 +39,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn transpose_is_involutive_and_preserves_norm(a in vec_f64(20)) {
         let t = Tensor::from_vec(vec![4, 5], a);
         let tt = t.transpose().transpose();
@@ -48,7 +46,6 @@ proptest! {
         prop_assert!((t.norm() - t.transpose().norm()).abs() < 1e-12);
     }
 
-    #[test]
     fn grad_of_sum_is_ones(a in vec_f64(8)) {
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::from_vec(vec![8], a));
@@ -59,8 +56,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn grad_is_linear_in_upstream_scale(a in vec_f64(6), k in -3.0..3.0f64) {
+    fn grad_is_linear_in_upstream_scale(a in vec_f64(6), k in gen::f64_in(-3.0..3.0)) {
         // d(k·f)/dx == k · df/dx for f = sum(tanh(x)).
         let x0 = Tensor::from_vec(vec![6], a);
         let grad_of = |scale: f64| {
@@ -79,7 +75,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn row_l2_normalize_produces_unit_rows(a in vec_f64(15)) {
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::from_vec(vec![3, 5], a));
@@ -95,7 +90,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn in_batch_neg_loss_is_finite_and_excluding_gold_increases_it(a in vec_f64(16)) {
         let scores = Tensor::from_vec(vec![4, 4], a);
         let loss_with = {
@@ -120,8 +114,12 @@ proptest! {
         }
     }
 
-    #[test]
-    fn softmax_ce_rows_nonnegative(a in vec_f64(12), t0 in 0usize..4, t1 in 0usize..4, t2 in 0usize..4) {
+    fn softmax_ce_rows_nonnegative(
+        a in vec_f64(12),
+        t0 in gen::usize_in(0..4),
+        t1 in gen::usize_in(0..4),
+        t2 in gen::usize_in(0..4),
+    ) {
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::from_vec(vec![3, 4], a));
         let l = tape.softmax_ce_rows(x, vec![t0, t1, t2]);

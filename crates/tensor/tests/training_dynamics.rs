@@ -52,10 +52,7 @@ fn student_teacher_loss(seed: u64, steps: usize, lr: f64) -> (f64, f64) {
 #[test]
 fn student_learns_the_teacher() {
     let (initial, fin) = student_teacher_loss(5, 400, 0.02);
-    assert!(
-        fin < initial * 0.05,
-        "loss barely moved: {initial:.4} -> {fin:.4}"
-    );
+    assert!(fin < initial * 0.05, "loss barely moved: {initial:.4} -> {fin:.4}");
 }
 
 #[test]
@@ -82,10 +79,7 @@ fn sgd_and_adam_agree_at_the_first_plain_step() {
         let g = tape.backward(l);
         (v, p.collect_grads(&vars, &g))
     };
-    for mut opt in [
-        Box::new(Sgd::new(0.05)) as Box<dyn Optimizer>,
-        Box::new(Adam::new(0.05)),
-    ] {
+    for mut opt in [Box::new(Sgd::new(0.05)) as Box<dyn Optimizer>, Box::new(Adam::new(0.05))] {
         let mut params = Params::new();
         params.add("x", Tensor::zeros(vec![4]));
         let (before, g) = loss(&params);
@@ -97,10 +91,7 @@ fn sgd_and_adam_agree_at_the_first_plain_step() {
 
 #[test]
 fn global_norm_clipping_preserves_direction() {
-    let g = GradVec::from_tensors(vec![
-        Tensor::vector(&[3.0, 0.0]),
-        Tensor::vector(&[0.0, 4.0]),
-    ]);
+    let g = GradVec::from_tensors(vec![Tensor::vector(&[3.0, 0.0]), Tensor::vector(&[0.0, 4.0])]);
     let mut clipped = g.clone();
     let k = clipped.clip_global_norm(2.5);
     assert!((k - 0.5).abs() < 1e-12);

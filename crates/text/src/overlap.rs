@@ -103,10 +103,7 @@ mod tests {
 
     #[test]
     fn multiple_categories() {
-        assert_eq!(
-            classify("SORA", "SORA (satellite)"),
-            OverlapCategory::MultipleCategories
-        );
+        assert_eq!(classify("SORA", "SORA (satellite)"), OverlapCategory::MultipleCategories);
         assert_eq!(
             classify("satellite", "Satellite (series)"),
             OverlapCategory::MultipleCategories
@@ -115,10 +112,7 @@ mod tests {
 
     #[test]
     fn ambiguous_substring() {
-        assert_eq!(
-            classify("Hanasaki", "Mr. Hanasaki"),
-            OverlapCategory::AmbiguousSubstring
-        );
+        assert_eq!(classify("Hanasaki", "Mr. Hanasaki"), OverlapCategory::AmbiguousSubstring);
         assert_eq!(
             classify("golden master", "the curse of the golden master"),
             OverlapCategory::AmbiguousSubstring
@@ -154,10 +148,7 @@ mod tests {
     fn disambiguation_beats_substring() {
         // Mention equals the base: must be MultipleCategories even though
         // it is also a substring.
-        assert_eq!(
-            classify("sora", "SORA (satellite)"),
-            OverlapCategory::MultipleCategories
-        );
+        assert_eq!(classify("sora", "SORA (satellite)"), OverlapCategory::MultipleCategories);
     }
 
     #[test]

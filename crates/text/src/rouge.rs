@@ -22,16 +22,9 @@ pub struct PrecisionRecallF1 {
 
 impl PrecisionRecallF1 {
     fn from_counts(hits: usize, candidate_total: usize, reference_total: usize) -> Self {
-        let precision = if candidate_total == 0 {
-            0.0
-        } else {
-            hits as f64 / candidate_total as f64
-        };
-        let recall = if reference_total == 0 {
-            0.0
-        } else {
-            hits as f64 / reference_total as f64
-        };
+        let precision =
+            if candidate_total == 0 { 0.0 } else { hits as f64 / candidate_total as f64 };
+        let recall = if reference_total == 0 { 0.0 } else { hits as f64 / reference_total as f64 };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
@@ -79,11 +72,7 @@ fn lcs_len(a: &[String], b: &[String]) -> usize {
     let mut cur = vec![0usize; b.len() + 1];
     for ai in a {
         for (j, bj) in b.iter().enumerate() {
-            cur[j + 1] = if ai == bj {
-                prev[j] + 1
-            } else {
-                prev[j + 1].max(cur[j])
-            };
+            cur[j + 1] = if ai == bj { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
         }
         std::mem::swap(&mut prev, &mut cur);
     }
@@ -108,12 +97,7 @@ pub fn best_match_rouge1_f1(candidates: &[String], references: &[String]) -> f64
     }
     let total: f64 = candidates
         .iter()
-        .map(|c| {
-            references
-                .iter()
-                .map(|r| rouge_1(c, r).f1)
-                .fold(0.0_f64, f64::max)
-        })
+        .map(|c| references.iter().map(|r| rouge_1(c, r).f1).fold(0.0_f64, f64::max))
         .sum();
     total / candidates.len() as f64
 }
@@ -188,11 +172,7 @@ mod tests {
 
     #[test]
     fn bounds_hold() {
-        for (c, r) in [
-            ("a b c d", "b d e"),
-            ("x", "x y z w"),
-            ("m n o p q", "p q"),
-        ] {
+        for (c, r) in [("a b c d", "b d e"), ("x", "x y z w"), ("m n o p q", "p q")] {
             for s in [rouge_1(c, r), rouge_2(c, r), rouge_l(c, r)] {
                 assert!((0.0..=1.0).contains(&s.precision));
                 assert!((0.0..=1.0).contains(&s.recall));

@@ -5,13 +5,61 @@
 /// Function words and generic wiki-genre connective verbs excluded
 /// from salience scoring (kept sorted for binary search).
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "and", "appeared", "are", "as", "associated", "at", "be",
-    "been", "belongs", "but", "by", "during", "encountered", "faced",
-    "first", "for", "from", "had", "has", "have", "he", "held", "her",
-    "his", "in", "into", "is", "it", "its", "known", "near", "of", "on",
-    "or", "remembered", "seen", "shaped", "she", "that", "the", "their",
-    "them", "they", "this", "to", "together", "turned", "was", "were",
-    "which", "who", "will", "with",
+    "a",
+    "an",
+    "and",
+    "appeared",
+    "are",
+    "as",
+    "associated",
+    "at",
+    "be",
+    "been",
+    "belongs",
+    "but",
+    "by",
+    "during",
+    "encountered",
+    "faced",
+    "first",
+    "for",
+    "from",
+    "had",
+    "has",
+    "have",
+    "he",
+    "held",
+    "her",
+    "his",
+    "in",
+    "into",
+    "is",
+    "it",
+    "its",
+    "known",
+    "near",
+    "of",
+    "on",
+    "or",
+    "remembered",
+    "seen",
+    "shaped",
+    "she",
+    "that",
+    "the",
+    "their",
+    "them",
+    "they",
+    "this",
+    "to",
+    "together",
+    "turned",
+    "was",
+    "were",
+    "which",
+    "who",
+    "will",
+    "with",
 ];
 
 /// True if `token` (already lowercased) is a stopword.

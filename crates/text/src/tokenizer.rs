@@ -19,8 +19,13 @@ pub fn tokenize(text: &str) -> Vec<String> {
     let mut current = String::new();
     for ch in text.chars() {
         if ch.is_alphanumeric() {
+            // Lowercasing can expand to several chars, not all of them
+            // alphanumeric ('İ' → "i\u{307}"); keep only those that
+            // preserve the all-alphanumeric token invariant.
             for lower in ch.to_lowercase() {
-                current.push(lower);
+                if lower.is_alphanumeric() {
+                    current.push(lower);
+                }
             }
         } else if !current.is_empty() {
             tokens.push(std::mem::take(&mut current));
@@ -39,10 +44,7 @@ pub fn detokenize(tokens: &[String]) -> String {
 
 /// Tokenize and keep only tokens of at least `min_len` characters.
 pub fn tokenize_min_len(text: &str, min_len: usize) -> Vec<String> {
-    tokenize(text)
-        .into_iter()
-        .filter(|t| t.chars().count() >= min_len)
-        .collect()
+    tokenize(text).into_iter().filter(|t| t.chars().count() >= min_len).collect()
 }
 
 #[cfg(test)]
@@ -69,6 +71,14 @@ mod tests {
     #[test]
     fn unicode_lowercasing() {
         assert_eq!(tokenize("Übermensch Café"), vec!["übermensch", "café"]);
+    }
+
+    #[test]
+    fn lowercase_expansion_drops_combining_marks() {
+        // 'İ' lowercases to "i" + U+0307 COMBINING DOT ABOVE; the
+        // combining mark is not alphanumeric and must not leak into
+        // the token (found by mb-check).
+        assert_eq!(tokenize("İstanbul"), vec!["istanbul"]);
     }
 
     #[test]

@@ -53,11 +53,8 @@ impl VocabBuilder {
     /// which makes the vocabulary (and thus every downstream model)
     /// deterministic.
     pub fn build(self, min_count: u64) -> Vocab {
-        let mut entries: Vec<(String, u64)> = self
-            .counts
-            .into_iter()
-            .filter(|(_, c)| *c >= min_count)
-            .collect();
+        let mut entries: Vec<(String, u64)> =
+            self.counts.into_iter().filter(|(_, c)| *c >= min_count).collect();
         entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let mut vocab = Vocab {
             token_to_id: HashMap::with_capacity(entries.len() + 1),
@@ -108,10 +105,7 @@ impl Vocab {
 
     /// Encode a raw text into ids (unknowns map to [`UNK`]).
     pub fn encode(&self, text: &str) -> Vec<u32> {
-        crate::tokenizer::tokenize(text)
-            .iter()
-            .map(|t| self.id(t))
-            .collect()
+        crate::tokenizer::tokenize(text).iter().map(|t| self.id(t)).collect()
     }
 
     /// Encode pre-tokenized tokens into ids.

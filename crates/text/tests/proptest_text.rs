@@ -1,24 +1,24 @@
 //! Property-based tests of the text substrate.
 
+use mb_check::gen::{self, StringGen, VecGen};
+use mb_check::{prop_assert, prop_assert_eq};
 use mb_text::edit::levenshtein;
 use mb_text::overlap::{classify, OverlapCategory};
 use mb_text::rouge::{rouge_1, rouge_l};
 use mb_text::tokenizer::{detokenize, tokenize};
 use mb_text::vocab::VocabBuilder;
-use proptest::prelude::*;
 
-fn word() -> impl Strategy<Value = String> {
-    "[a-z]{1,8}"
+fn word() -> StringGen<gen::CharIn> {
+    gen::lowercase_string(1..=8)
 }
 
-fn words(max: usize) -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::vec(word(), 1..max)
+fn words(max: usize) -> VecGen<StringGen<gen::CharIn>> {
+    gen::vec_of(word(), 1..max)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+mb_check::check! {
+    #![config(cases = 128)]
 
-    #[test]
     fn tokenize_detokenize_round_trip(ws in words(8)) {
         let text = ws.join(" ");
         let toks = tokenize(&text);
@@ -26,8 +26,7 @@ proptest! {
         prop_assert_eq!(tokenize(&detokenize(&toks)), toks);
     }
 
-    #[test]
-    fn tokenize_never_panics_and_is_lowercase(s in ".{0,120}") {
+    fn tokenize_never_panics_and_is_lowercase(s in gen::any_string(0..=120)) {
         for t in tokenize(&s) {
             prop_assert!(!t.is_empty());
             prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
@@ -37,8 +36,11 @@ proptest! {
         }
     }
 
-    #[test]
-    fn levenshtein_is_a_metric(a in "[a-z]{0,10}", b in "[a-z]{0,10}", c in "[a-z]{0,10}") {
+    fn levenshtein_is_a_metric(
+        a in gen::lowercase_string(0..=10),
+        b in gen::lowercase_string(0..=10),
+        c in gen::lowercase_string(0..=10),
+    ) {
         prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
         prop_assert_eq!(levenshtein(&a, &a), 0);
         prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
@@ -46,7 +48,6 @@ proptest! {
         prop_assert!(levenshtein(&a, &b) <= a.chars().count().max(b.chars().count()));
     }
 
-    #[test]
     fn rouge_scores_are_bounded_and_reflexive(a in words(6), b in words(6)) {
         let ta = a.join(" ");
         let tb = b.join(" ");
@@ -62,7 +63,6 @@ proptest! {
         prop_assert!((ab - ba).abs() < 1e-12);
     }
 
-    #[test]
     fn overlap_classification_is_total_and_consistent(m in words(4), t in words(4)) {
         let mention = m.join(" ");
         let title = t.join(" ");
@@ -75,8 +75,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn vocab_encode_ids_are_in_range(docs in proptest::collection::vec(words(10), 1..6)) {
+    fn vocab_encode_ids_are_in_range(docs in gen::vec_of(words(10), 1..6)) {
         let mut b = VocabBuilder::new();
         for d in &docs {
             b.add_text(&d.join(" "));
@@ -91,5 +90,44 @@ proptest! {
         }
         // A token never seen maps to UNK.
         prop_assert_eq!(v.id("zzzneverseenzzz"), mb_text::vocab::UNK);
+    }
+}
+
+/// Regression corpus converted from the retired
+/// `proptest_text.proptest-regressions` file: inputs proptest once
+/// shrank a failure to. mb-check reports printable seeds instead of a
+/// seed file, so these live on as explicit unit tests.
+mod regressions {
+    use super::*;
+
+    /// `cc a8fed…` shrank to `s = "𝓐"` (U+1D4D0 MATHEMATICAL BOLD
+    /// SCRIPT CAPITAL A): an astral-plane alphanumeric character with
+    /// no lowercase mapping, which once broke the "tokens are
+    /// lowercase" invariant of `tokenize_never_panics_and_is_lowercase`.
+    #[test]
+    fn mathematical_script_capital_a_stays_intact() {
+        let s = "\u{1D4D0}";
+        for t in tokenize(s) {
+            assert!(!t.is_empty());
+            assert!(t.chars().all(|c| c.is_alphanumeric()));
+            // No lowercase mapping: lowercasing must be a no-op, and
+            // tokenize must not have mangled the character.
+            assert_eq!(t.to_lowercase(), t);
+        }
+        // The character is alphanumeric, so it must survive as a token.
+        assert_eq!(tokenize(s), vec!["\u{1D4D0}".to_string()]);
+    }
+
+    /// Found by mb-check while porting this suite (replay seed
+    /// 0x13DD069BF4E5D380, shrunk to `"İ"`): U+0130 lowercases to
+    /// `"i\u{307}"` and the combining mark used to leak into the token,
+    /// breaking the all-alphanumeric invariant.
+    #[test]
+    fn latin_capital_i_with_dot_above_lowercases_cleanly() {
+        assert_eq!(tokenize("İ"), vec!["i".to_string()]);
+        for t in tokenize("İ") {
+            assert!(t.chars().all(|c| c.is_alphanumeric()));
+            assert_eq!(t.to_lowercase(), t);
+        }
     }
 }

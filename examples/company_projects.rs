@@ -11,7 +11,7 @@
 //! cargo run --release --example company_projects
 //! ```
 
-use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::core::pipeline::{train, DataSource, MetaBlinkConfig, Method};
 use metablink::datagen::world::{DomainRole, DomainSpec, WorldConfig};
 use metablink::eval::{ContextConfig, ExperimentContext};
 use metablink::text::OverlapCategory;

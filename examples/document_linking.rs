@@ -9,7 +9,7 @@
 use metablink::common::Rng;
 use metablink::core::coherence::{compare_on_documents, CoherenceConfig};
 use metablink::core::nil::NilAwareLinker;
-use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::core::pipeline::{train, DataSource, MetaBlinkConfig, Method};
 use metablink::core::{LinkerConfig, TwoStageLinker};
 use metablink::datagen::mentions::{generate_mentions, generate_one};
 use metablink::datagen::LinkedMention;
@@ -73,18 +73,11 @@ fn main() {
     let (dev_nil, test_nil) = nil_pool.split_at(60);
 
     let calibrated = NilAwareLinker::calibrate(&linker, dev_link, dev_nil, 50);
-    println!(
-        "\nNIL threshold calibrated on dev: {:.3}",
-        calibrated.threshold()
-    );
+    println!("\nNIL threshold calibrated on dev: {:.3}", calibrated.threshold());
     let with_nil = calibrated.evaluate(test_link, test_nil);
-    let never = NilAwareLinker::with_threshold(&linker, f64::NEG_INFINITY)
-        .evaluate(test_link, test_nil);
-    println!(
-        "mixed test set ({} linkable + {} NIL mentions):",
-        test_link.len(),
-        test_nil.len()
-    );
+    let never =
+        NilAwareLinker::with_threshold(&linker, f64::NEG_INFINITY).evaluate(test_link, test_nil);
+    println!("mixed test set ({} linkable + {} NIL mentions):", test_link.len(), test_nil.len());
     println!(
         "  never-NIL linker:  P {:.3}  R {:.3}  F1 {:.3}  (NIL detection {:.3})",
         never.precision(),

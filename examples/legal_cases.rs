@@ -13,7 +13,7 @@
 //! ```
 
 use metablink::core::baselines::name_matching_accuracy;
-use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::core::pipeline::{train, DataSource, MetaBlinkConfig, Method};
 use metablink::datagen::world::{DomainRole, DomainSpec, WorldConfig};
 use metablink::eval::{ContextConfig, ExperimentContext};
 
@@ -53,10 +53,14 @@ fn main() {
         ("MetaBLINK (syn + 50 seed)", Method::MetaBlink, DataSource::SynSeed),
     ] {
         let m = train(&task, method, source, &cfg).evaluate(&task, &split.test);
-        println!("{:<28} U.Acc = {:>6.2}%  (R@{} {:.2}%, N.Acc {:.2}%)",
-            label, m.unnormalized_acc, cfg.linker.k, m.recall_at_k, m.normalized_acc);
+        println!(
+            "{:<28} U.Acc = {:>6.2}%  (R@{} {:.2}%, N.Acc {:.2}%)",
+            label, m.unnormalized_acc, cfg.linker.k, m.recall_at_k, m.normalized_acc
+        );
     }
-    println!("\nThe few labeled cases alone cannot train the linker; the synthetic\n\
+    println!(
+        "\nThe few labeled cases alone cannot train the linker; the synthetic\n\
               supervision generated from the case descriptions plus the\n\
-              meta-learning reweighting recovers usable accuracy.");
+              meta-learning reweighting recovers usable accuracy."
+    );
 }

@@ -6,7 +6,7 @@
 //! ```
 
 use metablink::core::baselines::name_matching_accuracy;
-use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::core::pipeline::{train, DataSource, MetaBlinkConfig, Method};
 use metablink::core::{LinkerConfig, TwoStageLinker};
 use metablink::eval::{ContextConfig, ExperimentContext};
 

@@ -9,7 +9,7 @@
 //! cargo run --release --example zero_shot_transfer
 //! ```
 
-use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::core::pipeline::{train, DataSource, MetaBlinkConfig, Method};
 use metablink::core::seed::{mine_zero_shot_seed, self_match_seeds, SeedFilterConfig};
 use metablink::eval::{ContextConfig, ExperimentContext};
 
@@ -27,8 +27,11 @@ fn main() {
         self_matched.len()
     );
     for s in self_matched.iter().take(3) {
-        println!("  {:?} inside the description of {:?}",
-            s.surface, world.kb().entity(s.entity).title);
+        println!(
+            "  {:?} inside the description of {:?}",
+            s.surface,
+            world.kb().entity(s.entity).title
+        );
     }
     let mined = mine_zero_shot_seed(
         world.kb(),
@@ -52,8 +55,8 @@ fn main() {
     let few = train(&task_few, Method::MetaBlink, DataSource::GeneralSynSeed, &cfg)
         .evaluate(&task_few, test);
 
-    let baseline = train(&task_zero, Method::Blink, DataSource::General, &cfg)
-        .evaluate(&task_zero, test);
+    let baseline =
+        train(&task_zero, Method::Blink, DataSource::General, &cfg).evaluate(&task_zero, test);
 
     println!("\nU.Acc on {} unlabeled test mentions:", test.len());
     println!("  BLINK, general-domain training only  {:>6.2}%", baseline.unnormalized_acc);

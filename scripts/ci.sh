@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The CI gate, runnable locally and byte-for-byte the same steps as
+# .github/workflows/ci.yml — keep the two in sync.
+#
+# The workspace is hermetic: every dependency is a path crate, so all
+# steps work with networking disabled (cargo never touches a registry).
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release --workspace
+run cargo test -q --workspace
+# Bench smoke: the probe harness exercises the full pipeline
+# (worldgen -> synthetic supervision -> two-stage training -> eval)
+# at bench scale on one domain.
+run cargo run --release -p mb-bench --bin probe -- Lego
+
+echo
+echo "CI gate passed."

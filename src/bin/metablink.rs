@@ -11,13 +11,13 @@
 //! the benchmark configuration, so a model can be reloaded without
 //! shipping the (deterministically regenerable) benchmark itself.
 
-use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::common::Rng;
+use metablink::core::pipeline::{train, DataSource, MetaBlinkConfig, Method};
 use metablink::core::{LinkerConfig, TwoStageLinker};
 use metablink::datagen::LinkedMention;
 use metablink::encoders::biencoder::BiEncoder;
 use metablink::encoders::crossencoder::CrossEncoder;
 use metablink::eval::{ContextConfig, ExperimentContext};
-use metablink::common::Rng;
 use metablink::tensor::serialize;
 use metablink::text::OverlapCategory;
 use std::collections::HashMap;
@@ -165,10 +165,7 @@ impl Manifest {
             }
         }
         Ok(Manifest {
-            seed: map
-                .get("seed")
-                .and_then(|s| s.parse().ok())
-                .ok_or("manifest: bad seed")?,
+            seed: map.get("seed").and_then(|s| s.parse().ok()).ok_or("manifest: bad seed")?,
             scale: map.get("scale").cloned().ok_or("manifest: missing scale")?,
             domain: map.get("domain").cloned().ok_or("manifest: missing domain")?,
         })
@@ -188,11 +185,8 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!("{domain:?} is not a test domain ({:?})", ctx.test_domains()));
     }
     let task = ctx.task(&domain);
-    let cfg = if scale == "bench" {
-        MetaBlinkConfig::default()
-    } else {
-        MetaBlinkConfig::fast_test()
-    };
+    let cfg =
+        if scale == "bench" { MetaBlinkConfig::default() } else { MetaBlinkConfig::fast_test() };
     eprintln!("training {} on {} ({domain}) …", method.label(), source.label());
     let model = train(&task, method, source, &cfg);
     let metrics = model.evaluate(&task, &ctx.dataset.split(&domain).test);

@@ -5,7 +5,7 @@
 //! training, synthetic data) runs once.
 
 use metablink::core::baselines::name_matching_accuracy;
-use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::core::pipeline::{train, DataSource, MetaBlinkConfig, Method};
 use metablink::eval::{ContextConfig, ExperimentContext};
 use std::sync::OnceLock;
 
@@ -59,7 +59,8 @@ fn combining_synthetic_and_seed_does_not_hurt() {
     let task = c.task(domain);
     let split = c.dataset.split(domain);
     let cfg = MetaBlinkConfig::fast_test();
-    let seed_only = train(&task, Method::Blink, DataSource::Seed, &cfg).evaluate(&task, &split.test);
+    let seed_only =
+        train(&task, Method::Blink, DataSource::Seed, &cfg).evaluate(&task, &split.test);
     let combined =
         train(&task, Method::Blink, DataSource::SynSeed, &cfg).evaluate(&task, &split.test);
     assert!(

@@ -4,7 +4,7 @@
 use metablink::common::Rng;
 use metablink::core::coherence::{link_document, relatedness, CoherenceConfig};
 use metablink::core::nil::{NilAwareLinker, NilDecision};
-use metablink::core::pipeline::{train, DataSource, Method, MetaBlinkConfig};
+use metablink::core::pipeline::{train, DataSource, MetaBlinkConfig, Method};
 use metablink::core::{LinkerConfig, TwoStageLinker};
 use metablink::datagen::mentions::generate_mentions;
 use metablink::eval::{CategoryBreakdown, ContextConfig, ExperimentContext};

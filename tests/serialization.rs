@@ -1,9 +1,9 @@
 //! Checkpointing round-trips across the facade API.
 
 use metablink::common::Rng;
+use metablink::datagen::{mentions::generate_mentions, World, WorldConfig};
 use metablink::encoders::biencoder::{BiEncoder, BiEncoderConfig};
 use metablink::encoders::input::{build_vocab, InputConfig, TrainPair};
-use metablink::datagen::{mentions::generate_mentions, World, WorldConfig};
 use metablink::tensor::serialize;
 
 #[test]

@@ -18,10 +18,7 @@ fn exact_match_pairs_are_trivial_and_rewritten_are_not() {
     let c = ctx();
     for d in c.test_domains() {
         let syn = c.syn_of(&d);
-        assert!(syn
-            .exact
-            .iter()
-            .all(|p| p.mention.category == OverlapCategory::HighOverlap));
+        assert!(syn.exact.iter().all(|p| p.mention.category == OverlapCategory::HighOverlap));
         let high = syn
             .rewritten
             .iter()
