@@ -265,7 +265,9 @@ pub fn write_json(name: &str, payload: &str) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    if let Err(e) = std::fs::write(&path, payload) {
+    // Write-temp + fsync + rename, so a crash mid-report never leaves a
+    // torn half-JSON behind a previous good result.
+    if let Err(e) = mb_common::storage::atomic_write(&path, payload.as_bytes()) {
         eprintln!("warning: cannot write {}: {e}", path.display());
     }
 }

@@ -31,6 +31,15 @@ pub enum Error {
     Diverged(String),
     /// An empty input where at least one element is required.
     Empty(&'static str),
+    /// An I/O operation failed. Callers may treat this as transient and
+    /// retry (the checkpoint manager does, with bounded backoff).
+    Io(String),
+    /// A checkpoint is unusable: corrupted, truncated, or missing
+    /// required state — and no earlier good generation could be used.
+    Checkpoint(String),
+    /// A run was deliberately aborted mid-flight (e.g. by an injected
+    /// kill from a fault-testing [`crate::storage::StepBudget`]).
+    Aborted(String),
 }
 
 impl Error {
@@ -51,6 +60,9 @@ impl fmt::Display for Error {
             Error::Parse(msg) => write!(f, "parse error: {msg}"),
             Error::Diverged(msg) => write!(f, "training diverged: {msg}"),
             Error::Empty(what) => write!(f, "empty input: {what}"),
+            Error::Io(msg) => write!(f, "io error: {msg}"),
+            Error::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            Error::Aborted(msg) => write!(f, "aborted: {msg}"),
         }
     }
 }
@@ -72,6 +84,9 @@ mod tests {
             .to_string()
             .contains("dim must be > 0"));
         assert!(Error::Empty("batch").to_string().contains("batch"));
+        assert!(Error::Io("disk on fire".into()).to_string().contains("disk on fire"));
+        assert!(Error::Checkpoint("bad crc".into()).to_string().starts_with("checkpoint"));
+        assert!(Error::Aborted("killed at step 3".into()).to_string().contains("step 3"));
     }
 
     #[test]

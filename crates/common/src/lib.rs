@@ -16,6 +16,7 @@
 pub mod error;
 pub mod progress;
 pub mod rng;
+pub mod storage;
 pub mod util;
 
 pub use error::{Error, Result};

@@ -1,0 +1,337 @@
+//! Durable storage with atomic writes, plus the fault-injection seams
+//! (storage and step budget) used by the checkpoint/resume machinery.
+//!
+//! Everything that persists training state goes through the [`Storage`]
+//! trait so that tests can substitute an in-memory backend or a
+//! fault-injecting wrapper (see the `mb-fault` crate) without touching
+//! the code under test. [`DiskStorage`] is the production backend: every
+//! write goes to a temporary sibling file, is flushed with
+//! `File::sync_all`, and is then renamed over the destination, so a
+//! crash mid-write can never leave a half-written file under the final
+//! name.
+
+use crate::{Error, Result};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// CRC-32 (ISO-HDLC, the zlib/PNG polynomial) of a byte slice.
+///
+/// Used as the per-section integrity check of the `mb-params v2`
+/// checkpoint format: any single-bit corruption of a protected payload
+/// changes the checksum.
+///
+/// # Examples
+///
+/// ```
+/// // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+/// assert_eq!(mb_common::storage::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Tableless bitwise implementation (reflected, poly 0xEDB88320).
+    // Checkpoint payloads are at most a few MB; this is plenty fast and
+    // keeps the implementation obviously correct.
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Abstract byte storage with atomic replace semantics.
+///
+/// Paths are opaque keys; `DiskStorage` maps them to the filesystem,
+/// `MemStorage` to a map. Methods take `&mut self` so wrappers can keep
+/// deterministic fault counters.
+pub trait Storage {
+    /// Read the full contents stored under `path`.
+    ///
+    /// # Errors
+    /// [`Error::Io`] if the entry does not exist or cannot be read.
+    fn read(&mut self, path: &Path) -> Result<Vec<u8>>;
+
+    /// Atomically replace the contents under `path` with `data`.
+    ///
+    /// After an `Ok` return the new contents are durable; after an error
+    /// the previous contents (if any) are still intact.
+    ///
+    /// # Errors
+    /// [`Error::Io`] on any I/O failure.
+    fn write_atomic(&mut self, path: &Path, data: &[u8]) -> Result<()>;
+
+    /// True if an entry exists under `path`.
+    fn exists(&mut self, path: &Path) -> bool;
+
+    /// Remove the entry under `path` (ok if it is already gone).
+    ///
+    /// # Errors
+    /// [`Error::Io`] on I/O failure other than absence.
+    fn remove(&mut self, path: &Path) -> Result<()>;
+
+    /// File names (not full paths) of the entries directly under `dir`,
+    /// sorted ascending. An absent directory lists as empty.
+    ///
+    /// # Errors
+    /// [`Error::Io`] on I/O failure.
+    fn list(&mut self, dir: &Path) -> Result<Vec<String>>;
+}
+
+/// Filesystem-backed [`Storage`] with write-temp + fsync + rename.
+#[derive(Debug, Clone, Default)]
+pub struct DiskStorage;
+
+impl DiskStorage {
+    /// A new disk storage handle.
+    pub fn new() -> Self {
+        DiskStorage
+    }
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Io(format!("{what} {}: {e}", path.display()))
+}
+
+impl Storage for DiskStorage {
+    fn read(&mut self, path: &Path) -> Result<Vec<u8>> {
+        std::fs::read(path).map_err(|e| io_err("reading", path, e))
+    }
+
+    fn write_atomic(&mut self, path: &Path, data: &[u8]) -> Result<()> {
+        atomic_write(path, data)
+    }
+
+    fn exists(&mut self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn remove(&mut self, path: &Path) -> Result<()> {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("removing", path, e)),
+        }
+    }
+
+    fn list(&mut self, dir: &Path) -> Result<Vec<String>> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(es) => es,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err("listing", dir, e)),
+        };
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("listing", dir, e))?;
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+/// Write `data` to `path` atomically: write a temporary sibling, flush
+/// it to disk, then rename it over the destination. Readers never see a
+/// torn file under `path`; a crash leaves at worst a stale `.tmp`
+/// sibling.
+///
+/// # Errors
+/// [`Error::Io`] on any I/O failure; the previous contents of `path`
+/// are untouched in that case.
+pub fn atomic_write(path: &Path, data: &[u8]) -> Result<()> {
+    let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = parent {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("creating", dir, e))?;
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("creating", &tmp, e))?;
+    f.write_all(data).map_err(|e| io_err("writing", &tmp, e))?;
+    // fsync so the rename cannot land before the data does.
+    f.sync_all().map_err(|e| io_err("syncing", &tmp, e))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| io_err("renaming", &tmp, e))
+}
+
+/// In-memory [`Storage`] for tests. Cloning shares the underlying map,
+/// so a "restarted" component handed a clone sees everything previous
+/// writers persisted — mirroring a process restart over a real disk.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    files: std::rc::Rc<std::cell::RefCell<BTreeMap<PathBuf, Vec<u8>>>>,
+}
+
+impl MemStorage {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        MemStorage::default()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.files.borrow().len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.files.borrow().is_empty()
+    }
+
+    /// Overwrite raw bytes directly (test helper for corrupting state
+    /// behind the back of the code under test).
+    pub fn poke(&self, path: &Path, data: Vec<u8>) {
+        self.files.borrow_mut().insert(path.to_path_buf(), data);
+    }
+
+    /// Read raw bytes directly without going through the trait.
+    pub fn peek(&self, path: &Path) -> Option<Vec<u8>> {
+        self.files.borrow().get(path).cloned()
+    }
+}
+
+impl Storage for MemStorage {
+    fn read(&mut self, path: &Path) -> Result<Vec<u8>> {
+        self.files
+            .borrow()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| Error::Io(format!("reading {}: no such entry", path.display())))
+    }
+
+    fn write_atomic(&mut self, path: &Path, data: &[u8]) -> Result<()> {
+        self.files.borrow_mut().insert(path.to_path_buf(), data.to_vec());
+        Ok(())
+    }
+
+    fn exists(&mut self, path: &Path) -> bool {
+        self.files.borrow().contains_key(path)
+    }
+
+    fn remove(&mut self, path: &Path) -> Result<()> {
+        self.files.borrow_mut().remove(path);
+        Ok(())
+    }
+
+    fn list(&mut self, dir: &Path) -> Result<Vec<String>> {
+        let files = self.files.borrow();
+        let mut names: Vec<String> = files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+}
+
+/// A budget of training work, ticked once per unit of progress (an
+/// epoch, a meta step, a stage boundary).
+///
+/// This is the crash-injection seam: training loops call
+/// [`StepBudget::tick`] before each unit of work, and an implementation
+/// may return an error to abort the run exactly as if the process had
+/// died there — everything not yet checkpointed is lost. The `mb-fault`
+/// crate provides deterministic kill-at-step-N implementations; real
+/// runs use [`NoBudget`].
+pub trait StepBudget {
+    /// Account one unit of work.
+    ///
+    /// # Errors
+    /// [`Error::Aborted`] (by convention) when the budget is exhausted
+    /// and the run must stop as if killed.
+    fn tick(&mut self) -> Result<()>;
+}
+
+/// The production budget: never aborts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoBudget;
+
+impl StepBudget for NoBudget {
+    fn tick(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"mb-params v2 payload bytes".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn disk_storage_round_trip_and_list() {
+        let dir = std::env::temp_dir().join(format!("mb_storage_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut s = DiskStorage::new();
+        let path = dir.join("a.bin");
+        assert!(!s.exists(&path));
+        s.write_atomic(&path, b"hello").unwrap();
+        assert!(s.exists(&path));
+        assert_eq!(s.read(&path).unwrap(), b"hello");
+        s.write_atomic(&path, b"replaced").unwrap();
+        assert_eq!(s.read(&path).unwrap(), b"replaced");
+        s.write_atomic(&dir.join("b.bin"), b"x").unwrap();
+        assert_eq!(s.list(&dir).unwrap(), vec!["a.bin".to_string(), "b.bin".to_string()]);
+        s.remove(&path).unwrap();
+        assert!(!s.exists(&path));
+        s.remove(&path).unwrap(); // idempotent
+        assert!(s.read(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_behind() {
+        let dir = std::env::temp_dir().join(format!("mb_storage_tmp_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("ckpt.mbc");
+        atomic_write(&path, b"data").unwrap();
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["ckpt.mbc".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mem_storage_clones_share_state() {
+        let mut a = MemStorage::new();
+        let mut b = a.clone();
+        let p = Path::new("dir/x");
+        a.write_atomic(p, b"1").unwrap();
+        assert_eq!(b.read(p).unwrap(), b"1");
+        assert_eq!(b.list(Path::new("dir")).unwrap(), vec!["x".to_string()]);
+        b.remove(p).unwrap();
+        assert!(!a.exists(p));
+    }
+
+    #[test]
+    fn no_budget_never_aborts() {
+        let mut b = NoBudget;
+        for _ in 0..1000 {
+            assert!(b.tick().is_ok());
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Crash-safe checkpoint management for the training pipeline.
+//!
+//! The [`CheckpointManager`] owns the storage backend, the crash-
+//! injection [`StepBudget`], and a rolling window of checkpoint
+//! *generations* (`ckpt-000001.mbc`, `ckpt-000002.mbc`, …) inside one
+//! directory. The pipeline saves a full snapshot at every stage
+//! boundary and a patched snapshot every
+//! [`CheckpointConfig::every_n_steps`] meta steps; on restart,
+//! [`CheckpointManager::begin`] loads the newest generation that passes
+//! the `mb-params v2` integrity checks, transparently falling back over
+//! corrupted or unreadable generations.
+//!
+//! Recovery policy, by error class:
+//!
+//! * [`Error::Io`] — treated as transient; retried up to
+//!   [`CheckpointConfig::max_retries`] times with linear backoff before
+//!   giving up.
+//! * [`Error::Checkpoint`] / [`Error::Parse`] on load — the generation
+//!   is corrupt (torn write, bit flip); fall back to the previous
+//!   generation and count it in [`CheckpointManager::fallbacks`].
+//!   If *every* present generation is corrupt, `begin` returns
+//!   [`Error::Checkpoint`] rather than silently retraining from
+//!   scratch — losing all checkpoints at once is not a state this
+//!   code should paper over.
+//! * [`Error::Aborted`] — an injected kill; always propagated.
+
+use mb_common::storage::{DiskStorage, NoBudget, StepBudget, Storage};
+use mb_common::{Error, Result};
+use mb_tensor::checkpoint::Checkpoint;
+use std::path::PathBuf;
+
+use crate::reweight::MetaStats;
+
+/// Checkpointing policy.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory holding the checkpoint generations.
+    pub dir: PathBuf,
+    /// Save a mid-stage checkpoint every this many meta steps
+    /// (0 disables mid-stage saves; stage boundaries always save).
+    pub every_n_steps: usize,
+    /// Number of newest generations to retain (older ones are pruned
+    /// best-effort after each save). Keep at least 2 so corruption of
+    /// the newest generation can fall back.
+    pub keep: usize,
+    /// How many times a transiently failing storage operation is
+    /// retried before the error propagates.
+    pub max_retries: u32,
+    /// Base backoff between retries, in milliseconds (attempt `k`
+    /// sleeps `k * backoff_ms`). 0 disables sleeping (tests).
+    pub backoff_ms: u64,
+}
+
+impl CheckpointConfig {
+    /// Defaults (save every 10 meta steps, keep 3 generations, 3
+    /// retries with 20 ms backoff) in `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            every_n_steps: 10,
+            keep: 3,
+            max_retries: 3,
+            backoff_ms: 20,
+        }
+    }
+}
+
+/// Owns checkpoint persistence for one training run. See the module
+/// docs for the recovery policy.
+pub struct CheckpointManager {
+    cfg: CheckpointConfig,
+    storage: Box<dyn Storage>,
+    budget: Box<dyn StepBudget>,
+    /// Last stage-boundary snapshot; mid-stage saves patch a clone of
+    /// this so every generation on disk is a *complete* snapshot.
+    base: Checkpoint,
+    next_gen: u64,
+    fallbacks: u64,
+    saves: u64,
+}
+
+impl CheckpointManager {
+    /// A manager writing real files via [`DiskStorage`], never aborted
+    /// by a budget.
+    pub fn on_disk(cfg: CheckpointConfig) -> Self {
+        CheckpointManager::with_parts(cfg, Box::new(DiskStorage::new()), Box::new(NoBudget))
+    }
+
+    /// A manager over explicit storage and budget implementations —
+    /// the constructor fault-injection tests use.
+    pub fn with_parts(
+        cfg: CheckpointConfig,
+        storage: Box<dyn Storage>,
+        budget: Box<dyn StepBudget>,
+    ) -> Self {
+        CheckpointManager {
+            cfg,
+            storage,
+            budget,
+            base: Checkpoint::new(),
+            next_gen: 1,
+            fallbacks: 0,
+            saves: 0,
+        }
+    }
+
+    /// The configured mid-stage save cadence.
+    pub fn every_n_steps(&self) -> usize {
+        self.cfg.every_n_steps
+    }
+
+    /// How many corrupt/unreadable generations [`Self::begin`] skipped.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// How many checkpoints this manager has written.
+    pub fn saves(&self) -> u64 {
+        self.saves
+    }
+
+    /// The crash-injection seam, for threading into trainers.
+    pub fn budget_mut(&mut self) -> &mut dyn StepBudget {
+        self.budget.as_mut()
+    }
+
+    /// Account one unit of training progress.
+    ///
+    /// # Errors
+    /// Whatever the budget returns — conventionally [`Error::Aborted`]
+    /// on an injected kill.
+    pub fn tick(&mut self) -> Result<()> {
+        self.budget.tick()
+    }
+
+    /// The last stage-boundary snapshot (empty before the first one).
+    pub fn base(&self) -> &Checkpoint {
+        &self.base
+    }
+
+    fn gen_path(&self, generation: u64) -> PathBuf {
+        self.cfg.dir.join(format!("ckpt-{generation:06}.mbc"))
+    }
+
+    fn parse_gen(name: &str) -> Option<u64> {
+        let rest = name.strip_prefix("ckpt-")?.strip_suffix(".mbc")?;
+        if rest.len() != 6 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        rest.parse().ok()
+    }
+
+    /// Run a storage operation, retrying [`Error::Io`] with bounded
+    /// linear backoff.
+    fn with_retry<T>(&mut self, mut op: impl FnMut(&mut dyn Storage) -> Result<T>) -> Result<T> {
+        let mut attempt: u32 = 0;
+        loop {
+            match op(self.storage.as_mut()) {
+                Err(Error::Io(_)) if attempt < self.cfg.max_retries => {
+                    attempt += 1;
+                    if self.cfg.backoff_ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            self.cfg.backoff_ms * attempt as u64,
+                        ));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Scan the checkpoint directory and load the newest generation
+    /// that passes integrity checks, falling back over corrupt ones.
+    /// Returns `None` when no generation exists (fresh run). Also
+    /// primes [`Self::base`] with the loaded snapshot.
+    ///
+    /// # Errors
+    /// [`Error::Checkpoint`] if generations exist but every one is
+    /// corrupt; [`Error::Io`] if the directory itself is unreadable
+    /// after retries.
+    pub fn begin(&mut self) -> Result<Option<Checkpoint>> {
+        let dir = self.cfg.dir.clone();
+        let names = self.with_retry(|s| s.list(&dir))?;
+        let mut gens: Vec<u64> = names.iter().filter_map(|n| Self::parse_gen(n)).collect();
+        gens.sort_unstable();
+        self.next_gen = gens.last().map_or(1, |g| g + 1);
+        for &g in gens.iter().rev() {
+            let path = self.gen_path(g);
+            let loaded =
+                self.with_retry(|s| s.read(&path)).and_then(|b| Checkpoint::from_bytes(&b));
+            match loaded {
+                Ok(ck) => {
+                    self.base = ck.clone();
+                    return Ok(Some(ck));
+                }
+                Err(Error::Aborted(msg)) => return Err(Error::Aborted(msg)),
+                Err(_) => self.fallbacks += 1, // corrupt or unreadable: fall back
+            }
+        }
+        if !gens.is_empty() {
+            return Err(Error::Checkpoint(format!(
+                "all {} checkpoint generation(s) in {} are corrupt",
+                gens.len(),
+                dir.display()
+            )));
+        }
+        Ok(None)
+    }
+
+    /// Save a stage-boundary snapshot: records it as the new [`base`]
+    /// (the template mid-stage saves patch) and writes a generation.
+    ///
+    /// [`base`]: Self::base
+    ///
+    /// # Errors
+    /// Serialization errors, or [`Error::Io`] after retries.
+    pub fn save_boundary(&mut self, ck: Checkpoint) -> Result<()> {
+        self.base = ck.clone();
+        self.save(ck)
+    }
+
+    /// Write `ck` as the next generation and prune old generations
+    /// (best-effort) down to [`CheckpointConfig::keep`].
+    ///
+    /// # Errors
+    /// Serialization errors, or [`Error::Io`] after retries.
+    pub fn save(&mut self, ck: Checkpoint) -> Result<()> {
+        let bytes = ck.to_bytes()?;
+        let path = self.gen_path(self.next_gen);
+        self.with_retry(|s| s.write_atomic(&path, &bytes))?;
+        self.next_gen += 1;
+        self.saves += 1;
+        self.prune();
+        Ok(())
+    }
+
+    /// Remove generations beyond the retention window. Best-effort: a
+    /// failed removal never fails training, it just leaves extra files.
+    fn prune(&mut self) {
+        let dir = self.cfg.dir.clone();
+        let Ok(names) = self.storage.list(&dir) else { return };
+        let mut gens: Vec<u64> = names.iter().filter_map(|n| Self::parse_gen(n)).collect();
+        gens.sort_unstable();
+        let keep = self.cfg.keep.max(1);
+        if gens.len() <= keep {
+            return;
+        }
+        for &g in &gens[..gens.len() - keep] {
+            let path = self.gen_path(g);
+            let _ = self.storage.remove(&path);
+        }
+    }
+}
+
+/// Store a [`MetaStats`] into checkpoint vectors under `prefix`.
+pub fn stats_to_checkpoint(prefix: &str, stats: &MetaStats, ck: &mut Checkpoint) {
+    ck.vectors
+        .insert(format!("{prefix}_sampled"), stats.sampled.iter().map(|&x| x as f64).collect());
+    ck.vectors
+        .insert(format!("{prefix}_selected"), stats.selected.iter().map(|&x| x as f64).collect());
+    ck.vectors.insert(format!("{prefix}_step_losses"), stats.step_losses.clone());
+    ck.meta.insert(format!("{prefix}_zero_weight_steps"), stats.zero_weight_steps.to_string());
+}
+
+/// Recover a [`MetaStats`] stored by [`stats_to_checkpoint`]; `None`
+/// when the checkpoint has no stats under `prefix`.
+pub fn stats_from_checkpoint(prefix: &str, ck: &Checkpoint) -> Option<MetaStats> {
+    let sampled = ck.vectors.get(&format!("{prefix}_sampled"))?;
+    let selected = ck.vectors.get(&format!("{prefix}_selected"))?;
+    let step_losses = ck.vectors.get(&format!("{prefix}_step_losses"))?;
+    let zero = ck
+        .meta
+        .get(&format!("{prefix}_zero_weight_steps"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    Some(MetaStats {
+        sampled: sampled.iter().map(|&x| x as usize).collect(),
+        selected: selected.iter().map(|&x| x as usize).collect(),
+        step_losses: step_losses.clone(),
+        zero_weight_steps: zero,
+    })
+}
+
+/// The stage-cursor key in checkpoint metadata: the next pipeline
+/// stage to execute (see `pipeline::train_resumable` for the stage
+/// numbering).
+pub const STAGE_KEY: &str = "stage";
+
+/// The in-stage meta-step key: how many meta steps of the stage named
+/// by [`STAGE_KEY`] had completed when the checkpoint was taken.
+pub const STEP_KEY: &str = "step";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_common::storage::MemStorage;
+    use std::path::Path;
+
+    fn ck_with(tag: &str) -> Checkpoint {
+        let mut ck = Checkpoint::new();
+        ck.meta.insert("tag".into(), tag.into());
+        ck
+    }
+
+    fn mem_manager(mem: &MemStorage, keep: usize) -> CheckpointManager {
+        let cfg = CheckpointConfig {
+            every_n_steps: 5,
+            keep,
+            backoff_ms: 0,
+            ..CheckpointConfig::new("ckpts")
+        };
+        CheckpointManager::with_parts(cfg, Box::new(mem.clone()), Box::new(NoBudget))
+    }
+
+    #[test]
+    fn fresh_directory_begins_empty_and_saves_generations() {
+        let mem = MemStorage::new();
+        let mut mgr = mem_manager(&mem, 3);
+        assert!(mgr.begin().unwrap().is_none());
+        mgr.save_boundary(ck_with("a")).unwrap();
+        mgr.save(ck_with("b")).unwrap();
+        assert_eq!(mgr.saves(), 2);
+        // A restarted manager resumes from the newest generation.
+        let mut mgr2 = mem_manager(&mem, 3);
+        let resumed = mgr2.begin().unwrap().expect("resume");
+        assert_eq!(resumed.meta["tag"], "b");
+        assert_eq!(mgr2.fallbacks(), 0);
+        // base primed from the resumed checkpoint.
+        assert_eq!(mgr2.base().meta["tag"], "b");
+    }
+
+    #[test]
+    fn pruning_keeps_the_newest_generations() {
+        let mem = MemStorage::new();
+        let mut mgr = mem_manager(&mem, 2);
+        for tag in ["a", "b", "c", "d"] {
+            mgr.save(ck_with(tag)).unwrap();
+        }
+        let mut store = mem.clone();
+        let names = store.list(Path::new("ckpts")).unwrap();
+        assert_eq!(names, vec!["ckpt-000003.mbc".to_string(), "ckpt-000004.mbc".to_string()]);
+    }
+
+    #[test]
+    fn corrupt_newest_generation_falls_back() {
+        let mem = MemStorage::new();
+        let mut mgr = mem_manager(&mem, 3);
+        mgr.save(ck_with("good")).unwrap();
+        mgr.save(ck_with("newer")).unwrap();
+        // Corrupt the newest generation behind the manager's back.
+        let newest = Path::new("ckpts").join("ckpt-000002.mbc");
+        let mut bytes = mem.peek(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        mem.poke(&newest, bytes);
+        let mut mgr2 = mem_manager(&mem, 3);
+        let resumed = mgr2.begin().unwrap().expect("fallback resume");
+        assert_eq!(resumed.meta["tag"], "good");
+        assert_eq!(mgr2.fallbacks(), 1);
+        // New saves do not overwrite the corrupted generation's slot.
+        mgr2.save(ck_with("after")).unwrap();
+        assert!(mem.peek(&Path::new("ckpts").join("ckpt-000003.mbc")).is_some());
+    }
+
+    #[test]
+    fn all_generations_corrupt_is_an_error() {
+        let mem = MemStorage::new();
+        let mut mgr = mem_manager(&mem, 3);
+        mgr.save(ck_with("only")).unwrap();
+        let p = Path::new("ckpts").join("ckpt-000001.mbc");
+        mem.poke(&p, b"garbage".to_vec());
+        let mut mgr2 = mem_manager(&mem, 3);
+        let err = mgr2.begin().unwrap_err();
+        assert!(matches!(err, Error::Checkpoint(_)), "got {err:?}");
+        assert_eq!(mgr2.fallbacks(), 1);
+    }
+
+    #[test]
+    fn stats_round_trip_through_checkpoint() {
+        let stats = MetaStats {
+            sampled: vec![3, 0, 7],
+            selected: vec![1, 0, 7],
+            step_losses: vec![0.5, 1.0 / 3.0],
+            zero_weight_steps: 2,
+        };
+        let mut ck = Checkpoint::new();
+        stats_to_checkpoint("bi", &stats, &mut ck);
+        let ck = Checkpoint::from_bytes(&ck.to_bytes().unwrap()).unwrap();
+        let back = stats_from_checkpoint("bi", &ck).unwrap();
+        assert_eq!(back.sampled, stats.sampled);
+        assert_eq!(back.selected, stats.selected);
+        assert_eq!(back.step_losses, stats.step_losses);
+        assert_eq!(back.zero_weight_steps, 2);
+        assert!(stats_from_checkpoint("cross", &ck).is_none());
+    }
+
+    #[test]
+    fn transient_io_is_retried() {
+        // A storage that fails the first two writes with Error::Io.
+        struct Flaky {
+            inner: MemStorage,
+            fails_left: u32,
+        }
+        impl Storage for Flaky {
+            fn read(&mut self, path: &Path) -> Result<Vec<u8>> {
+                self.inner.read(path)
+            }
+            fn write_atomic(&mut self, path: &Path, data: &[u8]) -> Result<()> {
+                if self.fails_left > 0 {
+                    self.fails_left -= 1;
+                    return Err(Error::Io("flaky".into()));
+                }
+                self.inner.write_atomic(path, data)
+            }
+            fn exists(&mut self, path: &Path) -> bool {
+                self.inner.exists(path)
+            }
+            fn remove(&mut self, path: &Path) -> Result<()> {
+                self.inner.remove(path)
+            }
+            fn list(&mut self, dir: &Path) -> Result<Vec<String>> {
+                self.inner.list(dir)
+            }
+        }
+        let mem = MemStorage::new();
+        let cfg =
+            CheckpointConfig { backoff_ms: 0, max_retries: 3, ..CheckpointConfig::new("ckpts") };
+        let mut mgr = CheckpointManager::with_parts(
+            cfg.clone(),
+            Box::new(Flaky { inner: mem.clone(), fails_left: 2 }),
+            Box::new(NoBudget),
+        );
+        mgr.save(ck_with("x")).unwrap();
+        assert!(mem.peek(&Path::new("ckpts").join("ckpt-000001.mbc")).is_some());
+        // More failures than retries: the error propagates.
+        let mut mgr2 = CheckpointManager::with_parts(
+            cfg,
+            Box::new(Flaky { inner: MemStorage::new(), fails_left: 10 }),
+            Box::new(NoBudget),
+        );
+        assert!(matches!(mgr2.save(ck_with("y")), Err(Error::Io(_))));
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod checkpoint;
 pub mod coherence;
 pub mod linker;
 pub mod nil;
@@ -16,6 +17,7 @@ pub mod pipeline;
 pub mod reweight;
 pub mod seed;
 
+pub use checkpoint::{CheckpointConfig, CheckpointManager};
 pub use linker::{LinkerConfig, TwoStageLinker};
 pub use pipeline::{DataSource, MetaBlinkConfig, TrainedLinker};
 pub use reweight::{meta_example_weights, MetaConfig, MetaStats};

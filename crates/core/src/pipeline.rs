@@ -8,18 +8,29 @@
 //! reweighting of Algorithm 1.
 
 use crate::baselines::{train_biencoder_dl4el, Dl4elConfig};
+use crate::checkpoint::{stats_from_checkpoint, stats_to_checkpoint, CheckpointManager, STAGE_KEY};
 use crate::linker::{LinkMetrics, LinkerConfig, TwoStageLinker};
-use crate::reweight::{train_biencoder_meta, train_crossencoder_meta, MetaConfig, MetaStats};
-use mb_common::Rng;
+use crate::reweight::{
+    train_biencoder_meta, train_biencoder_meta_resumable, train_crossencoder_meta,
+    train_crossencoder_meta_resumable, MetaConfig, MetaResume, MetaStats,
+};
+use mb_common::storage::{NoBudget, StepBudget};
+use mb_common::{Error, Result, Rng};
 use mb_datagen::world::{DomainInfo, World};
 use mb_datagen::LinkedMention;
 use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
 use mb_encoders::crossencoder::{CandidateSet, CrossEncoder, CrossEncoderConfig};
 use mb_encoders::input::{InputConfig, TrainPair};
-use mb_encoders::train::{train_biencoder, train_crossencoder, TrainConfig};
+use mb_encoders::train::{try_train_biencoder, try_train_crossencoder, TrainConfig};
 use mb_nlg::SynDataset;
+use mb_tensor::checkpoint::Checkpoint;
 use mb_tensor::optim::Adam;
 use mb_text::Vocab;
+
+/// Checkpoint key for the bi-encoder's state.
+pub const BI_KEY: &str = "bi";
+/// Checkpoint key for the cross-encoder's state.
+pub const CROSS_KEY: &str = "cross";
 
 /// Which labeled data trains the linker — one per table row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -305,6 +316,83 @@ pub fn train(
     source: DataSource,
     cfg: &MetaBlinkConfig,
 ) -> TrainedLinker {
+    train_impl(task, method, source, cfg, None)
+        .expect("training without a checkpoint manager is infallible")
+}
+
+/// [`train`] with crash-safe checkpointing through `mgr`.
+///
+/// A fresh run saves a checkpoint at every stage boundary (bi-encoder
+/// warm-up / meta phase / seed mix, cross-encoder warm-up / meta phase
+/// / seed mix) and every `every_n_steps` meta steps. On restart over
+/// the same checkpoint directory, [`CheckpointManager::begin`] finds
+/// the newest intact checkpoint, training fast-forwards past finished
+/// stages, and the result is bit-identical to an uninterrupted run:
+/// mid-stage checkpoints capture the optimizer moments and the RNG
+/// stream, and everything between two checkpoints is deterministic
+/// replay from the seed.
+///
+/// # Errors
+/// [`Error::Aborted`] when the manager's step budget kills the run,
+/// [`Error::Io`] when storage keeps failing past the retry budget, and
+/// [`Error::Checkpoint`] when no stored generation is usable.
+pub fn train_resumable(
+    task: &TargetTask<'_>,
+    method: Method,
+    source: DataSource,
+    cfg: &MetaBlinkConfig,
+    mgr: &mut CheckpointManager,
+) -> Result<TrainedLinker> {
+    train_impl(task, method, source, cfg, Some(mgr))
+}
+
+/// Pick the step budget: the manager's (fault-injectable) or none.
+fn budget_of<'a>(
+    mgr: &'a mut Option<&mut CheckpointManager>,
+    none: &'a mut NoBudget,
+) -> &'a mut dyn StepBudget {
+    match mgr {
+        Some(m) => m.budget_mut(),
+        None => none,
+    }
+}
+
+/// Save a stage-boundary checkpoint: both models' params, any meta
+/// stats so far, and `next_stage` as the cursor. No-op without a
+/// manager.
+fn save_boundary(
+    mgr: &mut Option<&mut CheckpointManager>,
+    next_stage: u64,
+    bi: &BiEncoder,
+    cross: &CrossEncoder,
+    bi_stats: Option<&MetaStats>,
+    cross_stats: Option<&MetaStats>,
+) -> Result<()> {
+    let Some(m) = mgr.as_deref_mut() else { return Ok(()) };
+    let mut ck = Checkpoint::new();
+    ck.params.insert(BI_KEY.to_string(), bi.params().clone());
+    ck.params.insert(CROSS_KEY.to_string(), cross.params().clone());
+    if let Some(s) = bi_stats {
+        stats_to_checkpoint(BI_KEY, s, &mut ck);
+    }
+    if let Some(s) = cross_stats {
+        stats_to_checkpoint(CROSS_KEY, s, &mut ck);
+    }
+    ck.meta.insert(STAGE_KEY.to_string(), next_stage.to_string());
+    m.save_boundary(ck)
+}
+
+/// The training pipeline, staged behind a resume cursor. Stage `N`
+/// runs only when the cursor (the next stage to execute, 1-based) is
+/// `<= N`; each boundary checkpoint stores `N + 1`. Stage 7 means the
+/// run finished — resuming it rebuilds the result without training.
+fn train_impl(
+    task: &TargetTask<'_>,
+    method: Method,
+    source: DataSource,
+    cfg: &MetaBlinkConfig,
+    mut mgr: Option<&mut CheckpointManager>,
+) -> Result<TrainedLinker> {
     let rng = Rng::seed_from_u64(cfg.seed);
     let mut bi = BiEncoder::new(task.vocab, cfg.bi, &mut rng.split(1));
     let mut cross = CrossEncoder::new(task.vocab, cfg.cross, &mut rng.split(2));
@@ -328,107 +416,253 @@ pub fn train(
     let mut concat = weighted_pool.clone();
     concat.extend(seed_pairs.iter().cloned());
 
-    // ---------------- Stage one: bi-encoder ----------------
     let use_meta =
         method == Method::MetaBlink && !seed_pairs.is_empty() && weighted_pool.len() >= 2;
-    let bi_meta_stats = match (method, use_meta) {
-        (Method::MetaBlink, true) => {
-            // Warm start exactly like BLINK (the paper builds MetaBLINK
-            // on BLINK and keeps its hyper-parameters), then refine
-            // with the meta-reweighted phase of Algorithm 1, which
-            // downweights the noisy synthetic pairs.
-            if cfg.warm_start {
-                train_biencoder(&mut bi, &concat, &cfg.bi_train);
-            }
-            let mut opt = Adam::new(cfg.bi_meta.lr);
-            let stats =
-                train_biencoder_meta(&mut bi, &weighted_pool, &seed_pairs, &mut opt, &cfg.bi_meta);
-            // Seed supervision mix: a few plain epochs on the seed.
-            if cfg.seed_supervision_mix > 0.0 && !seed_pairs.is_empty() {
-                let epochs =
-                    ((cfg.bi_train.epochs as f64) * cfg.seed_supervision_mix).ceil() as usize;
-                let tc = TrainConfig { epochs, ..cfg.bi_train };
-                train_biencoder(&mut bi, &seed_pairs, &tc);
-            }
-            Some(stats)
-        }
-        _ => {
-            if method == Method::Dl4el {
-                train_biencoder_dl4el(&mut bi, &concat, &cfg.dl4el);
-            } else {
-                train_biencoder(&mut bi, &concat, &cfg.bi_train);
-            }
-            None
-        }
-    };
 
-    // ---------------- Stage two: cross-encoder ----------------
+    // ---------------- Resume ----------------
+    let mut cursor: u64 = 1;
+    let mut resume_ck: Option<Checkpoint> = None;
+    let mut bi_meta_stats: Option<MetaStats> = None;
+    let mut cross_meta_stats: Option<MetaStats> = None;
+    if let Some(m) = mgr.as_deref_mut() {
+        if let Some(ck) = m.begin()? {
+            let stage = ck
+                .meta
+                .get(STAGE_KEY)
+                .ok_or_else(|| Error::Checkpoint("checkpoint lacks a stage cursor".to_string()))?;
+            cursor = stage
+                .parse()
+                .map_err(|e| Error::Checkpoint(format!("bad stage cursor {stage:?}: {e}")))?;
+            if let Some(p) = ck.params.get(BI_KEY) {
+                bi.set_params(p.clone());
+            }
+            if let Some(p) = ck.params.get(CROSS_KEY) {
+                cross.set_params(p.clone());
+            }
+            bi_meta_stats = stats_from_checkpoint(BI_KEY, &ck);
+            cross_meta_stats = stats_from_checkpoint(CROSS_KEY, &ck);
+            resume_ck = Some(ck);
+        }
+    }
+    // Mid-stage state in the resumed checkpoint only applies to the
+    // stage the run died in; later visits to the same guard (and other
+    // stages) must start from scratch.
+    let resume_stage = cursor;
+    let mut no_budget = NoBudget;
+
+    // ---------------- Stage 1: bi-encoder warm-up ----------------
+    // For MetaBLINK this is the plain BLINK warm start (the paper
+    // builds MetaBLINK on BLINK and keeps its hyper-parameters); for
+    // the baselines it is their entire bi-encoder training.
+    if cursor <= 1 {
+        if use_meta {
+            if cfg.warm_start {
+                try_train_biencoder(
+                    &mut bi,
+                    &concat,
+                    &cfg.bi_train,
+                    budget_of(&mut mgr, &mut no_budget),
+                )?;
+            }
+        } else if method == Method::Dl4el {
+            // No epoch seam inside DL4EL: the whole baseline is one
+            // unit of work for kill-injection purposes.
+            budget_of(&mut mgr, &mut no_budget).tick()?;
+            train_biencoder_dl4el(&mut bi, &concat, &cfg.dl4el);
+        } else {
+            try_train_biencoder(
+                &mut bi,
+                &concat,
+                &cfg.bi_train,
+                budget_of(&mut mgr, &mut no_budget),
+            )?;
+        }
+        save_boundary(&mut mgr, 2, &bi, &cross, None, None)?;
+        cursor = 2;
+    }
+
+    // ---------------- Stage 2: bi-encoder meta phase ----------------
+    // Algorithm 1: downweight the noisy synthetic pairs against the
+    // seed's meta-gradient.
+    if cursor <= 2 {
+        if use_meta {
+            let mut opt = Adam::new(cfg.bi_meta.lr);
+            let stats = match mgr.as_deref_mut() {
+                Some(m) => {
+                    let mut ctl = MetaResume {
+                        mgr: m,
+                        stage: 2,
+                        model_key: BI_KEY,
+                        resume: if resume_stage == 2 { resume_ck.as_ref() } else { None },
+                    };
+                    train_biencoder_meta_resumable(
+                        &mut bi,
+                        &weighted_pool,
+                        &seed_pairs,
+                        &mut opt,
+                        &cfg.bi_meta,
+                        &mut ctl,
+                    )?
+                }
+                None => train_biencoder_meta(
+                    &mut bi,
+                    &weighted_pool,
+                    &seed_pairs,
+                    &mut opt,
+                    &cfg.bi_meta,
+                ),
+            };
+            bi_meta_stats = Some(stats);
+        }
+        save_boundary(&mut mgr, 3, &bi, &cross, bi_meta_stats.as_ref(), None)?;
+        cursor = 3;
+    }
+
+    // ---------------- Stage 3: bi-encoder seed mix ----------------
+    // A few plain epochs on the seed (it is labeled data, not only
+    // meta-supervision).
+    if cursor <= 3 {
+        if use_meta && cfg.seed_supervision_mix > 0.0 && !seed_pairs.is_empty() {
+            let epochs = ((cfg.bi_train.epochs as f64) * cfg.seed_supervision_mix).ceil() as usize;
+            let tc = TrainConfig { epochs, ..cfg.bi_train };
+            try_train_biencoder(&mut bi, &seed_pairs, &tc, budget_of(&mut mgr, &mut no_budget))?;
+        }
+        save_boundary(&mut mgr, 4, &bi, &cross, bi_meta_stats.as_ref(), None)?;
+        cursor = 4;
+    }
+
+    // ---------------- Candidate sets ----------------
     // Candidate sets come from the *trained* bi-encoder, retrieved from
     // each mention's own domain dictionary: the target dictionary for
     // synthetic/seed mentions, the source dictionaries for general
     // mentions — matching the paper, where the cross-encoder trains on
     // the candidate sets of whatever labeled data it is given.
-    let build_sets = |mentions: &[&LinkedMention], cap: usize| -> Vec<CandidateSet> {
-        use std::collections::HashMap;
-        let mut linkers: HashMap<mb_kb::DomainId, TwoStageLinker<'_>> = HashMap::new();
-        let mut out = Vec::new();
-        for m in mentions.iter().take(cap) {
-            let domain = task.world.kb().entity(m.entity).domain;
-            let linker = linkers.entry(domain).or_insert_with(|| {
-                TwoStageLinker::new(
-                    &bi,
-                    &cross,
-                    task.vocab,
-                    task.world.kb(),
-                    task.world.kb().domain_entities(domain),
-                    LinkerConfig { k: cfg.k_train_candidates, input: cfg.linker.input },
-                )
-            });
-            let retrieved = linker.candidates(m);
-            let set = linker.candidate_set(m, &retrieved);
-            if set.gold_index.is_some() {
-                out.push(set);
+    //
+    // Retrieval reads only the frozen bi-encoder, so on resume the
+    // rebuilt sets are identical to the original run's — they are
+    // recomputed, not checkpointed.
+    let (syn_sets, seed_sets) = if cursor <= 6 {
+        let build_sets = |mentions: &[&LinkedMention], cap: usize| -> Vec<CandidateSet> {
+            use std::collections::HashMap;
+            let mut linkers: HashMap<mb_kb::DomainId, TwoStageLinker<'_>> = HashMap::new();
+            let mut out = Vec::new();
+            for m in mentions.iter().take(cap) {
+                let domain = task.world.kb().entity(m.entity).domain;
+                let linker = linkers.entry(domain).or_insert_with(|| {
+                    TwoStageLinker::new(
+                        &bi,
+                        &cross,
+                        task.vocab,
+                        task.world.kb(),
+                        task.world.kb().domain_entities(domain),
+                        LinkerConfig { k: cfg.k_train_candidates, input: cfg.linker.input },
+                    )
+                });
+                let retrieved = linker.candidates(m);
+                let set = linker.candidate_set(m, &retrieved);
+                if set.gold_index.is_some() {
+                    out.push(set);
+                }
             }
-        }
-        out
+            out
+        };
+        (
+            build_sets(
+                &weighted_pool_mentions(&syn_mentions, &general_mentions),
+                cfg.cross_train_cap,
+            ),
+            build_sets(&seed_mentions, cfg.cross_train_cap),
+        )
+    } else {
+        (Vec::new(), Vec::new())
     };
-    let syn_sets =
-        build_sets(&weighted_pool_mentions(&syn_mentions, &general_mentions), cfg.cross_train_cap);
-    let seed_sets = build_sets(&seed_mentions, cfg.cross_train_cap);
+    let cross_meta = use_meta && !syn_sets.is_empty() && !seed_sets.is_empty();
 
-    let cross_meta_stats = if use_meta && !syn_sets.is_empty() && !seed_sets.is_empty() {
-        // Warm start like BLINK, then meta-refine (as stage one).
-        if cfg.warm_start {
-            let mut warm = syn_sets.clone();
-            warm.extend(seed_sets.iter().cloned());
-            train_crossencoder(&mut cross, &warm, &cfg.cross_train);
+    // ---------------- Stage 4: cross-encoder warm-up ----------------
+    // For MetaBLINK: warm start like BLINK. For the baselines: their
+    // entire cross-encoder training.
+    if cursor <= 4 {
+        if cross_meta {
+            if cfg.warm_start {
+                let mut warm = syn_sets.clone();
+                warm.extend(seed_sets.iter().cloned());
+                try_train_crossencoder(
+                    &mut cross,
+                    &warm,
+                    &cfg.cross_train,
+                    budget_of(&mut mgr, &mut no_budget),
+                )?;
+            }
+        } else {
+            let mut all_sets = syn_sets.clone();
+            all_sets.extend(seed_sets.iter().cloned());
+            try_train_crossencoder(
+                &mut cross,
+                &all_sets,
+                &cfg.cross_train,
+                budget_of(&mut mgr, &mut no_budget),
+            )?;
         }
-        let mut opt = Adam::new(cfg.cross_meta.lr);
-        let stats =
-            train_crossencoder_meta(&mut cross, &syn_sets, &seed_sets, &mut opt, &cfg.cross_meta);
-        if cfg.seed_supervision_mix > 0.0 {
-            train_crossencoder(
+        save_boundary(&mut mgr, 5, &bi, &cross, bi_meta_stats.as_ref(), None)?;
+        cursor = 5;
+    }
+
+    // ---------------- Stage 5: cross-encoder meta phase ----------------
+    if cursor <= 5 {
+        if cross_meta {
+            let mut opt = Adam::new(cfg.cross_meta.lr);
+            let stats = match mgr.as_deref_mut() {
+                Some(m) => {
+                    let mut ctl = MetaResume {
+                        mgr: m,
+                        stage: 5,
+                        model_key: CROSS_KEY,
+                        resume: if resume_stage == 5 { resume_ck.as_ref() } else { None },
+                    };
+                    train_crossencoder_meta_resumable(
+                        &mut cross,
+                        &syn_sets,
+                        &seed_sets,
+                        &mut opt,
+                        &cfg.cross_meta,
+                        &mut ctl,
+                    )?
+                }
+                None => train_crossencoder_meta(
+                    &mut cross,
+                    &syn_sets,
+                    &seed_sets,
+                    &mut opt,
+                    &cfg.cross_meta,
+                ),
+            };
+            cross_meta_stats = Some(stats);
+        }
+        save_boundary(&mut mgr, 6, &bi, &cross, bi_meta_stats.as_ref(), cross_meta_stats.as_ref())?;
+        cursor = 6;
+    }
+
+    // ---------------- Stage 6: cross-encoder seed mix ----------------
+    if cursor <= 6 {
+        if cross_meta && cfg.seed_supervision_mix > 0.0 {
+            try_train_crossencoder(
                 &mut cross,
                 &seed_sets,
                 &TrainConfig { epochs: 1, ..cfg.cross_train },
-            );
+                budget_of(&mut mgr, &mut no_budget),
+            )?;
         }
-        Some(stats)
-    } else {
-        let mut all_sets = syn_sets;
-        all_sets.extend(seed_sets);
-        train_crossencoder(&mut cross, &all_sets, &cfg.cross_train);
-        None
-    };
+        save_boundary(&mut mgr, 7, &bi, &cross, bi_meta_stats.as_ref(), cross_meta_stats.as_ref())?;
+    }
 
-    TrainedLinker {
+    Ok(TrainedLinker {
         bi,
         cross,
         linker_cfg: cfg.linker,
         bi_meta_stats,
         cross_meta_stats,
         syn_len: weighted_pool.len(),
-    }
+    })
 }
 
 fn weighted_pool_mentions<'t>(

@@ -20,10 +20,14 @@
 //! gates GPU frameworks (see DESIGN.md §4); `tests` verify the form
 //! against finite differences of the true bilevel objective.
 
-use mb_common::Rng;
+use crate::checkpoint::{
+    stats_from_checkpoint, stats_to_checkpoint, CheckpointManager, STAGE_KEY, STEP_KEY,
+};
+use mb_common::{Error, Result, Rng};
 use mb_encoders::biencoder::BiEncoder;
 use mb_encoders::crossencoder::{CandidateSet, CrossEncoder};
 use mb_encoders::input::TrainPair;
+use mb_tensor::checkpoint::Checkpoint;
 use mb_tensor::optim::Optimizer;
 use mb_tensor::params::GradVec;
 use mb_tensor::Tape;
@@ -153,7 +157,7 @@ pub fn meta_example_weights_masked(
 /// Selection statistics accumulated over a meta-training run, keyed by
 /// the index of each synthetic example in the input slice. Used for the
 /// Figure 4 selection-ratio measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetaStats {
     /// Per-example: how many times the example appeared in a sampled
     /// synthetic batch.
@@ -261,6 +265,94 @@ pub fn biencoder_meta_step(
     (weights, syn_idx, weighted_loss)
 }
 
+/// Checkpointing context for the resumable meta trainers: the manager,
+/// which pipeline stage this trainer occupies, the key its model state
+/// saves under, and (when restarting) the checkpoint being resumed.
+pub struct MetaResume<'a> {
+    /// Manager owning storage, budget, and the stage-boundary base.
+    pub mgr: &'a mut CheckpointManager,
+    /// Stage-cursor value identifying this trainer's pipeline stage.
+    pub stage: u64,
+    /// Key under which this model's params/optimizer/RNG state is
+    /// saved in checkpoints (`"bi"` or `"cross"`).
+    pub model_key: &'a str,
+    /// Checkpoint to resume from. Only honoured when it carries a
+    /// mid-stage step cursor; a stage-boundary checkpoint starts the
+    /// stage from the beginning.
+    pub resume: Option<&'a Checkpoint>,
+}
+
+/// Fold one meta step's outputs into the accumulated stats.
+fn record_step(stats: &mut MetaStats, cfg: &MetaConfig, weights: &[f64], idx: &[usize], loss: f64) {
+    let threshold = cfg.select_threshold_factor / weights.len() as f64;
+    if weights.iter().all(|&w| w == 0.0) {
+        stats.zero_weight_steps += 1;
+    }
+    for (&i, &w) in idx.iter().zip(weights) {
+        stats.sampled[i] += 1;
+        if w > threshold {
+            stats.selected[i] += 1;
+        }
+    }
+    stats.step_losses.push(loss);
+}
+
+/// Restore mid-stage state (step cursor, optimizer, RNG, stats) from a
+/// checkpoint into the trainer's locals. Returns the step to resume
+/// from (0 when the checkpoint is a stage boundary).
+fn restore_mid_stage(
+    ctl: &MetaResume<'_>,
+    syn_len: usize,
+    opt: &mut dyn Optimizer,
+    rng: &mut Rng,
+    stats: &mut MetaStats,
+) -> Result<usize> {
+    let Some(ck) = ctl.resume else { return Ok(0) };
+    let Some(step_s) = ck.meta.get(STEP_KEY) else { return Ok(0) };
+    let start: usize = step_s
+        .parse()
+        .map_err(|e| Error::Checkpoint(format!("bad step cursor {step_s:?}: {e}")))?;
+    let key = ctl.model_key;
+    let os = ck.optim.get(key).ok_or_else(|| {
+        Error::Checkpoint(format!("mid-stage checkpoint lacks optimizer state {key:?}"))
+    })?;
+    opt.restore(os.clone())?;
+    let rs = ck.rng.get(key).ok_or_else(|| {
+        Error::Checkpoint(format!("mid-stage checkpoint lacks RNG state {key:?}"))
+    })?;
+    *rng = Rng::from_state(*rs);
+    if let Some(s) = stats_from_checkpoint(key, ck) {
+        if s.sampled.len() != syn_len {
+            return Err(Error::Checkpoint(format!(
+                "checkpoint stats cover {} synthetic examples, run has {syn_len}",
+                s.sampled.len()
+            )));
+        }
+        *stats = s;
+    }
+    Ok(start)
+}
+
+/// Save a mid-stage checkpoint: the stage-boundary base patched with
+/// the live model/optimizer/RNG state and the accumulated stats.
+fn save_mid_stage(
+    ctl: &mut MetaResume<'_>,
+    params: &mb_tensor::Params,
+    opt: &dyn Optimizer,
+    rng: &Rng,
+    stats: &MetaStats,
+    done: usize,
+) -> Result<()> {
+    let mut ck = ctl.mgr.base().clone();
+    ck.params.insert(ctl.model_key.to_string(), params.clone());
+    ck.optim.insert(ctl.model_key.to_string(), opt.state());
+    ck.rng.insert(ctl.model_key.to_string(), rng.state());
+    stats_to_checkpoint(ctl.model_key, stats, &mut ck);
+    ck.meta.insert(STAGE_KEY.to_string(), ctl.stage.to_string());
+    ck.meta.insert(STEP_KEY.to_string(), done.to_string());
+    ctl.mgr.save(ck)
+}
+
 /// Run Algorithm 1 on the bi-encoder for `cfg.steps` steps.
 pub fn train_biencoder_meta(
     model: &mut BiEncoder,
@@ -269,12 +361,51 @@ pub fn train_biencoder_meta(
     opt: &mut dyn Optimizer,
     cfg: &MetaConfig,
 ) -> MetaStats {
+    run_biencoder_meta(model, syn, seed_set, opt, cfg, None)
+        .expect("meta training without a checkpoint manager is infallible")
+}
+
+/// [`train_biencoder_meta`] with crash-safe checkpointing: ticks the
+/// manager's budget once per meta step, saves every
+/// `every_n_steps`, and resumes bit-identically from a mid-stage
+/// checkpoint (step cursor + optimizer moments + RNG stream + stats).
+///
+/// # Errors
+/// [`Error::Aborted`] from an injected kill, [`Error::Io`] from
+/// storage after retries, [`Error::Checkpoint`] on unusable resume
+/// state.
+pub fn train_biencoder_meta_resumable(
+    model: &mut BiEncoder,
+    syn: &[TrainPair],
+    seed_set: &[TrainPair],
+    opt: &mut dyn Optimizer,
+    cfg: &MetaConfig,
+    ctl: &mut MetaResume<'_>,
+) -> Result<MetaStats> {
+    run_biencoder_meta(model, syn, seed_set, opt, cfg, Some(ctl))
+}
+
+fn run_biencoder_meta(
+    model: &mut BiEncoder,
+    syn: &[TrainPair],
+    seed_set: &[TrainPair],
+    opt: &mut dyn Optimizer,
+    cfg: &MetaConfig,
+    mut ctl: Option<&mut MetaResume<'_>>,
+) -> Result<MetaStats> {
     let mut stats = MetaStats::new(syn.len());
     if syn.len() < 2 || seed_set.is_empty() {
-        return stats;
+        return Ok(stats);
     }
     let mut rng = Rng::seed_from_u64(cfg.seed);
-    for _ in 0..cfg.steps {
+    let mut start = 0;
+    if let Some(c) = ctl.as_deref_mut() {
+        start = restore_mid_stage(c, syn.len(), opt, &mut rng, &mut stats)?;
+    }
+    for step in start..cfg.steps {
+        if let Some(c) = ctl.as_deref_mut() {
+            c.mgr.tick()?;
+        }
         let (weights, idx, loss) = biencoder_meta_step(
             model,
             syn,
@@ -287,19 +418,16 @@ pub fn train_biencoder_meta(
             cfg.shared_params_only,
             &mut rng,
         );
-        let threshold = cfg.select_threshold_factor / weights.len() as f64;
-        if weights.iter().all(|&w| w == 0.0) {
-            stats.zero_weight_steps += 1;
-        }
-        for (&i, &w) in idx.iter().zip(&weights) {
-            stats.sampled[i] += 1;
-            if w > threshold {
-                stats.selected[i] += 1;
+        record_step(&mut stats, cfg, &weights, &idx, loss);
+        let done = step + 1;
+        if let Some(c) = ctl.as_deref_mut() {
+            let every = c.mgr.every_n_steps();
+            if every > 0 && done % every == 0 && done < cfg.steps {
+                save_mid_stage(c, model.params(), opt, &rng, &stats, done)?;
             }
         }
-        stats.step_losses.push(loss);
     }
-    stats
+    Ok(stats)
 }
 
 /// Per-example gradients for cross-encoder candidate sets (each set is
@@ -366,12 +494,49 @@ pub fn train_crossencoder_meta(
     opt: &mut dyn Optimizer,
     cfg: &MetaConfig,
 ) -> MetaStats {
+    run_crossencoder_meta(model, syn, seed_set, opt, cfg, None)
+        .expect("meta training without a checkpoint manager is infallible")
+}
+
+/// [`train_crossencoder_meta`] with crash-safe checkpointing; see
+/// [`train_biencoder_meta_resumable`] for the contract.
+///
+/// # Errors
+/// [`Error::Aborted`] from an injected kill, [`Error::Io`] from
+/// storage after retries, [`Error::Checkpoint`] on unusable resume
+/// state.
+pub fn train_crossencoder_meta_resumable(
+    model: &mut CrossEncoder,
+    syn: &[CandidateSet],
+    seed_set: &[CandidateSet],
+    opt: &mut dyn Optimizer,
+    cfg: &MetaConfig,
+    ctl: &mut MetaResume<'_>,
+) -> Result<MetaStats> {
+    run_crossencoder_meta(model, syn, seed_set, opt, cfg, Some(ctl))
+}
+
+fn run_crossencoder_meta(
+    model: &mut CrossEncoder,
+    syn: &[CandidateSet],
+    seed_set: &[CandidateSet],
+    opt: &mut dyn Optimizer,
+    cfg: &MetaConfig,
+    mut ctl: Option<&mut MetaResume<'_>>,
+) -> Result<MetaStats> {
     let mut stats = MetaStats::new(syn.len());
     if syn.is_empty() || seed_set.is_empty() {
-        return stats;
+        return Ok(stats);
     }
     let mut rng = Rng::seed_from_u64(cfg.seed);
-    for _ in 0..cfg.steps {
+    let mut start = 0;
+    if let Some(c) = ctl.as_deref_mut() {
+        start = restore_mid_stage(c, syn.len(), opt, &mut rng, &mut stats)?;
+    }
+    for step in start..cfg.steps {
+        if let Some(c) = ctl.as_deref_mut() {
+            c.mgr.tick()?;
+        }
         let (weights, idx, loss) = crossencoder_meta_step(
             model,
             syn,
@@ -384,19 +549,16 @@ pub fn train_crossencoder_meta(
             cfg.shared_params_only,
             &mut rng,
         );
-        let threshold = cfg.select_threshold_factor / weights.len() as f64;
-        if weights.iter().all(|&w| w == 0.0) {
-            stats.zero_weight_steps += 1;
-        }
-        for (&i, &w) in idx.iter().zip(&weights) {
-            stats.sampled[i] += 1;
-            if w > threshold {
-                stats.selected[i] += 1;
+        record_step(&mut stats, cfg, &weights, &idx, loss);
+        let done = step + 1;
+        if let Some(c) = ctl.as_deref_mut() {
+            let every = c.mgr.every_n_steps();
+            if every > 0 && done % every == 0 && done < cfg.steps {
+                save_mid_stage(c, model.params(), opt, &rng, &stats, done)?;
             }
         }
-        stats.step_losses.push(loss);
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]

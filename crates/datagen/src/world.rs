@@ -15,7 +15,7 @@
 //! is ambiguous or wrong (Table II's failure cases).
 
 use crate::lexicon::{Lexicon, TYPE_WORDS};
-use mb_common::Rng;
+use mb_common::{Error, Result, Rng};
 use mb_kb::{DomainId, EntityId, KbBuilder, KnowledgeBase};
 use mb_text::tokenizer::tokenize;
 use std::collections::HashSet;
@@ -225,7 +225,9 @@ impl World {
         let root = Rng::seed_from_u64(config.seed);
         let general = Lexicon::general_pool(&root, config.general_vocab);
         let mut builder = KbBuilder::new();
-        let related_rel = builder.relation("related_to");
+        // Generated worlds are bounded by WorldConfig, far below the KB
+        // id-space limits, so capacity errors here are unreachable.
+        let related_rel = builder.relation("related_to").expect("relation id space");
         let mut meta: Vec<EntityMeta> = Vec::new();
         let mut domains = Vec::new();
 
@@ -238,13 +240,17 @@ impl World {
                 spec.specific_vocab,
                 spec.gap,
             );
-            let domain_id = builder.domain(&spec.name);
+            let domain_id = builder.domain(&spec.name).expect("domain id space");
             let staged = stage_domain(spec, &lexicon, config.ambiguity_rate, &domain_rng);
 
             // Insert into the KB, then wire aliases/triples/meta.
             let ids: Vec<EntityId> = staged
                 .iter()
-                .map(|s| builder.add_entity(&s.title, &s.description, domain_id))
+                .map(|s| {
+                    builder
+                        .add_entity(&s.title, &s.description, domain_id)
+                        .expect("entity id space")
+                })
                 .collect();
             let n = staged.len() as f64;
             for (k, s) in staged.into_iter().enumerate() {
@@ -298,13 +304,24 @@ impl World {
     /// Find a domain by name.
     ///
     /// # Panics
-    /// Panics if the domain does not exist (worlds are static; a wrong
-    /// name is a configuration bug).
+    /// Panics if the domain does not exist. Use this when the name is
+    /// hard-coded (worlds are static; a wrong literal is a programming
+    /// bug); for names that arrive from external input — CLI flags,
+    /// model manifests — use [`World::domain_checked`] instead.
     pub fn domain(&self, name: &str) -> &DomainInfo {
+        self.domain_checked(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Find a domain by name, surfacing unknown names as an error.
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] when no domain has this name — the
+    /// recoverable form of [`World::domain`] for load paths.
+    pub fn domain_checked(&self, name: &str) -> Result<&DomainInfo> {
         self.domains
             .iter()
             .find(|d| d.name == name)
-            .unwrap_or_else(|| panic!("domain {name:?} not in world"))
+            .ok_or_else(|| Error::NotFound(format!("domain {name:?} not in world")))
     }
 
     /// The configuration used to generate this world.
@@ -318,12 +335,25 @@ impl World {
     }
 
     /// The spec used for a domain.
+    ///
+    /// # Panics
+    /// Panics on unknown names; see [`World::spec_checked`] for the
+    /// recoverable form.
     pub fn spec(&self, name: &str) -> &DomainSpec {
+        self.spec_checked(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The spec used for a domain, surfacing unknown names as an error.
+    ///
+    /// # Errors
+    /// Returns [`Error::NotFound`] when the config has no spec with
+    /// this name.
+    pub fn spec_checked(&self, name: &str) -> Result<&DomainSpec> {
         self.config
             .domains
             .iter()
             .find(|s| s.name == name)
-            .unwrap_or_else(|| panic!("domain spec {name:?} not in config"))
+            .ok_or_else(|| Error::NotFound(format!("domain spec {name:?} not in config")))
     }
 }
 

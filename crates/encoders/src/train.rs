@@ -7,7 +7,8 @@
 use crate::biencoder::BiEncoder;
 use crate::crossencoder::{CandidateSet, CrossEncoder};
 use crate::input::TrainPair;
-use mb_common::Rng;
+use mb_common::storage::{NoBudget, StepBudget};
+use mb_common::{Result, Rng};
 use mb_tensor::optim::{Adam, Optimizer};
 
 /// Shared training hyperparameters.
@@ -64,15 +65,31 @@ pub fn train_biencoder(
     pairs: &[TrainPair],
     cfg: &TrainConfig,
 ) -> TrainStats {
+    try_train_biencoder(model, pairs, cfg, &mut NoBudget).expect("NoBudget never aborts")
+}
+
+/// [`train_biencoder`] with a crash-injection seam: `budget` is ticked
+/// once before every epoch, and an error from it aborts the run there,
+/// exactly as if the process had died between epochs.
+///
+/// # Errors
+/// Propagates the budget's error (conventionally [`mb_common::Error::Aborted`]).
+pub fn try_train_biencoder(
+    model: &mut BiEncoder,
+    pairs: &[TrainPair],
+    cfg: &TrainConfig,
+    budget: &mut dyn StepBudget,
+) -> Result<TrainStats> {
     let mut stats = TrainStats::default();
     if pairs.is_empty() {
-        return stats;
+        return Ok(stats);
     }
     let mut opt = Adam::new(cfg.lr);
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..pairs.len()).collect();
     let mut checkpoint = model.params().clone();
     for _ in 0..cfg.epochs {
+        budget.tick()?;
         rng.shuffle(&mut order);
         let mut losses = Vec::new();
         for chunk in order.chunks(cfg.batch_size.max(2)) {
@@ -86,12 +103,12 @@ pub fn train_biencoder(
         if model.params().has_non_finite() {
             model.set_params(checkpoint);
             stats.diverged = true;
-            return stats;
+            return Ok(stats);
         }
         checkpoint = model.params().clone();
         stats.epoch_losses.push(mb_common::util::mean(&losses));
     }
-    stats
+    Ok(stats)
 }
 
 /// Train a cross-encoder on candidate sets (batch size 1, as in the
@@ -101,17 +118,32 @@ pub fn train_crossencoder(
     sets: &[CandidateSet],
     cfg: &TrainConfig,
 ) -> TrainStats {
+    try_train_crossencoder(model, sets, cfg, &mut NoBudget).expect("NoBudget never aborts")
+}
+
+/// [`train_crossencoder`] with a crash-injection seam; `budget` is
+/// ticked once before every epoch.
+///
+/// # Errors
+/// Propagates the budget's error (conventionally [`mb_common::Error::Aborted`]).
+pub fn try_train_crossencoder(
+    model: &mut CrossEncoder,
+    sets: &[CandidateSet],
+    cfg: &TrainConfig,
+    budget: &mut dyn StepBudget,
+) -> Result<TrainStats> {
     let mut stats = TrainStats::default();
     let trainable: Vec<&CandidateSet> =
         sets.iter().filter(|s| s.gold_index.is_some() && !s.is_empty()).collect();
     if trainable.is_empty() {
-        return stats;
+        return Ok(stats);
     }
     let mut opt = Adam::new(cfg.lr);
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..trainable.len()).collect();
     let mut checkpoint = model.params().clone();
     for _ in 0..cfg.epochs {
+        budget.tick()?;
         rng.shuffle(&mut order);
         let mut losses = Vec::new();
         for &i in &order {
@@ -120,12 +152,12 @@ pub fn train_crossencoder(
         if model.params().has_non_finite() {
             model.set_params(checkpoint);
             stats.diverged = true;
-            return stats;
+            return Ok(stats);
         }
         checkpoint = model.params().clone();
         stats.epoch_losses.push(mb_common::util::mean(&losses));
     }
-    stats
+    Ok(stats)
 }
 
 /// Exponential learning-rate decay helper for longer runs.
@@ -151,16 +183,44 @@ pub fn train_biencoder_hard_negatives(
     negatives_per_pair: usize,
     cfg: &TrainConfig,
 ) -> TrainStats {
+    try_train_biencoder_hard_negatives(
+        model,
+        pairs,
+        pool_bags,
+        pool_ids,
+        negatives_per_pair,
+        cfg,
+        &mut NoBudget,
+    )
+    .expect("NoBudget never aborts")
+}
+
+/// [`train_biencoder_hard_negatives`] with a crash-injection seam;
+/// `budget` is ticked once before every epoch.
+///
+/// # Errors
+/// Propagates the budget's error (conventionally [`mb_common::Error::Aborted`]).
+#[allow(clippy::too_many_arguments)]
+pub fn try_train_biencoder_hard_negatives(
+    model: &mut BiEncoder,
+    pairs: &[TrainPair],
+    pool_bags: &[Vec<u32>],
+    pool_ids: &[mb_kb::EntityId],
+    negatives_per_pair: usize,
+    cfg: &TrainConfig,
+    budget: &mut dyn StepBudget,
+) -> Result<TrainStats> {
     assert_eq!(pool_bags.len(), pool_ids.len(), "pool bags/ids misaligned");
     let mut stats = TrainStats::default();
     if pairs.is_empty() || pool_bags.is_empty() || negatives_per_pair == 0 {
-        return stats;
+        return Ok(stats);
     }
     let mut opt = Adam::new(cfg.lr);
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..pairs.len()).collect();
     let mut checkpoint = model.params().clone();
     for _ in 0..cfg.epochs {
+        budget.tick()?;
         // Re-embed the pool with the current model each epoch.
         let pool_vecs = model.embed_entities(pool_bags.to_vec());
         rng.shuffle(&mut order);
@@ -195,12 +255,12 @@ pub fn train_biencoder_hard_negatives(
         if model.params().has_non_finite() {
             model.set_params(checkpoint);
             stats.diverged = true;
-            return stats;
+            return Ok(stats);
         }
         checkpoint = model.params().clone();
         stats.epoch_losses.push(mb_common::util::mean(&losses));
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -393,6 +453,28 @@ mod tests {
             &TrainConfig::default(),
         );
         assert!(s2.epoch_losses.is_empty());
+    }
+
+    #[test]
+    fn injected_kill_aborts_between_epochs() {
+        let (_, vocab, pairs) = setup();
+        let bi_cfg = BiEncoderConfig { emb_dim: 8, hidden: 8, out_dim: 8, ..Default::default() };
+        let cfg = TrainConfig { epochs: 5, batch_size: 16, lr: 0.01, seed: 7 };
+        // Reference: uninterrupted run.
+        let mut full = BiEncoder::new(&vocab, bi_cfg, &mut Rng::seed_from_u64(1));
+        let full_stats = train_biencoder(&mut full, &pairs, &cfg);
+        // Kill after 2 epochs: the error propagates and exactly 2 epochs ran.
+        let mut model = BiEncoder::new(&vocab, bi_cfg, &mut Rng::seed_from_u64(1));
+        let mut budget = mb_fault::KillAt::new(2);
+        let err = try_train_biencoder(&mut model, &pairs, &cfg, &mut budget).unwrap_err();
+        assert!(matches!(err, mb_common::Error::Aborted(_)));
+        assert_eq!(budget.ticks(), 2);
+        // A kill budget larger than the run never fires.
+        let mut model2 = BiEncoder::new(&vocab, bi_cfg, &mut Rng::seed_from_u64(1));
+        let mut roomy = mb_fault::KillAt::new(100);
+        let stats = try_train_biencoder(&mut model2, &pairs, &cfg, &mut roomy).unwrap();
+        assert_eq!(stats.epoch_losses, full_stats.epoch_losses);
+        assert_eq!(model2.params(), full.params());
     }
 
     #[test]

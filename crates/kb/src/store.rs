@@ -24,37 +24,61 @@ impl KbBuilder {
     }
 
     /// Register (or look up) a domain by name.
-    pub fn domain(&mut self, name: &str) -> DomainId {
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] when the input holds more
+    /// domains than the `u16` id space — oversized inputs are a data
+    /// problem the loader should surface, not abort on.
+    pub fn domain(&mut self, name: &str) -> Result<DomainId> {
         if let Some(&id) = self.domain_ids.get(name) {
-            return id;
+            return Ok(id);
         }
-        let id = DomainId(u16::try_from(self.domains.len()).expect("too many domains"));
+        let id = DomainId(u16::try_from(self.domains.len()).map_err(|_| {
+            Error::InvalidConfig(format!("too many domains: id space is u16, adding {name:?}"))
+        })?);
         self.domains.push(name.to_string());
         self.domain_ids.insert(name.to_string(), id);
-        id
+        Ok(id)
     }
 
     /// Register (or look up) a relation type by name.
-    pub fn relation(&mut self, name: &str) -> RelationId {
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] when the input holds more
+    /// relation types than the `u16` id space.
+    pub fn relation(&mut self, name: &str) -> Result<RelationId> {
         if let Some(&id) = self.relation_ids.get(name) {
-            return id;
+            return Ok(id);
         }
-        let id = RelationId(u16::try_from(self.relations.len()).expect("too many relations"));
+        let id = RelationId(u16::try_from(self.relations.len()).map_err(|_| {
+            Error::InvalidConfig(format!("too many relations: id space is u16, adding {name:?}"))
+        })?);
         self.relations.push(name.to_string());
         self.relation_ids.insert(name.to_string(), id);
-        id
+        Ok(id)
     }
 
     /// Add an entity, returning its id.
-    pub fn add_entity(&mut self, title: &str, description: &str, domain: DomainId) -> EntityId {
-        let id = EntityId(u32::try_from(self.entities.len()).expect("too many entities"));
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] when the input holds more
+    /// entities than the `u32` id space.
+    pub fn add_entity(
+        &mut self,
+        title: &str,
+        description: &str,
+        domain: DomainId,
+    ) -> Result<EntityId> {
+        let id = EntityId(u32::try_from(self.entities.len()).map_err(|_| {
+            Error::InvalidConfig(format!("too many entities: id space is u32, adding {title:?}"))
+        })?);
         self.entities.push(Entity {
             id,
             title: title.to_string(),
             description: description.to_string(),
             domain,
         });
-        id
+        Ok(id)
     }
 
     /// Add an alias surface form for an entity (source domains only, by
@@ -222,12 +246,12 @@ mod tests {
 
     fn sample_kb() -> KnowledgeBase {
         let mut b = KbBuilder::new();
-        let lego = b.domain("Lego");
-        let tv = b.domain("Doctor Who");
-        let part_of = b.relation("part_of");
-        let brick = b.add_entity("Red Brick", "a red building brick", lego);
-        let set = b.add_entity("Castle Set (2015)", "a castle-themed set", lego);
-        let doctor = b.add_entity("The Doctor", "a time traveller", tv);
+        let lego = b.domain("Lego").unwrap();
+        let tv = b.domain("Doctor Who").unwrap();
+        let part_of = b.relation("part_of").unwrap();
+        let brick = b.add_entity("Red Brick", "a red building brick", lego).unwrap();
+        let set = b.add_entity("Castle Set (2015)", "a castle-themed set", lego).unwrap();
+        let doctor = b.add_entity("The Doctor", "a time traveller", tv).unwrap();
         b.add_alias("big red", brick);
         b.add_triple(brick, part_of, set);
         let _ = doctor;
@@ -248,11 +272,11 @@ mod tests {
     #[test]
     fn dedup_domain_and_relation_registration() {
         let mut b = KbBuilder::new();
-        let a = b.domain("X");
-        let a2 = b.domain("X");
+        let a = b.domain("X").unwrap();
+        let a2 = b.domain("X").unwrap();
         assert_eq!(a, a2);
-        let r = b.relation("rel");
-        let r2 = b.relation("rel");
+        let r = b.relation("rel").unwrap();
+        let r2 = b.relation("rel").unwrap();
         assert_eq!(r, r2);
     }
 
@@ -286,16 +310,16 @@ mod tests {
     #[test]
     fn build_rejects_dangling_references() {
         let mut b = KbBuilder::new();
-        let d = b.domain("D");
-        let e = b.add_entity("A", "a", d);
+        let d = b.domain("D").unwrap();
+        let e = b.add_entity("A", "a", d).unwrap();
         b.add_alias("ghost", EntityId(99));
         let _ = e;
         assert!(b.build().is_err());
 
         let mut b2 = KbBuilder::new();
-        let d2 = b2.domain("D");
-        let e2 = b2.add_entity("A", "a", d2);
-        let r = b2.relation("r");
+        let d2 = b2.domain("D").unwrap();
+        let e2 = b2.add_entity("A", "a", d2).unwrap();
+        let r = b2.relation("r").unwrap();
         b2.add_triple(e2, r, EntityId(42));
         assert!(b2.build().is_err());
     }

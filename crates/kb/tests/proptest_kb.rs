@@ -17,10 +17,10 @@ mb_check::check! {
     fn title_index_finds_every_inserted_title(title_ws in gen::vec_of(title_words(), 1..30)) {
         let titles: Vec<String> = title_ws.iter().map(|ws| ws.join(" ")).collect();
         let mut b = KbBuilder::new();
-        let d = b.domain("D");
+        let d = b.domain("D").unwrap();
         let ids: Vec<EntityId> = titles
             .iter()
-            .map(|t| b.add_entity(t, "desc words here", d))
+            .map(|t| b.add_entity(t, "desc words here", d).unwrap())
             .collect();
         let kb = b.build().unwrap();
         for (t, id) in titles.iter().zip(&ids) {
@@ -37,9 +37,9 @@ mb_check::check! {
     ) {
         let query = query_ws.join(" ");
         let mut b = KbBuilder::new();
-        let d = b.domain("D");
+        let d = b.domain("D").unwrap();
         for ws in &title_ws {
-            b.add_entity(&ws.join(" "), "", d);
+            b.add_entity(&ws.join(" "), "", d).unwrap();
         }
         let kb = b.build().unwrap();
         let qtokens: std::collections::HashSet<String> =

@@ -1,0 +1,622 @@
+//! Sectioned `mb-params v2` checkpoint format with per-section CRCs.
+//!
+//! A v2 checkpoint bundles everything needed to resume a training run
+//! bit-identically after a crash: model parameters (one [`Params`] per
+//! model), optimizer moments ([`OptimState`]), captured RNG streams
+//! (`mb_common::Rng` state words), accumulated metric vectors, and a
+//! free-form string map for the pipeline-stage cursor.
+//!
+//! ```text
+//! mb-params v2 <nsections>
+//! section <name> <len> <crc32>
+//! <exactly len payload bytes>
+//! section <name> <len> <crc32>
+//! ...
+//! ```
+//!
+//! Integrity model: the magic line carries the section count, so
+//! truncation at a section boundary is detected; each section header
+//! carries the payload byte length, so truncation inside a section is
+//! detected; and the CRC-32 is computed over `name + '\n' + payload`,
+//! so any single-bit corruption of either the section name or its
+//! payload is detected. A corrupted checkpoint never loads partially —
+//! [`Checkpoint::from_bytes`] is all-or-nothing, and the checkpoint
+//! manager in `mb-core` falls back to the previous good generation.
+//!
+//! Legacy `mb-params v1` documents (bare parameter files from
+//! [`crate::serialize`]) still load, as a params-only checkpoint under
+//! the key `"model"`.
+
+use crate::optim::OptimState;
+use crate::params::Params;
+use crate::serialize;
+use crate::tensor::Tensor;
+use mb_common::storage::{crc32, Storage};
+use mb_common::{Error, Result};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+const MAGIC_V2: &str = "mb-params v2";
+const MAGIC_V1: &str = "mb-params v1";
+
+/// Key under which a legacy v1 document's parameters appear after
+/// loading through [`Checkpoint::from_bytes`].
+pub const V1_PARAMS_KEY: &str = "model";
+
+/// A complete training-state snapshot.
+///
+/// Keys in every map are free-form identifiers chosen by the caller
+/// (e.g. `"bi"` and `"cross"` for the two encoders); they must be
+/// non-empty and contain no whitespace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Checkpoint {
+    /// Model parameters per model key.
+    pub params: BTreeMap<String, Params>,
+    /// Optimizer state per optimizer key.
+    pub optim: BTreeMap<String, OptimState>,
+    /// Captured RNG stream state per stream key.
+    pub rng: BTreeMap<String, [u64; 4]>,
+    /// Accumulated numeric series (losses, counters) per key.
+    pub vectors: BTreeMap<String, Vec<f64>>,
+    /// Free-form metadata: stage cursor, step counters, config echo.
+    /// Keys must contain no whitespace; values no newlines.
+    pub meta: BTreeMap<String, String>,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint.
+    pub fn new() -> Self {
+        Checkpoint::default()
+    }
+
+    /// Serialize to the v2 byte format.
+    ///
+    /// # Errors
+    /// [`Error::Diverged`] if any parameter tensor holds non-finite
+    /// values; [`Error::Checkpoint`] if a key is empty or contains
+    /// whitespace, or a meta value contains a newline.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let mut sections: Vec<(String, String)> = Vec::new();
+        let mut meta_payload = String::new();
+        for (k, v) in &self.meta {
+            check_key(k)?;
+            if v.contains('\n') {
+                return Err(Error::Checkpoint(format!("meta value for {k:?} contains newline")));
+            }
+            meta_payload.push_str(k);
+            meta_payload.push(' ');
+            meta_payload.push_str(v);
+            meta_payload.push('\n');
+        }
+        sections.push(("meta".to_string(), meta_payload));
+        for (k, p) in &self.params {
+            check_key(k)?;
+            let mut body = String::new();
+            serialize::write_params_body(p, &mut body)?;
+            sections.push((format!("params/{k}"), body));
+        }
+        for (k, s) in &self.optim {
+            check_key(k)?;
+            sections.push((format!("optim/{k}"), encode_optim(s)));
+        }
+        for (k, s) in &self.rng {
+            check_key(k)?;
+            sections.push((format!("rng/{k}"), format!("{} {} {} {}\n", s[0], s[1], s[2], s[3])));
+        }
+        for (k, v) in &self.vectors {
+            check_key(k)?;
+            let mut payload = String::new();
+            for (i, x) in v.iter().enumerate() {
+                if i > 0 {
+                    payload.push(' ');
+                }
+                payload.push_str(&format!("{x:.17e}"));
+            }
+            if !v.is_empty() {
+                payload.push('\n');
+            }
+            sections.push((format!("vec/{k}"), payload));
+        }
+        let mut out = format!("{MAGIC_V2} {}\n", sections.len()).into_bytes();
+        for (name, payload) in &sections {
+            let mut protected = name.as_bytes().to_vec();
+            protected.push(b'\n');
+            protected.extend_from_slice(payload.as_bytes());
+            let crc = crc32(&protected);
+            out.extend_from_slice(
+                format!("section {name} {} {crc:08x}\n", payload.len()).as_bytes(),
+            );
+            out.extend_from_slice(payload.as_bytes());
+            out.push(b'\n');
+        }
+        Ok(out)
+    }
+
+    /// Parse a checkpoint from bytes, verifying framing and CRCs.
+    ///
+    /// Accepts both v2 documents and legacy `mb-params v1` parameter
+    /// files (loaded under [`V1_PARAMS_KEY`]).
+    ///
+    /// # Errors
+    /// [`Error::Checkpoint`] on truncation, corruption, or any framing
+    /// problem; [`Error::Parse`] if a CRC-valid payload fails to decode
+    /// (which indicates a writer bug, not storage corruption).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint> {
+        let mut pos = 0usize;
+        let magic = read_line(bytes, &mut pos)?;
+        if magic.trim() == MAGIC_V1 {
+            let s = std::str::from_utf8(bytes)
+                .map_err(|_| Error::Checkpoint("v1 checkpoint is not UTF-8".into()))?;
+            let params = serialize::from_string(s)?;
+            let mut ck = Checkpoint::new();
+            ck.params.insert(V1_PARAMS_KEY.to_string(), params);
+            return Ok(ck);
+        }
+        let mut head = magic.split_whitespace();
+        let magic_ok = head.next() == Some("mb-params") && head.next() == Some("v2");
+        if !magic_ok {
+            return Err(Error::Checkpoint(format!("bad magic line {magic:?}")));
+        }
+        let nsections: usize = head
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| Error::Checkpoint(format!("bad section count in {magic:?}")))?;
+        if head.next().is_some() {
+            return Err(Error::Checkpoint(format!("trailing tokens in magic line {magic:?}")));
+        }
+        let mut ck = Checkpoint::new();
+        for i in 0..nsections {
+            let header = read_line(bytes, &mut pos)
+                .map_err(|_| Error::Checkpoint(format!("truncated before section {i}")))?;
+            let mut parts = header.split_whitespace();
+            if parts.next() != Some("section") {
+                return Err(Error::Checkpoint(format!("bad section header {header:?}")));
+            }
+            let name = parts
+                .next()
+                .ok_or_else(|| Error::Checkpoint(format!("section header {header:?} lacks name")))?
+                .to_string();
+            let len: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| Error::Checkpoint(format!("bad length in {header:?}")))?;
+            // Strict canonical form: exactly 8 lowercase hex digits, so
+            // no bit flip of the stored CRC can parse to the same value.
+            let crc_tok = parts
+                .next()
+                .filter(|t| {
+                    t.len() == 8
+                        && t.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+                })
+                .ok_or_else(|| Error::Checkpoint(format!("bad crc in {header:?}")))?;
+            let crc_expect = u32::from_str_radix(crc_tok, 16)
+                .map_err(|e| Error::Checkpoint(format!("bad crc in {header:?}: {e}")))?;
+            if parts.next().is_some() {
+                return Err(Error::Checkpoint(format!("trailing tokens in {header:?}")));
+            }
+            if pos + len + 1 > bytes.len() {
+                return Err(Error::Checkpoint(format!(
+                    "section {name}: payload truncated ({} of {len} bytes present)",
+                    bytes.len().saturating_sub(pos + 1)
+                )));
+            }
+            let payload = &bytes[pos..pos + len];
+            pos += len;
+            if bytes[pos] != b'\n' {
+                return Err(Error::Checkpoint(format!(
+                    "section {name}: missing terminator after payload"
+                )));
+            }
+            pos += 1;
+            let mut protected = name.as_bytes().to_vec();
+            protected.push(b'\n');
+            protected.extend_from_slice(payload);
+            let crc_actual = crc32(&protected);
+            if crc_actual != crc_expect {
+                return Err(Error::Checkpoint(format!(
+                    "section {name}: crc mismatch (stored {crc_expect:08x}, computed {crc_actual:08x})"
+                )));
+            }
+            let payload = std::str::from_utf8(payload)
+                .map_err(|_| Error::Checkpoint(format!("section {name}: payload is not UTF-8")))?;
+            decode_section(&mut ck, &name, payload)?;
+        }
+        if pos != bytes.len() {
+            return Err(Error::Checkpoint(format!(
+                "{} trailing bytes after final section",
+                bytes.len() - pos
+            )));
+        }
+        Ok(ck)
+    }
+
+    /// Serialize and write atomically through `storage`.
+    ///
+    /// # Errors
+    /// Serialization errors from [`Checkpoint::to_bytes`], or
+    /// [`Error::Io`] from the storage backend.
+    pub fn save(&self, storage: &mut dyn Storage, path: &Path) -> Result<()> {
+        storage.write_atomic(path, &self.to_bytes()?)
+    }
+
+    /// Read from `storage` and parse.
+    ///
+    /// # Errors
+    /// [`Error::Io`] if unreadable, [`Error::Checkpoint`] if corrupt.
+    pub fn load(storage: &mut dyn Storage, path: &Path) -> Result<Checkpoint> {
+        Checkpoint::from_bytes(&storage.read(path)?)
+    }
+}
+
+fn check_key(k: &str) -> Result<()> {
+    if k.is_empty() || k.contains(char::is_whitespace) {
+        return Err(Error::Checkpoint(format!("invalid checkpoint key {k:?}")));
+    }
+    Ok(())
+}
+
+fn read_line(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    let rest = &bytes[*pos..];
+    let nl = rest
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| Error::Checkpoint("unterminated line".into()))?;
+    let line = std::str::from_utf8(&rest[..nl])
+        .map_err(|_| Error::Checkpoint("header line is not UTF-8".into()))?
+        .to_string();
+    *pos += nl + 1;
+    Ok(line)
+}
+
+fn decode_section(ck: &mut Checkpoint, name: &str, payload: &str) -> Result<()> {
+    let dup = |what: &str| Error::Checkpoint(format!("duplicate section {what:?}"));
+    if name == "meta" {
+        if !ck.meta.is_empty() {
+            return Err(dup(name));
+        }
+        for line in payload.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (k, v) = line.split_once(' ').unwrap_or((line, ""));
+            ck.meta.insert(k.to_string(), v.to_string());
+        }
+        Ok(())
+    } else if let Some(key) = name.strip_prefix("params/") {
+        let p = serialize::parse_params_body(payload)?;
+        if ck.params.insert(key.to_string(), p).is_some() {
+            return Err(dup(name));
+        }
+        Ok(())
+    } else if let Some(key) = name.strip_prefix("optim/") {
+        let s = decode_optim(payload)?;
+        if ck.optim.insert(key.to_string(), s).is_some() {
+            return Err(dup(name));
+        }
+        Ok(())
+    } else if let Some(key) = name.strip_prefix("rng/") {
+        let words: Vec<u64> = payload
+            .split_whitespace()
+            .map(|t| {
+                t.parse::<u64>()
+                    .map_err(|e| Error::Parse(format!("rng section {key}: bad word {t:?}: {e}")))
+            })
+            .collect::<Result<_>>()?;
+        let state: [u64; 4] = words
+            .try_into()
+            .map_err(|_| Error::Parse(format!("rng section {key}: need exactly 4 words")))?;
+        if ck.rng.insert(key.to_string(), state).is_some() {
+            return Err(dup(name));
+        }
+        Ok(())
+    } else if let Some(key) = name.strip_prefix("vec/") {
+        let values: Vec<f64> = payload
+            .split_whitespace()
+            .map(|t| {
+                t.parse::<f64>()
+                    .map_err(|e| Error::Parse(format!("vec section {key}: bad value {t:?}: {e}")))
+            })
+            .collect::<Result<_>>()?;
+        if ck.vectors.insert(key.to_string(), values).is_some() {
+            return Err(dup(name));
+        }
+        Ok(())
+    } else {
+        Err(Error::Checkpoint(format!("unknown section kind {name:?}")))
+    }
+}
+
+fn write_tensor(t: &Tensor, out: &mut String) {
+    out.push_str("tensor ");
+    out.push_str(&t.rank().to_string());
+    for d in t.shape() {
+        out.push(' ');
+        out.push_str(&d.to_string());
+    }
+    out.push('\n');
+    for (i, v) in t.data().iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&format!("{v:.17e}"));
+    }
+    out.push('\n');
+}
+
+fn parse_tensor(lines: &mut std::str::Lines<'_>) -> Result<Tensor> {
+    let header = lines.next().ok_or_else(|| Error::Parse("missing tensor header".into()))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("tensor") {
+        return Err(Error::Parse(format!("expected tensor header, got {header:?}")));
+    }
+    let rank: usize = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| Error::Parse(format!("bad tensor rank in {header:?}")))?;
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        let d: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| Error::Parse(format!("bad tensor dim in {header:?}")))?;
+        shape.push(d);
+    }
+    let numel: usize = shape.iter().product();
+    let data_line = lines.next().ok_or_else(|| Error::Parse("missing tensor data line".into()))?;
+    let data: Vec<f64> = data_line
+        .split_whitespace()
+        .map(|t| t.parse::<f64>().map_err(|e| Error::Parse(format!("bad tensor value: {e}"))))
+        .collect::<Result<_>>()?;
+    if data.len() != numel {
+        return Err(Error::Parse(format!(
+            "tensor shape {shape:?} needs {numel} values, found {}",
+            data.len()
+        )));
+    }
+    Ok(Tensor::from_vec(shape, data))
+}
+
+fn encode_optim(s: &OptimState) -> String {
+    let mut out = String::new();
+    match s {
+        OptimState::Sgd { lr, momentum, weight_decay, velocity } => {
+            out.push_str(&format!("sgd {lr:.17e} {momentum:.17e} {weight_decay:.17e}\n"));
+            match velocity {
+                None => out.push_str("velocity none\n"),
+                Some(vs) => {
+                    out.push_str(&format!("velocity {}\n", vs.len()));
+                    for t in vs {
+                        write_tensor(t, &mut out);
+                    }
+                }
+            }
+        }
+        OptimState::Adam { lr, beta1, beta2, eps, t, moments } => {
+            out.push_str(&format!("adam {lr:.17e} {beta1:.17e} {beta2:.17e} {eps:.17e} {t}\n"));
+            match moments {
+                None => out.push_str("moments none\n"),
+                Some((m, v)) => {
+                    out.push_str(&format!("moments {}\n", m.len()));
+                    for t in m.iter().chain(v.iter()) {
+                        write_tensor(t, &mut out);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn decode_optim(payload: &str) -> Result<OptimState> {
+    let mut lines = payload.lines();
+    let header = lines.next().ok_or_else(|| Error::Parse("empty optim section".into()))?;
+    let mut parts = header.split_whitespace();
+    let kind = parts.next().ok_or_else(|| Error::Parse("blank optim header".into()))?;
+    let mut take_f64 = |what: &str| -> Result<f64> {
+        parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| Error::Parse(format!("optim header missing {what}")))
+    };
+    match kind {
+        "sgd" => {
+            let lr = take_f64("lr")?;
+            let momentum = take_f64("momentum")?;
+            let weight_decay = take_f64("weight_decay")?;
+            let velocity = parse_tensor_group(&mut lines, "velocity")?;
+            Ok(OptimState::Sgd { lr, momentum, weight_decay, velocity })
+        }
+        "adam" => {
+            let lr = take_f64("lr")?;
+            let beta1 = take_f64("beta1")?;
+            let beta2 = take_f64("beta2")?;
+            let eps = take_f64("eps")?;
+            let t: u64 = header
+                .split_whitespace()
+                .nth(5)
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| Error::Parse("adam header missing step count".into()))?;
+            let moments = match parse_tensor_group(&mut lines, "moments")? {
+                None => None,
+                Some(all) => {
+                    if all.len() % 2 != 0 {
+                        return Err(Error::Parse("adam moments must pair m and v".into()));
+                    }
+                    let mut m = all;
+                    let v = m.split_off(m.len() / 2);
+                    Some((m, v))
+                }
+            };
+            Ok(OptimState::Adam { lr, beta1, beta2, eps, t, moments })
+        }
+        other => Err(Error::Parse(format!("unknown optimizer kind {other:?}"))),
+    }
+}
+
+/// Parse a `"<label> none"` or `"<label> <n>"` line followed by `n`
+/// tensors. For `"moments"` the caller expects `2n` tensors (m then v),
+/// so the count line stores `n` but is followed by `2n` tensors.
+fn parse_tensor_group(lines: &mut std::str::Lines<'_>, label: &str) -> Result<Option<Vec<Tensor>>> {
+    let header = lines.next().ok_or_else(|| Error::Parse(format!("missing {label} line")))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(label) {
+        return Err(Error::Parse(format!("expected {label} line, got {header:?}")));
+    }
+    let count_tok =
+        parts.next().ok_or_else(|| Error::Parse(format!("{label} line missing count")))?;
+    if count_tok == "none" {
+        return Ok(None);
+    }
+    let count: usize =
+        count_tok.parse().map_err(|e| Error::Parse(format!("bad {label} count: {e}")))?;
+    let total = if label == "moments" { count * 2 } else { count };
+    let mut tensors = Vec::with_capacity(total);
+    for _ in 0..total {
+        tensors.push(parse_tensor(lines)?);
+    }
+    Ok(Some(tensors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer, Sgd};
+    use crate::params::GradVec;
+    use mb_common::storage::MemStorage;
+    use mb_common::Rng;
+
+    fn sample() -> Checkpoint {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut ck = Checkpoint::new();
+        let mut bi = Params::new();
+        bi.add("emb", Tensor::randn(vec![4, 3], 0.0, 1.0, &mut rng));
+        bi.add("w", Tensor::randn(vec![3, 2], 0.0, 0.5, &mut rng));
+        let mut cross = Params::new();
+        cross.add("w", Tensor::randn(vec![2, 2], 0.0, 0.5, &mut rng));
+        // Step a real Adam so moments are populated.
+        let mut opt = Adam::new(0.01);
+        let g = GradVec::from_tensors(vec![
+            Tensor::randn(vec![4, 3], 0.0, 0.1, &mut rng),
+            Tensor::randn(vec![3, 2], 0.0, 0.1, &mut rng),
+        ]);
+        opt.step(&mut bi, &g);
+        ck.optim.insert("bi".into(), opt.state());
+        ck.optim.insert("sgd".into(), Sgd::new(0.1).with_momentum(0.9).state());
+        ck.params.insert("bi".into(), bi);
+        ck.params.insert("cross".into(), cross);
+        ck.rng.insert("meta".into(), rng.state());
+        ck.vectors.insert("step_losses".into(), vec![0.5, 0.25, 1.0 / 3.0]);
+        ck.vectors.insert("empty".into(), Vec::new());
+        ck.meta.insert("stage".into(), "2".into());
+        ck.meta.insert("step".into(), "17".into());
+        ck.meta.insert("note".into(), "has spaces in value".into());
+        ck
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let ck = sample();
+        let bytes = ck.to_bytes().unwrap();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn storage_round_trip() {
+        let mut s = MemStorage::new();
+        let ck = sample();
+        let path = Path::new("ckpt/gen-000001.mbc");
+        ck.save(&mut s, path).unwrap();
+        assert_eq!(Checkpoint::load(&mut s, path).unwrap(), ck);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample().to_bytes().unwrap();
+        for cut in 0..bytes.len() {
+            let res = Checkpoint::from_bytes(&bytes[..cut]);
+            assert!(res.is_err(), "truncation to {cut}/{} bytes loaded silently", bytes.len());
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected_or_exact() {
+        // Flipping any single bit must either fail to load or (never,
+        // for this format) load back to the original. A flip may not
+        // silently produce a *different* checkpoint.
+        let ck = sample();
+        let bytes = ck.to_bytes().unwrap();
+        let mut undetected = 0usize;
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut mutated = bytes.clone();
+                mutated[byte] ^= 1 << bit;
+                if let Ok(loaded) = Checkpoint::from_bytes(&mutated) {
+                    assert_eq!(loaded, ck, "flip at {byte}:{bit} changed the checkpoint");
+                    undetected += 1;
+                }
+            }
+        }
+        // CRC catches essentially everything; allow zero tolerance.
+        assert_eq!(undetected, 0, "{undetected} flips loaded successfully");
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut bytes = sample().to_bytes().unwrap();
+        bytes.extend_from_slice(b"junk\n");
+        assert!(Checkpoint::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn v1_documents_load_as_params_only() {
+        let mut p = Params::new();
+        p.add("w", Tensor::vector(&[1.0, 2.0, 3.0]));
+        let v1 = serialize::to_string(&p).unwrap();
+        let ck = Checkpoint::from_bytes(v1.as_bytes()).unwrap();
+        assert_eq!(ck.params.len(), 1);
+        assert_eq!(ck.params[V1_PARAMS_KEY], p);
+        assert!(ck.optim.is_empty() && ck.rng.is_empty());
+    }
+
+    #[test]
+    fn rejects_non_finite_params() {
+        let mut ck = Checkpoint::new();
+        let mut p = Params::new();
+        p.add("w", Tensor::vector(&[f64::NAN]));
+        ck.params.insert("m".into(), p);
+        assert!(matches!(ck.to_bytes(), Err(Error::Diverged(_))));
+    }
+
+    #[test]
+    fn rejects_bad_keys() {
+        let mut ck = Checkpoint::new();
+        ck.meta.insert("has space".into(), "v".into());
+        assert!(ck.to_bytes().is_err());
+        let mut ck = Checkpoint::new();
+        ck.meta.insert("k".into(), "multi\nline".into());
+        assert!(ck.to_bytes().is_err());
+        let mut ck = Checkpoint::new();
+        ck.vectors.insert(String::new(), vec![1.0]);
+        assert!(ck.to_bytes().is_err());
+    }
+
+    #[test]
+    fn optimizer_state_restores_through_checkpoint() {
+        let mut params = Params::new();
+        params.add("x", Tensor::vector(&[1.0, -1.0]));
+        let mut opt = Adam::new(0.05);
+        let g = GradVec::from_tensors(vec![Tensor::vector(&[0.3, 0.7])]);
+        opt.step(&mut params, &g);
+        opt.step(&mut params, &g);
+
+        let mut ck = Checkpoint::new();
+        ck.optim.insert("opt".into(), opt.state());
+        let back = Checkpoint::from_bytes(&ck.to_bytes().unwrap()).unwrap();
+
+        let mut restored = Adam::new(0.0);
+        restored.restore(back.optim["opt"].clone()).unwrap();
+        assert_eq!(restored.state(), opt.state());
+        assert_eq!(restored.steps(), 2);
+    }
+}

@@ -17,6 +17,8 @@
 //!   mean pooling, and row L2-normalisation.
 //! * [`optim`] — SGD (with momentum/weight decay) and Adam.
 //! * [`params`] — named parameter collections with (de)serialization.
+//! * [`checkpoint`] — sectioned, CRC-protected `mb-params v2` training
+//!   snapshots (params + optimizer moments + RNG streams + cursor).
 //! * [`gradcheck`] — central-finite-difference gradient verification,
 //!   used extensively by this crate's tests and by `mb-core`'s
 //!   meta-gradient tests.
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // index loops are clearer in numeric kernels
 
+pub mod checkpoint;
 pub mod gradcheck;
 pub mod init;
 pub mod optim;

@@ -9,7 +9,9 @@
 //! ```
 //!
 //! Values are written with `{:e}` (full round-trip precision for f64 via
-//! 17 significant digits), one line per parameter.
+//! 17 significant digits), one line per parameter. The body encoding
+//! (everything after the magic line) is shared with the sectioned
+//! `mb-params v2` format in [`crate::checkpoint`].
 
 use crate::params::Params;
 use crate::tensor::Tensor;
@@ -17,11 +19,21 @@ use mb_common::{Error, Result};
 
 const MAGIC: &str = "mb-params v1";
 
-/// Serialize parameters to the text format.
-pub fn to_string(params: &Params) -> String {
-    let mut out = String::from(MAGIC);
-    out.push('\n');
+/// Append the parameter body (header + value lines per parameter, no
+/// magic line) to `out`.
+///
+/// # Errors
+/// [`Error::Diverged`] if any value is NaN or infinite — a checkpoint
+/// containing non-finite parameters could never be resumed into a
+/// healthy run, so it is rejected at save time rather than discovered
+/// at load time.
+pub(crate) fn write_params_body(params: &Params, out: &mut String) -> Result<()> {
     for (name, tensor) in params.iter() {
+        if tensor.has_non_finite() {
+            return Err(Error::Diverged(format!(
+                "refusing to serialize non-finite values in param {name:?}"
+            )));
+        }
         out.push_str("param ");
         out.push_str(name);
         out.push(' ');
@@ -41,19 +53,12 @@ pub fn to_string(params: &Params) -> String {
         }
         out.push('\n');
     }
-    out
+    Ok(())
 }
 
-/// Parse parameters from the text format.
-///
-/// # Errors
-/// Returns [`Error::Parse`] on any structural or numeric problem.
-pub fn from_string(s: &str) -> Result<Params> {
+/// Parse a parameter body produced by [`write_params_body`].
+pub(crate) fn parse_params_body(s: &str) -> Result<Params> {
     let mut lines = s.lines();
-    let magic = lines.next().ok_or_else(|| Error::Parse("empty checkpoint".into()))?;
-    if magic.trim() != MAGIC {
-        return Err(Error::Parse(format!("bad magic line {magic:?}")));
-    }
     let mut params = Params::new();
     while let Some(header) = lines.next() {
         let header = header.trim();
@@ -104,13 +109,39 @@ pub fn from_string(s: &str) -> Result<Params> {
     Ok(params)
 }
 
-/// Write parameters to a file.
+/// Serialize parameters to the text format.
 ///
 /// # Errors
-/// Returns [`Error::Parse`] wrapping the IO failure message.
+/// [`Error::Diverged`] if any parameter contains NaN or infinite
+/// values; such state is rejected at save time.
+pub fn to_string(params: &Params) -> Result<String> {
+    let mut out = String::from(MAGIC);
+    out.push('\n');
+    write_params_body(params, &mut out)?;
+    Ok(out)
+}
+
+/// Parse parameters from the text format.
+///
+/// # Errors
+/// Returns [`Error::Parse`] on any structural or numeric problem.
+pub fn from_string(s: &str) -> Result<Params> {
+    let mut lines = s.lines();
+    let magic = lines.next().ok_or_else(|| Error::Parse("empty checkpoint".into()))?;
+    if magic.trim() != MAGIC {
+        return Err(Error::Parse(format!("bad magic line {magic:?}")));
+    }
+    let body_start = s.find('\n').map(|i| i + 1).unwrap_or(s.len());
+    parse_params_body(&s[body_start..])
+}
+
+/// Write parameters to a file (atomically: temp sibling + rename).
+///
+/// # Errors
+/// [`Error::Diverged`] for non-finite values, [`Error::Io`] on write
+/// failure.
 pub fn save(params: &Params, path: &std::path::Path) -> Result<()> {
-    std::fs::write(path, to_string(params))
-        .map_err(|e| Error::Parse(format!("writing {}: {e}", path.display())))
+    mb_common::storage::atomic_write(path, to_string(params)?.as_bytes())
 }
 
 /// Read parameters from a file.
@@ -141,7 +172,7 @@ mod tests {
     #[test]
     fn round_trip_is_exact() {
         let p = sample();
-        let s = to_string(&p);
+        let s = to_string(&p).unwrap();
         let q = from_string(&s).unwrap();
         assert_eq!(p, q);
     }
@@ -150,8 +181,23 @@ mod tests {
     fn round_trip_preserves_extreme_values() {
         let mut p = Params::new();
         p.add("x", Tensor::vector(&[1e-308, -1e308, 0.0, f64::MIN_POSITIVE, 1.0 / 3.0]));
-        let q = from_string(&to_string(&p)).unwrap();
+        let q = from_string(&to_string(&p).unwrap()).unwrap();
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn rejects_non_finite_values_at_save_time() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut p = Params::new();
+            p.add("ok", Tensor::vector(&[1.0]));
+            p.add("poisoned", Tensor::vector(&[0.5, bad]));
+            let err = to_string(&p).unwrap_err();
+            assert!(matches!(err, Error::Diverged(_)), "expected Diverged for {bad}, got {err:?}");
+            assert!(err.to_string().contains("poisoned"));
+            let dir = std::env::temp_dir().join("mb_tensor_nonfinite_test");
+            let path = dir.join("ckpt.txt");
+            assert!(save(&p, &path).is_err());
+        }
     }
 
     #[test]

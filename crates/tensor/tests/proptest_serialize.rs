@@ -33,7 +33,7 @@ mb_check::check! {
             values.resize(numel, 0.0);
             params.add(&name, Tensor::from_vec(vec![r, c], values));
         }
-        let text = serialize::to_string(&params);
+        let text = serialize::to_string(&params).expect("finite params serialize");
         let parsed = serialize::from_string(&text).expect("round trip parse");
         prop_assert_eq!(parsed, params);
     }
@@ -49,7 +49,7 @@ mb_check::check! {
     ) {
         let mut params = Params::new();
         params.add("w", Tensor::from_vec(vec![2, 2], vec![1.0, -2.5, 3.25, 0.0]));
-        let text = serialize::to_string(&params);
+        let text = serialize::to_string(&params).expect("finite params serialize");
         let mut chars: Vec<char> = text.chars().collect();
         if !chars.is_empty() {
             let idx = flip % chars.len();

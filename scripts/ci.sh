@@ -24,6 +24,11 @@ run cargo test -q --workspace
 # (worldgen -> synthetic supervision -> two-stage training -> eval)
 # at bench scale on one domain.
 run cargo run --release -p mb-bench --bin probe -- Lego
+# Fault-injection smoke: kill training at every step, resume from the
+# surviving checkpoints, and require bit-identical results. The
+# exhaustive sweep is #[ignore]d in the default (debug) suite and run
+# here in release.
+run cargo test --release -q -p mb-core --test resume -- --include-ignored
 
 echo
 echo "CI gate passed."

@@ -225,7 +225,7 @@ fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
     let limit: usize = flag(opts, "limit", "0").parse().map_err(|e| format!("--limit: {e}"))?;
     let (ctx, domain, bi, cross) = load_model(&dir)?;
     let world = ctx.dataset.world();
-    let dom = world.domain(&domain);
+    let dom = world.domain_checked(&domain).map_err(|e| e.to_string())?;
     let linker = TwoStageLinker::new(
         &bi,
         &cross,
@@ -256,7 +256,7 @@ fn cmd_link(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let (ctx, domain, bi, cross) = load_model(&dir)?;
     let world = ctx.dataset.world();
-    let dom = world.domain(&domain);
+    let dom = world.domain_checked(&domain).map_err(|e| e.to_string())?;
     let linker = TwoStageLinker::new(
         &bi,
         &cross,

@@ -14,7 +14,7 @@ fn biencoder_checkpoint_round_trip_preserves_behaviour() {
     let model = BiEncoder::new(&vocab, cfg, &mut Rng::seed_from_u64(1));
 
     // Serialize → parse → install into a differently-initialised model.
-    let text = serialize::to_string(model.params());
+    let text = serialize::to_string(model.params()).expect("finite params serialize");
     let restored = serialize::from_string(&text).expect("parse own output");
     let mut other = BiEncoder::new(&vocab, cfg, &mut Rng::seed_from_u64(999));
     other.set_params(restored);
