@@ -1,0 +1,464 @@
+//! `loadgen` — closed-loop load generator for the `mb-serve` HTTP
+//! server, emitting the `BENCH_serve.json` throughput/latency report.
+//!
+//! Two modes:
+//!
+//! - **Self-contained** (`--self-contained`): builds a tiny synthetic
+//!   world + model in-process, serves it twice over localhost — once
+//!   with `max_batch 1` and once with the batched configuration — and
+//!   reports the throughput ratio. This is the reproducible source of
+//!   `target/experiments/BENCH_serve.json`.
+//! - **External** (`--addr HOST:PORT` or `--addr-file PATH`): drives an
+//!   already-running server (the CI `serve-smoke` stage). `--strict`
+//!   exits non-zero unless every response was 2xx, `--check-metrics`
+//!   requires a non-empty `/metrics`, and `--shutdown` ends the run
+//!   with a graceful `POST /admin/shutdown`.
+//!
+//! ```sh
+//! cargo run --release -p mb-bench --bin loadgen -- --self-contained
+//! cargo run --release -p mb-bench --bin loadgen -- --addr 127.0.0.1:7878 \
+//!     --requests 200 --concurrency 8 --strict --check-metrics --shutdown
+//! ```
+
+use mb_common::Rng;
+use mb_core::linker::LinkerConfig;
+use mb_datagen::world::{DomainRole, DomainSpec};
+use mb_datagen::{LinkedMention, World, WorldConfig};
+use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
+use mb_encoders::crossencoder::{CrossEncoder, CrossEncoderConfig};
+use mb_encoders::input::{build_vocab, InputConfig};
+use mb_serve::{ServeModel, Server, ServerConfig};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+loadgen — closed-loop load generator for mb-serve
+
+USAGE:
+  loadgen --self-contained [--requests <n>] [--concurrency <n>]
+          [--max-batch <n>] [--max-delay-us <n>]
+  loadgen (--addr <host:port> | --addr-file <path>) [--requests <n>]
+          [--concurrency <n>] [--strict] [--check-metrics] [--shutdown]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(key) = args[i].strip_prefix("--") else {
+            return Err(format!("unexpected argument {:?}\n{USAGE}", args[i]));
+        };
+        let boolean =
+            matches!(key, "self-contained" | "strict" | "check-metrics" | "shutdown" | "help");
+        let value = if boolean {
+            "true".to_string()
+        } else {
+            args.get(i + 1).cloned().ok_or(format!("--{key} needs a value\n{USAGE}"))?
+        };
+        flags.insert(key.to_string(), value);
+        i += if boolean { 1 } else { 2 };
+    }
+    if flags.contains_key("help") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let parse = |key: &str, default: usize| -> Result<usize, String> {
+        match flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    };
+    let concurrency = parse("concurrency", 8)?.max(1);
+
+    if flags.contains_key("self-contained") {
+        let requests = parse("requests", 400)?;
+        // Default the batch limit to the offered concurrency: a batch
+        // can never exceed the number of in-flight requests, and a
+        // larger limit only adds linger time waiting for requests that
+        // cannot arrive.
+        let max_batch = parse("max-batch", concurrency)?.max(2);
+        let max_delay_us = parse("max-delay-us", 2_000)? as u64;
+        return self_contained(requests, concurrency, max_batch, max_delay_us);
+    }
+
+    let addr = match (flags.get("addr"), flags.get("addr-file")) {
+        (Some(a), _) => a.clone(),
+        (None, Some(path)) => wait_for_addr_file(path)?,
+        (None, None) => {
+            return Err(format!("need --addr, --addr-file, or --self-contained\n{USAGE}"))
+        }
+    };
+    let requests = parse("requests", 200)?;
+    let stats = drive(&addr, requests, concurrency, &demo_payloads())?;
+    stats.print(&format!("external {addr}"));
+    if flags.contains_key("check-metrics") {
+        let metrics = fetch(&addr, "GET", "/metrics", b"")?;
+        if metrics.1.trim().is_empty() || !metrics.1.contains("serve_requests_total") {
+            return Err("metrics endpoint is empty".to_string());
+        }
+        eprintln!("metrics: ok ({} bytes)", metrics.1.len());
+    }
+    if flags.contains_key("shutdown") {
+        let (status, _) = fetch(&addr, "POST", "/admin/shutdown", b"")?;
+        if status != 200 {
+            return Err(format!("shutdown returned {status}"));
+        }
+        eprintln!("shutdown: requested");
+    }
+    if flags.contains_key("strict") && stats.non_2xx > 0 {
+        return Err(format!("{} of {} responses were not 2xx", stats.non_2xx, stats.total()));
+    }
+    Ok(())
+}
+
+/// Poll for the server's `--addr-file` (written after binding an
+/// ephemeral port) for up to 60 s.
+fn wait_for_addr_file(path: &str) -> Result<String, String> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(s) if !s.trim().is_empty() => return Ok(s.trim().to_string()),
+            _ if Instant::now() > deadline => {
+                return Err(format!("timed out waiting for addr file {path}"))
+            }
+            _ => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- client
+
+struct LoadStats {
+    ok_2xx: u64,
+    non_2xx: u64,
+    elapsed: Duration,
+    /// Sorted request latencies in microseconds.
+    latencies_us: Vec<u64>,
+}
+
+impl LoadStats {
+    fn total(&self) -> u64 {
+        self.ok_2xx + self.non_2xx
+    }
+
+    fn rps(&self) -> f64 {
+        self.total() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = (q * (self.latencies_us.len() - 1) as f64).round() as usize;
+        self.latencies_us[idx.min(self.latencies_us.len() - 1)]
+    }
+
+    fn print(&self, label: &str) {
+        eprintln!(
+            "{label}: {} requests ({} non-2xx) in {:.2?}  {:.1} req/s  p50 {}µs  p95 {}µs  p99 {}µs",
+            self.total(),
+            self.non_2xx,
+            self.elapsed,
+            self.rps(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.95),
+            self.quantile_us(0.99),
+        );
+    }
+}
+
+/// One keep-alive HTTP exchange on an open connection.
+fn exchange(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    raw: &[u8],
+) -> Result<u16, String> {
+    writer.write_all(raw).map_err(|e| format!("send: {e}"))?;
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).map_err(|e| format!("status: {e}"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(format!("bad status line {status_line:?}"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| format!("header: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().map_err(|e| format!("content-length: {e}"))?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| format!("body: {e}"))?;
+    Ok(status)
+}
+
+/// One request on a fresh connection (control endpoints).
+fn fetch(addr: &str, method: &str, path: &str, body: &[u8]) -> Result<(u16, String), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut raw = format!(
+        "{method} {path} HTTP/1.1\r\nhost: loadgen\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(body);
+    writer.write_all(&raw).map_err(|e| format!("send: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).map_err(|e| format!("status: {e}"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(format!("bad status line {status_line:?}"))?;
+    let mut text = String::new();
+    reader.read_to_string(&mut text).map_err(|e| format!("read: {e}"))?;
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or(text);
+    Ok((status, body))
+}
+
+/// Per-client-thread tally: (2xx count, non-2xx count, latencies µs).
+type ClientTally = Result<(u64, u64, Vec<u64>), String>;
+
+/// Closed-loop load: `concurrency` client threads, each with one
+/// keep-alive connection, pulling request indices from a shared
+/// counter until `requests` are done.
+fn drive(
+    addr: &str,
+    requests: usize,
+    concurrency: usize,
+    payloads: &[Vec<u8>],
+) -> Result<LoadStats, String> {
+    assert!(!payloads.is_empty());
+    let counter = AtomicU64::new(0);
+    let started = Instant::now();
+    let results: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|_| {
+                let counter = &counter;
+                scope.spawn(move || -> ClientTally {
+                    let stream =
+                        TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+                    let mut reader = BufReader::new(stream);
+                    let (mut ok, mut bad) = (0u64, 0u64);
+                    let mut lats = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed) as usize;
+                        if i >= requests {
+                            return Ok((ok, bad, lats));
+                        }
+                        let t0 = Instant::now();
+                        let status =
+                            exchange(&mut writer, &mut reader, &payloads[i % payloads.len()])?;
+                        lats.push(t0.elapsed().as_micros() as u64);
+                        if (200..300).contains(&status) {
+                            ok += 1;
+                        } else {
+                            bad += 1;
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let elapsed = started.elapsed();
+    let mut ok_2xx = 0;
+    let mut non_2xx = 0;
+    let mut latencies_us = Vec::with_capacity(requests);
+    for r in results {
+        let (ok, bad, lats) = r?;
+        ok_2xx += ok;
+        non_2xx += bad;
+        latencies_us.extend(lats);
+    }
+    latencies_us.sort_unstable();
+    Ok(LoadStats { ok_2xx, non_2xx, elapsed, latencies_us })
+}
+
+fn link_payload(surface: &str, left: &str, right: &str) -> Vec<u8> {
+    let body = format!(
+        "{{\"surface\":{},\"left\":{},\"right\":{},\"k\":3}}",
+        mb_serve::json::escape(surface),
+        mb_serve::json::escape(left),
+        mb_serve::json::escape(right),
+    );
+    let mut raw = format!(
+        "POST /link HTTP/1.1\r\nhost: loadgen\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(body.as_bytes());
+    raw
+}
+
+/// Fixed payloads for external servers (any text is safe: unknown
+/// tokens map to UNK).
+fn demo_payloads() -> Vec<Vec<u8>> {
+    [
+        ("the dark magician", "after the duel, ", " summoned a trap"),
+        ("castle set", "the new ", " sold out in minutes"),
+        ("warp drive", "engineering reported the ", " was offline"),
+        ("ancient sword", "the museum displayed an ", " from the ruins"),
+        ("red dragon", "a ", " appeared on the field"),
+        ("space station", "the crew docked at the ", " at dawn"),
+        ("trading card", "a rare ", " changed hands"),
+        ("head judge", "the ", " reviewed the ruling"),
+    ]
+    .iter()
+    .map(|(s, l, r)| link_payload(s, l, r))
+    .collect()
+}
+
+// ---------------------------------------------------- self-contained bench
+
+/// Build the benchmark model. Untrained weights are fine — serving
+/// cost does not depend on parameter values — but the MODEL SIZE
+/// matters: batching amortizes the per-tape parameter injection (which
+/// clones every tensor, token-embedding tables included), so the bench
+/// uses a realistic vocabulary rather than the test-sized tiny world.
+fn bench_model() -> (ServeModel, Vec<LinkedMention>) {
+    let world = World::generate(WorldConfig {
+        seed: 1_234,
+        general_vocab: 4_000,
+        ambiguity_rate: 0.15,
+        domains: vec![
+            DomainSpec::new("SrcA", DomainRole::Train, 120, 160, 0.4),
+            DomainSpec::new("TargetX", DomainRole::Test, 400, 600, 0.6),
+        ],
+    });
+    // Pad the vocabulary to production scale (~24k types, the order of
+    // a wordpiece vocab): the embedding tables are the bulk of what
+    // each tape injection clones, and a test-sized vocab would
+    // understate the fixed cost that batching amortises.
+    let filler: Vec<String> = (0..24_000).map(|i| format!("tok{i}")).collect();
+    let extra = filler.join(" ");
+    let vocab = build_vocab(world.kb(), [extra.as_str()], 1);
+    let domain = world.domain("TargetX").clone();
+    let mut rng = Rng::seed_from_u64(7);
+    let mentions = mb_datagen::mentions::generate_mentions(&world, &domain, 64, &mut rng).mentions;
+    let bi = BiEncoder::new(
+        &vocab,
+        BiEncoderConfig { emb_dim: 64, hidden: 64, out_dim: 64, ..Default::default() },
+        &mut Rng::seed_from_u64(1),
+    );
+    let cross = CrossEncoder::new(
+        &vocab,
+        CrossEncoderConfig { emb_dim: 64, hidden: 64, ..Default::default() },
+        &mut Rng::seed_from_u64(2),
+    );
+    let model = ServeModel {
+        dictionary: world.kb().domain_entities(domain.id).to_vec(),
+        kb: world.kb().clone(),
+        vocab,
+        bi,
+        cross,
+        linker: LinkerConfig { k: 16, input: InputConfig::default() },
+        domain: domain.name,
+    };
+    (model, mentions)
+}
+
+/// Serve `model` with the given batch limit and measure a closed loop.
+fn measure_config(
+    model: ServeModel,
+    max_batch: usize,
+    max_delay_us: u64,
+    requests: usize,
+    concurrency: usize,
+    payloads: &[Vec<u8>],
+) -> Result<LoadStats, String> {
+    let cfg = ServerConfig {
+        max_batch,
+        max_delay_us,
+        // One worker on purpose: the comparison isolates batching
+        // (fused forwards), not thread-level parallelism. The cache is
+        // off so every request pays the full two-stage forward.
+        workers: 1,
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(model, cfg).map_err(|e| format!("start server: {e}"))?;
+    let addr = server.addr().to_string();
+    // Warm-up out of band, then the timed run.
+    drive(&addr, (requests / 10).clamp(8, 64), concurrency, payloads)?;
+    let stats = drive(&addr, requests, concurrency, payloads)?;
+    server.shutdown();
+    Ok(stats)
+}
+
+fn stats_json(s: &LoadStats, max_batch: usize) -> String {
+    format!(
+        "{{\"max_batch\":{max_batch},\"requests\":{},\"non_2xx\":{},\"elapsed_s\":{:.4},\"throughput_rps\":{:.2},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+        s.total(),
+        s.non_2xx,
+        s.elapsed.as_secs_f64(),
+        s.rps(),
+        s.quantile_us(0.50),
+        s.quantile_us(0.95),
+        s.quantile_us(0.99),
+    )
+}
+
+fn self_contained(
+    requests: usize,
+    concurrency: usize,
+    max_batch: usize,
+    max_delay_us: u64,
+) -> Result<(), String> {
+    eprintln!("building model …");
+    let (model_a, mentions) = bench_model();
+    eprintln!(
+        "model: vocab {} tokens, {} entities in dictionary",
+        model_a.vocab.len(),
+        model_a.dictionary.len()
+    );
+    let (model_b, _) = bench_model();
+    let payloads: Vec<Vec<u8>> =
+        mentions.iter().map(|m| link_payload(&m.surface, &m.left, &m.right)).collect();
+
+    eprintln!("measuring max_batch=1 (every request pays a full tape) …");
+    let unbatched = measure_config(model_a, 1, 0, requests, concurrency, &payloads)?;
+    unbatched.print("unbatched");
+    eprintln!("measuring max_batch={max_batch} (fused forwards) …");
+    let batched =
+        measure_config(model_b, max_batch, max_delay_us, requests, concurrency, &payloads)?;
+    batched.print("batched");
+
+    let speedup = batched.rps() / unbatched.rps().max(1e-9);
+    eprintln!("batched throughput = {speedup:.2}× unbatched");
+    if unbatched.non_2xx + batched.non_2xx > 0 {
+        return Err("non-2xx responses during the benchmark".to_string());
+    }
+
+    let payload = format!(
+        "{{\"kind\":\"serve_bench\",\"concurrency\":{concurrency},\"workers\":1,\"cache\":\"off\",\"max_delay_us\":{max_delay_us},\"unbatched\":{},\"batched\":{},\"speedup\":{:.3}}}",
+        stats_json(&unbatched, 1),
+        stats_json(&batched, max_batch),
+        speedup,
+    );
+    mb_bench::harness::write_json("BENCH_serve", &payload);
+    println!("BENCH_serve: speedup {speedup:.2}× (batched {:.1} req/s vs unbatched {:.1} req/s at concurrency {concurrency})", batched.rps(), unbatched.rps());
+    Ok(())
+}

@@ -14,10 +14,12 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod lru;
 pub mod progress;
 pub mod rng;
 pub mod storage;
 pub mod util;
 
 pub use error::{Error, Result};
+pub use lru::LruCache;
 pub use rng::Rng;

@@ -1,0 +1,259 @@
+//! A fixed-capacity least-recently-used cache.
+//!
+//! Used by the serving path to memoize mention embeddings: repeated
+//! `(mention, context)` inputs skip the bi-encoder forward entirely.
+//! Every operation is O(1): the recency order is a doubly-linked list
+//! threaded through a slab of nodes, and the key → node mapping is a
+//! `HashMap`. The cache also counts hits and misses so callers (the
+//! `/metrics` endpoint) can report a hit rate without wrapping it.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used cache with a fixed capacity.
+///
+/// `get` refreshes recency; `put` inserts or updates, evicting the
+/// least recently used entry when full. A capacity of 0 is allowed and
+/// caches nothing (every lookup is a miss).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    /// Most recently used node, or `NIL` when empty.
+    head: usize,
+    /// Least recently used node, or `NIL` when empty.
+    tail: usize,
+    /// Recycled slab slots from evictions (len == capacity reuse).
+    free: Vec<usize>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Unlink node `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    /// Link node `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Look up `key`, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                self.unlink(i);
+                self.link_front(i);
+                Some(&self.nodes[i].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up `key` without refreshing recency or counting (tests,
+    /// introspection).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&i| &self.nodes[i].value)
+    }
+
+    /// Insert or update `key`, making it the most recently used entry.
+    /// Returns the evicted `(key, value)` pair, if the insert pushed
+    /// one out.
+    pub fn put(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return Some((key, value));
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.nodes[i].value = value;
+            self.unlink(i);
+            self.link_front(i);
+            return None;
+        }
+        let evicted = if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            self.unlink(lru);
+            let node = &mut self.nodes[lru];
+            let old_key = node.key.clone();
+            self.map.remove(&old_key);
+            self.free.push(lru);
+            // The value is swapped out below when the slot is reused.
+            Some((lru, old_key))
+        } else {
+            None
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let node = &mut self.nodes[slot];
+                node.key = key.clone();
+                let old_value = std::mem::replace(&mut node.value, value);
+                self.map.insert(key, slot);
+                self.link_front(slot);
+                return evicted.map(|(_, k)| (k, old_value));
+            }
+            None => {
+                self.nodes.push(Node { key: key.clone(), value, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.link_front(slot);
+        debug_assert!(evicted.is_none(), "eviction always recycles a slot");
+        None
+    }
+
+    /// Remove every entry (counters are preserved).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Keys from most to least recently used (tests, diagnostics).
+    pub fn keys_by_recency(&self) -> Vec<&K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            out.push(&self.nodes[i].key);
+            i = self.nodes[i].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_and_eviction_order() {
+        let mut c = LruCache::new(2);
+        assert!(c.put(1, "a").is_none());
+        assert!(c.put(2, "b").is_none());
+        assert_eq!(c.get(&1), Some(&"a")); // refresh 1; 2 is now LRU
+        assert_eq!(c.put(3, "c"), Some((2, "b")));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&3), Some(&"c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn update_refreshes_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        assert!(c.put(1, 11).is_none()); // update, no eviction
+        assert_eq!(c.put(3, 30), Some((2, 20))); // 2 was LRU
+        assert_eq!(c.peek(&1), Some(&11));
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c = LruCache::new(1);
+        c.put("k", 1);
+        c.get(&"k");
+        c.get(&"absent");
+        c.get(&"k");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.put(1, "a"), Some((1, "a")));
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn recency_list_is_consistent() {
+        let mut c = LruCache::new(3);
+        for i in 0..10 {
+            c.put(i, i);
+        }
+        assert_eq!(c.keys_by_recency(), vec![&9, &8, &7]);
+        c.get(&8);
+        assert_eq!(c.keys_by_recency(), vec![&8, &9, &7]);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.keys_by_recency().is_empty());
+    }
+}

@@ -1,8 +1,31 @@
-//! Property-based tests of the RNG and numeric utilities.
+//! Property-based tests of the RNG, numeric utilities, and LRU cache.
 
 use mb_check::{gen, prop_assert, prop_assert_eq};
 use mb_common::util::{argsort_desc, log_sum_exp, softmax, top_k_desc};
-use mb_common::Rng;
+use mb_common::{LruCache, Rng};
+
+/// Reference LRU: a vector ordered most → least recently used.
+struct NaiveLru {
+    cap: usize,
+    entries: Vec<(u32, u32)>,
+}
+
+impl NaiveLru {
+    fn get(&mut self, k: u32) -> Option<u32> {
+        let i = self.entries.iter().position(|&(ek, _)| ek == k)?;
+        let e = self.entries.remove(i);
+        self.entries.insert(0, e);
+        Some(e.1)
+    }
+
+    fn put(&mut self, k: u32, v: u32) {
+        if let Some(i) = self.entries.iter().position(|&(ek, _)| ek == k) {
+            self.entries.remove(i);
+        }
+        self.entries.insert(0, (k, v));
+        self.entries.truncate(self.cap);
+    }
+}
 
 mb_check::check! {
     #![config(cases = 128)]
@@ -72,5 +95,49 @@ mb_check::check! {
         for _ in 0..100 {
             prop_assert!(rng.gaussian().is_finite());
         }
+    }
+
+    fn lru_matches_naive_model(
+        cap in gen::usize_in(1..9),
+        ops in gen::vec_of(gen::u32_in(0..64), 0..120),
+    ) {
+        // Op encoding: low 5 bits = key, bit 5 = put (vs get). Values
+        // are a running counter so updates are observable.
+        let mut lru = LruCache::new(cap);
+        let mut naive = NaiveLru { cap, entries: Vec::new() };
+        let mut counter = 0u32;
+        for op in ops {
+            let key = op & 0x1F;
+            if op & 0x20 != 0 {
+                counter += 1;
+                lru.put(key, counter);
+                naive.put(key, counter);
+            } else {
+                prop_assert_eq!(lru.get(&key).copied(), naive.get(key), "get({key})");
+            }
+            prop_assert_eq!(lru.len(), naive.entries.len());
+            prop_assert!(lru.len() <= cap);
+            let order: Vec<u32> = lru.keys_by_recency().into_iter().copied().collect();
+            let naive_order: Vec<u32> = naive.entries.iter().map(|&(k, _)| k).collect();
+            prop_assert_eq!(order, naive_order);
+        }
+    }
+
+    fn lru_counters_add_up(
+        cap in gen::usize_in(0..6),
+        keys in gen::vec_of(gen::u32_in(0..16), 0..60),
+    ) {
+        let mut lru = LruCache::new(cap);
+        let mut expected_hits = 0;
+        for (i, k) in keys.iter().enumerate() {
+            if lru.peek(k).is_some() {
+                expected_hits += 1;
+            }
+            if lru.get(k).is_none() {
+                lru.put(*k, i as u32);
+            }
+        }
+        prop_assert_eq!(lru.hits(), expected_hits);
+        prop_assert_eq!(lru.hits() + lru.misses(), keys.len() as u64);
     }
 }

@@ -2,7 +2,13 @@
 //! re-ranking, with the paper's two-stage evaluation protocol
 //! (recall@k for stage one, normalised accuracy for stage two,
 //! unnormalised accuracy for the whole system).
+//!
+//! [`TwoStageLinker::link_batch`] is the single inference code path:
+//! evaluation iterates it chunk-wise and the `mb-serve` micro-batching
+//! engine calls it per drained batch, so serving results are
+//! definitionally bit-identical to offline evaluation.
 
+use mb_common::LruCache;
 use mb_datagen::LinkedMention;
 use mb_encoders::biencoder::BiEncoder;
 use mb_encoders::crossencoder::{CandidateSet, CrossEncoder};
@@ -10,6 +16,7 @@ use mb_encoders::input::{entity_bag, mention_bag, surface_bag, title_bag, InputC
 use mb_encoders::retrieval::DenseIndex;
 use mb_kb::{EntityId, KnowledgeBase};
 use mb_text::Vocab;
+use std::collections::HashMap;
 
 /// Linker-level configuration.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +48,22 @@ pub struct LinkMetrics {
     pub count: usize,
 }
 
+/// Memoized mention embeddings, keyed by the featurized token bag.
+/// Values are exact bi-encoder output rows, so cached lookups stay
+/// bit-identical to recomputation.
+pub type EmbedCache = LruCache<Vec<u32>, Vec<f64>>;
+
+/// Full two-stage output for one mention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkResult {
+    /// Stage-one candidates `(entity, bi-encoder score)`, best first.
+    pub retrieved: Vec<(EntityId, f64)>,
+    /// Stage-two (cross-encoder) scores aligned with `retrieved`.
+    pub rerank_scores: Vec<f64>,
+    /// The re-ranked best entity; `None` when retrieval was empty.
+    pub predicted: Option<EntityId>,
+}
+
 /// A trained two-stage linker over a fixed candidate dictionary.
 pub struct TwoStageLinker<'a> {
     /// The bi-encoder (stage one).
@@ -69,6 +92,40 @@ impl<'a> TwoStageLinker<'a> {
     ) -> Self {
         let index = DenseIndex::build(bi, vocab, &cfg.input, kb, entities);
         TwoStageLinker { bi, cross, vocab, kb, cfg, index }
+    }
+
+    /// Assemble a linker around a **precomputed** entity index — the
+    /// serving constructor: the server embeds its dictionary once at
+    /// startup and then builds a (cheap, borrowing) linker per batch.
+    ///
+    /// # Errors
+    /// [`mb_common::Error::ShapeMismatch`] when the index vectors do
+    /// not match the bi-encoder's output dimension;
+    /// [`mb_common::Error::NotFound`] when the index references an
+    /// entity id outside `kb`.
+    pub fn with_index(
+        bi: &'a BiEncoder,
+        cross: &'a CrossEncoder,
+        vocab: &'a Vocab,
+        kb: &'a KnowledgeBase,
+        cfg: LinkerConfig,
+        index: DenseIndex,
+    ) -> mb_common::Result<Self> {
+        if !index.is_empty() && index.dim() != bi.config().out_dim {
+            return Err(mb_common::Error::shape(
+                "TwoStageLinker::with_index",
+                format!("index dim {}", bi.config().out_dim),
+                format!("index dim {}", index.dim()),
+            ));
+        }
+        if let Some(&bad) = index.ids().iter().find(|id| id.0 as usize >= kb.len()) {
+            return Err(mb_common::Error::NotFound(format!(
+                "indexed entity {} outside knowledge base of {} entities",
+                bad.0,
+                kb.len()
+            )));
+        }
+        Ok(TwoStageLinker { bi, cross, vocab, kb, cfg, index })
     }
 
     /// Stage one: retrieve the top-k candidates for a mention.
@@ -106,33 +163,108 @@ impl<'a> TwoStageLinker<'a> {
     /// Full two-stage prediction: the re-ranked best entity, or `None`
     /// when retrieval returns nothing.
     pub fn predict(&self, mention: &LinkedMention) -> Option<EntityId> {
-        let retrieved = self.candidates(mention);
-        if retrieved.is_empty() {
-            return None;
+        self.link(mention).predicted
+    }
+
+    /// Full two-stage inference for one mention (a one-element
+    /// [`TwoStageLinker::link_batch`]).
+    pub fn link(&self, mention: &LinkedMention) -> LinkResult {
+        self.link_batch(std::slice::from_ref(mention)).pop().expect("one mention in, one out")
+    }
+
+    /// Batched two-stage inference — the shared serving/evaluation
+    /// code path.
+    ///
+    /// The whole batch runs through **one** fused bi-encoder forward
+    /// (duplicate mention bags are embedded once), per-mention exact
+    /// top-k retrieval, and **one** fused cross-encoder forward over
+    /// all candidate sets. Every tensor op involved is row-independent,
+    /// so element `i` is bit-identical to `link(&mentions[i])`.
+    pub fn link_batch(&self, mentions: &[LinkedMention]) -> Vec<LinkResult> {
+        self.link_batch_cached(mentions, None)
+    }
+
+    /// [`TwoStageLinker::link_batch`] with an optional mention-embedding
+    /// cache. Cache values are exact bi-encoder rows, so cached and
+    /// uncached results are identical; the serving layer uses this to
+    /// skip stage-one forwards for repeated (mention, context) inputs.
+    pub fn link_batch_cached(
+        &self,
+        mentions: &[LinkedMention],
+        mut cache: Option<&mut EmbedCache>,
+    ) -> Vec<LinkResult> {
+        if mentions.is_empty() {
+            return Vec::new();
         }
-        let set = self.candidate_set(mention, &retrieved);
-        let scores = self.cross.score(&set);
-        mb_common::util::argmax(&scores).map(|i| retrieved[i].0)
+        let bags: Vec<Vec<u32>> =
+            mentions.iter().map(|m| mention_bag(self.vocab, &self.cfg.input, m)).collect();
+        // Resolve embeddings: cache hits first, then one fused forward
+        // over the distinct misses.
+        let mut rows: Vec<Option<Vec<f64>>> = vec![None; bags.len()];
+        if let Some(cache) = cache.as_deref_mut() {
+            for (row, bag) in rows.iter_mut().zip(&bags) {
+                *row = cache.get(bag).cloned();
+            }
+        }
+        let mut need: Vec<Vec<u32>> = Vec::new();
+        let mut slot: HashMap<&[u32], usize> = HashMap::new();
+        for (row, bag) in rows.iter().zip(&bags) {
+            if row.is_none() && !slot.contains_key(bag.as_slice()) {
+                slot.insert(bag.as_slice(), need.len());
+                need.push(bag.clone());
+            }
+        }
+        let fresh = (!need.is_empty()).then(|| self.bi.embed_mentions_batch(&need));
+        if let (Some(cache), Some(fresh)) = (cache, &fresh) {
+            for (bag, &j) in &slot {
+                cache.put(bag.to_vec(), fresh.row(j).to_vec());
+            }
+        }
+        // Stage one: exact top-k per mention; stage two: one fused
+        // cross-encoder pass over every candidate set.
+        let retrieved: Vec<Vec<(EntityId, f64)>> = rows
+            .iter()
+            .zip(&bags)
+            .map(|(row, bag)| {
+                let q = match row {
+                    Some(r) => r.as_slice(),
+                    None => {
+                        let fresh = fresh.as_ref().expect("misses were embedded");
+                        fresh.row(slot[bag.as_slice()])
+                    }
+                };
+                self.index.top_k(q, self.cfg.k)
+            })
+            .collect();
+        let sets: Vec<CandidateSet> =
+            mentions.iter().zip(&retrieved).map(|(m, r)| self.candidate_set(m, r)).collect();
+        let scores = self.cross.score_batch(&sets);
+        retrieved
+            .into_iter()
+            .zip(scores)
+            .map(|(retrieved, rerank_scores)| {
+                let predicted = mb_common::util::argmax(&rerank_scores).map(|i| retrieved[i].0);
+                LinkResult { retrieved, rerank_scores, predicted }
+            })
+            .collect()
     }
 
     /// Evaluate on gold mentions with the paper's protocol.
     pub fn evaluate(&self, mentions: &[LinkedMention]) -> LinkMetrics {
+        // Chunked so one fused cross-encoder tape stays bounded in
+        // memory however large the test set is; chunking cannot change
+        // results (every op is row-independent).
+        const CHUNK: usize = 32;
         let mut recalled = 0usize;
         let mut correct_given_recalled = 0usize;
         let mut correct = 0usize;
-        for m in mentions {
-            let retrieved = self.candidates(m);
-            let gold_in = retrieved.iter().any(|(id, _)| *id == m.entity);
-            if gold_in {
-                recalled += 1;
-            }
-            if retrieved.is_empty() {
-                continue;
-            }
-            let set = self.candidate_set(m, &retrieved);
-            let scores = self.cross.score(&set);
-            if let Some(best) = mb_common::util::argmax(&scores) {
-                if retrieved[best].0 == m.entity {
+        for chunk in mentions.chunks(CHUNK) {
+            for (m, r) in chunk.iter().zip(self.link_batch(chunk)) {
+                let gold_in = r.retrieved.iter().any(|(id, _)| *id == m.entity);
+                if gold_in {
+                    recalled += 1;
+                }
+                if r.predicted == Some(m.entity) {
                     correct += 1;
                     if gold_in {
                         correct_given_recalled += 1;
@@ -338,6 +470,83 @@ mod tests {
             let p = linker.predict(m).expect("non-empty dictionary");
             assert!(dict.contains(&p));
         }
+    }
+
+    #[test]
+    fn link_batch_is_bit_identical_to_sequential_link() {
+        let f = fixture();
+        let domain = f.world.domain("TargetX");
+        let linker = TwoStageLinker::new(
+            &f.bi,
+            &f.cross,
+            &f.vocab,
+            f.world.kb(),
+            f.world.kb().domain_entities(domain.id),
+            LinkerConfig { k: 8, input: InputConfig::default() },
+        );
+        let mentions = &f.test[..24];
+        let singles: Vec<LinkResult> = mentions.iter().map(|m| linker.link(m)).collect();
+        for size in [1usize, 2, 7, 24] {
+            let mut batched = Vec::new();
+            for chunk in mentions.chunks(size) {
+                batched.extend(linker.link_batch(chunk));
+            }
+            // PartialEq on LinkResult compares f64 scores exactly:
+            // this is the bit-identity guarantee serving relies on.
+            assert_eq!(batched, singles, "batch size {size}");
+        }
+    }
+
+    #[test]
+    fn cached_link_batch_matches_uncached() {
+        let f = fixture();
+        let domain = f.world.domain("TargetX");
+        let linker = TwoStageLinker::new(
+            &f.bi,
+            &f.cross,
+            &f.vocab,
+            f.world.kb(),
+            f.world.kb().domain_entities(domain.id),
+            LinkerConfig { k: 8, input: InputConfig::default() },
+        );
+        // Repeat mentions so the second pass is all cache hits.
+        let mut mentions: Vec<LinkedMention> = f.test[..10].to_vec();
+        mentions.extend_from_slice(&f.test[..10]);
+        let uncached = linker.link_batch(&mentions);
+        let mut cache = EmbedCache::new(64);
+        let first = linker.link_batch_cached(&mentions, Some(&mut cache));
+        let second = linker.link_batch_cached(&mentions, Some(&mut cache));
+        assert_eq!(first, uncached);
+        assert_eq!(second, uncached);
+        assert!(cache.hits() >= 10, "duplicate mentions should hit: {} hits", cache.hits());
+    }
+
+    #[test]
+    fn with_index_validates_dimensions_and_ids() {
+        let f = fixture();
+        let domain = f.world.domain("TargetX");
+        let dict = f.world.kb().domain_entities(domain.id);
+        let cfg = LinkerConfig { k: 8, input: InputConfig::default() };
+        let index = DenseIndex::build(&f.bi, &f.vocab, &cfg.input, f.world.kb(), dict);
+        let linker =
+            TwoStageLinker::with_index(&f.bi, &f.cross, &f.vocab, f.world.kb(), cfg, index)
+                .expect("well-formed index");
+        let direct = TwoStageLinker::new(&f.bi, &f.cross, &f.vocab, f.world.kb(), dict, cfg);
+        assert_eq!(linker.link_batch(&f.test[..4]), direct.link_batch(&f.test[..4]));
+        // Wrong dimensionality is rejected.
+        let bad_dim = DenseIndex::from_vectors(
+            mb_tensor::Tensor::zeros([1, f.bi.config().out_dim + 1]),
+            vec![dict[0]],
+        );
+        assert!(TwoStageLinker::with_index(&f.bi, &f.cross, &f.vocab, f.world.kb(), cfg, bad_dim)
+            .is_err());
+        // Out-of-range entity ids are rejected.
+        let bad_id = DenseIndex::from_vectors(
+            mb_tensor::Tensor::zeros([1, f.bi.config().out_dim]),
+            vec![EntityId(f.world.kb().len() as u32)],
+        );
+        assert!(TwoStageLinker::with_index(&f.bi, &f.cross, &f.vocab, f.world.kb(), cfg, bad_id)
+            .is_err());
     }
 
     #[test]

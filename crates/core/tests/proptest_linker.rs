@@ -1,0 +1,163 @@
+//! Property tests of the batched inference path: for ANY subset of
+//! mentions, ANY chunking, and ANY cache state, `link_batch` must be
+//! element-wise bit-identical to sequential `link` calls. This is the
+//! contract `mb-serve` relies on — micro-batching must never change
+//! model outputs.
+
+use mb_check::{gen, prop_assert_eq};
+use mb_common::Rng;
+use mb_core::linker::{EmbedCache, LinkResult, LinkerConfig, TwoStageLinker};
+use mb_core::pipeline::{train, DataSource, MetaBlinkConfig, Method};
+use mb_datagen::LinkedMention;
+use mb_datagen::{World, WorldConfig};
+use mb_encoders::biencoder::BiEncoder;
+use mb_encoders::crossencoder::CrossEncoder;
+use mb_encoders::input::build_vocab;
+use mb_encoders::input::InputConfig;
+use mb_text::Vocab;
+use std::sync::OnceLock;
+
+struct Fixture {
+    world: World,
+    vocab: Vocab,
+    bi: BiEncoder,
+    cross: CrossEncoder,
+    mentions: Vec<LinkedMention>,
+}
+
+/// Built once for the whole suite; randomly initialized encoders are
+/// enough — the identity property holds for any parameters.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let world = World::generate(WorldConfig::tiny(17));
+        let vocab = build_vocab(world.kb(), [], 1);
+        let domain = world.domain("TargetX").clone();
+        let mut rng = Rng::seed_from_u64(5);
+        let ms = mb_datagen::mentions::generate_mentions(&world, &domain, 48, &mut rng);
+        let bi = BiEncoder::new(
+            &vocab,
+            mb_encoders::biencoder::BiEncoderConfig {
+                emb_dim: 12,
+                hidden: 12,
+                out_dim: 12,
+                ..Default::default()
+            },
+            &mut Rng::seed_from_u64(1),
+        );
+        let cross = CrossEncoder::new(
+            &vocab,
+            mb_encoders::crossencoder::CrossEncoderConfig {
+                emb_dim: 12,
+                hidden: 12,
+                ..Default::default()
+            },
+            &mut Rng::seed_from_u64(2),
+        );
+        Fixture { vocab, bi, cross, mentions: ms.mentions, world }
+    })
+}
+
+fn linker(f: &Fixture) -> TwoStageLinker<'_> {
+    let domain = f.world.domain("TargetX");
+    TwoStageLinker::new(
+        &f.bi,
+        &f.cross,
+        &f.vocab,
+        f.world.kb(),
+        f.world.kb().domain_entities(domain.id),
+        LinkerConfig { k: 6, input: InputConfig::default() },
+    )
+}
+
+mb_check::check! {
+    #![config(cases = 16)]
+
+    fn link_batch_matches_sequential_for_any_batch(
+        picks in gen::vec_of(gen::usize_in(0..48), 1..14),
+        chunk in gen::usize_in(1..15),
+    ) {
+        let f = fixture();
+        let l = linker(f);
+        let batch: Vec<LinkedMention> =
+            picks.iter().map(|&i| f.mentions[i].clone()).collect();
+        let sequential: Vec<LinkResult> = batch.iter().map(|m| l.link(m)).collect();
+        let mut chunked = Vec::new();
+        for c in batch.chunks(chunk) {
+            chunked.extend(l.link_batch(c));
+        }
+        // PartialEq on LinkResult compares every f64 exactly: batching
+        // and chunking must be bit-transparent.
+        prop_assert_eq!(chunked, sequential);
+    }
+
+    fn cache_state_never_changes_results(
+        picks in gen::vec_of(gen::usize_in(0..48), 1..12),
+        capacity in gen::usize_in(1..10),
+    ) {
+        let f = fixture();
+        let l = linker(f);
+        let batch: Vec<LinkedMention> =
+            picks.iter().map(|&i| f.mentions[i].clone()).collect();
+        let uncached = l.link_batch(&batch);
+        // A tiny capacity forces evictions mid-batch across repeats.
+        let mut cache = EmbedCache::new(capacity);
+        for _ in 0..3 {
+            let cached = l.link_batch_cached(&batch, Some(&mut cache));
+            prop_assert_eq!(&cached, &uncached);
+        }
+    }
+}
+
+/// The end-to-end anchor: a *trained* model evaluated through the
+/// batched path produces the same metrics as before the refactor
+/// (evaluate() now iterates link_batch internally; this pins the
+/// trained path too, not just random parameters).
+#[test]
+fn trained_model_evaluation_is_stable_under_batching() {
+    let world = World::generate(WorldConfig::tiny(29));
+    let vocab = build_vocab(world.kb(), [], 1);
+    let domain = world.domain("TargetX").clone();
+    let mut rng = Rng::seed_from_u64(11);
+    let ms = mb_datagen::mentions::generate_mentions(&world, &domain, 120, &mut rng);
+    let (seed, test) = ms.mentions.split_at(60);
+    let syn = mb_nlg::SynDataset {
+        domain: domain.name.clone(),
+        exact: Vec::new(),
+        rewritten: Vec::new(),
+    };
+    let task = mb_core::pipeline::TargetTask {
+        world: &world,
+        vocab: &vocab,
+        domain: &domain,
+        syn: &syn,
+        syn_star: &syn,
+        seed,
+        general: &[],
+    };
+    let model = train(&task, Method::Blink, DataSource::Seed, &MetaBlinkConfig::fast_test());
+    let linker = TwoStageLinker::new(
+        &model.bi,
+        &model.cross,
+        &vocab,
+        world.kb(),
+        world.kb().domain_entities(domain.id),
+        model.linker_cfg,
+    );
+    let via_eval = linker.evaluate(test);
+    // Recompute the same metrics one mention at a time.
+    let mut recalled = 0usize;
+    let mut correct = 0usize;
+    for m in test {
+        let r = linker.link(m);
+        if r.retrieved.iter().any(|(id, _)| *id == m.entity) {
+            recalled += 1;
+        }
+        if r.predicted == Some(m.entity) {
+            correct += 1;
+        }
+    }
+    let n = test.len() as f64;
+    assert!((via_eval.recall_at_k - 100.0 * recalled as f64 / n).abs() < 1e-12);
+    assert!((via_eval.unnormalized_acc - 100.0 * correct as f64 / n).abs() < 1e-12);
+}

@@ -263,6 +263,24 @@ impl BiEncoder {
         self.embed(bags, self.entity_side)
     }
 
+    /// Batched mention encoding — the serving entry point.
+    ///
+    /// One fused forward over the whole batch: the tape is built once
+    /// and the parameters (including the full token-embedding table)
+    /// are injected once, so the per-call overhead is amortised across
+    /// all `bags`. Row `i` of the result is bit-identical to
+    /// `embed_mentions(vec![bags[i].clone()]).row(0)` — every tensor op
+    /// in the encoder is row-independent.
+    pub fn embed_mentions_batch(&self, bags: &[Vec<u32>]) -> Tensor {
+        self.embed(bags.to_vec(), self.mention_side)
+    }
+
+    /// Batched entity encoding (see [`BiEncoder::embed_mentions_batch`]);
+    /// used to precompute a serving entity table.
+    pub fn embed_entities_batch(&self, bags: &[Vec<u32>]) -> Tensor {
+        self.embed(bags.to_vec(), self.entity_side)
+    }
+
     fn embed(&self, bags: Vec<Vec<u32>>, side: SideIds) -> Tensor {
         if bags.is_empty() {
             return Tensor::zeros(vec![0, self.cfg.out_dim]);
@@ -394,6 +412,19 @@ mod tests {
         let a = model.embed_entities(vec![pairs[0].entity.clone()]);
         let b = model2.embed_entities(vec![pairs[0].entity.clone()]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_embed_is_bit_identical_to_single() {
+        let (_, vocab, pairs) = setup();
+        let model = BiEncoder::new(&vocab, tiny_cfg(), &mut Rng::seed_from_u64(11));
+        let bags: Vec<Vec<u32>> = pairs.iter().take(9).map(|p| p.mention.clone()).collect();
+        let batched = model.embed_mentions_batch(&bags);
+        for (i, bag) in bags.iter().enumerate() {
+            let single = model.embed_mentions(vec![bag.clone()]);
+            assert_eq!(batched.row(i), single.row(0), "row {i} differs");
+        }
+        assert_eq!(model.embed_mentions_batch(&[]).rows(), 0);
     }
 
     #[test]

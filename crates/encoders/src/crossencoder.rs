@@ -140,6 +140,39 @@ impl CrossEncoder {
         self.params = params;
     }
 
+    /// Core forward: score `n` (mention, candidate) rows, given the
+    /// four bag columns row-aligned with each other. Returns the
+    /// `[n, 1]` score node. Every op is row-independent, so scores are
+    /// bit-identical however rows are grouped into tapes.
+    fn score_rows(
+        &self,
+        tape: &mut Tape,
+        vars: &[Var],
+        m_bags: Vec<Vec<u32>>,
+        s_bags: Vec<Vec<u32>>,
+        e_bags: Vec<Vec<u32>>,
+        t_bags: Vec<Vec<u32>>,
+    ) -> Var {
+        let n = m_bags.len();
+        let emb = vars[self.emb.index()];
+        let m_pool = tape.bag_embed(emb, m_bags);
+        let s_pool = tape.bag_embed(emb, s_bags);
+        let e_pool = tape.bag_embed(emb, e_bags);
+        let t_pool = tape.bag_embed(emb, t_bags);
+        let sem = tape.mul_elem(m_pool, e_pool);
+        let surf = tape.mul_elem(s_pool, t_pool);
+        let h_sem = tape.linear(sem, vars[self.w_sem.index()], vars[self.b_sem.index()]);
+        let h_surf = tape.linear(surf, vars[self.w_surf.index()], vars[self.b_surf.index()]);
+        let h = tape.add(h_sem, h_surf);
+        let h = tape.tanh(h);
+        let mlp_scores = tape.linear(h, vars[self.w_out.index()], vars[self.b_out.index()]);
+        // Dot-product channel: γ · (m̄ · ē) per candidate.
+        let dots = tape.rows_dot(m_pool, e_pool);
+        let dots_col = tape.reshape(dots, vec![n, 1]);
+        let dot_scores = tape.matmul(dots_col, vars[self.gamma.index()]);
+        tape.add(mlp_scores, dot_scores)
+    }
+
     /// Build the forward graph scoring every candidate of `set`.
     ///
     /// Returns the parameter vars and a `[1, k]` logits node.
@@ -150,36 +183,65 @@ impl CrossEncoder {
         assert!(!set.is_empty(), "forward_logits: empty candidate set");
         let k = set.len();
         let vars = self.params.inject(tape);
-        let emb = vars[self.emb.index()];
         let m_bags: Vec<Vec<u32>> =
             std::iter::repeat_with(|| set.mention.clone()).take(k).collect();
         let s_bags: Vec<Vec<u32>> =
             std::iter::repeat_with(|| set.surface.clone()).take(k).collect();
-        let m_pool = tape.bag_embed(emb, m_bags);
-        let s_pool = tape.bag_embed(emb, s_bags);
-        let e_pool = tape.bag_embed(emb, set.entities.clone());
-        let t_pool = tape.bag_embed(emb, set.titles.clone());
-        let sem = tape.mul_elem(m_pool, e_pool);
-        let surf = tape.mul_elem(s_pool, t_pool);
-        let h_sem = tape.linear(sem, vars[self.w_sem.index()], vars[self.b_sem.index()]);
-        let h_surf = tape.linear(surf, vars[self.w_surf.index()], vars[self.b_surf.index()]);
-        let h = tape.add(h_sem, h_surf);
-        let h = tape.tanh(h);
-        let mlp_scores = tape.linear(h, vars[self.w_out.index()], vars[self.b_out.index()]);
-        // Dot-product channel: γ · (m̄ · ē) per candidate.
-        let dots = tape.rows_dot(m_pool, e_pool);
-        let dots_col = tape.reshape(dots, vec![k, 1]);
-        let dot_scores = tape.matmul(dots_col, vars[self.gamma.index()]);
-        let scores = tape.add(mlp_scores, dot_scores);
+        let scores =
+            self.score_rows(tape, &vars, m_bags, s_bags, set.entities.clone(), set.titles.clone());
         let logits = tape.reshape(scores, vec![1, k]);
         (vars, logits)
     }
 
     /// Score all candidates (inference); higher is better.
+    ///
+    /// # Panics
+    /// Panics on an empty candidate set.
     pub fn score(&self, set: &CandidateSet) -> Vec<f64> {
+        assert!(!set.is_empty(), "score: empty candidate set");
+        self.score_batch(std::slice::from_ref(set)).pop().expect("one set in, one out")
+    }
+
+    /// Batched scoring — the serving entry point.
+    ///
+    /// Scores every candidate of every set in **one fused forward**:
+    /// one tape, one parameter injection (including the full token-
+    /// embedding table), one pass through each tensor op over all
+    /// `Σ len(setᵢ)` rows. Per-set results are bit-identical to
+    /// [`CrossEncoder::score`] on that set alone, because every op in
+    /// the scorer is row-independent.
+    ///
+    /// Empty sets are allowed and yield empty score vectors (a serving
+    /// process must not panic on a mention with no retrieved
+    /// candidates).
+    pub fn score_batch(&self, sets: &[CandidateSet]) -> Vec<Vec<f64>> {
+        let total: usize = sets.iter().map(|s| s.len()).sum();
+        if total == 0 {
+            return sets.iter().map(|_| Vec::new()).collect();
+        }
+        let mut m_bags = Vec::with_capacity(total);
+        let mut s_bags = Vec::with_capacity(total);
+        let mut e_bags = Vec::with_capacity(total);
+        let mut t_bags = Vec::with_capacity(total);
+        for set in sets {
+            for (e, t) in set.entities.iter().zip(&set.titles) {
+                m_bags.push(set.mention.clone());
+                s_bags.push(set.surface.clone());
+                e_bags.push(e.clone());
+                t_bags.push(t.clone());
+            }
+        }
         let mut tape = Tape::new();
-        let (_, logits) = self.forward_logits(&mut tape, set);
-        tape.value(logits).data().to_vec()
+        let vars = self.params.inject(&mut tape);
+        let scores = self.score_rows(&mut tape, &vars, m_bags, s_bags, e_bags, t_bags);
+        let flat = tape.value(scores).data().to_vec();
+        let mut out = Vec::with_capacity(sets.len());
+        let mut offset = 0;
+        for set in sets {
+            out.push(flat[offset..offset + set.len()].to_vec());
+            offset += set.len();
+        }
+        out
     }
 
     /// Ranking loss of one candidate set (softmax cross-entropy against
@@ -319,6 +381,37 @@ mod tests {
         let numeric = mb_tensor::gradcheck::numeric_grad_params(&mut f, model.params(), 1e-5);
         let err = mb_tensor::gradcheck::max_rel_error(&analytic, &numeric);
         assert!(err < 1e-5, "gradcheck failed: {err}");
+    }
+
+    #[test]
+    fn score_batch_matches_per_set_forward() {
+        let (_, vocab, sets) = setup();
+        let model = CrossEncoder::new(&vocab, tiny_cfg(), &mut Rng::seed_from_u64(9));
+        let batched = model.score_batch(&sets[..6]);
+        assert_eq!(batched.len(), 6);
+        for (set, got) in sets[..6].iter().zip(&batched) {
+            // Independent single-set tape through forward_logits.
+            let mut tape = Tape::new();
+            let (_, logits) = model.forward_logits(&mut tape, set);
+            let single = tape.value(logits).data().to_vec();
+            assert_eq!(got, &single, "batched scores differ from single-set forward");
+        }
+    }
+
+    #[test]
+    fn score_batch_allows_empty_sets() {
+        let (_, vocab, sets) = setup();
+        let model = CrossEncoder::new(&vocab, tiny_cfg(), &mut Rng::seed_from_u64(9));
+        let mut empty = sets[0].clone();
+        empty.entities.clear();
+        empty.titles.clear();
+        let mixed = vec![sets[0].clone(), empty.clone(), sets[1].clone()];
+        let scores = model.score_batch(&mixed);
+        assert_eq!(scores[0].len(), sets[0].len());
+        assert!(scores[1].is_empty());
+        assert_eq!(scores[2].len(), sets[1].len());
+        assert_eq!(model.score_batch(&[empty])[0], Vec::<f64>::new());
+        assert!(model.score_batch(&[]).is_empty());
     }
 
     #[test]

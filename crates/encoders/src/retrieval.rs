@@ -22,19 +22,43 @@ pub struct DenseIndex {
 }
 
 impl DenseIndex {
+    /// Build from precomputed vectors (rows aligned with `ids`),
+    /// rejecting misaligned inputs. This is the server-facing
+    /// constructor: a serving process must degrade to an error
+    /// response, not abort, when handed a malformed entity table.
+    ///
+    /// # Errors
+    /// [`mb_common::Error::ShapeMismatch`] when row count and id count
+    /// differ, or the vectors are not a rank-2 tensor.
+    pub fn try_from_vectors(vectors: Tensor, ids: Vec<EntityId>) -> mb_common::Result<Self> {
+        if vectors.rank() != 2 {
+            return Err(mb_common::Error::shape(
+                "DenseIndex::try_from_vectors",
+                "[n, d] vectors",
+                format!("rank-{} tensor {:?}", vectors.rank(), vectors.shape()),
+            ));
+        }
+        if vectors.rows() != ids.len() {
+            return Err(mb_common::Error::shape(
+                "DenseIndex::try_from_vectors",
+                format!("{} ids (one per row)", vectors.rows()),
+                format!("{} ids", ids.len()),
+            ));
+        }
+        Ok(DenseIndex { vectors, ids })
+    }
+
     /// Build from precomputed vectors (rows aligned with `ids`).
+    ///
+    /// Panicking convenience for tests and benches; production callers
+    /// (the serving path) use [`DenseIndex::try_from_vectors`].
     ///
     /// # Panics
     /// Panics if row count and id count differ.
     pub fn from_vectors(vectors: Tensor, ids: Vec<EntityId>) -> Self {
-        assert_eq!(
-            vectors.rows(),
-            ids.len(),
-            "DenseIndex: {} rows vs {} ids",
-            vectors.rows(),
-            ids.len()
-        );
-        DenseIndex { vectors, ids }
+        let (rows, n_ids) = (vectors.rows(), ids.len());
+        DenseIndex::try_from_vectors(vectors, ids)
+            .unwrap_or_else(|_| panic!("DenseIndex: {rows} rows vs {n_ids} ids"))
     }
 
     /// Embed and index a set of entities with a bi-encoder.
@@ -54,6 +78,11 @@ impl DenseIndex {
     /// Number of indexed entities.
     pub fn len(&self) -> usize {
         self.ids.len()
+    }
+
+    /// Dimensionality of the indexed vectors.
+    pub fn dim(&self) -> usize {
+        self.vectors.cols()
     }
 
     /// True if nothing is indexed.
@@ -276,5 +305,18 @@ mod tests {
     fn mismatched_ids_panic() {
         let (vectors, _) = random_index(10, 4, 8);
         DenseIndex::from_vectors(vectors, vec![EntityId(0)]);
+    }
+
+    #[test]
+    fn try_from_vectors_is_fallible() {
+        let (vectors, ids) = random_index(10, 4, 9);
+        let index = DenseIndex::try_from_vectors(vectors.clone(), ids).expect("aligned");
+        assert_eq!(index.len(), 10);
+        assert_eq!(index.dim(), 4);
+        let err = DenseIndex::try_from_vectors(vectors, vec![EntityId(0)]).unwrap_err();
+        assert!(
+            matches!(err, mb_common::Error::ShapeMismatch { .. }),
+            "expected ShapeMismatch, got {err:?}"
+        );
     }
 }

@@ -1,0 +1,45 @@
+//! # mb-serve
+//!
+//! Production inference serving for metablink-rs: a std-only HTTP/1.1
+//! server answering `POST /link` with two-stage entity linking, built
+//! around an **adaptive micro-batching engine**.
+//!
+//! Why batching is the whole game: every un-batched forward pass pays
+//! a fixed tape-construction cost (cloning all parameter tensors into
+//! the autodiff tape, including the token-embedding tables) before the
+//! first multiply. The [`queue::BatchQueue`] lingers up to
+//! `max_delay_us` after a request arrives, fuses up to `max_batch`
+//! concurrent requests into **one**
+//! [`mb_core::linker::TwoStageLinker::link_batch_cached`] call, and
+//! amortizes that cost across all of them. Because every tensor op on
+//! the inference path is row-independent, batched responses are
+//! bit-identical to sequential [`mb_core::linker::TwoStageLinker::link`]
+//! calls — serving never changes model outputs.
+//!
+//! The HTTP layer ([`http`]) and JSON layer ([`json`]) are hand-rolled
+//! (the workspace is hermetic — no external crates) and hardened
+//! against malformed network input by property tests. Production
+//! affordances: `GET /healthz`, `GET /metrics` (latency and batch-size
+//! histograms, cache hit rate, queue depth), bounded-queue
+//! backpressure (503), a mention-embedding LRU, and graceful drain on
+//! `POST /admin/shutdown`.
+//!
+//! ```no_run
+//! use mb_serve::{ServeModel, Server, ServerConfig};
+//! # fn model() -> ServeModel { unimplemented!() }
+//! let server = Server::start(model(), ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! server.join(); // until POST /admin/shutdown
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod model;
+pub mod queue;
+pub mod server;
+
+pub use model::ServeModel;
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,190 @@
+//! Bounded MPSC queue with adaptive batch draining.
+//!
+//! Acceptor threads [`BatchQueue::try_push`] jobs; a full queue rejects
+//! immediately (the server turns that into `503 Service Unavailable`)
+//! instead of buffering without bound. Worker threads call
+//! [`BatchQueue::pop_batch`], which blocks for the first job and then
+//! lingers up to `max_delay` for more — whichever of `max_batch` or the
+//! deadline comes first closes the batch. That linger window is what
+//! turns concurrent single requests into one fused forward pass.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was rejected.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed load now rather than queue
+    /// unboundedly.
+    Full(T),
+    /// The queue was closed for shutdown; no new work is accepted.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue drained in batches.
+pub struct BatchQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BatchQueue<T> {
+    /// An empty queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "BatchQueue: capacity must be positive");
+        BatchQueue {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue without blocking; a full or closed queue returns the
+    /// item to the caller.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Drain the next batch: block until one item is queued (or the
+    /// queue closes), then keep collecting until `max_batch` items are
+    /// in hand or `max_delay` has passed since the first item arrived.
+    ///
+    /// Returns an empty vector only when the queue is closed and fully
+    /// drained — the worker-thread exit signal.
+    pub fn pop_batch(&self, max_batch: usize, max_delay: Duration) -> Vec<T> {
+        let max_batch = max_batch.max(1);
+        let mut s = self.state.lock().expect("queue poisoned");
+        while s.items.is_empty() {
+            if s.closed {
+                return Vec::new();
+            }
+            s = self.available.wait(s).expect("queue poisoned");
+        }
+        let mut batch = Vec::with_capacity(max_batch.min(s.items.len()));
+        let deadline = Instant::now() + max_delay;
+        loop {
+            while batch.len() < max_batch {
+                match s.items.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.len() >= max_batch || s.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) =
+                self.available.wait_timeout(s, deadline - now).expect("queue poisoned");
+            s = guard;
+            if timeout.timed_out() && s.items.is_empty() {
+                break;
+            }
+        }
+        batch
+    }
+
+    /// Close the queue: future pushes fail, waiting workers wake, and
+    /// already-queued items still drain (graceful shutdown).
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether [`BatchQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+
+    /// Items currently queued (the `/metrics` queue-depth gauge).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let q = BatchQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_respects_max_batch() {
+        let q = BatchQueue::new(16);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        let batch = q.pop_batch(4, Duration::from_millis(0));
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        let batch = q.pop_batch(100, Duration::from_millis(0));
+        assert_eq!(batch, vec![4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BatchQueue::new(8);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed(2)));
+        assert_eq!(q.pop_batch(8, Duration::from_millis(5)), vec![1]);
+        assert!(q.pop_batch(8, Duration::from_millis(5)).is_empty());
+    }
+
+    #[test]
+    fn closing_wakes_a_blocked_worker() {
+        let q = Arc::new(BatchQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_batch(4, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(h.join().unwrap().is_empty());
+    }
+
+    #[test]
+    fn linger_window_collects_late_arrivals() {
+        let q = Arc::new(BatchQueue::new(8));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_batch(3, Duration::from_secs(5)));
+        for i in 0..3 {
+            std::thread::sleep(Duration::from_millis(10));
+            q.try_push(i).unwrap();
+        }
+        // The batch fills to max_batch well before the 5 s linger cap.
+        assert_eq!(h.join().unwrap(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,405 @@
+//! The HTTP server: acceptor, connection handlers, and batch workers.
+//!
+//! Threading model (see DESIGN.md §9):
+//!
+//! - one **acceptor** thread turns accepted sockets into per-connection
+//!   handler threads;
+//! - **handler** threads parse requests; `/link` jobs go through the
+//!   bounded [`BatchQueue`] (full queue → `503`) and block on a reply
+//!   channel; `/healthz`, `/metrics`, and `/admin/shutdown` answer
+//!   inline;
+//! - a pool of **batch workers** drains the queue adaptively (up to
+//!   `max_batch` jobs or `max_delay_us`, whichever first) and runs one
+//!   fused [`TwoStageLinker::link_batch_cached`] per drained batch.
+//!
+//! Shutdown is a flag, not a signal: `POST /admin/shutdown` (or
+//! [`Server::shutdown`]) closes the queue so workers drain in-flight
+//! batches and exit, wakes the acceptor, and [`Server::join`] returns.
+
+use crate::http::{read_request, write_response, HttpError, HttpLimits, Request};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use crate::model::ServeModel;
+use crate::queue::{BatchQueue, PushError};
+use mb_core::linker::{EmbedCache, LinkResult, TwoStageLinker};
+use mb_datagen::LinkedMention;
+use mb_encoders::retrieval::DenseIndex;
+use mb_kb::EntityId;
+use mb_text::OverlapCategory;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Most requests fused into one forward pass.
+    pub max_batch: usize,
+    /// How long a batch lingers for more requests (µs) after its first.
+    pub max_delay_us: u64,
+    /// Bounded queue capacity; beyond it, `/link` answers 503.
+    pub queue_capacity: usize,
+    /// Mention-embedding LRU capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Batch-worker threads.
+    pub workers: usize,
+    /// HTTP parser limits.
+    pub limits: HttpLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 16,
+            max_delay_us: 2_000,
+            queue_capacity: 256,
+            cache_capacity: 4_096,
+            workers: 1,
+            limits: HttpLimits::default(),
+        }
+    }
+}
+
+/// One queued `/link` request.
+struct Job {
+    mention: LinkedMention,
+    reply: mpsc::Sender<LinkResult>,
+}
+
+/// State shared by every thread of the server.
+struct Shared {
+    model: ServeModel,
+    index: DenseIndex,
+    cfg: ServerConfig,
+    queue: BatchQueue<Job>,
+    metrics: Metrics,
+    cache: Mutex<EmbedCache>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flip the shutdown flag, close the queue, and poke the acceptor
+    /// loose from `accept()` with a throwaway connection.
+    fn request_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`Server::shutdown`] or let `POST /admin/shutdown` end it.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Precompute the entity index for `model`'s dictionary, bind
+    /// `cfg.addr`, and start serving.
+    ///
+    /// # Errors
+    /// [`mb_common::Error::Io`] when the address cannot be bound;
+    /// index-validation errors from
+    /// [`TwoStageLinker::with_index`] when the model is inconsistent.
+    pub fn start(model: ServeModel, cfg: ServerConfig) -> mb_common::Result<Server> {
+        let index = DenseIndex::build(
+            &model.bi,
+            &model.vocab,
+            &model.linker.input,
+            &model.kb,
+            &model.dictionary,
+        );
+        // Fail fast on an inconsistent model rather than per request.
+        TwoStageLinker::with_index(
+            &model.bi,
+            &model.cross,
+            &model.vocab,
+            &model.kb,
+            model.linker,
+            index.clone(),
+        )?;
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| mb_common::Error::Io(format!("bind {}: {e}", cfg.addr)))?;
+        let addr =
+            listener.local_addr().map_err(|e| mb_common::Error::Io(format!("local_addr: {e}")))?;
+
+        let shared = Arc::new(Shared {
+            queue: BatchQueue::new(cfg.queue_capacity.max(1)),
+            metrics: Metrics::new(),
+            cache: Mutex::new(EmbedCache::new(cfg.cache_capacity)),
+            shutdown: AtomicBool::new(false),
+            model,
+            index,
+            cfg,
+            addr,
+        });
+
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Server { shared, acceptor, workers })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Block until the server shuts down (via `POST /admin/shutdown`
+    /// or a concurrent [`Server::shutdown`]); in-flight batches drain
+    /// before this returns.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued work, join all
+    /// server threads.
+    pub fn shutdown(self) {
+        self.shared.request_shutdown();
+        self.join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // Handler threads are detached: an idle keep-alive connection
+        // must not block shutdown, and the read timeout below bounds
+        // their lifetime after the process stops serving.
+        std::thread::spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let linker = TwoStageLinker::with_index(
+        &shared.model.bi,
+        &shared.model.cross,
+        &shared.model.vocab,
+        &shared.model.kb,
+        shared.model.linker,
+        shared.index.clone(),
+    )
+    .expect("validated in Server::start");
+    let delay = Duration::from_micros(shared.cfg.max_delay_us);
+    loop {
+        let jobs = shared.queue.pop_batch(shared.cfg.max_batch, delay);
+        if jobs.is_empty() {
+            return; // queue closed and drained
+        }
+        shared.metrics.record_batch(jobs.len());
+        let mentions: Vec<LinkedMention> = jobs.iter().map(|j| j.mention.clone()).collect();
+        let results = {
+            let mut cache = shared.cache.lock().expect("cache poisoned");
+            let results = linker.link_batch_cached(&mentions, Some(&mut cache));
+            shared.metrics.set_cache_counters(cache.hits(), cache.misses());
+            results
+        };
+        for (job, result) in jobs.into_iter().zip(results) {
+            // A dropped receiver just means the client went away.
+            let _ = job.reply.send(result);
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // Bound blocking reads so handler threads cannot hang forever on a
+    // silent peer.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let req = match read_request(&mut reader, &shared.cfg.limits) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close between requests
+            Err(HttpError::Io(_)) => return,
+            Err(e) => {
+                shared.metrics.record_request();
+                shared.metrics.record_response(e.status());
+                let body = format!("{{\"error\":{}}}", json::escape(&e.to_string()));
+                let _ = write_response(
+                    &mut writer,
+                    e.status(),
+                    "application/json",
+                    body.as_bytes(),
+                    true,
+                );
+                return; // framing is unreliable after a parse error
+            }
+        };
+        shared.metrics.record_request();
+        let is_shutdown = req.method == "POST" && req.path == "/admin/shutdown";
+        let closing = is_shutdown || req.wants_close() || shared.shutdown.load(Ordering::SeqCst);
+        let (status, content_type, body) = route(&req, shared);
+        shared.metrics.record_response(status);
+        let written = write_response(&mut writer, status, content_type, body.as_bytes(), closing);
+        if is_shutdown {
+            // Trigger only after the response is flushed: once the
+            // queue closes, the process may exit (and take this
+            // detached handler thread with it) before a later write
+            // would reach the client.
+            shared.request_shutdown();
+            return;
+        }
+        if written.is_err() || closing {
+            return;
+        }
+    }
+}
+
+fn route(req: &Request, shared: &Arc<Shared>) -> (u16, &'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"domain\":{},\"entities\":{}}}",
+                json::escape(&shared.model.domain),
+                shared.model.dictionary.len()
+            );
+            (200, "application/json", body)
+        }
+        ("GET", "/metrics") => {
+            (200, "text/plain; charset=utf-8", shared.metrics.render(shared.queue.len()))
+        }
+        // The handler triggers the actual shutdown AFTER this response
+        // is flushed (see `handle_connection`).
+        ("POST", "/admin/shutdown") => {
+            (200, "application/json", "{\"status\":\"draining\"}".to_string())
+        }
+        ("POST", "/link") => handle_link(req, shared),
+        ("GET" | "POST" | "PUT" | "DELETE" | "HEAD", _) => {
+            (404, "application/json", "{\"error\":\"no such endpoint\"}".to_string())
+        }
+        _ => (405, "application/json", "{\"error\":\"method not allowed\"}".to_string()),
+    }
+}
+
+/// Parse a `/link` body into a mention plus the answer size.
+fn parse_link_body(body: &[u8]) -> Result<(LinkedMention, usize), String> {
+    let doc = json::parse(body)?;
+    let surface = doc
+        .get("surface")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"surface\"")?
+        .to_string();
+    if surface.trim().is_empty() {
+        return Err("\"surface\" must be non-empty".to_string());
+    }
+    let text = |key: &str| -> Result<String, String> {
+        match doc.get(key) {
+            None => Ok(String::new()),
+            Some(v) => Ok(v.as_str().ok_or(format!("field {key:?} must be a string"))?.to_string()),
+        }
+    };
+    let k = match doc.get("k") {
+        None => 5,
+        Some(v) => v.as_usize().ok_or("field \"k\" must be a non-negative integer")?,
+    };
+    let mention = LinkedMention {
+        left: text("left")?,
+        surface,
+        right: text("right")?,
+        // Serving has no gold label; id 0 only marks gold in training.
+        entity: EntityId(0),
+        category: OverlapCategory::LowOverlap,
+    };
+    Ok((mention, k))
+}
+
+fn handle_link(req: &Request, shared: &Arc<Shared>) -> (u16, &'static str, String) {
+    let (mention, k) = match parse_link_body(&req.body) {
+        Ok(parsed) => parsed,
+        Err(e) => return (400, "application/json", format!("{{\"error\":{}}}", json::escape(&e))),
+    };
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    match shared.queue.try_push(Job { mention, reply: tx }) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            shared.metrics.record_rejected();
+            return (
+                503,
+                "application/json",
+                "{\"error\":\"queue full, retry later\"}".to_string(),
+            );
+        }
+        Err(PushError::Closed(_)) => {
+            return (
+                503,
+                "application/json",
+                "{\"error\":\"server is shutting down\"}".to_string(),
+            );
+        }
+    }
+    // The bound guards against a dead worker pool; in normal operation
+    // (including shutdown drain) every queued job gets a reply.
+    let Ok(result) = rx.recv_timeout(Duration::from_secs(60)) else {
+        return (503, "application/json", "{\"error\":\"server is shutting down\"}".to_string());
+    };
+    shared.metrics.record_latency_us(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    (200, "application/json", render_result(&result, k, shared))
+}
+
+/// Render a [`LinkResult`] as the `/link` response document, with the
+/// rerank-ordered top-`k` candidates.
+fn render_result(result: &LinkResult, k: usize, shared: &Arc<Shared>) -> String {
+    let mut order: Vec<usize> = (0..result.retrieved.len()).collect();
+    order.sort_by(|&a, &b| {
+        result.rerank_scores[b]
+            .partial_cmp(&result.rerank_scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let candidates: Vec<String> = order
+        .iter()
+        .take(k)
+        .map(|&i| {
+            let (id, bi_score) = result.retrieved[i];
+            let entity = shared.model.kb.entity(id);
+            format!(
+                "{{\"id\":{},\"title\":{},\"bi_score\":{},\"score\":{}}}",
+                id.0,
+                json::escape(&entity.title),
+                json::num(bi_score),
+                json::num(result.rerank_scores[i])
+            )
+        })
+        .collect();
+    let predicted = match result.predicted {
+        Some(id) => format!(
+            "{{\"id\":{},\"title\":{}}}",
+            id.0,
+            json::escape(&shared.model.kb.entity(id).title)
+        ),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"domain\":{},\"predicted\":{},\"candidates\":[{}]}}",
+        json::escape(&shared.model.domain),
+        predicted,
+        candidates.join(",")
+    )
+}

@@ -1,0 +1,121 @@
+//! Property tests hardening the serving front end against arbitrary
+//! network input: the HTTP parser and the JSON layer must reject
+//! malformed data with typed errors — never panic, never read past
+//! their configured limits.
+
+use mb_check::{gen, prop_assert, prop_assert_eq};
+use mb_serve::http::{read_request, HttpError, HttpLimits};
+use mb_serve::json;
+use std::io::Cursor;
+
+fn parse_bytes(
+    bytes: &[u8],
+    limits: &HttpLimits,
+) -> Result<Option<mb_serve::http::Request>, HttpError> {
+    read_request(&mut Cursor::new(bytes.to_vec()), limits)
+}
+
+/// A syntactically valid POST with the given body.
+fn valid_post(path: &str, body: &[u8]) -> Vec<u8> {
+    let mut req = format!(
+        "POST {path} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    req
+}
+
+mb_check::check! {
+    #![config(cases = 96)]
+
+    fn http_parser_never_panics_on_random_bytes(
+        bytes in gen::vec_of(gen::u32_in(0..256), 0..600),
+    ) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        // Any outcome is fine; reaching this line means no panic.
+        let _ = parse_bytes(&bytes, &HttpLimits::default());
+    }
+
+    fn http_parser_never_panics_on_ascii_noise(
+        text in gen::charset_string("GET POST/link HTTP1.\r\n:content-length 0123456789{}\"", 0..400),
+    ) {
+        let _ = parse_bytes(text.as_bytes(), &HttpLimits::default());
+    }
+
+    fn truncating_a_valid_request_never_panics(
+        body in gen::vec_of(gen::u32_in(0..256), 0..64),
+        cut_seed in gen::usize_in(0..10_000),
+    ) {
+        let body: Vec<u8> = body.into_iter().map(|b| b as u8).collect();
+        let full = valid_post("/link", &body);
+        let cut = cut_seed % (full.len() + 1);
+        match parse_bytes(&full[..cut], &HttpLimits::default()) {
+            Ok(Some(req)) => prop_assert_eq!(req.body, body, "only the full request parses"),
+            Ok(None) => prop_assert_eq!(cut, 0, "Ok(None) only on empty input"),
+            Err(e) => prop_assert!(e.status() == 400 || e.status() == 0),
+        }
+    }
+
+    fn bad_content_length_is_always_a_400(
+        junk in gen::charset_string("abc-. 9e", 1..10),
+    ) {
+        // Headers whose content-length fails to parse as usize.
+        if junk.parse::<usize>().is_ok() {
+            return Ok(());
+        }
+        let req = format!("POST /link HTTP/1.1\r\ncontent-length: {junk}\r\n\r\n");
+        match parse_bytes(req.as_bytes(), &HttpLimits::default()) {
+            Err(e) => prop_assert_eq!(e.status(), 400),
+            Ok(_) => prop_assert!(false, "parser accepted content-length {junk:?}"),
+        }
+    }
+
+    fn oversized_bodies_are_rejected_without_allocation(
+        excess in gen::usize_in(1..1_000_000),
+    ) {
+        let limits = HttpLimits { max_body: 1024, ..HttpLimits::default() };
+        let req = format!("POST /link HTTP/1.1\r\ncontent-length: {}\r\n\r\n", 1024 + excess);
+        match parse_bytes(req.as_bytes(), &limits) {
+            Err(e) => prop_assert_eq!(e.status(), 413),
+            Ok(_) => prop_assert!(false, "parser accepted an oversized body"),
+        }
+    }
+
+    fn valid_requests_round_trip(
+        path in gen::charset_string("/abcdefghij_0123456789", 1..30),
+        body in gen::vec_of(gen::u32_in(0..256), 0..128),
+    ) {
+        let body: Vec<u8> = body.into_iter().map(|b| b as u8).collect();
+        let req = parse_bytes(&valid_post(&path, &body), &HttpLimits::default())
+            .expect("valid request")
+            .expect("not EOF");
+        prop_assert_eq!(req.method.as_str(), "POST");
+        prop_assert_eq!(req.path.as_str(), path.as_str());
+        prop_assert_eq!(req.body, body);
+    }
+
+    fn json_parser_never_panics_on_random_bytes(
+        bytes in gen::vec_of(gen::u32_in(0..256), 0..300),
+    ) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = json::parse(&bytes);
+    }
+
+    fn json_parser_never_panics_on_jsonish_noise(
+        text in gen::charset_string("{}[]\",:0123456789.eE+-truefalsn \\u", 0..200),
+    ) {
+        let _ = json::parse(text.as_bytes());
+    }
+
+    fn json_escape_round_trips(s in gen::any_string(0..60)) {
+        let doc = json::escape(&s);
+        prop_assert_eq!(json::parse(doc.as_bytes()), Ok(json::Json::Str(s)));
+    }
+
+    fn json_numbers_round_trip(x in gen::f64_normal_or_zero()) {
+        let doc = json::num(x);
+        let parsed = json::parse(doc.as_bytes()).expect("finite numbers serialize validly");
+        prop_assert_eq!(parsed.as_f64(), Some(x), "{doc}");
+    }
+}

@@ -1,0 +1,263 @@
+//! End-to-end tests of the serving subsystem over real sockets: a tiny
+//! synthetic-world model served on an ephemeral port, driven with a
+//! minimal in-test HTTP client.
+
+use mb_common::Rng;
+use mb_core::linker::{LinkerConfig, TwoStageLinker};
+use mb_datagen::{LinkedMention, World, WorldConfig};
+use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
+use mb_encoders::crossencoder::{CrossEncoder, CrossEncoderConfig};
+use mb_encoders::input::{build_vocab, InputConfig};
+use mb_serve::{ServeModel, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+struct Fixture {
+    world: World,
+    model: ServeModel,
+    mentions: Vec<LinkedMention>,
+}
+
+/// An untrained (randomly initialized) model: inference correctness
+/// and bit-identity do not depend on training, and skipping it keeps
+/// the test fast.
+fn fixture() -> Fixture {
+    let world = World::generate(WorldConfig::tiny(91));
+    let vocab = build_vocab(world.kb(), [], 1);
+    let domain = world.domain("TargetX").clone();
+    let mut rng = Rng::seed_from_u64(4);
+    let ms = mb_datagen::mentions::generate_mentions(&world, &domain, 40, &mut rng);
+    let bi = BiEncoder::new(
+        &vocab,
+        BiEncoderConfig { emb_dim: 16, hidden: 16, out_dim: 16, ..Default::default() },
+        &mut Rng::seed_from_u64(1),
+    );
+    let cross = CrossEncoder::new(
+        &vocab,
+        CrossEncoderConfig { emb_dim: 16, hidden: 16, ..Default::default() },
+        &mut Rng::seed_from_u64(2),
+    );
+    let model = ServeModel {
+        vocab,
+        kb: world.kb().clone(),
+        dictionary: world.kb().domain_entities(domain.id).to_vec(),
+        bi,
+        cross,
+        linker: LinkerConfig { k: 8, input: InputConfig::default() },
+        domain: domain.name.clone(),
+    };
+    Fixture { world, model, mentions: ms.mentions }
+}
+
+/// Send one request and return (status, body). Opens a fresh
+/// connection per call.
+fn roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("send");
+    read_response(&mut BufReader::new(stream))
+}
+
+fn read_response<R: BufRead>(r: &mut R) -> (u16, String) {
+    let mut status_line = String::new();
+    r.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line.split(' ').nth(1).expect("status code").parse().expect("numeric");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        r.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+fn link_request(m: &LinkedMention, k: usize) -> Vec<u8> {
+    let body = format!(
+        "{{\"surface\":{},\"left\":{},\"right\":{},\"k\":{k}}}",
+        mb_serve::json::escape(&m.surface),
+        mb_serve::json::escape(&m.left),
+        mb_serve::json::escape(&m.right),
+    );
+    let mut req = format!(
+        "POST /link HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body.as_bytes());
+    req
+}
+
+/// The mention as the server reconstructs it (no gold label).
+fn served_mention(m: &LinkedMention) -> LinkedMention {
+    LinkedMention { entity: mb_kb::EntityId(0), ..m.clone() }
+}
+
+#[test]
+fn serves_health_metrics_and_errors() {
+    let f = fixture();
+    let server = Server::start(f.model, ServerConfig::default()).expect("start");
+    let addr = server.addr();
+
+    let (status, body) = roundtrip(addr, b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("TargetX"), "{body}");
+
+    let (status, body) = roundtrip(addr, b"GET /nope HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert_eq!(status, 404);
+    assert!(body.contains("error"));
+
+    // Malformed JSON body and malformed HTTP framing are both 400s.
+    let (status, _) =
+        roundtrip(addr, b"POST /link HTTP/1.1\r\nhost: t\r\ncontent-length: 3\r\n\r\n{{{");
+    assert_eq!(status, 400);
+    let (status, _) = roundtrip(addr, b"POST /link HTTP/1.1\r\ncontent-length: zap\r\n\r\n");
+    assert_eq!(status, 400);
+
+    let (status, metrics) = roundtrip(addr, b"GET /metrics HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(!metrics.is_empty());
+    assert!(metrics.contains("serve_requests_total"), "{metrics}");
+    assert!(metrics.contains("serve_queue_depth"), "{metrics}");
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_batched_responses_match_sequential_link() {
+    let f = fixture();
+    // Build the identical linker locally: DenseIndex::build is
+    // deterministic, so expected responses can be computed offline.
+    let linker = TwoStageLinker::new(
+        &f.model.bi,
+        &f.model.cross,
+        &f.model.vocab,
+        &f.model.kb,
+        &f.model.dictionary,
+        f.model.linker,
+    );
+    let mentions: Vec<LinkedMention> = f.mentions.iter().take(12).map(served_mention).collect();
+    let expected: Vec<_> = mentions.iter().map(|m| linker.link(m)).collect();
+
+    let server = Server::start(
+        f.model,
+        ServerConfig { max_batch: 8, max_delay_us: 5_000, ..ServerConfig::default() },
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    // Fire all requests concurrently so the linger window actually
+    // fuses them into batches.
+    let responses: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = mentions
+            .iter()
+            .map(|m| scope.spawn(move || roundtrip(addr, &link_request(m, 3))))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    for ((status, body), want) in responses.iter().zip(&expected) {
+        assert_eq!(*status, 200, "{body}");
+        let doc = mb_serve::json::parse(body.as_bytes()).expect("valid response JSON");
+        let predicted = doc.get("predicted").expect("predicted field");
+        let want_id = want.predicted.expect("non-empty dictionary").0;
+        assert_eq!(
+            predicted.get("id").and_then(|v| v.as_f64()),
+            Some(want_id as f64),
+            "prediction mismatch: {body}"
+        );
+        // Top candidate's rerank score must be BIT-identical to the
+        // sequential link() score (f64 Display round-trips exactly).
+        let top = want.rerank_scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let candidates = match doc.get("candidates") {
+            Some(mb_serve::json::Json::Arr(items)) => items.clone(),
+            other => panic!("bad candidates: {other:?}"),
+        };
+        assert!(!candidates.is_empty() && candidates.len() <= 3);
+        let served_top = candidates[0].get("score").and_then(|v| v.as_f64()).expect("score");
+        assert_eq!(served_top.to_bits(), top.to_bits(), "rerank score drifted: {body}");
+    }
+
+    // The server must have fused at least one multi-request batch.
+    let (_, metrics) = roundtrip(addr, b"GET /metrics HTTP/1.1\r\nhost: t\r\n\r\n");
+    let batches: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("serve_batches_total "))
+        .and_then(|v| v.parse().ok())
+        .expect("batches counter");
+    let batched: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("serve_batched_requests_total "))
+        .and_then(|v| v.parse().ok())
+        .expect("batched counter");
+    assert_eq!(batched, mentions.len() as u64);
+    assert!(batches <= batched, "{batches} batches for {batched} requests");
+
+    server.shutdown();
+    let _ = f.world; // keep the world alive alongside kb clones
+}
+
+#[test]
+fn repeated_requests_hit_the_embedding_cache() {
+    let f = fixture();
+    let m = served_mention(&f.mentions[0]);
+    let server = Server::start(f.model, ServerConfig::default()).expect("start");
+    let addr = server.addr();
+    let (_, first) = roundtrip(addr, &link_request(&m, 3));
+    for _ in 0..3 {
+        let (status, body) = roundtrip(addr, &link_request(&m, 3));
+        assert_eq!(status, 200);
+        assert_eq!(body, first, "cached answers must be identical");
+    }
+    let (_, metrics) = roundtrip(addr, b"GET /metrics HTTP/1.1\r\nhost: t\r\n\r\n");
+    let hits: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("serve_cache_hits_total "))
+        .and_then(|v| v.parse().ok())
+        .expect("cache hits");
+    assert!(hits >= 3, "expected cache hits, metrics:\n{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn admin_shutdown_drains_and_join_returns() {
+    let f = fixture();
+    let m = served_mention(&f.mentions[0]);
+    let server = Server::start(f.model, ServerConfig::default()).expect("start");
+    let addr = server.addr();
+    let (status, _) = roundtrip(addr, &link_request(&m, 2));
+    assert_eq!(status, 200);
+    let (status, body) = roundtrip(addr, b"POST /admin/shutdown HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.contains("draining"), "{body}");
+    // Graceful: all server threads exit; a hang here fails the test
+    // harness timeout.
+    server.join();
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_per_connection() {
+    let f = fixture();
+    let m = served_mention(&f.mentions[1]);
+    let server = Server::start(f.model, ServerConfig::default()).expect("start");
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut write_half = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut bodies = Vec::new();
+    for _ in 0..3 {
+        write_half.write_all(&link_request(&m, 2)).expect("send");
+        let (status, body) = read_response(&mut reader);
+        assert_eq!(status, 200);
+        bodies.push(body);
+    }
+    assert_eq!(bodies[0], bodies[1]);
+    assert_eq!(bodies[1], bodies[2]);
+    server.shutdown();
+}

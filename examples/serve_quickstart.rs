@@ -1,0 +1,117 @@
+//! Serving a linking model over HTTP — start `mb-serve` on an
+//! ephemeral port with a tiny model, send a `POST /link` request over a
+//! raw `TcpStream`, print the answer, and shut the server down
+//! gracefully.
+//!
+//! The server fuses concurrent requests into one forward pass
+//! (adaptive micro-batching), so the responses here are bit-identical
+//! to what `TwoStageLinker::link` would return in-process.
+//!
+//! ```sh
+//! cargo run --release --example serve_quickstart
+//! ```
+
+use metablink::common::Rng;
+use metablink::core::pipeline::{train, DataSource, MetaBlinkConfig, Method, TargetTask};
+use metablink::datagen::{World, WorldConfig};
+use metablink::encoders::input::build_vocab;
+use metablink::serve::{json, ServeModel, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+fn main() {
+    // A tiny synthetic world with a quick BLINK training pass on the
+    // seed mentions; `metablink serve` does the same from a saved
+    // checkpoint directory.
+    println!("building a tiny world and training a model …");
+    let world = World::generate(WorldConfig::tiny(42));
+    let vocab = build_vocab(world.kb(), [], 1);
+    let domain = world.domain("TargetX").clone();
+    let seed_mentions = {
+        let mut rng = Rng::seed_from_u64(9);
+        metablink::datagen::mentions::generate_mentions(&world, &domain, 40, &mut rng).mentions
+    };
+    let syn = metablink::nlg::SynDataset {
+        domain: domain.name.clone(),
+        exact: Vec::new(),
+        rewritten: Vec::new(),
+    };
+    let task = TargetTask {
+        world: &world,
+        vocab: &vocab,
+        domain: &domain,
+        syn: &syn,
+        syn_star: &syn,
+        seed: &seed_mentions,
+        general: &[],
+    };
+    let trained = train(&task, Method::Blink, DataSource::Seed, &MetaBlinkConfig::fast_test());
+    let model = ServeModel {
+        dictionary: world.kb().domain_entities(domain.id).to_vec(),
+        kb: world.kb().clone(),
+        bi: trained.bi,
+        cross: trained.cross,
+        vocab,
+        linker: trained.linker_cfg,
+        domain: domain.name.clone(),
+    };
+
+    // Port 0 asks the OS for an ephemeral port; the entity index is
+    // precomputed before `start` returns.
+    let server = Server::start(model, ServerConfig::default()).expect("start server");
+    let addr = server.addr();
+    println!("serving {} on http://{addr}", domain.name);
+
+    // Borrow a real mention surface from the world so the query is
+    // linkable.
+    let mention = {
+        let mut rng = Rng::seed_from_u64(3);
+        metablink::datagen::mentions::generate_mentions(&world, &domain, 1, &mut rng)
+            .mentions
+            .remove(0)
+    };
+    let body = format!(
+        "{{\"surface\":{},\"left\":{},\"right\":{},\"k\":3}}",
+        json::escape(&mention.surface),
+        json::escape(&mention.left),
+        json::escape(&mention.right),
+    );
+    println!("\nPOST /link {body}");
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /link HTTP/1.1\r\nhost: example\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+
+    let mut reader = BufReader::new(stream);
+    let mut status = String::new();
+    reader.read_line(&mut status).expect("status line");
+    println!("{}", status.trim_end());
+    let mut response = String::new();
+    reader.read_to_string(&mut response).expect("read response");
+    let payload = response.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or(&response);
+
+    let doc = json::parse(payload.as_bytes()).expect("valid JSON");
+    match doc.get("candidates") {
+        Some(json::Json::Arr(items)) => {
+            println!("\ntop candidates:");
+            for c in items {
+                println!(
+                    "  {:<30} {:>8.3}",
+                    c.get("title").and_then(|t| t.as_str()).unwrap_or("?").to_string(),
+                    c.get("score").and_then(|s| s.as_f64()).unwrap_or(f64::NAN),
+                );
+            }
+        }
+        other => println!("unexpected response: {other:?}"),
+    }
+
+    // Graceful shutdown: close the queue, drain in-flight batches,
+    // join every server thread.
+    println!("\nshutting down …");
+    server.shutdown();
+    println!("done");
+}

@@ -29,6 +29,10 @@ run cargo run --release -p mb-bench --bin probe -- Lego
 # exhaustive sweep is #[ignore]d in the default (debug) suite and run
 # here in release.
 run cargo test --release -q -p mb-core --test resume -- --include-ignored
+# Serve smoke: train a small model, serve it, and drive it with the
+# load generator — 100% 2xx under load, non-empty /metrics, and a
+# graceful shutdown that exits 0.
+run scripts/serve_smoke.sh
 
 echo
 echo "CI gate passed."

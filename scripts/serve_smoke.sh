@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Serve smoke test, called from scripts/ci.sh and the serve-smoke CI
+# job: train a small model, serve it on an ephemeral port, drive it
+# with the closed-loop load generator, and require
+#
+#   - 100% 2xx responses under concurrent load (loadgen --strict),
+#   - a non-empty /metrics endpoint (loadgen --check-metrics),
+#   - a graceful drain: after POST /admin/shutdown the server process
+#     must exit 0 on its own.
+#
+# Usage: scripts/serve_smoke.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+cargo run --release -q --bin metablink -- train --seed 7 --scale small \
+    --domain Lego --method blink --source seed --out "$workdir/model"
+
+cargo run --release -q --bin metablink -- serve --model "$workdir/model" \
+    --addr 127.0.0.1:0 --addr-file "$workdir/addr.txt" &
+server_pid=$!
+
+# loadgen polls the addr file until the server has bound its port.
+cargo run --release -q -p mb-bench --bin loadgen -- \
+    --addr-file "$workdir/addr.txt" --requests 80 --concurrency 4 \
+    --strict --check-metrics --shutdown
+
+wait "$server_pid"
+echo "serve smoke passed (graceful shutdown exited 0)."

@@ -11,13 +11,16 @@
 //! the benchmark configuration, so a model can be reloaded without
 //! shipping the (deterministically regenerable) benchmark itself.
 
+use metablink::common::storage::DiskStorage;
 use metablink::common::Rng;
-use metablink::core::pipeline::{train, DataSource, MetaBlinkConfig, Method};
+use metablink::core::pipeline::{train, DataSource, MetaBlinkConfig, Method, BI_KEY, CROSS_KEY};
 use metablink::core::{LinkerConfig, TwoStageLinker};
 use metablink::datagen::LinkedMention;
 use metablink::encoders::biencoder::BiEncoder;
 use metablink::encoders::crossencoder::CrossEncoder;
 use metablink::eval::{ContextConfig, ExperimentContext};
+use metablink::serve::{ServeModel, Server, ServerConfig};
+use metablink::tensor::checkpoint::Checkpoint;
 use metablink::tensor::serialize;
 use metablink::text::OverlapCategory;
 use std::collections::HashMap;
@@ -30,12 +33,17 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let opts = parse_flags(rest);
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&opts),
         "train" => cmd_train(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "link" => cmd_link(&opts),
+        "serve" => cmd_serve(&opts),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -60,7 +68,17 @@ USAGE:
                       --method <blink|dl4el|metablink> --source <seed|syn|syn+seed|syn*+seed|...>
                       --out <dir>
   metablink evaluate  --model <dir> [--limit <n>]
-  metablink link      --model <dir> --surface <text> [--left <text>] [--right <text>] [--k <n>]";
+  metablink link      --model <dir> --surface <text> [--left <text>] [--right <text>] [--k <n>]
+  metablink serve     --model <dir> [--addr <host:port>] [--addr-file <path>]
+                      [--max-batch <n>] [--max-delay-us <n>] [--queue-capacity <n>]
+                      [--cache-capacity <n>] [--workers <n>]
+
+serve runs an HTTP server over the trained model: POST /link answers
+linking requests (adaptive micro-batching fuses concurrent requests
+into one forward pass), GET /healthz and GET /metrics report status,
+POST /admin/shutdown drains in-flight work and exits. --addr defaults
+to 127.0.0.1:7878; port 0 picks an ephemeral port, and --addr-file
+writes the bound address for scripts to discover it.";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut map = HashMap::new();
@@ -199,6 +217,12 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
     serialize::save(model.bi.params(), &out.join("biencoder.mbp")).map_err(|e| e.to_string())?;
     serialize::save(model.cross.params(), &out.join("crossencoder.mbp"))
         .map_err(|e| e.to_string())?;
+    // Also write the v2 sectioned checkpoint `serve` prefers: one file,
+    // per-section CRCs, both encoders under their pipeline keys.
+    let mut ck = Checkpoint::new();
+    ck.params.insert(BI_KEY.to_string(), model.bi.params().clone());
+    ck.params.insert(CROSS_KEY.to_string(), model.cross.params().clone());
+    ck.save(&mut DiskStorage::new(), &out.join("model.mbc")).map_err(|e| e.to_string())?;
     Manifest { seed, scale, domain }.save(&out)?;
     println!("model written to {}", out.display());
     Ok(())
@@ -241,6 +265,78 @@ fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
         "{domain}: {} mentions  R@64 {:.2}%  N.Acc {:.2}%  U.Acc {:.2}%",
         m.count, m.recall_at_k, m.normalized_acc, m.unnormalized_acc
     );
+    Ok(())
+}
+
+/// Load the checkpoint for serving: the v2 `model.mbc` when present,
+/// otherwise the legacy per-encoder `.mbp` files assembled into an
+/// in-memory [`Checkpoint`].
+fn load_checkpoint(dir: &Path) -> Result<Checkpoint, String> {
+    let v2 = dir.join("model.mbc");
+    if v2.exists() {
+        return Checkpoint::load(&mut DiskStorage::new(), &v2).map_err(|e| e.to_string());
+    }
+    let mut ck = Checkpoint::new();
+    let bi = serialize::load(&dir.join("biencoder.mbp")).map_err(|e| e.to_string())?;
+    let cross = serialize::load(&dir.join("crossencoder.mbp")).map_err(|e| e.to_string())?;
+    ck.params.insert(BI_KEY.to_string(), bi);
+    ck.params.insert(CROSS_KEY.to_string(), cross);
+    Ok(ck)
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dir = PathBuf::from(flag(opts, "model", "metablink_model"));
+    let defaults = ServerConfig::default();
+    let num = |key: &str, default: usize| -> Result<usize, String> {
+        flag(opts, key, &default.to_string()).parse().map_err(|e| format!("--{key}: {e}"))
+    };
+    let cfg = ServerConfig {
+        addr: flag(opts, "addr", "127.0.0.1:7878").to_string(),
+        max_batch: num("max-batch", defaults.max_batch)?,
+        max_delay_us: num("max-delay-us", defaults.max_delay_us as usize)? as u64,
+        queue_capacity: num("queue-capacity", defaults.queue_capacity)?,
+        cache_capacity: num("cache-capacity", defaults.cache_capacity)?,
+        workers: num("workers", defaults.workers)?,
+        ..defaults
+    };
+
+    let manifest = Manifest::load(&dir)?;
+    let ctx = context(manifest.seed, &manifest.scale)?;
+    let train_cfg = if manifest.scale == "bench" {
+        MetaBlinkConfig::default()
+    } else {
+        MetaBlinkConfig::fast_test()
+    };
+    let ck = load_checkpoint(&dir)?;
+    let world = ctx.dataset.world();
+    let dom = world.domain_checked(&manifest.domain).map_err(|e| e.to_string())?;
+    eprintln!(
+        "precomputing entity index ({} entities) …",
+        world.kb().domain_entities(dom.id).len()
+    );
+    let model = ServeModel::from_checkpoint(
+        &ck,
+        ctx.vocab.clone(),
+        world.kb().clone(),
+        world.kb().domain_entities(dom.id).to_vec(),
+        manifest.domain.clone(),
+        train_cfg.bi,
+        train_cfg.cross,
+        train_cfg.linker,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let server = Server::start(model, cfg).map_err(|e| e.to_string())?;
+    let addr = server.addr();
+    if let Some(path) = opts.get("addr-file") {
+        std::fs::write(path, addr.to_string()).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "serving {} on http://{addr} (POST /link; POST /admin/shutdown to stop)",
+        manifest.domain
+    );
+    server.join();
+    println!("drained; bye");
     Ok(())
 }
 
