@@ -12,7 +12,7 @@
 use crate::linker::TwoStageLinker;
 use mb_datagen::LinkedMention;
 use mb_kb::{EntityId, KnowledgeBase};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Configuration of the coherence pass.
 #[derive(Debug, Clone, Copy)]
@@ -44,8 +44,8 @@ pub fn relatedness(kb: &KnowledgeBase, a: EntityId, b: EntityId) -> f64 {
         return 1.0;
     }
     // Weak signal: shared non-trivial title tokens.
-    let ta: HashSet<String> = mb_text::tokenize(&kb.entity(a).title).into_iter().collect();
-    let tb: HashSet<String> = mb_text::tokenize(&kb.entity(b).title).into_iter().collect();
+    let ta: BTreeSet<String> = mb_text::tokenize(&kb.entity(a).title).into_iter().collect();
+    let tb: BTreeSet<String> = mb_text::tokenize(&kb.entity(b).title).into_iter().collect();
     let inter = ta.intersection(&tb).count();
     if inter > 0 {
         0.3

@@ -16,7 +16,7 @@ use mb_encoders::input::{entity_bag, mention_bag, surface_bag, title_bag, InputC
 use mb_encoders::retrieval::DenseIndex;
 use mb_kb::{EntityId, KnowledgeBase};
 use mb_text::Vocab;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Linker-level configuration.
 #[derive(Debug, Clone, Copy)]
@@ -207,7 +207,10 @@ impl<'a> TwoStageLinker<'a> {
             }
         }
         let mut need: Vec<Vec<u32>> = Vec::new();
-        let mut slot: HashMap<&[u32], usize> = HashMap::new();
+        // BTreeMap so the cache-fill loop below iterates in sorted key
+        // order — HashMap iteration is per-process random and would make
+        // LRU insertion/eviction order (cache state) non-replayable.
+        let mut slot: BTreeMap<&[u32], usize> = BTreeMap::new();
         for (row, bag) in rows.iter().zip(&bags) {
             if row.is_none() && !slot.contains_key(bag.as_slice()) {
                 slot.insert(bag.as_slice(), need.len());

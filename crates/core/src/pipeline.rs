@@ -543,8 +543,8 @@ fn train_impl(
     // recomputed, not checkpointed.
     let (syn_sets, seed_sets) = if cursor <= 6 {
         let build_sets = |mentions: &[&LinkedMention], cap: usize| -> Vec<CandidateSet> {
-            use std::collections::HashMap;
-            let mut linkers: HashMap<mb_kb::DomainId, TwoStageLinker<'_>> = HashMap::new();
+            use std::collections::BTreeMap;
+            let mut linkers: BTreeMap<mb_kb::DomainId, TwoStageLinker<'_>> = BTreeMap::new();
             let mut out = Vec::new();
             for m in mentions.iter().take(cap) {
                 let domain = task.world.kb().entity(m.entity).domain;

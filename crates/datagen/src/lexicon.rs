@@ -92,7 +92,7 @@ impl Lexicon {
     pub fn general_pool(world_rng: &Rng, size: usize) -> Vec<String> {
         let mut rng = world_rng.split(0x009E_3A11);
         let mut pool = Vec::with_capacity(size);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         while pool.len() < size {
             let w = pseudo_word(&mut rng);
             if seen.insert(w.clone()) {
@@ -123,7 +123,7 @@ impl Lexicon {
         let mut rng = domain_rng.split(0x05EC_1F1C);
         let mut specific: Vec<String> =
             themed_stems(domain_name).iter().map(|s| s.to_string()).collect();
-        let mut seen: std::collections::HashSet<String> = specific.iter().cloned().collect();
+        let mut seen: std::collections::BTreeSet<String> = specific.iter().cloned().collect();
         seen.extend(general.iter().cloned());
         while specific.len() < specific_size.max(specific.len()) {
             let w = pseudo_word(&mut rng);

@@ -18,7 +18,7 @@ use crate::lexicon::{Lexicon, TYPE_WORDS};
 use mb_common::{Error, Result, Rng};
 use mb_kb::{DomainId, EntityId, KbBuilder, KnowledgeBase};
 use mb_text::tokenizer::tokenize;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Where a domain sits in the benchmark split.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -365,7 +365,7 @@ fn stage_domain(
     domain_rng: &Rng,
 ) -> Vec<StagedEntity> {
     let mut rng = domain_rng.split(10);
-    let mut taken: HashSet<String> = HashSet::new();
+    let mut taken: BTreeSet<String> = BTreeSet::new();
     let mut staged: Vec<StagedEntity> = Vec::with_capacity(spec.entities);
     let mut attempts = 0usize;
     let max_attempts = spec.entities.saturating_mul(200).max(10_000);
@@ -459,7 +459,7 @@ fn try_stage(
     title: &str,
     type_word: &str,
     lexicon: &Lexicon,
-    taken: &mut HashSet<String>,
+    taken: &mut BTreeSet<String>,
     rng: &mut Rng,
 ) -> Option<StagedEntity> {
     let key = mb_kb::index::canonical(title);
@@ -551,6 +551,7 @@ pub fn substring_span(title: &str, rng: &mut Rng) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     fn tiny_world() -> World {
         World::generate(WorldConfig::tiny(42))

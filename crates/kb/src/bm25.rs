@@ -6,7 +6,7 @@
 
 use crate::entity::EntityId;
 use mb_text::tokenizer::tokenize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Standard BM25 parameters.
 #[derive(Debug, Clone, Copy)]
@@ -28,7 +28,7 @@ impl Default for Bm25Params {
 pub struct Bm25Index {
     params: Bm25Params,
     /// token → (doc slot, term frequency) postings.
-    postings: HashMap<String, Vec<(u32, u32)>>,
+    postings: BTreeMap<String, Vec<(u32, u32)>>,
     doc_len: Vec<u32>,
     avg_len: f64,
     ids: Vec<EntityId>,
@@ -40,12 +40,12 @@ impl Bm25Index {
         docs: impl IntoIterator<Item = (EntityId, &'a str)>,
         params: Bm25Params,
     ) -> Self {
-        let mut postings: HashMap<String, Vec<(u32, u32)>> = HashMap::new();
+        let mut postings: BTreeMap<String, Vec<(u32, u32)>> = BTreeMap::new();
         let mut doc_len = Vec::new();
         let mut ids = Vec::new();
         for (slot, (id, text)) in docs.into_iter().enumerate() {
             let tokens = tokenize(text);
-            let mut tf: HashMap<String, u32> = HashMap::new();
+            let mut tf: BTreeMap<String, u32> = BTreeMap::new();
             for t in tokens.iter() {
                 *tf.entry(t.clone()).or_insert(0) += 1;
             }
@@ -83,8 +83,8 @@ impl Bm25Index {
     /// Top-k documents for a free-text query, descending by BM25 score.
     /// Documents matching no query token are never returned.
     pub fn top_k(&self, query: &str, k: usize) -> Vec<(EntityId, f64)> {
-        let mut scores: HashMap<u32, f64> = HashMap::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut scores: BTreeMap<u32, f64> = BTreeMap::new();
+        let mut seen = std::collections::BTreeSet::new();
         for token in tokenize(query) {
             if !seen.insert(token.clone()) {
                 continue;

@@ -10,7 +10,7 @@ pub struct EntityId(pub u32);
 pub struct DomainId(pub u16);
 
 /// Dense identifier of a relation type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RelationId(pub u16);
 
 /// A real-world object in the knowledge base: a Wikipedia-style page

@@ -6,7 +6,7 @@
 
 use crate::entity::EntityId;
 use mb_text::tokenizer::{detokenize, tokenize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Canonicalise a surface string for index keys.
 pub fn canonical(s: &str) -> String {
@@ -20,7 +20,7 @@ pub fn canonical(s: &str) -> String {
 /// vectors in insertion order.
 #[derive(Debug, Clone, Default)]
 pub struct TitleIndex {
-    map: HashMap<String, Vec<EntityId>>,
+    map: BTreeMap<String, Vec<EntityId>>,
 }
 
 impl TitleIndex {
@@ -56,7 +56,7 @@ impl TitleIndex {
 /// populates it for training domains.
 #[derive(Debug, Clone, Default)]
 pub struct AliasTable {
-    map: HashMap<String, Vec<EntityId>>,
+    map: BTreeMap<String, Vec<EntityId>>,
 }
 
 impl AliasTable {
@@ -95,7 +95,7 @@ impl AliasTable {
 /// sorted and deduplicated.
 #[derive(Debug, Clone, Default)]
 pub struct TokenIndex {
-    map: HashMap<String, Vec<EntityId>>,
+    map: BTreeMap<String, Vec<EntityId>>,
 }
 
 impl TokenIndex {
@@ -124,8 +124,8 @@ impl TokenIndex {
     /// results. This is the traditional-IR candidate generator used by
     /// the `Logeswaran et al.`-style comparison path.
     pub fn candidates(&self, query: &str, k: usize) -> Vec<EntityId> {
-        let mut counts: HashMap<EntityId, usize> = HashMap::new();
-        let mut seen_tokens = std::collections::HashSet::new();
+        let mut counts: BTreeMap<EntityId, usize> = BTreeMap::new();
+        let mut seen_tokens = std::collections::BTreeSet::new();
         for tok in tokenize(query) {
             if !seen_tokens.insert(tok.clone()) {
                 continue;

@@ -3,15 +3,15 @@
 use crate::entity::{DomainId, Entity, EntityId, RelationId, Triple};
 use crate::index::{AliasTable, TitleIndex, TokenIndex};
 use mb_common::{Error, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Mutable builder for a [`KnowledgeBase`].
 #[derive(Debug, Default)]
 pub struct KbBuilder {
     domains: Vec<String>,
-    domain_ids: HashMap<String, DomainId>,
+    domain_ids: BTreeMap<String, DomainId>,
     relations: Vec<String>,
-    relation_ids: HashMap<String, RelationId>,
+    relation_ids: BTreeMap<String, RelationId>,
     entities: Vec<Entity>,
     aliases: Vec<(String, EntityId)>,
     triples: Vec<Triple>,
@@ -122,10 +122,12 @@ impl KbBuilder {
         for t in &self.triples {
             check(t.head)?;
             check(t.tail)?;
+            // mb-lint: allow(indexing) -- check(t.head) above proves head < n
             outgoing[t.head.0 as usize].push((t.relation, t.tail));
         }
         let mut by_domain: Vec<Vec<EntityId>> = vec![Vec::new(); self.domains.len()];
         for e in &self.entities {
+            // mb-lint: allow(indexing) -- domain ids are issued by this builder, < domains.len()
             by_domain[e.domain.0 as usize].push(e.id);
         }
         Ok(KnowledgeBase {
@@ -173,6 +175,7 @@ impl KnowledgeBase {
     /// Panics on out-of-range ids (they can only come from a different
     /// KB, which is a programming error).
     pub fn entity(&self, id: EntityId) -> &Entity {
+        // mb-lint: allow(indexing) -- documented `# Panics` contract: foreign ids are a caller bug
         &self.entities[id.0 as usize]
     }
 
@@ -193,6 +196,7 @@ impl KnowledgeBase {
 
     /// A domain's name.
     pub fn domain_name(&self, id: DomainId) -> &str {
+        // mb-lint: allow(indexing) -- ids are issued densely by KbBuilder; foreign ids are a caller bug
         &self.domains[id.0 as usize]
     }
 
@@ -210,11 +214,13 @@ impl KnowledgeBase {
 
     /// A relation's name.
     pub fn relation_name(&self, id: RelationId) -> &str {
+        // mb-lint: allow(indexing) -- ids are issued densely by KbBuilder; foreign ids are a caller bug
         &self.relations[id.0 as usize]
     }
 
     /// Entity ids belonging to a domain, in id order.
     pub fn domain_entities(&self, domain: DomainId) -> &[EntityId] {
+        // mb-lint: allow(indexing) -- by_domain has one slot per issued DomainId
         &self.by_domain[domain.0 as usize]
     }
 
@@ -236,6 +242,7 @@ impl KnowledgeBase {
 
     /// Outgoing `(relation, tail)` edges of an entity.
     pub fn neighbors(&self, id: EntityId) -> &[(RelationId, EntityId)] {
+        // mb-lint: allow(indexing) -- outgoing has one slot per entity; foreign ids are a caller bug
         &self.outgoing[id.0 as usize]
     }
 }

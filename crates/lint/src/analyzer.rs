@@ -1,0 +1,374 @@
+//! Token-level rule analysis for one file.
+//!
+//! The analyzer walks the significant (non-whitespace, non-comment)
+//! token stream and applies the rule families enabled for the file's
+//! path (see [`crate::workspace`] for the per-crate map):
+//!
+//! - **panic-freedom**: `.unwrap()` / `.expect(` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` / direct slice
+//!   indexing;
+//! - **determinism**: `HashMap` / `HashSet` (iteration order is
+//!   per-process random), `SystemTime` / `Instant`, and `std::env`
+//!   access;
+//! - **unsafe gate**: any `unsafe` token;
+//! - **lock discipline**: see [`crate::locks`].
+//!
+//! Code under `#[cfg(test)]` is exempt from the panic-freedom and
+//! determinism families (tests may unwrap and may hash), but not from
+//! the unsafe gate.
+
+use crate::findings::Finding;
+use crate::lexer::{lex, LineMap, Token, TokenKind};
+use crate::locks::LockGraph;
+use crate::suppress;
+
+/// Which rule families apply to a file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Deny panicking constructs and direct slice indexing.
+    pub panic_freedom: bool,
+    /// Deny order-nondeterministic and environment-dependent constructs.
+    pub determinism: bool,
+    /// Feed the cross-file lock-acquisition graph and flag locks held
+    /// across I/O.
+    pub lock_discipline: bool,
+    /// Deny `unsafe` anywhere in the file, tests included.
+    pub unsafe_gate: bool,
+}
+
+impl RuleSet {
+    /// Nothing enabled (still collects suppression diagnostics).
+    pub fn none() -> Self {
+        RuleSet::default()
+    }
+
+    /// Every family enabled — what the seeded golden fixtures use.
+    pub fn all() -> Self {
+        RuleSet { panic_freedom: true, determinism: true, lock_discipline: true, unsafe_gate: true }
+    }
+}
+
+/// Keywords that can legitimately precede `[` without it being an
+/// indexing expression (slice patterns, `for … in xs[..]` never parses
+/// that way, etc.).
+const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn", "for",
+    "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return",
+    "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+];
+
+/// A significant token: index into the full stream plus its slice.
+#[derive(Clone, Copy)]
+pub(crate) struct Sig<'s> {
+    pub(crate) tok: Token,
+    pub(crate) text: &'s str,
+}
+
+/// Byte ranges covered by `#[cfg(test)]` items.
+fn cfg_test_ranges(sig: &[Sig<'_>]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < sig.len() {
+        let is_attr = sig[i].text == "#"
+            && sig[i + 1].text == "["
+            && sig[i + 2].text == "cfg"
+            && sig[i + 3].text == "("
+            && sig[i + 4].text == "test"
+            && sig[i + 5].text == ")"
+            && sig[i + 6].text == "]";
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        // The attribute governs the next item; skip to its body brace.
+        // A `;` before any `{` means a braceless item — nothing to skip.
+        let mut j = i + 7;
+        let mut body = None;
+        while j < sig.len() {
+            match sig[j].text {
+                ";" => break,
+                "{" => {
+                    body = Some(j);
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        if let Some(open) = body {
+            let mut depth = 0usize;
+            let mut k = open;
+            while k < sig.len() {
+                match sig[k].text {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let end = sig.get(k).map_or(usize::MAX, |s| s.tok.end);
+            ranges.push((sig[i].tok.start, end));
+            i = k.min(sig.len());
+        }
+        i += 1;
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(usize, usize)], offset: usize) -> bool {
+    ranges.iter().any(|&(s, e)| offset >= s && offset < e)
+}
+
+/// Analyze one file. `locks` receives this file's lock acquisitions
+/// when the `lock_discipline` family is enabled (cycle findings are
+/// emitted later by [`LockGraph::finish`]).
+pub fn analyze_file(
+    file: &str,
+    src: &str,
+    rules: RuleSet,
+    locks: Option<&mut LockGraph>,
+) -> Vec<Finding> {
+    let tokens = lex(src);
+    let map = LineMap::new(src);
+    let (sup, mut findings) = suppress::collect(file, src, &tokens, &map);
+    let sig: Vec<Sig<'_>> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .map(|&tok| Sig { tok, text: tok.text(src) })
+        .collect();
+    let test_ranges = cfg_test_ranges(&sig);
+
+    let mut emit = |rule: &'static str, tok: Token, message: String| {
+        let (line, col) = map.line_col(src, tok.start);
+        findings.push(Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            col,
+            message,
+            excerpt: tok.text(src).to_string(),
+        });
+    };
+
+    for (i, s) in sig.iter().enumerate() {
+        let prev = i.checked_sub(1).map(|j| sig[j]);
+        let next = sig.get(i + 1);
+        let exempt = in_ranges(&test_ranges, s.tok.start);
+        if rules.unsafe_gate && s.tok.kind == TokenKind::Ident && s.text == "unsafe" {
+            emit(
+                "unsafe-gate",
+                s.tok,
+                "`unsafe` is denied workspace-wide; find a safe formulation".to_string(),
+            );
+        }
+        if exempt {
+            continue;
+        }
+        if rules.panic_freedom {
+            panic_rules(s, prev, next, &mut emit);
+        }
+        if rules.determinism {
+            determinism_rules(&sig, i, &mut emit);
+        }
+    }
+
+    if let Some(graph) = locks {
+        if rules.lock_discipline {
+            findings.extend(crate::locks::analyze(file, src, &sig, &map, &test_ranges, graph));
+        }
+    }
+
+    findings.retain(|f| f.rule == "suppression" || !sup.covers(f));
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings
+}
+
+fn panic_rules(
+    s: &Sig<'_>,
+    prev: Option<Sig<'_>>,
+    next: Option<&Sig<'_>>,
+    emit: &mut impl FnMut(&'static str, Token, String),
+) {
+    let prev_text = prev.map(|p| p.text);
+    let next_text = next.map(|n| n.text);
+    if s.tok.kind == TokenKind::Ident && prev_text == Some(".") && next_text == Some("(") {
+        match s.text {
+            "unwrap" => emit(
+                "panic-unwrap",
+                s.tok,
+                "`.unwrap()` can panic on this path; return a typed error or recover".to_string(),
+            ),
+            "expect" => emit(
+                "panic-expect",
+                s.tok,
+                "`.expect()` can panic on this path; return a typed error or recover".to_string(),
+            ),
+            _ => {}
+        }
+    }
+    if s.tok.kind == TokenKind::Ident
+        && next_text == Some("!")
+        && matches!(s.text, "panic" | "unreachable" | "todo" | "unimplemented")
+    {
+        emit(
+            "panic-macro",
+            s.tok,
+            format!("`{}!` aborts this panic-free path; return a typed error instead", s.text),
+        );
+    }
+    // Direct indexing: `expr[…]` where expr ends in an identifier (not
+    // a keyword), `)`, or `]`. Type positions (`: [u8; 4]`), attributes
+    // (`#[…]`), macros (`vec![…]`), and patterns (`let [a, b]`) all
+    // have a different preceding token and are not matched.
+    if s.text == "[" && s.tok.kind == TokenKind::Punct {
+        let indexable = match prev {
+            Some(p) => {
+                (p.tok.kind == TokenKind::Ident && !KEYWORDS.contains(&p.text))
+                    || p.text == ")"
+                    || p.text == "]"
+            }
+            None => false,
+        };
+        if indexable {
+            emit(
+                "indexing",
+                s.tok,
+                "direct indexing can panic out-of-bounds; use `.get(…)` or prove the bound"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn determinism_rules(
+    sig: &[Sig<'_>],
+    i: usize,
+    emit: &mut impl FnMut(&'static str, Token, String),
+) {
+    let s = &sig[i];
+    if s.tok.kind != TokenKind::Ident {
+        return;
+    }
+    match s.text {
+        "HashMap" | "HashSet" => emit(
+            "det-hash",
+            s.tok,
+            format!(
+                "`{}` iteration order is per-process random and breaks replay-by-seed; \
+                 use `BTree{}` or sort before iterating",
+                s.text,
+                if s.text == "HashMap" { "Map" } else { "Set" }
+            ),
+        ),
+        "SystemTime" | "Instant" => emit(
+            "det-time",
+            s.tok,
+            format!(
+                "`{}` makes results depend on wall-clock time; thread a seeded value through \
+                 instead",
+                s.text
+            ),
+        ),
+        "env" => {
+            // `::` lexes as two `:` puncts; require both on one side so
+            // a plain field or parameter named `env` does not match.
+            let double_colon = |a: usize, b: usize| {
+                sig.get(a).map(|t| t.text) == Some(":") && sig.get(b).map(|t| t.text) == Some(":")
+            };
+            let adjacent_path =
+                (i >= 2 && double_colon(i - 2, i - 1)) || double_colon(i + 1, i + 2);
+            if adjacent_path {
+                emit(
+                    "det-env",
+                    s.tok,
+                    "`std::env` makes results depend on the environment; take the value as an \
+                     explicit parameter"
+                        .to_string(),
+                );
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        analyze_file("t.rs", src, RuleSet::all(), None)
+    }
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        run(src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_expect_and_macros_fire() {
+        assert_eq!(rules_of("fn f() { x.unwrap(); }"), vec!["panic-unwrap"]);
+        assert_eq!(rules_of("fn f() { x.expect(\"m\"); }"), vec!["panic-expect"]);
+        assert_eq!(rules_of("fn f() { panic!(\"m\"); }"), vec!["panic-macro"]);
+        assert_eq!(rules_of("fn f() { unreachable!(); }"), vec!["panic-macro"]);
+    }
+
+    #[test]
+    fn expect_as_a_field_or_fn_name_does_not_fire() {
+        assert!(rules_of("fn expect() {}").is_empty());
+        assert!(rules_of("let expect = 3; let y = expect + 1;").is_empty());
+        assert!(rules_of("s.unwrap_or_else(|e| e.into_inner())").is_empty());
+    }
+
+    #[test]
+    fn indexing_heuristic() {
+        assert_eq!(rules_of("fn f() { let y = xs[0]; }"), vec!["indexing"]);
+        assert_eq!(rules_of("fn f() { g()[1] }"), vec!["indexing"]);
+        assert_eq!(rules_of("fn f() { m[0][1] }"), vec!["indexing", "indexing"]);
+        assert!(rules_of("#[derive(Debug)] struct S;").is_empty());
+        assert!(rules_of("fn f() { let v = vec![1, 2]; }").is_empty());
+        assert!(rules_of("fn f(x: [u8; 4]) -> [u8; 4] { x }").is_empty());
+        assert!(rules_of("fn f() { let [a, b] = pair; }").is_empty());
+    }
+
+    #[test]
+    fn determinism_idents_fire_outside_strings() {
+        assert_eq!(rules_of("use std::collections::HashMap;"), vec!["det-hash"]);
+        assert_eq!(rules_of("let t = Instant::now();"), vec!["det-time"]);
+        assert_eq!(rules_of("let p = std::env::temp_dir();"), vec!["det-env"]);
+        assert!(rules_of("let s = \"HashMap Instant std::env\";").is_empty());
+        assert!(rules_of("// HashMap in a comment\n").is_empty());
+        assert!(rules_of("fn f(env: u32) -> u32 { env }").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_is_exempt_except_unsafe() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        assert!(rules_of(src).is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { unsafe { g() } }\n}\n";
+        assert_eq!(rules_of(src), vec!["unsafe-gate"]);
+    }
+
+    #[test]
+    fn suppression_silences_exactly_its_rule() {
+        let src = "fn f() { x.unwrap(); } // mb-lint: allow(panic-unwrap) -- bootstrapping only\n";
+        assert!(rules_of(src).is_empty());
+        let src = "fn f() { x.unwrap(); } // mb-lint: allow(panic-expect) -- wrong rule\n";
+        assert_eq!(rules_of(src), vec!["panic-unwrap"]);
+    }
+
+    #[test]
+    fn findings_are_sorted_and_located() {
+        let f = run("fn f() {\n    x.unwrap();\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].col), (2, 7));
+        assert_eq!(f[0].excerpt, "unwrap");
+    }
+}

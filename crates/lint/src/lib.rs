@@ -1,0 +1,46 @@
+//! # mb-lint
+//!
+//! In-repo static analysis enforcing the guarantees the rest of this
+//! workspace only holds by convention:
+//!
+//! - **panic-freedom** on the serving and checkpoint request/load
+//!   paths (`crates/serve`, the `mb-params` checkpoint load/save in
+//!   `crates/tensor`, `crates/kb/src/store.rs`): no `.unwrap()`,
+//!   `.expect()`, `panic!`-family macros, or direct slice indexing;
+//! - **determinism** in the crates covered by the bit-identical
+//!   resume guarantee: no `HashMap`/`HashSet` (their iteration order
+//!   is per-process random and silently breaks the replay-by-seed
+//!   reweighting experiments), no `SystemTime`/`Instant`-derived
+//!   values, no `std::env`;
+//! - **lock discipline** across `crates/serve`: the per-function
+//!   lock-acquisition graph must be cycle-free, and no blocking I/O
+//!   while holding a lock;
+//! - an **unsafe gate**: `unsafe` is denied workspace-wide.
+//!
+//! The pass is a hand-rolled lexer ([`lexer`]) — strings, char
+//! literals, nested block comments and raw strings handled precisely —
+//! feeding a token-level analyzer ([`analyzer`], [`locks`]).
+//! Violations can be suppressed in place with
+//! `// mb-lint: allow(<rule>) -- <justification>` ([`suppress`]);
+//! suppressions are themselves linted for a non-empty justification.
+//! Pre-existing findings live in a committed baseline
+//! ([`baseline`]) that CI only lets shrink.
+//!
+//! Run it as `cargo run -p mb-lint`, `metablink lint`, or in CI via
+//! `scripts/ci.sh`. The crate is deliberately zero-dependency: the
+//! linter must stay buildable even when everything it checks is not.
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod baseline;
+pub mod cli;
+pub mod findings;
+pub mod lexer;
+pub mod locks;
+pub mod suppress;
+pub mod workspace;
+
+pub use analyzer::{analyze_file, RuleSet};
+pub use findings::{Finding, RULE_IDS};
+pub use locks::LockGraph;

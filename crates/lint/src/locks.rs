@@ -1,0 +1,420 @@
+//! Lock-discipline analysis: a per-function lock-acquisition model
+//! feeding a crate-wide lock-order graph.
+//!
+//! The model is token-level and deliberately conservative:
+//!
+//! - an acquisition is any `<receiver>.lock()` call; the receiver path
+//!   (`self.state`, `shared.cache`, …) names the lock;
+//! - a guard bound with `let g = <recv>.lock()…;` is held until the
+//!   enclosing brace closes or an explicit `drop(g)`;
+//! - an unbound (temporary) guard is held to the end of its statement;
+//! - `Condvar::wait(guard)` keeps the guard held (it is reacquired
+//!   before returning).
+//!
+//! Two findings come out of this model: **lock-io** (a known blocking
+//! I/O call while any lock is held — latency and, for reads on
+//! untrusted peers, a availability hazard) and **lock-order** (the
+//! directed held→acquired edges, aggregated across the crate by
+//! [`LockGraph`], contain a cycle — a potential deadlock).
+
+use crate::analyzer::Sig;
+use crate::findings::Finding;
+use crate::lexer::LineMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Blocking I/O methods we recognise on the serving path.
+const IO_METHODS: &[&str] = &[
+    "write",
+    "write_all",
+    "write_fmt",
+    "flush",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "accept",
+    "connect",
+    "connect_timeout",
+    "bind",
+    "sync_all",
+    "sync_data",
+    "rename",
+    "copy",
+    "create",
+    "create_dir_all",
+    "open",
+    "remove_file",
+    "set_read_timeout",
+    "set_write_timeout",
+];
+
+/// One `held → acquired` observation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Edge {
+    held: String,
+    acquired: String,
+}
+
+/// Where an edge was first observed.
+#[derive(Debug, Clone)]
+struct Site {
+    file: String,
+    line: usize,
+    col: usize,
+    function: String,
+}
+
+/// Crate-wide lock-order graph, fed file by file, analysed by
+/// [`LockGraph::finish`].
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    edges: BTreeMap<Edge, Site>,
+}
+
+impl LockGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        LockGraph::default()
+    }
+
+    /// Emit `lock-order` findings: every edge that participates in a
+    /// cycle of the aggregated graph, reported at its first site.
+    pub fn finish(&self) -> Vec<Finding> {
+        // Successor sets over lock names.
+        let mut succ: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for e in self.edges.keys() {
+            succ.entry(&e.held).or_default().insert(&e.acquired);
+        }
+        // `a → b` is cyclic iff b reaches a.
+        let reaches = |from: &str, to: &str| -> bool {
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![from];
+            while let Some(n) = stack.pop() {
+                if n == to {
+                    return true;
+                }
+                if !seen.insert(n) {
+                    continue;
+                }
+                if let Some(next) = succ.get(n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+            false
+        };
+        let mut findings = Vec::new();
+        for (e, site) in &self.edges {
+            if reaches(&e.acquired, &e.held) {
+                findings.push(Finding {
+                    rule: "lock-order",
+                    file: site.file.clone(),
+                    line: site.line,
+                    col: site.col,
+                    message: format!(
+                        "acquiring `{}` while holding `{}` (in `{}`) forms a lock-order cycle — \
+                         potential deadlock; fix a global acquisition order",
+                        e.acquired, e.held, site.function
+                    ),
+                    excerpt: format!("{} -> {}", e.held, e.acquired),
+                });
+            }
+        }
+        findings
+    }
+}
+
+/// A lock currently held at some point of a function body.
+#[derive(Debug)]
+struct Held {
+    lock: String,
+    /// Brace depth at acquisition; popped when the depth drops below.
+    depth: usize,
+    /// `let` binding name, when the guard was bound.
+    guard: Option<String>,
+    /// Unbound temporary: released at the end of the statement.
+    temp: bool,
+}
+
+/// Walk one file's significant tokens; returns `lock-io` findings and
+/// feeds held→acquired edges into `graph`.
+pub(crate) fn analyze(
+    file: &str,
+    src: &str,
+    sig: &[Sig<'_>],
+    map: &LineMap,
+    test_ranges: &[(usize, usize)],
+    graph: &mut LockGraph,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].text == "fn" && !in_ranges(test_ranges, sig[i].tok.start) {
+            let name = sig.get(i + 1).map_or_else(|| "?".to_string(), |s| s.text.to_string());
+            // The body opens at the first `{` outside the parameter list.
+            let mut j = i + 1;
+            let mut paren = 0usize;
+            let body = loop {
+                match sig.get(j).map(|s| s.text) {
+                    None | Some(";") if paren == 0 => break None, // trait method, no body
+                    None => break None,
+                    Some("(") => paren += 1,
+                    Some(")") => paren = paren.saturating_sub(1),
+                    Some("{") if paren == 0 => break Some(j),
+                    _ => {}
+                }
+                j += 1;
+            };
+            let Some(open) = body else {
+                i += 1;
+                continue;
+            };
+            let end = scan_function(file, src, sig, map, open, &name, graph, &mut findings);
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    findings
+}
+
+fn in_ranges(ranges: &[(usize, usize)], offset: usize) -> bool {
+    ranges.iter().any(|&(s, e)| offset >= s && offset < e)
+}
+
+/// The dotted receiver path ending just before `sig[dot]` (the `.` in
+/// front of `lock`): collects `ident (. ident)*` right-to-left.
+fn receiver_path(sig: &[Sig<'_>], dot: usize) -> Option<(String, usize)> {
+    let mut parts: Vec<&str> = Vec::new();
+    let mut k = dot; // index of the `.` before `lock`
+    loop {
+        let id = k.checked_sub(1)?;
+        if sig[id].text == ")" || sig[id].text == "]" {
+            return None; // computed receiver: give up on naming it
+        }
+        parts.push(sig[id].text);
+        match sig.get(id.wrapping_sub(1)).map(|s| s.text) {
+            Some(".") if id >= 1 => k = id - 1,
+            _ => {
+                parts.reverse();
+                return Some((parts.join("."), id));
+            }
+        }
+    }
+}
+
+/// Analyse one function body starting at the `{` at `sig[open]`.
+/// Returns the index one past the closing brace.
+#[allow(clippy::too_many_arguments)]
+fn scan_function(
+    file: &str,
+    src: &str,
+    sig: &[Sig<'_>],
+    map: &LineMap,
+    open: usize,
+    function: &str,
+    graph: &mut LockGraph,
+    findings: &mut Vec<Finding>,
+) -> usize {
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < sig.len() {
+        let s = sig[i];
+        match s.text {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                held.retain(|h| h.depth <= depth);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            ";" => held.retain(|h| !(h.temp && h.depth == depth)),
+            _ => {}
+        }
+        // `drop(g)` releases a bound guard early.
+        if s.text == "drop"
+            && sig.get(i + 1).map(|n| n.text) == Some("(")
+            && sig.get(i + 3).map(|n| n.text) == Some(")")
+        {
+            if let Some(g) = sig.get(i + 2) {
+                held.retain(|h| h.guard.as_deref() != Some(g.text));
+            }
+        }
+        // `<recv>.lock()` acquisition.
+        if s.text == "lock"
+            && i >= 1
+            && sig[i - 1].text == "."
+            && sig.get(i + 1).map(|n| n.text) == Some("(")
+            && sig.get(i + 2).map(|n| n.text) == Some(")")
+        {
+            if let Some((lock, recv_start)) = receiver_path(sig, i - 1) {
+                let (line, col) = map.line_col(src, s.tok.start);
+                for h in &held {
+                    if h.lock != lock {
+                        let edge = Edge { held: h.lock.clone(), acquired: lock.clone() };
+                        graph.edges.entry(edge).or_insert_with(|| Site {
+                            file: file.to_string(),
+                            line,
+                            col,
+                            function: function.to_string(),
+                        });
+                    }
+                }
+                // `let [mut] g = <recv>.lock()…` binds the guard.
+                let guard = guard_binding(sig, recv_start);
+                let temp = guard.is_none();
+                if !held.iter().any(|h| h.lock == lock) {
+                    held.push(Held { lock, depth, guard, temp });
+                }
+            }
+        }
+        // Blocking I/O while any lock is held.
+        if !held.is_empty()
+            && s.tok.kind == crate::lexer::TokenKind::Ident
+            && IO_METHODS.contains(&s.text)
+            && i >= 1
+            && matches!(sig[i - 1].text, "." | "::")
+            && sig.get(i + 1).map(|n| n.text) == Some("(")
+        {
+            let (line, col) = map.line_col(src, s.tok.start);
+            let locks: Vec<&str> = held.iter().map(|h| h.lock.as_str()).collect();
+            findings.push(Finding {
+                rule: "lock-io",
+                file: file.to_string(),
+                line,
+                col,
+                message: format!(
+                    "blocking I/O call `{}` while holding lock(s) {} (in `{}`); \
+                     release the lock before doing I/O",
+                    s.text,
+                    locks.join(", "),
+                    function
+                ),
+                excerpt: s.text.to_string(),
+            });
+        }
+        i += 1;
+    }
+    sig.len()
+}
+
+/// For an acquisition whose receiver starts at `sig[recv_start]`, find
+/// a `let [mut] <g> =` immediately before it and return `<g>`.
+fn guard_binding(sig: &[Sig<'_>], recv_start: usize) -> Option<String> {
+    let eq = recv_start.checked_sub(1)?;
+    if sig[eq].text != "=" {
+        return None;
+    }
+    let name = eq.checked_sub(1)?;
+    let kw = name.checked_sub(1)?;
+    let is_let = sig[kw].text == "let"
+        || (sig[kw].text == "mut" && kw.checked_sub(1).is_some_and(|k| sig[k].text == "let"));
+    is_let.then(|| sig[name].text.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::{analyze_file, RuleSet};
+
+    fn lock_rules() -> RuleSet {
+        RuleSet { lock_discipline: true, ..RuleSet::default() }
+    }
+
+    #[test]
+    fn io_under_lock_is_flagged() {
+        let src = r#"
+fn f(&self, out: &mut W) {
+    let g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+    out.write_all(b"x");
+}
+"#;
+        let mut graph = LockGraph::new();
+        let f = analyze_file("t.rs", src, lock_rules(), Some(&mut graph));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "lock-io");
+        assert!(f[0].message.contains("self.state"));
+    }
+
+    #[test]
+    fn io_after_scope_release_is_clean() {
+        let src = r#"
+fn f(&self, out: &mut W) {
+    {
+        let g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        g.touch();
+    }
+    out.write_all(b"x");
+}
+"#;
+        let mut graph = LockGraph::new();
+        let f = analyze_file("t.rs", src, lock_rules(), Some(&mut graph));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn explicit_drop_releases() {
+        let src = r#"
+fn f(&self, out: &mut W) {
+    let g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+    drop(g);
+    out.write_all(b"x");
+}
+"#;
+        let mut graph = LockGraph::new();
+        let f = analyze_file("t.rs", src, lock_rules(), Some(&mut graph));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn temporary_guard_releases_at_statement_end() {
+        let src = r#"
+fn f(&self, out: &mut W) {
+    self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+    out.write_all(b"x");
+}
+"#;
+        let mut graph = LockGraph::new();
+        let f = analyze_file("t.rs", src, lock_rules(), Some(&mut graph));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn opposite_acquisition_orders_form_a_cycle() {
+        let src = r#"
+fn a(&self) {
+    let g = self.first.lock().unwrap_or_else(|e| e.into_inner());
+    let h = self.second.lock().unwrap_or_else(|e| e.into_inner());
+}
+fn b(&self) {
+    let h = self.second.lock().unwrap_or_else(|e| e.into_inner());
+    let g = self.first.lock().unwrap_or_else(|e| e.into_inner());
+}
+"#;
+        let mut graph = LockGraph::new();
+        let f = analyze_file("t.rs", src, lock_rules(), Some(&mut graph));
+        assert!(f.is_empty(), "no per-file findings expected: {f:?}");
+        let cycle = graph.finish();
+        assert_eq!(cycle.len(), 2, "{cycle:?}");
+        assert!(cycle.iter().all(|f| f.rule == "lock-order"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = r#"
+fn a(&self) {
+    let g = self.first.lock().unwrap_or_else(|e| e.into_inner());
+    let h = self.second.lock().unwrap_or_else(|e| e.into_inner());
+}
+fn b(&self) {
+    let g = self.first.lock().unwrap_or_else(|e| e.into_inner());
+    let h = self.second.lock().unwrap_or_else(|e| e.into_inner());
+}
+"#;
+        let mut graph = LockGraph::new();
+        analyze_file("t.rs", src, lock_rules(), Some(&mut graph));
+        assert!(graph.finish().is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+//! `mb-lint` binary entry point; all logic lives in [`mb_lint::cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(mb_lint::cli::run(&args))
+}

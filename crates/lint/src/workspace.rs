@@ -1,0 +1,139 @@
+//! Workspace walking and the per-crate rule map.
+//!
+//! The map encodes which guarantees each part of the workspace has
+//! signed up for (DESIGN.md §10):
+//!
+//! - **panic-freedom** on the serving path (`crates/serve/src`) and the
+//!   checkpoint request/load paths (`crates/tensor/src/checkpoint.rs`,
+//!   `crates/tensor/src/serialize.rs`, `crates/kb/src/store.rs`);
+//! - **determinism** in every crate covered by the bit-identical
+//!   resume guarantee (`tensor`, `core`, `datagen`, `nlg`, `kb`,
+//!   `eval`);
+//! - **lock discipline** across `crates/serve/src`;
+//! - the **unsafe gate** workspace-wide.
+
+use crate::analyzer::{analyze_file, RuleSet};
+use crate::findings::Finding;
+use crate::locks::LockGraph;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` falls under the determinism family.
+const DETERMINISM_CRATES: &[&str] = &["tensor", "core", "datagen", "nlg", "kb", "eval"];
+
+/// Files (beyond `crates/serve/src`) on the panic-free path.
+const PANIC_FREE_FILES: &[&str] = &[
+    "crates/tensor/src/checkpoint.rs",
+    "crates/tensor/src/serialize.rs",
+    "crates/kb/src/store.rs",
+];
+
+/// The rule families enforced for a workspace-relative path
+/// (`/`-separated).
+pub fn rules_for(rel_path: &str) -> RuleSet {
+    let mut rules = RuleSet { unsafe_gate: true, ..RuleSet::default() };
+    if rel_path.starts_with("crates/serve/src/") {
+        rules.panic_freedom = true;
+        rules.lock_discipline = true;
+    }
+    if PANIC_FREE_FILES.contains(&rel_path) {
+        rules.panic_freedom = true;
+    }
+    if DETERMINISM_CRATES.iter().any(|c| rel_path.starts_with(&format!("crates/{c}/src/"))) {
+        rules.determinism = true;
+    }
+    rules
+}
+
+/// Directory names never descended into.
+fn skipped_dir(name: &str) -> bool {
+    name == "target" || name == ".git" || name == "fixtures"
+}
+
+/// All `.rs` files under `root`, workspace-relative with `/`
+/// separators, sorted — the scan order (and so the report) is
+/// deterministic. `fixtures` directories are skipped: they hold the
+/// linter's own seeded-violation golden files.
+pub fn rust_files(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![PathBuf::new()];
+    while let Some(rel) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(root.join(&rel)) else { continue };
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let sub = rel.join(&name);
+            let is_dir = entry.file_type().map(|t| t.is_dir()).unwrap_or(false);
+            if is_dir {
+                if !skipped_dir(&name) {
+                    stack.push(sub);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(sub.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lint the whole workspace rooted at `root`. Findings are sorted by
+/// (file, line, col, rule).
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut graph = LockGraph::new();
+    for rel in rust_files(root) {
+        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else { continue };
+        findings.extend(analyze_file(&rel, &src, rules_for(&rel), Some(&mut graph)));
+    }
+    findings.extend(graph.finish());
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    findings
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_gets_panic_and_lock_rules() {
+        let r = rules_for("crates/serve/src/queue.rs");
+        assert!(r.panic_freedom && r.lock_discipline && r.unsafe_gate);
+        assert!(!r.determinism);
+    }
+
+    #[test]
+    fn checkpoint_paths_get_panic_rules() {
+        for f in PANIC_FREE_FILES {
+            assert!(rules_for(f).panic_freedom, "{f}");
+        }
+        assert!(!rules_for("crates/tensor/src/tensor.rs").panic_freedom);
+    }
+
+    #[test]
+    fn resume_covered_crates_get_determinism() {
+        assert!(rules_for("crates/core/src/reweight.rs").determinism);
+        assert!(rules_for("crates/kb/src/index.rs").determinism);
+        assert!(!rules_for("crates/serve/src/server.rs").determinism);
+        assert!(!rules_for("crates/common/src/lru.rs").determinism);
+        // Tests and benches are outside every family but the unsafe gate.
+        let r = rules_for("crates/core/tests/determinism.rs");
+        assert!(!r.determinism && !r.panic_freedom && r.unsafe_gate);
+    }
+}

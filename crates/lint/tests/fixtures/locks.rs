@@ -1,0 +1,35 @@
+// Seeded lock-discipline violations: I/O under a lock and a cycle.
+use std::io::Write;
+use std::sync::Mutex;
+
+struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+fn io_under_lock(s: &S, w: &mut impl Write) {
+    let g = s.a.lock();
+    w.write_all(b"x").ok();
+    drop(g);
+}
+
+fn order_ab(s: &S) {
+    let a = s.a.lock();
+    let b = s.b.lock();
+    drop(b);
+    drop(a);
+}
+
+fn order_ba(s: &S) {
+    let b = s.b.lock();
+    let a = s.a.lock();
+    drop(a);
+    drop(b);
+}
+
+fn clean_scoped(s: &S) {
+    {
+        let _a = s.a.lock();
+    }
+    let _b = s.b.lock();
+}

@@ -1,0 +1,26 @@
+// Seeded panic-freedom violations plus suppressed and clean cases.
+fn positives(v: &[u32]) -> u32 {
+    let a = v.first().unwrap();
+    let b = v.first().expect("must");
+    if *a > 1 { panic!("boom") }
+    let c = v[0];
+    *a + *b + c
+}
+
+fn suppressed(v: &[u32]) -> u32 {
+    // mb-lint: allow(indexing) -- caller guarantees non-empty
+    v[0]
+}
+
+fn clean(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = vec![1u32];
+        assert_eq!(v.first().unwrap(), &1);
+    }
+}

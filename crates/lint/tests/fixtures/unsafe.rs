@@ -1,0 +1,9 @@
+// Seeded unsafe-gate violation plus a justified suppression.
+fn positive(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+fn suppressed(p: *const u32) -> u32 {
+    // mb-lint: allow(unsafe-gate) -- FFI boundary audited in review
+    unsafe { *p }
+}

@@ -1,0 +1,207 @@
+//! Golden-file tests: one seeded fixture per rule family, asserting
+//! the exact findings (rule, line, column) the analyzer produces —
+//! positives fire, justified suppressions silence, clean code and
+//! `#[cfg(test)]` bodies stay quiet — plus the JSON report shape and
+//! an end-to-end run of the `mb-lint` binary against seeded-violation
+//! and clean miniature workspaces.
+
+use mb_lint::analyzer::{analyze_file, RuleSet};
+use mb_lint::findings::to_json;
+use mb_lint::locks::LockGraph;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn spans(findings: &[mb_lint::Finding]) -> Vec<(&'static str, usize, usize)> {
+    findings.iter().map(|f| (f.rule, f.line, f.col)).collect()
+}
+
+#[test]
+fn panic_freedom_golden() {
+    let src = fixture("panic.rs");
+    let rules = RuleSet { panic_freedom: true, ..RuleSet::none() };
+    let found = analyze_file("panic.rs", &src, rules, None);
+    assert_eq!(
+        spans(&found),
+        vec![
+            ("panic-unwrap", 3, 23),
+            ("panic-expect", 4, 23),
+            ("panic-macro", 5, 17),
+            ("indexing", 6, 14),
+        ],
+        "suppressed (line 12), clean (line 16), and #[cfg(test)] uses must stay silent"
+    );
+}
+
+#[test]
+fn determinism_golden() {
+    let src = fixture("determinism.rs");
+    let rules = RuleSet { determinism: true, ..RuleSet::none() };
+    let found = analyze_file("determinism.rs", &src, rules, None);
+    assert_eq!(
+        spans(&found),
+        vec![
+            ("det-hash", 3, 23),
+            ("det-hash", 6, 12),
+            ("det-hash", 6, 32),
+            ("det-time", 7, 25),
+            ("det-time", 8, 25),
+            ("det-env", 9, 19),
+        ],
+        "the suppressed HashSet (line 14) and BTreeMap (line 19) must stay silent"
+    );
+}
+
+#[test]
+fn unsafe_gate_golden() {
+    let src = fixture("unsafe.rs");
+    let rules = RuleSet { unsafe_gate: true, ..RuleSet::none() };
+    let found = analyze_file("unsafe.rs", &src, rules, None);
+    assert_eq!(spans(&found), vec![("unsafe-gate", 3, 5)], "the justified unsafe must be silent");
+}
+
+#[test]
+fn suppression_hygiene_golden() {
+    let src = fixture("suppression.rs");
+    // Suppression hygiene is checked regardless of enabled families.
+    let found = analyze_file("suppression.rs", &src, RuleSet::none(), None);
+    assert_eq!(
+        spans(&found),
+        vec![
+            ("suppression", 3, 5),
+            ("suppression", 4, 5),
+            ("suppression", 5, 5),
+            ("suppression", 6, 5),
+        ]
+    );
+    assert!(found[0].message.contains("justification"), "{}", found[0].message);
+    assert!(found[1].message.contains("empty"), "{}", found[1].message);
+    assert!(found[2].message.contains("no-such-rule"), "{}", found[2].message);
+    assert!(found[3].message.contains("allow"), "{}", found[3].message);
+}
+
+#[test]
+fn lock_discipline_golden() {
+    let src = fixture("locks.rs");
+    let rules = RuleSet { lock_discipline: true, ..RuleSet::none() };
+    let mut graph = LockGraph::default();
+    let mut found = analyze_file("locks.rs", &src, rules, Some(&mut graph));
+    found.extend(graph.finish());
+    assert_eq!(
+        spans(&found),
+        vec![("lock-io", 12, 7), ("lock-order", 18, 17), ("lock-order", 25, 17)],
+        "clean_scoped must not contribute an edge (its locks never overlap)"
+    );
+    let cycle: Vec<&str> = found[1..].iter().map(|f| f.excerpt.as_str()).collect();
+    assert_eq!(cycle, vec!["s.a -> s.b", "s.b -> s.a"]);
+}
+
+#[test]
+fn json_report_shape() {
+    let src = fixture("panic.rs");
+    let rules = RuleSet { panic_freedom: true, ..RuleSet::none() };
+    let found = analyze_file("panic.rs", &src, rules, None);
+    let new: Vec<bool> = found.iter().map(|f| f.rule != "panic-unwrap").collect();
+    let json = to_json(&found, &new, 2);
+    assert!(json.starts_with("{\"version\":1,\"total\":4,\"new\":3,\"stale_baseline\":2,"));
+    assert!(
+        json.contains("{\"rule\":\"panic-unwrap\",\"file\":\"panic.rs\",\"line\":3,\"col\":23,")
+    );
+    assert!(json.contains("\"excerpt\":\"unwrap\",\"new\":false}"));
+    assert!(json.ends_with("]}"));
+    // Balanced and quote-escaped: a JSON-hostile excerpt must not
+    // break the document.
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+// --- End-to-end binary runs over miniature workspaces -----------------
+
+struct TempWs {
+    root: std::path::PathBuf,
+}
+
+impl TempWs {
+    /// A miniature workspace under the target temp dir; `files` are
+    /// `(relative path, contents)`.
+    fn new(tag: &str, files: &[(&str, &str)]) -> TempWs {
+        let root = std::env::temp_dir().join(format!("mb-lint-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+        for (rel, contents) in files {
+            let path = root.join(rel);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, contents).unwrap();
+        }
+        TempWs { root }
+    }
+
+    fn lint_json(&self) -> (i32, String) {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_mb-lint"))
+            .args(["--root", self.root.to_str().unwrap(), "--json"])
+            .output()
+            .expect("spawn mb-lint");
+        (out.status.code().unwrap_or(-1), String::from_utf8_lossy(&out.stdout).into_owned())
+    }
+}
+
+impl Drop for TempWs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn binary_fails_on_seeded_violations_of_every_category() {
+    let ws = TempWs::new(
+        "seeded",
+        &[
+            // panic-freedom + lock-discipline territory.
+            (
+                "crates/serve/src/bad.rs",
+                "use std::io::Write;\nuse std::sync::Mutex;\n\
+                 fn f(v: &[u32], m: &Mutex<u32>, w: &mut impl Write) -> u32 {\n\
+                 let g = m.lock().unwrap();\n\
+                 w.write_all(b\"x\").ok();\n\
+                 drop(g);\n\
+                 v[0]\n}\n",
+            ),
+            // determinism territory.
+            (
+                "crates/core/src/bad.rs",
+                "use std::collections::HashMap;\n\
+                 fn f() -> usize { HashMap::<u32, u32>::new().len() }\n",
+            ),
+            // unsafe gate applies everywhere.
+            ("crates/other/src/bad.rs", "fn f(p: *const u32) -> u32 { unsafe { *p } }\n"),
+        ],
+    );
+    let (code, json) = ws.lint_json();
+    assert_eq!(code, 1, "seeded violations must fail the lint\n{json}");
+    for rule in ["panic-unwrap", "indexing", "lock-io", "det-hash", "unsafe-gate"] {
+        assert!(json.contains(&format!("\"rule\":\"{rule}\"")), "missing {rule} in\n{json}");
+    }
+}
+
+#[test]
+fn binary_passes_on_a_clean_workspace() {
+    let ws = TempWs::new(
+        "clean",
+        &[
+            (
+                "crates/serve/src/good.rs",
+                "fn f(v: &[u32]) -> u32 { v.first().copied().unwrap_or(0) }\n",
+            ),
+            (
+                "crates/core/src/good.rs",
+                "use std::collections::BTreeMap;\n\
+                 fn f() -> usize { BTreeMap::<u32, u32>::new().len() }\n",
+            ),
+        ],
+    );
+    let (code, json) = ws.lint_json();
+    assert_eq!(code, 0, "clean workspace must pass\n{json}");
+    assert!(json.contains("\"total\":0"), "{json}");
+}

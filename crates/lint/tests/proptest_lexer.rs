@@ -1,0 +1,115 @@
+//! Property tests of the mb-lint lexer and suppression parser.
+//!
+//! The lexer is *total* — any byte sequence lexes, and the
+//! concatenation of token slices reconstructs the input byte-for-byte.
+//! On top of that, container tokens must not leak: text placed inside a
+//! string literal, raw string, or comment must never surface as an
+//! identifier token (that would let `"unwrap"` in a log message trip
+//! the panic-freedom rules, or hide a real `.unwrap()` from them).
+
+use mb_check::gen::{self, Gen};
+use mb_check::{prop_assert, prop_assert_eq};
+use mb_lint::lexer::{lex, TokenKind};
+use mb_lint::suppress::parse_allow;
+
+/// Random fragments that exercise every lexer mode, including the
+/// tricky ones (nested comments, raw strings, lifetimes vs chars).
+fn fragment() -> impl Gen<Value = String> {
+    let pool: Vec<String> = vec![
+        "fn main() { }".into(),
+        "let x = v[0];".into(),
+        "a.unwrap()".into(),
+        "\"a string with unwrap inside\"".into(),
+        "\"esc \\\" quote\"".into(),
+        "r\"raw\"".into(),
+        "r#\"raw with \" quote\"#".into(),
+        "r##\"nested \"# hash\"##".into(),
+        "br#\"bytes\"#".into(),
+        "// line comment with panic!\n".into(),
+        "/* block */".into(),
+        "/* outer /* nested */ still comment */".into(),
+        "'c'".into(),
+        "'\\n'".into(),
+        "'static".into(),
+        "&'a str".into(),
+        "r#match".into(),
+        "1_000".into(),
+        "0xff".into(),
+        "1.5e-3".into(),
+        "0..n".into(),
+        "::".into(),
+        "->".into(),
+        "\n".into(),
+        "    ".into(),
+        "ident_ω".into(),
+        "λ".into(),
+    ];
+    gen::vec_of(gen::usize_in(0..27), 0..24)
+        .map(move |idxs| idxs.into_iter().map(|i| pool[i].clone()).collect::<String>())
+}
+
+mb_check::check! {
+    #![config(cases = 256)]
+
+    fn roundtrip_on_structured_fragments(src in fragment()) {
+        let toks = lex(&src);
+        let rebuilt: String = toks.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    fn roundtrip_on_arbitrary_text(src in gen::any_string(0..64)) {
+        // Totality: even non-Rust garbage (unterminated strings,
+        // stray quotes, control characters) lexes and reconstructs.
+        let toks = lex(&src);
+        let rebuilt: String = toks.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(rebuilt, src);
+        for t in &toks {
+            prop_assert!(t.start < t.end, "empty token at {}", t.start);
+        }
+    }
+
+    fn string_contents_never_leak_tokens(word in gen::lowercase_string(1..12)) {
+        // `zq` prefix keeps the payload distinct from the real
+        // identifiers in the surrounding code (`let`, `s`, `x`, `f`).
+        let payload = format!("zq{word}");
+        let src = format!("let s = \"{payload} unwrap panic\"; x.f()");
+        let leaked = lex(&src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .any(|t| [payload.as_str(), "unwrap", "panic"].contains(&t.text(&src)));
+        prop_assert!(!leaked, "string payload surfaced as an identifier");
+    }
+
+    fn comment_contents_never_leak_tokens(word in gen::lowercase_string(1..12)) {
+        for src in [
+            format!("/* {word} unwrap /* nested {word} */ tail */ y"),
+            format!("// {word} unwrap\ny"),
+            format!("r#\"{word} unwrap\"# ; y"),
+        ] {
+            let idents: Vec<&str> = lex(&src)
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text(&src))
+                .collect();
+            prop_assert_eq!(idents, vec!["y"], "leak in {:?}", src);
+        }
+    }
+
+    fn suppression_comments_parse_back(
+        rules in gen::vec_of(gen::usize_in(0..11), 1..4),
+        just in gen::lowercase_string(1..20),
+    ) {
+        let names: Vec<&str> =
+            rules.iter().map(|&i| mb_lint::RULE_IDS[i % mb_lint::RULE_IDS.len()]).collect();
+        let comment = format!("// mb-lint: allow({}) -- {}", names.join(", "), just);
+        let allow = parse_allow(&comment).expect("marker present").expect("well-formed");
+        prop_assert_eq!(allow.rules, names);
+        prop_assert_eq!(allow.justification.as_deref(), Some(just.as_str()));
+    }
+
+    fn random_comment_text_never_panics_the_parser(text in gen::any_string(0..40)) {
+        // parse_allow must be total over arbitrary comment bodies.
+        let _ = parse_allow(&format!("// mb-lint:{text}"));
+        let _ = parse_allow(&format!("/* {text} */"));
+    }
+}

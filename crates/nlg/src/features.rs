@@ -3,7 +3,7 @@
 use mb_text::stopwords::is_stopword;
 use mb_text::tfidf::TfIdf;
 use mb_text::tokenizer::tokenize;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Number of features per candidate token.
 pub const NUM_FEATURES: usize = 6;
@@ -28,17 +28,17 @@ pub fn candidates(description: &str, title: &str, stats: &TfIdf) -> Vec<TokenCan
     if tokens.is_empty() {
         return Vec::new();
     }
-    let title_tokens: HashSet<String> = tokenize(title).into_iter().collect();
+    let title_tokens: BTreeSet<String> = tokenize(title).into_iter().collect();
     let n = tokens.len() as f64;
     // Term frequencies.
-    let mut tf: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    let mut tf: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
     for t in &tokens {
         *tf.entry(t.as_str()).or_insert(0) += 1;
     }
     // Max TF-IDF for normalisation.
     let max_w = tokens.iter().map(|t| tf[t.as_str()] as f64 * stats.idf(t)).fold(1e-12, f64::max);
 
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     let mut out = Vec::new();
     for (pos, t) in tokens.iter().enumerate() {
         if is_stopword(t) || !seen.insert(t.clone()) {
@@ -67,7 +67,7 @@ pub fn candidates(description: &str, title: &str, stats: &TfIdf) -> Vec<TokenCan
 
 /// Label a candidate: does it appear in the gold mention surface?
 pub fn label_for(candidate: &TokenCandidate, gold_mention: &str) -> f64 {
-    let gold: HashSet<String> = tokenize(gold_mention).into_iter().collect();
+    let gold: BTreeSet<String> = tokenize(gold_mention).into_iter().collect();
     if gold.contains(&candidate.token) {
         1.0
     } else {

@@ -82,7 +82,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -92,7 +92,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        if self.bytes.get(self.pos..).is_some_and(|rest| rest.starts_with(word.as_bytes())) {
             self.pos += word.len();
             Ok(value)
         } else {
@@ -143,7 +143,7 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     let key = self.string()?;
                     self.skip_ws();
-                    self.expect(b':')?;
+                    self.expect_byte(b':')?;
                     map.insert(key, self.value(depth + 1)?);
                     self.skip_ws();
                     match self.peek() {
@@ -170,8 +170,8 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| "non-UTF-8 number".to_string())?;
+        let digits = self.bytes.get(start..self.pos).unwrap_or_default();
+        let text = std::str::from_utf8(digits).map_err(|_| "non-UTF-8 number".to_string())?;
         let n: f64 = text.parse().map_err(|_| format!("bad number {text:?}"))?;
         if n.is_finite() {
             Ok(Json::Num(n))
@@ -181,7 +181,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -225,12 +225,14 @@ impl<'a> Parser<'a> {
                 }
                 Some(_) => {
                     // Decode one UTF-8 scalar starting here.
-                    let rest = &self.bytes[self.pos..];
+                    let rest = self.bytes.get(self.pos..).unwrap_or_default();
+                    // mb-lint: allow(indexing) -- upper bound is rest.len().min(4) <= rest.len()
                     let chunk = std::str::from_utf8(&rest[..rest.len().min(4)]).or_else(|e| {
                         let valid = e.valid_up_to();
                         if valid == 0 {
                             Err("non-UTF-8 string bytes".to_string())
                         } else {
+                            // mb-lint: allow(indexing) -- valid_up_to() <= slice len by contract
                             std::str::from_utf8(&rest[..valid])
                                 .map_err(|_| "non-UTF-8 string bytes".to_string())
                         }

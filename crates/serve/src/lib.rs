@@ -40,6 +40,7 @@ pub mod metrics;
 pub mod model;
 pub mod queue;
 pub mod server;
+pub(crate) mod sync;
 
 pub use model::ServeModel;
 pub use server::{Server, ServerConfig};

@@ -76,14 +76,20 @@ impl Metrics {
 
     /// Record one end-to-end `/link` latency.
     pub fn record_latency_us(&self, us: u64) {
-        self.latency[bucket_of(&LATENCY_BUCKETS_US, us)].fetch_add(1, Ordering::Relaxed);
+        // bucket_of returns at most bounds.len(), and the array has
+        // bounds.len() + 1 slots, so `get` always finds a counter.
+        if let Some(c) = self.latency.get(bucket_of(&LATENCY_BUCKETS_US, us)) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
         self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
         self.latency_count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one drained inference batch of `size` requests.
     pub fn record_batch(&self, size: usize) {
-        self.batch[bucket_of(&BATCH_BUCKETS, size as u64)].fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self.batch.get(bucket_of(&BATCH_BUCKETS, size as u64)) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
     }

@@ -8,6 +8,7 @@
 //! deadline comes first closes the batch. That linger window is what
 //! turns concurrent single requests into one fused forward pass.
 
+use crate::sync::{lock_recover, wait_recover, wait_timeout_recover};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -51,7 +52,7 @@ impl<T> BatchQueue<T> {
     /// Enqueue without blocking; a full or closed queue returns the
     /// item to the caller.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut s = self.state.lock().expect("queue poisoned");
+        let mut s = lock_recover(&self.state);
         if s.closed {
             return Err(PushError::Closed(item));
         }
@@ -72,12 +73,12 @@ impl<T> BatchQueue<T> {
     /// drained — the worker-thread exit signal.
     pub fn pop_batch(&self, max_batch: usize, max_delay: Duration) -> Vec<T> {
         let max_batch = max_batch.max(1);
-        let mut s = self.state.lock().expect("queue poisoned");
+        let mut s = lock_recover(&self.state);
         while s.items.is_empty() {
             if s.closed {
                 return Vec::new();
             }
-            s = self.available.wait(s).expect("queue poisoned");
+            s = wait_recover(&self.available, s);
         }
         let mut batch = Vec::with_capacity(max_batch.min(s.items.len()));
         let deadline = Instant::now() + max_delay;
@@ -95,8 +96,7 @@ impl<T> BatchQueue<T> {
             if now >= deadline {
                 break;
             }
-            let (guard, timeout) =
-                self.available.wait_timeout(s, deadline - now).expect("queue poisoned");
+            let (guard, timeout) = wait_timeout_recover(&self.available, s, deadline - now);
             s = guard;
             if timeout.timed_out() && s.items.is_empty() {
                 break;
@@ -108,18 +108,18 @@ impl<T> BatchQueue<T> {
     /// Close the queue: future pushes fail, waiting workers wake, and
     /// already-queued items still drain (graceful shutdown).
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
+        lock_recover(&self.state).closed = true;
         self.available.notify_all();
     }
 
     /// Whether [`BatchQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue poisoned").closed
+        lock_recover(&self.state).closed
     }
 
     /// Items currently queued (the `/metrics` queue-depth gauge).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").items.len()
+        lock_recover(&self.state).items.len()
     }
 
     /// Whether the queue is currently empty.

@@ -196,15 +196,23 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
-    let linker = TwoStageLinker::with_index(
+    let linker = match TwoStageLinker::with_index(
         &shared.model.bi,
         &shared.model.cross,
         &shared.model.vocab,
         &shared.model.kb,
         shared.model.linker,
         shared.index.clone(),
-    )
-    .expect("validated in Server::start");
+    ) {
+        Ok(linker) => linker,
+        Err(e) => {
+            // Server::start validated this exact construction, so this
+            // arm is unreachable in practice; losing one worker beats
+            // taking the process down.
+            eprintln!("mb-serve: worker failed to build linker: {e}");
+            return;
+        }
+    };
     let delay = Duration::from_micros(shared.cfg.max_delay_us);
     loop {
         let jobs = shared.queue.pop_batch(shared.cfg.max_batch, delay);
@@ -214,7 +222,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         shared.metrics.record_batch(jobs.len());
         let mentions: Vec<LinkedMention> = jobs.iter().map(|j| j.mention.clone()).collect();
         let results = {
-            let mut cache = shared.cache.lock().expect("cache poisoned");
+            let mut cache = crate::sync::lock_recover(&shared.cache);
             let results = linker.link_batch_cached(&mentions, Some(&mut cache));
             shared.metrics.set_cache_counters(cache.hits(), cache.misses());
             results
@@ -367,24 +375,27 @@ fn handle_link(req: &Request, shared: &Arc<Shared>) -> (u16, &'static str, Strin
 /// Render a [`LinkResult`] as the `/link` response document, with the
 /// rerank-ordered top-`k` candidates.
 fn render_result(result: &LinkResult, k: usize, shared: &Arc<Shared>) -> String {
-    let mut order: Vec<usize> = (0..result.retrieved.len()).collect();
-    order.sort_by(|&a, &b| {
-        result.rerank_scores[b]
-            .partial_cmp(&result.rerank_scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    let candidates: Vec<String> = order
+    // Pairing via `zip` (which truncates to the shorter side) instead
+    // of parallel-array indexing keeps this panic-free even if the two
+    // lists ever disagreed in length.
+    let mut ranked: Vec<_> = result
+        .retrieved
+        .iter()
+        .zip(&result.rerank_scores)
+        .map(|(&(id, bi_score), &score)| (id, bi_score, score))
+        .collect();
+    ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let candidates: Vec<String> = ranked
         .iter()
         .take(k)
-        .map(|&i| {
-            let (id, bi_score) = result.retrieved[i];
+        .map(|&(id, bi_score, score)| {
             let entity = shared.model.kb.entity(id);
             format!(
                 "{{\"id\":{},\"title\":{},\"bi_score\":{},\"score\":{}}}",
                 id.0,
                 json::escape(&entity.title),
                 json::num(bi_score),
-                json::num(result.rerank_scores[i])
+                json::num(score)
             )
         })
         .collect();

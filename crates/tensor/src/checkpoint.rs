@@ -101,6 +101,7 @@ impl Checkpoint {
         }
         for (k, s) in &self.rng {
             check_key(k)?;
+            // mb-lint: allow(indexing) -- s is a fixed-size [u64; 4] rng state
             sections.push((format!("rng/{k}"), format!("{} {} {} {}\n", s[0], s[1], s[2], s[3])));
         }
         for (k, v) in &self.vectors {
@@ -200,8 +201,10 @@ impl Checkpoint {
                     bytes.len().saturating_sub(pos + 1)
                 )));
             }
+            // mb-lint: allow(indexing) -- the truncation check above proves pos + len + 1 <= len()
             let payload = &bytes[pos..pos + len];
             pos += len;
+            // mb-lint: allow(indexing) -- same bound: pos + 1 <= len() after the payload slice
             if bytes[pos] != b'\n' {
                 return Err(Error::Checkpoint(format!(
                     "section {name}: missing terminator after payload"
@@ -256,11 +259,13 @@ fn check_key(k: &str) -> Result<()> {
 }
 
 fn read_line(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    // mb-lint: allow(indexing) -- pos only ever advances past bytes already found in range
     let rest = &bytes[*pos..];
     let nl = rest
         .iter()
         .position(|&b| b == b'\n')
         .ok_or_else(|| Error::Checkpoint("unterminated line".into()))?;
+    // mb-lint: allow(indexing) -- nl is a position() inside rest
     let line = std::str::from_utf8(&rest[..nl])
         .map_err(|_| Error::Checkpoint("header line is not UTF-8".into()))?
         .to_string();

@@ -132,6 +132,7 @@ pub fn from_string(s: &str) -> Result<Params> {
         return Err(Error::Parse(format!("bad magic line {magic:?}")));
     }
     let body_start = s.find('\n').map(|i| i + 1).unwrap_or(s.len());
+    // mb-lint: allow(indexing) -- body_start is a found newline + 1 or len(), both <= len()
     parse_params_body(&s[body_start..])
 }
 

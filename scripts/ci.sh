@@ -18,6 +18,10 @@ run() {
 
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
+# In-repo static analysis: panic-freedom, determinism, lock
+# discipline, unsafe gate. Fails on any finding not in
+# lint-baseline.txt — the baseline only ever shrinks.
+run cargo run -q -p mb-lint
 run cargo build --release --workspace
 run cargo test -q --workspace
 # Bench smoke: the probe harness exercises the full pipeline

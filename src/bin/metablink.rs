@@ -33,6 +33,10 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if cmd == "lint" {
+        // mb-lint owns its flag parsing (and its own --help).
+        return ExitCode::from(metablink::lint::cli::run(rest));
+    }
     if rest.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
@@ -44,6 +48,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&opts),
         "link" => cmd_link(&opts),
         "serve" => cmd_serve(&opts),
+        // "lint" is dispatched above, before flag parsing.
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -72,13 +77,18 @@ USAGE:
   metablink serve     --model <dir> [--addr <host:port>] [--addr-file <path>]
                       [--max-batch <n>] [--max-delay-us <n>] [--queue-capacity <n>]
                       [--cache-capacity <n>] [--workers <n>]
+  metablink lint      [--root <dir>] [--baseline <file>] [--json] [--update-baseline]
 
 serve runs an HTTP server over the trained model: POST /link answers
 linking requests (adaptive micro-batching fuses concurrent requests
 into one forward pass), GET /healthz and GET /metrics report status,
 POST /admin/shutdown drains in-flight work and exits. --addr defaults
 to 127.0.0.1:7878; port 0 picks an ephemeral port, and --addr-file
-writes the bound address for scripts to discover it.";
+writes the bound address for scripts to discover it.
+
+lint runs the in-repo static-analysis pass (panic-freedom,
+determinism, lock discipline, unsafe gate) over the workspace's own
+sources; `metablink lint --help` lists its flags.";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut map = HashMap::new();

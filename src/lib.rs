@@ -25,6 +25,7 @@ pub use mb_datagen as datagen;
 pub use mb_encoders as encoders;
 pub use mb_eval as eval;
 pub use mb_kb as kb;
+pub use mb_lint as lint;
 pub use mb_nlg as nlg;
 pub use mb_serve as serve;
 pub use mb_tensor as tensor;
