@@ -84,6 +84,7 @@ fn main() {
         seed_mix: env_f("SEED_MIX", 0.1),
         normalize_example_grads: env_u("NORMALIZE", 1) == 1,
         shared_params_only: env_u("SHARED_ONLY", 1) == 1,
+        threads: mb_par::Threads::new(env_u("THREADS", 1)),
     };
     let mut opt = Adam::new(meta_cfg.lr);
     // Burn-in phase: let the anchored meta-training learn the domain

@@ -88,6 +88,7 @@ fn bench_meta_step(h: &mut Harness) {
                     0.3,
                     true,
                     true,
+                    mb_par::Threads::single(),
                     &mut rng,
                 ));
             });

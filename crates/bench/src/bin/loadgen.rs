@@ -26,7 +26,7 @@ use mb_datagen::world::{DomainRole, DomainSpec};
 use mb_datagen::{LinkedMention, World, WorldConfig};
 use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
 use mb_encoders::crossencoder::{CrossEncoder, CrossEncoderConfig};
-use mb_encoders::input::{build_vocab, InputConfig};
+use mb_encoders::input::build_vocab;
 use mb_serve::{ServeModel, Server, ServerConfig};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -374,7 +374,7 @@ fn bench_model() -> (ServeModel, Vec<LinkedMention>) {
         vocab,
         bi,
         cross,
-        linker: LinkerConfig { k: 16, input: InputConfig::default() },
+        linker: LinkerConfig { k: 16, ..LinkerConfig::default() },
         domain: domain.name,
     };
     (model, mentions)

@@ -16,7 +16,7 @@ use mb_core::reweight::MetaConfig;
 use mb_core::LinkerConfig;
 use mb_encoders::biencoder::BiEncoderConfig;
 use mb_encoders::crossencoder::CrossEncoderConfig;
-use mb_encoders::input::InputConfig;
+
 use mb_encoders::train::TrainConfig;
 use mb_eval::ContextConfig;
 
@@ -29,7 +29,7 @@ pub fn bench_context_config(seed: u64) -> ContextConfig {
 /// The model/training configuration every table harness uses.
 pub fn bench_model_config(seed: u64) -> MetaBlinkConfig {
     MetaBlinkConfig {
-        linker: LinkerConfig { k: 64, input: InputConfig::default() },
+        linker: LinkerConfig { k: 64, ..LinkerConfig::default() },
         bi: BiEncoderConfig { emb_dim: 32, hidden: 32, out_dim: 32, ..Default::default() },
         cross: CrossEncoderConfig { emb_dim: 32, hidden: 32, ..Default::default() },
         bi_train: TrainConfig { epochs: 10, batch_size: 32, lr: 5e-3, seed: seed ^ 1 },

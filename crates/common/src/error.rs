@@ -40,6 +40,10 @@ pub enum Error {
     /// A run was deliberately aborted mid-flight (e.g. by an injected
     /// kill from a fault-testing [`crate::storage::StepBudget`]).
     Aborted(String),
+    /// A parallel worker panicked. The payload message is preserved so
+    /// a poisoned shard surfaces as a recoverable error at the fork
+    /// point instead of a nested panic (see `mb-par`).
+    Worker(String),
 }
 
 impl Error {
@@ -63,6 +67,7 @@ impl fmt::Display for Error {
             Error::Io(msg) => write!(f, "io error: {msg}"),
             Error::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             Error::Aborted(msg) => write!(f, "aborted: {msg}"),
+            Error::Worker(msg) => write!(f, "parallel worker panicked: {msg}"),
         }
     }
 }

@@ -43,7 +43,7 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// Indices that would sort `xs` descending (ties broken by index, stable).
 pub fn argsort_desc(xs: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[b].partial_cmp(&xs[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| xs[b].total_cmp(&xs[a]));
     idx
 }
 
@@ -113,7 +113,7 @@ pub fn top_k_desc(xs: &[f64], k: usize) -> Vec<usize> {
         }
     }
     let mut out: Vec<(f64, usize)> = heap.into_iter().map(|Entry(x, i)| (x, i)).collect();
-    out.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal).then(a.1.cmp(&b.1)));
+    out.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     out.into_iter().map(|(_, i)| i).collect()
 }
 

@@ -76,7 +76,7 @@ pub fn link_document(
         let probs = mb_common::util::softmax(&scores);
         let mut scored: Vec<(EntityId, f64)> =
             retrieved.iter().map(|(id, _)| *id).zip(probs).collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         scored.truncate(cfg.top_k);
         candidates.push(scored);
     }

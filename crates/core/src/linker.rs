@@ -25,11 +25,15 @@ pub struct LinkerConfig {
     pub k: usize,
     /// Input truncation.
     pub input: InputConfig,
+    /// Worker threads for the batch inference hot paths (embedding,
+    /// retrieval, re-ranking). Partitioning is by fixed chunk size, so
+    /// outputs are bit-identical for every value.
+    pub threads: mb_par::Threads,
 }
 
 impl Default for LinkerConfig {
     fn default() -> Self {
-        LinkerConfig { k: 64, input: InputConfig::default() }
+        LinkerConfig { k: 64, input: InputConfig::default(), threads: mb_par::Threads::single() }
     }
 }
 
@@ -217,31 +221,33 @@ impl<'a> TwoStageLinker<'a> {
                 need.push(bag.clone());
             }
         }
-        let fresh = (!need.is_empty()).then(|| self.bi.embed_mentions_batch(&need));
+        let fresh =
+            (!need.is_empty()).then(|| self.bi.embed_mentions_batch_with(&need, self.cfg.threads));
         if let (Some(cache), Some(fresh)) = (cache, &fresh) {
             for (bag, &j) in &slot {
                 cache.put(bag.to_vec(), fresh.row(j).to_vec());
             }
         }
-        // Stage one: exact top-k per mention; stage two: one fused
-        // cross-encoder pass over every candidate set.
-        let retrieved: Vec<Vec<(EntityId, f64)>> = rows
-            .iter()
-            .zip(&bags)
-            .map(|(row, bag)| {
-                let q = match row {
+        // Stage one: exact top-k + candidate-set assembly per mention,
+        // fanned out over mention index (each mention's work reads only
+        // shared immutable state); stage two: one cross-encoder pass
+        // over every candidate set. Results come back in mention order.
+        let per_mention: Vec<(Vec<(EntityId, f64)>, CandidateSet)> =
+            mb_par::par_map_range(self.cfg.threads, mentions.len(), |i| {
+                let q = match &rows[i] {
                     Some(r) => r.as_slice(),
                     None => {
                         let fresh = fresh.as_ref().expect("misses were embedded");
-                        fresh.row(slot[bag.as_slice()])
+                        fresh.row(slot[bags[i].as_slice()])
                     }
                 };
-                self.index.top_k(q, self.cfg.k)
-            })
-            .collect();
-        let sets: Vec<CandidateSet> =
-            mentions.iter().zip(&retrieved).map(|(m, r)| self.candidate_set(m, r)).collect();
-        let scores = self.cross.score_batch(&sets);
+                let retrieved = self.index.top_k(q, self.cfg.k);
+                let set = self.candidate_set(&mentions[i], &retrieved);
+                (retrieved, set)
+            });
+        let (retrieved, sets): (Vec<Vec<(EntityId, f64)>>, Vec<CandidateSet>) =
+            per_mention.into_iter().unzip();
+        let scores = self.cross.score_batch_with(&sets, self.cfg.threads);
         retrieved
             .into_iter()
             .zip(scores)
@@ -252,30 +258,36 @@ impl<'a> TwoStageLinker<'a> {
             .collect()
     }
 
-    /// Evaluate on gold mentions with the paper's protocol.
-    pub fn evaluate(&self, mentions: &[LinkedMention]) -> LinkMetrics {
-        // Chunked so one fused cross-encoder tape stays bounded in
-        // memory however large the test set is; chunking cannot change
-        // results (every op is row-independent).
-        const CHUNK: usize = 32;
+    /// Raw integer tallies `(recalled, correct_given_recalled,
+    /// correct)` for one evaluation chunk. Integer counts merge exactly
+    /// under any sharding, unlike percentage metrics.
+    fn tally(&self, chunk: &[LinkedMention]) -> (usize, usize, usize) {
         let mut recalled = 0usize;
         let mut correct_given_recalled = 0usize;
         let mut correct = 0usize;
-        for chunk in mentions.chunks(CHUNK) {
-            for (m, r) in chunk.iter().zip(self.link_batch(chunk)) {
-                let gold_in = r.retrieved.iter().any(|(id, _)| *id == m.entity);
+        for (m, r) in chunk.iter().zip(self.link_batch(chunk)) {
+            let gold_in = r.retrieved.iter().any(|(id, _)| *id == m.entity);
+            if gold_in {
+                recalled += 1;
+            }
+            if r.predicted == Some(m.entity) {
+                correct += 1;
                 if gold_in {
-                    recalled += 1;
-                }
-                if r.predicted == Some(m.entity) {
-                    correct += 1;
-                    if gold_in {
-                        correct_given_recalled += 1;
-                    }
+                    correct_given_recalled += 1;
                 }
             }
         }
-        let n = mentions.len().max(1) as f64;
+        (recalled, correct_given_recalled, correct)
+    }
+
+    /// Assemble the paper's percentage metrics from summed tallies.
+    fn metrics_from_counts(
+        n_mentions: usize,
+        recalled: usize,
+        correct_given_recalled: usize,
+        correct: usize,
+    ) -> LinkMetrics {
+        let n = n_mentions.max(1) as f64;
         LinkMetrics {
             recall_at_k: 100.0 * recalled as f64 / n,
             normalized_acc: if recalled == 0 {
@@ -284,52 +296,59 @@ impl<'a> TwoStageLinker<'a> {
                 100.0 * correct_given_recalled as f64 / recalled as f64
             },
             unnormalized_acc: 100.0 * correct as f64 / n,
-            count: mentions.len(),
+            count: n_mentions,
         }
     }
 
-    /// Parallel [`TwoStageLinker::evaluate`]: shards the mentions over
-    /// `threads` OS threads. The linker is immutable during evaluation,
-    /// so results are identical to the serial path (a unit test checks
-    /// this); use it for large test sets.
+    /// Evaluation chunk size. Chunked so one fused cross-encoder tape
+    /// stays bounded in memory however large the test set is; chunking
+    /// cannot change results (every op is row-independent). Fixed by
+    /// data, never derived from a worker count, so serial and parallel
+    /// evaluation see identical chunk boundaries.
+    const EVAL_CHUNK: usize = 32;
+
+    /// Evaluate on gold mentions with the paper's protocol.
+    pub fn evaluate(&self, mentions: &[LinkedMention]) -> LinkMetrics {
+        let mut recalled = 0usize;
+        let mut correct_given_recalled = 0usize;
+        let mut correct = 0usize;
+        for chunk in mentions.chunks(Self::EVAL_CHUNK) {
+            let (r, cg, c) = self.tally(chunk);
+            recalled += r;
+            correct_given_recalled += cg;
+            correct += c;
+        }
+        Self::metrics_from_counts(mentions.len(), recalled, correct_given_recalled, correct)
+    }
+
+    /// Parallel [`TwoStageLinker::evaluate`]: fans the fixed
+    /// [`Self::EVAL_CHUNK`]-sized evaluation chunks out over `threads`
+    /// workers via [`mb_par::try_par_chunks`]. Because chunk boundaries
+    /// are thread-count-independent and the merge sums integer tallies,
+    /// the result is **bit-identical** to the serial path for every
+    /// thread count (a unit test checks this).
     ///
-    /// # Panics
-    /// Panics if `threads == 0`.
-    pub fn evaluate_parallel(&self, mentions: &[LinkedMention], threads: usize) -> LinkMetrics {
-        assert!(threads > 0, "evaluate_parallel: threads must be positive");
-        if threads == 1 || mentions.len() < 2 * threads {
-            return self.evaluate(mentions);
+    /// # Errors
+    /// [`mb_common::Error::Worker`] when an evaluation shard panics;
+    /// the panic is contained at the fork point instead of tearing down
+    /// the caller.
+    pub fn evaluate_parallel(
+        &self,
+        mentions: &[LinkedMention],
+        threads: mb_par::Threads,
+    ) -> mb_common::Result<LinkMetrics> {
+        let tallies = mb_par::try_par_chunks(threads, mentions, Self::EVAL_CHUNK, |_, chunk| {
+            self.tally(chunk)
+        })?;
+        let mut recalled = 0usize;
+        let mut correct_given_recalled = 0usize;
+        let mut correct = 0usize;
+        for (r, cg, c) in tallies {
+            recalled += r;
+            correct_given_recalled += cg;
+            correct += c;
         }
-        let chunk = mentions.len().div_ceil(threads);
-        let partials: Vec<LinkMetrics> = std::thread::scope(|scope| {
-            let handles: Vec<_> = mentions
-                .chunks(chunk)
-                .map(|shard| scope.spawn(move || self.evaluate(shard)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("eval shard panicked")).collect()
-        });
-        // Merge counts back into exact aggregate metrics.
-        let total: usize = partials.iter().map(|m| m.count).sum();
-        if total == 0 {
-            return LinkMetrics::default();
-        }
-        let recalled: f64 = partials.iter().map(|m| m.recall_at_k / 100.0 * m.count as f64).sum();
-        let correct: f64 =
-            partials.iter().map(|m| m.unnormalized_acc / 100.0 * m.count as f64).sum();
-        let correct_given_recalled: f64 = partials
-            .iter()
-            .map(|m| m.normalized_acc / 100.0 * (m.recall_at_k / 100.0 * m.count as f64))
-            .sum();
-        LinkMetrics {
-            recall_at_k: 100.0 * recalled / total as f64,
-            normalized_acc: if recalled > 0.0 {
-                100.0 * correct_given_recalled / recalled
-            } else {
-                0.0
-            },
-            unnormalized_acc: 100.0 * correct / total as f64,
-            count: total,
-        }
+        Ok(Self::metrics_from_counts(mentions.len(), recalled, correct_given_recalled, correct))
     }
 
     /// The underlying dense index (for diagnostics/benches).
@@ -390,7 +409,7 @@ mod tests {
                 &vocab,
                 world.kb(),
                 world.kb().domain_entities(domain.id),
-                LinkerConfig { k: 16, input: icfg },
+                LinkerConfig { k: 16, input: icfg, ..LinkerConfig::default() },
             );
             let sets: Vec<CandidateSet> = train
                 .iter()
@@ -421,7 +440,7 @@ mod tests {
             &f.vocab,
             f.world.kb(),
             f.world.kb().domain_entities(domain.id),
-            LinkerConfig { k: 16, input: InputConfig::default() },
+            LinkerConfig { k: 16, ..LinkerConfig::default() },
         );
         let m = linker.evaluate(&f.test);
         assert_eq!(m.count, f.test.len());
@@ -449,7 +468,7 @@ mod tests {
             &f.vocab,
             f.world.kb(),
             f.world.kb().domain_entities(domain.id),
-            LinkerConfig { k: 16, input: InputConfig::default() },
+            LinkerConfig { k: 16, ..LinkerConfig::default() },
         );
         let tr = linker.evaluate(&f.train);
         let te = linker.evaluate(&f.test);
@@ -467,7 +486,7 @@ mod tests {
             &f.vocab,
             f.world.kb(),
             dict,
-            LinkerConfig { k: 8, input: InputConfig::default() },
+            LinkerConfig { k: 8, ..LinkerConfig::default() },
         );
         for m in f.test.iter().take(10) {
             let p = linker.predict(m).expect("non-empty dictionary");
@@ -485,7 +504,7 @@ mod tests {
             &f.vocab,
             f.world.kb(),
             f.world.kb().domain_entities(domain.id),
-            LinkerConfig { k: 8, input: InputConfig::default() },
+            LinkerConfig { k: 8, ..LinkerConfig::default() },
         );
         let mentions = &f.test[..24];
         let singles: Vec<LinkResult> = mentions.iter().map(|m| linker.link(m)).collect();
@@ -510,7 +529,7 @@ mod tests {
             &f.vocab,
             f.world.kb(),
             f.world.kb().domain_entities(domain.id),
-            LinkerConfig { k: 8, input: InputConfig::default() },
+            LinkerConfig { k: 8, ..LinkerConfig::default() },
         );
         // Repeat mentions so the second pass is all cache hits.
         let mut mentions: Vec<LinkedMention> = f.test[..10].to_vec();
@@ -529,7 +548,7 @@ mod tests {
         let f = fixture();
         let domain = f.world.domain("TargetX");
         let dict = f.world.kb().domain_entities(domain.id);
-        let cfg = LinkerConfig { k: 8, input: InputConfig::default() };
+        let cfg = LinkerConfig { k: 8, ..LinkerConfig::default() };
         let index = DenseIndex::build(&f.bi, &f.vocab, &cfg.input, f.world.kb(), dict);
         let linker =
             TwoStageLinker::with_index(&f.bi, &f.cross, &f.vocab, f.world.kb(), cfg, index)
@@ -562,14 +581,19 @@ mod tests {
             &f.vocab,
             f.world.kb(),
             f.world.kb().domain_entities(domain.id),
-            LinkerConfig { k: 16, input: InputConfig::default() },
+            LinkerConfig { k: 16, ..LinkerConfig::default() },
         );
         let serial = linker.evaluate(&f.test);
         for threads in [1, 2, 3, 7] {
-            let parallel = linker.evaluate_parallel(&f.test, threads);
-            assert!((serial.recall_at_k - parallel.recall_at_k).abs() < 1e-9);
-            assert!((serial.normalized_acc - parallel.normalized_acc).abs() < 1e-9);
-            assert!((serial.unnormalized_acc - parallel.unnormalized_acc).abs() < 1e-9);
+            let parallel = linker
+                .evaluate_parallel(&f.test, mb_par::Threads::new(threads))
+                .expect("no shard panics");
+            // Integer tallies over thread-count-independent chunks
+            // merge exactly: the metrics are bit-identical, not just
+            // close.
+            assert_eq!(serial.recall_at_k.to_bits(), parallel.recall_at_k.to_bits());
+            assert_eq!(serial.normalized_acc.to_bits(), parallel.normalized_acc.to_bits());
+            assert_eq!(serial.unnormalized_acc.to_bits(), parallel.unnormalized_acc.to_bits());
             assert_eq!(serial.count, parallel.count);
         }
     }

@@ -20,7 +20,7 @@ use mb_datagen::world::{DomainInfo, World};
 use mb_datagen::LinkedMention;
 use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
 use mb_encoders::crossencoder::{CandidateSet, CrossEncoder, CrossEncoderConfig};
-use mb_encoders::input::{InputConfig, TrainPair};
+use mb_encoders::input::TrainPair;
 use mb_encoders::train::{try_train_biencoder, try_train_crossencoder, TrainConfig};
 use mb_nlg::SynDataset;
 use mb_tensor::checkpoint::Checkpoint;
@@ -224,6 +224,18 @@ impl Default for MetaBlinkConfig {
 }
 
 impl MetaBlinkConfig {
+    /// Set the worker-thread count on every parallel stage at once
+    /// (linker inference, bi-encoder meta-training, cross-encoder
+    /// meta-training). Thread counts never change results — every
+    /// parallel path partitions by data, not by worker count — so this
+    /// is purely a throughput knob, plumbed from the binary edge (CLI
+    /// flag / `MB_THREADS`) rather than read ambiently in the library.
+    pub fn set_threads(&mut self, threads: mb_par::Threads) {
+        self.linker.threads = threads;
+        self.bi_meta.threads = threads;
+        self.cross_meta.threads = threads;
+    }
+
     /// A fast, small configuration for tests.
     pub fn fast_test() -> Self {
         MetaBlinkConfig {
@@ -249,7 +261,7 @@ impl MetaBlinkConfig {
             },
             k_train_candidates: 8,
             cross_train_cap: 120,
-            linker: LinkerConfig { k: 16, input: InputConfig::default() },
+            linker: LinkerConfig { k: 16, ..LinkerConfig::default() },
             ..Default::default()
         }
     }
@@ -555,7 +567,7 @@ fn train_impl(
                         task.vocab,
                         task.world.kb(),
                         task.world.kb().domain_entities(domain),
-                        LinkerConfig { k: cfg.k_train_candidates, input: cfg.linker.input },
+                        LinkerConfig { k: cfg.k_train_candidates, ..cfg.linker },
                     )
                 });
                 let retrieved = linker.candidates(m);

@@ -71,6 +71,10 @@ pub struct MetaConfig {
     /// "final/shared layers only" practice for gradient-similarity
     /// reweighting. Ablatable.
     pub shared_params_only: bool,
+    /// Workers for the per-example gradient fan-out (the backward
+    /// passes of Eq. 12 are independent given the shared forward).
+    /// Results are bit-identical for any value (DESIGN.md §11).
+    pub threads: mb_par::Threads,
 }
 
 impl Default for MetaConfig {
@@ -85,6 +89,7 @@ impl Default for MetaConfig {
             seed_mix: 0.3,
             normalize_example_grads: true,
             shared_params_only: true,
+            threads: mb_par::Threads::single(),
         }
     }
 }
@@ -204,17 +209,27 @@ impl MetaStats {
 /// One forward tape, then one backward per example through a `gather`
 /// on the loss vector — each yields `∇_φ l_j(φ)` with the in-batch
 /// negatives of Eq. 6 held fixed.
-fn biencoder_example_grads(model: &BiEncoder, batch: &[TrainPair]) -> Vec<(f64, GradVec)> {
+///
+/// The in-batch negatives couple every example's *loss* to the whole
+/// batch, so the batch cannot be sharded — but given the shared
+/// forward, the per-example backward sweeps are independent. All
+/// gather nodes are recorded up front (they need `&mut Tape`); the
+/// backward passes (`&Tape`) then fan out across workers, each
+/// producing exactly the tensors the serial loop would.
+fn biencoder_example_grads(
+    model: &BiEncoder,
+    batch: &[TrainPair],
+    threads: mb_par::Threads,
+) -> Vec<(f64, GradVec)> {
     let mut tape = Tape::new();
     let fwd = model.forward_losses(&mut tape, batch);
-    let mut out = Vec::with_capacity(batch.len());
-    for j in 0..batch.len() {
-        let lj = tape.gather(fwd.losses, j);
+    let gathers: Vec<mb_tensor::Var> =
+        (0..batch.len()).map(|j| tape.gather(fwd.losses, j)).collect();
+    mb_par::par_map(threads, &gathers, |_, &lj| {
         let value = tape.value(lj).item();
         let grads = tape.backward(lj);
-        out.push((value, model.params().collect_grads(&fwd.vars, &grads)));
-    }
-    out
+        (value, model.params().collect_grads(&fwd.vars, &grads))
+    })
 }
 
 /// One meta step of Algorithm 1 on the bi-encoder. Returns
@@ -230,6 +245,7 @@ pub fn biencoder_meta_step(
     seed_mix: f64,
     normalize: bool,
     shared_only: bool,
+    threads: mb_par::Threads,
     rng: &mut Rng,
 ) -> (Vec<f64>, Vec<usize>, f64) {
     assert!(syn.len() >= 2, "meta step needs at least two synthetic examples");
@@ -240,7 +256,7 @@ pub fn biencoder_meta_step(
     let seed_batch_data: Vec<TrainPair> = seed_idx.iter().map(|&i| seed_set[i].clone()).collect();
 
     // Lines 4–6: w = 0 ⇒ φ̂ = φ. Per-example synthetic grads at φ.
-    let example = biencoder_example_grads(model, &syn_batch_data);
+    let example = biencoder_example_grads(model, &syn_batch_data, threads);
     // Line 7–8: seed loss gradient at φ̂ (= φ).
     let (_, seed_grad) = model.batch_grad(&seed_batch_data);
     // Line 9: weights.
@@ -416,6 +432,7 @@ fn run_biencoder_meta(
             cfg.seed_mix,
             cfg.normalize_example_grads,
             cfg.shared_params_only,
+            cfg.threads,
             &mut rng,
         );
         record_step(&mut stats, cfg, &weights, &idx, loss);
@@ -432,11 +449,14 @@ fn run_biencoder_meta(
 
 /// Per-example gradients for cross-encoder candidate sets (each set is
 /// its own tape; the paper trains the cross-encoder at batch size 1).
+/// Embarrassingly parallel: one forward+backward tape per set, results
+/// reassembled in batch order.
 fn crossencoder_example_grads(
     model: &CrossEncoder,
     batch: &[&CandidateSet],
+    threads: mb_par::Threads,
 ) -> Vec<(f64, GradVec)> {
-    batch.iter().map(|s| model.example_grad(s)).collect()
+    mb_par::par_map(threads, batch, |_, s| model.example_grad(s))
 }
 
 /// One meta step of Algorithm 1 on the cross-encoder.
@@ -451,6 +471,7 @@ pub fn crossencoder_meta_step(
     seed_mix: f64,
     normalize: bool,
     shared_only: bool,
+    threads: mb_par::Threads,
     rng: &mut Rng,
 ) -> (Vec<f64>, Vec<usize>, f64) {
     assert!(!syn.is_empty(), "meta step needs synthetic examples");
@@ -459,13 +480,16 @@ pub fn crossencoder_meta_step(
     let seed_idx = rng.sample_indices(seed_set.len(), seed_batch.max(1));
     let syn_refs: Vec<&CandidateSet> = syn_idx.iter().map(|&i| &syn[i]).collect();
 
-    let example = crossencoder_example_grads(model, &syn_refs);
-    // Seed gradient: mean over the seed batch.
+    let example = crossencoder_example_grads(model, &syn_refs, threads);
+    // Seed gradient: mean over the seed batch. Per-example grads fan
+    // out; the mean is folded serially in sample order, so the
+    // accumulation order matches the serial loop exactly.
+    let seed_examples =
+        mb_par::par_map(threads, &seed_idx, |_, &i| model.example_grad(&seed_set[i]));
     let mut seed_grad = GradVec::zeros_like(model.params());
     let inv = 1.0 / seed_idx.len() as f64;
-    for &i in &seed_idx {
-        let (_, g) = model.example_grad(&seed_set[i]);
-        seed_grad.axpy(inv, &g);
+    for (_, g) in &seed_examples {
+        seed_grad.axpy(inv, g);
     }
     let grads_only: Vec<GradVec> = example.iter().map(|(_, g)| g.clone()).collect();
     let emb_index = model.embedding_param_index();
@@ -547,6 +571,7 @@ fn run_crossencoder_meta(
             cfg.seed_mix,
             cfg.normalize_example_grads,
             cfg.shared_params_only,
+            cfg.threads,
             &mut rng,
         );
         record_step(&mut stats, cfg, &weights, &idx, loss);
@@ -590,7 +615,7 @@ mod tests {
     #[test]
     fn weights_are_normalized_and_nonnegative() {
         let (model, pairs) = setup_pairs(1, 12);
-        let grads = biencoder_example_grads(&model, &pairs[..6]);
+        let grads = biencoder_example_grads(&model, &pairs[..6], mb_par::Threads::single());
         let gv: Vec<GradVec> = grads.into_iter().map(|(_, g)| g).collect();
         let (_, seed_grad) = model.batch_grad(&pairs[6..12]);
         let w = meta_example_weights(&gv, &seed_grad);
@@ -604,7 +629,7 @@ mod tests {
     fn delta_guard_yields_all_zero() {
         // Seed gradient orthogonal-by-construction: zero gradient.
         let (model, pairs) = setup_pairs(2, 8);
-        let grads = biencoder_example_grads(&model, &pairs[..4]);
+        let grads = biencoder_example_grads(&model, &pairs[..4], mb_par::Threads::single());
         let gv: Vec<GradVec> = grads.into_iter().map(|(_, g)| g).collect();
         let zero = GradVec::zeros_like(model.params());
         let w = meta_example_weights(&gv, &zero);
@@ -615,7 +640,7 @@ mod tests {
     fn per_example_grads_sum_to_batch_grad() {
         let (model, pairs) = setup_pairs(3, 8);
         let batch = &pairs[..5];
-        let per = biencoder_example_grads(&model, batch);
+        let per = biencoder_example_grads(&model, batch, mb_par::Threads::single());
         let (_, batch_grad) = model.batch_grad(batch);
         // batch_grad is the gradient of the MEAN loss.
         let mut summed = GradVec::zeros_like(model.params());
@@ -638,7 +663,7 @@ mod tests {
         let seed_set = &pairs[4..10];
         let alpha = 0.05;
 
-        let per = biencoder_example_grads(&model, syn);
+        let per = biencoder_example_grads(&model, syn, mb_par::Threads::single());
         let (_, seed_grad_at_phi) = model.batch_grad(seed_set);
 
         // Analytic: ∂l_g/∂w_j |_{w=0} = −α ⟨∇l_g(φ), ∇l_j(φ)⟩.

@@ -17,7 +17,7 @@ use mb_core::linker::{EmbedCache, LinkerConfig, TwoStageLinker};
 use mb_datagen::{LinkedMention, World, WorldConfig};
 use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
 use mb_encoders::crossencoder::{CrossEncoder, CrossEncoderConfig};
-use mb_encoders::input::{build_vocab, InputConfig};
+use mb_encoders::input::build_vocab;
 
 struct Fixture {
     world: World,
@@ -59,7 +59,7 @@ fn replay(f: &Fixture, cache_capacity: usize) -> (Vec<String>, Vec<Vec<u32>>, u6
         &f.vocab,
         f.world.kb(),
         dict,
-        LinkerConfig { k: 8, input: InputConfig::default() },
+        LinkerConfig { k: 8, ..LinkerConfig::default() },
     );
     let mut cache = EmbedCache::new(cache_capacity);
     let mut rendered = Vec::new();

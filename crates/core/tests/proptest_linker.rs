@@ -13,7 +13,7 @@ use mb_datagen::{World, WorldConfig};
 use mb_encoders::biencoder::BiEncoder;
 use mb_encoders::crossencoder::CrossEncoder;
 use mb_encoders::input::build_vocab;
-use mb_encoders::input::InputConfig;
+
 use mb_text::Vocab;
 use std::sync::OnceLock;
 
@@ -66,7 +66,7 @@ fn linker(f: &Fixture) -> TwoStageLinker<'_> {
         &f.vocab,
         f.world.kb(),
         f.world.kb().domain_entities(domain.id),
-        LinkerConfig { k: 6, input: InputConfig::default() },
+        LinkerConfig { k: 6, ..LinkerConfig::default() },
     )
 }
 

@@ -14,10 +14,17 @@
 
 use crate::input::TrainPair;
 use mb_common::Rng;
+use mb_par::Threads;
 use mb_tensor::optim::Optimizer;
 use mb_tensor::params::{GradVec, ParamId};
 use mb_tensor::{init, Params, Tape, Tensor, Var};
 use mb_text::Vocab;
+
+/// Rows per worker task in the chunked-parallel embed path. Fixed by
+/// the data (never by the worker count) so chunk boundaries — and with
+/// them every floating-point result — are identical at any thread
+/// count.
+pub const EMBED_CHUNK: usize = 32;
 
 /// Bi-encoder hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -279,6 +286,38 @@ impl BiEncoder {
     /// used to precompute a serving entity table.
     pub fn embed_entities_batch(&self, bags: &[Vec<u32>]) -> Tensor {
         self.embed(bags.to_vec(), self.entity_side)
+    }
+
+    /// [`BiEncoder::embed_mentions_batch`] with fixed-size chunks of
+    /// bags encoded on separate workers.
+    ///
+    /// Every op in the encoder (bag lookup, linear, tanh, row
+    /// normalisation) computes each output row from its input row
+    /// alone, so the chunked forward is bit-identical to the fused one
+    /// — and, because the chunk size is [`EMBED_CHUNK`] regardless of
+    /// the worker count, bit-identical at every [`Threads`] value.
+    pub fn embed_mentions_batch_with(&self, bags: &[Vec<u32>], threads: Threads) -> Tensor {
+        self.embed_chunked(bags, self.mention_side, threads)
+    }
+
+    /// [`BiEncoder::embed_entities_batch`] with fixed-size chunks of
+    /// bags encoded on separate workers (see
+    /// [`BiEncoder::embed_mentions_batch_with`]).
+    pub fn embed_entities_batch_with(&self, bags: &[Vec<u32>], threads: Threads) -> Tensor {
+        self.embed_chunked(bags, self.entity_side, threads)
+    }
+
+    fn embed_chunked(&self, bags: &[Vec<u32>], side: SideIds, threads: Threads) -> Tensor {
+        if threads.is_single() || bags.len() <= EMBED_CHUNK {
+            return self.embed(bags.to_vec(), side);
+        }
+        let chunks =
+            mb_par::par_chunks(threads, bags, EMBED_CHUNK, |_, c| self.embed(c.to_vec(), side));
+        let mut data = Vec::with_capacity(bags.len() * self.cfg.out_dim);
+        for chunk in &chunks {
+            data.extend_from_slice(chunk.data());
+        }
+        Tensor::from_vec(vec![bags.len(), self.cfg.out_dim], data)
     }
 
     fn embed(&self, bags: Vec<Vec<u32>>, side: SideIds) -> Tensor {

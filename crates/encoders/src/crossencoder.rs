@@ -15,10 +15,15 @@
 
 use crate::input::TrainPair;
 use mb_common::Rng;
+use mb_par::Threads;
 use mb_tensor::optim::Optimizer;
 use mb_tensor::params::{GradVec, ParamId};
 use mb_tensor::{init, Params, Tape, Var};
 use mb_text::Vocab;
+
+/// Candidate sets per worker task in the chunked-parallel scoring
+/// path; fixed by the data, never by the worker count (DESIGN.md §11).
+pub const SCORE_CHUNK: usize = 8;
 
 /// Cross-encoder hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -242,6 +247,21 @@ impl CrossEncoder {
             offset += set.len();
         }
         out
+    }
+
+    /// [`CrossEncoder::score_batch`] with fixed-size chunks of sets
+    /// scored on separate workers.
+    ///
+    /// Because the scorer is row-independent, the chunked forward is
+    /// bit-identical to the fused one, and the [`SCORE_CHUNK`]
+    /// granularity depends only on the data — so results are
+    /// bit-identical at every [`Threads`] value.
+    pub fn score_batch_with(&self, sets: &[CandidateSet], threads: Threads) -> Vec<Vec<f64>> {
+        if threads.is_single() || sets.len() <= SCORE_CHUNK {
+            return self.score_batch(sets);
+        }
+        let chunks = mb_par::par_chunks(threads, sets, SCORE_CHUNK, |_, c| self.score_batch(c));
+        chunks.into_iter().flatten().collect()
     }
 
     /// Ranking loss of one candidate set (softmax cross-entropy against

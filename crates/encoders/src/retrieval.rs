@@ -101,6 +101,23 @@ impl DenseIndex {
         top_k_desc(&scores, k).into_iter().map(|i| (self.ids[i], scores[i])).collect()
     }
 
+    /// Top-k retrieval for every row of a `[q, dim]` query matrix, with
+    /// queries split across workers.
+    ///
+    /// Each query's ranking is computed wholly within one worker, and
+    /// ties are broken deterministically (lowest index wins, see
+    /// [`top_k_desc`]), so the result is bit-identical for any
+    /// [`mb_par::Threads`] value.
+    pub fn top_k_batch(
+        &self,
+        queries: &Tensor,
+        k: usize,
+        threads: mb_par::Threads,
+    ) -> Vec<Vec<(EntityId, f64)>> {
+        assert_eq!(queries.rank(), 2, "top_k_batch: queries rank {:?}", queries.shape());
+        mb_par::par_map_range(threads, queries.rows(), |i| self.top_k(queries.row(i), k))
+    }
+
     /// Dot product of the query against every indexed vector.
     pub fn score_all(&self, query: &[f64]) -> Vec<f64> {
         assert_eq!(
@@ -250,7 +267,7 @@ mod tests {
         let got = index.top_k(&query, 10);
         let scores = index.score_all(&query);
         let mut order: Vec<usize> = (0..200).collect();
-        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
         for (rank, (id, s)) in got.iter().enumerate() {
             assert_eq!(id.0 as usize, order[rank]);
             assert!((s - scores[order[rank]]).abs() < 1e-12);

@@ -100,9 +100,7 @@ impl Bm25Index {
             }
         }
         let mut ranked: Vec<(u32, f64)> = scores.into_iter().collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-        });
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(k);
         ranked.into_iter().map(|(slot, s)| (self.ids[slot as usize], s)).collect()
     }

@@ -140,6 +140,19 @@ impl TokenIndex {
         scored.into_iter().map(|(id, _)| id).collect()
     }
 
+    /// [`TokenIndex::candidates`] for a batch of queries, split across
+    /// workers. Each query is resolved wholly within one worker and
+    /// ranking ties break by entity id, so results are identical for
+    /// any [`mb_par::Threads`] value.
+    pub fn candidates_batch(
+        &self,
+        queries: &[String],
+        k: usize,
+        threads: mb_par::Threads,
+    ) -> Vec<Vec<EntityId>> {
+        mb_par::par_map(threads, queries, |_, q| self.candidates(q, k))
+    }
+
     /// Number of distinct tokens indexed.
     pub fn len(&self) -> usize {
         self.map.len()

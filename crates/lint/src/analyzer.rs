@@ -11,6 +11,11 @@
 //!   per-process random), `SystemTime` / `Instant`, and `std::env`
 //!   access;
 //! - **unsafe gate**: any `unsafe` token;
+//! - **float total order**: `sort_by`/`sort_unstable_by`/`max_by`/
+//!   `min_by` whose comparator calls `partial_cmp` — on NaN the
+//!   comparator returns an arbitrary ordering (or a fallback chosen at
+//!   the call site), so sorted output depends on the input permutation;
+//!   `f64::total_cmp` gives one answer for every input;
 //! - **lock discipline**: see [`crate::locks`].
 //!
 //! Code under `#[cfg(test)]` is exempt from the panic-freedom and
@@ -34,6 +39,10 @@ pub struct RuleSet {
     pub lock_discipline: bool,
     /// Deny `unsafe` anywhere in the file, tests included.
     pub unsafe_gate: bool,
+    /// Deny float comparators built on `partial_cmp` inside sort/extremum
+    /// calls; they order NaN arbitrarily, so output depends on input
+    /// permutation. Use `total_cmp`.
+    pub float_total_order: bool,
 }
 
 impl RuleSet {
@@ -44,7 +53,13 @@ impl RuleSet {
 
     /// Every family enabled — what the seeded golden fixtures use.
     pub fn all() -> Self {
-        RuleSet { panic_freedom: true, determinism: true, lock_discipline: true, unsafe_gate: true }
+        RuleSet {
+            panic_freedom: true,
+            determinism: true,
+            lock_discipline: true,
+            unsafe_gate: true,
+            float_total_order: true,
+        }
     }
 }
 
@@ -179,6 +194,9 @@ pub fn analyze_file(
         if rules.determinism {
             determinism_rules(&sig, i, &mut emit);
         }
+        if rules.float_total_order {
+            float_order_rules(&sig, i, &mut emit);
+        }
     }
 
     if let Some(graph) = locks {
@@ -300,6 +318,53 @@ fn determinism_rules(
     }
 }
 
+/// Sorting/extremum methods whose comparator closure we inspect for
+/// `partial_cmp`.
+const ORDERED_BY: &[&str] = &["sort_by", "sort_unstable_by", "max_by", "min_by"];
+
+fn float_order_rules(
+    sig: &[Sig<'_>],
+    i: usize,
+    emit: &mut impl FnMut(&'static str, Token, String),
+) {
+    let s = &sig[i];
+    // `.sort_by(` — a method call, not a bare identifier or definition.
+    if s.tok.kind != TokenKind::Ident
+        || !ORDERED_BY.contains(&s.text)
+        || i == 0
+        || sig[i - 1].text != "."
+        || sig.get(i + 1).map(|t| t.text) != Some("(")
+    {
+        return;
+    }
+    // Scan the balanced argument span for `partial_cmp`.
+    let mut depth = 0usize;
+    for t in &sig[i + 1..] {
+        match t.text {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "partial_cmp" if t.tok.kind == TokenKind::Ident => {
+                emit(
+                    "float-total-order",
+                    s.tok,
+                    format!(
+                        "`{}` comparator uses `partial_cmp`, which orders NaN arbitrarily and \
+                         makes the result depend on input permutation; use `f64::total_cmp`",
+                        s.text
+                    ),
+                );
+                return;
+            }
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +411,27 @@ mod tests {
         assert!(rules_of("let s = \"HashMap Instant std::env\";").is_empty());
         assert!(rules_of("// HashMap in a comment\n").is_empty());
         assert!(rules_of("fn f(env: u32) -> u32 { env }").is_empty());
+    }
+
+    #[test]
+    fn float_total_order_fires_on_partial_cmp_comparators() {
+        assert_eq!(
+            rules_of("fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }"),
+            vec!["float-total-order", "panic-unwrap"]
+        );
+        assert_eq!(
+            rules_of("fn f() { v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect(\"m\")); }"),
+            vec!["float-total-order", "panic-expect"]
+        );
+        assert_eq!(
+            rules_of("fn f() { let m = v.iter().max_by(|a, b| a.partial_cmp(b).unwrap()); }"),
+            vec!["float-total-order", "panic-unwrap"]
+        );
+        // total_cmp comparators and partial_cmp outside a sort are clean.
+        assert!(rules_of("fn f() { v.sort_by(|a, b| a.total_cmp(b)); }").is_empty());
+        assert!(rules_of("fn f() { let o = a.partial_cmp(&b); }").is_empty());
+        // `sort_by` as a definition or bare identifier is not a call site.
+        assert!(rules_of("fn sort_by() { partial_cmp(); }").is_empty());
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub const RULE_IDS: &[&str] = &[
     "lock-order",
     "lock-io",
     "unsafe-gate",
+    "float-total-order",
     "suppression",
 ];
 

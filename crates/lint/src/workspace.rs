@@ -8,9 +8,12 @@
 //!   `crates/tensor/src/serialize.rs`, `crates/kb/src/store.rs`);
 //! - **determinism** in every crate covered by the bit-identical
 //!   resume guarantee (`tensor`, `core`, `datagen`, `nlg`, `kb`,
-//!   `eval`);
+//!   `eval`, `par`);
 //! - **lock discipline** across `crates/serve/src`;
-//! - the **unsafe gate** workspace-wide.
+//! - the **unsafe gate** workspace-wide;
+//! - **float total order** workspace-wide (tests exempt): a
+//!   `partial_cmp` comparator orders NaN arbitrarily, which silently
+//!   breaks replay-by-seed wherever a float sort feeds results.
 
 use crate::analyzer::{analyze_file, RuleSet};
 use crate::findings::Finding;
@@ -18,7 +21,7 @@ use crate::locks::LockGraph;
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` falls under the determinism family.
-const DETERMINISM_CRATES: &[&str] = &["tensor", "core", "datagen", "nlg", "kb", "eval"];
+const DETERMINISM_CRATES: &[&str] = &["tensor", "core", "datagen", "nlg", "kb", "eval", "par"];
 
 /// Files (beyond `crates/serve/src`) on the panic-free path.
 const PANIC_FREE_FILES: &[&str] = &[
@@ -30,7 +33,7 @@ const PANIC_FREE_FILES: &[&str] = &[
 /// The rule families enforced for a workspace-relative path
 /// (`/`-separated).
 pub fn rules_for(rel_path: &str) -> RuleSet {
-    let mut rules = RuleSet { unsafe_gate: true, ..RuleSet::default() };
+    let mut rules = RuleSet { unsafe_gate: true, float_total_order: true, ..RuleSet::default() };
     if rel_path.starts_with("crates/serve/src/") {
         rules.panic_freedom = true;
         rules.lock_discipline = true;
@@ -130,10 +133,19 @@ mod tests {
     fn resume_covered_crates_get_determinism() {
         assert!(rules_for("crates/core/src/reweight.rs").determinism);
         assert!(rules_for("crates/kb/src/index.rs").determinism);
+        assert!(rules_for("crates/par/src/lib.rs").determinism);
         assert!(!rules_for("crates/serve/src/server.rs").determinism);
         assert!(!rules_for("crates/common/src/lru.rs").determinism);
-        // Tests and benches are outside every family but the unsafe gate.
+        // Tests and benches are outside every family but the unsafe
+        // gate and float total order.
         let r = rules_for("crates/core/tests/determinism.rs");
         assert!(!r.determinism && !r.panic_freedom && r.unsafe_gate);
+    }
+
+    #[test]
+    fn float_total_order_applies_workspace_wide() {
+        assert!(rules_for("crates/serve/src/server.rs").float_total_order);
+        assert!(rules_for("crates/common/src/util.rs").float_total_order);
+        assert!(rules_for("src/bin/metablink.rs").float_total_order);
     }
 }

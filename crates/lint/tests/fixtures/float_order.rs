@@ -1,0 +1,25 @@
+//! Seeded float-total-order violations for the golden test.
+
+fn positives(v: &mut Vec<f64>, pairs: &mut Vec<(usize, f64)>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    pairs.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let _ = v.iter().max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let _ = v.iter().min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+fn suppressed(v: &mut Vec<f64>) {
+    // mb-lint: allow(float-total-order) -- fixture: NaN-free by construction
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+fn clean(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.total_cmp(b));
+    let _ = v[0].partial_cmp(&v[1]);
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only(v: &mut Vec<f64>) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    }
+}

@@ -83,6 +83,25 @@ fn suppression_hygiene_golden() {
 }
 
 #[test]
+fn float_total_order_golden() {
+    let src = fixture("float_order.rs");
+    let rules = RuleSet { float_total_order: true, ..RuleSet::none() };
+    let found = analyze_file("float_order.rs", &src, rules, None);
+    assert_eq!(
+        spans(&found),
+        vec![
+            ("float-total-order", 4, 7),
+            ("float-total-order", 5, 11),
+            ("float-total-order", 6, 22),
+            ("float-total-order", 7, 22),
+        ],
+        "suppressed (line 12), total_cmp (line 17), bare partial_cmp (line 18), \
+         and #[cfg(test)] uses must stay silent"
+    );
+    assert!(found[0].message.contains("total_cmp"), "{}", found[0].message);
+}
+
+#[test]
 fn lock_discipline_golden() {
     let src = fixture("locks.rs");
     let rules = RuleSet { lock_discipline: true, ..RuleSet::none() };

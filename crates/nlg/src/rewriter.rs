@@ -158,7 +158,7 @@ impl Rewriter {
                 scored = fluent;
             }
         }
-        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| b.2.total_cmp(&a.2));
         let len = rng.length(1, self.cfg.max_len, self.cfg.extend_p).min(scored.len());
         let mut picked: Vec<(String, usize)> =
             scored.into_iter().take(len).map(|(t, pos, _)| (t, pos)).collect();

@@ -384,7 +384,7 @@ fn render_result(result: &LinkResult, k: usize, shared: &Arc<Shared>) -> String 
         .zip(&result.rerank_scores)
         .map(|(&(id, bi_score), &score)| (id, bi_score, score))
         .collect();
-    ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| b.2.total_cmp(&a.2));
     let candidates: Vec<String> = ranked
         .iter()
         .take(k)

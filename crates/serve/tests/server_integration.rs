@@ -7,7 +7,7 @@ use mb_core::linker::{LinkerConfig, TwoStageLinker};
 use mb_datagen::{LinkedMention, World, WorldConfig};
 use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
 use mb_encoders::crossencoder::{CrossEncoder, CrossEncoderConfig};
-use mb_encoders::input::{build_vocab, InputConfig};
+use mb_encoders::input::build_vocab;
 use mb_serve::{ServeModel, Server, ServerConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -43,7 +43,7 @@ fn fixture() -> Fixture {
         dictionary: world.kb().domain_entities(domain.id).to_vec(),
         bi,
         cross,
-        linker: LinkerConfig { k: 8, input: InputConfig::default() },
+        linker: LinkerConfig { k: 8, ..LinkerConfig::default() },
         domain: domain.name.clone(),
     };
     Fixture { world, model, mentions: ms.mentions }

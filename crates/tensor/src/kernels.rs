@@ -1,0 +1,295 @@
+//! Cache-blocked, register-tiled matmul micro-kernels.
+//!
+//! Both rank-2 products (`A·B` and `A·Bᵀ`) funnel into one blocked
+//! kernel in the classic three-level scheme: panels of `KC` inner-dim
+//! steps, blocks of `MC` output rows, and an `MR×NR` register tile
+//! updated by an inner loop over the packed panels. The `A` block is
+//! packed `MR`-interleaved and the `B` panel `NR`-wide so the micro-
+//! kernel streams both operands contiguously (packing is also where the
+//! `Bᵀ` layout is absorbed — the micro-kernel never knows).
+//!
+//! ## Determinism contract (DESIGN.md §11)
+//!
+//! Every output element is accumulated as **one left fold in ascending
+//! inner-dimension order** — `((0 + t₀) + t₁) + …` — exactly the order
+//! of the textbook triple loop, using separate multiply and add (no
+//! FMA). Blocking changes *when* each term is added, never the order
+//! within an element's chain, so the blocked kernel is bit-identical to
+//! the naive reference on every input, including non-finite values.
+//! Parallelism splits **output rows** across workers; each element is
+//! still computed by exactly one fold on one worker, so results are
+//! bit-identical for any [`Threads`] value (pinned by the mb-check
+//! property suite and the cross-thread-count determinism tests).
+//!
+//! Unlike the pre-blocking kernel, zero entries of `A` are *not*
+//! skipped: `0·∞` and `0·NaN` now propagate NaN per IEEE 754 instead of
+//! silently contributing nothing, which is required for the exact-
+//! equality contract above.
+
+use crate::tensor::Tensor;
+use mb_par::{par_chunks_mut, Threads};
+
+/// Register-tile rows: independent accumulator chains per tile row.
+const MR: usize = 4;
+/// Register-tile columns: the SIMD-parallel dimension.
+const NR: usize = 16;
+/// Inner-dimension panel length; one `KC×NR` B panel stays in L1.
+const KC: usize = 256;
+/// Output-row block height; one `MC×KC` packed A block stays in L2.
+const MC: usize = 128;
+
+/// Below this the packing overhead outweighs the cache savings and the
+/// plain triple loop wins; both paths produce identical bits, so the
+/// dispatch is a pure perf heuristic.
+fn use_blocked(m: usize, k: usize, n: usize) -> bool {
+    m >= MR && n >= NR && k >= 16 && m * k * n >= 32 * 32 * 32
+}
+
+/// `B` element at inner index `p`, column `j`, for either layout.
+/// `ldb` is the row stride of the stored matrix: `B` is `k×n` when
+/// `bt == false` and `n×k` when `bt == true`.
+#[inline]
+fn b_at(b: &[f64], ldb: usize, p: usize, j: usize, bt: bool) -> f64 {
+    if bt {
+        b[j * ldb + p]
+    } else {
+        b[p * ldb + j]
+    }
+}
+
+/// The naive reference: textbook loops, one ascending-`p` fold per
+/// output element. Used below the blocking threshold and by the
+/// property tests as the semantic reference.
+fn simple(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize, bt: bool) {
+    if bt {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                out[i * n + j] = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+            }
+        }
+    } else {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &av) in a_row.iter().enumerate() {
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Blocked product over a band of output rows: `out[0..rows][0..n] +=
+/// a[0..rows][0..k] · B`, where `B` is `k×n` (`bt == false`) or `n×k`
+/// interpreted as transposed (`bt == true`). `out` must start zeroed;
+/// the parallel wrapper hands each worker a disjoint band.
+fn blocked_rows(a: &[f64], b: &[f64], out: &mut [f64], rows: usize, k: usize, n: usize, bt: bool) {
+    let ldb = if bt { k } else { n };
+    let mut apack = vec![0.0; MC * KC];
+    let mut bpack = vec![0.0; KC * NR];
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        for ic in (0..rows).step_by(MC) {
+            let mc = MC.min(rows - ic);
+            // Pack full MR-panels of the A block, interleaved so the
+            // micro-kernel reads one `[f64; MR]` per inner step. Tail
+            // rows (mc % MR) stay unpacked and take the scalar path.
+            let full_panels = mc / MR;
+            {
+                let mut w = 0;
+                for panel in 0..full_panels {
+                    let r0 = ic + panel * MR;
+                    for p in 0..kc {
+                        for ii in 0..MR {
+                            apack[w] = a[(r0 + ii) * k + pc + p];
+                            w += 1;
+                        }
+                    }
+                }
+            }
+            for jc in (0..n).step_by(NR) {
+                let nr = NR.min(n - jc);
+                if nr == NR {
+                    for p in 0..kc {
+                        for (jj, slot) in bpack[p * NR..(p + 1) * NR].iter_mut().enumerate() {
+                            *slot = b_at(b, ldb, pc + p, jc + jj, bt);
+                        }
+                    }
+                }
+                let mut ir = 0;
+                while ir + MR <= mc {
+                    let i0 = ic + ir;
+                    if nr == NR {
+                        // MR×NR micro-kernel over packed panels.
+                        let mut acc = [[0.0f64; NR]; MR];
+                        for (ii, row) in acc.iter_mut().enumerate() {
+                            row.copy_from_slice(&out[(i0 + ii) * n + jc..(i0 + ii) * n + jc + NR]);
+                        }
+                        let panel = ir / MR;
+                        let ap = &apack[panel * (kc * MR)..(panel + 1) * (kc * MR)];
+                        for (ach, bch) in ap.chunks_exact(MR).zip(bpack.chunks_exact(NR).take(kc)) {
+                            let av: &[f64; MR] = ach.try_into().expect("MR chunk");
+                            let bv: &[f64; NR] = bch.try_into().expect("NR chunk");
+                            for (ii, row) in acc.iter_mut().enumerate() {
+                                for (jj, slot) in row.iter_mut().enumerate() {
+                                    *slot += av[ii] * bv[jj];
+                                }
+                            }
+                        }
+                        for (ii, row) in acc.iter().enumerate() {
+                            out[(i0 + ii) * n + jc..(i0 + ii) * n + jc + NR].copy_from_slice(row);
+                        }
+                    } else {
+                        // Column tail: scalar folds, same order.
+                        for ii in 0..MR {
+                            for jj in 0..nr {
+                                let mut acc = out[(i0 + ii) * n + jc + jj];
+                                for p in 0..kc {
+                                    acc += a[(i0 + ii) * k + pc + p]
+                                        * b_at(b, ldb, pc + p, jc + jj, bt);
+                                }
+                                out[(i0 + ii) * n + jc + jj] = acc;
+                            }
+                        }
+                    }
+                    ir += MR;
+                }
+                // Row tail: scalar folds, same order.
+                while ir < mc {
+                    let i0 = ic + ir;
+                    for jj in 0..nr {
+                        let mut acc = out[i0 * n + jc + jj];
+                        for p in 0..kc {
+                            acc += a[i0 * k + pc + p] * b_at(b, ldb, pc + p, jc + jj, bt);
+                        }
+                        out[i0 * n + jc + jj] = acc;
+                    }
+                    ir += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Shared entry point for both products. `bt` selects `A·Bᵀ`.
+pub(crate) fn matmul_impl(a: &Tensor, b: &Tensor, bt: bool, threads: Threads) -> Tensor {
+    let op = if bt { "matmul_t" } else { "matmul" };
+    assert_eq!(a.rank(), 2, "{op} lhs rank {:?}", a.shape());
+    assert_eq!(b.rank(), 2, "{op} rhs rank {:?}", b.shape());
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = if bt { (b.shape()[0], b.shape()[1]) } else { (b.shape()[1], b.shape()[0]) };
+    if bt {
+        assert_eq!(k, k2, "matmul_t: {:?} @ {:?}^T", a.shape(), b.shape());
+    } else {
+        assert_eq!(k, k2, "matmul: {:?} @ {:?}", a.shape(), b.shape());
+    }
+    let mut out = vec![0.0; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    if !use_blocked(m, k, n) {
+        simple(ad, bd, &mut out, m, k, n, bt);
+    } else if threads.is_single() || m < 2 * MC {
+        blocked_rows(ad, bd, &mut out, m, k, n, bt);
+    } else {
+        // Row-band parallelism: band height is MC — fixed by the
+        // blocking scheme, never by the worker count — and each band's
+        // elements are computed wholly within one worker.
+        par_chunks_mut(threads, &mut out, MC * n, |band, out_band| {
+            let i0 = band * MC;
+            let rows = out_band.len() / n;
+            blocked_rows(&ad[i0 * k..(i0 + rows) * k], bd, out_band, rows, k, n, bt);
+        });
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// The naive reference kernel, exposed for the property suite and the
+/// kernels benchmark: bit-for-bit the semantics `matmul`/`matmul_t`
+/// promise, with none of the blocking.
+pub fn matmul_reference(a: &Tensor, b: &Tensor, bt: bool) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = if bt { b.shape()[0] } else { b.shape()[1] };
+    let mut out = vec![0.0; m * n];
+    simple(a.data(), b.data(), &mut out, m, k, n, bt);
+    Tensor::from_vec(vec![m, n], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(shape: [usize; 2], seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let data: Vec<f64> = (0..shape[0] * shape[1])
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect();
+        Tensor::from_vec(shape.to_vec(), data)
+    }
+
+    fn assert_bits_eq(x: &Tensor, y: &Tensor) {
+        assert_eq!(x.shape(), y.shape());
+        for (i, (a, b)) in x.data().iter().zip(y.data()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "element {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_reference_on_blocky_and_ragged_shapes() {
+        // Shapes straddling every tile boundary: exact multiples,
+        // one-off tails in each dimension, and sub-tile sizes.
+        let shapes: &[([usize; 2], [usize; 2])] = &[
+            ([4, 16], [16, 16]),
+            ([5, 17], [17, 19]),
+            ([128, 256], [256, 32]),
+            ([129, 257], [257, 33]),
+            ([131, 300], [300, 47]),
+            ([257, 64], [64, 17]),
+            ([3, 100], [100, 100]),
+            ([100, 7], [7, 100]),
+        ];
+        for (i, &(sa, sb)) in shapes.iter().enumerate() {
+            let a = fill(sa, i as u64 + 1);
+            let b = fill(sb, i as u64 + 101);
+            let bt_b = fill([sb[1], sb[0]], i as u64 + 201);
+            for t in [1, 2, 4] {
+                let got = matmul_impl(&a, &b, false, Threads::new(t));
+                assert_bits_eq(&got, &matmul_reference(&a, &b, false));
+                let got_t = matmul_impl(&a, &bt_b, true, Threads::new(t));
+                assert_bits_eq(&got_t, &matmul_reference(&a, &bt_b, true));
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_values_propagate_identically() {
+        let mut a = fill([40, 40], 7);
+        let mut b = fill([40, 40], 8);
+        a.data_mut()[3] = 0.0;
+        b.data_mut()[3 * 40 + 5] = f64::INFINITY;
+        a.data_mut()[41] = f64::NAN;
+        b.data_mut()[100] = f64::NEG_INFINITY;
+        for t in [1, 2, 4] {
+            let got = matmul_impl(&a, &b, false, Threads::new(t));
+            let want = matmul_reference(&a, &b, false);
+            for (x, y) in got.data().iter().zip(want.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bands_are_bit_identical_across_thread_counts() {
+        let a = fill([300, 64], 42);
+        let b = fill([64, 96], 43);
+        let base = matmul_impl(&a, &b, false, Threads::single());
+        for t in [2, 3, 4, 8] {
+            assert_bits_eq(&matmul_impl(&a, &b, false, Threads::new(t)), &base);
+        }
+    }
+}

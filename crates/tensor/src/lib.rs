@@ -33,6 +33,7 @@
 pub mod checkpoint;
 pub mod gradcheck;
 pub mod init;
+pub mod kernels;
 pub mod optim;
 pub mod params;
 pub mod serialize;

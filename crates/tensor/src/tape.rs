@@ -149,12 +149,20 @@ impl Grads {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    threads: mb_par::Threads,
 }
 
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape::default()
+    }
+
+    /// An empty tape whose matmul-shaped ops (forward and backward)
+    /// split output rows across `threads` workers. Bit-identical to a
+    /// single-threaded tape for any worker count (DESIGN.md §11).
+    pub fn with_threads(threads: mb_par::Threads) -> Self {
+        Tape { nodes: Vec::new(), threads }
     }
 
     /// Number of recorded nodes.
@@ -222,13 +230,13 @@ impl Tape {
 
     /// Matrix product `a @ b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.val(a).matmul(self.val(b));
+        let value = self.val(a).matmul_with(self.val(b), self.threads);
         self.push(value, Op::Matmul(a, b))
     }
 
     /// Matrix product `a @ bᵀ`.
     pub fn matmul_t(&mut self, a: Var, b: Var) -> Var {
-        let value = self.val(a).matmul_t(self.val(b));
+        let value = self.val(a).matmul_t_with(self.val(b), self.threads);
         self.push(value, Op::MatmulT(a, b))
     }
 
@@ -248,7 +256,7 @@ impl Tape {
             wv.shape(),
             bv.shape()
         );
-        let mut y = xv.matmul(wv);
+        let mut y = xv.matmul_with(wv, self.threads);
         let o = bv.shape()[0];
         for i in 0..y.rows() {
             for (yj, bj) in y.row_mut(i).iter_mut().zip(&bv.data()[..o]) {
@@ -530,21 +538,21 @@ impl Tape {
             }
             Op::Matmul(a, b) => {
                 // y = a @ b  =>  ga = g @ bᵀ, gb = aᵀ @ g
-                let ga = g.matmul_t(self.val(*b));
-                let gb = self.val(*a).transpose().matmul(g);
+                let ga = g.matmul_t_with(self.val(*b), self.threads);
+                let gb = self.val(*a).transpose().matmul_with(g, self.threads);
                 self.accum(grads, *a, ga);
                 self.accum(grads, *b, gb);
             }
             Op::MatmulT(a, b) => {
                 // y = a @ bᵀ  =>  ga = g @ b, gb = gᵀ @ a
-                let ga = g.matmul(self.val(*b));
-                let gb = g.transpose().matmul(self.val(*a));
+                let ga = g.matmul_with(self.val(*b), self.threads);
+                let gb = g.transpose().matmul_with(self.val(*a), self.threads);
                 self.accum(grads, *a, ga);
                 self.accum(grads, *b, gb);
             }
             Op::Linear { x, w, b } => {
-                let gx = g.matmul_t(self.val(*w));
-                let gw = self.val(*x).transpose().matmul(g);
+                let gx = g.matmul_t_with(self.val(*w), self.threads);
+                let gw = self.val(*x).transpose().matmul_with(g, self.threads);
                 // gb = column sums of g.
                 let o = self.val(*b).numel();
                 let mut gb = vec![0.0; o];

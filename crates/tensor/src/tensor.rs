@@ -280,57 +280,39 @@ impl Tensor {
 
     /// Matrix product `self @ other` for rank-2 tensors.
     ///
-    /// A straightforward i-k-j loop ordering keeps the inner loop
-    /// sequential over both operands, which is the standard
-    /// cache-friendly form for row-major data.
+    /// Runs the cache-blocked register-tiled kernel
+    /// ([`crate::kernels`]) on one thread. Each output element is a
+    /// single ascending-k fold with separate multiply and add, so the
+    /// result is bit-identical to the textbook triple loop.
     ///
     /// # Panics
     /// Panics unless shapes are `[m, k] @ [k, n]`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 2, "matmul lhs rank {:?}", self.shape);
-        assert_eq!(other.rank(), 2, "matmul rhs rank {:?}", other.shape);
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul: {:?} @ {:?}", self.shape, other.shape);
-        let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(vec![m, n], out)
+        crate::kernels::matmul_impl(self, other, false, mb_par::Threads::single())
+    }
+
+    /// [`Tensor::matmul`] with output rows split across `threads`
+    /// workers — bit-identical to the single-threaded product for any
+    /// worker count (DESIGN.md §11).
+    pub fn matmul_with(&self, other: &Tensor, threads: mb_par::Threads) -> Tensor {
+        crate::kernels::matmul_impl(self, other, false, threads)
     }
 
     /// Matrix product `self @ other.T` for rank-2 tensors — the score
-    /// matrix `M · Eᵀ` of the bi-encoder, so it gets a dedicated kernel
-    /// (rows of both operands are contiguous; the inner loop is a dot
-    /// product).
+    /// matrix `M · Eᵀ` of the bi-encoder. Rides the same blocked kernel
+    /// as [`Tensor::matmul`]; the transposed layout is absorbed during
+    /// panel packing.
     ///
     /// # Panics
     /// Panics unless shapes are `[m, k] @ [n, k]ᵀ`.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 2, "matmul_t lhs rank {:?}", self.shape);
-        assert_eq!(other.rank(), 2, "matmul_t rhs rank {:?}", other.shape);
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (n, k2) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul_t: {:?} @ {:?}^T", self.shape, other.shape);
-        let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                out[i * n + j] = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
-            }
-        }
-        Tensor::from_vec(vec![m, n], out)
+        crate::kernels::matmul_impl(self, other, true, mb_par::Threads::single())
+    }
+
+    /// [`Tensor::matmul_t`] with output rows split across `threads`
+    /// workers — bit-identical for any worker count.
+    pub fn matmul_t_with(&self, other: &Tensor, threads: mb_par::Threads) -> Tensor {
+        crate::kernels::matmul_impl(self, other, true, threads)
     }
 
     /// Transpose of a rank-2 tensor.

@@ -33,6 +33,14 @@ run cargo run --release -p mb-bench --bin probe -- Lego
 # exhaustive sweep is #[ignore]d in the default (debug) suite and run
 # here in release.
 run cargo test --release -q -p mb-core --test resume -- --include-ignored
+# Kernel bench smoke: times the cache-blocked matmul against the naive
+# reference (and asserts bit-identity between them before timing);
+# writes target/experiments/BENCH_kernels.json.
+run cargo run --release -p mb-bench --bin bench_kernels
+# Thread-count determinism: linker outputs, meta weights, and trained
+# parameters must be bit-identical at 1/2/4 worker threads. Run in
+# release so the blocked (not fallback) kernels are what is pinned.
+run cargo test --release -q -p mb-core --test thread_determinism
 # Serve smoke: train a small model, serve it, and drive it with the
 # load generator — 100% 2xx under load, non-empty /metrics, and a
 # graceful shutdown that exits 0.

@@ -71,12 +71,12 @@ USAGE:
   metablink generate  --seed <u64> --scale <small|bench>
   metablink train     --seed <u64> --scale <small|bench> --domain <name>
                       --method <blink|dl4el|metablink> --source <seed|syn|syn+seed|syn*+seed|...>
-                      --out <dir>
-  metablink evaluate  --model <dir> [--limit <n>]
+                      --out <dir> [--threads <n>]
+  metablink evaluate  --model <dir> [--limit <n>] [--threads <n>]
   metablink link      --model <dir> --surface <text> [--left <text>] [--right <text>] [--k <n>]
   metablink serve     --model <dir> [--addr <host:port>] [--addr-file <path>]
                       [--max-batch <n>] [--max-delay-us <n>] [--queue-capacity <n>]
-                      [--cache-capacity <n>] [--workers <n>]
+                      [--cache-capacity <n>] [--workers <n>] [--threads <n>]
   metablink lint      [--root <dir>] [--baseline <file>] [--json] [--update-baseline]
 
 serve runs an HTTP server over the trained model: POST /link answers
@@ -88,7 +88,12 @@ writes the bound address for scripts to discover it.
 
 lint runs the in-repo static-analysis pass (panic-freedom,
 determinism, lock discipline, unsafe gate) over the workspace's own
-sources; `metablink lint --help` lists its flags.";
+sources; `metablink lint --help` lists its flags.
+
+train, evaluate and serve accept --threads <n> (default: the
+MB_THREADS environment variable, else 1) to fan work out over worker
+threads. Results are bit-identical for every thread count: all
+parallel paths partition by data, never by worker count.";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut map = HashMap::new();
@@ -107,6 +112,25 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn flag<'a>(opts: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
     opts.get(key).map(String::as_str).unwrap_or(default)
+}
+
+/// Worker-thread count: `--threads` flag, else the `MB_THREADS`
+/// environment variable, else 1. This is the *only* place the process
+/// environment feeds a thread count — libraries take an explicit
+/// [`metablink::par::Threads`] and never read ambient state, so any
+/// value here changes throughput but never results.
+fn threads_flag(opts: &HashMap<String, String>) -> Result<metablink::par::Threads, String> {
+    let n: usize = match opts.get("threads") {
+        Some(v) => v.parse().map_err(|e| format!("--threads: {e}"))?,
+        None => match std::env::var("MB_THREADS") {
+            Ok(v) => v.parse().map_err(|e| format!("MB_THREADS: {e}"))?,
+            Err(_) => 1,
+        },
+    };
+    if n == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok(metablink::par::Threads::new(n))
 }
 
 fn context(seed: u64, scale: &str) -> Result<ExperimentContext, String> {
@@ -213,8 +237,9 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!("{domain:?} is not a test domain ({:?})", ctx.test_domains()));
     }
     let task = ctx.task(&domain);
-    let cfg =
+    let mut cfg =
         if scale == "bench" { MetaBlinkConfig::default() } else { MetaBlinkConfig::fast_test() };
+    cfg.set_threads(threads_flag(opts)?);
     eprintln!("training {} on {} ({domain}) …", method.label(), source.label());
     let model = train(&task, method, source, &cfg);
     let metrics = model.evaluate(&task, &ctx.dataset.split(&domain).test);
@@ -257,6 +282,7 @@ fn load_model(dir: &Path) -> Result<(ExperimentContext, String, BiEncoder, Cross
 fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
     let dir = PathBuf::from(flag(opts, "model", "metablink_model"));
     let limit: usize = flag(opts, "limit", "0").parse().map_err(|e| format!("--limit: {e}"))?;
+    let threads = threads_flag(opts)?;
     let (ctx, domain, bi, cross) = load_model(&dir)?;
     let world = ctx.dataset.world();
     let dom = world.domain_checked(&domain).map_err(|e| e.to_string())?;
@@ -266,11 +292,11 @@ fn cmd_evaluate(opts: &HashMap<String, String>) -> Result<(), String> {
         &ctx.vocab,
         world.kb(),
         world.kb().domain_entities(dom.id),
-        LinkerConfig::default(),
+        LinkerConfig { threads, ..LinkerConfig::default() },
     );
     let test = &ctx.dataset.split(&domain).test;
     let test = if limit > 0 && limit < test.len() { &test[..limit] } else { test };
-    let m = linker.evaluate(test);
+    let m = linker.evaluate_parallel(test, threads).map_err(|e| e.to_string())?;
     println!(
         "{domain}: {} mentions  R@64 {:.2}%  N.Acc {:.2}%  U.Acc {:.2}%",
         m.count, m.recall_at_k, m.normalized_acc, m.unnormalized_acc
@@ -312,11 +338,14 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let manifest = Manifest::load(&dir)?;
     let ctx = context(manifest.seed, &manifest.scale)?;
-    let train_cfg = if manifest.scale == "bench" {
+    let mut train_cfg = if manifest.scale == "bench" {
         MetaBlinkConfig::default()
     } else {
         MetaBlinkConfig::fast_test()
     };
+    // Intra-batch parallelism for the linker the server wraps; the
+    // server's own `--workers` knob controls batch-level concurrency.
+    train_cfg.linker.threads = threads_flag(opts)?;
     let ck = load_checkpoint(&dir)?;
     let world = ctx.dataset.world();
     let dom = world.domain_checked(&manifest.domain).map_err(|e| e.to_string())?;
@@ -382,7 +411,7 @@ fn cmd_link(opts: &HashMap<String, String>) -> Result<(), String> {
     let set = linker.candidate_set(&mention, &retrieved);
     let scores = cross.score(&set);
     let mut ranked: Vec<(usize, f64)> = scores.iter().copied().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top candidates in {domain}:");
     for (rank, (idx, score)) in ranked.into_iter().take(k).enumerate() {
         let e = world.kb().entity(retrieved[idx].0);

@@ -27,6 +27,7 @@ pub use mb_eval as eval;
 pub use mb_kb as kb;
 pub use mb_lint as lint;
 pub use mb_nlg as nlg;
+pub use mb_par as par;
 pub use mb_serve as serve;
 pub use mb_tensor as tensor;
 pub use mb_text as text;
