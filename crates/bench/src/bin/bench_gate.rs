@@ -1,0 +1,165 @@
+//! Bench-regression gate CLI: compare fresh bench JSON reports against
+//! the committed `bench-baseline.json` and exit non-zero when any
+//! metric regressed beyond the baseline's threshold.
+//!
+//! ```text
+//! bench_gate --baseline bench-baseline.json \
+//!            --current target/experiments/BENCH_kernels.json \
+//!            --current target/experiments/BENCH_inference.json
+//! bench_gate --update ...   # refresh the baseline from the reports
+//! ```
+//!
+//! Metrics present on only one side print a warning but do not fail,
+//! so adding or retiring a benchmark never bricks CI; refresh the
+//! pinned medians with `--update` when that happens (or after an
+//! intentional perf change).
+
+use mb_bench::gate::{self, Verdict};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut baseline_path = "bench-baseline.json".to_string();
+    let mut current_paths: Vec<String> = Vec::new();
+    let mut update = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = p,
+                None => return usage("--baseline needs a path"),
+            },
+            "--current" => match args.next() {
+                Some(p) => current_paths.push(p),
+                None => return usage("--current needs a path"),
+            },
+            "--update" => update = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if current_paths.is_empty() {
+        current_paths = vec![
+            "target/experiments/BENCH_kernels.json".to_string(),
+            "target/experiments/BENCH_inference.json".to_string(),
+        ];
+    }
+
+    let mut current: BTreeMap<String, f64> = BTreeMap::new();
+    for path in &current_paths {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!("bench_gate: cannot read {path}: {e}");
+                eprintln!("bench_gate: run the bench bins first (see scripts/bench_gate.sh)");
+                return ExitCode::FAILURE;
+            }
+        };
+        match gate::parse_bench_medians(&bytes) {
+            Ok(medians) => current.extend(medians),
+            Err(e) => {
+                eprintln!("bench_gate: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if update {
+        let threshold = match std::fs::read(&baseline_path) {
+            Ok(bytes) => match gate::parse_baseline(&bytes) {
+                Ok(base) => base.threshold,
+                Err(_) => 1.25,
+            },
+            Err(_) => 1.25,
+        };
+        let rendered = gate::render_baseline(threshold, &current);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("bench_gate: cannot write {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench_gate: wrote {} metrics to {baseline_path}", current.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read(&baseline_path) {
+        Ok(bytes) => match gate::parse_baseline(&bytes) {
+            Ok(base) => base,
+            Err(e) => {
+                eprintln!("bench_gate: {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let checks = gate::evaluate(&baseline, &current);
+    let mut regressed = 0usize;
+    for c in &checks {
+        match c.verdict {
+            Verdict::Ok => {
+                if let (Some(ratio), Some(b)) = (c.ratio(), c.baseline_ns) {
+                    println!(
+                        "  ok        {:<44} {:>12.1} ns vs {:>12.1} ns  ({:+.1}%)",
+                        c.name,
+                        c.current_ns.unwrap_or(0.0),
+                        b,
+                        (ratio - 1.0) * 100.0
+                    );
+                }
+            }
+            Verdict::Regressed => {
+                regressed += 1;
+                println!(
+                    "  REGRESSED {:<44} {:>12.1} ns vs {:>12.1} ns  ({:+.1}% > +{:.0}%)",
+                    c.name,
+                    c.current_ns.unwrap_or(0.0),
+                    c.baseline_ns.unwrap_or(0.0),
+                    (c.ratio().unwrap_or(1.0) - 1.0) * 100.0,
+                    (baseline.threshold - 1.0) * 100.0
+                );
+            }
+            Verdict::MissingCurrent => {
+                println!("  warning   {:<44} in baseline but not measured this run", c.name);
+            }
+            Verdict::MissingBaseline => {
+                println!(
+                    "  warning   {:<44} measured but not in baseline (bench_gate --update)",
+                    c.name
+                );
+            }
+        }
+    }
+    if regressed > 0 {
+        eprintln!(
+            "bench_gate: {regressed} metric(s) regressed beyond +{:.0}% vs {baseline_path}",
+            (baseline.threshold - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_gate: {} metric(s) within +{:.0}% of {baseline_path}",
+        checks.iter().filter(|c| c.verdict == Verdict::Ok).count(),
+        (baseline.threshold - 1.0) * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("bench_gate: {err}");
+    }
+    eprintln!(
+        "usage: bench_gate [--baseline PATH] [--current PATH]... [--update]\n\
+         defaults: --baseline bench-baseline.json \
+         --current target/experiments/BENCH_kernels.json \
+         --current target/experiments/BENCH_inference.json"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,231 @@
+//! Serving-path inference benchmark: the tape forward (which clones
+//! every parameter tensor per batch via `Params::inject`) against the
+//! tape-free frozen forward and its f16/int8 quantized variants, at the
+//! serving batch size. Verifies frozen/tape bit-identity before timing,
+//! measures the embedding-table memory shrink, and computes quantized
+//! top-1 agreement on a trained tiny-world eval set. Writes
+//! `target/experiments/BENCH_inference.{txt,json}`; the JSON carries a
+//! `summary` object with the acceptance metrics, and the medians feed
+//! the bench-regression CI gate (`scripts/bench_gate.sh`).
+
+use mb_bench::harness::Harness;
+use mb_common::Rng;
+use mb_core::linker::{LinkerConfig, TwoStageLinker};
+use mb_datagen::mentions::generate_mentions;
+use mb_datagen::{World, WorldConfig};
+use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
+use mb_encoders::crossencoder::{CandidateSet, CrossEncoder, CrossEncoderConfig};
+use mb_encoders::input::{
+    build_vocab, entity_bag, mention_bag, surface_bag, title_bag, InputConfig, TrainPair,
+};
+use mb_encoders::train::{train_biencoder, train_crossencoder, TrainConfig};
+use mb_tensor::QuantMode;
+use std::hint::black_box;
+
+/// The serving batch size the acceptance criterion is pinned at.
+const BATCH: usize = 8;
+/// Candidates per mention in the re-ranking benches.
+const K: usize = 16;
+
+fn main() {
+    // --- Throughput: production-scale vocabulary (32k tokens,
+    // BERT-sized), untrained weights (timings do not depend on
+    // training). The padded vocab makes the embedding tables the bulk
+    // of what each tape forward clones, as in a real deployment.
+    let world = World::generate(WorldConfig::tiny(17));
+    let filler: Vec<String> = (0..32768).map(|i| format!("tok{i}")).collect();
+    let extra = filler.join(" ");
+    let vocab = build_vocab(world.kb(), [extra.as_str()], 1);
+    let domain = world.domain("TargetX").clone();
+    let mut rng = Rng::seed_from_u64(7);
+    let mentions = generate_mentions(&world, &domain, 64, &mut rng).mentions;
+    let bi = BiEncoder::new(
+        &vocab,
+        BiEncoderConfig { emb_dim: 64, hidden: 64, out_dim: 64, ..Default::default() },
+        &mut Rng::seed_from_u64(1),
+    );
+    let cross = CrossEncoder::new(
+        &vocab,
+        CrossEncoderConfig { emb_dim: 64, hidden: 64, ..Default::default() },
+        &mut Rng::seed_from_u64(2),
+    );
+    let icfg = InputConfig::default();
+    let bags: Vec<Vec<u32>> =
+        mentions.iter().take(BATCH).map(|m| mention_bag(&vocab, &icfg, m)).collect();
+    let dict = world.kb().domain_entities(domain.id);
+    let sets: Vec<CandidateSet> = mentions
+        .iter()
+        .take(BATCH)
+        .enumerate()
+        .map(|(i, m)| {
+            let pair = TrainPair {
+                mention: mention_bag(&vocab, &icfg, m),
+                surface: surface_bag(&vocab, m),
+                entity: Vec::new(),
+                title: Vec::new(),
+                gold: m.entity,
+            };
+            let mut r = Rng::seed_from_u64(100 + i as u64);
+            let cands: Vec<(Vec<u32>, Vec<u32>)> = (0..K)
+                .map(|_| {
+                    let e = world.kb().entity(*r.choose(dict));
+                    (entity_bag(&vocab, &icfg, e), title_bag(&vocab, e))
+                })
+                .collect();
+            CandidateSet::new(&pair, cands, Some(0))
+        })
+        .collect();
+
+    let frozen_bi = bi.freeze(QuantMode::Exact);
+    let frozen_cross = cross.freeze(QuantMode::Exact);
+    let f16_bi = bi.freeze(QuantMode::F16);
+    let i8_bi = bi.freeze(QuantMode::Int8);
+
+    // The frozen forward must be *bit-identical* to the tape forward —
+    // check before timing, like bench_kernels does.
+    let want = bi.embed_mentions_batch(&bags);
+    let got = frozen_bi.embed_mentions_batch(&bags);
+    assert_eq!(want.data(), got.data(), "frozen bi-encoder diverged from the tape forward");
+    let want_scores = cross.score_batch(&sets);
+    let got_scores = frozen_cross.score_batch(&sets);
+    assert_eq!(want_scores, got_scores, "frozen cross-encoder diverged from the tape forward");
+
+    let mut h = Harness::new();
+    h.bench_units(&format!("inference/embed/tape/batch{BATCH}"), BATCH as f64, "mention", || {
+        black_box(bi.embed_mentions_batch(black_box(&bags)));
+    });
+    h.bench_units(&format!("inference/embed/frozen/batch{BATCH}"), BATCH as f64, "mention", || {
+        black_box(frozen_bi.embed_mentions_batch(black_box(&bags)));
+    });
+    h.bench_units(&format!("inference/embed/f16/batch{BATCH}"), BATCH as f64, "mention", || {
+        black_box(f16_bi.embed_mentions_batch(black_box(&bags)));
+    });
+    h.bench_units(&format!("inference/embed/int8/batch{BATCH}"), BATCH as f64, "mention", || {
+        black_box(i8_bi.embed_mentions_batch(black_box(&bags)));
+    });
+    h.bench_units(&format!("inference/rerank/tape/batch{BATCH}"), BATCH as f64, "set", || {
+        black_box(cross.score_batch(black_box(&sets)));
+    });
+    h.bench_units(&format!("inference/rerank/frozen/batch{BATCH}"), BATCH as f64, "set", || {
+        black_box(frozen_cross.score_batch(black_box(&sets)));
+    });
+
+    let median = |name: &str| {
+        h.results()
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.median_ns)
+            .unwrap_or_else(|| panic!("no measurement named {name}"))
+    };
+    let embed_speedup = median(&format!("inference/embed/tape/batch{BATCH}"))
+        / median(&format!("inference/embed/frozen/batch{BATCH}"));
+    let rerank_speedup = median(&format!("inference/rerank/tape/batch{BATCH}"))
+        / median(&format!("inference/rerank/frozen/batch{BATCH}"));
+    let forward_speedup = (median(&format!("inference/embed/tape/batch{BATCH}"))
+        + median(&format!("inference/rerank/tape/batch{BATCH}")))
+        / (median(&format!("inference/embed/frozen/batch{BATCH}"))
+            + median(&format!("inference/rerank/frozen/batch{BATCH}")));
+
+    // Embedding-table residency across modes (bi + cross tables; the
+    // tables dominate model size at production vocab scale).
+    let bytes_f64 = frozen_bi.table_bytes() + frozen_cross.table_bytes();
+    let bytes_f16 = f16_bi.table_bytes() + cross.freeze(QuantMode::F16).table_bytes();
+    let bytes_i8 = i8_bi.table_bytes() + cross.freeze(QuantMode::Int8).table_bytes();
+
+    // --- Quantized top-1 agreement on a *trained* model: near-tie
+    // decisions only mean something once the scores carry signal.
+    let (agree_f16, agree_i8, n_eval) = quantized_agreement();
+
+    let summary = format!(
+        "{{\"batch\":{BATCH},\"k\":{K},\
+         \"embed_speedup\":{embed_speedup:.2},\
+         \"rerank_speedup\":{rerank_speedup:.2},\
+         \"forward_speedup\":{forward_speedup:.2},\
+         \"table_bytes_f64\":{bytes_f64},\
+         \"table_bytes_f16\":{bytes_f16},\
+         \"table_bytes_int8\":{bytes_i8},\
+         \"memory_shrink_f16\":{:.2},\
+         \"memory_shrink_int8\":{:.2},\
+         \"top1_agreement_f16\":{agree_f16:.2},\
+         \"top1_agreement_int8\":{agree_i8:.2},\
+         \"agreement_eval_mentions\":{n_eval}}}",
+        bytes_f64 as f64 / bytes_f16 as f64,
+        bytes_f64 as f64 / bytes_i8 as f64,
+    );
+    h.report_with_summary(
+        "Serving-path inference: tape vs tape-free vs quantized",
+        "BENCH_inference",
+        &summary,
+    );
+
+    println!("\nacceptance metrics (batch {BATCH}):");
+    println!("  forward speedup (tape / frozen):   {forward_speedup:.2}x");
+    println!("    embed stage:                     {embed_speedup:.2}x");
+    println!("    rerank stage:                    {rerank_speedup:.2}x");
+    println!(
+        "  table memory: f64 {bytes_f64} B, f16 {bytes_f16} B ({:.2}x), int8 {bytes_i8} B ({:.2}x)",
+        bytes_f64 as f64 / bytes_f16 as f64,
+        bytes_f64 as f64 / bytes_i8 as f64,
+    );
+    println!("  top-1 agreement over {n_eval} mentions: f16 {agree_f16:.2}%, int8 {agree_i8:.2}%");
+}
+
+/// Train the tiny-world fixture (the same recipe as mb-core's linker
+/// tests) and measure how often the quantized linkers reproduce the
+/// exact linker's top-1 prediction on held-out mentions.
+fn quantized_agreement() -> (f64, f64, usize) {
+    let world = World::generate(WorldConfig::tiny(43));
+    let vocab = build_vocab(world.kb(), [], 1);
+    let domain = world.domain("TargetX").clone();
+    let mut rng = Rng::seed_from_u64(8);
+    let ms = generate_mentions(&world, &domain, 520, &mut rng);
+    let (train, test) = ms.mentions.split_at(150);
+    let icfg = InputConfig::default();
+    let pairs: Vec<TrainPair> =
+        train.iter().map(|m| TrainPair::from_mention(&vocab, &icfg, world.kb(), m)).collect();
+    let mut bi = BiEncoder::new(
+        &vocab,
+        BiEncoderConfig { emb_dim: 16, hidden: 16, out_dim: 16, ..Default::default() },
+        &mut Rng::seed_from_u64(1),
+    );
+    train_biencoder(
+        &mut bi,
+        &pairs,
+        &TrainConfig { epochs: 10, batch_size: 24, lr: 0.01, seed: 2 },
+    );
+    let mut cross = CrossEncoder::new(
+        &vocab,
+        CrossEncoderConfig { emb_dim: 16, hidden: 16, ..Default::default() },
+        &mut Rng::seed_from_u64(3),
+    );
+    let dict = world.kb().domain_entities(domain.id);
+    let base = LinkerConfig { k: 16, input: icfg, ..LinkerConfig::default() };
+    {
+        let linker = TwoStageLinker::new(&bi, &cross, &vocab, world.kb(), dict, base);
+        let sets: Vec<CandidateSet> = train
+            .iter()
+            .filter_map(|m| {
+                let retrieved = linker.candidates(m);
+                let set = linker.candidate_set(m, &retrieved);
+                set.gold_index.map(|_| set)
+            })
+            .collect();
+        let mut c2 = cross.clone();
+        train_crossencoder(
+            &mut c2,
+            &sets,
+            &TrainConfig { epochs: 4, batch_size: 1, lr: 0.01, seed: 4 },
+        );
+        cross = c2;
+    }
+    let exact = TwoStageLinker::new(&bi, &cross, &vocab, world.kb(), dict, base);
+    let want: Vec<_> = exact.link_batch(test).into_iter().map(|r| r.predicted).collect();
+    let agreement = |quant: QuantMode| -> f64 {
+        let cfg = LinkerConfig { quant, ..base };
+        let linker = TwoStageLinker::new(&bi, &cross, &vocab, world.kb(), dict, cfg);
+        let got: Vec<_> = linker.link_batch(test).into_iter().map(|r| r.predicted).collect();
+        let agree = want.iter().zip(&got).filter(|(a, b)| a == b).count();
+        100.0 * agree as f64 / want.len().max(1) as f64
+    };
+    (agreement(QuantMode::F16), agreement(QuantMode::Int8), test.len())
+}

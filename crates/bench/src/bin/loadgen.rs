@@ -368,15 +368,15 @@ fn bench_model() -> (ServeModel, Vec<LinkedMention>) {
         CrossEncoderConfig { emb_dim: 64, hidden: 64, ..Default::default() },
         &mut Rng::seed_from_u64(2),
     );
-    let model = ServeModel {
-        dictionary: world.kb().domain_entities(domain.id).to_vec(),
-        kb: world.kb().clone(),
+    let model = ServeModel::new(
         vocab,
+        world.kb().clone(),
+        world.kb().domain_entities(domain.id).to_vec(),
         bi,
         cross,
-        linker: LinkerConfig { k: 16, ..LinkerConfig::default() },
-        domain: domain.name,
-    };
+        LinkerConfig { k: 16, ..LinkerConfig::default() },
+        domain.name,
+    );
     (model, mentions)
 }
 

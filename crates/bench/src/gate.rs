@@ -1,0 +1,228 @@
+//! Bench-regression gate: compare fresh bench medians against a
+//! committed baseline and fail on slowdowns beyond a threshold.
+//!
+//! The baseline (`bench-baseline.json` at the repo root) pins the
+//! median nanoseconds of the gated benchmarks plus the allowed
+//! regression ratio. `scripts/bench_gate.sh` reruns the bench bins and
+//! feeds their `target/experiments/*.json` output through
+//! [`evaluate`]; any metric slower than `baseline × threshold` fails
+//! the CI stage. Metrics present on only one side warn instead of
+//! failing, so adding or retiring a benchmark does not brick CI — the
+//! baseline is then refreshed with `bench_gate --update`.
+
+use mb_serve::json::{self, Json};
+use std::collections::BTreeMap;
+
+/// A parsed baseline: allowed ratio plus `name → median_ns`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Fail when `current > baseline × threshold` (1.25 = +25%).
+    pub threshold: f64,
+    /// Pinned medians, keyed by benchmark name.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Outcome of checking one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within the allowed ratio.
+    Ok,
+    /// Slower than `baseline × threshold`.
+    Regressed,
+    /// In the baseline but absent from the fresh run (warn only).
+    MissingCurrent,
+    /// Measured fresh but not pinned yet (warn only).
+    MissingBaseline,
+}
+
+/// One gated metric with both sides and its verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Benchmark name.
+    pub name: String,
+    /// Pinned median (ns), when present.
+    pub baseline_ns: Option<f64>,
+    /// Fresh median (ns), when present.
+    pub current_ns: Option<f64>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl Check {
+    /// `current / baseline` when both sides exist.
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.current_ns, self.baseline_ns) {
+            (Some(c), Some(b)) if b > 0.0 => Some(c / b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a committed `bench-baseline.json` document.
+///
+/// # Errors
+/// A human-readable message when the document is not the expected
+/// `{"kind":"bench-baseline","threshold":…,"metrics":{…}}` shape.
+pub fn parse_baseline(bytes: &[u8]) -> Result<Baseline, String> {
+    let doc = json::parse(bytes)?;
+    if doc.get("kind").and_then(Json::as_str) != Some("bench-baseline") {
+        return Err("baseline must have \"kind\":\"bench-baseline\"".to_string());
+    }
+    let threshold =
+        doc.get("threshold").and_then(Json::as_f64).ok_or("missing numeric \"threshold\"")?;
+    if threshold.is_nan() || threshold <= 1.0 {
+        return Err(format!("threshold must be > 1.0, got {threshold}"));
+    }
+    let Some(Json::Obj(map)) = doc.get("metrics") else {
+        return Err("missing object \"metrics\"".to_string());
+    };
+    let mut metrics = BTreeMap::new();
+    for (name, v) in map {
+        let ns = v.as_f64().ok_or_else(|| format!("metric {name:?} must be a number"))?;
+        metrics.insert(name.clone(), ns);
+    }
+    Ok(Baseline { threshold, metrics })
+}
+
+/// Extract `name → median_ns` from one bench JSON report
+/// (`{"kind":"bench","results":[{"name":…,"median_ns":…},…]}`, as
+/// written by [`crate::harness::Harness::report`]).
+///
+/// # Errors
+/// A human-readable message on malformed documents.
+pub fn parse_bench_medians(bytes: &[u8]) -> Result<BTreeMap<String, f64>, String> {
+    let doc = json::parse(bytes)?;
+    if doc.get("kind").and_then(Json::as_str) != Some("bench") {
+        return Err("bench report must have \"kind\":\"bench\"".to_string());
+    }
+    let Some(Json::Arr(results)) = doc.get("results") else {
+        return Err("missing array \"results\"".to_string());
+    };
+    let mut medians = BTreeMap::new();
+    for entry in results {
+        let name = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("result entry missing string \"name\"")?;
+        let median = entry
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("result {name:?} missing numeric \"median_ns\""))?;
+        medians.insert(name.to_string(), median);
+    }
+    Ok(medians)
+}
+
+/// Check every metric on either side, in name order.
+pub fn evaluate(baseline: &Baseline, current: &BTreeMap<String, f64>) -> Vec<Check> {
+    let mut names: Vec<&String> = baseline.metrics.keys().chain(current.keys()).collect();
+    names.sort();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| {
+            let baseline_ns = baseline.metrics.get(name).copied();
+            let current_ns = current.get(name).copied();
+            let verdict = match (baseline_ns, current_ns) {
+                (Some(b), Some(c)) if c > b * baseline.threshold => Verdict::Regressed,
+                (Some(_), Some(_)) => Verdict::Ok,
+                (Some(_), None) => Verdict::MissingCurrent,
+                (None, _) => Verdict::MissingBaseline,
+            };
+            Check { name: name.clone(), baseline_ns, current_ns, verdict }
+        })
+        .collect()
+}
+
+/// True when no check regressed (missing metrics only warn).
+pub fn passes(checks: &[Check]) -> bool {
+    checks.iter().all(|c| c.verdict != Verdict::Regressed)
+}
+
+/// Render a baseline document (for `bench_gate --update`); metrics are
+/// emitted in name order so refreshes diff cleanly.
+pub fn render_baseline(threshold: f64, metrics: &BTreeMap<String, f64>) -> String {
+    let entries: Vec<String> =
+        metrics.iter().map(|(name, ns)| format!("    {}: {ns:.1}", json::escape(name))).collect();
+    format!(
+        "{{\n  \"kind\": \"bench-baseline\",\n  \"threshold\": {threshold},\n  \"metrics\": {{\n{}\n  }}\n}}\n",
+        entries.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Baseline {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("matmul/blocked/64".to_string(), 1000.0);
+        metrics.insert("inference/embed/frozen/batch8".to_string(), 2000.0);
+        Baseline { threshold: 1.25, metrics }
+    }
+
+    #[test]
+    fn seeded_30_percent_slowdown_fails() {
+        let base = baseline();
+        let mut current = base.metrics.clone();
+        // Seed a 1.3× slowdown on one metric: past the 25% budget.
+        current.insert("matmul/blocked/64".to_string(), 1300.0);
+        let checks = evaluate(&base, &current);
+        assert!(!passes(&checks));
+        let bad = checks.iter().find(|c| c.name == "matmul/blocked/64").expect("checked");
+        assert_eq!(bad.verdict, Verdict::Regressed);
+        assert!((bad.ratio().expect("both sides") - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_within_budget_passes() {
+        let base = baseline();
+        let mut current = base.metrics.clone();
+        current.insert("matmul/blocked/64".to_string(), 1200.0); // +20% < +25%
+        current.insert("inference/embed/frozen/batch8".to_string(), 400.0); // speedups fine
+        assert!(passes(&evaluate(&base, &current)));
+    }
+
+    #[test]
+    fn missing_metrics_warn_but_do_not_fail() {
+        let base = baseline();
+        let mut current = BTreeMap::new();
+        current.insert("matmul/blocked/64".to_string(), 1000.0);
+        current.insert("brand/new/bench".to_string(), 5.0);
+        let checks = evaluate(&base, &current);
+        assert!(passes(&checks));
+        let by_name = |n: &str| checks.iter().find(|c| c.name == n).expect("present").clone();
+        assert_eq!(by_name("inference/embed/frozen/batch8").verdict, Verdict::MissingCurrent);
+        assert_eq!(by_name("brand/new/bench").verdict, Verdict::MissingBaseline);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render_and_parse() {
+        let base = baseline();
+        let rendered = render_baseline(base.threshold, &base.metrics);
+        let parsed = parse_baseline(rendered.as_bytes()).expect("valid document");
+        assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(parse_baseline(b"{}").is_err());
+        assert!(parse_baseline(b"{\"kind\":\"bench-baseline\",\"threshold\":0.5,\"metrics\":{}}")
+            .is_err());
+        assert!(parse_bench_medians(b"{\"kind\":\"table\"}").is_err());
+        assert!(parse_bench_medians(b"not json").is_err());
+    }
+
+    #[test]
+    fn bench_report_medians_parse() {
+        let doc = br#"{"kind":"bench","file":"BENCH_x","results":[
+            {"name":"a/b","iters_per_sample":3,"samples":5,"median_ns":12.5,
+             "p95_ns":14.0,"mean_ns":13.0,"stddev_ns":0.5,"min_ns":12.0,"max_ns":15.0},
+            {"name":"c/d","iters_per_sample":1,"samples":5,"median_ns":7.0,
+             "p95_ns":9.0,"mean_ns":8.0,"stddev_ns":1.0,"min_ns":6.0,"max_ns":10.0}]}"#;
+        let medians = parse_bench_medians(doc).expect("well-formed");
+        assert_eq!(medians.len(), 2);
+        assert_eq!(medians["a/b"], 12.5);
+        assert_eq!(medians["c/d"], 7.0);
+    }
+}

@@ -176,9 +176,26 @@ impl Harness {
         &self.results
     }
 
+    /// [`Harness::report`] with an extra pre-rendered JSON value
+    /// attached under a top-level `"summary"` key — for benches whose
+    /// acceptance metric is a derived quantity (a speedup ratio, a
+    /// memory shrink) rather than a single measurement.
+    pub fn report_with_summary(&self, title: &str, name: &str, summary: &str) {
+        self.emit_table_to(title, name);
+        let mut json = self.to_json(name);
+        json.pop(); // strip the closing '}' to splice the summary in
+        json.push_str(&format!(",\"summary\":{summary}}}"));
+        write_json(name, &json);
+    }
+
     /// Print the summary table and write `<name>.txt` + `<name>.json`
     /// under `target/experiments/`.
     pub fn report(&self, title: &str, name: &str) {
+        self.emit_table_to(title, name);
+        write_json(name, &self.to_json(name));
+    }
+
+    fn emit_table_to(&self, title: &str, name: &str) {
         let mut t = Table::new(
             title,
             &["Benchmark", "Median", "p95", "Mean", "Stddev", "Iters/sample", "Throughput"],
@@ -200,7 +217,6 @@ impl Harness {
         }
         t.note(&format!("{} samples per benchmark; times are per iteration", self.cfg.samples));
         t.emit(name);
-        write_json(name, &self.to_json(name));
     }
 
     fn to_json(&self, name: &str) -> String {

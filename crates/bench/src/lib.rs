@@ -9,6 +9,7 @@
 //! This library crate holds the shared configuration so every harness
 //! measures the same models at the same scale.
 
+pub mod gate;
 pub mod harness;
 
 use mb_core::pipeline::MetaBlinkConfig;

@@ -12,11 +12,14 @@ use mb_common::LruCache;
 use mb_datagen::LinkedMention;
 use mb_encoders::biencoder::BiEncoder;
 use mb_encoders::crossencoder::{CandidateSet, CrossEncoder};
+use mb_encoders::frozen::{FrozenBiEncoder, FrozenCrossEncoder};
 use mb_encoders::input::{entity_bag, mention_bag, surface_bag, title_bag, InputConfig, TrainPair};
-use mb_encoders::retrieval::DenseIndex;
+use mb_encoders::retrieval::{DenseIndex, QuantizedIndex};
 use mb_kb::{EntityId, KnowledgeBase};
+use mb_tensor::QuantMode;
 use mb_text::Vocab;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Linker-level configuration.
 #[derive(Debug, Clone, Copy)]
@@ -29,11 +32,21 @@ pub struct LinkerConfig {
     /// retrieval, re-ranking). Partitioning is by fixed chunk size, so
     /// outputs are bit-identical for every value.
     pub threads: mb_par::Threads,
+    /// Embedding-table storage for the frozen inference path.
+    /// [`QuantMode::Exact`] (the default) is bit-identical to the tape
+    /// forward; `F16`/`Int8` trade bounded score error for a smaller
+    /// resident model (see `mb_tensor::quant`).
+    pub quant: QuantMode,
 }
 
 impl Default for LinkerConfig {
     fn default() -> Self {
-        LinkerConfig { k: 64, input: InputConfig::default(), threads: mb_par::Threads::single() }
+        LinkerConfig {
+            k: 64,
+            input: InputConfig::default(),
+            threads: mb_par::Threads::single(),
+            quant: QuantMode::Exact,
+        }
     }
 }
 
@@ -80,12 +93,17 @@ pub struct TwoStageLinker<'a> {
     pub kb: &'a KnowledgeBase,
     /// Configuration.
     pub cfg: LinkerConfig,
-    index: DenseIndex,
+    index: Arc<DenseIndex>,
+    qindex: Option<Arc<QuantizedIndex>>,
+    frozen_bi: FrozenBiEncoder,
+    frozen_cross: FrozenCrossEncoder,
 }
 
 impl<'a> TwoStageLinker<'a> {
     /// Build the linker, embedding the candidate dictionary
-    /// (`entities`) with the bi-encoder.
+    /// (`entities`) with the bi-encoder. Freezes both encoders for the
+    /// tape-free inference path (under `cfg.quant` this also quantizes
+    /// the embedding tables and the index, once).
     pub fn new(
         bi: &'a BiEncoder,
         cross: &'a CrossEncoder,
@@ -94,8 +112,11 @@ impl<'a> TwoStageLinker<'a> {
         entities: &[EntityId],
         cfg: LinkerConfig,
     ) -> Self {
-        let index = DenseIndex::build(bi, vocab, &cfg.input, kb, entities);
-        TwoStageLinker { bi, cross, vocab, kb, cfg, index }
+        let index = Arc::new(DenseIndex::build(bi, vocab, &cfg.input, kb, entities));
+        let qindex = QuantizedIndex::from_dense(&index, cfg.quant).map(Arc::new);
+        let frozen_bi = bi.freeze(cfg.quant);
+        let frozen_cross = cross.freeze(cfg.quant);
+        TwoStageLinker { bi, cross, vocab, kb, cfg, index, qindex, frozen_bi, frozen_cross }
     }
 
     /// Assemble a linker around a **precomputed** entity index — the
@@ -115,6 +136,34 @@ impl<'a> TwoStageLinker<'a> {
         cfg: LinkerConfig,
         index: DenseIndex,
     ) -> mb_common::Result<Self> {
+        let frozen_bi = bi.freeze(cfg.quant);
+        let frozen_cross = cross.freeze(cfg.quant);
+        Self::with_frozen(bi, cross, vocab, kb, cfg, Arc::new(index), None, frozen_bi, frozen_cross)
+    }
+
+    /// Assemble a linker around **pre-frozen** shared state — the
+    /// per-worker serving constructor. Every argument that carries
+    /// model weight (`index`, `qindex`, `frozen_bi`, `frozen_cross`)
+    /// is an `Arc`-backed handle, so calling this per worker (or per
+    /// batch) shares one frozen model process-wide instead of cloning
+    /// parameters. When `cfg.quant` is not [`QuantMode::Exact`] and no
+    /// `qindex` is supplied, the index is quantized here (once per
+    /// call — pass a shared one to avoid that).
+    ///
+    /// # Errors
+    /// Same validation as [`TwoStageLinker::with_index`].
+    #[allow(clippy::too_many_arguments)] // the point is threading shared handles through
+    pub fn with_frozen(
+        bi: &'a BiEncoder,
+        cross: &'a CrossEncoder,
+        vocab: &'a Vocab,
+        kb: &'a KnowledgeBase,
+        cfg: LinkerConfig,
+        index: Arc<DenseIndex>,
+        qindex: Option<Arc<QuantizedIndex>>,
+        frozen_bi: FrozenBiEncoder,
+        frozen_cross: FrozenCrossEncoder,
+    ) -> mb_common::Result<Self> {
         if !index.is_empty() && index.dim() != bi.config().out_dim {
             return Err(mb_common::Error::shape(
                 "TwoStageLinker::with_index",
@@ -129,14 +178,24 @@ impl<'a> TwoStageLinker<'a> {
                 kb.len()
             )));
         }
-        Ok(TwoStageLinker { bi, cross, vocab, kb, cfg, index })
+        let qindex = qindex.or_else(|| QuantizedIndex::from_dense(&index, cfg.quant).map(Arc::new));
+        Ok(TwoStageLinker { bi, cross, vocab, kb, cfg, index, qindex, frozen_bi, frozen_cross })
     }
 
     /// Stage one: retrieve the top-k candidates for a mention.
     pub fn candidates(&self, mention: &LinkedMention) -> Vec<(EntityId, f64)> {
         let bag = mention_bag(self.vocab, &self.cfg.input, mention);
-        let q = self.bi.embed_mentions(vec![bag]);
-        self.index.top_k(q.row(0), self.cfg.k)
+        let q = self.frozen_bi.embed_mentions_batch(&[bag]);
+        self.retrieve(q.row(0))
+    }
+
+    /// Top-k against the quantized index when one is active, else the
+    /// exact index.
+    fn retrieve(&self, query: &[f64]) -> Vec<(EntityId, f64)> {
+        match &self.qindex {
+            Some(qi) => qi.top_k(query, self.cfg.k),
+            None => self.index.top_k(query, self.cfg.k),
+        }
     }
 
     /// Build a cross-encoder candidate set for a mention from retrieved
@@ -221,8 +280,8 @@ impl<'a> TwoStageLinker<'a> {
                 need.push(bag.clone());
             }
         }
-        let fresh =
-            (!need.is_empty()).then(|| self.bi.embed_mentions_batch_with(&need, self.cfg.threads));
+        let fresh = (!need.is_empty())
+            .then(|| self.frozen_bi.embed_mentions_batch_with(&need, self.cfg.threads));
         if let (Some(cache), Some(fresh)) = (cache, &fresh) {
             for (bag, &j) in &slot {
                 cache.put(bag.to_vec(), fresh.row(j).to_vec());
@@ -241,13 +300,13 @@ impl<'a> TwoStageLinker<'a> {
                         fresh.row(slot[bags[i].as_slice()])
                     }
                 };
-                let retrieved = self.index.top_k(q, self.cfg.k);
+                let retrieved = self.retrieve(q);
                 let set = self.candidate_set(&mentions[i], &retrieved);
                 (retrieved, set)
             });
         let (retrieved, sets): (Vec<Vec<(EntityId, f64)>>, Vec<CandidateSet>) =
             per_mention.into_iter().unzip();
-        let scores = self.cross.score_batch_with(&sets, self.cfg.threads);
+        let scores = self.frozen_cross.score_batch_with(&sets, self.cfg.threads);
         retrieved
             .into_iter()
             .zip(scores)
@@ -300,8 +359,9 @@ impl<'a> TwoStageLinker<'a> {
         }
     }
 
-    /// Evaluation chunk size. Chunked so one fused cross-encoder tape
-    /// stays bounded in memory however large the test set is; chunking
+    /// Evaluation chunk size. Chunked so one fused cross-encoder
+    /// forward stays bounded in memory however large the test set is;
+    /// chunking
     /// cannot change results (every op is row-independent). Fixed by
     /// data, never derived from a worker count, so serial and parallel
     /// evaluation see identical chunk boundaries.
@@ -354,6 +414,28 @@ impl<'a> TwoStageLinker<'a> {
     /// The underlying dense index (for diagnostics/benches).
     pub fn index(&self) -> &DenseIndex {
         &self.index
+    }
+
+    /// Shared handle to the exact index, for handing to
+    /// [`TwoStageLinker::with_frozen`] peers without re-embedding.
+    pub fn index_shared(&self) -> Arc<DenseIndex> {
+        Arc::clone(&self.index)
+    }
+
+    /// Shared handle to the quantized index, when `cfg.quant` is not
+    /// [`QuantMode::Exact`].
+    pub fn quantized_index(&self) -> Option<Arc<QuantizedIndex>> {
+        self.qindex.clone()
+    }
+
+    /// The frozen bi-encoder handle this linker scores with.
+    pub fn frozen_bi(&self) -> &FrozenBiEncoder {
+        &self.frozen_bi
+    }
+
+    /// The frozen cross-encoder handle this linker scores with.
+    pub fn frozen_cross(&self) -> &FrozenCrossEncoder {
+        &self.frozen_cross
     }
 }
 
@@ -595,6 +677,55 @@ mod tests {
             assert_eq!(serial.normalized_acc.to_bits(), parallel.normalized_acc.to_bits());
             assert_eq!(serial.unnormalized_acc.to_bits(), parallel.unnormalized_acc.to_bits());
             assert_eq!(serial.count, parallel.count);
+        }
+    }
+
+    #[test]
+    fn with_frozen_shares_one_model_and_matches() {
+        let f = fixture();
+        let domain = f.world.domain("TargetX");
+        let dict = f.world.kb().domain_entities(domain.id);
+        let cfg = LinkerConfig { k: 8, ..LinkerConfig::default() };
+        let owner = TwoStageLinker::new(&f.bi, &f.cross, &f.vocab, f.world.kb(), dict, cfg);
+        // A "worker" linker assembled purely from shared handles: no
+        // re-embedding, no re-freezing, no parameter clones.
+        let worker = TwoStageLinker::with_frozen(
+            &f.bi,
+            &f.cross,
+            &f.vocab,
+            f.world.kb(),
+            cfg,
+            owner.index_shared(),
+            owner.quantized_index(),
+            owner.frozen_bi().clone(),
+            owner.frozen_cross().clone(),
+        )
+        .expect("shared state is consistent");
+        assert!(worker.frozen_bi().shares_storage(owner.frozen_bi()));
+        assert!(worker.frozen_cross().shares_storage(owner.frozen_cross()));
+        assert_eq!(worker.link_batch(&f.test[..16]), owner.link_batch(&f.test[..16]));
+    }
+
+    #[test]
+    fn quantized_linker_agrees_with_exact_predictions() {
+        let f = fixture();
+        let domain = f.world.domain("TargetX");
+        let dict = f.world.kb().domain_entities(domain.id);
+        let base = LinkerConfig { k: 16, ..LinkerConfig::default() };
+        let exact = TwoStageLinker::new(&f.bi, &f.cross, &f.vocab, f.world.kb(), dict, base);
+        let want: Vec<_> = exact.link_batch(&f.test).into_iter().map(|r| r.predicted).collect();
+        for quant in [QuantMode::F16, QuantMode::Int8] {
+            let cfg = LinkerConfig { quant, ..base };
+            let q = TwoStageLinker::new(&f.bi, &f.cross, &f.vocab, f.world.kb(), dict, cfg);
+            let got: Vec<_> = q.link_batch(&f.test).into_iter().map(|r| r.predicted).collect();
+            let agree = want.iter().zip(&got).filter(|(a, b)| a == b).count();
+            // Quantization noise may flip genuine near-ties, but top-1
+            // decisions must overwhelmingly survive.
+            assert!(
+                agree * 100 >= want.len() * 95,
+                "{quant:?}: only {agree}/{} predictions agree with exact",
+                want.len()
+            );
         }
     }
 

@@ -17,7 +17,7 @@ use mb_common::Rng;
 use mb_par::Threads;
 use mb_tensor::optim::Optimizer;
 use mb_tensor::params::{GradVec, ParamId};
-use mb_tensor::{init, Params, Tape, Tensor, Var};
+use mb_tensor::{init, Params, QuantMode, Tape, Tensor, Var};
 use mb_text::Vocab;
 
 /// Rows per worker task in the chunked-parallel embed path. Fixed by
@@ -61,13 +61,15 @@ impl Default for BiEncoderConfig {
     }
 }
 
-/// Parameter handles of one encoder side.
+/// Parameter handles of one encoder side (shared with the frozen
+/// serving encoder, which replays the same ids against a
+/// [`mb_tensor::FrozenParams`] snapshot).
 #[derive(Debug, Clone, Copy)]
-struct SideIds {
-    w1: ParamId,
-    b1: ParamId,
-    w2: ParamId,
-    b2: ParamId,
+pub(crate) struct SideIds {
+    pub(crate) w1: ParamId,
+    pub(crate) b1: ParamId,
+    pub(crate) w2: ParamId,
+    pub(crate) b2: ParamId,
 }
 
 /// The bi-encoder model.
@@ -328,6 +330,23 @@ impl BiEncoder {
         let vars = self.params.inject(&mut tape);
         let enc = self.encode_side(&mut tape, &vars, side, bags);
         tape.value(enc).clone()
+    }
+
+    /// Freeze the encoder for tape-free serving: snapshot the
+    /// parameters once into an `Arc`-shared
+    /// [`crate::frozen::FrozenBiEncoder`] (quantizing the embedding
+    /// table per `mode`). The frozen forward is bit-identical to this
+    /// model's embed path when `mode` is [`QuantMode::Exact`].
+    pub fn freeze(&self, mode: QuantMode) -> crate::frozen::FrozenBiEncoder {
+        crate::frozen::FrozenBiEncoder::new(
+            self.cfg,
+            &self.params,
+            self.emb,
+            self.mention_side,
+            self.entity_side,
+            self.vocab_len,
+            mode,
+        )
     }
 
     /// Vocabulary size this model was built for.

@@ -18,7 +18,7 @@ use mb_common::Rng;
 use mb_par::Threads;
 use mb_tensor::optim::Optimizer;
 use mb_tensor::params::{GradVec, ParamId};
-use mb_tensor::{init, Params, Tape, Var};
+use mb_tensor::{init, Params, QuantMode, Tape, Var};
 use mb_text::Vocab;
 
 /// Candidate sets per worker task in the chunked-parallel scoring
@@ -294,6 +294,30 @@ impl CrossEncoder {
         let value = tape.value(loss).item();
         let grads = tape.backward(loss);
         (value, self.params.collect_grads(&vars, &grads))
+    }
+
+    /// Freeze the scorer for tape-free serving: snapshot the
+    /// parameters once into an `Arc`-shared
+    /// [`crate::frozen::FrozenCrossEncoder`] (quantizing the embedding
+    /// table per `mode`). The frozen forward is bit-identical to
+    /// [`CrossEncoder::score_batch`] when `mode` is
+    /// [`QuantMode::Exact`].
+    pub fn freeze(&self, mode: QuantMode) -> crate::frozen::FrozenCrossEncoder {
+        crate::frozen::FrozenCrossEncoder::new(
+            self.cfg,
+            &self.params,
+            crate::frozen::CrossIds {
+                emb: self.emb,
+                w_sem: self.w_sem,
+                b_sem: self.b_sem,
+                w_surf: self.w_surf,
+                b_surf: self.b_surf,
+                w_out: self.w_out,
+                b_out: self.b_out,
+                gamma: self.gamma,
+            },
+            mode,
+        )
     }
 
     /// Index (in parameter order) of the token-embedding table (see

@@ -1,0 +1,514 @@
+//! Tape-free frozen encoders — the serving-side forward path.
+//!
+//! [`FrozenBiEncoder`] and [`FrozenCrossEncoder`] replay exactly the
+//! tensor ops of the tape forwards in [`crate::biencoder`] /
+//! [`crate::crossencoder`] against an `Arc`-shared
+//! [`mb_tensor::FrozenParams`] snapshot: no tape is allocated and no
+//! parameter tensor is ever cloned per forward (`Params::inject`
+//! clones *every* parameter — embedding table included — per batch).
+//! Cloning a frozen encoder is an `Arc` bump, so every serving worker
+//! shares one model.
+//!
+//! With [`QuantMode::Exact`] the frozen forward is **bit-identical**
+//! to the tape forward at any thread count (pinned by the tests below
+//! and `tests/proptest_frozen.rs`). With [`QuantMode::F16`] /
+//! [`QuantMode::Int8`] the embedding table is quantized once at freeze
+//! time and carries the bounded-error contract of
+//! [`mb_tensor::quant`] instead of bit equality.
+
+use crate::biencoder::{BiEncoderConfig, SideIds, EMBED_CHUNK};
+use crate::crossencoder::{CandidateSet, CrossEncoderConfig, SCORE_CHUNK};
+use mb_par::Threads;
+use mb_tensor::frozen::{self, FrozenParams};
+use mb_tensor::params::ParamId;
+use mb_tensor::quant::{QuantF16, QuantI8};
+use mb_tensor::{Params, QuantMode, Tensor};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Embedding-table storage of a frozen encoder.
+#[derive(Debug)]
+enum EmbTable {
+    /// Use the `f64` master copy inside the frozen params (bit-exact).
+    Exact,
+    /// IEEE-754 binary16 copy, 4× smaller.
+    F16(QuantF16),
+    /// Per-row symmetric int8 copy, ~8× smaller.
+    Int8(QuantI8),
+}
+
+impl EmbTable {
+    fn build(mode: QuantMode, table: &Tensor) -> EmbTable {
+        match mode {
+            QuantMode::Exact => EmbTable::Exact,
+            QuantMode::F16 => EmbTable::F16(QuantF16::from_tensor(table)),
+            QuantMode::Int8 => EmbTable::Int8(QuantI8::from_tensor(table)),
+        }
+    }
+
+    fn bag_embed(&self, exact: &Tensor, bags: &[Vec<u32>]) -> Tensor {
+        match self {
+            EmbTable::Exact => frozen::bag_embed(exact, bags),
+            EmbTable::F16(t) => t.bag_embed(bags),
+            EmbTable::Int8(t) => t.bag_embed(bags),
+        }
+    }
+
+    fn bytes(&self, exact: &Tensor) -> usize {
+        match self {
+            EmbTable::Exact => exact.numel() * std::mem::size_of::<f64>(),
+            EmbTable::F16(t) => t.bytes(),
+            EmbTable::Int8(t) => t.bytes(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BiInner {
+    cfg: BiEncoderConfig,
+    params: FrozenParams,
+    emb: ParamId,
+    table: EmbTable,
+    mention_side: SideIds,
+    entity_side: SideIds,
+    vocab_len: usize,
+    mode: QuantMode,
+}
+
+/// The frozen bi-encoder: the tape-free counterpart of
+/// [`crate::biencoder::BiEncoder`]'s embed path. Clone is an `Arc`
+/// bump.
+#[derive(Debug, Clone)]
+pub struct FrozenBiEncoder {
+    inner: Arc<BiInner>,
+}
+
+impl FrozenBiEncoder {
+    pub(crate) fn new(
+        cfg: BiEncoderConfig,
+        params: &Params,
+        emb: ParamId,
+        mention_side: SideIds,
+        entity_side: SideIds,
+        vocab_len: usize,
+        mode: QuantMode,
+    ) -> Self {
+        let params = FrozenParams::freeze(params);
+        let table = EmbTable::build(mode, params.get(emb));
+        FrozenBiEncoder {
+            inner: Arc::new(BiInner {
+                cfg,
+                params,
+                emb,
+                table,
+                mention_side,
+                entity_side,
+                vocab_len,
+                mode,
+            }),
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &BiEncoderConfig {
+        &self.inner.cfg
+    }
+
+    /// How the embedding table is stored and scored.
+    pub fn mode(&self) -> QuantMode {
+        self.inner.mode
+    }
+
+    /// Vocabulary size the source model was built for.
+    pub fn vocab_len(&self) -> usize {
+        self.inner.vocab_len
+    }
+
+    /// Resident bytes of the embedding table as served (quantized
+    /// modes shrink this; the `f64` master copy inside the snapshot is
+    /// shared by every handle either way).
+    pub fn table_bytes(&self) -> usize {
+        self.inner.table.bytes(self.inner.params.get(self.inner.emb))
+    }
+
+    /// True when both handles share one underlying model (no copy).
+    pub fn shares_storage(&self, other: &FrozenBiEncoder) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// One side of the encoder, exactly the op sequence of the tape
+    /// forward: bag-embed → linear → tanh → linear → row-normalize.
+    fn encode_side(&self, side: SideIds, bags: &[Vec<u32>]) -> Tensor {
+        let p = &self.inner.params;
+        let pooled = self.inner.table.bag_embed(p.get(self.inner.emb), bags);
+        let h = frozen::linear(&pooled, p.get(side.w1), p.get(side.b1), Threads::single());
+        let h = frozen::tanh(&h);
+        let out = frozen::linear(&h, p.get(side.w2), p.get(side.b2), Threads::single());
+        frozen::row_l2_normalize(&out, 1e-9)
+    }
+
+    fn embed(&self, bags: &[Vec<u32>], side: SideIds) -> Tensor {
+        if bags.is_empty() {
+            return Tensor::zeros(vec![0, self.inner.cfg.out_dim]);
+        }
+        self.encode_side(side, bags)
+    }
+
+    fn embed_chunked(&self, bags: &[Vec<u32>], side: SideIds, threads: Threads) -> Tensor {
+        if threads.is_single() || bags.len() <= EMBED_CHUNK {
+            return self.embed(bags, side);
+        }
+        let chunks = mb_par::par_chunks(threads, bags, EMBED_CHUNK, |_, c| self.embed(c, side));
+        let mut data = Vec::with_capacity(bags.len() * self.inner.cfg.out_dim);
+        for chunk in &chunks {
+            data.extend_from_slice(chunk.data());
+        }
+        Tensor::from_vec(vec![bags.len(), self.inner.cfg.out_dim], data)
+    }
+
+    /// Tape-free batched mention encoding (see
+    /// [`crate::biencoder::BiEncoder::embed_mentions_batch`]).
+    pub fn embed_mentions_batch(&self, bags: &[Vec<u32>]) -> Tensor {
+        self.embed(bags, self.inner.mention_side)
+    }
+
+    /// Tape-free batched entity encoding.
+    pub fn embed_entities_batch(&self, bags: &[Vec<u32>]) -> Tensor {
+        self.embed(bags, self.inner.entity_side)
+    }
+
+    /// [`FrozenBiEncoder::embed_mentions_batch`] with fixed
+    /// [`EMBED_CHUNK`]-sized chunks on separate workers — bit-identical
+    /// at every [`Threads`] value, like the tape path.
+    pub fn embed_mentions_batch_with(&self, bags: &[Vec<u32>], threads: Threads) -> Tensor {
+        self.embed_chunked(bags, self.inner.mention_side, threads)
+    }
+
+    /// [`FrozenBiEncoder::embed_entities_batch`] with fixed-size chunks
+    /// on separate workers.
+    pub fn embed_entities_batch_with(&self, bags: &[Vec<u32>], threads: Threads) -> Tensor {
+        self.embed_chunked(bags, self.inner.entity_side, threads)
+    }
+}
+
+/// Parameter handles of the cross-encoder, passed by
+/// `CrossEncoder::freeze`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CrossIds {
+    pub(crate) emb: ParamId,
+    pub(crate) w_sem: ParamId,
+    pub(crate) b_sem: ParamId,
+    pub(crate) w_surf: ParamId,
+    pub(crate) b_surf: ParamId,
+    pub(crate) w_out: ParamId,
+    pub(crate) b_out: ParamId,
+    pub(crate) gamma: ParamId,
+}
+
+#[derive(Debug)]
+struct CrossInner {
+    cfg: CrossEncoderConfig,
+    params: FrozenParams,
+    ids: CrossIds,
+    table: EmbTable,
+    mode: QuantMode,
+}
+
+/// The frozen cross-encoder: the tape-free counterpart of
+/// [`crate::crossencoder::CrossEncoder::score_batch`]. Clone is an
+/// `Arc` bump.
+#[derive(Debug, Clone)]
+pub struct FrozenCrossEncoder {
+    inner: Arc<CrossInner>,
+}
+
+impl FrozenCrossEncoder {
+    pub(crate) fn new(
+        cfg: CrossEncoderConfig,
+        params: &Params,
+        ids: CrossIds,
+        mode: QuantMode,
+    ) -> Self {
+        let params = FrozenParams::freeze(params);
+        let table = EmbTable::build(mode, params.get(ids.emb));
+        FrozenCrossEncoder { inner: Arc::new(CrossInner { cfg, params, ids, table, mode }) }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &CrossEncoderConfig {
+        &self.inner.cfg
+    }
+
+    /// How the embedding table is stored and scored.
+    pub fn mode(&self) -> QuantMode {
+        self.inner.mode
+    }
+
+    /// Resident bytes of the embedding table as served.
+    pub fn table_bytes(&self) -> usize {
+        self.inner.table.bytes(self.inner.params.get(self.inner.ids.emb))
+    }
+
+    /// True when both handles share one underlying model (no copy).
+    pub fn shares_storage(&self, other: &FrozenCrossEncoder) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Pooled embeddings for `bags`, embedding each *distinct* bag once
+    /// and copying its row to every duplicate position. Each row of
+    /// `bag_embed` depends only on its own bag, so this is bit-identical
+    /// to embedding the full list — it just skips the redundant work
+    /// (the mention and surface bags repeat once per candidate).
+    fn pooled_dedup(&self, exact: &Tensor, bags: &[Vec<u32>]) -> Tensor {
+        let mut slot: BTreeMap<&[u32], usize> = BTreeMap::new();
+        let mut uniq: Vec<Vec<u32>> = Vec::new();
+        for bag in bags {
+            if !slot.contains_key(bag.as_slice()) {
+                slot.insert(bag.as_slice(), uniq.len());
+                uniq.push(bag.clone());
+            }
+        }
+        if uniq.len() == bags.len() {
+            return self.inner.table.bag_embed(exact, bags);
+        }
+        let small = self.inner.table.bag_embed(exact, &uniq);
+        let dim = small.shape()[1];
+        let mut out = Tensor::zeros(vec![bags.len(), dim]);
+        for (i, bag) in bags.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(small.row(slot[bag.as_slice()]));
+        }
+        out
+    }
+
+    /// Score `n` (mention, candidate) rows — exactly the op sequence
+    /// of the tape's `score_rows`, returning the `[n, 1]` scores.
+    fn score_rows(
+        &self,
+        m_bags: &[Vec<u32>],
+        s_bags: &[Vec<u32>],
+        e_bags: &[Vec<u32>],
+        t_bags: &[Vec<u32>],
+    ) -> Tensor {
+        let n = m_bags.len();
+        let p = &self.inner.params;
+        let ids = self.inner.ids;
+        let exact = p.get(ids.emb);
+        let m_pool = self.pooled_dedup(exact, m_bags);
+        let s_pool = self.pooled_dedup(exact, s_bags);
+        let e_pool = self.pooled_dedup(exact, e_bags);
+        let t_pool = self.pooled_dedup(exact, t_bags);
+        let sem = m_pool.mul(&e_pool);
+        let surf = s_pool.mul(&t_pool);
+        let h_sem = frozen::linear(&sem, p.get(ids.w_sem), p.get(ids.b_sem), Threads::single());
+        let h_surf = frozen::linear(&surf, p.get(ids.w_surf), p.get(ids.b_surf), Threads::single());
+        let h = frozen::tanh(&h_sem.add(&h_surf));
+        let mlp_scores = frozen::linear(&h, p.get(ids.w_out), p.get(ids.b_out), Threads::single());
+        let dots = frozen::rows_dot(&m_pool, &e_pool);
+        let dots_col = dots.reshape(vec![n, 1]);
+        let dot_scores = dots_col.matmul(p.get(ids.gamma));
+        mlp_scores.add(&dot_scores)
+    }
+
+    /// Tape-free batched scoring (see
+    /// [`crate::crossencoder::CrossEncoder::score_batch`]): one fused
+    /// forward over all `Σ len(setᵢ)` rows, empty sets yield empty
+    /// score vectors.
+    pub fn score_batch(&self, sets: &[CandidateSet]) -> Vec<Vec<f64>> {
+        let total: usize = sets.iter().map(|s| s.len()).sum();
+        if total == 0 {
+            return sets.iter().map(|_| Vec::new()).collect();
+        }
+        let mut m_bags = Vec::with_capacity(total);
+        let mut s_bags = Vec::with_capacity(total);
+        let mut e_bags = Vec::with_capacity(total);
+        let mut t_bags = Vec::with_capacity(total);
+        for set in sets {
+            for (e, t) in set.entities.iter().zip(&set.titles) {
+                m_bags.push(set.mention.clone());
+                s_bags.push(set.surface.clone());
+                e_bags.push(e.clone());
+                t_bags.push(t.clone());
+            }
+        }
+        let scores = self.score_rows(&m_bags, &s_bags, &e_bags, &t_bags);
+        let flat = scores.data();
+        let mut out = Vec::with_capacity(sets.len());
+        let mut offset = 0;
+        for set in sets {
+            out.push(flat[offset..offset + set.len()].to_vec());
+            offset += set.len();
+        }
+        out
+    }
+
+    /// [`FrozenCrossEncoder::score_batch`] with fixed
+    /// [`SCORE_CHUNK`]-sized chunks of sets scored on separate workers
+    /// — bit-identical at every [`Threads`] value, like the tape path.
+    pub fn score_batch_with(&self, sets: &[CandidateSet], threads: Threads) -> Vec<Vec<f64>> {
+        if threads.is_single() || sets.len() <= SCORE_CHUNK {
+            return self.score_batch(sets);
+        }
+        let chunks = mb_par::par_chunks(threads, sets, SCORE_CHUNK, |_, c| self.score_batch(c));
+        chunks.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biencoder::BiEncoder;
+    use crate::crossencoder::CrossEncoder;
+    use crate::input::{build_vocab, entity_bag, title_bag, InputConfig, TrainPair};
+    use mb_common::Rng;
+    use mb_datagen::{World, WorldConfig};
+
+    fn setup() -> (World, mb_text::Vocab, Vec<TrainPair>) {
+        let world = World::generate(WorldConfig::tiny(31));
+        let vocab = build_vocab(world.kb(), [], 1);
+        let domain = world.domain("TargetX").clone();
+        let mut rng = Rng::seed_from_u64(2);
+        let ms = mb_datagen::mentions::generate_mentions(&world, &domain, 80, &mut rng);
+        let cfg = InputConfig::default();
+        let pairs: Vec<TrainPair> = ms
+            .mentions
+            .iter()
+            .map(|m| TrainPair::from_mention(&vocab, &cfg, world.kb(), m))
+            .collect();
+        (world, vocab, pairs)
+    }
+
+    fn assert_bits_eq(got: &Tensor, want: &Tensor) {
+        assert_eq!(got.shape(), want.shape());
+        for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn frozen_bi_is_bit_identical_to_tape_at_any_thread_count() {
+        let (_, vocab, pairs) = setup();
+        let cfg = BiEncoderConfig { emb_dim: 16, hidden: 16, out_dim: 16, ..Default::default() };
+        let model = BiEncoder::new(&vocab, cfg, &mut Rng::seed_from_u64(5));
+        let frozen = model.freeze(QuantMode::Exact);
+        // 70 bags crosses the EMBED_CHUNK=32 chunked-dispatch threshold.
+        let m_bags: Vec<Vec<u32>> = pairs.iter().take(70).map(|p| p.mention.clone()).collect();
+        let e_bags: Vec<Vec<u32>> = pairs.iter().take(70).map(|p| p.entity.clone()).collect();
+        let want_m = model.embed_mentions_batch(&m_bags);
+        let want_e = model.embed_entities_batch(&e_bags);
+        assert_bits_eq(&frozen.embed_mentions_batch(&m_bags), &want_m);
+        assert_bits_eq(&frozen.embed_entities_batch(&e_bags), &want_e);
+        for t in [1usize, 2, 3, 4] {
+            let threads = Threads::new(t);
+            assert_bits_eq(&frozen.embed_mentions_batch_with(&m_bags, threads), &want_m);
+            assert_bits_eq(&frozen.embed_entities_batch_with(&e_bags, threads), &want_e);
+        }
+        assert_eq!(frozen.embed_mentions_batch(&[]).rows(), 0);
+        assert_eq!(frozen.vocab_len(), model.vocab_len());
+    }
+
+    #[test]
+    fn frozen_clone_shares_one_model() {
+        let (_, vocab, _) = setup();
+        let cfg = BiEncoderConfig { emb_dim: 16, hidden: 16, out_dim: 16, ..Default::default() };
+        let model = BiEncoder::new(&vocab, cfg, &mut Rng::seed_from_u64(5));
+        let frozen = model.freeze(QuantMode::Exact);
+        assert!(frozen.clone().shares_storage(&frozen));
+        assert!(!model.freeze(QuantMode::Exact).shares_storage(&frozen));
+        let cross = CrossEncoder::new(
+            &vocab,
+            CrossEncoderConfig { emb_dim: 16, hidden: 16, ..Default::default() },
+            &mut Rng::seed_from_u64(6),
+        );
+        let fc = cross.freeze(QuantMode::Exact);
+        assert!(fc.clone().shares_storage(&fc));
+    }
+
+    fn candidate_sets(
+        world: &World,
+        vocab: &mb_text::Vocab,
+        pairs: &[TrainPair],
+        k: usize,
+    ) -> Vec<CandidateSet> {
+        let icfg = InputConfig::default();
+        let ids = world.kb().domain_entities(world.domain("TargetX").id);
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(i, pair)| {
+                let mut r = Rng::seed_from_u64(i as u64);
+                let candidates = (0..k)
+                    .map(|_| {
+                        let e = world.kb().entity(*r.choose(ids));
+                        (entity_bag(vocab, &icfg, e), title_bag(vocab, e))
+                    })
+                    .collect();
+                CandidateSet::new(pair, candidates, Some(0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frozen_cross_is_bit_identical_to_tape_at_any_thread_count() {
+        let (world, vocab, pairs) = setup();
+        let cfg = CrossEncoderConfig { emb_dim: 16, hidden: 16, ..Default::default() };
+        let model = CrossEncoder::new(&vocab, cfg, &mut Rng::seed_from_u64(7));
+        let frozen = model.freeze(QuantMode::Exact);
+        // 20 sets crosses the SCORE_CHUNK=8 chunked-dispatch threshold;
+        // include an empty set mid-batch.
+        let mut sets = candidate_sets(&world, &vocab, &pairs[..20], 6);
+        sets[9].entities.clear();
+        sets[9].titles.clear();
+        let want = model.score_batch(&sets);
+        let got = frozen.score_batch(&sets);
+        assert_eq!(want.len(), got.len());
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.len(), g.len());
+            for (x, y) in w.iter().zip(g) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        for t in [2usize, 3, 4] {
+            let par = frozen.score_batch_with(&sets, Threads::new(t));
+            assert_eq!(par, want);
+        }
+    }
+
+    #[test]
+    fn quantized_tables_shrink_and_stay_close() {
+        let (world, vocab, pairs) = setup();
+        let cfg = BiEncoderConfig { emb_dim: 16, hidden: 16, out_dim: 16, ..Default::default() };
+        let model = BiEncoder::new(&vocab, cfg, &mut Rng::seed_from_u64(9));
+        let exact = model.freeze(QuantMode::Exact);
+        let f16 = model.freeze(QuantMode::F16);
+        let i8 = model.freeze(QuantMode::Int8);
+        assert_eq!(exact.table_bytes(), f16.table_bytes() * 4);
+        assert!(exact.table_bytes() / i8.table_bytes() >= 2, "int8 must at least halve the table");
+        assert_eq!(f16.mode(), QuantMode::F16);
+        let bags: Vec<Vec<u32>> = pairs.iter().take(12).map(|p| p.mention.clone()).collect();
+        let want = exact.embed_mentions_batch(&bags);
+        for (label, frozen, bound) in
+            [("f16", &f16, 5e-3), ("int8", &i8, 5e-2), ("exact", &exact, 0.0)]
+        {
+            let got = frozen.embed_mentions_batch(&bags);
+            let max_err = want
+                .data()
+                .iter()
+                .zip(got.data())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(max_err <= bound, "{label}: max abs err {max_err} > {bound}");
+        }
+        // Cross-encoder quantized scoring stays close too.
+        let cross = CrossEncoder::new(
+            &vocab,
+            CrossEncoderConfig { emb_dim: 16, hidden: 16, ..Default::default() },
+            &mut Rng::seed_from_u64(10),
+        );
+        let sets = candidate_sets(&world, &vocab, &pairs[..6], 5);
+        let want = cross.score_batch(&sets);
+        let got = cross.freeze(QuantMode::Int8).score_batch(&sets);
+        for (w, g) in want.iter().flatten().zip(got.iter().flatten()) {
+            assert!((w - g).abs() < 0.3, "int8 score drift: {w} vs {g}");
+        }
+    }
+}

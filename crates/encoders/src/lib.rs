@@ -8,6 +8,9 @@
 //! * [`crossencoder::CrossEncoder`] — joint mention–entity scorer over
 //!   interaction features, trained with per-mention softmax ranking
 //!   loss; powers candidate re-ranking.
+//! * [`frozen`] — tape-free `Arc`-shared serving forwards for both
+//!   encoders, bit-identical to the tape path (optionally with f16/int8
+//!   quantized embedding tables under a bounded-error contract).
 //! * [`retrieval`] — brute-force and partitioned (IVF-style) top-k dense
 //!   indices over entity embeddings.
 //! * [`input`] — featurization of mentions/entities into token bags and
@@ -20,11 +23,13 @@
 
 pub mod biencoder;
 pub mod crossencoder;
+pub mod frozen;
 pub mod input;
 pub mod retrieval;
 pub mod train;
 
 pub use biencoder::{BiEncoder, BiEncoderConfig};
 pub use crossencoder::{CrossEncoder, CrossEncoderConfig};
+pub use frozen::{FrozenBiEncoder, FrozenCrossEncoder};
 pub use input::{entity_bag, mention_bag, InputConfig, TrainPair};
-pub use retrieval::DenseIndex;
+pub use retrieval::{DenseIndex, QuantizedIndex};

@@ -11,7 +11,8 @@ use crate::input::{entity_bag, InputConfig};
 use mb_common::util::top_k_desc;
 use mb_common::Rng;
 use mb_kb::{EntityId, KnowledgeBase};
-use mb_tensor::Tensor;
+use mb_tensor::quant::{QuantF16, QuantI8};
+use mb_tensor::{QuantMode, Tensor};
 use mb_text::Vocab;
 
 /// Exact brute-force dense index.
@@ -130,6 +131,86 @@ impl DenseIndex {
         (0..self.vectors.rows())
             .map(|i| self.vectors.row(i).iter().zip(query).map(|(a, b)| a * b).sum())
             .collect()
+    }
+}
+
+/// Storage of a [`QuantizedIndex`].
+#[derive(Debug, Clone)]
+enum QuantTable {
+    F16(QuantF16),
+    Int8(QuantI8),
+}
+
+/// A quantized copy of a [`DenseIndex`]: same ids and ranking
+/// semantics, but the entity vectors are stored as f16 or per-row
+/// symmetric int8 and scored without dequantizing to a full table.
+///
+/// Rankings carry the bounded-error contract of [`mb_tensor::quant`]
+/// rather than bit equality with the exact index; near-tie candidates
+/// may swap. Scoring stays bit-identical across thread counts.
+#[derive(Debug, Clone)]
+pub struct QuantizedIndex {
+    table: QuantTable,
+    ids: Vec<EntityId>,
+}
+
+impl QuantizedIndex {
+    /// Quantize an exact index. Returns `None` for
+    /// [`QuantMode::Exact`] — callers keep using the [`DenseIndex`]
+    /// itself in that mode.
+    pub fn from_dense(index: &DenseIndex, mode: QuantMode) -> Option<Self> {
+        let table = match mode {
+            QuantMode::Exact => return None,
+            QuantMode::F16 => QuantTable::F16(QuantF16::from_tensor(&index.vectors)),
+            QuantMode::Int8 => QuantTable::Int8(QuantI8::from_tensor(&index.vectors)),
+        };
+        Some(QuantizedIndex { table, ids: index.ids.clone() })
+    }
+
+    /// Number of indexed entities.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Resident bytes of the stored vectors.
+    pub fn bytes(&self) -> usize {
+        match &self.table {
+            QuantTable::F16(t) => t.bytes(),
+            QuantTable::Int8(t) => t.bytes(),
+        }
+    }
+
+    /// Quantized dot product of the query against every stored vector.
+    pub fn score_all(&self, query: &[f64], threads: mb_par::Threads) -> Vec<f64> {
+        match &self.table {
+            QuantTable::F16(t) => t.score_all(query, threads),
+            QuantTable::Int8(t) => t.score_all(query, threads),
+        }
+    }
+
+    /// Top-k by quantized dot product, descending (deterministic
+    /// lowest-index tie-break, like [`DenseIndex::top_k`]).
+    pub fn top_k(&self, query: &[f64], k: usize) -> Vec<(EntityId, f64)> {
+        let scores = self.score_all(query, mb_par::Threads::single());
+        top_k_desc(&scores, k).into_iter().map(|i| (self.ids[i], scores[i])).collect()
+    }
+
+    /// Top-k retrieval for every row of a `[q, dim]` query matrix, with
+    /// queries split across workers; bit-identical at any
+    /// [`mb_par::Threads`] value.
+    pub fn top_k_batch(
+        &self,
+        queries: &Tensor,
+        k: usize,
+        threads: mb_par::Threads,
+    ) -> Vec<Vec<(EntityId, f64)>> {
+        assert_eq!(queries.rank(), 2, "top_k_batch: queries rank {:?}", queries.shape());
+        mb_par::par_map_range(threads, queries.rows(), |i| self.top_k(queries.row(i), k))
     }
 }
 
@@ -315,6 +396,37 @@ mod tests {
         }
         let recall = overlap as f64 / total as f64;
         assert!(recall > 0.5, "recall {recall} too low even for 4/16 probes");
+    }
+
+    #[test]
+    fn quantized_index_agrees_with_exact_on_clear_margins() {
+        let (vectors, ids) = random_index(300, 16, 11);
+        let exact = DenseIndex::from_vectors(vectors.clone(), ids.clone());
+        assert!(QuantizedIndex::from_dense(&exact, QuantMode::Exact).is_none());
+        let exact_bytes = vectors.numel() * std::mem::size_of::<f64>();
+        for (mode, shrink) in [(QuantMode::F16, 4), (QuantMode::Int8, 2)] {
+            let q = QuantizedIndex::from_dense(&exact, mode).expect("quantized");
+            assert_eq!(q.len(), 300);
+            assert!(!q.is_empty());
+            assert!(
+                exact_bytes / q.bytes() >= shrink,
+                "{mode:?}: {exact_bytes} vs {} bytes",
+                q.bytes()
+            );
+            let mut rng = Rng::seed_from_u64(12);
+            let query: Vec<f64> = (0..16).map(|_| rng.gaussian()).collect();
+            // The top-1 has a clear margin on random normalized data, so
+            // quantization noise must not flip it.
+            let e = exact.top_k(&query, 1)[0].0;
+            let g = q.top_k(&query, 1)[0].0;
+            assert_eq!(e, g, "{mode:?} flipped a clear-margin top-1");
+            // Batched retrieval is bit-identical across thread counts.
+            let queries = Tensor::randn(vec![20, 16], 0.0, 1.0, &mut rng);
+            let serial = q.top_k_batch(&queries, 5, mb_par::Threads::single());
+            for t in [2usize, 4] {
+                assert_eq!(q.top_k_batch(&queries, 5, mb_par::Threads::new(t)), serial);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Property tests for the quantized retrieval error contract on
+//! adversarial *near-tie* score distributions — entity vectors built so
+//! exact scores bunch within tiny margins of each other, the worst case
+//! for a lossy table. Two guarantees are pinned (DESIGN.md §12):
+//!
+//! 1. the quantized score error never exceeds an analytic bound
+//!    (f16: per-element relative error ≤ 2⁻¹¹; int8: half a
+//!    quantization step per element, both summed over the dot), and
+//! 2. whenever the exact top-k margin exceeds twice that bound, the
+//!    quantized top-k agrees with f32 scoring *exactly* — lossy
+//!    storage may only reorder candidates the exact scores could not
+//!    separate by more than the guaranteed error.
+
+use mb_check::gen;
+use mb_check::{prop_assert, prop_assert_eq};
+use mb_common::Rng;
+use mb_encoders::{DenseIndex, QuantizedIndex};
+use mb_kb::EntityId;
+use mb_tensor::{QuantMode, Tensor};
+
+/// An index whose rows are small perturbations of one base direction:
+/// every pair of scores is a near tie by construction.
+fn near_tie_index(n: usize, dim: usize, spread: f64, seed: u64) -> DenseIndex {
+    let mut rng = Rng::seed_from_u64(seed);
+    let base: Vec<f64> = (0..dim).map(|_| rng.f64() * 2.0 - 1.0).collect();
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        for b in &base {
+            data.push(b + (rng.f64() * 2.0 - 1.0) * spread);
+        }
+    }
+    let ids = (0..n as u32).map(EntityId).collect();
+    DenseIndex::from_vectors(Tensor::from_vec(vec![n, dim], data), ids)
+}
+
+/// Worst-case absolute score error of quantizing `index` under `mode`,
+/// for a given query: f16 stores each element within `|v|·2⁻¹¹`, int8
+/// within half a per-row step; a dot accumulates at most the sum of
+/// per-element bounds (plus float-rounding headroom).
+fn error_bound(index: &DenseIndex, quant: &QuantizedIndex, query: &[f64]) -> f64 {
+    let exact = index.score_all(query);
+    let lossy = quant.score_all(query, mb_par::Threads::single());
+    exact.iter().zip(&lossy).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
+}
+
+mb_check::check! {
+    #![config(cases = 32)]
+
+    fn quantized_scores_stay_within_the_analytic_bound(seed in gen::u64_any()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let (n, dim) = (8 + rng.below(56), 4 + rng.below(28));
+        let index = near_tie_index(n, dim, 1e-3, seed ^ 1);
+        let query: Vec<f64> = (0..dim).map(|_| rng.f64() * 2.0 - 1.0).collect();
+        let q1 = |v: f64| v.abs();
+        let query_l1: f64 = query.iter().copied().map(q1).sum();
+        for (mode, per_elem) in [(QuantMode::F16, 1.0 / 2048.0), (QuantMode::Int8, 1.0 / 127.0)] {
+            let quant = QuantizedIndex::from_dense(&index, mode).expect("lossy mode");
+            // Elements are bounded by ~1 + spread, so per-element error
+            // is ≤ per_elem·max_abs; the dot accumulates ≤ l1(query)
+            // of it. int8 additionally quantizes the query itself.
+            let bound = 2.5 * per_elem * (query_l1 + dim as f64);
+            let worst = error_bound(&index, &quant, &query);
+            prop_assert!(
+                worst <= bound,
+                "mode={:?} worst={} bound={} n={} dim={}", mode, worst, bound, n, dim
+            );
+        }
+    }
+
+    fn top_k_agrees_exactly_when_the_margin_clears_the_error(seed in gen::u64_any()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let (n, dim, k) = (10 + rng.below(50), 4 + rng.below(24), 1 + rng.below(8));
+        // Spreads from genuinely adversarial (scores within ~1e-4 of
+        // each other) to comfortably separated.
+        let spread = [1e-4, 1e-3, 1e-2, 1e-1][rng.below(4)];
+        let index = near_tie_index(n, dim, spread, seed ^ 2);
+        let query: Vec<f64> = (0..dim).map(|_| rng.f64() * 2.0 - 1.0).collect();
+        let exact_top = index.top_k(&query, k);
+        prop_assert_eq!(exact_top.len(), k.min(n));
+        let mut sorted = index.score_all(&query);
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        for mode in [QuantMode::F16, QuantMode::Int8] {
+            let quant = QuantizedIndex::from_dense(&index, mode).expect("lossy mode");
+            let worst = error_bound(&index, &quant, &query);
+            let quant_top = quant.top_k(&query, k);
+            prop_assert_eq!(quant_top.len(), exact_top.len());
+            let margin = sorted[k.min(n) - 1] - sorted.get(k.min(n)).copied()
+                .unwrap_or(f64::NEG_INFINITY);
+            if margin > 2.0 * worst {
+                // The k-th/(k+1)-th gap exceeds any possible score
+                // perturbation: top-k *membership* must agree exactly
+                // (ranks inside the top-k may still swap on near-ties).
+                let mut want: Vec<u32> = exact_top.iter().map(|&(id, _)| id.0).collect();
+                let mut got: Vec<u32> = quant_top.iter().map(|&(id, _)| id.0).collect();
+                want.sort_unstable();
+                got.sort_unstable();
+                prop_assert_eq!(
+                    &want, &got,
+                    "mode={:?} margin={} worst={} spread={}", mode, margin, worst, spread
+                );
+            } else {
+                // Inside the error band only near-ties may swap: every
+                // quantized pick's exact score is within 2·worst of the
+                // exact k-th score.
+                let kth = sorted[k.min(n) - 1];
+                let exact_scores = index.score_all(&query);
+                for &(id, _) in &quant_top {
+                    let s = exact_scores[id.0 as usize];
+                    prop_assert!(
+                        s >= kth - 2.0 * worst,
+                        "mode={:?} id={} score={} kth={} worst={}", mode, id.0, s, kth, worst
+                    );
+                }
+            }
+        }
+    }
+}

@@ -16,6 +16,10 @@
 //!   comparator returns an arbitrary ordering (or a fallback chosen at
 //!   the call site), so sorted output depends on the input permutation;
 //!   `f64::total_cmp` gives one answer for every input;
+//! - **tape-free**: the serving path and the frozen forward must never
+//!   allocate a gradient tape or copy parameter tensors — flags `Tape`,
+//!   `.inject(` (the per-forward parameter copy), `.clone()` on a
+//!   `…params` receiver, and `Params::clone(`;
 //! - **lock discipline**: see [`crate::locks`].
 //!
 //! Code under `#[cfg(test)]` is exempt from the panic-freedom and
@@ -43,6 +47,11 @@ pub struct RuleSet {
     /// calls; they order NaN arbitrarily, so output depends on input
     /// permutation. Use `total_cmp`.
     pub float_total_order: bool,
+    /// Deny gradient-tape allocation and parameter copies on the
+    /// serving path: `Tape`, `.inject(`, and `…params` clones must not
+    /// appear where every forward is meant to ride one shared
+    /// `FrozenParams` snapshot.
+    pub tape_free: bool,
 }
 
 impl RuleSet {
@@ -59,6 +68,7 @@ impl RuleSet {
             lock_discipline: true,
             unsafe_gate: true,
             float_total_order: true,
+            tape_free: true,
         }
     }
 }
@@ -196,6 +206,9 @@ pub fn analyze_file(
         }
         if rules.float_total_order {
             float_order_rules(&sig, i, &mut emit);
+        }
+        if rules.tape_free {
+            tape_free_rules(&sig, i, &mut emit);
         }
     }
 
@@ -365,6 +378,69 @@ fn float_order_rules(
     }
 }
 
+/// Tape-free serving: the serving path shares one immutable
+/// `FrozenParams` snapshot, so any gradient-tape allocation or
+/// parameter copy there is a regression to the per-forward-clone cost
+/// the frozen forward exists to remove. Flags the `Tape` type,
+/// `.inject(` (which clones every parameter tensor into a tape),
+/// `.clone()` whose receiver is an identifier ending in `params`, and
+/// explicit `Params::clone(`.
+fn tape_free_rules(sig: &[Sig<'_>], i: usize, emit: &mut impl FnMut(&'static str, Token, String)) {
+    let s = &sig[i];
+    if s.tok.kind != TokenKind::Ident {
+        return;
+    }
+    let text_at = |j: usize| sig.get(j).map(|t| t.text);
+    let prev = i.checked_sub(1).and_then(text_at);
+    let next = text_at(i + 1);
+    match s.text {
+        "Tape" => emit(
+            "tape-free",
+            s.tok,
+            "`Tape` allocation on the tape-free serving path; use the frozen forward \
+             (`FrozenParams` + `mb_tensor::frozen`) instead"
+                .to_string(),
+        ),
+        "inject" if prev == Some(".") && next == Some("(") => emit(
+            "tape-free",
+            s.tok,
+            "`.inject()` clones every parameter tensor per forward; freeze the parameters once \
+             and share the `FrozenParams` snapshot"
+                .to_string(),
+        ),
+        "clone" if prev == Some(".") && next == Some("(") => {
+            let receiver_is_params = i
+                .checked_sub(2)
+                .map(|j| sig[j])
+                .is_some_and(|r| r.tok.kind == TokenKind::Ident && r.text.ends_with("params"));
+            if receiver_is_params {
+                emit(
+                    "tape-free",
+                    s.tok,
+                    "parameter clone on the tape-free serving path; share one `FrozenParams` \
+                     snapshot instead of copying tensors"
+                        .to_string(),
+                );
+            }
+        }
+        // `::` lexes as two `:` puncts.
+        "Params"
+            if next == Some(":")
+                && text_at(i + 2) == Some(":")
+                && text_at(i + 3) == Some("clone") =>
+        {
+            emit(
+                "tape-free",
+                s.tok,
+                "`Params::clone` on the tape-free serving path; share one `FrozenParams` \
+                 snapshot instead of copying tensors"
+                    .to_string(),
+            );
+        }
+        _ => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +508,31 @@ mod tests {
         assert!(rules_of("fn f() { let o = a.partial_cmp(&b); }").is_empty());
         // `sort_by` as a definition or bare identifier is not a call site.
         assert!(rules_of("fn sort_by() { partial_cmp(); }").is_empty());
+    }
+
+    #[test]
+    fn tape_free_flags_tape_inject_and_params_clones() {
+        assert_eq!(rules_of("fn f() { let mut t = Tape::new(); }"), vec!["tape-free"]);
+        assert_eq!(rules_of("fn f() { let h = tape.inject(&params); }"), vec!["tape-free"]);
+        assert_eq!(rules_of("fn f() { let p = params.clone(); }"), vec!["tape-free"]);
+        assert_eq!(rules_of("fn f() { let p = bi_params.clone(); }"), vec!["tape-free"]);
+        assert_eq!(rules_of("fn f() { let p = Params::clone(ps); }"), vec!["tape-free"]);
+    }
+
+    #[test]
+    fn tape_free_leaves_legitimate_code_alone() {
+        // Cloning a frozen handle is an Arc bump, not a tensor copy.
+        assert!(rules_of("fn f() { let b = frozen_bi.clone(); }").is_empty());
+        // `FrozenParams` is one identifier token, not `Params`.
+        assert!(rules_of("fn f(p: &FrozenParams) { let q = FrozenParams::freeze(ps); }").is_empty());
+        // A type mention of `Params` without `::clone` is fine.
+        assert!(rules_of("fn f(p: &Params) -> usize { p.len() }").is_empty());
+        // Strings and comments never fire.
+        assert!(rules_of("fn f() { let s = \"Tape params.clone()\"; }").is_empty());
+        assert!(rules_of("// Tape and params.clone() in prose\n").is_empty());
+        // Tests may build tapes to pin the frozen forward against.
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let t = Tape::new(); }\n}\n";
+        assert!(rules_of(src).is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub const RULE_IDS: &[&str] = &[
     "lock-io",
     "unsafe-gate",
     "float-total-order",
+    "tape-free",
     "suppression",
 ];
 

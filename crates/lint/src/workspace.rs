@@ -13,7 +13,12 @@
 //! - the **unsafe gate** workspace-wide;
 //! - **float total order** workspace-wide (tests exempt): a
 //!   `partial_cmp` comparator orders NaN arbitrarily, which silently
-//!   breaks replay-by-seed wherever a float sort feeds results.
+//!   breaks replay-by-seed wherever a float sort feeds results;
+//! - **tape-free** on the serving path (`crates/serve/src`) and the
+//!   frozen forward itself (`crates/tensor/src/frozen.rs`,
+//!   `crates/tensor/src/quant.rs`, `crates/encoders/src/frozen.rs`):
+//!   no gradient-tape allocation and no parameter copies — every
+//!   serving forward rides one shared `FrozenParams` snapshot.
 
 use crate::analyzer::{analyze_file, RuleSet};
 use crate::findings::Finding;
@@ -30,6 +35,12 @@ const PANIC_FREE_FILES: &[&str] = &[
     "crates/kb/src/store.rs",
 ];
 
+/// Files (beyond `crates/serve/src`) on the tape-free forward path:
+/// the frozen-parameter forward and the quantized tables it scores
+/// with must themselves never allocate a tape or copy parameters.
+const TAPE_FREE_FILES: &[&str] =
+    &["crates/tensor/src/frozen.rs", "crates/tensor/src/quant.rs", "crates/encoders/src/frozen.rs"];
+
 /// The rule families enforced for a workspace-relative path
 /// (`/`-separated).
 pub fn rules_for(rel_path: &str) -> RuleSet {
@@ -37,9 +48,13 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
     if rel_path.starts_with("crates/serve/src/") {
         rules.panic_freedom = true;
         rules.lock_discipline = true;
+        rules.tape_free = true;
     }
     if PANIC_FREE_FILES.contains(&rel_path) {
         rules.panic_freedom = true;
+    }
+    if TAPE_FREE_FILES.contains(&rel_path) {
+        rules.tape_free = true;
     }
     if DETERMINISM_CRATES.iter().any(|c| rel_path.starts_with(&format!("crates/{c}/src/"))) {
         rules.determinism = true;
@@ -115,10 +130,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn serve_gets_panic_and_lock_rules() {
+    fn serve_gets_panic_lock_and_tape_free_rules() {
         let r = rules_for("crates/serve/src/queue.rs");
-        assert!(r.panic_freedom && r.lock_discipline && r.unsafe_gate);
+        assert!(r.panic_freedom && r.lock_discipline && r.unsafe_gate && r.tape_free);
         assert!(!r.determinism);
+    }
+
+    #[test]
+    fn frozen_forward_files_get_the_tape_free_rule() {
+        for f in TAPE_FREE_FILES {
+            assert!(rules_for(f).tape_free, "{f}");
+        }
+        // The tape itself and training code may of course build tapes.
+        assert!(!rules_for("crates/tensor/src/tape.rs").tape_free);
+        assert!(!rules_for("crates/encoders/src/train.rs").tape_free);
+        assert!(!rules_for("crates/core/src/linker.rs").tape_free);
     }
 
     #[test]

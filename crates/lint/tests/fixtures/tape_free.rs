@@ -1,0 +1,29 @@
+//! Seeded tape-free violations for the golden test.
+
+fn positives(tape: &mut Tape, params: &Params, bi_params: &Params) {
+    let mut t = Tape::new();
+    let h = tape.inject(params);
+    let p = params.clone();
+    let q = bi_params.clone();
+    let r = Params::clone(params);
+}
+
+fn suppressed(bi_params: &Params) {
+    // mb-lint: allow(tape-free) -- fixture: one-time checkpoint load
+    let p = bi_params.clone();
+}
+
+fn clean(frozen: &FrozenParams, frozen_bi: &FrozenBiEncoder) {
+    let shared = frozen.clone();
+    let handle = frozen_bi.clone();
+    let snap = FrozenParams::freeze(source);
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only(params: &Params) {
+        let mut tape = Tape::new();
+        let h = tape.inject(params);
+        let p = params.clone();
+    }
+}

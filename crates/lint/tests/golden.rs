@@ -102,6 +102,27 @@ fn float_total_order_golden() {
 }
 
 #[test]
+fn tape_free_golden() {
+    let src = fixture("tape_free.rs");
+    let rules = RuleSet { tape_free: true, ..RuleSet::none() };
+    let found = analyze_file("tape_free.rs", &src, rules, None);
+    assert_eq!(
+        spans(&found),
+        vec![
+            ("tape-free", 3, 25),
+            ("tape-free", 4, 17),
+            ("tape-free", 5, 18),
+            ("tape-free", 6, 20),
+            ("tape-free", 7, 23),
+            ("tape-free", 8, 13),
+        ],
+        "suppressed (line 13), frozen-handle clones (lines 17-19), and #[cfg(test)] \
+         tape uses must stay silent"
+    );
+    assert!(found[0].message.contains("FrozenParams"), "{}", found[0].message);
+}
+
+#[test]
 fn lock_discipline_golden() {
     let src = fixture("locks.rs");
     let rules = RuleSet { lock_discipline: true, ..RuleSet::none() };

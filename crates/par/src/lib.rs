@@ -218,6 +218,27 @@ where
     })
 }
 
+/// Map `f` over fixed-size consecutive index ranges of `0..n` in
+/// parallel. `f` receives the chunk index and the `lo..hi` range (the
+/// final range may be short); results come back in range order.
+///
+/// This is [`par_chunks`] for callers that index into several parallel
+/// arrays (e.g. a quantized table plus its per-row scales) rather than
+/// one slice. As there, partitioning is a function of `n` and `chunk`
+/// alone, so results are bit-identical at any thread count.
+pub fn par_chunk_ranges<R, F>(threads: Threads, n: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+{
+    let pieces = chunk_count(n, chunk);
+    par_map_range(threads, pieces, |ci| {
+        let lo = ci * chunk;
+        let hi = (lo + chunk).min(n);
+        f(ci, lo..hi)
+    })
+}
+
 /// [`par_chunks`] with panic containment: a panicking chunk surfaces as
 /// [`enum@mb_common::Error::Worker`] at the fork point instead of
 /// re-panicking on the calling thread.
@@ -354,6 +375,19 @@ mod tests {
         for t in THREAD_COUNTS {
             assert_eq!(par_map_range(Threads::new(t), 0, |i| i), Vec::<usize>::new());
             assert_eq!(par_map_range(Threads::new(t), 1, |i| i * 2), vec![0]);
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_partition_identically_at_every_thread_count() {
+        let expect: Vec<(usize, usize, usize)> =
+            vec![(0, 0, 7), (1, 7, 14), (2, 14, 21), (3, 21, 23)];
+        for t in THREAD_COUNTS {
+            let got = par_chunk_ranges(Threads::new(t), 23, 7, |ci, r| (ci, r.start, r.end));
+            assert_eq!(got, expect, "threads={t}");
+        }
+        for t in THREAD_COUNTS {
+            assert!(par_chunk_ranges(Threads::new(t), 0, 8, |_, r| r.len()).is_empty());
         }
     }
 

@@ -5,6 +5,7 @@ use mb_core::linker::LinkerConfig;
 use mb_core::pipeline::{BI_KEY, CROSS_KEY};
 use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
 use mb_encoders::crossencoder::{CrossEncoder, CrossEncoderConfig};
+use mb_encoders::frozen::{FrozenBiEncoder, FrozenCrossEncoder};
 use mb_kb::{EntityId, KnowledgeBase};
 use mb_tensor::checkpoint::Checkpoint;
 use mb_text::Vocab;
@@ -12,6 +13,11 @@ use mb_text::Vocab;
 /// Everything the server owns: the trained encoders plus the world
 /// they were trained against. Self-contained (no borrows), so the
 /// server can move it into its worker threads.
+///
+/// Construction freezes (and, per `linker.quant`, quantizes) both
+/// encoders exactly once; every worker thread then serves from those
+/// `Arc`-shared tape-free handles — the serving hot path never touches
+/// the tape encoders or clones a parameter tensor.
 pub struct ServeModel {
     /// Shared vocabulary (featurization must match training).
     pub vocab: Vocab,
@@ -19,17 +25,47 @@ pub struct ServeModel {
     pub kb: KnowledgeBase,
     /// The candidate dictionary served (usually one domain's entities).
     pub dictionary: Vec<EntityId>,
-    /// Trained bi-encoder (stage one).
+    /// Trained bi-encoder (stage one; kept for index building and
+    /// diagnostics — serving uses [`ServeModel::frozen_bi`]).
     pub bi: BiEncoder,
-    /// Trained cross-encoder (stage two).
+    /// Trained cross-encoder (stage two; serving uses
+    /// [`ServeModel::frozen_cross`]).
     pub cross: CrossEncoder,
     /// Retrieval/truncation settings used at inference time.
     pub linker: LinkerConfig,
     /// Label for logs and the `/healthz` payload.
     pub domain: String,
+    frozen_bi: FrozenBiEncoder,
+    frozen_cross: FrozenCrossEncoder,
 }
 
 impl ServeModel {
+    /// Bundle trained encoders into a servable model, freezing both
+    /// under `linker.quant` (the model's single freeze/quantize point).
+    pub fn new(
+        vocab: Vocab,
+        kb: KnowledgeBase,
+        dictionary: Vec<EntityId>,
+        bi: BiEncoder,
+        cross: CrossEncoder,
+        linker: LinkerConfig,
+        domain: String,
+    ) -> ServeModel {
+        let frozen_bi = bi.freeze(linker.quant);
+        let frozen_cross = cross.freeze(linker.quant);
+        ServeModel { vocab, kb, dictionary, bi, cross, linker, domain, frozen_bi, frozen_cross }
+    }
+
+    /// The shared tape-free bi-encoder every worker serves with.
+    pub fn frozen_bi(&self) -> &FrozenBiEncoder {
+        &self.frozen_bi
+    }
+
+    /// The shared tape-free cross-encoder every worker serves with.
+    pub fn frozen_cross(&self) -> &FrozenCrossEncoder {
+        &self.frozen_cross
+    }
+
     /// Rebuild the encoders from an `mb-params v2` [`Checkpoint`]
     /// holding parameters under the training pipeline's `"bi"` and
     /// `"cross"` keys (legacy v1 files load through
@@ -57,10 +93,12 @@ impl ServeModel {
         })?;
         // The init RNG is irrelevant: every tensor is overwritten.
         let mut bi = BiEncoder::new(&vocab, bi_cfg, &mut Rng::seed_from_u64(0));
+        // mb-lint: allow(tape-free) -- one-time checkpoint load, not a forward path
         bi.set_params(bi_params.clone());
         let mut cross = CrossEncoder::new(&vocab, cross_cfg, &mut Rng::seed_from_u64(0));
+        // mb-lint: allow(tape-free) -- one-time checkpoint load, not a forward path
         cross.set_params(cross_params.clone());
-        Ok(ServeModel { vocab, kb, dictionary, bi, cross, linker, domain })
+        Ok(ServeModel::new(vocab, kb, dictionary, bi, cross, linker, domain))
     }
 }
 

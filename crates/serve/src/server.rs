@@ -23,7 +23,7 @@ use crate::model::ServeModel;
 use crate::queue::{BatchQueue, PushError};
 use mb_core::linker::{EmbedCache, LinkResult, TwoStageLinker};
 use mb_datagen::LinkedMention;
-use mb_encoders::retrieval::DenseIndex;
+use mb_encoders::retrieval::{DenseIndex, QuantizedIndex};
 use mb_kb::EntityId;
 use mb_text::OverlapCategory;
 use std::io::{BufReader, BufWriter};
@@ -75,7 +75,8 @@ struct Job {
 /// State shared by every thread of the server.
 struct Shared {
     model: ServeModel,
-    index: DenseIndex,
+    index: Arc<DenseIndex>,
+    qindex: Option<Arc<QuantizedIndex>>,
     cfg: ServerConfig,
     queue: BatchQueue<Job>,
     metrics: Metrics,
@@ -111,23 +112,29 @@ impl Server {
     /// # Errors
     /// [`mb_common::Error::Io`] when the address cannot be bound;
     /// index-validation errors from
-    /// [`TwoStageLinker::with_index`] when the model is inconsistent.
+    /// [`TwoStageLinker::with_frozen`] when the model is inconsistent.
     pub fn start(model: ServeModel, cfg: ServerConfig) -> mb_common::Result<Server> {
-        let index = DenseIndex::build(
+        let index = Arc::new(DenseIndex::build(
             &model.bi,
             &model.vocab,
             &model.linker.input,
             &model.kb,
             &model.dictionary,
-        );
+        ));
+        // Quantize the retrieval index once (None under QuantMode::Exact);
+        // workers share the handle.
+        let qindex = QuantizedIndex::from_dense(&index, model.linker.quant).map(Arc::new);
         // Fail fast on an inconsistent model rather than per request.
-        TwoStageLinker::with_index(
+        TwoStageLinker::with_frozen(
             &model.bi,
             &model.cross,
             &model.vocab,
             &model.kb,
             model.linker,
-            index.clone(),
+            Arc::clone(&index),
+            qindex.clone(),
+            model.frozen_bi().clone(),
+            model.frozen_cross().clone(),
         )?;
         let listener = TcpListener::bind(&cfg.addr)
             .map_err(|e| mb_common::Error::Io(format!("bind {}: {e}", cfg.addr)))?;
@@ -141,6 +148,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             model,
             index,
+            qindex,
             cfg,
             addr,
         });
@@ -196,13 +204,18 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
-    let linker = match TwoStageLinker::with_index(
+    // Assembled from Arc handles only: every worker serves one frozen
+    // model — no tape, no per-worker parameter or index copies.
+    let linker = match TwoStageLinker::with_frozen(
         &shared.model.bi,
         &shared.model.cross,
         &shared.model.vocab,
         &shared.model.kb,
         shared.model.linker,
-        shared.index.clone(),
+        Arc::clone(&shared.index),
+        shared.qindex.clone(),
+        shared.model.frozen_bi().clone(),
+        shared.model.frozen_cross().clone(),
     ) {
         Ok(linker) => linker,
         Err(e) => {

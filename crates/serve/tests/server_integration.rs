@@ -37,15 +37,15 @@ fn fixture() -> Fixture {
         CrossEncoderConfig { emb_dim: 16, hidden: 16, ..Default::default() },
         &mut Rng::seed_from_u64(2),
     );
-    let model = ServeModel {
+    let model = ServeModel::new(
         vocab,
-        kb: world.kb().clone(),
-        dictionary: world.kb().domain_entities(domain.id).to_vec(),
+        world.kb().clone(),
+        world.kb().domain_entities(domain.id).to_vec(),
         bi,
         cross,
-        linker: LinkerConfig { k: 8, ..LinkerConfig::default() },
-        domain: domain.name.clone(),
-    };
+        LinkerConfig { k: 8, ..LinkerConfig::default() },
+        domain.name.clone(),
+    );
     Fixture { world, model, mentions: ms.mentions }
 }
 

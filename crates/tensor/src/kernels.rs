@@ -217,6 +217,68 @@ pub fn matmul_reference(a: &Tensor, b: &Tensor, bt: bool) -> Tensor {
     Tensor::from_vec(vec![m, n], out)
 }
 
+/// Shared dispatch for the quantized scoring kernels: one independent
+/// ascending-column fold per row, rows split across workers in fixed
+/// `MC`-row chunks (the matmul band height), so which worker scores a
+/// row never changes the row's accumulation chain.
+fn score_rows_chunked<F>(rows: usize, threads: Threads, f: F) -> Vec<f64>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    if threads.is_single() || rows < 2 * MC {
+        return (0..rows).map(f).collect();
+    }
+    mb_par::par_chunk_ranges(threads, rows, MC, |_, r| r.map(&f).collect::<Vec<f64>>()).concat()
+}
+
+/// Dot product of an `f64` query against every row of an f16-stored
+/// `rows × cols` table, dequantizing each element on the fly — no
+/// table-sized allocation. Bit-identical at any thread count.
+pub fn score_all_f16(
+    table: &[u16],
+    rows: usize,
+    cols: usize,
+    query: &[f64],
+    threads: Threads,
+) -> Vec<f64> {
+    assert_eq!(table.len(), rows * cols, "score_all_f16: table size mismatch");
+    assert_eq!(query.len(), cols, "score_all_f16: query dim mismatch");
+    score_rows_chunked(rows, threads, |i| {
+        table[i * cols..(i + 1) * cols]
+            .iter()
+            .zip(query)
+            .map(|(&h, &q)| crate::quant::f16_to_f64(h) * q)
+            .sum()
+    })
+}
+
+/// Dot product of an int8-quantized query against every row of a
+/// per-row-scaled int8 table. Products accumulate **exactly** in `i64`
+/// (no per-element dequantization); each row's sum is scaled back to
+/// `f64` in one final multiplication, so the only float rounding is
+/// that last step. Bit-identical at any thread count.
+pub fn score_all_i8(
+    table: &[i8],
+    scales: &[f64],
+    rows: usize,
+    cols: usize,
+    query: &[i8],
+    query_scale: f64,
+    threads: Threads,
+) -> Vec<f64> {
+    assert_eq!(table.len(), rows * cols, "score_all_i8: table size mismatch");
+    assert_eq!(scales.len(), rows, "score_all_i8: scales length mismatch");
+    assert_eq!(query.len(), cols, "score_all_i8: query dim mismatch");
+    score_rows_chunked(rows, threads, |i| {
+        let acc: i64 = table[i * cols..(i + 1) * cols]
+            .iter()
+            .zip(query)
+            .map(|(&t, &q)| i64::from(t) * i64::from(q))
+            .sum();
+        acc as f64 * (scales[i] * query_scale)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +352,31 @@ mod tests {
         let base = matmul_impl(&a, &b, false, Threads::single());
         for t in [2, 3, 4, 8] {
             assert_bits_eq(&matmul_impl(&a, &b, false, Threads::new(t)), &base);
+        }
+    }
+
+    #[test]
+    fn quantized_scoring_is_bit_identical_across_thread_counts() {
+        // 300 rows crosses the 2*MC parallel-dispatch threshold.
+        let table = fill([300, 32], 11);
+        let query = fill([1, 32], 12);
+        let f16: Vec<u16> = table.data().iter().map(|&v| crate::quant::f16_from_f64(v)).collect();
+        let base = score_all_f16(&f16, 300, 32, query.data(), Threads::single());
+        assert_eq!(base.len(), 300);
+        let (i8s, scales): (Vec<Vec<i8>>, Vec<f64>) =
+            (0..300).map(|i| crate::quant::quantize_i8(table.row(i))).unzip();
+        let i8_table: Vec<i8> = i8s.concat();
+        let (q8, q_scale) = crate::quant::quantize_i8(query.data());
+        let base_i8 = score_all_i8(&i8_table, &scales, 300, 32, &q8, q_scale, Threads::single());
+        for t in [2, 3, 4, 7] {
+            let par = score_all_f16(&f16, 300, 32, query.data(), Threads::new(t));
+            for (x, y) in base.iter().zip(&par) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            let par8 = score_all_i8(&i8_table, &scales, 300, 32, &q8, q_scale, Threads::new(t));
+            for (x, y) in base_i8.iter().zip(&par8) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
     }
 }

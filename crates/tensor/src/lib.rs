@@ -22,6 +22,11 @@
 //! * [`gradcheck`] — central-finite-difference gradient verification,
 //!   used extensively by this crate's tests and by `mb-core`'s
 //!   meta-gradient tests.
+//! * [`frozen`] — tape-free forward-only inference ops over an
+//!   `Arc`-shared [`frozen::FrozenParams`] snapshot, pinned
+//!   bit-identical to the tape forward.
+//! * [`quant`] — f16/int8 quantized embedding tables with a
+//!   bounded-error scoring contract for the serving path.
 //!
 //! `f64` is used throughout: the meta-learning reweighting step compares
 //! tiny gradient dot products, and double precision keeps those tests
@@ -31,15 +36,19 @@
 #![allow(clippy::needless_range_loop)] // index loops are clearer in numeric kernels
 
 pub mod checkpoint;
+pub mod frozen;
 pub mod gradcheck;
 pub mod init;
 pub mod kernels;
 pub mod optim;
 pub mod params;
+pub mod quant;
 pub mod serialize;
 pub mod tape;
 pub mod tensor;
 
+pub use frozen::FrozenParams;
 pub use params::Params;
+pub use quant::QuantMode;
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

@@ -1,0 +1,113 @@
+//! Property tests pinning the tape-free frozen forward (DESIGN.md §12)
+//! to the tape ops **bit for bit** on adversarial inputs: the frozen
+//! path may skip gradient bookkeeping, but every arithmetic chain —
+//! accumulation order, eps branches, empty bags — must be untouched,
+//! at every thread count.
+
+use mb_check::gen;
+use mb_check::prop_assert_eq;
+use mb_common::Rng;
+use mb_par::Threads;
+use mb_tensor::frozen::{self, FrozenParams};
+use mb_tensor::tape::Tape;
+use mb_tensor::{Params, Tensor};
+
+/// Magnitudes spanning ~30 orders plus exact zeros and negatives, so
+/// any reordering of an accumulation chain flips an output bit.
+fn adversarial(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| {
+            let mag = rng.below(31) as i32 - 15;
+            let sign = if rng.below(2) == 0 { 1.0 } else { -1.0 };
+            match rng.below(8) {
+                0 => 0.0,
+                _ => sign * rng.f64() * 10f64.powi(mag),
+            }
+        })
+        .collect();
+    Tensor::from_vec(vec![rows, cols], data)
+}
+
+fn bits(t: &Tensor) -> Vec<u64> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+mb_check::check! {
+    #![config(cases = 48)]
+
+    fn frozen_linear_matches_tape_at_any_thread_count(seed in gen::u64_any()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let (n, d, o) = (1 + rng.below(40), 1 + rng.below(33), 1 + rng.below(17));
+        let x = adversarial(n, d, seed ^ 1);
+        let w = adversarial(d, o, seed ^ 2);
+        let b = {
+            let row = adversarial(1, o, seed ^ 3);
+            Tensor::from_vec(vec![o], row.data().to_vec())
+        };
+        for t in [1usize, 2, 3, 4] {
+            let threads = Threads::new(t);
+            let mut tape = Tape::with_threads(threads);
+            let (xv, wv, bv) = (tape.leaf(x.clone()), tape.leaf(w.clone()), tape.leaf(b.clone()));
+            let lv = tape.linear(xv, wv, bv);
+            let want = tape.value(lv).clone();
+            let got = frozen::linear(&x, &w, &b, threads);
+            prop_assert_eq!(bits(&got), bits(&want), "n={} d={} o={} threads={}", n, d, o, t);
+        }
+    }
+
+    fn frozen_pointwise_ops_match_tape(seed in gen::u64_any()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let (n, d) = (1 + rng.below(24), 1 + rng.below(24));
+        let mut x = adversarial(n, d, seed ^ 4);
+        // An all-zero row exercises the eps branch of the normaliser.
+        for v in x.row_mut(rng.below(n)) {
+            *v = 0.0;
+        }
+        let y = adversarial(n, d, seed ^ 5);
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let yv = tape.leaf(y.clone());
+        let th = tape.tanh(xv);
+        let no = tape.row_l2_normalize(xv, 1e-9);
+        let dt = tape.rows_dot(xv, yv);
+        prop_assert_eq!(bits(&frozen::tanh(&x)), bits(tape.value(th)));
+        prop_assert_eq!(bits(&frozen::row_l2_normalize(&x, 1e-9)), bits(tape.value(no)));
+        prop_assert_eq!(bits(&frozen::rows_dot(&x, &y)), bits(tape.value(dt)));
+    }
+
+    fn frozen_bag_embed_matches_tape(seed in gen::u64_any()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let (vocab, d) = (2 + rng.below(40), 1 + rng.below(16));
+        let table = adversarial(vocab, d, seed ^ 6);
+        // Repeated ids, empty bags, and singletons all included.
+        let bags: Vec<Vec<u32>> = (0..rng.below(10))
+            .map(|_| (0..rng.below(7)).map(|_| rng.below(vocab) as u32).collect())
+            .collect();
+        let mut tape = Tape::new();
+        let tv = tape.leaf(table.clone());
+        let bv = tape.bag_embed(tv, bags.clone());
+        let want = tape.value(bv).clone();
+        prop_assert_eq!(bits(&frozen::bag_embed(&table, &bags)), bits(&want));
+    }
+
+    fn frozen_params_resolve_identically_to_their_source(seed in gen::u64_any()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut params = Params::default();
+        let ids: Vec<_> = (0..1 + rng.below(6))
+            .map(|i| {
+                let t = adversarial(1 + rng.below(8), 1 + rng.below(8), seed ^ (7 + i as u64));
+                params.add(format!("p{i}"), t)
+            })
+            .collect();
+        let snap = FrozenParams::freeze(&params);
+        prop_assert_eq!(snap.len(), ids.len());
+        prop_assert_eq!(snap.numel(), params.numel());
+        for id in ids {
+            prop_assert_eq!(bits(snap.get(id)), bits(params.get(id)));
+        }
+        // Handles share one allocation — the whole point of freezing.
+        let handle = snap.clone();
+        assert!(handle.shares_storage(&snap));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests pinning the quantization error contract (DESIGN.md
+//! §12): f16 round-trips stay within half a unit in the last place of
+//! an 11-bit significand, int8 round-trips stay within half a
+//! quantization step, and the dequantize-free int8 dot product is
+//! exactly the integer-accumulated reference — not merely close to it.
+
+use mb_check::gen;
+use mb_check::{prop_assert, prop_assert_eq};
+use mb_common::Rng;
+use mb_par::Threads;
+use mb_tensor::quant::{f16_from_f64, f16_to_f64, quantize_i8, QuantF16, QuantI8};
+use mb_tensor::{frozen, Tensor};
+
+/// Values spanning the f16 normal range (~6e-5 .. 65504) with random
+/// sign, plus exact zeros.
+fn f16_range_values(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.below(16) == 0 {
+                return 0.0;
+            }
+            let mag = rng.below(20) as i32 - 10; // 10^-10 .. 10^9 pre-clamp
+            let sign = if rng.below(2) == 0 { 1.0 } else { -1.0 };
+            let v = sign * (0.1 + rng.f64()) * 10f64.powi(mag);
+            v.clamp(-60000.0, 60000.0)
+        })
+        .collect()
+}
+
+/// A rank-2 table of values safely inside the f16 normal range.
+fn table(rows: usize, cols: usize, seed: u64) -> Tensor {
+    Tensor::from_vec(vec![rows, cols], f16_range_values(rows * cols, seed))
+}
+
+mb_check::check! {
+    #![config(cases = 64)]
+
+    fn f16_round_trip_error_is_bounded(seed in gen::u64_any()) {
+        // Normal-range values round-trip within 2^-11 relative error
+        // (round-to-nearest over a 10-bit stored mantissa); the
+        // round-trip is idempotent; zero is exact.
+        for x in f16_range_values(64, seed) {
+            let rt = f16_to_f64(f16_from_f64(x));
+            if x == 0.0 {
+                prop_assert_eq!(rt, 0.0, "zero must round-trip exactly");
+                continue;
+            }
+            if x.abs() >= 6.2e-5 {
+                let rel = (rt - x).abs() / x.abs();
+                prop_assert!(rel <= 1.0 / 2048.0, "x={} rt={} rel={}", x, rt, rel);
+            } else {
+                // Subnormal f16: absolute error within half the
+                // smallest subnormal step (2^-24).
+                prop_assert!((rt - x).abs() <= 3.0e-8, "x={} rt={}", x, rt);
+            }
+            let again = f16_to_f64(f16_from_f64(rt));
+            prop_assert_eq!(again.to_bits(), rt.to_bits(), "round-trip must be idempotent");
+        }
+    }
+
+    fn int8_round_trip_stays_within_half_a_step(seed in gen::u64_any()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let cols = 1 + rng.below(48);
+        let row = f16_range_values(cols, seed ^ 1);
+        let (codes, scale) = quantize_i8(&row);
+        let max_abs = row.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        if max_abs == 0.0 {
+            prop_assert_eq!(scale, 0.0);
+            prop_assert!(codes.iter().all(|&q| q == 0));
+            return Ok(());
+        }
+        prop_assert_eq!(scale, max_abs / 127.0, "scale is max_abs/127");
+        for (&q, &x) in codes.iter().zip(&row) {
+            let err = (f64::from(q) * scale - x).abs();
+            // Half a step, with headroom for the two float roundings.
+            prop_assert!(err <= scale * 0.5000001, "x={} q={} err={} scale={}", x, q, err, scale);
+            prop_assert!((-127..=127).contains(&i32::from(q)));
+        }
+    }
+
+    fn int8_dot_is_exactly_the_integer_reference(seed in gen::u64_any()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let (rows, cols) = (1 + rng.below(40), 1 + rng.below(32));
+        let t = table(rows, cols, seed ^ 2);
+        let quant = QuantI8::from_tensor(&t);
+        let query = f16_range_values(cols, seed ^ 3);
+        let (q_codes, q_scale) = quantize_i8(&query);
+        let want: Vec<f64> = (0..rows)
+            .map(|i| {
+                let scale = quant.scales()[i];
+                if scale == 0.0 {
+                    return 0.0; // all-zero row quantizes to all-zero codes
+                }
+                let acc: i64 = (0..cols)
+                    .map(|j| {
+                        let code = (t.row(i)[j] / scale).round().clamp(-127.0, 127.0);
+                        code as i64 * i64::from(q_codes[j])
+                    })
+                    .sum();
+                acc as f64 * (scale * q_scale)
+            })
+            .collect();
+        // Integer accumulation is exact, so every thread count must
+        // reproduce the reference bit for bit.
+        for threads in [1usize, 2, 3, 4] {
+            let got = quant.score_all(&query, Threads::new(threads));
+            for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+                prop_assert_eq!(w.to_bits(), g.to_bits(), "row {} threads {}", i, threads);
+            }
+        }
+    }
+
+    fn quantized_bag_embed_matches_the_dequantized_table(seed in gen::u64_any()) {
+        // Mean-pooling the quantized table must equal running the exact
+        // frozen `bag_embed` over the dequantized table, bit for bit —
+        // quantization error enters through the stored values only,
+        // never through a different pooling order.
+        let mut rng = Rng::seed_from_u64(seed);
+        let (rows, cols) = (2 + rng.below(30), 1 + rng.below(24));
+        let t = table(rows, cols, seed ^ 4);
+        let bags: Vec<Vec<u32>> = (0..1 + rng.below(12))
+            .map(|_| (0..rng.below(6)).map(|_| rng.below(rows) as u32).collect())
+            .collect();
+        let f16 = QuantF16::from_tensor(&t);
+        let i8t = QuantI8::from_tensor(&t);
+        for (quant_pool, dequant) in
+            [(f16.bag_embed(&bags), f16.dequantize()), (i8t.bag_embed(&bags), i8t.dequantize())]
+        {
+            let want = frozen::bag_embed(&dequant, &bags);
+            prop_assert_eq!(quant_pool.shape(), want.shape());
+            for (a, b) in quant_pool.data().iter().zip(want.data()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

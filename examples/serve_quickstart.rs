@@ -46,15 +46,15 @@ fn main() {
         general: &[],
     };
     let trained = train(&task, Method::Blink, DataSource::Seed, &MetaBlinkConfig::fast_test());
-    let model = ServeModel {
-        dictionary: world.kb().domain_entities(domain.id).to_vec(),
-        kb: world.kb().clone(),
-        bi: trained.bi,
-        cross: trained.cross,
+    let model = ServeModel::new(
         vocab,
-        linker: trained.linker_cfg,
-        domain: domain.name.clone(),
-    };
+        world.kb().clone(),
+        world.kb().domain_entities(domain.id).to_vec(),
+        trained.bi,
+        trained.cross,
+        trained.linker_cfg,
+        domain.name.clone(),
+    );
 
     // Port 0 asks the OS for an ephemeral port; the entity index is
     // precomputed before `start` returns.

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Bench-regression gate: rerun the kernel and inference benchmarks and
+# compare their medians against the committed bench-baseline.json,
+# failing if any metric regressed more than the baseline's threshold
+# (25%). After an intentional perf change, refresh the pinned medians
+# with:
+#
+#   cargo run --release -p mb-bench --bin bench_gate -- --update
+#
+# Usage: scripts/bench_gate.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p mb-bench --bin bench_kernels
+cargo run --release -p mb-bench --bin bench_inference
+cargo run --release -p mb-bench --bin bench_gate

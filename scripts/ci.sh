@@ -1,50 +1,84 @@
 #!/usr/bin/env bash
-# The CI gate, runnable locally and byte-for-byte the same steps as
-# .github/workflows/ci.yml — keep the two in sync.
+# The CI gate, runnable locally with byte-for-byte the same steps as
+# .github/workflows/ci.yml. The drift test (tests/ci_drift.rs) compares
+# `scripts/ci.sh --list-steps` against the workflow's `- run:` lines,
+# so the two cannot silently diverge.
 #
 # The workspace is hermetic: every dependency is a path crate, so all
 # steps work with networking disabled (cargo never touches a registry).
 #
-# Usage: scripts/ci.sh
+# Usage: scripts/ci.sh              # run the full gate
+#        scripts/ci.sh --list-steps # print the step commands, one per line
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-run() {
-    echo
-    echo "==> $*"
-    "$@"
-}
+# One "name|command" entry per step, in run order. The command half is
+# what --list-steps prints and what the drift test matches against the
+# workflow, so edits here and in ci.yml must stay in lockstep.
+STEPS=(
+    "fmt|cargo fmt --all --check"
+    "clippy|cargo clippy --workspace --all-targets -- -D warnings"
+    # In-repo static analysis: panic-freedom, determinism, lock
+    # discipline, unsafe gate, tape-free serving. Fails on any finding
+    # not in lint-baseline.txt — the baseline only ever shrinks.
+    "lint|cargo run -q -p mb-lint"
+    "build|cargo build --release --workspace"
+    "test|cargo test -q --workspace"
+    # Bench smoke: the probe harness exercises the full pipeline
+    # (worldgen -> synthetic supervision -> two-stage training -> eval)
+    # at bench scale on one domain.
+    "bench-smoke|cargo run --release -p mb-bench --bin probe -- Lego"
+    # Fault-injection smoke: kill training at every step, resume from
+    # the surviving checkpoints, and require bit-identical results. The
+    # exhaustive sweep is #[ignore]d in the default (debug) suite and
+    # run here in release.
+    "fault-smoke|cargo test --release -q -p mb-core --test resume -- --include-ignored"
+    # Kernel bench smoke: times the cache-blocked matmul against the
+    # naive reference (and asserts bit-identity between them before
+    # timing); writes target/experiments/BENCH_kernels.json.
+    "kernel-smoke|cargo run --release -p mb-bench --bin bench_kernels"
+    # Thread-count determinism: linker outputs, meta weights, and
+    # trained parameters must be bit-identical at 1/2/4 worker threads.
+    # Run in release so the blocked (not fallback) kernels are pinned.
+    "thread-determinism|cargo test --release -q -p mb-core --test thread_determinism"
+    # Serve smoke: train a small model, serve it, and drive it with the
+    # load generator — 100% 2xx under load, non-empty /metrics, and a
+    # graceful shutdown that exits 0.
+    "serve-smoke|scripts/serve_smoke.sh"
+    # Bench regression: rerun the kernel + inference benchmarks and fail
+    # if any median regressed >25% vs the committed bench-baseline.json.
+    "bench-regression|scripts/bench_gate.sh"
+)
 
-run cargo fmt --all --check
-run cargo clippy --workspace --all-targets -- -D warnings
-# In-repo static analysis: panic-freedom, determinism, lock
-# discipline, unsafe gate. Fails on any finding not in
-# lint-baseline.txt — the baseline only ever shrinks.
-run cargo run -q -p mb-lint
-run cargo build --release --workspace
-run cargo test -q --workspace
-# Bench smoke: the probe harness exercises the full pipeline
-# (worldgen -> synthetic supervision -> two-stage training -> eval)
-# at bench scale on one domain.
-run cargo run --release -p mb-bench --bin probe -- Lego
-# Fault-injection smoke: kill training at every step, resume from the
-# surviving checkpoints, and require bit-identical results. The
-# exhaustive sweep is #[ignore]d in the default (debug) suite and run
-# here in release.
-run cargo test --release -q -p mb-core --test resume -- --include-ignored
-# Kernel bench smoke: times the cache-blocked matmul against the naive
-# reference (and asserts bit-identity between them before timing);
-# writes target/experiments/BENCH_kernels.json.
-run cargo run --release -p mb-bench --bin bench_kernels
-# Thread-count determinism: linker outputs, meta weights, and trained
-# parameters must be bit-identical at 1/2/4 worker threads. Run in
-# release so the blocked (not fallback) kernels are what is pinned.
-run cargo test --release -q -p mb-core --test thread_determinism
-# Serve smoke: train a small model, serve it, and drive it with the
-# load generator — 100% 2xx under load, non-empty /metrics, and a
-# graceful shutdown that exits 0.
-run scripts/serve_smoke.sh
+if [[ "${1:-}" == "--list-steps" ]]; then
+    for step in "${STEPS[@]}"; do
+        echo "${step#*|}"
+    done
+    exit 0
+fi
+
+names=()
+seconds=()
+for step in "${STEPS[@]}"; do
+    name="${step%%|*}"
+    cmd="${step#*|}"
+    echo
+    echo "==> [$name] $cmd"
+    start=$SECONDS
+    bash -c "$cmd"
+    names+=("$name")
+    seconds+=("$((SECONDS - start))")
+done
+
+echo
+echo "stage timing:"
+total=0
+for i in "${!names[@]}"; do
+    printf '  %-20s %4ss\n' "${names[$i]}" "${seconds[$i]}"
+    total=$((total + seconds[i]))
+done
+printf '  %-20s %4ss\n' "total" "$total"
 
 echo
 echo "CI gate passed."

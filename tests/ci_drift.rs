@@ -1,0 +1,68 @@
+//! CI drift enforcement: `scripts/ci.sh` and `.github/workflows/ci.yml`
+//! must run the same commands in the same order.
+//!
+//! The shell script is the source of truth for local runs and prints
+//! its step list via `--list-steps`; this test diffs that list against
+//! the workflow's `- run:` lines (setup lines like `rustup component
+//! add` excepted). Before this test existed the two files carried a
+//! "keep in sync" comment — now divergence fails the build instead.
+
+use std::process::Command;
+
+/// Step commands as `scripts/ci.sh --list-steps` prints them.
+fn script_steps() -> Vec<String> {
+    let out = Command::new("bash")
+        .arg("scripts/ci.sh")
+        .arg("--list-steps")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to spawn scripts/ci.sh --list-steps");
+    assert!(
+        out.status.success(),
+        "scripts/ci.sh --list-steps failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout)
+        .expect("--list-steps output is not UTF-8")
+        .lines()
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty())
+        .collect()
+}
+
+/// Step commands from the workflow's `- run:` lines, top to bottom,
+/// with environment-setup lines (`rustup component add`) excluded —
+/// those install toolchain components on the ephemeral CI runner and
+/// have no local equivalent.
+fn workflow_steps() -> Vec<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/.github/workflows/ci.yml");
+    let yml = std::fs::read_to_string(path).expect("cannot read .github/workflows/ci.yml");
+    yml.lines()
+        .filter_map(|line| line.trim().strip_prefix("- run:"))
+        .map(|cmd| cmd.trim().to_string())
+        .filter(|cmd| !cmd.contains("rustup component add"))
+        .collect()
+}
+
+#[test]
+fn ci_script_and_workflow_run_the_same_steps_in_the_same_order() {
+    let script = script_steps();
+    let workflow = workflow_steps();
+    assert!(!script.is_empty(), "scripts/ci.sh --list-steps printed nothing");
+    assert_eq!(
+        script, workflow,
+        "scripts/ci.sh and .github/workflows/ci.yml have drifted;\n\
+         left:  scripts/ci.sh --list-steps\n\
+         right: ci.yml `- run:` lines (rustup setup lines excluded)"
+    );
+}
+
+#[test]
+fn ci_script_ends_with_the_bench_regression_gate() {
+    let script = script_steps();
+    assert_eq!(
+        script.last().map(String::as_str),
+        Some("scripts/bench_gate.sh"),
+        "the bench-regression gate must stay the final CI step"
+    );
+}
