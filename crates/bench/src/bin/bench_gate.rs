@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         current_paths = vec![
             "target/experiments/BENCH_kernels.json".to_string(),
             "target/experiments/BENCH_inference.json".to_string(),
+            "target/experiments/BENCH_serve_openloop.json".to_string(),
         ];
     }
 
@@ -155,7 +156,8 @@ fn usage(err: &str) -> ExitCode {
         "usage: bench_gate [--baseline PATH] [--current PATH]... [--update]\n\
          defaults: --baseline bench-baseline.json \
          --current target/experiments/BENCH_kernels.json \
-         --current target/experiments/BENCH_inference.json"
+         --current target/experiments/BENCH_inference.json \
+         --current target/experiments/BENCH_serve_openloop.json"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -36,8 +36,16 @@
 //!   with [`Error::Io`] a bounded number of times, then works —
 //!   NFS hiccups, `EINTR`, momentary `ENOSPC`. Recovery: bounded retry
 //!   with backoff at the call site.
+//!
+//! The [`net`] module extends the same seed-replayable philosophy to
+//! the network: a fault-injecting TCP proxy ([`net::NetProxy`]) that
+//! slow-rolls requests, tears replies mid-response, aborts connections,
+//! and stalls readers — the fault model mb-serve's chaos tests run
+//! against.
 
 #![warn(missing_docs)]
+
+pub mod net;
 
 use mb_common::storage::{StepBudget, Storage};
 use mb_common::{Error, Result, Rng};

@@ -20,6 +20,14 @@
 //!   allocate a gradient tape or copy parameter tensors — flags `Tape`,
 //!   `.inject(` (the per-forward parameter copy), `.clone()` on a
 //!   `…params` receiver, and `Params::clone(`;
+//! - **bounded queue**: serving-path collections that buffer work
+//!   (`queue`, `pending`, `backlog`, …) must be bounded — flags
+//!   `.push_back(`/`.push_front(` and `.push(` on queue-like receivers
+//!   unless the enclosing function visibly enforces a bound (mentions
+//!   `capacity`, `truncate`, or `max_batch`);
+//! - **as-truncation**: `id as u32`-style narrowing of identifier ids
+//!   silently wraps once the id space outgrows the target type — use
+//!   `TryFrom` or widen the target;
 //! - **lock discipline**: see [`crate::locks`].
 //!
 //! Code under `#[cfg(test)]` is exempt from the panic-freedom and
@@ -52,6 +60,14 @@ pub struct RuleSet {
     /// appear where every forward is meant to ride one shared
     /// `FrozenParams` snapshot.
     pub tape_free: bool,
+    /// Deny unbounded growth of work-buffering collections on the
+    /// serving path: every `.push_back(`/`.push_front(` (and `.push(`
+    /// on a queue-like receiver) must sit in a function that visibly
+    /// enforces a bound.
+    pub bounded_queue: bool,
+    /// Deny `as` narrowing of identifier ids to sub-`usize` integer
+    /// types — a wrapped id silently aliases another entity.
+    pub as_truncation: bool,
 }
 
 impl RuleSet {
@@ -69,6 +85,8 @@ impl RuleSet {
             unsafe_gate: true,
             float_total_order: true,
             tape_free: true,
+            bounded_queue: true,
+            as_truncation: true,
         }
     }
 }
@@ -209,6 +227,12 @@ pub fn analyze_file(
         }
         if rules.tape_free {
             tape_free_rules(&sig, i, &mut emit);
+        }
+        if rules.bounded_queue {
+            bounded_queue_rules(&sig, i, &mut emit);
+        }
+        if rules.as_truncation {
+            as_truncation_rules(&sig, i, &mut emit);
         }
     }
 
@@ -441,6 +465,105 @@ fn tape_free_rules(sig: &[Sig<'_>], i: usize, emit: &mut impl FnMut(&'static str
     }
 }
 
+/// Receiver identifiers that name work-buffering collections on the
+/// serving path; a bare `.push(` on one of these is queue growth.
+const QUEUE_RECEIVERS: &[&str] = &["queue", "pending", "backlog", "jobs", "inflight", "batch"];
+
+/// Whether the function enclosing token `i` visibly enforces a bound:
+/// any identifier between the nearest `fn` tokens mentions `capacity`
+/// (`with_capacity`, `queue_capacity`, a `capacity` field check),
+/// `truncate`, or `max_batch`.
+fn fn_window_has_bound(sig: &[Sig<'_>], i: usize) -> bool {
+    let start = sig[..i].iter().rposition(|t| t.text == "fn").unwrap_or(0);
+    let end =
+        sig[i + 1..].iter().position(|t| t.text == "fn").map(|p| i + 1 + p).unwrap_or(sig.len());
+    sig[start..end].iter().any(|t| {
+        t.tok.kind == TokenKind::Ident
+            && (t.text.contains("capacity")
+                || t.text.contains("truncate")
+                || t.text.contains("max_batch"))
+    })
+}
+
+/// Bounded-queue discipline: an unbounded `push_back`/`push_front`
+/// (or `push` onto a queue-like receiver) on the serving path grows
+/// without limit under overload — exactly the buffer bloat the
+/// admission gate and the bounded `BatchQueue` in mb-serve exist to
+/// prevent. The enclosing function must show its bound.
+fn bounded_queue_rules(
+    sig: &[Sig<'_>],
+    i: usize,
+    emit: &mut impl FnMut(&'static str, Token, String),
+) {
+    let s = &sig[i];
+    if s.tok.kind != TokenKind::Ident
+        || i == 0
+        || sig[i - 1].text != "."
+        || sig.get(i + 1).map(|t| t.text) != Some("(")
+    {
+        return;
+    }
+    let unbounded = match s.text {
+        "push_back" | "push_front" => true,
+        "push" => i
+            .checked_sub(2)
+            .map(|j| sig[j])
+            .is_some_and(|r| r.tok.kind == TokenKind::Ident && QUEUE_RECEIVERS.contains(&r.text)),
+        _ => false,
+    };
+    if unbounded && !fn_window_has_bound(sig, i) {
+        emit(
+            "bounded-queue",
+            s.tok,
+            format!(
+                "`.{}()` grows a work buffer without a visible bound; check a capacity (or \
+                 truncate) in this function, or shed instead of queueing",
+                s.text
+            ),
+        );
+    }
+}
+
+/// Integer types an id must not be `as`-cast into: every id in the
+/// workspace is `usize`-like, and a narrowing cast wraps silently once
+/// the entity space outgrows the target (aliasing another id).
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn as_truncation_rules(
+    sig: &[Sig<'_>],
+    i: usize,
+    emit: &mut impl FnMut(&'static str, Token, String),
+) {
+    let s = &sig[i];
+    if s.tok.kind != TokenKind::Ident || s.text != "as" {
+        return;
+    }
+    let Some(ty) = sig.get(i + 1) else { return };
+    if !NARROW_INTS.contains(&ty.text) {
+        return;
+    }
+    // The cast source must be an id-flavoured identifier — `id`,
+    // `entity_id`, `…Id` — or the `.0` field of one (newtype ids).
+    let id_like = |t: Sig<'_>| {
+        t.tok.kind == TokenKind::Ident
+            && (t.text == "id" || t.text.ends_with("_id") || t.text.ends_with("Id"))
+    };
+    let Some(prev) = i.checked_sub(1).map(|j| sig[j]) else { return };
+    let truncates_id = id_like(prev)
+        || (prev.text == "0" && i >= 3 && sig[i - 2].text == "." && id_like(sig[i - 3]));
+    if truncates_id {
+        emit(
+            "as-truncation",
+            s.tok,
+            format!(
+                "`as {}` silently wraps an id once the space outgrows {}; use `TryFrom` (reject) \
+                 or keep the id wide",
+                ty.text, ty.text
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,6 +656,54 @@ mod tests {
         // Tests may build tapes to pin the frozen forward against.
         let src = "#[cfg(test)]\nmod tests {\n    fn f() { let t = Tape::new(); }\n}\n";
         assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn bounded_queue_flags_unbounded_growth() {
+        assert_eq!(rules_of("fn f() { q.items.push_back(item); }"), vec!["bounded-queue"]);
+        assert_eq!(rules_of("fn f() { deque.push_front(item); }"), vec!["bounded-queue"]);
+        assert_eq!(rules_of("fn f() { self.pending.push(job); }"), vec!["bounded-queue"]);
+        assert_eq!(rules_of("fn f() { queue.push(job); }"), vec!["bounded-queue"]);
+    }
+
+    #[test]
+    fn bounded_queue_accepts_visible_bounds_and_plain_vecs() {
+        // A capacity check in the same function is the bound.
+        assert!(rules_of(
+            "fn f(&self) { if s.items.len() >= self.capacity { return; } s.items.push_back(it); }"
+        )
+        .is_empty());
+        assert!(rules_of("fn f() { jobs.push(j); jobs.truncate(max); }").is_empty());
+        assert!(rules_of("fn f(max_batch: usize) { batch.push(job); }").is_empty());
+        // Non-queue receivers may push freely (string building etc.).
+        assert!(rules_of("fn f() { out.push('x'); headers.push(h); }").is_empty());
+        // The bound must be in the same function, not a neighbour.
+        assert_eq!(
+            rules_of("fn a(capacity: usize) {}\nfn b() { queue.push(job); }"),
+            vec!["bounded-queue"]
+        );
+    }
+
+    #[test]
+    fn as_truncation_flags_narrowing_id_casts() {
+        assert_eq!(rules_of("fn f() { let x = id as u32; }"), vec!["as-truncation"]);
+        assert_eq!(rules_of("fn f() { let x = entity_id as u16; }"), vec!["as-truncation"]);
+        assert_eq!(rules_of("fn f() { buf.write(mention_id as u8) }"), vec!["as-truncation"]);
+        // Newtype ids cast through their `.0` field.
+        assert_eq!(rules_of("fn f(e: EntityId) { let x = entity_id.0 as u32; }"), {
+            vec!["as-truncation"]
+        });
+    }
+
+    #[test]
+    fn as_truncation_leaves_widening_and_non_ids_alone() {
+        // Widening or same-width targets are safe.
+        assert!(rules_of("fn f() { let x = id as u64; let y = id as usize; }").is_empty());
+        // Non-id identifiers (including ones merely containing "id").
+        assert!(rules_of("fn f() { let x = count as u32; let v = valid as u8; }").is_empty());
+        assert!(rules_of("fn f() { let w = width as u16; }").is_empty());
+        // `as` in paths/imports does not match.
+        assert!(rules_of("use std::io::Error as IoError;").is_empty());
     }
 
     #[test]

@@ -16,6 +16,8 @@ pub const RULE_IDS: &[&str] = &[
     "unsafe-gate",
     "float-total-order",
     "tape-free",
+    "bounded-queue",
+    "as-truncation",
     "suppression",
 ];
 

@@ -18,7 +18,14 @@
 //!   frozen forward itself (`crates/tensor/src/frozen.rs`,
 //!   `crates/tensor/src/quant.rs`, `crates/encoders/src/frozen.rs`):
 //!   no gradient-tape allocation and no parameter copies — every
-//!   serving forward rides one shared `FrozenParams` snapshot.
+//!   serving forward rides one shared `FrozenParams` snapshot;
+//! - **bounded-queue** on the serving path (`crates/serve/src`): a
+//!   work buffer that grows without a visible bound is how overload
+//!   turns into memory growth and minute-long queueing delays instead
+//!   of fast 503 shedding;
+//! - **as-truncation** workspace-wide (tests exempt): `id as u32`
+//!   narrowing silently wraps once an id space outgrows the target
+//!   type, aliasing two entities.
 
 use crate::analyzer::{analyze_file, RuleSet};
 use crate::findings::Finding;
@@ -44,11 +51,17 @@ const TAPE_FREE_FILES: &[&str] =
 /// The rule families enforced for a workspace-relative path
 /// (`/`-separated).
 pub fn rules_for(rel_path: &str) -> RuleSet {
-    let mut rules = RuleSet { unsafe_gate: true, float_total_order: true, ..RuleSet::default() };
+    let mut rules = RuleSet {
+        unsafe_gate: true,
+        float_total_order: true,
+        as_truncation: true,
+        ..RuleSet::default()
+    };
     if rel_path.starts_with("crates/serve/src/") {
         rules.panic_freedom = true;
         rules.lock_discipline = true;
         rules.tape_free = true;
+        rules.bounded_queue = true;
     }
     if PANIC_FREE_FILES.contains(&rel_path) {
         rules.panic_freedom = true;
@@ -130,10 +143,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn serve_gets_panic_lock_and_tape_free_rules() {
+    fn serve_gets_panic_lock_tape_free_and_bounded_queue_rules() {
         let r = rules_for("crates/serve/src/queue.rs");
         assert!(r.panic_freedom && r.lock_discipline && r.unsafe_gate && r.tape_free);
+        assert!(r.bounded_queue);
         assert!(!r.determinism);
+        // The queue discipline is a serving-path guarantee, not global.
+        assert!(!rules_for("crates/core/src/linker.rs").bounded_queue);
+        assert!(!rules_for("crates/serve/tests/chaos.rs").bounded_queue);
+    }
+
+    #[test]
+    fn as_truncation_applies_workspace_wide() {
+        assert!(rules_for("crates/serve/src/server.rs").as_truncation);
+        assert!(rules_for("crates/kb/src/index.rs").as_truncation);
+        assert!(rules_for("src/bin/metablink.rs").as_truncation);
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! Seeded as-truncation violations for the golden test.
+
+fn positives(id: usize, entity_id: usize, nt: EntityId) {
+    let a = id as u32;
+    let b = entity_id as u16;
+    let c = nt_id.0 as u8;
+}
+
+fn suppressed(domain_id: usize) {
+    // mb-lint: allow(as-truncation) -- fixture: wire format caps ids at u16
+    let w = domain_id as u16;
+}
+
+fn clean(id: usize, count: usize, valid: usize) {
+    let wide = id as u64;
+    let native = id as usize;
+    let n = count as u32;
+    let v = valid as u8;
+    let t = u32::try_from(id);
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only(id: usize) {
+        let x = id as u32;
+    }
+}

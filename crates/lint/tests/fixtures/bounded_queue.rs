@@ -1,0 +1,41 @@
+//! Seeded bounded-queue violations for the golden test.
+
+fn positives(q: &mut Queue, deque: &mut VecDeque<Job>, jobs: &mut Vec<Job>) {
+    q.items.push_back(job);
+    deque.push_front(job);
+    self.pending.push(job);
+    jobs.push(job);
+}
+
+fn suppressed(backlog: &mut Vec<Job>) {
+    // mb-lint: allow(bounded-queue) -- fixture: drained synchronously below
+    backlog.push(job);
+}
+
+fn clean_bounded(&self, item: Job) {
+    if self.items.len() >= self.capacity {
+        return;
+    }
+    self.items.push_back(item);
+}
+
+fn clean_truncating(jobs: &mut Vec<Job>, job: Job) {
+    jobs.push(job);
+    jobs.truncate(LIMIT);
+}
+
+fn clean_batch(batch: &mut Vec<Job>, job: Job, max_batch: usize) {
+    batch.push(job);
+}
+
+fn clean_non_queue(out: &mut String, headers: &mut Vec<Header>) {
+    out.push('x');
+    headers.push(header);
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_only(queue: &mut Vec<Job>) {
+        queue.push(job);
+    }
+}

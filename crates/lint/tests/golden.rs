@@ -123,6 +123,40 @@ fn tape_free_golden() {
 }
 
 #[test]
+fn bounded_queue_golden() {
+    let src = fixture("bounded_queue.rs");
+    let rules = RuleSet { bounded_queue: true, ..RuleSet::none() };
+    let found = analyze_file("bounded_queue.rs", &src, rules, None);
+    assert_eq!(
+        spans(&found),
+        vec![
+            ("bounded-queue", 4, 13),
+            ("bounded-queue", 5, 11),
+            ("bounded-queue", 6, 18),
+            ("bounded-queue", 7, 10),
+        ],
+        "suppressed (line 12), capacity-checked (line 19), truncating (line 24), \
+         max_batch (line 28), non-queue pushes (lines 32-33), and #[cfg(test)] \
+         pushes must stay silent"
+    );
+    assert!(found[0].message.contains("bound"), "{}", found[0].message);
+}
+
+#[test]
+fn as_truncation_golden() {
+    let src = fixture("as_truncation.rs");
+    let rules = RuleSet { as_truncation: true, ..RuleSet::none() };
+    let found = analyze_file("as_truncation.rs", &src, rules, None);
+    assert_eq!(
+        spans(&found),
+        vec![("as-truncation", 4, 16), ("as-truncation", 5, 23), ("as-truncation", 6, 21)],
+        "suppressed (line 11), widening/native casts (lines 15-16), non-id sources \
+         (lines 17-18), and #[cfg(test)] casts must stay silent"
+    );
+    assert!(found[0].message.contains("TryFrom"), "{}", found[0].message);
+}
+
+#[test]
 fn lock_discipline_golden() {
     let src = fixture("locks.rs");
     let rules = RuleSet { lock_discipline: true, ..RuleSet::none() };

@@ -186,6 +186,7 @@ const fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Content Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -201,13 +202,31 @@ pub fn write_response(
     body: &[u8],
     close: bool,
 ) -> std::io::Result<()> {
+    write_response_ext(w, status, content_type, body, close, &[])
+}
+
+/// [`write_response`] with additional headers (name must be a valid
+/// lowercase HTTP header name; the value must be line-break free) —
+/// how 503 responses carry `Retry-After`.
+pub fn write_response_ext(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
         reason(status),
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
@@ -254,6 +273,25 @@ mod tests {
         assert_eq!(parse(b"GET / HTTP/1.1\r\nhost: x\r\n").unwrap_err().status(), 400);
         let e = parse(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc").unwrap_err();
         assert_eq!(e.status(), 400);
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_body() {
+        let mut out = Vec::new();
+        write_response_ext(
+            &mut out,
+            503,
+            "application/json",
+            b"{}",
+            true,
+            &[("retry-after", "1".to_string())],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 
     #[test]

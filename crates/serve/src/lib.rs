@@ -34,13 +34,17 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod model;
 pub mod queue;
+pub mod registry;
 pub mod server;
 pub(crate) mod sync;
 
+pub use config::ServeConfig;
 pub use model::ServeModel;
+pub use registry::{Generation, ModelLoader, ModelRegistry};
 pub use server::{Server, ServerConfig};

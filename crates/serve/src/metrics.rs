@@ -20,6 +20,23 @@ pub const BATCH_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
 const NLAT: usize = LATENCY_BUCKETS_US.len() + 1;
 const NBATCH: usize = BATCH_BUCKETS.len() + 1;
 
+/// Point-in-time gauges the caller samples when rendering `/metrics`
+/// (queue depth from the [`crate::queue::BatchQueue`], the rest from
+/// the admission gate and the model registry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Items currently queued.
+    pub queue_depth: usize,
+    /// Admission permits currently held.
+    pub inflight: u64,
+    /// Current model generation id.
+    pub generation: u64,
+    /// Successful hot swaps so far.
+    pub swaps: u64,
+    /// Candidate generations rejected (corrupt or inconsistent).
+    pub reload_rejected: u64,
+}
+
 /// Counters exposed on `GET /metrics`.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -31,6 +48,16 @@ pub struct Metrics {
     responses_5xx: AtomicU64,
     /// `/link` requests shed by the bounded queue (also counted 5xx).
     rejected: AtomicU64,
+    /// Requests refused by the admission gate (also counted 5xx).
+    admission_rejected: AtomicU64,
+    /// Requests shed because their deadline could not be met (at
+    /// admission estimate or queue drain; also counted 5xx).
+    deadline_shed: AtomicU64,
+    /// Handlers that hit the reply-timeout guard (dead worker pool).
+    reply_timeouts: AtomicU64,
+    /// EWMA of batch service time (µs), the drain-rate estimate the
+    /// shedding policy divides deadlines by.
+    service_ewma_us: AtomicU64,
     /// End-to-end `/link` latency histogram (microseconds).
     latency: [AtomicU64; NLAT],
     latency_sum_us: AtomicU64,
@@ -72,6 +99,35 @@ impl Metrics {
     /// Count one load-shed (503) rejection.
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one admission-gate refusal.
+    pub fn record_admission_rejected(&self) {
+        self.admission_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one deadline-based shed.
+    pub fn record_deadline_shed(&self) {
+        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one reply-timeout (the dead-worker-pool guard firing).
+    pub fn record_reply_timeout(&self) {
+        self.reply_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one batch's service time into the drain-rate EWMA
+    /// (weight 1/8 — smooth enough to ignore one outlier batch, fresh
+    /// enough to track a load shift within a few batches).
+    pub fn record_service_us(&self, us: u64) {
+        let prev = self.service_ewma_us.load(Ordering::Relaxed);
+        let next = if prev == 0 { us } else { (prev * 7 + us) / 8 };
+        self.service_ewma_us.store(next, Ordering::Relaxed);
+    }
+
+    /// The current batch-service EWMA (µs); 0 until a batch completes.
+    pub fn service_ewma_us(&self) -> u64 {
+        self.service_ewma_us.load(Ordering::Relaxed)
     }
 
     /// Record one end-to-end `/link` latency.
@@ -124,9 +180,9 @@ impl Metrics {
         u64::MAX
     }
 
-    /// Render the Prometheus-style text exposition. `queue_depth` is
-    /// sampled by the caller at render time.
-    pub fn render(&self, queue_depth: usize) -> String {
+    /// Render the Prometheus-style text exposition; `gauges` carries
+    /// the point-in-time values sampled by the caller at render time.
+    pub fn render(&self, gauges: &Gauges) -> String {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let mut out = String::with_capacity(1024);
         out.push_str(&format!("serve_requests_total {}\n", load(&self.requests)));
@@ -143,7 +199,18 @@ impl Metrics {
             load(&self.responses_5xx)
         ));
         out.push_str(&format!("serve_rejected_total {}\n", load(&self.rejected)));
-        out.push_str(&format!("serve_queue_depth {queue_depth}\n"));
+        out.push_str(&format!(
+            "serve_admission_rejected_total {}\n",
+            load(&self.admission_rejected)
+        ));
+        out.push_str(&format!("serve_deadline_shed_total {}\n", load(&self.deadline_shed)));
+        out.push_str(&format!("serve_reply_timeout_total {}\n", load(&self.reply_timeouts)));
+        out.push_str(&format!("serve_queue_depth {}\n", gauges.queue_depth));
+        out.push_str(&format!("serve_inflight_requests {}\n", gauges.inflight));
+        out.push_str(&format!("serve_model_generation {}\n", gauges.generation));
+        out.push_str(&format!("serve_model_swaps_total {}\n", gauges.swaps));
+        out.push_str(&format!("serve_reload_rejected_total {}\n", gauges.reload_rejected));
+        out.push_str(&format!("serve_batch_service_ewma_us {}\n", load(&self.service_ewma_us)));
 
         let mut cum = 0u64;
         for (i, c) in self.latency.iter().enumerate() {
@@ -210,11 +277,41 @@ mod tests {
         m.record_batch(3);
         m.record_latency_us(700);
         m.set_cache_counters(3, 1);
-        let text = m.render(2);
+        let gauges =
+            Gauges { queue_depth: 2, inflight: 1, generation: 3, swaps: 2, reload_rejected: 1 };
+        let text = m.render(&gauges);
         assert!(text.contains("serve_requests_total 1"));
         assert!(text.contains("serve_queue_depth 2"));
+        assert!(text.contains("serve_inflight_requests 1"));
+        assert!(text.contains("serve_model_generation 3"));
+        assert!(text.contains("serve_model_swaps_total 2"));
+        assert!(text.contains("serve_reload_rejected_total 1"));
         assert!(text.contains("serve_batch_size_bucket{le=\"4\"} 1"));
         assert!(text.contains("serve_cache_hit_rate 0.75"));
+    }
+
+    #[test]
+    fn shedding_counters_render() {
+        let m = Metrics::new();
+        m.record_admission_rejected();
+        m.record_deadline_shed();
+        m.record_deadline_shed();
+        m.record_reply_timeout();
+        let text = m.render(&Gauges::default());
+        assert!(text.contains("serve_admission_rejected_total 1"));
+        assert!(text.contains("serve_deadline_shed_total 2"));
+        assert!(text.contains("serve_reply_timeout_total 1"));
+    }
+
+    #[test]
+    fn service_ewma_smooths_toward_new_samples() {
+        let m = Metrics::new();
+        assert_eq!(m.service_ewma_us(), 0);
+        m.record_service_us(800);
+        assert_eq!(m.service_ewma_us(), 800, "first sample seeds the EWMA");
+        m.record_service_us(1_600);
+        assert_eq!(m.service_ewma_us(), 900, "(800*7 + 1600) / 8");
+        assert!(m.render(&Gauges::default()).contains("serve_batch_service_ewma_us 900"));
     }
 
     #[test]
@@ -222,6 +319,6 @@ mod tests {
         let m = Metrics::new();
         m.record_latency_us(10_000_000);
         assert_eq!(m.latency_quantile_us(0.5), u64::MAX);
-        assert!(m.render(0).contains("serve_latency_us_bucket{le=\"+Inf\"} 1"));
+        assert!(m.render(&Gauges::default()).contains("serve_latency_us_bucket{le=\"+Inf\"} 1"));
     }
 }

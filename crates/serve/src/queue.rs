@@ -28,6 +28,28 @@ struct State<T> {
     closed: bool,
 }
 
+/// One drained batch split by the shed predicate: `batch` is served,
+/// `shed` gets fast rejections. Both empty only when the queue is
+/// closed and fully drained (the worker exit signal).
+#[derive(Debug)]
+pub struct Drained<T> {
+    /// Items to serve in one fused forward pass.
+    pub batch: Vec<T>,
+    /// Items whose deadline can no longer be met; reject immediately.
+    pub shed: Vec<T>,
+}
+
+impl<T> Drained<T> {
+    fn empty(max_batch: usize) -> Self {
+        Drained { batch: Vec::with_capacity(max_batch), shed: Vec::new() }
+    }
+
+    /// True when the queue closed and drained: nothing to serve or shed.
+    pub fn is_exit(&self) -> bool {
+        self.batch.is_empty() && self.shed.is_empty()
+    }
+}
+
 /// A bounded multi-producer queue drained in batches.
 pub struct BatchQueue<T> {
     state: Mutex<State<T>>,
@@ -72,25 +94,47 @@ impl<T> BatchQueue<T> {
     /// Returns an empty vector only when the queue is closed and fully
     /// drained — the worker-thread exit signal.
     pub fn pop_batch(&self, max_batch: usize, max_delay: Duration) -> Vec<T> {
+        self.pop_batch_shed(max_batch, max_delay, |_| false).batch
+    }
+
+    /// Like [`BatchQueue::pop_batch`], but every item is first offered
+    /// to `shed` — items it claims (deadline already unmeetable) land
+    /// in [`Drained::shed`] instead of the batch and do **not** count
+    /// toward `max_batch`. Each popped item is classified exactly once,
+    /// so no item can be both shed and served.
+    ///
+    /// When the first drain pass yields only shed items, the call
+    /// returns immediately (no linger): their rejections should reach
+    /// clients as fast as possible.
+    pub fn pop_batch_shed(
+        &self,
+        max_batch: usize,
+        max_delay: Duration,
+        mut shed: impl FnMut(&T) -> bool,
+    ) -> Drained<T> {
         let max_batch = max_batch.max(1);
         let mut s = lock_recover(&self.state);
         while s.items.is_empty() {
             if s.closed {
-                return Vec::new();
+                return Drained::empty(0);
             }
             s = wait_recover(&self.available, s);
         }
-        let mut batch = Vec::with_capacity(max_batch.min(s.items.len()));
+        let mut drained = Drained::empty(max_batch.min(s.items.len()));
         let deadline = Instant::now() + max_delay;
         loop {
-            while batch.len() < max_batch {
+            while drained.batch.len() < max_batch {
                 match s.items.pop_front() {
-                    Some(item) => batch.push(item),
+                    Some(item) if shed(&item) => drained.shed.push(item),
+                    Some(item) => drained.batch.push(item),
                     None => break,
                 }
             }
-            if batch.len() >= max_batch || s.closed {
+            if drained.batch.len() >= max_batch || s.closed {
                 break;
+            }
+            if drained.batch.is_empty() && !drained.shed.is_empty() {
+                break; // all-shed drain: reject now, don't linger
             }
             let now = Instant::now();
             if now >= deadline {
@@ -102,7 +146,7 @@ impl<T> BatchQueue<T> {
                 break;
             }
         }
-        batch
+        drained
     }
 
     /// Close the queue: future pushes fail, waiting workers wake, and
@@ -173,6 +217,40 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert!(h.join().unwrap().is_empty());
+    }
+
+    #[test]
+    fn shed_items_do_not_count_toward_the_batch() {
+        let q = BatchQueue::new(16);
+        for i in 0..8 {
+            q.try_push(i).unwrap();
+        }
+        // Shed the evens; the batch should still fill to 4 odds.
+        let d = q.pop_batch_shed(4, Duration::from_millis(0), |i| i % 2 == 0);
+        assert_eq!(d.batch, vec![1, 3, 5, 7]);
+        assert_eq!(d.shed, vec![0, 2, 4, 6]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn all_shed_drain_returns_without_linger() {
+        let q = BatchQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let started = Instant::now();
+        let d = q.pop_batch_shed(8, Duration::from_secs(2), |_| true);
+        assert!(d.batch.is_empty());
+        assert_eq!(d.shed, vec![1, 2]);
+        assert!(started.elapsed() < Duration::from_millis(500), "lingered on an all-shed drain");
+        assert!(!d.is_exit(), "shed-only drains are not the exit signal");
+    }
+
+    #[test]
+    fn closed_and_drained_is_the_exit_signal() {
+        let q = BatchQueue::<u32>::new(4);
+        q.close();
+        let d = q.pop_batch_shed(4, Duration::from_millis(1), |_| true);
+        assert!(d.is_exit());
     }
 
     #[test]

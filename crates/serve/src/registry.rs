@@ -1,0 +1,320 @@
+//! Versioned model registry with atomic hot swap.
+//!
+//! A [`Generation`] bundles one validated [`ServeModel`] with the
+//! retrieval index built from it; the [`ModelRegistry`] owns the
+//! current generation behind an `Arc` and swaps it atomically. The
+//! swap protocol (DESIGN.md §13):
+//!
+//! 1. **Load off the request path.** [`ModelRegistry::reload`] runs on
+//!    the caller's thread (an admin-request handler or the source
+//!    watcher), never on a batch worker. The candidate checkpoint is
+//!    read through the `mb-params v2` loader, whose per-section CRCs
+//!    reject torn or bit-flipped files.
+//! 2. **Validate before publishing.** Building a [`Generation`]
+//!    constructs the dense index, the quantized tables, and a
+//!    throwaway [`TwoStageLinker`] — the same fail-fast check the
+//!    server start-up runs. A candidate that fails *any* of this is
+//!    rejected; the old generation keeps serving untouched.
+//! 3. **Swap one pointer.** Publishing replaces the `Arc<Generation>`
+//!    under a mutex held for the duration of a pointer write. Workers
+//!    re-resolve the current generation between batches; handlers
+//!    render each response with the generation that actually computed
+//!    it, so a reply is never mixed across generations.
+//!
+//! Reloads are serialized by an atomic flag rather than a lock so an
+//! in-progress reload answers `503 + Retry-After` instead of queueing
+//! admin requests behind an index build.
+
+use crate::model::ServeModel;
+use mb_common::{Error, Result};
+use mb_core::linker::TwoStageLinker;
+use mb_encoders::retrieval::{DenseIndex, QuantizedIndex};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Loads a candidate [`ServeModel`] from a checkpoint path. The closure
+/// owns whatever context rebuilding a model needs (vocab, KB, encoder
+/// configs); the registry only cares that corrupt inputs come back as
+/// `Err`.
+pub type ModelLoader = Box<dyn Fn(&Path) -> Result<ServeModel> + Send + Sync>;
+
+/// One immutable published model generation: the model plus the
+/// retrieval index built and validated from it. Workers and handlers
+/// hold it via `Arc`, so an old generation stays alive exactly as long
+/// as requests still riding it.
+pub struct Generation {
+    /// Monotonic generation number (1 = the model the server started
+    /// with).
+    pub id: u64,
+    /// Where this generation came from (checkpoint path or a label).
+    pub source: String,
+    /// The servable model bundle.
+    pub model: ServeModel,
+    /// Dense retrieval index over the model's dictionary.
+    pub index: Arc<DenseIndex>,
+    /// Quantized retrieval tables (`None` under exact scoring).
+    pub qindex: Option<Arc<QuantizedIndex>>,
+}
+
+impl Generation {
+    /// Build and validate a generation: construct the retrieval index
+    /// and prove a linker can be assembled — the same check
+    /// server start-up performs, so a corrupt candidate is rejected
+    /// here instead of failing per request after a swap.
+    ///
+    /// # Errors
+    /// Index- or model-consistency errors from
+    /// [`TwoStageLinker::with_frozen`].
+    pub fn build(id: u64, source: String, model: ServeModel) -> Result<Generation> {
+        let index = Arc::new(DenseIndex::build(
+            &model.bi,
+            &model.vocab,
+            &model.linker.input,
+            &model.kb,
+            &model.dictionary,
+        ));
+        let qindex = QuantizedIndex::from_dense(&index, model.linker.quant).map(Arc::new);
+        TwoStageLinker::with_frozen(
+            &model.bi,
+            &model.cross,
+            &model.vocab,
+            &model.kb,
+            model.linker,
+            Arc::clone(&index),
+            qindex.clone(),
+            model.frozen_bi().clone(),
+            model.frozen_cross().clone(),
+        )?;
+        Ok(Generation { id, source, model, index, qindex })
+    }
+}
+
+/// The registry: current generation, swap bookkeeping, and an optional
+/// loader for pulling new generations from disk.
+pub struct ModelRegistry {
+    current: Mutex<Arc<Generation>>,
+    /// Mirror of `current.id` readable without the lock (workers check
+    /// it between batches).
+    generation_id: AtomicU64,
+    loader: Option<ModelLoader>,
+    source: Option<PathBuf>,
+    /// Serializes reloads; a losing caller sheds instead of queueing.
+    reloading: AtomicBool,
+    swaps: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// A registry serving `model` as generation 1, with no reload
+    /// source (`POST /admin/reload` then answers 409).
+    ///
+    /// # Errors
+    /// Validation errors from [`Generation::build`].
+    pub fn new(model: ServeModel) -> Result<ModelRegistry> {
+        Self::with_source(model, None, None)
+    }
+
+    /// A registry whose `POST /admin/reload` (and source watcher, when
+    /// enabled) pulls candidate generations from `source` via `loader`.
+    ///
+    /// # Errors
+    /// Validation errors from [`Generation::build`].
+    pub fn with_loader(
+        model: ServeModel,
+        source: PathBuf,
+        loader: ModelLoader,
+    ) -> Result<ModelRegistry> {
+        Self::with_source(model, Some(source), Some(loader))
+    }
+
+    fn with_source(
+        model: ServeModel,
+        source: Option<PathBuf>,
+        loader: Option<ModelLoader>,
+    ) -> Result<ModelRegistry> {
+        let label = source
+            .as_ref()
+            .map(|p| p.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "startup".to_string());
+        let generation = Arc::new(Generation::build(1, label, model)?);
+        Ok(ModelRegistry {
+            generation_id: AtomicU64::new(generation.id),
+            current: Mutex::new(generation),
+            loader,
+            source,
+            reloading: AtomicBool::new(false),
+            swaps: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// The generation currently serving. In-flight requests keep their
+    /// own `Arc`, so this is only a pointer clone.
+    pub fn current(&self) -> Arc<Generation> {
+        Arc::clone(&crate::sync::lock_recover(&self.current))
+    }
+
+    /// The current generation id without taking the lock.
+    pub fn generation_id(&self) -> u64 {
+        self.generation_id.load(Ordering::Acquire)
+    }
+
+    /// Successful swaps so far (excludes generation 1).
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Candidate generations rejected by validation so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Whether a reload source is configured.
+    pub fn has_source(&self) -> bool {
+        self.loader.is_some() && self.source.is_some()
+    }
+
+    /// The configured reload source path, when present.
+    pub fn source(&self) -> Option<&Path> {
+        self.source.as_deref()
+    }
+
+    /// Validate `model` and atomically publish it as the next
+    /// generation. On error the current generation is untouched.
+    ///
+    /// # Errors
+    /// [`Error::Io`] when another reload is already in flight (shed and
+    /// retry); validation errors from [`Generation::build`].
+    pub fn publish(&self, model: ServeModel, source: String) -> Result<u64> {
+        if self.reloading.swap(true, Ordering::AcqRel) {
+            return Err(Error::Io("a model reload is already in progress".to_string()));
+        }
+        let result = self.publish_locked(model, source);
+        self.reloading.store(false, Ordering::Release);
+        result
+    }
+
+    /// Load a candidate from `path` (default: the configured source)
+    /// through the registry's loader, then publish it. Corrupt or
+    /// inconsistent candidates are rejected with the old generation
+    /// still serving.
+    ///
+    /// # Errors
+    /// [`Error::Checkpoint`] for no configured loader or a corrupt
+    /// candidate; [`Error::Io`] when a reload is already in flight.
+    pub fn reload(&self, path: Option<&Path>) -> Result<u64> {
+        let Some(loader) = self.loader.as_ref() else {
+            return Err(Error::Checkpoint("no reload source configured".to_string()));
+        };
+        let Some(path) = path.or(self.source.as_deref()) else {
+            return Err(Error::Checkpoint("no reload source configured".to_string()));
+        };
+        if self.reloading.swap(true, Ordering::AcqRel) {
+            return Err(Error::Io("a model reload is already in progress".to_string()));
+        }
+        // Load + validate run here, on the admin/watcher thread, with
+        // the old generation still serving every request.
+        let result = loader(path)
+            .inspect_err(|_| {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+            })
+            .and_then(|model| self.publish_locked(model, path.to_string_lossy().into_owned()));
+        self.reloading.store(false, Ordering::Release);
+        result
+    }
+
+    /// The swap itself; caller holds the `reloading` flag.
+    fn publish_locked(&self, model: ServeModel, source: String) -> Result<u64> {
+        let next_id = self.generation_id.load(Ordering::Acquire) + 1;
+        let generation = match Generation::build(next_id, source, model) {
+            Ok(g) => Arc::new(g),
+            Err(e) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        // Atomic swap: one pointer write under the lock. Readers that
+        // already cloned the old Arc finish on the old generation.
+        *crate::sync::lock_recover(&self.current) = generation;
+        self.generation_id.store(next_id, Ordering::Release);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(next_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mb_common::Rng;
+    use mb_core::linker::LinkerConfig;
+    use mb_datagen::{World, WorldConfig};
+    use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
+    use mb_encoders::crossencoder::{CrossEncoder, CrossEncoderConfig};
+    use mb_encoders::input::build_vocab;
+
+    fn model(seed: u64) -> ServeModel {
+        let world = World::generate(WorldConfig::tiny(91));
+        let vocab = build_vocab(world.kb(), [], 1);
+        let domain = world.domain("TargetX").clone();
+        let bi_cfg = BiEncoderConfig { emb_dim: 16, hidden: 16, out_dim: 16, ..Default::default() };
+        let cross_cfg = CrossEncoderConfig { emb_dim: 16, hidden: 16, ..Default::default() };
+        let bi = BiEncoder::new(&vocab, bi_cfg, &mut Rng::seed_from_u64(seed));
+        let cross = CrossEncoder::new(&vocab, cross_cfg, &mut Rng::seed_from_u64(seed + 1));
+        ServeModel::new(
+            vocab,
+            world.kb().clone(),
+            world.kb().domain_entities(domain.id).to_vec(),
+            bi,
+            cross,
+            LinkerConfig::default(),
+            domain.name.clone(),
+        )
+    }
+
+    #[test]
+    fn starts_at_generation_one_and_publishes_monotonically() {
+        let registry = ModelRegistry::new(model(1)).expect("valid model");
+        assert_eq!(registry.generation_id(), 1);
+        assert_eq!(registry.current().id, 1);
+        let id = registry.publish(model(2), "test".to_string()).expect("valid candidate");
+        assert_eq!(id, 2);
+        assert_eq!(registry.generation_id(), 2);
+        assert_eq!(registry.current().id, 2);
+        assert_eq!(registry.swaps(), 1);
+        assert_eq!(registry.rejected(), 0);
+    }
+
+    #[test]
+    fn old_generation_survives_for_holders_across_a_swap() {
+        let registry = ModelRegistry::new(model(1)).expect("valid model");
+        let held = registry.current();
+        registry.publish(model(2), "test".to_string()).expect("swap");
+        // The held Arc still serves the old generation's KB and index.
+        assert_eq!(held.id, 1);
+        assert!(!held.model.dictionary.is_empty());
+        assert_eq!(registry.current().id, 2);
+    }
+
+    #[test]
+    fn reload_without_a_source_is_rejected() {
+        let registry = ModelRegistry::new(model(1)).expect("valid model");
+        assert!(!registry.has_source());
+        let err = registry.reload(None).unwrap_err();
+        assert!(matches!(err, Error::Checkpoint(_)), "got {err:?}");
+        assert_eq!(registry.generation_id(), 1);
+    }
+
+    #[test]
+    fn failing_loader_leaves_the_old_generation_serving() {
+        let loader: ModelLoader =
+            Box::new(|_| Err(Error::Checkpoint("corrupt candidate".to_string())));
+        let registry = ModelRegistry::with_loader(model(1), PathBuf::from("nowhere.mbc"), loader)
+            .expect("valid model");
+        let err = registry.reload(None).unwrap_err();
+        assert!(matches!(err, Error::Checkpoint(_)), "got {err:?}");
+        assert_eq!(registry.generation_id(), 1, "old generation keeps serving");
+        assert_eq!(registry.rejected(), 1);
+        assert_eq!(registry.swaps(), 0);
+    }
+}

@@ -1,33 +1,46 @@
 //! The HTTP server: acceptor, connection handlers, and batch workers.
 //!
-//! Threading model (see DESIGN.md §9):
+//! Threading model (see DESIGN.md §9 and §13):
 //!
 //! - one **acceptor** thread turns accepted sockets into per-connection
 //!   handler threads;
-//! - **handler** threads parse requests; `/link` jobs go through the
-//!   bounded [`BatchQueue`] (full queue → `503`) and block on a reply
-//!   channel; `/healthz`, `/metrics`, and `/admin/shutdown` answer
-//!   inline;
+//! - **handler** threads parse requests; `/link` jobs pass the
+//!   admission gate, then the bounded [`BatchQueue`] (full queue →
+//!   `503`) and block on a reply channel; `/healthz`, `/metrics`,
+//!   `/admin/reload`, and `/admin/shutdown` answer inline;
 //! - a pool of **batch workers** drains the queue adaptively (up to
 //!   `max_batch` jobs or `max_delay_us`, whichever first) and runs one
 //!   fused [`TwoStageLinker::link_batch_cached`] per drained batch.
+//!
+//! Every batch is served by exactly one model [`Generation`] resolved
+//! from the [`ModelRegistry`]: workers re-check the generation id after
+//! draining and rebuild their linker before serving a batch that
+//! arrived across a hot swap, and each reply carries the generation
+//! that computed it so responses are never mixed across generations.
+//!
+//! Overload degrades to fast rejections: the admission gate bounds
+//! requests inside the server, per-request deadlines shed queue entries
+//! that can no longer be met at the current drain rate, and every `503`
+//! carries `Retry-After` ([`ServeConfig`]).
 //!
 //! Shutdown is a flag, not a signal: `POST /admin/shutdown` (or
 //! [`Server::shutdown`]) closes the queue so workers drain in-flight
 //! batches and exit, wakes the acceptor, and [`Server::join`] returns.
 
-use crate::http::{read_request, write_response, HttpError, HttpLimits, Request};
+use crate::config::{AdmissionGate, ServeConfig};
+use crate::http::{read_request, write_response_ext, HttpError, HttpLimits, Request};
 use crate::json::{self, Json};
-use crate::metrics::Metrics;
+use crate::metrics::{Gauges, Metrics};
 use crate::model::ServeModel;
 use crate::queue::{BatchQueue, PushError};
+use crate::registry::{Generation, ModelRegistry};
 use mb_core::linker::{EmbedCache, LinkResult, TwoStageLinker};
 use mb_datagen::LinkedMention;
-use mb_encoders::retrieval::{DenseIndex, QuantizedIndex};
 use mb_kb::EntityId;
 use mb_text::OverlapCategory;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -50,6 +63,8 @@ pub struct ServerConfig {
     pub workers: usize,
     /// HTTP parser limits.
     pub limits: HttpLimits,
+    /// Resilience knobs: timeouts, deadlines, admission control.
+    pub serve: ServeConfig,
 }
 
 impl Default for ServerConfig {
@@ -62,25 +77,69 @@ impl Default for ServerConfig {
             cache_capacity: 4_096,
             workers: 1,
             limits: HttpLimits::default(),
+            serve: ServeConfig::default(),
         }
     }
+}
+
+/// What a worker sends back for one queued job.
+enum Reply {
+    /// Served: the result plus the generation that computed it (the
+    /// handler renders entity titles against *that* generation's KB).
+    Done(LinkResult, Arc<Generation>),
+    /// Shed at drain time: the deadline could not be met.
+    Shed,
 }
 
 /// One queued `/link` request.
 struct Job {
     mention: LinkedMention,
-    reply: mpsc::Sender<LinkResult>,
+    reply: mpsc::Sender<Reply>,
+    /// Absolute deadline derived from the request's budget; the drain
+    /// predicate sheds jobs whose deadline is unreachable.
+    deadline: Instant,
+}
+
+/// The mention-embedding LRU, tagged with the generation whose
+/// embeddings it holds — a hot swap must not serve stale vectors.
+struct GenCache {
+    generation: u64,
+    cache: EmbedCache,
+}
+
+/// One routed response, plus the `Retry-After` seconds carried by
+/// shedding 503s.
+struct HttpReply {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    retry_after_s: Option<u64>,
+}
+
+impl HttpReply {
+    fn json(status: u16, body: String) -> HttpReply {
+        HttpReply { status, content_type: "application/json", body, retry_after_s: None }
+    }
+
+    /// A load-shedding 503 with `Retry-After`.
+    fn shed(message: &str, retry_after_s: u64) -> HttpReply {
+        HttpReply {
+            status: 503,
+            content_type: "application/json",
+            body: format!("{{\"error\":{}}}", json::escape(message)),
+            retry_after_s: Some(retry_after_s),
+        }
+    }
 }
 
 /// State shared by every thread of the server.
 struct Shared {
-    model: ServeModel,
-    index: Arc<DenseIndex>,
-    qindex: Option<Arc<QuantizedIndex>>,
+    registry: ModelRegistry,
     cfg: ServerConfig,
     queue: BatchQueue<Job>,
+    gate: AdmissionGate,
     metrics: Metrics,
-    cache: Mutex<EmbedCache>,
+    cache: Mutex<GenCache>,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
@@ -95,6 +154,17 @@ impl Shared {
         self.queue.close();
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
     }
+
+    /// Point-in-time gauges for `/metrics`.
+    fn gauges(&self) -> Gauges {
+        Gauges {
+            queue_depth: self.queue.len(),
+            inflight: self.gate.inflight(),
+            generation: self.registry.generation_id(),
+            swaps: self.registry.swaps(),
+            reload_rejected: self.registry.rejected(),
+        }
+    }
 }
 
 /// A running server. Dropping the handle does **not** stop it; call
@@ -103,52 +173,49 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Precompute the entity index for `model`'s dictionary, bind
-    /// `cfg.addr`, and start serving.
+    /// Serve `model` as generation 1 with no reload source
+    /// (`POST /admin/reload` answers 409).
     ///
     /// # Errors
     /// [`mb_common::Error::Io`] when the address cannot be bound;
     /// index-validation errors from
     /// [`TwoStageLinker::with_frozen`] when the model is inconsistent.
     pub fn start(model: ServeModel, cfg: ServerConfig) -> mb_common::Result<Server> {
-        let index = Arc::new(DenseIndex::build(
-            &model.bi,
-            &model.vocab,
-            &model.linker.input,
-            &model.kb,
-            &model.dictionary,
-        ));
-        // Quantize the retrieval index once (None under QuantMode::Exact);
-        // workers share the handle.
-        let qindex = QuantizedIndex::from_dense(&index, model.linker.quant).map(Arc::new);
-        // Fail fast on an inconsistent model rather than per request.
-        TwoStageLinker::with_frozen(
-            &model.bi,
-            &model.cross,
-            &model.vocab,
-            &model.kb,
-            model.linker,
-            Arc::clone(&index),
-            qindex.clone(),
-            model.frozen_bi().clone(),
-            model.frozen_cross().clone(),
-        )?;
+        Server::start_with_registry(ModelRegistry::new(model)?, cfg)
+    }
+
+    /// Serve from an existing [`ModelRegistry`] (built with a loader
+    /// when hot reloads are wanted). When `cfg.serve.watch_interval_ms`
+    /// is non-zero and the registry has a source, a watcher thread
+    /// polls the source file and reloads on change.
+    ///
+    /// # Errors
+    /// [`mb_common::Error::Io`] when the address cannot be bound.
+    pub fn start_with_registry(
+        registry: ModelRegistry,
+        cfg: ServerConfig,
+    ) -> mb_common::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)
             .map_err(|e| mb_common::Error::Io(format!("bind {}: {e}", cfg.addr)))?;
         let addr =
             listener.local_addr().map_err(|e| mb_common::Error::Io(format!("local_addr: {e}")))?;
 
+        let admission =
+            cfg.serve.effective_admission_limit(cfg.queue_capacity, cfg.workers, cfg.max_batch);
         let shared = Arc::new(Shared {
             queue: BatchQueue::new(cfg.queue_capacity.max(1)),
+            gate: AdmissionGate::new(admission),
             metrics: Metrics::new(),
-            cache: Mutex::new(EmbedCache::new(cfg.cache_capacity)),
+            cache: Mutex::new(GenCache {
+                generation: registry.generation_id(),
+                cache: EmbedCache::new(cfg.cache_capacity),
+            }),
             shutdown: AtomicBool::new(false),
-            model,
-            index,
-            qindex,
+            registry,
             cfg,
             addr,
         });
@@ -163,12 +230,18 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&listener, &shared))
         };
-        Ok(Server { shared, acceptor, workers })
+        let watcher = watcher_thread(&shared);
+        Ok(Server { shared, acceptor, workers, watcher })
     }
 
     /// The bound address (useful with an ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The current model generation id.
+    pub fn generation(&self) -> u64 {
+        self.shared.registry.generation_id()
     }
 
     /// Block until the server shuts down (via `POST /admin/shutdown`
@@ -179,6 +252,9 @@ impl Server {
         for w in self.workers {
             let _ = w.join();
         }
+        if let Some(w) = self.watcher {
+            let _ = w.join();
+        }
     }
 
     /// Graceful shutdown: stop accepting, drain queued work, join all
@@ -187,6 +263,44 @@ impl Server {
         self.shared.request_shutdown();
         self.join();
     }
+}
+
+/// Spawn the model-source watcher when configured: poll the source
+/// file's (mtime, size) every `watch_interval_ms` and reload on change.
+/// Reload failures are logged and counted; the old generation serves on.
+fn watcher_thread(shared: &Arc<Shared>) -> Option<JoinHandle<()>> {
+    let interval = shared.cfg.serve.watch_interval_ms;
+    if interval == 0 || !shared.registry.has_source() {
+        return None;
+    }
+    let shared = Arc::clone(shared);
+    Some(std::thread::spawn(move || {
+        let stat = |shared: &Shared| {
+            shared.registry.source().and_then(|p| {
+                let meta = std::fs::metadata(p).ok()?;
+                Some((meta.modified().ok()?, meta.len()))
+            })
+        };
+        let mut last = stat(&shared);
+        let step = Duration::from_millis(interval.clamp(1, 50));
+        let mut waited = Duration::ZERO;
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(step);
+            waited += step;
+            if waited < Duration::from_millis(interval) {
+                continue;
+            }
+            waited = Duration::ZERO;
+            let now = stat(&shared);
+            if now.is_some() && now != last {
+                match shared.registry.reload(None) {
+                    Ok(id) => eprintln!("mb-serve: watcher swapped to generation {id}"),
+                    Err(e) => eprintln!("mb-serve: watcher reload rejected: {e}"),
+                }
+            }
+            last = now;
+        }
+    }))
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
@@ -204,53 +318,110 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
-    // Assembled from Arc handles only: every worker serves one frozen
-    // model — no tape, no per-worker parameter or index copies.
-    let linker = match TwoStageLinker::with_frozen(
-        &shared.model.bi,
-        &shared.model.cross,
-        &shared.model.vocab,
-        &shared.model.kb,
-        shared.model.linker,
-        Arc::clone(&shared.index),
-        shared.qindex.clone(),
-        shared.model.frozen_bi().clone(),
-        shared.model.frozen_cross().clone(),
-    ) {
-        Ok(linker) => linker,
-        Err(e) => {
-            // Server::start validated this exact construction, so this
-            // arm is unreachable in practice; losing one worker beats
-            // taking the process down.
-            eprintln!("mb-serve: worker failed to build linker: {e}");
-            return;
-        }
-    };
     let delay = Duration::from_micros(shared.cfg.max_delay_us);
+    // A batch drained across a hot swap is carried here and served by
+    // the *new* generation's linker after the rebuild below.
+    let mut pending: Vec<Job> = Vec::with_capacity(shared.cfg.max_batch.max(1));
     loop {
-        let jobs = shared.queue.pop_batch(shared.cfg.max_batch, delay);
-        if jobs.is_empty() {
-            return; // queue closed and drained
-        }
-        shared.metrics.record_batch(jobs.len());
-        let mentions: Vec<LinkedMention> = jobs.iter().map(|j| j.mention.clone()).collect();
-        let results = {
-            let mut cache = crate::sync::lock_recover(&shared.cache);
-            let results = linker.link_batch_cached(&mentions, Some(&mut cache));
-            shared.metrics.set_cache_counters(cache.hits(), cache.misses());
-            results
+        // Resolve the current generation and assemble its linker from
+        // Arc handles only: no tape, no parameter or index copies.
+        let generation = shared.registry.current();
+        let linker = match TwoStageLinker::with_frozen(
+            &generation.model.bi,
+            &generation.model.cross,
+            &generation.model.vocab,
+            &generation.model.kb,
+            generation.model.linker,
+            Arc::clone(&generation.index),
+            generation.qindex.clone(),
+            generation.model.frozen_bi().clone(),
+            generation.model.frozen_cross().clone(),
+        ) {
+            Ok(linker) => linker,
+            Err(e) => {
+                // Generation::build validated this exact construction,
+                // so this arm is unreachable in practice; losing one
+                // worker beats taking the process down.
+                eprintln!("mb-serve: worker failed to build linker: {e}");
+                return;
+            }
         };
-        for (job, result) in jobs.into_iter().zip(results) {
-            // A dropped receiver just means the client went away.
-            let _ = job.reply.send(result);
+        loop {
+            let drained = if pending.is_empty() {
+                let margin = Duration::from_micros(shared.metrics.service_ewma_us());
+                shared.queue.pop_batch_shed(shared.cfg.max_batch, delay, |job| {
+                    // Shed when one more batch's service time would
+                    // already land past the job's deadline.
+                    job.deadline < Instant::now() + margin
+                })
+            } else {
+                crate::queue::Drained { batch: std::mem::take(&mut pending), shed: Vec::new() }
+            };
+            for job in drained.shed {
+                shared.metrics.record_deadline_shed();
+                shared.metrics.record_rejected();
+                let _ = job.reply.send(Reply::Shed);
+            }
+            if drained.batch.is_empty() {
+                if shared.queue.is_closed() && shared.queue.is_empty() {
+                    return; // closed and drained
+                }
+                continue;
+            }
+            // Hot-swap check: a batch drained across a swap is served
+            // by the new generation — rebuild the linker first.
+            if shared.registry.generation_id() != generation.id {
+                pending = drained.batch;
+                break;
+            }
+            shared.metrics.record_batch(drained.batch.len());
+            let mentions: Vec<LinkedMention> =
+                drained.batch.iter().map(|j| j.mention.clone()).collect();
+            let started = Instant::now();
+            let results = link_with_cache(shared, &linker, generation.id, &mentions);
+            shared
+                .metrics
+                .record_service_us(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            for (job, result) in drained.batch.into_iter().zip(results) {
+                // A dropped receiver just means the client went away.
+                let _ = job.reply.send(Reply::Done(result, Arc::clone(&generation)));
+            }
         }
     }
 }
 
+/// Run one fused batch through the shared embedding cache — but only
+/// when the cache belongs to this worker's generation. After a swap the
+/// first current-generation worker resets the cache (stale vectors must
+/// never be served); a worker still finishing on an older generation
+/// skips the cache entirely rather than polluting the new one.
+fn link_with_cache(
+    shared: &Arc<Shared>,
+    linker: &TwoStageLinker<'_>,
+    generation_id: u64,
+    mentions: &[LinkedMention],
+) -> Vec<LinkResult> {
+    let mut guard = crate::sync::lock_recover(&shared.cache);
+    if guard.generation != generation_id {
+        if shared.registry.generation_id() == generation_id {
+            guard.generation = generation_id;
+            guard.cache = EmbedCache::new(shared.cfg.cache_capacity);
+        } else {
+            // Stale generation: serve cacheless.
+            drop(guard);
+            return linker.link_batch_cached(mentions, None);
+        }
+    }
+    let results = linker.link_batch_cached(mentions, Some(&mut guard.cache));
+    shared.metrics.set_cache_counters(guard.cache.hits(), guard.cache.misses());
+    results
+}
+
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     // Bound blocking reads so handler threads cannot hang forever on a
-    // silent peer.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    // silent peer (slow-loris); the bound is configuration, not a
+    // constant, and 0 disables it.
+    let _ = stream.set_read_timeout(shared.cfg.serve.read_timeout());
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
@@ -263,12 +434,13 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 shared.metrics.record_request();
                 shared.metrics.record_response(e.status());
                 let body = format!("{{\"error\":{}}}", json::escape(&e.to_string()));
-                let _ = write_response(
+                let _ = write_response_ext(
                     &mut writer,
                     e.status(),
                     "application/json",
                     body.as_bytes(),
                     true,
+                    &[],
                 );
                 return; // framing is unreliable after a parse error
             }
@@ -276,9 +448,18 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         shared.metrics.record_request();
         let is_shutdown = req.method == "POST" && req.path == "/admin/shutdown";
         let closing = is_shutdown || req.wants_close() || shared.shutdown.load(Ordering::SeqCst);
-        let (status, content_type, body) = route(&req, shared);
-        shared.metrics.record_response(status);
-        let written = write_response(&mut writer, status, content_type, body.as_bytes(), closing);
+        let reply = route(&req, shared);
+        shared.metrics.record_response(reply.status);
+        let retry_after: Vec<(&str, String)> =
+            reply.retry_after_s.map(|s| vec![("retry-after", s.to_string())]).unwrap_or_default();
+        let written = write_response_ext(
+            &mut writer,
+            reply.status,
+            reply.content_type,
+            reply.body.as_bytes(),
+            closing,
+            &retry_after,
+        );
         if is_shutdown {
             // Trigger only after the response is flushed: once the
             // queue closes, the process may exit (and take this
@@ -293,34 +474,77 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-fn route(req: &Request, shared: &Arc<Shared>) -> (u16, &'static str, String) {
+fn route(req: &Request, shared: &Arc<Shared>) -> HttpReply {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
+            let generation = shared.registry.current();
             let body = format!(
-                "{{\"status\":\"ok\",\"domain\":{},\"entities\":{}}}",
-                json::escape(&shared.model.domain),
-                shared.model.dictionary.len()
+                "{{\"status\":\"ok\",\"domain\":{},\"entities\":{},\"generation\":{}}}",
+                json::escape(&generation.model.domain),
+                generation.model.dictionary.len(),
+                generation.id
             );
-            (200, "application/json", body)
+            HttpReply::json(200, body)
         }
-        ("GET", "/metrics") => {
-            (200, "text/plain; charset=utf-8", shared.metrics.render(shared.queue.len()))
-        }
+        ("GET", "/metrics") => HttpReply {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: shared.metrics.render(&shared.gauges()),
+            retry_after_s: None,
+        },
         // The handler triggers the actual shutdown AFTER this response
         // is flushed (see `handle_connection`).
         ("POST", "/admin/shutdown") => {
-            (200, "application/json", "{\"status\":\"draining\"}".to_string())
+            HttpReply::json(200, "{\"status\":\"draining\"}".to_string())
         }
+        ("POST", "/admin/reload") => handle_reload(req, shared),
         ("POST", "/link") => handle_link(req, shared),
         ("GET" | "POST" | "PUT" | "DELETE" | "HEAD", _) => {
-            (404, "application/json", "{\"error\":\"no such endpoint\"}".to_string())
+            HttpReply::json(404, "{\"error\":\"no such endpoint\"}".to_string())
         }
-        _ => (405, "application/json", "{\"error\":\"method not allowed\"}".to_string()),
+        _ => HttpReply::json(405, "{\"error\":\"method not allowed\"}".to_string()),
     }
 }
 
-/// Parse a `/link` body into a mention plus the answer size.
-fn parse_link_body(body: &[u8]) -> Result<(LinkedMention, usize), String> {
+/// `POST /admin/reload`: pull a candidate generation (body `{"path":…}`
+/// overrides the configured source) and hot-swap it. A corrupt or
+/// inconsistent candidate answers 409 with the old generation still
+/// serving; a concurrent reload answers 503 + `Retry-After`.
+fn handle_reload(req: &Request, shared: &Arc<Shared>) -> HttpReply {
+    let path: Option<PathBuf> = if req.body.is_empty() {
+        None
+    } else {
+        match json::parse(&req.body) {
+            Ok(doc) => doc.get("path").and_then(Json::as_str).map(PathBuf::from),
+            Err(e) => {
+                return HttpReply::json(
+                    400,
+                    format!("{{\"error\":{}}}", json::escape(&format!("bad reload body: {e}"))),
+                )
+            }
+        }
+    };
+    match shared.registry.reload(path.as_deref()) {
+        Ok(id) => HttpReply::json(200, format!("{{\"status\":\"swapped\",\"generation\":{id}}}")),
+        // The registry reports a reload already in flight as Error::Io
+        // with this exact phrase; that one sheds rather than conflicts.
+        Err(mb_common::Error::Io(msg)) if msg.contains("already in progress") => {
+            HttpReply::shed(&msg, shared.cfg.serve.retry_after_s)
+        }
+        Err(e) => HttpReply::json(
+            409,
+            format!(
+                "{{\"error\":{},\"generation\":{}}}",
+                json::escape(&e.to_string()),
+                shared.registry.generation_id()
+            ),
+        ),
+    }
+}
+
+/// Parse a `/link` body into a mention, the answer size, and an
+/// optional client deadline budget (ms).
+fn parse_link_body(body: &[u8]) -> Result<(LinkedMention, usize, Option<u64>), String> {
     let doc = json::parse(body)?;
     let surface = doc
         .get("surface")
@@ -340,6 +564,12 @@ fn parse_link_body(body: &[u8]) -> Result<(LinkedMention, usize), String> {
         None => 5,
         Some(v) => v.as_usize().ok_or("field \"k\" must be a non-negative integer")?,
     };
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => {
+            Some(v.as_usize().ok_or("field \"deadline_ms\" must be a non-negative integer")? as u64)
+        }
+    };
     let mention = LinkedMention {
         left: text("left")?,
         surface,
@@ -348,46 +578,75 @@ fn parse_link_body(body: &[u8]) -> Result<(LinkedMention, usize), String> {
         entity: EntityId(0),
         category: OverlapCategory::LowOverlap,
     };
-    Ok((mention, k))
+    Ok((mention, k, deadline_ms))
 }
 
-fn handle_link(req: &Request, shared: &Arc<Shared>) -> (u16, &'static str, String) {
-    let (mention, k) = match parse_link_body(&req.body) {
+fn handle_link(req: &Request, shared: &Arc<Shared>) -> HttpReply {
+    let (mention, k, requested_deadline) = match parse_link_body(&req.body) {
         Ok(parsed) => parsed,
-        Err(e) => return (400, "application/json", format!("{{\"error\":{}}}", json::escape(&e))),
+        Err(e) => {
+            return HttpReply::json(400, format!("{{\"error\":{}}}", json::escape(&e)));
+        }
     };
+    let scfg = shared.cfg.serve;
     let started = Instant::now();
+    let deadline = started + Duration::from_millis(scfg.clamp_deadline_ms(requested_deadline));
+
+    // Token-style admission: bound the requests inside the server so
+    // overload rejects here, fast, instead of parking handler threads.
+    let Some(_permit) = shared.gate.try_acquire() else {
+        shared.metrics.record_admission_rejected();
+        shared.metrics.record_rejected();
+        return HttpReply::shed("admission limit reached, retry later", scfg.retry_after_s);
+    };
+
+    // Early shed: if the queue already holds more batches than this
+    // deadline buys at the measured drain rate, reject before queueing.
+    let ewma_us = shared.metrics.service_ewma_us();
+    if ewma_us > 0 {
+        let batches_ahead = (shared.queue.len() / shared.cfg.max_batch.max(1)) as u64 + 1;
+        let wait = Duration::from_micros(batches_ahead.saturating_mul(ewma_us));
+        if started + wait > deadline {
+            shared.metrics.record_deadline_shed();
+            shared.metrics.record_rejected();
+            return HttpReply::shed("deadline cannot be met at current load", scfg.retry_after_s);
+        }
+    }
+
     let (tx, rx) = mpsc::channel();
-    match shared.queue.try_push(Job { mention, reply: tx }) {
+    match shared.queue.try_push(Job { mention, reply: tx, deadline }) {
         Ok(()) => {}
         Err(PushError::Full(_)) => {
             shared.metrics.record_rejected();
-            return (
-                503,
-                "application/json",
-                "{\"error\":\"queue full, retry later\"}".to_string(),
-            );
+            return HttpReply::shed("queue full, retry later", scfg.retry_after_s);
         }
         Err(PushError::Closed(_)) => {
-            return (
-                503,
-                "application/json",
-                "{\"error\":\"server is shutting down\"}".to_string(),
-            );
+            return HttpReply::shed("server is shutting down", scfg.retry_after_s);
         }
     }
     // The bound guards against a dead worker pool; in normal operation
     // (including shutdown drain) every queued job gets a reply.
-    let Ok(result) = rx.recv_timeout(Duration::from_secs(60)) else {
-        return (503, "application/json", "{\"error\":\"server is shutting down\"}".to_string());
-    };
-    shared.metrics.record_latency_us(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
-    (200, "application/json", render_result(&result, k, shared))
+    match rx.recv_timeout(scfg.reply_timeout()) {
+        Ok(Reply::Done(result, generation)) => {
+            shared
+                .metrics
+                .record_latency_us(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            HttpReply::json(200, render_result(&result, k, &generation))
+        }
+        Ok(Reply::Shed) => {
+            HttpReply::shed("deadline exceeded while queued, retry later", scfg.retry_after_s)
+        }
+        Err(_) => {
+            shared.metrics.record_reply_timeout();
+            HttpReply::shed("no reply from worker pool", scfg.retry_after_s)
+        }
+    }
 }
 
 /// Render a [`LinkResult`] as the `/link` response document, with the
-/// rerank-ordered top-`k` candidates.
-fn render_result(result: &LinkResult, k: usize, shared: &Arc<Shared>) -> String {
+/// rerank-ordered top-`k` candidates, against the generation that
+/// computed it (its entity ids are only meaningful in that KB).
+fn render_result(result: &LinkResult, k: usize, generation: &Generation) -> String {
     // Pairing via `zip` (which truncates to the shorter side) instead
     // of parallel-array indexing keeps this panic-free even if the two
     // lists ever disagreed in length.
@@ -402,7 +661,7 @@ fn render_result(result: &LinkResult, k: usize, shared: &Arc<Shared>) -> String 
         .iter()
         .take(k)
         .map(|&(id, bi_score, score)| {
-            let entity = shared.model.kb.entity(id);
+            let entity = generation.model.kb.entity(id);
             format!(
                 "{{\"id\":{},\"title\":{},\"bi_score\":{},\"score\":{}}}",
                 id.0,
@@ -416,13 +675,14 @@ fn render_result(result: &LinkResult, k: usize, shared: &Arc<Shared>) -> String 
         Some(id) => format!(
             "{{\"id\":{},\"title\":{}}}",
             id.0,
-            json::escape(&shared.model.kb.entity(id).title)
+            json::escape(&generation.model.kb.entity(id).title)
         ),
         None => "null".to_string(),
     };
     format!(
-        "{{\"domain\":{},\"predicted\":{},\"candidates\":[{}]}}",
-        json::escape(&shared.model.domain),
+        "{{\"domain\":{},\"generation\":{},\"predicted\":{},\"candidates\":[{}]}}",
+        json::escape(&generation.model.domain),
+        generation.id,
         predicted,
         candidates.join(",")
     )

@@ -1,0 +1,137 @@
+//! Property tests for [`BatchQueue`] under concurrent push, shed, and
+//! shutdown: the shedding drain must partition work exactly — every
+//! accepted item is either answered (drained into a batch) or shed,
+//! never both and never neither — and shed decisions must be a pure
+//! function of the item given a deterministic predicate, so a seeded
+//! arrival schedule replays to the same shed set.
+
+use mb_check::{gen, prop_assert, prop_assert_eq};
+use mb_serve::queue::{BatchQueue, PushError};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Drain the queue to exhaustion with a deterministic predicate,
+/// returning (answered ids, shed ids) in drain order.
+fn drain_all(queue: &BatchQueue<u64>, max_batch: usize, shed_mod: u64) -> (Vec<u64>, Vec<u64>) {
+    let mut answered = Vec::new();
+    let mut shed = Vec::new();
+    loop {
+        let drained = queue.pop_batch_shed(max_batch, Duration::from_micros(200), |id| {
+            shed_mod > 1 && id % shed_mod == 0
+        });
+        if drained.is_exit() {
+            return (answered, shed);
+        }
+        answered.extend(drained.batch);
+        shed.extend(drained.shed);
+    }
+}
+
+mb_check::check! {
+    #![config(cases = 48)]
+
+    /// Concurrent pushers + a shedding drainer + shutdown: each pushed
+    /// id lands in exactly one of {answered, shed, rejected-at-push}.
+    fn partition_is_exact_under_concurrency(
+        items in gen::usize_in(1..120),
+        capacity in gen::usize_in(1..16),
+        max_batch in gen::usize_in(1..8),
+        shed_mod in gen::u32_in(0..5),
+    ) {
+        let shed_mod = shed_mod as u64;
+        let queue = Arc::new(BatchQueue::new(capacity));
+        let (accepted, rejected, answered, shed) = std::thread::scope(|scope| {
+            let drainer = {
+                let queue = Arc::clone(&queue);
+                scope.spawn(move || drain_all(&queue, max_batch, shed_mod))
+            };
+            let (mut accepted, mut rejected) = (Vec::new(), Vec::new());
+            for id in 0..items as u64 {
+                match queue.try_push(id) {
+                    Ok(()) => accepted.push(id),
+                    Err(PushError::Full(id)) => rejected.push(id),
+                    Err(PushError::Closed(_)) => unreachable!("nobody closed yet"),
+                }
+            }
+            queue.close();
+            let (answered, shed) = drainer.join().expect("drainer");
+            (accepted, rejected, answered, shed)
+        });
+
+        let answered_set: BTreeSet<u64> = answered.iter().copied().collect();
+        let shed_set: BTreeSet<u64> = shed.iter().copied().collect();
+        prop_assert_eq!(answered_set.len(), answered.len(), "an id was answered twice");
+        prop_assert_eq!(shed_set.len(), shed.len(), "an id was shed twice");
+        prop_assert!(
+            answered_set.is_disjoint(&shed_set),
+            "ids both answered and shed: {:?}",
+            answered_set.intersection(&shed_set).collect::<Vec<_>>()
+        );
+        let mut drained: BTreeSet<u64> = answered_set.union(&shed_set).copied().collect();
+        for id in &rejected {
+            prop_assert!(!drained.contains(id), "rejected id {id} was also drained");
+            drained.insert(*id);
+        }
+        let all: BTreeSet<u64> = (0..items as u64).collect();
+        prop_assert_eq!(drained, all, "every pushed id is accounted for exactly once");
+        prop_assert_eq!(accepted.len() + rejected.len(), items);
+    }
+
+    /// Shed membership is decided by the predicate alone: with a
+    /// deterministic predicate, the shed SET depends only on which
+    /// items were accepted, not on drain timing or batch boundaries.
+    fn shed_set_is_deterministic_for_a_seeded_schedule(
+        seed in gen::u32_in(0..10_000),
+        items in gen::usize_in(1..64),
+        max_batch in gen::usize_in(1..8),
+    ) {
+        let shed_mod = 2 + (seed as u64 % 3);
+        let run = || {
+            let queue = BatchQueue::new(items.max(1));
+            // Seeded arrival schedule: the same ids in the same order.
+            for i in 0..items as u64 {
+                let id = (seed as u64)
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(i)
+                    % 1_000;
+                queue.try_push(id).expect("capacity covers the schedule");
+            }
+            queue.close();
+            let (answered, shed) = drain_all(&queue, max_batch, shed_mod);
+            let answered: BTreeSet<u64> = answered.into_iter().collect();
+            let shed: BTreeSet<u64> = shed.into_iter().collect();
+            (answered, shed)
+        };
+        let (a1, s1) = run();
+        let (a2, s2) = run();
+        prop_assert_eq!(&s1, &s2, "replaying the schedule changed the shed set");
+        prop_assert_eq!(&a1, &a2, "replaying the schedule changed the answered set");
+        for id in &s1 {
+            prop_assert_eq!(id % shed_mod, 0, "shed an id the predicate accepts");
+        }
+        for id in &a1 {
+            prop_assert!(id % shed_mod != 0, "answered an id the predicate sheds");
+        }
+    }
+
+    /// Closing while a drainer blocks always unblocks it, and pushes
+    /// after close are returned to the caller rather than dropped.
+    fn close_unblocks_and_rejects_late_pushes(
+        capacity in gen::usize_in(1..8),
+        max_batch in gen::usize_in(1..8),
+    ) {
+        let queue = Arc::new(BatchQueue::new(capacity));
+        let drainer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || drain_all(&queue, max_batch, 0))
+        };
+        queue.close();
+        let (answered, shed) = drainer.join().expect("drainer unblocked by close");
+        prop_assert!(answered.is_empty() && shed.is_empty());
+        match queue.try_push(7) {
+            Err(PushError::Closed(id)) => prop_assert_eq!(id, 7),
+            other => prop_assert!(false, "push after close: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Hot-swap integration tests over real sockets: `POST /admin/reload`
+//! must atomically flip the serving generation while sustained client
+//! traffic sees zero dropped or malformed responses, and a corrupt
+//! candidate checkpoint must be rejected (409) with the old generation
+//! still serving.
+
+use mb_common::storage::DiskStorage;
+use mb_common::Rng;
+use mb_core::linker::LinkerConfig;
+use mb_core::pipeline::{BI_KEY, CROSS_KEY};
+use mb_datagen::{LinkedMention, World, WorldConfig};
+use mb_encoders::biencoder::{BiEncoder, BiEncoderConfig};
+use mb_encoders::crossencoder::{CrossEncoder, CrossEncoderConfig};
+use mb_encoders::input::build_vocab;
+use mb_serve::{ModelLoader, ModelRegistry, ServeModel, Server, ServerConfig};
+use mb_tensor::checkpoint::Checkpoint;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+
+fn bi_cfg() -> BiEncoderConfig {
+    BiEncoderConfig { emb_dim: 16, hidden: 16, out_dim: 16, ..Default::default() }
+}
+
+fn cross_cfg() -> CrossEncoderConfig {
+    CrossEncoderConfig { emb_dim: 16, hidden: 16, ..Default::default() }
+}
+
+/// Scratch dir removed on drop (panics leave it for inspection under
+/// the OS temp dir, keyed by test tag + pid).
+struct Scratch(PathBuf);
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn scratch(tag: &str) -> Scratch {
+    let dir = std::env::temp_dir().join(format!("mb-swap-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    Scratch(dir)
+}
+
+/// The startup model (encoder seed 1), test mentions, and a loader
+/// that rebuilds candidate models from checkpoints against the same
+/// world.
+fn fixture() -> (ServeModel, Vec<LinkedMention>, ModelLoader) {
+    let world = World::generate(WorldConfig::tiny(91));
+    let vocab = build_vocab(world.kb(), [], 1);
+    let domain = world.domain("TargetX").clone();
+    let mut rng = Rng::seed_from_u64(4);
+    let mentions = mb_datagen::mentions::generate_mentions(&world, &domain, 24, &mut rng).mentions;
+    let dictionary = world.kb().domain_entities(domain.id).to_vec();
+    let model = ServeModel::new(
+        vocab.clone(),
+        world.kb().clone(),
+        dictionary.clone(),
+        BiEncoder::new(&vocab, bi_cfg(), &mut Rng::seed_from_u64(1)),
+        CrossEncoder::new(&vocab, cross_cfg(), &mut Rng::seed_from_u64(2)),
+        LinkerConfig { k: 8, ..LinkerConfig::default() },
+        domain.name.clone(),
+    );
+    let kb = world.kb().clone();
+    let domain_name = domain.name.clone();
+    let loader: ModelLoader = Box::new(move |path: &Path| {
+        let ck = Checkpoint::load(&mut DiskStorage::new(), path)?;
+        ServeModel::from_checkpoint(
+            &ck,
+            vocab.clone(),
+            kb.clone(),
+            dictionary.clone(),
+            domain_name.clone(),
+            bi_cfg(),
+            cross_cfg(),
+            LinkerConfig { k: 8, ..LinkerConfig::default() },
+        )
+    });
+    (model, mentions, loader)
+}
+
+/// Write a valid v2 candidate checkpoint (encoder seed `seed`) at
+/// `path`.
+fn write_candidate(path: &Path, seed: u64) {
+    let world = World::generate(WorldConfig::tiny(91));
+    let vocab = build_vocab(world.kb(), [], 1);
+    let bi = BiEncoder::new(&vocab, bi_cfg(), &mut Rng::seed_from_u64(seed));
+    let cross = CrossEncoder::new(&vocab, cross_cfg(), &mut Rng::seed_from_u64(seed + 1));
+    let mut ck = Checkpoint::new();
+    ck.params.insert(BI_KEY.to_string(), bi.params().clone());
+    ck.params.insert(CROSS_KEY.to_string(), cross.params().clone());
+    ck.save(&mut DiskStorage::new(), path).expect("write candidate");
+}
+
+fn roundtrip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line.split(' ').nth(1).expect("code").parse().expect("numeric");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8"))
+}
+
+fn link_request(m: &LinkedMention) -> Vec<u8> {
+    let body = format!(
+        "{{\"surface\":{},\"left\":{},\"right\":{},\"k\":3}}",
+        mb_serve::json::escape(&m.surface),
+        mb_serve::json::escape(&m.left),
+        mb_serve::json::escape(&m.right),
+    );
+    let mut req = format!(
+        "POST /link HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body.as_bytes());
+    req
+}
+
+const RELOAD: &[u8] = b"POST /admin/reload HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n";
+
+/// The generation stamp a /link response carries.
+fn response_generation(body: &str) -> u64 {
+    let doc = mb_serve::json::parse(body.as_bytes()).expect("valid response JSON");
+    doc.get("generation").and_then(|v| v.as_f64()).expect("generation field") as u64
+}
+
+#[test]
+fn hot_swap_under_load_drops_nothing_and_flips_the_generation() {
+    let dir = scratch("load");
+    let candidate = dir.0.join("model.mbc");
+    write_candidate(&candidate, 7);
+    let (model, mentions, loader) = fixture();
+    let registry =
+        ModelRegistry::with_loader(model, candidate, loader).expect("valid startup model");
+    let server = Server::start_with_registry(
+        registry,
+        ServerConfig { workers: 2, max_batch: 4, max_delay_us: 500, ..ServerConfig::default() },
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    let (status, body) = roundtrip(addr, b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"generation\":1"), "{body}");
+    let (status, body) = roundtrip(addr, &link_request(&mentions[0]));
+    assert_eq!(status, 200);
+    assert_eq!(response_generation(&body), 1);
+
+    // Sustained traffic racing the swap: every response must be a
+    // complete 200 carrying a valid generation stamp (1 or 2 — never
+    // torn, never an error).
+    std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..4)
+            .map(|t: usize| {
+                let mentions = &mentions;
+                scope.spawn(move || {
+                    let mut gens = Vec::new();
+                    for i in 0..40 {
+                        let m = &mentions[(t * 40 + i) % mentions.len()];
+                        let (status, body) = roundtrip(addr, &link_request(m));
+                        assert_eq!(status, 200, "dropped response during swap: {body}");
+                        gens.push(response_generation(&body));
+                    }
+                    gens
+                })
+            })
+            .collect();
+        // Fire the reload mid-flight.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let (status, body) = roundtrip(addr, RELOAD);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"swapped\""), "{body}");
+        assert!(body.contains("\"generation\":2"), "{body}");
+        for c in clients {
+            for g in c.join().expect("client thread") {
+                assert!(g == 1 || g == 2, "impossible generation {g}");
+            }
+        }
+    });
+
+    // After the swap every new response rides generation 2.
+    assert_eq!(server.generation(), 2);
+    let (status, body) = roundtrip(addr, b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"generation\":2"), "{body}");
+    let (status, body) = roundtrip(addr, &link_request(&mentions[1]));
+    assert_eq!(status, 200);
+    assert_eq!(response_generation(&body), 2);
+
+    let (_, metrics) = roundtrip(addr, b"GET /metrics HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert!(metrics.contains("serve_model_generation 2"), "{metrics}");
+    assert!(metrics.contains("serve_model_swaps_total 1"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn corrupt_candidate_answers_409_and_the_old_generation_keeps_serving() {
+    let dir = scratch("corrupt");
+    let candidate = dir.0.join("model.mbc");
+    // A torn/garbage candidate: the v2 loader's CRC validation must
+    // reject it before anything reaches the registry.
+    std::fs::write(&candidate, b"MBPARAMS-from-a-crashed-writer\x00\x01\x02garbage")
+        .expect("write garbage");
+    let (model, mentions, loader) = fixture();
+    let registry =
+        ModelRegistry::with_loader(model, candidate, loader).expect("valid startup model");
+    let server = Server::start_with_registry(registry, ServerConfig::default()).expect("start");
+    let addr = server.addr();
+
+    let (status, body) = roundtrip(addr, RELOAD);
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("error"), "{body}");
+    assert!(body.contains("\"generation\":1"), "{body}");
+
+    // Serving is untouched: generation 1 still answers.
+    let (status, body) = roundtrip(addr, &link_request(&mentions[0]));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(response_generation(&body), 1);
+    let (_, metrics) = roundtrip(addr, b"GET /metrics HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert!(metrics.contains("serve_reload_rejected_total 1"), "{metrics}");
+    assert!(metrics.contains("serve_model_generation 1"), "{metrics}");
+    assert!(metrics.contains("serve_model_swaps_total 0"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn reload_with_an_explicit_body_path_swaps_from_that_file() {
+    let dir = scratch("bodypath");
+    let elsewhere = dir.0.join("blue-green.mbc");
+    write_candidate(&elsewhere, 21);
+    let (model, _, loader) = fixture();
+    let registry = ModelRegistry::with_loader(model, dir.0.join("missing-default.mbc"), loader)
+        .expect("valid startup model");
+    let server = Server::start_with_registry(registry, ServerConfig::default()).expect("start");
+    let addr = server.addr();
+
+    let body = format!("{{\"path\":{}}}", mb_serve::json::escape(&elsewhere.to_string_lossy()));
+    let mut req = format!(
+        "POST /admin/reload HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body.as_bytes());
+    let (status, reply) = roundtrip(addr, &req);
+    assert_eq!(status, 200, "{reply}");
+    assert!(reply.contains("\"generation\":2"), "{reply}");
+    assert_eq!(server.generation(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn reload_without_a_configured_source_is_a_conflict() {
+    let (model, _, _) = fixture();
+    let server = Server::start(model, ServerConfig::default()).expect("start");
+    let (status, body) = roundtrip(server.addr(), RELOAD);
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("no reload source configured"), "{body}");
+    server.shutdown();
+}

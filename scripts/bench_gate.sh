@@ -14,4 +14,8 @@ cd "$(dirname "$0")/.."
 
 cargo run --release -p mb-bench --bin bench_kernels
 cargo run --release -p mb-bench --bin bench_inference
+# Open-loop serving latency: only sub-saturation rungs are gated (p50
+# at low offered QPS is stable on one core; past-saturation rungs are
+# for the EXPERIMENTS.md curve, not the gate).
+cargo run --release -p mb-bench --bin loadgen -- --open-loop --qps 40,160 --duration-ms 1500
 cargo run --release -p mb-bench --bin bench_gate

@@ -46,6 +46,12 @@ STEPS=(
     # load generator — 100% 2xx under load, non-empty /metrics, and a
     # graceful shutdown that exits 0.
     "serve-smoke|scripts/serve_smoke.sh"
+    # Chaos serve: drive the server through a seed-replayable
+    # fault-injecting proxy (slow loris, torn replies, aborts, stalled
+    # clients) with a hot model swap racing the traffic, and overload
+    # it past its deadline budget — it must never wedge, never emit a
+    # torn 200, shed fast 503s with Retry-After, and recover healthy.
+    "chaos-serve|cargo test --release -q -p mb-serve --test chaos -- --include-ignored"
     # Bench regression: rerun the kernel + inference benchmarks and fail
     # if any median regressed >25% vs the committed bench-baseline.json.
     "bench-regression|scripts/bench_gate.sh"

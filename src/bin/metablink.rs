@@ -19,7 +19,7 @@ use metablink::datagen::LinkedMention;
 use metablink::encoders::biencoder::BiEncoder;
 use metablink::encoders::crossencoder::CrossEncoder;
 use metablink::eval::{ContextConfig, ExperimentContext};
-use metablink::serve::{ServeModel, Server, ServerConfig};
+use metablink::serve::{ModelLoader, ModelRegistry, ServeConfig, ServeModel, Server, ServerConfig};
 use metablink::tensor::checkpoint::Checkpoint;
 use metablink::tensor::serialize;
 use metablink::text::OverlapCategory;
@@ -77,14 +77,25 @@ USAGE:
   metablink serve     --model <dir> [--addr <host:port>] [--addr-file <path>]
                       [--max-batch <n>] [--max-delay-us <n>] [--queue-capacity <n>]
                       [--cache-capacity <n>] [--workers <n>] [--threads <n>]
+                      [--read-timeout-ms <n>] [--reply-timeout-ms <n>]
+                      [--default-deadline-ms <n>] [--max-deadline-ms <n>]
+                      [--retry-after-s <n>] [--admission-limit <n>]
+                      [--watch-interval-ms <n>]
   metablink lint      [--root <dir>] [--baseline <file>] [--json] [--update-baseline]
 
 serve runs an HTTP server over the trained model: POST /link answers
 linking requests (adaptive micro-batching fuses concurrent requests
 into one forward pass), GET /healthz and GET /metrics report status,
-POST /admin/shutdown drains in-flight work and exits. --addr defaults
-to 127.0.0.1:7878; port 0 picks an ephemeral port, and --addr-file
-writes the bound address for scripts to discover it.
+POST /admin/reload hot-swaps the next model.mbc generation without
+dropping requests, POST /admin/shutdown drains in-flight work and
+exits. --addr defaults to 127.0.0.1:7878; port 0 picks an ephemeral
+port, and --addr-file writes the bound address for scripts to discover
+it. The resilience knobs mirror mb_serve::ServeConfig: per-request
+deadline budgets (clients may send \"deadline_ms\", capped by
+--max-deadline-ms) shed queued work with 503 + Retry-After once they
+cannot be met, --admission-limit bounds requests inside the server
+(0 sizes it from the queue), and --watch-interval-ms polls model.mbc
+and reloads on change (0 disables).
 
 lint runs the in-repo static-analysis pass (panic-freedom,
 determinism, lock discipline, unsafe gate) over the workspace's own
@@ -326,6 +337,10 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     let num = |key: &str, default: usize| -> Result<usize, String> {
         flag(opts, key, &default.to_string()).parse().map_err(|e| format!("--{key}: {e}"))
     };
+    let snum = |key: &str, default: u64| -> Result<u64, String> {
+        flag(opts, key, &default.to_string()).parse().map_err(|e| format!("--{key}: {e}"))
+    };
+    let serve_defaults = defaults.serve;
     let cfg = ServerConfig {
         addr: flag(opts, "addr", "127.0.0.1:7878").to_string(),
         max_batch: num("max-batch", defaults.max_batch)?,
@@ -333,6 +348,15 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         queue_capacity: num("queue-capacity", defaults.queue_capacity)?,
         cache_capacity: num("cache-capacity", defaults.cache_capacity)?,
         workers: num("workers", defaults.workers)?,
+        serve: ServeConfig {
+            read_timeout_ms: snum("read-timeout-ms", serve_defaults.read_timeout_ms)?,
+            reply_timeout_ms: snum("reply-timeout-ms", serve_defaults.reply_timeout_ms)?,
+            default_deadline_ms: snum("default-deadline-ms", serve_defaults.default_deadline_ms)?,
+            max_deadline_ms: snum("max-deadline-ms", serve_defaults.max_deadline_ms)?,
+            retry_after_s: snum("retry-after-s", serve_defaults.retry_after_s)?,
+            admission_limit: snum("admission-limit", serve_defaults.admission_limit)?,
+            watch_interval_ms: snum("watch-interval-ms", serve_defaults.watch_interval_ms)?,
+        },
         ..defaults
     };
 
@@ -353,19 +377,41 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         "precomputing entity index ({} entities) …",
         world.kb().domain_entities(dom.id).len()
     );
+    let vocab = ctx.vocab.clone();
+    let kb = world.kb().clone();
+    let dictionary = world.kb().domain_entities(dom.id).to_vec();
+    let domain_name = manifest.domain.clone();
     let model = ServeModel::from_checkpoint(
         &ck,
-        ctx.vocab.clone(),
-        world.kb().clone(),
-        world.kb().domain_entities(dom.id).to_vec(),
-        manifest.domain.clone(),
+        vocab.clone(),
+        kb.clone(),
+        dictionary.clone(),
+        domain_name.clone(),
         train_cfg.bi,
         train_cfg.cross,
         train_cfg.linker,
     )
     .map_err(|e| e.to_string())?;
 
-    let server = Server::start(model, cfg).map_err(|e| e.to_string())?;
+    // Hot reloads rebuild the model from the same world context; the
+    // v2 loader's per-section CRCs reject corrupt candidates before a
+    // swap is attempted.
+    let source = dir.join("model.mbc");
+    let loader: ModelLoader = Box::new(move |path: &Path| {
+        let ck = Checkpoint::load(&mut DiskStorage::new(), path)?;
+        ServeModel::from_checkpoint(
+            &ck,
+            vocab.clone(),
+            kb.clone(),
+            dictionary.clone(),
+            domain_name.clone(),
+            train_cfg.bi,
+            train_cfg.cross,
+            train_cfg.linker,
+        )
+    });
+    let registry = ModelRegistry::with_loader(model, source, loader).map_err(|e| e.to_string())?;
+    let server = Server::start_with_registry(registry, cfg).map_err(|e| e.to_string())?;
     let addr = server.addr();
     if let Some(path) = opts.get("addr-file") {
         std::fs::write(path, addr.to_string()).map_err(|e| e.to_string())?;

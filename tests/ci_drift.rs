@@ -66,3 +66,14 @@ fn ci_script_ends_with_the_bench_regression_gate() {
         "the bench-regression gate must stay the final CI step"
     );
 }
+
+#[test]
+fn ci_script_includes_the_chaos_serve_stage() {
+    let script = script_steps();
+    assert!(
+        script
+            .iter()
+            .any(|s| s == "cargo test --release -q -p mb-serve --test chaos -- --include-ignored"),
+        "the chaos-serve stage must run the #[ignore]d mb-serve chaos suite in release"
+    );
+}
