@@ -107,7 +107,8 @@ fn bench_retrieval(h: &mut Harness) {
             }
         }
         let ids: Vec<mb_kb::EntityId> = (0..n as u32).map(mb_kb::EntityId).collect();
-        let exact = DenseIndex::from_vectors(vectors.clone(), ids.clone());
+        let exact = DenseIndex::try_from_vectors(vectors.clone(), ids.clone())
+            .expect("unit-norm bench vectors are well-formed");
         let nlist = (n as f64).sqrt() as usize;
         let ivf = PartitionedIndex::build(vectors, ids, nlist, nlist / 8 + 1, &mut rng);
         let query: Vec<f64> = (0..32).map(|_| rng.gaussian()).collect();

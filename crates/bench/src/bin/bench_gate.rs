@@ -43,6 +43,7 @@ fn main() -> ExitCode {
             "target/experiments/BENCH_kernels.json".to_string(),
             "target/experiments/BENCH_inference.json".to_string(),
             "target/experiments/BENCH_serve_openloop.json".to_string(),
+            "target/experiments/BENCH_retrieval.json".to_string(),
         ];
     }
 

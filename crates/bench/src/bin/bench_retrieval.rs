@@ -1,0 +1,278 @@
+//! Sharded-store retrieval benchmark: stream a synthetic entity world
+//! into an on-disk `mb-store`, build the deterministic IVF index over
+//! it, and measure build time, recall@64 against brute-force scoring of
+//! the *same* quantized tables, and per-query throughput. Writes
+//! `target/experiments/BENCH_retrieval.{txt,json}`; the two `retrieval/`
+//! medians feed the bench-regression CI gate (`scripts/bench_gate.sh`).
+//!
+//! ```text
+//! bench_retrieval                  # full run (20k entities, timed)
+//! bench_retrieval --entities 1000000
+//! bench_retrieval --smoke          # CI retrieval-smoke stage: small
+//!                                  # world, recall + bit-identical
+//!                                  # rebuild assertions, no timing
+//! ```
+//!
+//! The recall sweep (`nprobe` vs recall@64 and probe cost) is printed
+//! for EXPERIMENTS.md; the gated timing runs at the smallest swept
+//! `nprobe` whose recall@64 clears 0.95.
+
+use mb_bench::harness::Harness;
+use mb_common::Rng;
+use mb_datagen::{EntityStream, StreamConfig};
+use mb_encoders::retrieval::CandidateSource;
+use mb_store::{EntityStore, IvfConfig, IvfIndex, StoreBuilder, StoreConfig, StoreRecord, Threads};
+use mb_tensor::quant::QuantMode;
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Queries evaluated for recall and rotated through the timing loops.
+const QUERIES: usize = 64;
+/// Recall depth (the serving candidate budget).
+const K: usize = 64;
+/// The recall@64 floor the operating point must clear.
+const RECALL_FLOOR: f64 = 0.95;
+
+struct Args {
+    entities: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut entities = 100_000usize;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--entities" => {
+                entities = args
+                    .next()
+                    .ok_or("--entities needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--entities: {e}"))?;
+            }
+            "--smoke" => smoke = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args { entities, smoke })
+}
+
+/// Scratch dir removed on drop (panics leave it behind under the OS
+/// temp dir for inspection).
+struct Scratch(PathBuf);
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn scratch(tag: &str) -> Scratch {
+    let dir = std::env::temp_dir().join(format!("mb-bench-retrieval-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    Scratch(dir)
+}
+
+/// Stream `cfg.entities` synthetic entities into a sharded store,
+/// shard by shard in bounded RAM. Returns the store and the wall time.
+fn build_store(dir: &Path, cfg: StreamConfig, shard_capacity: usize) -> (EntityStore, f64) {
+    let start = Instant::now();
+    let mut builder = StoreBuilder::create(
+        dir,
+        StoreConfig { shard_capacity, dim: cfg.dim, quant: QuantMode::Int8 },
+    )
+    .expect("store builder");
+    for chunk in EntityStream::new(cfg).expect("valid stream config") {
+        for e in chunk {
+            builder
+                .push(StoreRecord { title: e.title, description: e.description, vector: e.vector })
+                .expect("push streamed entity");
+        }
+    }
+    let store = builder.finish().expect("finish store");
+    (store, start.elapsed().as_secs_f64())
+}
+
+/// Deterministic evaluation queries: entity vectors perturbed with a
+/// little noise, renormalized — "find things like this known entity".
+fn queries(store: &EntityStore, n: usize) -> Vec<Vec<f64>> {
+    let mut rng = Rng::seed_from_u64(1234);
+    let stride = (store.len() / n).max(1);
+    let mut row = vec![0.0; store.dim()];
+    (0..n)
+        .map(|i| {
+            store.dequant_row_into((i * stride) % store.len(), &mut row);
+            let mut q: Vec<f64> = row.iter().map(|v| v + 0.03 * rng.gaussian()).collect();
+            let norm = q.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            q.iter_mut().for_each(|x| *x /= norm);
+            q
+        })
+        .collect()
+}
+
+/// Mean recall@K of `ann` against the exact top-K over the same tables.
+fn recall_at_k(ann: &IvfIndex, exact_ids: &[Vec<u32>], qs: &[Vec<f64>]) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (q, truth) in qs.iter().zip(exact_ids) {
+        let got = ann.top_k(q, K);
+        hit += got.iter().filter(|(id, _)| truth.contains(&id.0)).count();
+        total += truth.len();
+    }
+    hit as f64 / total.max(1) as f64
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_retrieval: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.smoke {
+        smoke();
+        return;
+    }
+
+    let dir = scratch("full");
+    let n = args.entities;
+    let stream =
+        StreamConfig { entities: n, dim: 32, topics: 128, noise: 0.15, chunk: 8_192, seed: 17 };
+    let shard_capacity = 8_192;
+    eprintln!("streaming {n} entities into a sharded store …");
+    let (store, store_s) = build_store(&dir.0, stream, shard_capacity);
+    let store = Arc::new(store);
+    eprintln!("  {} shards in {store_s:.2}s", store.shards().len());
+
+    let nlist = ((n as f64).sqrt().ceil() as usize).clamp(1, 4096);
+    let ivf_cfg = IvfConfig { nlist, nprobe: 1, ..IvfConfig::default() };
+    eprintln!("building IVF (nlist {nlist}) …");
+    let start = Instant::now();
+    let mut ivf =
+        IvfIndex::build(Arc::clone(&store), ivf_cfg, Threads::default()).expect("ivf build");
+    let ivf_s = start.elapsed().as_secs_f64();
+    eprintln!("  built in {ivf_s:.2}s");
+
+    let exact = Arc::new(store.quantized_index().expect("store tables"));
+    let qs = queries(&store, QUERIES);
+    let exact_ids: Vec<Vec<u32>> =
+        qs.iter().map(|q| exact.top_k(q, K).into_iter().map(|(id, _)| id.0).collect()).collect();
+
+    // Recall sweep for the EXPERIMENTS.md table, and the operating
+    // point: the smallest swept nprobe clearing the recall floor.
+    let mut sweep: Vec<(usize, f64)> = Vec::new();
+    let mut op_nprobe = nlist;
+    println!("\nrecall sweep ({n} entities, nlist {nlist}, {QUERIES} queries):");
+    println!("  nprobe  probed%  recall@{K}");
+    for np in [1usize, 2, 4, 8, 16, 32, 64] {
+        if np > nlist {
+            break;
+        }
+        ivf.set_nprobe(np);
+        let r = recall_at_k(&ivf, &exact_ids, &qs);
+        println!("  {np:>6}  {:>6.2}%  {r:.4}", 100.0 * np as f64 / nlist as f64);
+        sweep.push((np, r));
+        if r >= RECALL_FLOOR && np < op_nprobe {
+            op_nprobe = np;
+        }
+    }
+    ivf.set_nprobe(op_nprobe);
+    let op_recall = recall_at_k(&ivf, &exact_ids, &qs);
+    assert!(
+        op_recall >= RECALL_FLOOR,
+        "no swept nprobe reached recall@{K} >= {RECALL_FLOOR} (best {op_recall:.4})"
+    );
+
+    // Timed comparison at the operating point: brute force over the
+    // full quantized tables vs nprobe-bounded IVF probing.
+    let mut h = Harness::new();
+    let mut qi = 0usize;
+    h.bench_units("retrieval/store_exact/top64", 1.0, "query", || {
+        let q = &qs[qi % qs.len()];
+        qi += 1;
+        black_box(exact.top_k(black_box(q), K));
+    });
+    let mut qi = 0usize;
+    h.bench_units("retrieval/store_ivf/top64", 1.0, "query", || {
+        let q = &qs[qi % qs.len()];
+        qi += 1;
+        black_box(ivf.top_k(black_box(q), K));
+    });
+
+    let median = |name: &str| {
+        h.results()
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.median_ns)
+            .unwrap_or_else(|| panic!("no measurement named {name}"))
+    };
+    let exact_ns = median("retrieval/store_exact/top64");
+    let ivf_ns = median("retrieval/store_ivf/top64");
+    let exact_qps = 1e9 / exact_ns;
+    let ivf_qps = 1e9 / ivf_ns;
+    let speedup = exact_ns / ivf_ns;
+
+    let sweep_json: Vec<String> =
+        sweep.iter().map(|(np, r)| format!("{{\"nprobe\":{np},\"recall\":{r:.4}}}")).collect();
+    let summary = format!(
+        "{{\"entities\":{n},\"dim\":32,\"shards\":{},\
+         \"store_build_s\":{store_s:.3},\"ivf_build_s\":{ivf_s:.3},\
+         \"nlist\":{nlist},\"nprobe\":{op_nprobe},\
+         \"recall_at_64\":{op_recall:.4},\
+         \"exact_qps\":{exact_qps:.1},\"ivf_qps\":{ivf_qps:.1},\
+         \"speedup\":{speedup:.2},\
+         \"sweep\":[{}]}}",
+        store.shards().len(),
+        sweep_json.join(","),
+    );
+    h.report_with_summary(
+        "Sharded-store retrieval: deterministic IVF vs brute force",
+        "BENCH_retrieval",
+        &summary,
+    );
+
+    println!("\nacceptance metrics ({n} entities):");
+    println!("  store build: {store_s:.2}s ({} shards)", store.shards().len());
+    println!("  ivf build:   {ivf_s:.2}s (nlist {nlist})");
+    println!("  operating point: nprobe {op_nprobe}, recall@{K} {op_recall:.4}");
+    println!("  qps: exact {exact_qps:.0}, ivf {ivf_qps:.0} ({speedup:.1}x)");
+}
+
+/// CI retrieval-smoke: small streamed world, assert the recall floor
+/// and that a rebuild (including at a different worker count) is
+/// byte-identical. No timing — this must stay fast and stable.
+fn smoke() {
+    let dir = scratch("smoke");
+    let stream = StreamConfig { entities: 3_000, ..StreamConfig::tiny(3_000, 5) };
+    let (store, _) = build_store(&dir.0, stream, 1_024);
+    let store = Arc::new(store);
+
+    let cfg = IvfConfig { nlist: 48, nprobe: 16, ..IvfConfig::default() };
+    let ivf = IvfIndex::build(Arc::clone(&store), cfg, Threads::default()).expect("ivf build");
+
+    let exact = store.quantized_index().expect("store tables");
+    let qs = queries(&store, QUERIES);
+    let exact_ids: Vec<Vec<u32>> =
+        qs.iter().map(|q| exact.top_k(q, K).into_iter().map(|(id, _)| id.0).collect()).collect();
+    let recall = recall_at_k(&ivf, &exact_ids, &qs);
+    assert!(recall >= RECALL_FLOOR, "smoke recall@{K} {recall:.4} < {RECALL_FLOOR}");
+
+    // Deterministic rebuild: same bytes from a fresh build, at one
+    // worker and at several.
+    let again = IvfIndex::build(Arc::clone(&store), cfg, Threads::default()).expect("rebuild");
+    assert_eq!(ivf.to_bytes(), again.to_bytes(), "rebuild is not byte-identical");
+    let wide = IvfIndex::build(Arc::clone(&store), cfg, Threads::new(3)).expect("rebuild wide");
+    assert_eq!(ivf.to_bytes(), wide.to_bytes(), "worker count changed the index bytes");
+
+    println!(
+        "retrieval-smoke PASS: {} entities, {} shards, recall@{K} {recall:.4}, \
+         rebuild byte-identical at 1 and 3 workers",
+        store.len(),
+        store.shards().len()
+    );
+}

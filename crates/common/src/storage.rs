@@ -28,18 +28,70 @@ use std::path::{Path, PathBuf};
 /// assert_eq!(mb_common::storage::crc32(b"123456789"), 0xCBF4_3926);
 /// ```
 pub fn crc32(bytes: &[u8]) -> u32 {
-    // Tableless bitwise implementation (reflected, poly 0xEDB88320).
-    // Checkpoint payloads are at most a few MB; this is plenty fast and
-    // keeps the implementation obviously correct.
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// The reflected CRC-32 byte table (poly 0xEDB88320), built once at
+/// compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
         }
+        table[i] = crc;
+        i += 1;
     }
-    !crc
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Incremental CRC-32 (reflected, poly 0xEDB88320) — the streaming
+/// form of [`crc32`], for payloads too large to hold in memory (the
+/// sharded entity store verifies multi-MB sections through a bounded
+/// chunk buffer). Feeding the same bytes in any chunking produces the
+/// same checksum as one [`crc32`] call.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb the next chunk.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            let idx = ((crc ^ b as u32) & 0xFF) as usize;
+            // mb-lint: allow(indexing) -- idx is masked to 0..=255 over a 256-entry table
+            crc = (crc >> 8) ^ CRC32_TABLE[idx];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything absorbed so far (the hasher stays
+    /// usable — `finish` does not consume it).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
 }
 
 /// Abstract byte storage with atomic replace semantics.
@@ -264,6 +316,26 @@ mod tests {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_streaming_matches_one_shot_for_any_chunking() {
+        let data: Vec<u8> =
+            (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let whole = crc32(&data);
+        for chunk in [1usize, 3, 64, 1000, 4096] {
+            let mut h = Crc32::new();
+            for piece in data.chunks(chunk) {
+                h.update(piece);
+            }
+            assert_eq!(h.finish(), whole, "chunk size {chunk}");
+        }
+        // finish() is non-consuming: absorbing more afterwards continues.
+        let mut h = Crc32::new();
+        h.update(b"1234");
+        let _ = h.finish();
+        h.update(b"56789");
+        assert_eq!(h.finish(), 0xCBF4_3926);
     }
 
     #[test]

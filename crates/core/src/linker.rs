@@ -14,7 +14,7 @@ use mb_encoders::biencoder::BiEncoder;
 use mb_encoders::crossencoder::{CandidateSet, CrossEncoder};
 use mb_encoders::frozen::{FrozenBiEncoder, FrozenCrossEncoder};
 use mb_encoders::input::{entity_bag, mention_bag, surface_bag, title_bag, InputConfig, TrainPair};
-use mb_encoders::retrieval::{DenseIndex, QuantizedIndex};
+use mb_encoders::retrieval::{CandidateSource, DenseIndex, QuantizedIndex};
 use mb_kb::{EntityId, KnowledgeBase};
 use mb_tensor::QuantMode;
 use mb_text::Vocab;
@@ -95,6 +95,10 @@ pub struct TwoStageLinker<'a> {
     pub cfg: LinkerConfig,
     index: Arc<DenseIndex>,
     qindex: Option<Arc<QuantizedIndex>>,
+    /// Approximate retrieval backend (e.g. an IVF index over a sharded
+    /// store); when set it answers stage one instead of the exact
+    /// indexes.
+    ann: Option<Arc<dyn CandidateSource>>,
     frozen_bi: FrozenBiEncoder,
     frozen_cross: FrozenCrossEncoder,
 }
@@ -104,6 +108,10 @@ impl<'a> TwoStageLinker<'a> {
     /// (`entities`) with the bi-encoder. Freezes both encoders for the
     /// tape-free inference path (under `cfg.quant` this also quantizes
     /// the embedding tables and the index, once).
+    ///
+    /// # Panics
+    /// Panics when `entities` references an id outside `kb` — callers
+    /// handling untrusted dictionaries use [`TwoStageLinker::try_new`].
     pub fn new(
         bi: &'a BiEncoder,
         cross: &'a CrossEncoder,
@@ -112,11 +120,40 @@ impl<'a> TwoStageLinker<'a> {
         entities: &[EntityId],
         cfg: LinkerConfig,
     ) -> Self {
-        let index = Arc::new(DenseIndex::build(bi, vocab, &cfg.input, kb, entities));
+        Self::try_new(bi, cross, vocab, kb, entities, cfg).expect("valid candidate dictionary")
+    }
+
+    /// Fallible [`TwoStageLinker::new`]: the typed-error path for
+    /// dictionaries that arrive from outside the process (checkpoint
+    /// sidecars, stores, CLI arguments).
+    ///
+    /// # Errors
+    /// [`mb_common::Error::NotFound`] when `entities` references an id
+    /// outside `kb`.
+    pub fn try_new(
+        bi: &'a BiEncoder,
+        cross: &'a CrossEncoder,
+        vocab: &'a Vocab,
+        kb: &'a KnowledgeBase,
+        entities: &[EntityId],
+        cfg: LinkerConfig,
+    ) -> mb_common::Result<Self> {
+        let index = Arc::new(DenseIndex::try_build(bi, vocab, &cfg.input, kb, entities)?);
         let qindex = QuantizedIndex::from_dense(&index, cfg.quant).map(Arc::new);
         let frozen_bi = bi.freeze(cfg.quant);
         let frozen_cross = cross.freeze(cfg.quant);
-        TwoStageLinker { bi, cross, vocab, kb, cfg, index, qindex, frozen_bi, frozen_cross }
+        Ok(TwoStageLinker {
+            bi,
+            cross,
+            vocab,
+            kb,
+            cfg,
+            index,
+            qindex,
+            ann: None,
+            frozen_bi,
+            frozen_cross,
+        })
     }
 
     /// Assemble a linker around a **precomputed** entity index — the
@@ -179,7 +216,47 @@ impl<'a> TwoStageLinker<'a> {
             )));
         }
         let qindex = qindex.or_else(|| QuantizedIndex::from_dense(&index, cfg.quant).map(Arc::new));
-        Ok(TwoStageLinker { bi, cross, vocab, kb, cfg, index, qindex, frozen_bi, frozen_cross })
+        Ok(TwoStageLinker {
+            bi,
+            cross,
+            vocab,
+            kb,
+            cfg,
+            index,
+            qindex,
+            ann: None,
+            frozen_bi,
+            frozen_cross,
+        })
+    }
+
+    /// Attach an approximate retrieval backend; stage one then queries
+    /// it instead of the exact indexes. The backend must agree with the
+    /// bi-encoder dimension and stay inside the knowledge base.
+    ///
+    /// # Errors
+    /// [`mb_common::Error::ShapeMismatch`] on a dimension mismatch;
+    /// [`mb_common::Error::NotFound`] when the backend's id range
+    /// exceeds `kb`.
+    pub fn with_ann(mut self, ann: Arc<dyn CandidateSource>) -> mb_common::Result<Self> {
+        if !ann.is_empty() && ann.dim() != self.bi.config().out_dim {
+            return Err(mb_common::Error::shape(
+                "TwoStageLinker::with_ann",
+                format!("index dim {}", self.bi.config().out_dim),
+                format!("index dim {}", ann.dim()),
+            ));
+        }
+        if let Some(max) = ann.max_id() {
+            if max.0 as usize >= self.kb.len() {
+                return Err(mb_common::Error::NotFound(format!(
+                    "ann entity {} outside knowledge base of {} entities",
+                    max.0,
+                    self.kb.len()
+                )));
+            }
+        }
+        self.ann = Some(ann);
+        Ok(self)
     }
 
     /// Stage one: retrieve the top-k candidates for a mention.
@@ -189,9 +266,13 @@ impl<'a> TwoStageLinker<'a> {
         self.retrieve(q.row(0))
     }
 
-    /// Top-k against the quantized index when one is active, else the
-    /// exact index.
+    /// Top-k for stage one: the approximate backend when attached,
+    /// else the quantized index when one is active, else the exact
+    /// index.
     fn retrieve(&self, query: &[f64]) -> Vec<(EntityId, f64)> {
+        if let Some(ann) = &self.ann {
+            return ann.top_k(query, self.cfg.k);
+        }
         match &self.qindex {
             Some(qi) => qi.top_k(query, self.cfg.k),
             None => self.index.top_k(query, self.cfg.k),

@@ -25,9 +25,11 @@ pub mod lexicon;
 pub mod mentions;
 pub mod noise;
 pub mod splits;
+pub mod stream;
 pub mod world;
 
 pub use dataset::{Dataset, DatasetConfig};
 pub use mentions::{LinkedMention, MentionSet};
 pub use splits::FewShotSplit;
+pub use stream::{EntityStream, StreamConfig, StreamedEntity};
 pub use world::{DomainRole, DomainSpec, World, WorldConfig};

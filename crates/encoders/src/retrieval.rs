@@ -5,6 +5,16 @@
 //! approximate index (k-means partitions, probe the nearest few) used
 //! by the retrieval-latency micro-benchmarks to show the usual
 //! recall/latency trade-off at larger entity counts.
+//!
+//! [`CandidateSource`] is the retrieval abstraction the two-stage
+//! linker scores candidates through: every index here implements it,
+//! as does the sharded-store IVF index in `mb-store`, so the linker
+//! (and the serving path behind it) can swap brute-force retrieval for
+//! approximate million-entity retrieval without touching inference
+//! code. Implementations must keep the workspace determinism contract:
+//! `top_k` is a pure function of the query and the index, ties break
+//! on the lowest candidate position, and `top_k_batch` is bit-identical
+//! at any [`mb_par::Threads`] value.
 
 use crate::biencoder::BiEncoder;
 use crate::input::{entity_bag, InputConfig};
@@ -14,6 +24,48 @@ use mb_kb::{EntityId, KnowledgeBase};
 use mb_tensor::quant::{QuantF16, QuantI8};
 use mb_tensor::{QuantMode, Tensor};
 use mb_text::Vocab;
+
+/// A source of scored entity candidates for a query embedding — the
+/// retrieval stage the two-stage linker is generic over.
+///
+/// Contract (DESIGN.md §14): `top_k` returns candidates best-first with
+/// a deterministic lowest-position tie-break, `len`/`dim` describe the
+/// indexed table, `max_id` bounds the entity ids a search can return
+/// (so a caller can validate the source against its knowledge base
+/// once, up front), and `top_k_batch` must be bit-identical at any
+/// worker count.
+pub trait CandidateSource: Send + Sync {
+    /// Number of indexed entities.
+    fn len(&self) -> usize;
+
+    /// True if nothing is indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the indexed vectors.
+    fn dim(&self) -> usize;
+
+    /// The largest entity id a search can return, `None` when empty.
+    fn max_id(&self) -> Option<EntityId>;
+
+    /// Top-k candidates for one query, best first.
+    fn top_k(&self, query: &[f64], k: usize) -> Vec<(EntityId, f64)>;
+
+    /// Top-k retrieval for every row of a `[q, dim]` query matrix, with
+    /// queries split across workers; bit-identical at any
+    /// [`mb_par::Threads`] value (each query's ranking is computed
+    /// wholly within one worker).
+    fn top_k_batch(
+        &self,
+        queries: &Tensor,
+        k: usize,
+        threads: mb_par::Threads,
+    ) -> Vec<Vec<(EntityId, f64)>> {
+        assert_eq!(queries.rank(), 2, "top_k_batch: queries rank {:?}", queries.shape());
+        mb_par::par_map_range(threads, queries.rows(), |i| self.top_k(queries.row(i), k))
+    }
+}
 
 /// Exact brute-force dense index.
 #[derive(Debug, Clone)]
@@ -74,6 +126,30 @@ impl DenseIndex {
             ids.iter().map(|&id| entity_bag(vocab, cfg, kb.entity(id))).collect();
         let vectors = model.embed_entities(bags);
         DenseIndex { vectors, ids: ids.to_vec() }
+    }
+
+    /// Embed and index a set of entities, rejecting ids outside the
+    /// knowledge base instead of panicking mid-embed — the serving and
+    /// loadgen constructor, where a malformed dictionary must surface
+    /// as a typed error.
+    ///
+    /// # Errors
+    /// [`mb_common::Error::NotFound`] when any id is outside `kb`.
+    pub fn try_build(
+        model: &BiEncoder,
+        vocab: &Vocab,
+        cfg: &InputConfig,
+        kb: &KnowledgeBase,
+        ids: &[EntityId],
+    ) -> mb_common::Result<Self> {
+        if let Some(&bad) = ids.iter().find(|id| id.0 as usize >= kb.len()) {
+            return Err(mb_common::Error::NotFound(format!(
+                "dictionary entity {} outside knowledge base of {} entities",
+                bad.0,
+                kb.len()
+            )));
+        }
+        Ok(Self::build(model, vocab, cfg, kb, ids))
     }
 
     /// Number of indexed entities.
@@ -167,6 +243,41 @@ impl QuantizedIndex {
         Some(QuantizedIndex { table, ids: index.ids.clone() })
     }
 
+    /// Assemble from a prebuilt f16 table (rows aligned with `ids`) —
+    /// the shard-load path: `mb-store` persists the raw table bits, so
+    /// serve start-up reloads them here without re-quantizing.
+    ///
+    /// # Errors
+    /// [`mb_common::Error::ShapeMismatch`] when row count and id count
+    /// differ.
+    pub fn from_f16(table: QuantF16, ids: Vec<EntityId>) -> mb_common::Result<Self> {
+        if table.rows() != ids.len() {
+            return Err(mb_common::Error::shape(
+                "QuantizedIndex::from_f16",
+                format!("{} ids (one per row)", table.rows()),
+                format!("{} ids", ids.len()),
+            ));
+        }
+        Ok(QuantizedIndex { table: QuantTable::F16(table), ids })
+    }
+
+    /// Assemble from a prebuilt int8 table (rows aligned with `ids`) —
+    /// the shard-load path, like [`QuantizedIndex::from_f16`].
+    ///
+    /// # Errors
+    /// [`mb_common::Error::ShapeMismatch`] when row count and id count
+    /// differ.
+    pub fn from_i8(table: QuantI8, ids: Vec<EntityId>) -> mb_common::Result<Self> {
+        if table.rows() != ids.len() {
+            return Err(mb_common::Error::shape(
+                "QuantizedIndex::from_i8",
+                format!("{} ids (one per row)", table.rows()),
+                format!("{} ids", ids.len()),
+            ));
+        }
+        Ok(QuantizedIndex { table: QuantTable::Int8(table), ids })
+    }
+
     /// Number of indexed entities.
     pub fn len(&self) -> usize {
         self.ids.len()
@@ -175,6 +286,19 @@ impl QuantizedIndex {
     /// True if nothing is indexed.
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
+    }
+
+    /// Dimensionality of the stored vectors.
+    pub fn dim(&self) -> usize {
+        match &self.table {
+            QuantTable::F16(t) => t.cols(),
+            QuantTable::Int8(t) => t.cols(),
+        }
+    }
+
+    /// The indexed ids in row order.
+    pub fn ids(&self) -> &[EntityId] {
+        &self.ids
     }
 
     /// Resident bytes of the stored vectors.
@@ -211,6 +335,60 @@ impl QuantizedIndex {
     ) -> Vec<Vec<(EntityId, f64)>> {
         assert_eq!(queries.rank(), 2, "top_k_batch: queries rank {:?}", queries.shape());
         mb_par::par_map_range(threads, queries.rows(), |i| self.top_k(queries.row(i), k))
+    }
+}
+
+impl CandidateSource for DenseIndex {
+    fn len(&self) -> usize {
+        DenseIndex::len(self)
+    }
+
+    fn dim(&self) -> usize {
+        DenseIndex::dim(self)
+    }
+
+    fn max_id(&self) -> Option<EntityId> {
+        self.ids.iter().copied().max_by_key(|id| id.0)
+    }
+
+    fn top_k(&self, query: &[f64], k: usize) -> Vec<(EntityId, f64)> {
+        DenseIndex::top_k(self, query, k)
+    }
+
+    fn top_k_batch(
+        &self,
+        queries: &Tensor,
+        k: usize,
+        threads: mb_par::Threads,
+    ) -> Vec<Vec<(EntityId, f64)>> {
+        DenseIndex::top_k_batch(self, queries, k, threads)
+    }
+}
+
+impl CandidateSource for QuantizedIndex {
+    fn len(&self) -> usize {
+        QuantizedIndex::len(self)
+    }
+
+    fn dim(&self) -> usize {
+        QuantizedIndex::dim(self)
+    }
+
+    fn max_id(&self) -> Option<EntityId> {
+        self.ids.iter().copied().max_by_key(|id| id.0)
+    }
+
+    fn top_k(&self, query: &[f64], k: usize) -> Vec<(EntityId, f64)> {
+        QuantizedIndex::top_k(self, query, k)
+    }
+
+    fn top_k_batch(
+        &self,
+        queries: &Tensor,
+        k: usize,
+        threads: mb_par::Threads,
+    ) -> Vec<Vec<(EntityId, f64)>> {
+        QuantizedIndex::top_k_batch(self, queries, k, threads)
     }
 }
 

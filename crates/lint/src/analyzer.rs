@@ -68,6 +68,11 @@ pub struct RuleSet {
     /// Deny `as` narrowing of identifier ids to sub-`usize` integer
     /// types — a wrapped id silently aliases another entity.
     pub as_truncation: bool,
+    /// Deny whole-file reads (`read_to_end`, `read_to_string`,
+    /// `fs::read`) on store/shard load paths: those paths promise
+    /// bounded-RAM section streaming, and one convenience read of a
+    /// multi-gigabyte shard silently breaks the promise.
+    pub unbounded_read: bool,
 }
 
 impl RuleSet {
@@ -87,6 +92,7 @@ impl RuleSet {
             tape_free: true,
             bounded_queue: true,
             as_truncation: true,
+            unbounded_read: true,
         }
     }
 }
@@ -233,6 +239,9 @@ pub fn analyze_file(
         }
         if rules.as_truncation {
             as_truncation_rules(&sig, i, &mut emit);
+        }
+        if rules.unbounded_read {
+            unbounded_read_rules(&sig, i, &mut emit);
         }
     }
 
@@ -564,6 +573,42 @@ fn as_truncation_rules(
     }
 }
 
+/// Whole-file reads on a bounded-RAM load path. Flags
+/// `.read_to_end(`/`.read_to_string(` method calls and `fs::read(` /
+/// `fs::read_to_string(` free calls: shard and manifest loads must
+/// verify sections in fixed-size chunks and seek per record, never
+/// materialize a file.
+fn unbounded_read_rules(
+    sig: &[Sig<'_>],
+    i: usize,
+    emit: &mut impl FnMut(&'static str, Token, String),
+) {
+    let s = &sig[i];
+    if s.tok.kind != TokenKind::Ident || sig.get(i + 1).map(|t| t.text) != Some("(") {
+        return;
+    }
+    let prev = i.checked_sub(1).map(|j| sig[j].text);
+    let method_read = prev == Some(".") && matches!(s.text, "read_to_end" | "read_to_string");
+    // `::` lexes as two `:` puncts, so `fs::read(` is `fs : : read (`.
+    let fs_read = matches!(s.text, "read" | "read_to_string")
+        && prev == Some(":")
+        && i.checked_sub(2).map(|j| sig[j].text) == Some(":")
+        && i.checked_sub(3)
+            .map(|j| sig[j])
+            .is_some_and(|r| r.tok.kind == TokenKind::Ident && r.text == "fs");
+    if method_read || fs_read {
+        emit(
+            "unbounded-read",
+            s.tok,
+            format!(
+                "`{}` materializes a whole file on a bounded-RAM load path; stream the \
+                 section in fixed-size chunks (or seek + `read_exact` a known length)",
+                s.text
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -704,6 +749,25 @@ mod tests {
         assert!(rules_of("fn f() { let w = width as u16; }").is_empty());
         // `as` in paths/imports does not match.
         assert!(rules_of("use std::io::Error as IoError;").is_empty());
+    }
+
+    #[test]
+    fn unbounded_read_flags_whole_file_loads() {
+        assert_eq!(rules_of("fn f() { file.read_to_end(&mut buf)?; }"), vec!["unbounded-read"]);
+        assert_eq!(rules_of("fn f() { file.read_to_string(&mut s)?; }"), vec!["unbounded-read"]);
+        assert_eq!(rules_of("fn f() { let b = std::fs::read(path)?; }"), vec!["unbounded-read"]);
+        assert_eq!(
+            rules_of("fn f() { let s = fs::read_to_string(path)?; }"),
+            vec!["unbounded-read"]
+        );
+    }
+
+    #[test]
+    fn unbounded_read_leaves_streaming_reads_alone() {
+        assert!(rules_of("fn f() { file.read_exact(&mut chunk)?; }").is_empty());
+        assert!(rules_of("fn f() { let n = file.read(&mut chunk)?; }").is_empty());
+        // `read` not rooted at an `fs` path segment is not a whole-file load.
+        assert!(rules_of("fn f() { let v = Reader::read(x); }").is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub const RULE_IDS: &[&str] = &[
     "tape-free",
     "bounded-queue",
     "as-truncation",
+    "unbounded-read",
     "suppression",
 ];
 

@@ -25,7 +25,12 @@
 //!   of fast 503 shedding;
 //! - **as-truncation** workspace-wide (tests exempt): `id as u32`
 //!   narrowing silently wraps once an id space outgrows the target
-//!   type, aliasing two entities.
+//!   type, aliasing two entities;
+//! - **unbounded-read** on the sharded-store load paths
+//!   (`crates/store/src`): shard and manifest opens promise
+//!   bounded-RAM streaming verification, so `read_to_end`-style
+//!   whole-file loads there silently break the promise at
+//!   million-entity scale.
 
 use crate::analyzer::{analyze_file, RuleSet};
 use crate::findings::Finding;
@@ -71,6 +76,9 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
     }
     if DETERMINISM_CRATES.iter().any(|c| rel_path.starts_with(&format!("crates/{c}/src/"))) {
         rules.determinism = true;
+    }
+    if rel_path.starts_with("crates/store/src/") {
+        rules.unbounded_read = true;
     }
     rules
 }
@@ -190,6 +198,17 @@ mod tests {
         // gate and float total order.
         let r = rules_for("crates/core/tests/determinism.rs");
         assert!(!r.determinism && !r.panic_freedom && r.unsafe_gate);
+    }
+
+    #[test]
+    fn store_load_paths_get_the_unbounded_read_rule() {
+        assert!(rules_for("crates/store/src/shard.rs").unbounded_read);
+        assert!(rules_for("crates/store/src/store.rs").unbounded_read);
+        assert!(rules_for("crates/store/src/ivf.rs").unbounded_read);
+        // Everything else may still slurp small config files.
+        assert!(!rules_for("crates/store/tests/proptest_store.rs").unbounded_read);
+        assert!(!rules_for("crates/tensor/src/checkpoint.rs").unbounded_read);
+        assert!(!rules_for("crates/serve/src/server.rs").unbounded_read);
     }
 
     #[test]

@@ -28,10 +28,16 @@
 use crate::model::ServeModel;
 use mb_common::{Error, Result};
 use mb_core::linker::TwoStageLinker;
-use mb_encoders::retrieval::{DenseIndex, QuantizedIndex};
+use mb_encoders::retrieval::{CandidateSource, DenseIndex, QuantizedIndex};
+use mb_store::{EntityStore, IvfConfig, IvfIndex, Threads, IVF_FILE, MANIFEST};
+use mb_tensor::Tensor;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Subdirectory of a reload source that, when it holds a store
+/// manifest, switches the generation to sharded-store retrieval.
+pub const STORE_SUBDIR: &str = "store";
 
 /// Loads a candidate [`ServeModel`] from a checkpoint path. The closure
 /// owns whatever context rebuilding a model needs (vocab, KB, encoder
@@ -51,10 +57,18 @@ pub struct Generation {
     pub source: String,
     /// The servable model bundle.
     pub model: ServeModel,
-    /// Dense retrieval index over the model's dictionary.
+    /// Dense retrieval index over the model's dictionary (empty when
+    /// the generation retrieves from a sharded store instead).
     pub index: Arc<DenseIndex>,
-    /// Quantized retrieval tables (`None` under exact scoring).
+    /// Quantized retrieval tables (`None` under exact scoring). For a
+    /// store-backed generation these are assembled **from the shard
+    /// sections byte-for-byte** — start-up and reload never re-quantize
+    /// embeddings.
     pub qindex: Option<Arc<QuantizedIndex>>,
+    /// The sharded entity store backing this generation, when any.
+    pub store: Option<Arc<EntityStore>>,
+    /// Deterministic IVF index over `store` (stage-one retrieval).
+    pub ann: Option<Arc<IvfIndex>>,
 }
 
 impl Generation {
@@ -67,13 +81,13 @@ impl Generation {
     /// Index- or model-consistency errors from
     /// [`TwoStageLinker::with_frozen`].
     pub fn build(id: u64, source: String, model: ServeModel) -> Result<Generation> {
-        let index = Arc::new(DenseIndex::build(
+        let index = Arc::new(DenseIndex::try_build(
             &model.bi,
             &model.vocab,
             &model.linker.input,
             &model.kb,
             &model.dictionary,
-        ));
+        )?);
         let qindex = QuantizedIndex::from_dense(&index, model.linker.quant).map(Arc::new);
         TwoStageLinker::with_frozen(
             &model.bi,
@@ -86,7 +100,93 @@ impl Generation {
             model.frozen_bi().clone(),
             model.frozen_cross().clone(),
         )?;
-        Ok(Generation { id, source, model, index, qindex })
+        Ok(Generation { id, source, model, index, qindex, store: None, ann: None })
+    }
+
+    /// Build a generation whose stage-one retrieval reads from a
+    /// sharded [`EntityStore`] at `store_dir` instead of re-embedding
+    /// the dictionary:
+    ///
+    /// - the quantized tables are assembled from the shard sections
+    ///   byte-for-byte ([`EntityStore::quantized_index`]), so the swap
+    ///   never re-quantizes;
+    /// - the IVF index is loaded from `store_dir/IVF` when present and
+    ///   otherwise built deterministically with a size-scaled config;
+    /// - the same throwaway-linker validation as [`Generation::build`]
+    ///   runs, with the ANN source attached, before anything is
+    ///   published.
+    ///
+    /// # Errors
+    /// Corrupt store or IVF files ([`Error::Checkpoint`]), geometry
+    /// mismatches between the store and the model, or linker validation
+    /// failures.
+    pub fn with_store(
+        id: u64,
+        source: String,
+        model: ServeModel,
+        store_dir: &Path,
+    ) -> Result<Generation> {
+        let store = Arc::new(EntityStore::open(store_dir)?);
+        let out_dim = model.bi.config().out_dim;
+        if store.dim() != out_dim {
+            return Err(Error::shape(
+                "Generation::with_store",
+                format!("store dim == model out_dim ({out_dim})"),
+                format!("store dim {}", store.dim()),
+            ));
+        }
+        if store.len() > model.kb.len() {
+            return Err(Error::Checkpoint(format!(
+                "store holds {} entities but the model KB resolves only {}",
+                store.len(),
+                model.kb.len()
+            )));
+        }
+        let qindex = Some(Arc::new(store.quantized_index()?));
+        // Store-backed generations keep an *empty* dense index: every
+        // retrieval goes through the ANN source, and `with_frozen`
+        // accepts an empty index without a dimension check.
+        let index =
+            Arc::new(DenseIndex::try_from_vectors(Tensor::zeros(vec![0, out_dim]), Vec::new())?);
+        let ivf_path = store_dir.join(IVF_FILE);
+        let ann = if ivf_path.is_file() {
+            Arc::new(IvfIndex::load(&ivf_path, Arc::clone(&store))?)
+        } else {
+            Arc::new(IvfIndex::build(
+                Arc::clone(&store),
+                Self::scaled_ivf(store.len()),
+                Threads::default(),
+            )?)
+        };
+        TwoStageLinker::with_frozen(
+            &model.bi,
+            &model.cross,
+            &model.vocab,
+            &model.kb,
+            model.linker,
+            Arc::clone(&index),
+            qindex.clone(),
+            model.frozen_bi().clone(),
+            model.frozen_cross().clone(),
+        )?
+        .with_ann(Arc::clone(&ann) as Arc<dyn CandidateSource>)?;
+        Ok(Generation { id, source, model, index, qindex, store: Some(store), ann: Some(ann) })
+    }
+
+    /// The ANN candidate source for worker linkers, when this
+    /// generation is store-backed.
+    pub fn ann_source(&self) -> Option<Arc<dyn CandidateSource>> {
+        self.ann.clone().map(|a| a as Arc<dyn CandidateSource>)
+    }
+
+    /// Size-scaled IVF defaults for a store shipped without a prebuilt
+    /// `IVF` file: `nlist ≈ √n`, `nprobe = nlist / 8`, both clamped so
+    /// tiny fixtures stay exact-ish and huge stores stay bounded.
+    fn scaled_ivf(n: usize) -> IvfConfig {
+        let nlist = (n as f64).sqrt().ceil() as usize;
+        let nlist = nlist.clamp(1, 4096);
+        let nprobe = (nlist / 8).max(1);
+        IvfConfig { nlist, nprobe, ..IvfConfig::default() }
     }
 }
 
@@ -190,9 +290,19 @@ impl ModelRegistry {
         if self.reloading.swap(true, Ordering::AcqRel) {
             return Err(Error::Io("a model reload is already in progress".to_string()));
         }
-        let result = self.publish_locked(model, source);
+        let result = self.publish_locked(model, source, None);
         self.reloading.store(false, Ordering::Release);
         result
+    }
+
+    /// The sharded-store directory a reload from `path` should bind,
+    /// when one is present: `<dir>/store/MANIFEST` next to the
+    /// checkpoint (where `<dir>` is `path` itself for a directory
+    /// source, its parent otherwise).
+    fn store_dir_for(path: &Path) -> Option<PathBuf> {
+        let base = if path.is_dir() { path } else { path.parent()? };
+        let dir = base.join(STORE_SUBDIR);
+        dir.join(MANIFEST).is_file().then_some(dir)
     }
 
     /// Load a candidate from `path` (default: the configured source)
@@ -219,15 +329,30 @@ impl ModelRegistry {
             .inspect_err(|_| {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
             })
-            .and_then(|model| self.publish_locked(model, path.to_string_lossy().into_owned()));
+            .and_then(|model| {
+                self.publish_locked(
+                    model,
+                    path.to_string_lossy().into_owned(),
+                    Self::store_dir_for(path),
+                )
+            });
         self.reloading.store(false, Ordering::Release);
         result
     }
 
     /// The swap itself; caller holds the `reloading` flag.
-    fn publish_locked(&self, model: ServeModel, source: String) -> Result<u64> {
+    fn publish_locked(
+        &self,
+        model: ServeModel,
+        source: String,
+        store_dir: Option<PathBuf>,
+    ) -> Result<u64> {
         let next_id = self.generation_id.load(Ordering::Acquire) + 1;
-        let generation = match Generation::build(next_id, source, model) {
+        let built = match store_dir {
+            Some(dir) => Generation::with_store(next_id, source, model, &dir),
+            None => Generation::build(next_id, source, model),
+        };
+        let generation = match built {
             Ok(g) => Arc::new(g),
             Err(e) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);

@@ -346,6 +346,19 @@ fn worker_loop(shared: &Arc<Shared>) {
                 return;
             }
         };
+        // Store-backed generations route stage-one retrieval through
+        // the IVF index; validated at publish time, so the same
+        // unreachable-in-practice policy applies here.
+        let linker = match generation.ann_source() {
+            Some(ann) => match linker.with_ann(ann) {
+                Ok(linker) => linker,
+                Err(e) => {
+                    eprintln!("mb-serve: worker failed to attach ANN index: {e}");
+                    return;
+                }
+            },
+            None => linker,
+        };
         loop {
             let drained = if pending.is_empty() {
                 let margin = Duration::from_micros(shared.metrics.service_ewma_us());

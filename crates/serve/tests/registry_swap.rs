@@ -265,6 +265,63 @@ fn reload_with_an_explicit_body_path_swaps_from_that_file() {
     server.shutdown();
 }
 
+/// Write a sharded store of `n` dim-16 entities under `dir` (ids
+/// 0..n, matching the head of the fixture KB's id space).
+fn write_store(dir: &Path, n: usize) {
+    use mb_store::{StoreBuilder, StoreConfig, StoreRecord};
+    let cfg = StoreConfig { shard_capacity: 16, dim: 16, quant: mb_tensor::quant::QuantMode::Int8 };
+    let mut builder = StoreBuilder::create(dir, cfg).expect("store builder");
+    let mut rng = Rng::seed_from_u64(77);
+    for i in 0..n {
+        let mut vector: Vec<f64> = (0..16).map(|_| rng.gaussian()).collect();
+        let norm = vector.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+        vector.iter_mut().for_each(|x| *x /= norm);
+        builder
+            .push(StoreRecord {
+                title: format!("stored entity {i}"),
+                description: format!("payload for stored entity {i}"),
+                vector,
+            })
+            .expect("push record");
+    }
+    builder.finish().expect("finish store");
+}
+
+#[test]
+fn reload_binds_a_sharded_store_next_to_the_checkpoint() {
+    let dir = scratch("storebind");
+    let candidate = dir.0.join("model.mbc");
+    write_candidate(&candidate, 7);
+    let (model, mentions, loader) = fixture();
+    // A `store/` directory beside the checkpoint flips the next
+    // generation to sharded-store retrieval (DESIGN.md §14).
+    let n = model.kb.len().min(48);
+    write_store(&dir.0.join("store"), n);
+
+    let registry =
+        ModelRegistry::with_loader(model, candidate, loader).expect("valid startup model");
+    assert!(registry.current().store.is_none(), "generation 1 is dictionary-backed");
+    let id = registry.reload(None).expect("store-backed reload");
+    assert_eq!(id, 2);
+    let generation = registry.current();
+    let store = generation.store.as_ref().expect("generation 2 carries the store");
+    assert_eq!(store.len(), n);
+    let ann = generation.ann.as_ref().expect("generation 2 carries the IVF index");
+    assert!(ann.nprobe() > 0);
+    assert!(generation.index.is_empty(), "dense index stays empty for store-backed serving");
+    assert!(generation.qindex.is_some(), "quantized tables come straight from the shards");
+
+    // The swapped generation actually serves: run it behind a real
+    // socket and link through the ANN path.
+    let server = Server::start_with_registry(registry, ServerConfig::default()).expect("start");
+    let addr = server.addr();
+    assert_eq!(server.generation(), 2);
+    let (status, body) = roundtrip(addr, &link_request(&mentions[0]));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(response_generation(&body), 2);
+    server.shutdown();
+}
+
 #[test]
 fn reload_without_a_configured_source_is_a_conflict() {
     let (model, _, _) = fixture();

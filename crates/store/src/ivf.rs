@@ -1,0 +1,430 @@
+//! Deterministic IVF (inverted-file) retrieval over an
+//! [`EntityStore`].
+//!
+//! The index is a seeded k-means partition of the store's vectors:
+//! `nlist` centroids plus one inverted list of row ids per centroid.
+//! A query scores all centroids, probes the `nprobe` best lists, and
+//! scores only the rows they hold against the store's quantized
+//! tables — the same arithmetic brute force would use, on a fraction
+//! of the rows.
+//!
+//! # Determinism contract (DESIGN.md §14)
+//!
+//! Build and search are **bit-identical across runs and worker
+//! counts**:
+//!
+//! - training rows are a fixed stride of the store (no sampling RNG);
+//!   the only randomness is the seeded centroid init, drawn from
+//!   `Rng::seed_from_u64(cfg.seed)` in one serial pass;
+//! - Lloyd assignment fans out over fixed row chunks via
+//!   `par_map_range` (pure per-chunk work, results concatenated in
+//!   chunk order); centroid updates run serially in row order; an
+//!   empty cluster keeps its previous centroid;
+//! - ties (assignment and search) break toward the lowest index, so
+//!   float equality never consults arrival order;
+//! - search is serial per query; batches fan out per query.
+//!
+//! `save`/`load` round-trip the exact `f64` bit patterns, so a loaded
+//! index answers queries identically to the one that was built.
+
+use crate::shard::{self, read_section, verify_frames, MAGIC};
+use crate::store::EntityStore;
+use mb_common::storage::{atomic_write, Crc32};
+use mb_common::util::top_k_desc;
+use mb_common::{Error, Result, Rng};
+use mb_encoders::retrieval::CandidateSource;
+use mb_kb::EntityId;
+use mb_par::{par_map_range, Threads};
+use std::fs::File;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Canonical index file name inside a store directory.
+pub const IVF_FILE: &str = "IVF";
+
+/// Rows scored per parallel work item during build.
+const ASSIGN_CHUNK: usize = 4096;
+
+/// Build-time parameters of an IVF index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfConfig {
+    /// Number of k-means clusters (inverted lists).
+    pub nlist: usize,
+    /// Lists probed per query.
+    pub nprobe: usize,
+    /// Cap on rows used to train centroids (strided subsample).
+    pub train_cap: usize,
+    /// Lloyd iterations.
+    pub rounds: usize,
+    /// Centroid-init seed.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        IvfConfig { nlist: 64, nprobe: 8, train_cap: 65_536, rounds: 8, seed: 0 }
+    }
+}
+
+/// A built (or loaded) IVF index bound to its store.
+pub struct IvfIndex {
+    store: Arc<EntityStore>,
+    dim: usize,
+    nprobe: usize,
+    /// `nlist * dim`, row-major.
+    centroids: Vec<f64>,
+    /// Row ids per centroid, each list ascending.
+    lists: Vec<Vec<u32>>,
+}
+
+/// Best centroid for `v`: max inner product, lowest index on ties.
+fn best_centroid(v: &[f64], centroids: &[f64], nlist: usize, dim: usize) -> u32 {
+    let mut best = 0usize;
+    let mut best_score = f64::NEG_INFINITY;
+    for c in 0..nlist {
+        let base = c * dim;
+        let mut s = 0.0;
+        for (j, &x) in v.iter().enumerate() {
+            s += centroids[base + j] * x;
+        }
+        if s > best_score {
+            best_score = s;
+            best = c;
+        }
+    }
+    u32::try_from(best).unwrap_or(u32::MAX)
+}
+
+/// Assign every row of `vectors` (a flat `n * dim` slice) to its best
+/// centroid, fanning out over fixed chunks. Chunk results concatenate
+/// in chunk order, so the output is independent of `threads`.
+fn assign_flat(
+    vectors: &[f64],
+    dim: usize,
+    centroids: &[f64],
+    nlist: usize,
+    threads: Threads,
+) -> Vec<u32> {
+    let n = vectors.len() / dim;
+    let chunks = n.div_ceil(ASSIGN_CHUNK).max(1);
+    let parts = par_map_range(threads, chunks, |c| {
+        let lo = c * ASSIGN_CHUNK;
+        let hi = (lo + ASSIGN_CHUNK).min(n);
+        let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+        for row in lo..hi {
+            out.push(best_centroid(&vectors[row * dim..(row + 1) * dim], centroids, nlist, dim));
+        }
+        out
+    });
+    let mut assign = Vec::with_capacity(n);
+    for p in parts {
+        assign.extend_from_slice(&p);
+    }
+    assign
+}
+
+impl IvfIndex {
+    /// Train centroids on a strided subsample and assign every store
+    /// row to its nearest centroid.
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] when `nlist` is zero or exceeds the
+    /// store size, or `rounds`/`train_cap` is zero.
+    pub fn build(store: Arc<EntityStore>, cfg: IvfConfig, threads: Threads) -> Result<IvfIndex> {
+        let n = store.len();
+        let dim = store.dim();
+        if cfg.nlist == 0 || cfg.rounds == 0 || cfg.train_cap == 0 {
+            return Err(Error::InvalidConfig(
+                "ivf nlist, rounds and train_cap must be positive".to_string(),
+            ));
+        }
+        if cfg.nlist > n {
+            return Err(Error::InvalidConfig(format!(
+                "ivf nlist {} exceeds store size {n}",
+                cfg.nlist
+            )));
+        }
+        // Training set: every `stride`-th row, dequantized once. The
+        // stride is a function of (n, train_cap) only, so the sample —
+        // and everything downstream — is reproducible.
+        let stride = n.div_ceil(cfg.train_cap).max(1);
+        let sample_rows: Vec<usize> = (0..n).step_by(stride).collect();
+        let sn = sample_rows.len();
+        if cfg.nlist > sn {
+            return Err(Error::InvalidConfig(format!(
+                "ivf nlist {} exceeds training sample {sn}; raise train_cap",
+                cfg.nlist
+            )));
+        }
+        let mut sample = vec![0.0f64; sn * dim];
+        for (si, &row) in sample_rows.iter().enumerate() {
+            store.dequant_row_into(row, &mut sample[si * dim..(si + 1) * dim]);
+        }
+        // Seeded init: distinct sample rows, one serial draw.
+        let mut rng = Rng::seed_from_u64(cfg.seed);
+        let picks = rng.sample_indices(sn, cfg.nlist);
+        let mut centroids = vec![0.0f64; cfg.nlist * dim];
+        for (c, &si) in picks.iter().enumerate() {
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(&sample[si * dim..(si + 1) * dim]);
+        }
+        // Lloyd: parallel assignment (chunk order), serial update.
+        for _round in 0..cfg.rounds {
+            let assign = assign_flat(&sample, dim, &centroids, cfg.nlist, threads);
+            let mut sums = vec![0.0f64; cfg.nlist * dim];
+            let mut counts = vec![0usize; cfg.nlist];
+            for (si, &c) in assign.iter().enumerate() {
+                let c = c as usize;
+                counts[c] += 1;
+                let base = c * dim;
+                for (j, &v) in sample[si * dim..(si + 1) * dim].iter().enumerate() {
+                    sums[base + j] += v;
+                }
+            }
+            for c in 0..cfg.nlist {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f64;
+                    for j in 0..dim {
+                        centroids[c * dim + j] = sums[c * dim + j] * inv;
+                    }
+                }
+                // Empty cluster: keep the previous centroid verbatim.
+            }
+        }
+        // Final assignment of every row, shard by shard in bounded RAM.
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); cfg.nlist];
+        let mut flat = Vec::new();
+        let mut base_row = 0usize;
+        for sh in store.shards() {
+            let rows = sh.len();
+            flat.clear();
+            flat.resize(rows * dim, 0.0);
+            for r in 0..rows {
+                sh.dequant_row_into(r, &mut flat[r * dim..(r + 1) * dim]);
+            }
+            let assign = assign_flat(&flat, dim, &centroids, cfg.nlist, threads);
+            for (r, &c) in assign.iter().enumerate() {
+                let row = u32::try_from(base_row + r)
+                    .map_err(|_| Error::InvalidConfig("store exceeds u32 rows".to_string()))?;
+                lists[c as usize].push(row);
+            }
+            base_row += rows;
+        }
+        Ok(IvfIndex { store, dim, nprobe: cfg.nprobe.clamp(1, cfg.nlist), centroids, lists })
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Lists probed per query.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Re-bound probe width (clamped to `[1, nlist]`); returns the
+    /// effective value. Lets benchmarks sweep recall-vs-speed without
+    /// rebuilding.
+    pub fn set_nprobe(&mut self, nprobe: usize) -> usize {
+        self.nprobe = nprobe.clamp(1, self.nlist());
+        self.nprobe
+    }
+
+    /// The store this index retrieves from.
+    pub fn store(&self) -> &Arc<EntityStore> {
+        &self.store
+    }
+
+    /// Serialize to `mb-store v1` framing: sections `meta`,
+    /// `centroids` (f64 bit patterns, LE), `lists` (per-list length
+    /// prefix then row ids, u32 LE).
+    ///
+    /// # Errors
+    /// [`Error::Io`] when the file cannot be written.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        atomic_write(path, &self.to_bytes())
+    }
+
+    /// The serialized index, byte-for-byte what [`IvfIndex::save`]
+    /// writes (exposed so tests can assert bit-identical rebuilds).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let nlist = self.lists.len();
+        let meta = format!(
+            "entities {}\ndim {}\nnlist {nlist}\nnprobe {}\n",
+            self.store.len(),
+            self.dim,
+            self.nprobe
+        );
+        let mut centroids = Vec::with_capacity(self.centroids.len() * 8);
+        for &v in &self.centroids {
+            centroids.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        let mut lists = Vec::new();
+        for list in &self.lists {
+            let len = u32::try_from(list.len()).unwrap_or(u32::MAX);
+            lists.extend_from_slice(&len.to_le_bytes());
+            for &row in list {
+                lists.extend_from_slice(&row.to_le_bytes());
+            }
+        }
+        let mut out = format!("{MAGIC} 3\n").into_bytes();
+        for (name, payload) in
+            [("meta", meta.as_bytes()), ("centroids", &centroids), ("lists", &lists)]
+        {
+            let mut h = Crc32::new();
+            h.update(name.as_bytes());
+            h.update(b"\n");
+            h.update(payload);
+            out.extend_from_slice(
+                format!("section {name} {} {:08x}\n", payload.len(), h.finish()).as_bytes(),
+            );
+            out.extend_from_slice(payload);
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Load a saved index and bind it to `store`, verifying framing,
+    /// CRCs, and that the geometry matches the store.
+    ///
+    /// # Errors
+    /// [`Error::Checkpoint`] on corruption or a store mismatch;
+    /// [`Error::Io`] when the file cannot be read.
+    pub fn load(path: &Path, store: Arc<EntityStore>) -> Result<IvfIndex> {
+        let what = path.to_string_lossy().into_owned();
+        let mut file = File::open(path).map_err(|e| Error::Io(format!("{what}: {e}")))?;
+        let frames = verify_frames(&mut file, &what)?;
+        let names: Vec<&str> = frames.iter().map(|(n, _, _)| n.as_str()).collect();
+        if names != ["meta", "centroids", "lists"] {
+            return Err(Error::Checkpoint(format!(
+                "{what}: expected sections [meta, centroids, lists], got {names:?}"
+            )));
+        }
+        let meta_bytes = read_section(&mut file, frames[0].2, frames[0].1, &what)?;
+        let meta = shard::parse_meta(&meta_bytes, &what)?;
+        let entities = shard::meta_number(&meta, "entities", &what)? as usize;
+        let dim = shard::meta_number(&meta, "dim", &what)? as usize;
+        let nlist = shard::meta_number(&meta, "nlist", &what)? as usize;
+        let nprobe = shard::meta_number(&meta, "nprobe", &what)? as usize;
+        if entities != store.len() || dim != store.dim() {
+            return Err(Error::Checkpoint(format!(
+                "{what}: index built for {entities} entities dim {dim}, store has {} dim {}",
+                store.len(),
+                store.dim()
+            )));
+        }
+        if nlist == 0 || nprobe == 0 || nprobe > nlist {
+            return Err(Error::Checkpoint(format!(
+                "{what}: inconsistent nlist {nlist} / nprobe {nprobe}"
+            )));
+        }
+        let cbytes = read_section(&mut file, frames[1].2, frames[1].1, &what)?;
+        if cbytes.len() != nlist * dim * 8 {
+            return Err(Error::Checkpoint(format!(
+                "{what}: centroids section is {} bytes, want {}",
+                cbytes.len(),
+                nlist * dim * 8
+            )));
+        }
+        let mut centroids = Vec::with_capacity(nlist * dim);
+        for chunk in cbytes.chunks_exact(8) {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            centroids.push(f64::from_bits(u64::from_le_bytes(b)));
+        }
+        let lbytes = read_section(&mut file, frames[2].2, frames[2].1, &what)?;
+        let mut lists = Vec::with_capacity(nlist);
+        let mut pos = 0usize;
+        let mut covered = 0usize;
+        let take_u32 = |bytes: &[u8], pos: &mut usize| -> Result<u32> {
+            let end = pos
+                .checked_add(4)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| Error::Checkpoint(format!("{what}: lists section truncated")))?;
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&bytes[*pos..end]);
+            *pos = end;
+            Ok(u32::from_le_bytes(b))
+        };
+        for _ in 0..nlist {
+            let len = take_u32(&lbytes, &mut pos)? as usize;
+            let mut list = Vec::with_capacity(len);
+            let mut prev: Option<u32> = None;
+            for _ in 0..len {
+                let row = take_u32(&lbytes, &mut pos)?;
+                if (row as usize) >= entities || prev.is_some_and(|p| p >= row) {
+                    return Err(Error::Checkpoint(format!(
+                        "{what}: inverted list rows out of range or not ascending"
+                    )));
+                }
+                prev = Some(row);
+                list.push(row);
+            }
+            lists.push(list);
+            covered += len;
+        }
+        if pos != lbytes.len() {
+            return Err(Error::Checkpoint(format!("{what}: trailing bytes in lists section")));
+        }
+        if covered != entities {
+            return Err(Error::Checkpoint(format!(
+                "{what}: inverted lists cover {covered} rows, store has {entities}"
+            )));
+        }
+        Ok(IvfIndex { store, dim, nprobe, centroids, lists })
+    }
+}
+
+impl std::fmt::Debug for IvfIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IvfIndex")
+            .field("entities", &self.store.len())
+            .field("dim", &self.dim)
+            .field("nlist", &self.lists.len())
+            .field("nprobe", &self.nprobe)
+            .finish()
+    }
+}
+
+impl CandidateSource for IvfIndex {
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn max_id(&self) -> Option<EntityId> {
+        let n = self.store.len();
+        if n == 0 {
+            None
+        } else {
+            u32::try_from(n - 1).ok().map(EntityId)
+        }
+    }
+
+    fn top_k(&self, query: &[f64], k: usize) -> Vec<(EntityId, f64)> {
+        let nlist = self.lists.len();
+        let cscores: Vec<f64> = (0..nlist)
+            .map(|c| {
+                let base = c * self.dim;
+                query.iter().enumerate().map(|(j, &q)| self.centroids[base + j] * q).sum()
+            })
+            .collect();
+        let probes = top_k_desc(&cscores, self.nprobe);
+        // Quantize the query once; each probed row then costs one
+        // integer dot (int8 stores), matching the flat-scan kernel's
+        // arithmetic bit for bit.
+        let prep = crate::shard::PreparedQuery::new(query);
+        let mut rows: Vec<u32> = Vec::new();
+        let mut scores: Vec<f64> = Vec::new();
+        for c in probes {
+            for &row in &self.lists[c] {
+                rows.push(row);
+                scores.push(self.store.score_row_prepared(row as usize, &prep));
+            }
+        }
+        top_k_desc(&scores, k).into_iter().map(|i| (EntityId(rows[i]), scores[i])).collect()
+    }
+}

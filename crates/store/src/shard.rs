@@ -1,0 +1,719 @@
+//! One on-disk entity shard: checksummed sections, a fixed-width
+//! record directory, and a varlen text payload read by byte offset.
+//!
+//! The file reuses the `mb-params v2` section+CRC machinery
+//! (DESIGN.md §14):
+//!
+//! ```text
+//! mb-store v1 4
+//! section meta <len> <crc32>
+//! <len payload bytes>
+//! section dir <len> <crc32>
+//! ...
+//! section vecs <len> <crc32>
+//! ...
+//! section text <len> <crc32>
+//! ...
+//! ```
+//!
+//! Sections appear in exactly that order. `meta` is a small text block
+//! (shard ordinal, base row, entity count, dim, quant mode). `dir` is
+//! the fixed-width record directory: one 16-byte little-endian record
+//! per entity (`text_off`, `title_len`, `desc_len`, reserved zero)
+//! pointing into the `text` payload region. `vecs` holds the entity
+//! vectors as the raw `QuantF16`/`QuantI8` table fields, so loading a
+//! shard reassembles the quantized tables byte-for-byte without
+//! re-quantizing. `text` is the concatenated UTF-8 titles and
+//! descriptions, in row order.
+//!
+//! Integrity model — identical to `mb-params v2`: the magic line pins
+//! the section count, each header pins the payload length, and each
+//! CRC-32 covers `name + '\n' + payload`, so any truncation or
+//! single-bit flip is detected. [`Shard::open`] is all-or-nothing: it
+//! verifies every section CRC (streaming the large ones through a
+//! bounded 64 KiB buffer) before returning a handle, and a failure
+//! yields no partially-usable shard.
+//!
+//! Memory model: only the directory and the quantized vector tables
+//! become resident (both fixed-width, bounded by the shard capacity).
+//! The varlen `text` region is never materialized — titles and
+//! descriptions are served on demand via `seek` + `read_exact` byte
+//! ranges, mmap-style, so a million-entity store never holds its
+//! description text in RAM.
+
+use mb_common::storage::{atomic_write, Crc32};
+use mb_common::{Error, Result};
+use mb_tensor::quant::{f16_to_f64, quantize_i8, QuantF16, QuantI8};
+use mb_tensor::{QuantMode, Tensor};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Magic prefix shared by shard files and the store manifest.
+pub const MAGIC: &str = "mb-store v1";
+
+/// Streaming-verify chunk size: the largest buffer the load path ever
+/// allocates for the varlen text region.
+const VERIFY_CHUNK: usize = 64 * 1024;
+
+/// Bytes per fixed-width directory record.
+pub const DIR_RECORD_BYTES: usize = 16;
+
+/// Upper bound on the `meta` section (it is a handful of short lines).
+const META_MAX_BYTES: usize = 4096;
+
+/// A query prepared once for repeated row scoring: the f64 form plus
+/// its symmetric int8 quantization, so int8 shards can accumulate
+/// exactly in integers per probed row instead of paying a per-element
+/// float conversion — the same arithmetic the flat `score_all_i8`
+/// kernel uses.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery<'a> {
+    pub(crate) query: &'a [f64],
+    pub(crate) codes: Vec<i8>,
+    pub(crate) scale: f64,
+}
+
+impl<'a> PreparedQuery<'a> {
+    /// Quantize `query` once for scoring against any shard of either
+    /// quant mode.
+    pub fn new(query: &'a [f64]) -> PreparedQuery<'a> {
+        let (codes, scale) = quantize_i8(query);
+        PreparedQuery { query, codes, scale }
+    }
+}
+
+/// One entity on its way into a shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreRecord {
+    /// Entity title (unique across the store by convention).
+    pub title: String,
+    /// Full description text (addressable off-heap after writing).
+    pub description: String,
+    /// Dense embedding, `dim` wide.
+    pub vector: Vec<f64>,
+}
+
+/// The quantized vector table of one shard.
+#[derive(Debug, Clone)]
+pub enum ShardTable {
+    /// binary16 storage.
+    F16(QuantF16),
+    /// Per-row symmetric int8 storage.
+    Int8(QuantI8),
+}
+
+/// One fixed-width directory record: byte-offset view into `text`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DirEntry {
+    text_off: u32,
+    title_len: u32,
+    desc_len: u32,
+}
+
+/// An open, fully verified shard. Vector tables and the directory are
+/// resident; text is read on demand by byte offset.
+#[derive(Debug)]
+pub struct Shard {
+    path: PathBuf,
+    ordinal: usize,
+    base: u32,
+    dim: usize,
+    dir: Vec<DirEntry>,
+    table: ShardTable,
+    text_pos: u64,
+    text_len: usize,
+    file: Mutex<File>,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> Error {
+    Error::Io(format!("{context}: {e}"))
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut b = [0u8; 4];
+    for (d, s) in b.iter_mut().zip(bytes) {
+        *d = *s;
+    }
+    u32::from_le_bytes(b)
+}
+
+fn le_u16(bytes: &[u8]) -> u16 {
+    let mut b = [0u8; 2];
+    for (d, s) in b.iter_mut().zip(bytes) {
+        *d = *s;
+    }
+    u16::from_le_bytes(b)
+}
+
+fn le_f64(bytes: &[u8]) -> f64 {
+    let mut b = [0u8; 8];
+    for (d, s) in b.iter_mut().zip(bytes) {
+        *d = *s;
+    }
+    f64::from_le_bytes(b)
+}
+
+/// Append one `section <name> <len> <crc>\n<payload>\n` frame.
+fn append_section(out: &mut Vec<u8>, name: &str, payload: &[u8]) {
+    let mut h = Crc32::new();
+    h.update(name.as_bytes());
+    h.update(b"\n");
+    h.update(payload);
+    out.extend_from_slice(
+        format!("section {name} {} {:08x}\n", payload.len(), h.finish()).as_bytes(),
+    );
+    out.extend_from_slice(payload);
+    out.push(b'\n');
+}
+
+/// Quantization-mode token used in `meta` and the manifest.
+pub fn quant_token(mode: QuantMode) -> Result<&'static str> {
+    match mode {
+        QuantMode::F16 => Ok("f16"),
+        QuantMode::Int8 => Ok("int8"),
+        QuantMode::Exact => Err(Error::InvalidConfig(
+            "the entity store persists quantized tables; use QuantMode::F16 or Int8".to_string(),
+        )),
+    }
+}
+
+/// Parse a quantization-mode token back.
+pub fn parse_quant_token(token: &str) -> Result<QuantMode> {
+    match token {
+        "f16" => Ok(QuantMode::F16),
+        "int8" => Ok(QuantMode::Int8),
+        other => Err(Error::Checkpoint(format!("unknown quant mode {other:?}"))),
+    }
+}
+
+/// Serialize one shard and write it atomically. Returns the file's
+/// byte length (recorded by the manifest).
+///
+/// Peak memory is one shard's worth of bytes — the store builder calls
+/// this once per `shard_capacity` entities, which is what bounds RAM
+/// for a million-entity build.
+///
+/// # Errors
+/// [`Error::InvalidConfig`] for an exact quant mode or empty shard;
+/// [`Error::ShapeMismatch`] when a record's vector is not `dim` wide;
+/// [`Error::Checkpoint`] when the text region outgrows the u32 offset
+/// space; [`Error::Io`] on write failure.
+pub fn write_shard(
+    path: &Path,
+    ordinal: usize,
+    base: u32,
+    dim: usize,
+    quant: QuantMode,
+    records: &[StoreRecord],
+) -> Result<u64> {
+    let quant_name = quant_token(quant)?;
+    if records.is_empty() {
+        return Err(Error::InvalidConfig("cannot write an empty shard".to_string()));
+    }
+    let n = records.len();
+    let mut dir = Vec::with_capacity(n * DIR_RECORD_BYTES);
+    let mut text: Vec<u8> = Vec::new();
+    let mut vectors = Tensor::zeros(vec![n, dim]);
+    for (row, rec) in records.iter().enumerate() {
+        if rec.vector.len() != dim {
+            return Err(Error::shape(
+                "write_shard",
+                format!("[{dim}] vector"),
+                format!("[{}] vector at row {row}", rec.vector.len()),
+            ));
+        }
+        let text_off = u32::try_from(text.len())
+            .map_err(|_| Error::Checkpoint(format!("shard {ordinal}: text region > 4 GiB")))?;
+        let title_len = u32::try_from(rec.title.len())
+            .map_err(|_| Error::Checkpoint(format!("shard {ordinal}: title > 4 GiB")))?;
+        let desc_len = u32::try_from(rec.description.len())
+            .map_err(|_| Error::Checkpoint(format!("shard {ordinal}: description > 4 GiB")))?;
+        text.extend_from_slice(rec.title.as_bytes());
+        text.extend_from_slice(rec.description.as_bytes());
+        if u32::try_from(text.len()).is_err() {
+            return Err(Error::Checkpoint(format!("shard {ordinal}: text region > 4 GiB")));
+        }
+        push_u32(&mut dir, text_off);
+        push_u32(&mut dir, title_len);
+        push_u32(&mut dir, desc_len);
+        push_u32(&mut dir, 0); // reserved
+        vectors.row_mut(row).copy_from_slice(&rec.vector);
+    }
+
+    let mut vecs: Vec<u8> = Vec::new();
+    match quant {
+        QuantMode::F16 => {
+            let table = QuantF16::from_tensor(&vectors);
+            for &bits in table.bits() {
+                vecs.extend_from_slice(&bits.to_le_bytes());
+            }
+        }
+        QuantMode::Int8 => {
+            let table = QuantI8::from_tensor(&vectors);
+            for &scale in table.scales() {
+                vecs.extend_from_slice(&scale.to_le_bytes());
+            }
+            for &code in table.codes() {
+                vecs.push(code as u8);
+            }
+        }
+        QuantMode::Exact => unreachable!("rejected by quant_token above"),
+    }
+
+    let meta =
+        format!("shard {ordinal}\nbase {base}\nentities {n}\ndim {dim}\nquant {quant_name}\n");
+    let mut out = format!("{MAGIC} 4\n").into_bytes();
+    append_section(&mut out, "meta", meta.as_bytes());
+    append_section(&mut out, "dir", &dir);
+    append_section(&mut out, "vecs", &vecs);
+    append_section(&mut out, "text", &text);
+    let bytes = out.len() as u64;
+    atomic_write(path, &out)?;
+    Ok(bytes)
+}
+
+/// Read one `\n`-terminated header line at `*pos` through a small
+/// fixed buffer, advancing `*pos` past the newline.
+fn read_line_at(file: &mut File, pos: &mut u64, what: &str) -> Result<String> {
+    file.seek(SeekFrom::Start(*pos)).map_err(|e| io_err(what, e))?;
+    let mut buf = [0u8; 256];
+    let mut filled = 0usize;
+    loop {
+        let got = file.read(&mut buf[filled..]).map_err(|e| io_err(what, e))?;
+        if got == 0 {
+            break;
+        }
+        filled += got;
+        if buf[..filled].contains(&b'\n') || filled == buf.len() {
+            break;
+        }
+    }
+    let Some(nl) = buf[..filled].iter().position(|&b| b == b'\n') else {
+        return Err(Error::Checkpoint(format!("{what}: unterminated or overlong header line")));
+    };
+    let line = std::str::from_utf8(&buf[..nl])
+        .map_err(|_| Error::Checkpoint(format!("{what}: header line is not UTF-8")))?
+        .to_string();
+    *pos += nl as u64 + 1;
+    Ok(line)
+}
+
+/// Walk and CRC-verify every section frame of an `mb-store v1` file,
+/// returning the frames. Verification streams each payload through a
+/// bounded buffer; nothing section-sized is allocated here.
+///
+/// Shared by shards and the manifest: both carry the same framing.
+pub(crate) fn verify_frames(file: &mut File, what: &str) -> Result<Vec<(String, usize, u64)>> {
+    let file_len = file.metadata().map_err(|e| io_err(what, e)).map(|m| m.len())?;
+    let mut pos = 0u64;
+    let magic = read_line_at(file, &mut pos, what)?;
+    let mut head = magic.split_whitespace();
+    let magic_ok = head.next() == Some("mb-store") && head.next() == Some("v1");
+    if !magic_ok {
+        return Err(Error::Checkpoint(format!("{what}: bad magic line {magic:?}")));
+    }
+    let nsections: usize = head
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| Error::Checkpoint(format!("{what}: bad section count in {magic:?}")))?;
+    if head.next().is_some() {
+        return Err(Error::Checkpoint(format!("{what}: trailing tokens in magic line {magic:?}")));
+    }
+    let mut frames = Vec::with_capacity(nsections);
+    let mut chunk = vec![0u8; VERIFY_CHUNK];
+    for i in 0..nsections {
+        let header = read_line_at(file, &mut pos, what)
+            .map_err(|_| Error::Checkpoint(format!("{what}: truncated before section {i}")))?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("section") {
+            return Err(Error::Checkpoint(format!("{what}: bad section header {header:?}")));
+        }
+        let name = parts
+            .next()
+            .ok_or_else(|| {
+                Error::Checkpoint(format!("{what}: section header {header:?} lacks name"))
+            })?
+            .to_string();
+        let len: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| Error::Checkpoint(format!("{what}: bad length in {header:?}")))?;
+        // Strict canonical CRC form: exactly 8 lowercase hex digits, so
+        // no bit flip of the stored CRC can parse to the same value.
+        let crc_tok = parts
+            .next()
+            .filter(|t| {
+                t.len() == 8 && t.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+            })
+            .ok_or_else(|| Error::Checkpoint(format!("{what}: bad crc in {header:?}")))?;
+        let crc_expect = u32::from_str_radix(crc_tok, 16)
+            .map_err(|e| Error::Checkpoint(format!("{what}: bad crc in {header:?}: {e}")))?;
+        if parts.next().is_some() {
+            return Err(Error::Checkpoint(format!("{what}: trailing tokens in {header:?}")));
+        }
+        let payload_pos = pos;
+        if payload_pos + len as u64 + 1 > file_len {
+            return Err(Error::Checkpoint(format!(
+                "{what}: section {name}: payload truncated ({} of {len} bytes present)",
+                file_len.saturating_sub(payload_pos)
+            )));
+        }
+        let mut h = Crc32::new();
+        h.update(name.as_bytes());
+        h.update(b"\n");
+        file.seek(SeekFrom::Start(payload_pos)).map_err(|e| io_err(what, e))?;
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(chunk.len());
+            file.read_exact(&mut chunk[..take]).map_err(|e| io_err(what, e))?;
+            h.update(&chunk[..take]);
+            remaining -= take;
+        }
+        let mut nl = [0u8; 1];
+        file.read_exact(&mut nl).map_err(|e| io_err(what, e))?;
+        if nl != [b'\n'] {
+            return Err(Error::Checkpoint(format!(
+                "{what}: section {name}: missing terminator after payload"
+            )));
+        }
+        if h.finish() != crc_expect {
+            return Err(Error::Checkpoint(format!(
+                "{what}: section {name}: crc mismatch (stored {crc_expect:08x}, computed {:08x})",
+                h.finish()
+            )));
+        }
+        pos = payload_pos + len as u64 + 1;
+        frames.push((name, len, payload_pos));
+    }
+    if pos != file_len {
+        return Err(Error::Checkpoint(format!(
+            "{what}: {} trailing bytes after final section",
+            file_len - pos
+        )));
+    }
+    Ok(frames)
+}
+
+/// Read one already-verified section payload into memory. Bounded by
+/// the header-declared length, which callers size-check against their
+/// fixed-width schema before calling.
+pub(crate) fn read_section(file: &mut File, pos: u64, len: usize, what: &str) -> Result<Vec<u8>> {
+    file.seek(SeekFrom::Start(pos)).map_err(|e| io_err(what, e))?;
+    let mut buf = vec![0u8; len];
+    file.read_exact(&mut buf).map_err(|e| io_err(what, e))?;
+    Ok(buf)
+}
+
+/// Parse a `key value` meta payload into pairs, in order.
+pub(crate) fn parse_meta(payload: &[u8], what: &str) -> Result<Vec<(String, String)>> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| Error::Checkpoint(format!("{what}: meta is not UTF-8")))?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let mut parts = line.splitn(2, ' ');
+        let key = parts
+            .next()
+            .filter(|k| !k.is_empty())
+            .ok_or_else(|| Error::Checkpoint(format!("{what}: bad meta line {line:?}")))?;
+        let value = parts
+            .next()
+            .ok_or_else(|| Error::Checkpoint(format!("{what}: bad meta line {line:?}")))?;
+        out.push((key.to_string(), value.to_string()));
+    }
+    Ok(out)
+}
+
+/// Look up a required meta key.
+pub(crate) fn meta_value<'m>(
+    meta: &'m [(String, String)],
+    key: &str,
+    what: &str,
+) -> Result<&'m str> {
+    meta.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .ok_or_else(|| Error::Checkpoint(format!("{what}: meta lacks key {key:?}")))
+}
+
+/// Parse a required numeric meta key.
+pub(crate) fn meta_number(meta: &[(String, String)], key: &str, what: &str) -> Result<u64> {
+    meta_value(meta, key, what)?
+        .parse()
+        .map_err(|_| Error::Checkpoint(format!("{what}: meta key {key:?} is not a number")))
+}
+
+impl Shard {
+    /// Open and fully verify a shard file. All-or-nothing: every
+    /// section CRC is checked (large payloads streamed through a
+    /// bounded buffer) before any state is returned, so a truncated or
+    /// bit-flipped shard yields an error and nothing else.
+    ///
+    /// # Errors
+    /// [`Error::Checkpoint`] on any framing, CRC, or schema problem;
+    /// [`Error::Io`] when the file cannot be read.
+    pub fn open(path: &Path) -> Result<Shard> {
+        let what = path.to_string_lossy().into_owned();
+        let mut file = File::open(path).map_err(|e| io_err(&what, e))?;
+        let frames = verify_frames(&mut file, &what)?;
+        let names: Vec<&str> = frames.iter().map(|(n, _, _)| n.as_str()).collect();
+        if names != ["meta", "dir", "vecs", "text"] {
+            return Err(Error::Checkpoint(format!(
+                "{what}: expected sections [meta, dir, vecs, text], got {names:?}"
+            )));
+        }
+        let frame = |i: usize| -> (usize, u64) {
+            frames.get(i).map(|&(_, len, pos)| (len, pos)).unwrap_or((0, 0))
+        };
+        let (meta_len, meta_pos) = frame(0);
+        if meta_len > META_MAX_BYTES {
+            return Err(Error::Checkpoint(format!("{what}: meta section implausibly large")));
+        }
+        let meta_bytes = read_section(&mut file, meta_pos, meta_len, &what)?;
+        let meta = parse_meta(&meta_bytes, &what)?;
+        let ordinal = meta_number(&meta, "shard", &what)? as usize;
+        let base_u64 = meta_number(&meta, "base", &what)?;
+        let base = u32::try_from(base_u64)
+            .map_err(|_| Error::Checkpoint(format!("{what}: base {base_u64} exceeds u32")))?;
+        let n = meta_number(&meta, "entities", &what)? as usize;
+        let dim = meta_number(&meta, "dim", &what)? as usize;
+        if n == 0 || dim == 0 {
+            return Err(Error::Checkpoint(format!("{what}: empty shard or zero dim")));
+        }
+        let quant = parse_quant_token(meta_value(&meta, "quant", &what)?)?;
+
+        let (dir_len, dir_pos) = frame(1);
+        if dir_len != n * DIR_RECORD_BYTES {
+            return Err(Error::Checkpoint(format!(
+                "{what}: dir section is {dir_len} bytes, want {} for {n} records",
+                n * DIR_RECORD_BYTES
+            )));
+        }
+        let (vecs_len, vecs_pos) = frame(2);
+        let (text_len, text_pos) = frame(3);
+
+        let dir_bytes = read_section(&mut file, dir_pos, dir_len, &what)?;
+        let mut dir = Vec::with_capacity(n);
+        let mut expect_off = 0u64;
+        for (row, rec) in dir_bytes.chunks_exact(DIR_RECORD_BYTES).enumerate() {
+            let (off_b, rest) = rec.split_at(4);
+            let (title_b, rest) = rest.split_at(4);
+            let (desc_b, reserved_b) = rest.split_at(4);
+            let entry = DirEntry {
+                text_off: le_u32(off_b),
+                title_len: le_u32(title_b),
+                desc_len: le_u32(desc_b),
+            };
+            if le_u32(reserved_b) != 0 {
+                return Err(Error::Checkpoint(format!(
+                    "{what}: dir row {row}: non-zero reserved field"
+                )));
+            }
+            // Canonical layout: records tile the text region contiguously.
+            if u64::from(entry.text_off) != expect_off {
+                return Err(Error::Checkpoint(format!(
+                    "{what}: dir row {row}: text offset {} breaks contiguity (want {expect_off})",
+                    entry.text_off
+                )));
+            }
+            expect_off += u64::from(entry.title_len) + u64::from(entry.desc_len);
+            dir.push(entry);
+        }
+        if expect_off != text_len as u64 {
+            return Err(Error::Checkpoint(format!(
+                "{what}: directory covers {expect_off} text bytes, section has {text_len}"
+            )));
+        }
+
+        let vecs_bytes = read_section(&mut file, vecs_pos, vecs_len, &what)?;
+        let table = match quant {
+            QuantMode::F16 => {
+                if vecs_len != n * dim * 2 {
+                    return Err(Error::Checkpoint(format!(
+                        "{what}: vecs section is {vecs_len} bytes, want {} for f16 {n}x{dim}",
+                        n * dim * 2
+                    )));
+                }
+                let bits: Vec<u16> = vecs_bytes.chunks_exact(2).map(le_u16).collect();
+                ShardTable::F16(QuantF16::from_raw(n, dim, bits)?)
+            }
+            QuantMode::Int8 => {
+                if vecs_len != n * 8 + n * dim {
+                    return Err(Error::Checkpoint(format!(
+                        "{what}: vecs section is {vecs_len} bytes, want {} for int8 {n}x{dim}",
+                        n * 8 + n * dim
+                    )));
+                }
+                let (scale_bytes, code_bytes) = vecs_bytes.split_at(n * 8);
+                let scales: Vec<f64> = scale_bytes.chunks_exact(8).map(le_f64).collect();
+                let codes: Vec<i8> = code_bytes.iter().map(|&b| b as i8).collect();
+                ShardTable::Int8(QuantI8::from_raw(n, dim, codes, scales)?)
+            }
+            QuantMode::Exact => unreachable!("parse_quant_token never yields Exact"),
+        };
+
+        Ok(Shard {
+            path: path.to_path_buf(),
+            ordinal,
+            base,
+            dim,
+            dir,
+            table,
+            text_pos,
+            text_len,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Number of entities in this shard.
+    pub fn len(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// True if the shard holds no entities (never constructed; the
+    /// writer rejects empty shards).
+    pub fn is_empty(&self) -> bool {
+        self.dir.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Shard ordinal within its store.
+    pub fn ordinal(&self) -> usize {
+        self.ordinal
+    }
+
+    /// Global row of this shard's first entity.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Quantization mode of the resident vector table.
+    pub fn quant_mode(&self) -> QuantMode {
+        match self.table {
+            ShardTable::F16(_) => QuantMode::F16,
+            ShardTable::Int8(_) => QuantMode::Int8,
+        }
+    }
+
+    /// Bytes of the varlen text region left on disk (never resident).
+    pub fn text_bytes(&self) -> usize {
+        self.text_len
+    }
+
+    /// The resident quantized vector table.
+    pub fn table(&self) -> &ShardTable {
+        &self.table
+    }
+
+    /// Path this shard was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn read_text_range(&self, off: u64, len: usize, what: &str) -> Result<String> {
+        let mut buf = vec![0u8; len];
+        {
+            let mut file = match self.file.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            file.seek(SeekFrom::Start(self.text_pos + off))
+                .map_err(|e| io_err(&self.path.to_string_lossy(), e))?;
+            file.read_exact(&mut buf).map_err(|e| io_err(&self.path.to_string_lossy(), e))?;
+        }
+        String::from_utf8(buf).map_err(|_| Error::Parse(format!("{what}: text is not UTF-8")))
+    }
+
+    fn entry(&self, row: usize) -> Result<DirEntry> {
+        self.dir.get(row).copied().ok_or_else(|| {
+            Error::NotFound(format!("shard {} row {row} of {}", self.ordinal, self.dir.len()))
+        })
+    }
+
+    /// The title of the entity at `row`, read from disk by byte offset.
+    ///
+    /// # Errors
+    /// [`Error::NotFound`] for an out-of-range row; [`Error::Io`] /
+    /// [`Error::Parse`] when the byte range cannot be read or decoded.
+    pub fn title(&self, row: usize) -> Result<String> {
+        let e = self.entry(row)?;
+        self.read_text_range(u64::from(e.text_off), e.title_len as usize, "title")
+    }
+
+    /// The description of the entity at `row`, read from disk by byte
+    /// offset.
+    ///
+    /// # Errors
+    /// Same as [`Shard::title`].
+    pub fn description(&self, row: usize) -> Result<String> {
+        let e = self.entry(row)?;
+        self.read_text_range(
+            u64::from(e.text_off) + u64::from(e.title_len),
+            e.desc_len as usize,
+            "description",
+        )
+    }
+
+    /// Dot product of `query` against the dequantized vector at `row`.
+    /// Sequential accumulation in row-element order — a pure function
+    /// of (table, query), identical on every thread.
+    ///
+    /// One-off convenience; for repeated scoring against the same
+    /// query, prepare it once ([`PreparedQuery::new`]) and use
+    /// [`Shard::score_row_prepared`] — both paths compute the exact
+    /// same bits.
+    pub fn score_row(&self, row: usize, query: &[f64]) -> f64 {
+        self.score_row_prepared(row, &PreparedQuery::new(query))
+    }
+
+    /// Dot product of a prepared query against the vector at `row`,
+    /// using the same arithmetic as the flat `score_all_*` kernels:
+    /// int8 rows accumulate exactly in integers against the
+    /// once-quantized query codes; f16 rows take the sequential f64
+    /// dot. Bit-identical to scoring the row through a flat
+    /// `QuantizedIndex` over the same table.
+    pub fn score_row_prepared(&self, row: usize, prep: &PreparedQuery<'_>) -> f64 {
+        debug_assert_eq!(prep.query.len(), self.dim);
+        let d = self.dim;
+        match &self.table {
+            ShardTable::F16(t) => {
+                let row_bits = &t.bits()[row * d..(row + 1) * d];
+                row_bits.iter().zip(prep.query).map(|(&h, &q)| f16_to_f64(h) * q).sum()
+            }
+            ShardTable::Int8(t) => {
+                let codes = &t.codes()[row * d..(row + 1) * d];
+                let acc: i64 =
+                    codes.iter().zip(&prep.codes).map(|(&c, &q)| i64::from(c) * i64::from(q)).sum();
+                acc as f64 * (t.scales()[row] * prep.scale)
+            }
+        }
+    }
+
+    /// Dequantize the vector at `row` into `out` (length `dim`).
+    pub fn dequant_row_into(&self, row: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.dim);
+        let d = self.dim;
+        match &self.table {
+            ShardTable::F16(t) => {
+                for (dst, &bits) in out.iter_mut().zip(&t.bits()[row * d..(row + 1) * d]) {
+                    *dst = f16_to_f64(bits);
+                }
+            }
+            ShardTable::Int8(t) => {
+                let scale = t.scales()[row];
+                for (dst, &code) in out.iter_mut().zip(&t.codes()[row * d..(row + 1) * d]) {
+                    *dst = f64::from(code) * scale;
+                }
+            }
+        }
+    }
+}

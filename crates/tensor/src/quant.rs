@@ -149,6 +149,29 @@ impl QuantF16 {
         QuantF16 { rows, cols, data }
     }
 
+    /// Reassemble a table from its raw binary16 bit patterns — the
+    /// shard-load path of `mb-store`, which persists `bits` verbatim so
+    /// reloading never re-quantizes.
+    ///
+    /// # Errors
+    /// [`mb_common::Error::ShapeMismatch`] when `bits.len() != rows * cols`.
+    pub fn from_raw(rows: usize, cols: usize, bits: Vec<u16>) -> mb_common::Result<Self> {
+        if bits.len() != rows * cols {
+            return Err(mb_common::Error::shape(
+                "QuantF16::from_raw",
+                format!("{} elements ({rows}x{cols})", rows * cols),
+                format!("{} elements", bits.len()),
+            ));
+        }
+        Ok(QuantF16 { rows, cols, data: bits })
+    }
+
+    /// The raw binary16 bit patterns, row-major — what `from_raw`
+    /// round-trips and what the shard format persists.
+    pub fn bits(&self) -> &[u16] {
+        &self.data
+    }
+
     /// Number of table rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -245,6 +268,42 @@ impl QuantI8 {
             scales.push(scale);
         }
         QuantI8 { rows, cols, data, scales }
+    }
+
+    /// Reassemble a table from raw codes and per-row scales — the
+    /// shard-load path of `mb-store`, which persists both verbatim so
+    /// reloading never re-quantizes.
+    ///
+    /// # Errors
+    /// [`mb_common::Error::ShapeMismatch`] when `codes.len() != rows * cols`
+    /// or `scales.len() != rows`.
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        codes: Vec<i8>,
+        scales: Vec<f64>,
+    ) -> mb_common::Result<Self> {
+        if codes.len() != rows * cols {
+            return Err(mb_common::Error::shape(
+                "QuantI8::from_raw",
+                format!("{} codes ({rows}x{cols})", rows * cols),
+                format!("{} codes", codes.len()),
+            ));
+        }
+        if scales.len() != rows {
+            return Err(mb_common::Error::shape(
+                "QuantI8::from_raw",
+                format!("{rows} scales (one per row)"),
+                format!("{} scales", scales.len()),
+            ));
+        }
+        Ok(QuantI8 { rows, cols, data: codes, scales })
+    }
+
+    /// The raw int8 codes, row-major — what `from_raw` round-trips and
+    /// what the shard format persists.
+    pub fn codes(&self) -> &[i8] {
+        &self.data
     }
 
     /// Number of table rows.

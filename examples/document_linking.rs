@@ -15,7 +15,7 @@ use metablink::datagen::mentions::{generate_mentions, generate_one};
 use metablink::datagen::LinkedMention;
 use metablink::eval::{ContextConfig, ExperimentContext};
 
-fn main() {
+fn main() -> metablink::common::Result<()> {
     println!("building benchmark + training a linker …");
     let ctx = ExperimentContext::build(ContextConfig::small(31));
     let domain = "Forgotten Realms";
@@ -26,14 +26,14 @@ fn main() {
 
     let world = ctx.dataset.world();
     let dom = world.domain(domain);
-    let linker = TwoStageLinker::new(
+    let linker = TwoStageLinker::try_new(
         &model.bi,
         &model.cross,
         &ctx.vocab,
         world.kb(),
         world.kb().domain_entities(dom.id),
         LinkerConfig { k: 16, ..model.linker_cfg },
-    );
+    )?;
 
     // ------------------------------------------------------------------
     // 1. Global coherence: documents mentioning related entities.
@@ -92,4 +92,5 @@ fn main() {
         with_nil.f1(),
         with_nil.nil_accuracy()
     );
+    Ok(())
 }

@@ -10,7 +10,7 @@ use metablink::core::pipeline::{train, DataSource, MetaBlinkConfig, Method};
 use metablink::core::{LinkerConfig, TwoStageLinker};
 use metablink::eval::{ContextConfig, ExperimentContext};
 
-fn main() {
+fn main() -> metablink::common::Result<()> {
     // 1. Build a (seeded, synthetic) Zeshel-like benchmark: 16 domains,
     //    a knowledge base, gold mentions, few-shot splits, and the
     //    synthetic supervision (exact matching + mention rewriting).
@@ -45,17 +45,19 @@ fn main() {
 
     // 4. Link a few individual mentions.
     let world = ctx.dataset.world();
-    let linker = TwoStageLinker::new(
+    let linker = TwoStageLinker::try_new(
         &model.bi,
         &model.cross,
         &ctx.vocab,
         world.kb(),
         world.kb().domain_entities(task.domain.id),
         LinkerConfig { k: 16, ..model.linker_cfg },
-    );
+    )?;
     println!("\nsample predictions:");
     for m in split.test.iter().take(5) {
-        let predicted = linker.predict(m).expect("non-empty dictionary");
+        let predicted = linker
+            .predict(m)
+            .ok_or_else(|| metablink::common::Error::NotFound("empty candidate set".to_string()))?;
         let gold = &world.kb().entity(m.entity).title;
         let got = &world.kb().entity(predicted).title;
         let mark = if predicted == m.entity { "✓" } else { "✗" };
@@ -63,4 +65,5 @@ fn main() {
         text.truncate(60);
         println!("  {mark} \"…{text}…\"  → {got}  (gold: {gold})");
     }
+    Ok(())
 }

@@ -18,4 +18,7 @@ cargo run --release -p mb-bench --bin bench_inference
 # at low offered QPS is stable on one core; past-saturation rungs are
 # for the EXPERIMENTS.md curve, not the gate).
 cargo run --release -p mb-bench --bin loadgen -- --open-loop --qps 40,160 --duration-ms 1500
+# Sharded-store retrieval: streamed store build + deterministic IVF vs
+# brute force (recall@64 floor asserted inside the bin).
+cargo run --release -p mb-bench --bin bench_retrieval
 cargo run --release -p mb-bench --bin bench_gate

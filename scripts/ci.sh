@@ -52,6 +52,10 @@ STEPS=(
     # it past its deadline budget — it must never wedge, never emit a
     # torn 200, shed fast 503s with Retry-After, and recover healthy.
     "chaos-serve|cargo test --release -q -p mb-serve --test chaos -- --include-ignored"
+    # Retrieval smoke: stream a small sharded entity store to disk,
+    # build the deterministic IVF index over it, and assert recall@64
+    # >= 0.95 plus a byte-identical rebuild at 1 and 3 workers.
+    "retrieval-smoke|cargo run --release -q -p mb-bench --bin bench_retrieval -- --smoke"
     # Bench regression: rerun the kernel + inference benchmarks and fail
     # if any median regressed >25% vs the committed bench-baseline.json.
     "bench-regression|scripts/bench_gate.sh"

@@ -68,6 +68,20 @@ fn ci_script_ends_with_the_bench_regression_gate() {
 }
 
 #[test]
+fn ci_script_includes_the_retrieval_smoke_stage() {
+    let script = script_steps();
+    let smoke = "cargo run --release -q -p mb-bench --bin bench_retrieval -- --smoke";
+    let smoke_at = script.iter().position(|s| s == smoke);
+    assert!(
+        smoke_at.is_some(),
+        "the retrieval-smoke stage must build a small sharded store and assert \
+         recall + bit-identical rebuild (bench_retrieval --smoke)"
+    );
+    let gate_at = script.iter().position(|s| s == "scripts/bench_gate.sh");
+    assert!(smoke_at < gate_at, "retrieval-smoke must run before the bench-regression gate");
+}
+
+#[test]
 fn ci_script_includes_the_chaos_serve_stage() {
     let script = script_steps();
     assert!(
