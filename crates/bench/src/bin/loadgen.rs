@@ -338,7 +338,15 @@ fn drive(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise a client-thread panic with its own payload
+                // instead of replacing it with a fresh one here.
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
     });
     let elapsed = started.elapsed();
     let mut ok_2xx = 0;
@@ -407,6 +415,9 @@ fn demo_payloads() -> Vec<Vec<u8>> {
 /// clones every tensor, token-embedding tables included), so the bench
 /// uses a realistic vocabulary rather than the test-sized tiny world.
 fn bench_model() -> (ServeModel, Vec<LinkedMention>) {
+    // World generation panics only when a WorldConfig exhausts the KB
+    // id space; this fixed bench config is far below those caps.
+    // mb-lint: allow(panic-reach) -- fixed bench config cannot exhaust the KB id space
     let world = World::generate(WorldConfig {
         seed: 1_234,
         general_vocab: 4_000,
@@ -677,7 +688,14 @@ fn open_loop_drive(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("open-loop thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise the worker's panic payload, as in drive().
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
     });
     let elapsed = start.elapsed();
     let mut stats = RungStats {

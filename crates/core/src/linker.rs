@@ -368,19 +368,25 @@ impl<'a> TwoStageLinker<'a> {
                 cache.put(bag.to_vec(), fresh.row(j).to_vec());
             }
         }
+        // Fold the fresh rows back into `rows`: every miss bag has a
+        // slot, so after this loop every mention has a resolved
+        // embedding and the fan-out below is panic-free.
+        if let Some(fresh) = &fresh {
+            for (row, bag) in rows.iter_mut().zip(&bags) {
+                if row.is_none() {
+                    if let Some(&j) = slot.get(bag.as_slice()) {
+                        *row = Some(fresh.row(j).to_vec());
+                    }
+                }
+            }
+        }
         // Stage one: exact top-k + candidate-set assembly per mention,
         // fanned out over mention index (each mention's work reads only
         // shared immutable state); stage two: one cross-encoder pass
         // over every candidate set. Results come back in mention order.
         let per_mention: Vec<(Vec<(EntityId, f64)>, CandidateSet)> =
             mb_par::par_map_range(self.cfg.threads, mentions.len(), |i| {
-                let q = match &rows[i] {
-                    Some(r) => r.as_slice(),
-                    None => {
-                        let fresh = fresh.as_ref().expect("misses were embedded");
-                        fresh.row(slot[bags[i].as_slice()])
-                    }
-                };
+                let q = rows[i].as_deref().unwrap_or(&[]);
                 let retrieved = self.retrieve(q);
                 let set = self.candidate_set(&mentions[i], &retrieved);
                 (retrieved, set)

@@ -335,6 +335,7 @@ impl FrozenCrossEncoder {
         let mut out = Vec::with_capacity(sets.len());
         let mut offset = 0;
         for set in sets {
+            // mb-lint: allow(alloc-in-hot-loop) -- the per-set Vec is the return value, not scratch
             out.push(flat[offset..offset + set.len()].to_vec());
             offset += set.len();
         }

@@ -73,6 +73,20 @@ pub struct RuleSet {
     /// bounded-RAM section streaming, and one convenience read of a
     /// multi-gigabyte shard silently breaks the promise.
     pub unbounded_read: bool,
+    /// Interprocedural: calls in this file must not transitively reach
+    /// a panicking site anywhere in the workspace ([`crate::taint`]).
+    pub panic_reach: bool,
+    /// Interprocedural: calls in this file must not transitively reach
+    /// a nondeterministic source (time, env, `HashMap` iteration,
+    /// thread id) anywhere in the workspace ([`crate::taint`]).
+    pub det_taint: bool,
+    /// Interprocedural: a lock held at a call site must not reach
+    /// blocking I/O or a conflicting acquire in any callee
+    /// ([`crate::taint`]).
+    pub lock_across_call: bool,
+    /// Interprocedural: allocation-shaped calls (direct or transitive)
+    /// inside loops of this hot-path file ([`crate::taint`]).
+    pub alloc_hot_loop: bool,
 }
 
 impl RuleSet {
@@ -93,6 +107,10 @@ impl RuleSet {
             bounded_queue: true,
             as_truncation: true,
             unbounded_read: true,
+            panic_reach: true,
+            det_taint: true,
+            lock_across_call: true,
+            alloc_hot_loop: true,
         }
     }
 }
@@ -100,7 +118,7 @@ impl RuleSet {
 /// Keywords that can legitimately precede `[` without it being an
 /// indexing expression (slice patterns, `for … in xs[..]` never parses
 /// that way, etc.).
-const KEYWORDS: &[&str] = &[
+pub(crate) const KEYWORDS: &[&str] = &[
     "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn", "for",
     "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return",
     "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
@@ -113,8 +131,22 @@ pub(crate) struct Sig<'s> {
     pub(crate) text: &'s str,
 }
 
+/// The significant (non-whitespace, non-comment) tokens of `src`.
+pub(crate) fn significant<'s>(tokens: &[Token], src: &'s str) -> Vec<Sig<'s>> {
+    tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            )
+        })
+        .map(|&tok| Sig { tok, text: tok.text(src) })
+        .collect()
+}
+
 /// Byte ranges covered by `#[cfg(test)]` items.
-fn cfg_test_ranges(sig: &[Sig<'_>]) -> Vec<(usize, usize)> {
+pub(crate) fn cfg_test_ranges(sig: &[Sig<'_>]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i + 6 < sig.len() {
@@ -168,7 +200,7 @@ fn cfg_test_ranges(sig: &[Sig<'_>]) -> Vec<(usize, usize)> {
     ranges
 }
 
-fn in_ranges(ranges: &[(usize, usize)], offset: usize) -> bool {
+pub(crate) fn in_ranges(ranges: &[(usize, usize)], offset: usize) -> bool {
     ranges.iter().any(|&(s, e)| offset >= s && offset < e)
 }
 
@@ -181,19 +213,24 @@ pub fn analyze_file(
     rules: RuleSet,
     locks: Option<&mut LockGraph>,
 ) -> Vec<Finding> {
+    let summary = summarize_file(file, src, rules);
+    if let Some(graph) = locks {
+        for edge in &summary.lock_edges {
+            graph.insert(file, edge);
+        }
+    }
+    summary.findings
+}
+
+/// Analyze one file into the full summary form the interprocedural
+/// passes and the incremental cache consume: token-level findings
+/// (suppression-filtered, sorted), lock-order edges, function items
+/// with call edges and taint sites, and the per-line allow map.
+pub fn summarize_file(file: &str, src: &str, rules: RuleSet) -> crate::items::FileSummary {
     let tokens = lex(src);
     let map = LineMap::new(src);
     let (sup, mut findings) = suppress::collect(file, src, &tokens, &map);
-    let sig: Vec<Sig<'_>> = tokens
-        .iter()
-        .filter(|t| {
-            !matches!(
-                t.kind,
-                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
-            )
-        })
-        .map(|&tok| Sig { tok, text: tok.text(src) })
-        .collect();
+    let sig = significant(&tokens, src);
     let test_ranges = cfg_test_ranges(&sig);
 
     let mut emit = |rule: &'static str, tok: Token, message: String| {
@@ -245,15 +282,18 @@ pub fn analyze_file(
         }
     }
 
-    if let Some(graph) = locks {
-        if rules.lock_discipline {
-            findings.extend(crate::locks::analyze(file, src, &sig, &map, &test_ranges, graph));
-        }
+    let mut lock_edges = Vec::new();
+    if rules.lock_discipline {
+        let (lock_findings, edges) =
+            crate::locks::analyze_collect(file, src, &sig, &map, &test_ranges);
+        findings.extend(lock_findings);
+        lock_edges = edges;
     }
 
     findings.retain(|f| f.rule == "suppression" || !sup.covers(f));
     findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    findings
+    let fns = crate::items::collect(src, &sig, &map, &test_ranges);
+    crate::items::FileSummary { findings, lock_edges, fns, allows: sup.allowed_lines() }
 }
 
 fn panic_rules(

@@ -1,0 +1,414 @@
+//! Incremental lint cache: per-file content hash → parsed
+//! [`FileSummary`], persisted as one text file with mb-params-style
+//! atomicity (write a temp file, then rename into place).
+//!
+//! Invalidation rules (DESIGN.md §15):
+//!
+//! - a file whose FNV-1a content hash changed is re-analyzed;
+//! - a cache whose header fingerprint (format version + the rule-id
+//!   catalogue) differs from this binary's is discarded wholesale, so
+//!   adding or renaming a rule can never serve stale findings;
+//! - **any** parse anomaly — truncated block, unknown rule id, bad
+//!   escape — discards the whole cache. A cold start is always
+//!   correct; a partially-trusted cache is not.
+//!
+//! The cache stores only per-file summaries. Everything cross-file
+//! (the lock-order graph, call resolution, taint propagation) is
+//! recomputed from the summaries each run — that part is cheap, and it
+//! means a one-file edit correctly re-taints every caller. Because a
+//! hit returns byte-for-byte the summary a cold analysis would have
+//! produced, `--json` output is byte-identical cached or cold
+//! (property-tested in `tests/proptest_interproc.rs`, enforced in CI).
+
+use crate::findings::{Finding, RULE_IDS};
+use crate::items::{CallKind, CallSite, FileSummary, FnItem, Site, SiteKind};
+use crate::locks::LockEdge;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// FNV-1a 64-bit — tiny, dependency-free, and stable across runs and
+/// platforms (unlike `DefaultHasher`, which is seeded per process).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Bumped whenever the serialized summary shape changes.
+const FORMAT_VERSION: &str = "1";
+
+/// Header fingerprint: format version + the rule catalogue, so a
+/// binary with different rules never trusts this cache.
+pub fn fingerprint() -> u64 {
+    let mut text = String::from(FORMAT_VERSION);
+    for rule in RULE_IDS {
+        text.push('|');
+        text.push_str(rule);
+    }
+    fnv64(text.as_bytes())
+}
+
+/// Escape `%`, field/list separators, and newlines as `%xx`.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '%' | '|' | ',' | '\n' | '\r' => out.push_str(&format!("%{:02x}", ch as u32)),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Inverse of [`esc`]; `None` on a malformed escape.
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = s.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()? as char);
+            i += 3;
+        } else {
+            // Multi-byte UTF-8 passes through untouched by esc().
+            let ch = s[i..].chars().next()?;
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    Some(out)
+}
+
+/// The in-memory cache: file path → (content hash, summary).
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<String, (u64, FileSummary)>,
+}
+
+impl Cache {
+    /// An empty (cold) cache.
+    pub fn empty() -> Cache {
+        Cache::default()
+    }
+
+    /// Load from `path`; cold on a missing file, a fingerprint
+    /// mismatch, or any parse anomaly.
+    pub fn load(path: &Path) -> Cache {
+        match std::fs::read_to_string(path) {
+            Ok(text) => parse(&text).unwrap_or_default(),
+            Err(_) => Cache::default(),
+        }
+    }
+
+    /// The cached summary for `file`, if its content hash still
+    /// matches.
+    pub fn get(&self, file: &str, hash: u64) -> Option<&FileSummary> {
+        let (h, summary) = self.entries.get(file)?;
+        (*h == hash).then_some(summary)
+    }
+
+    /// Insert or refresh one file's summary.
+    pub fn put(&mut self, file: String, hash: u64, summary: FileSummary) {
+        self.entries.insert(file, (hash, summary));
+    }
+
+    /// Drop entries for files that no longer exist.
+    pub fn retain_files(&mut self, keep: &BTreeSet<String>) {
+        self.entries.retain(|file, _| keep.contains(file));
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Persist atomically: render, write `<path>.tmp`, rename into
+    /// place. A byte-identical cache on disk is left untouched.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let rendered = render(self);
+        if std::fs::read_to_string(path).is_ok_and(|cur| cur == rendered) {
+            return Ok(());
+        }
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, rendered)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn render(cache: &Cache) -> String {
+    let mut out = format!("mb-lint-cache v{FORMAT_VERSION} fp={:016x}\n", fingerprint());
+    for (file, (hash, s)) in &cache.entries {
+        out.push_str(&format!("file {}|{hash:016x}\n", esc(file)));
+        for f in &s.findings {
+            out.push_str(&format!(
+                "f {}|{}|{}|{}|{}\n",
+                f.rule,
+                f.line,
+                f.col,
+                esc(&f.message),
+                esc(&f.excerpt)
+            ));
+        }
+        for e in &s.lock_edges {
+            out.push_str(&format!(
+                "e {}|{}|{}|{}|{}\n",
+                esc(&e.held),
+                esc(&e.acquired),
+                e.line,
+                e.col,
+                esc(&e.function)
+            ));
+        }
+        for (line, rules) in &s.allows {
+            let list: Vec<String> = rules.iter().map(|r| esc(r)).collect();
+            out.push_str(&format!("a {line}|{}\n", list.join(",")));
+        }
+        for item in &s.fns {
+            let acq: Vec<String> = item.acquires.iter().map(|a| esc(a)).collect();
+            out.push_str(&format!(
+                "n {}|{}|{}|{}|{}\n",
+                esc(&item.name),
+                item.qual.as_deref().map_or_else(|| "-".to_string(), esc),
+                item.line,
+                item.col,
+                acq.join(",")
+            ));
+            for site in &item.sites {
+                let k = match site.kind {
+                    SiteKind::Panic => "P",
+                    SiteKind::Nondet => "N",
+                    SiteKind::Alloc => "A",
+                    SiteKind::Io => "I",
+                };
+                out.push_str(&format!(
+                    "s {k}|{}|{}|{}|{}\n",
+                    esc(&site.what),
+                    site.line,
+                    site.col,
+                    u8::from(site.in_loop)
+                ));
+            }
+            for call in &item.calls {
+                let k = match &call.kind {
+                    CallKind::Free => "F".to_string(),
+                    CallKind::Method => "M".to_string(),
+                    CallKind::SelfMethod => "S".to_string(),
+                    CallKind::Qualified(seg) => format!("Q:{}", esc(seg)),
+                };
+                let held: Vec<String> = call.held.iter().map(|h| esc(h)).collect();
+                out.push_str(&format!(
+                    "c {k}|{}|{}|{}|{}|{}\n",
+                    esc(&call.name),
+                    call.line,
+                    call.col,
+                    u8::from(call.in_loop),
+                    held.join(",")
+                ));
+            }
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Strict parse; `None` on any anomaly (the caller goes cold).
+fn parse(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let expected = format!("mb-lint-cache v{FORMAT_VERSION} fp={:016x}", fingerprint());
+    if header != expected {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let mut current: Option<(String, u64, FileSummary)> = None;
+    let static_rule = |r: &str| RULE_IDS.iter().find(|&&k| k == r).copied();
+    let parse_list = |s: &str| -> Option<Vec<String>> {
+        if s.is_empty() {
+            return Some(Vec::new());
+        }
+        s.split(',').map(unesc).collect()
+    };
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("file ") {
+            if current.is_some() {
+                return None; // missing `end`
+            }
+            let (file, hash) = rest.split_once('|')?;
+            let hash = u64::from_str_radix(hash, 16).ok()?;
+            current = Some((unesc(file)?, hash, FileSummary::default()));
+            continue;
+        }
+        if line == "end" {
+            let (file, hash, summary) = current.take()?;
+            cache.entries.insert(file, (hash, summary));
+            continue;
+        }
+        let (file, _, summary) = current.as_mut()?;
+        let (tag, rest) = line.split_once(' ')?;
+        let fields: Vec<&str> = rest.split('|').collect();
+        match tag {
+            "f" => {
+                let [rule, line, col, message, excerpt] = fields[..] else { return None };
+                summary.findings.push(Finding {
+                    rule: static_rule(rule)?,
+                    file: file.clone(),
+                    line: line.parse().ok()?,
+                    col: col.parse().ok()?,
+                    message: unesc(message)?,
+                    excerpt: unesc(excerpt)?,
+                });
+            }
+            "e" => {
+                let [held, acquired, line, col, function] = fields[..] else { return None };
+                summary.lock_edges.push(LockEdge {
+                    held: unesc(held)?,
+                    acquired: unesc(acquired)?,
+                    line: line.parse().ok()?,
+                    col: col.parse().ok()?,
+                    function: unesc(function)?,
+                });
+            }
+            "a" => {
+                let [line, rules] = fields[..] else { return None };
+                summary.allows.push((line.parse().ok()?, parse_list(rules)?));
+            }
+            "n" => {
+                let [name, qual, line, col, acquires] = fields[..] else { return None };
+                summary.fns.push(FnItem {
+                    name: unesc(name)?,
+                    qual: if qual == "-" { None } else { Some(unesc(qual)?) },
+                    line: line.parse().ok()?,
+                    col: col.parse().ok()?,
+                    sites: Vec::new(),
+                    calls: Vec::new(),
+                    acquires: parse_list(acquires)?,
+                });
+            }
+            "s" => {
+                let [kind, what, line, col, in_loop] = fields[..] else { return None };
+                let kind = match kind {
+                    "P" => SiteKind::Panic,
+                    "N" => SiteKind::Nondet,
+                    "A" => SiteKind::Alloc,
+                    "I" => SiteKind::Io,
+                    _ => return None,
+                };
+                summary.fns.last_mut()?.sites.push(Site {
+                    kind,
+                    what: unesc(what)?,
+                    line: line.parse().ok()?,
+                    col: col.parse().ok()?,
+                    in_loop: in_loop == "1",
+                });
+            }
+            "c" => {
+                let [kind, name, line, col, in_loop, held] = fields[..] else { return None };
+                let kind = match kind {
+                    "F" => CallKind::Free,
+                    "M" => CallKind::Method,
+                    "S" => CallKind::SelfMethod,
+                    q => CallKind::Qualified(unesc(q.strip_prefix("Q:")?)?),
+                };
+                summary.fns.last_mut()?.calls.push(CallSite {
+                    kind,
+                    name: unesc(name)?,
+                    line: line.parse().ok()?,
+                    col: col.parse().ok()?,
+                    in_loop: in_loop == "1",
+                    held: parse_list(held)?,
+                });
+            }
+            _ => return None,
+        }
+    }
+    if current.is_some() {
+        return None; // truncated final block
+    }
+    Some(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::{summarize_file, RuleSet};
+
+    fn summary_of(src: &str) -> FileSummary {
+        summarize_file("crates/a/src/lib.rs", src, RuleSet::all())
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in ["plain", "with|pipe", "pct % and , comma", "line\nbreak", "100%|a,b\r\n"] {
+            assert_eq!(unesc(&esc(s)).as_deref(), Some(s), "{s:?}");
+        }
+        assert!(unesc("%zz").is_none());
+        assert!(unesc("%").is_none());
+    }
+
+    #[test]
+    fn summary_round_trips_through_the_cache_file() {
+        let src = "impl S {\n    fn f(&self, x: Option<u32>) {\n        let g = self.state.lock().unwrap_or_else(|e| e.into_inner());\n        for i in 0..3 { helper(i); }\n        x.unwrap();\n    }\n}\n// mb-lint: allow(det-hash) -- lookup only\nfn helper(i: u32) { util::go(i); }\n";
+        let summary = summary_of(src);
+        assert!(!summary.fns.is_empty());
+        let mut cache = Cache::empty();
+        cache.put("crates/a/src/lib.rs".to_string(), fnv64(src.as_bytes()), summary.clone());
+        let dir = std::env::temp_dir().join(format!("mb-lint-cache-test-{}", std::process::id()));
+        let path = dir.join("lint-cache.txt");
+        cache.save(&path).unwrap();
+        let loaded = Cache::load(&path);
+        assert_eq!(loaded.get("crates/a/src/lib.rs", fnv64(src.as_bytes())), Some(&summary));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_hash_misses() {
+        let mut cache = Cache::empty();
+        cache.put("a.rs".to_string(), 1, FileSummary::default());
+        assert!(cache.get("a.rs", 1).is_some());
+        assert!(cache.get("a.rs", 2).is_none());
+        assert!(cache.get("b.rs", 1).is_none());
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_cache_goes_cold() {
+        assert!(parse("garbage\n").is_none());
+        assert!(parse("mb-lint-cache v0 fp=0000000000000000\n").is_none());
+        let good = render(&Cache::default());
+        assert!(parse(&good).is_some());
+        // A truncated block (missing `end`) poisons the whole cache.
+        let bad = format!("{good}file x.rs|0000000000000001\n");
+        assert!(parse(&bad).is_none());
+        // An unknown rule id poisons it too.
+        let bad = format!("{good}file x.rs|0000000000000001\nf no-such-rule|1|1|m|e\nend\n");
+        assert!(parse(&bad).is_none());
+    }
+
+    #[test]
+    fn retain_drops_deleted_files() {
+        let mut cache = Cache::empty();
+        cache.put("a.rs".to_string(), 1, FileSummary::default());
+        cache.put("b.rs".to_string(), 2, FileSummary::default());
+        let keep: BTreeSet<String> = ["a.rs".to_string()].into();
+        cache.retain_files(&keep);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get("a.rs", 1).is_some());
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

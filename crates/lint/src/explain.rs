@@ -1,0 +1,197 @@
+//! `--explain <rule>`: the contract behind each rule, one example
+//! violation, and the suppression form, printed for humans at the
+//! terminal (`mb-lint --explain panic-reach`, `metablink lint
+//! --explain panic-reach`).
+
+use crate::findings::RULE_IDS;
+
+/// One rule's documentation.
+struct Entry {
+    rule: &'static str,
+    contract: &'static str,
+    example: &'static str,
+}
+
+const ENTRIES: &[Entry] = &[
+    Entry {
+        rule: "panic-unwrap",
+        contract: "Panic-free paths (serve, checkpoint load/save, kb store) must not call \
+                   `.unwrap()`: a panic there kills a serving worker or corrupts a checkpoint \
+                   half-written. Return a typed error or recover.",
+        example: "let v = map.get(&k).unwrap();        // violation\nlet v = map.get(&k).ok_or(Error::Missing)?;  // fixed",
+    },
+    Entry {
+        rule: "panic-expect",
+        contract: "Same contract as panic-unwrap: `.expect(\"…\")` panics with a nicer message, \
+                   but still panics. Return a typed error or recover.",
+        example: "let f = File::open(p).expect(\"open\");  // violation\nlet f = File::open(p).map_err(Error::Io)?;   // fixed",
+    },
+    Entry {
+        rule: "panic-macro",
+        contract: "`panic!` / `unreachable!` / `todo!` / `unimplemented!` abort panic-free \
+                   paths. Encode the impossible case in the type or return an error.",
+        example: "None => unreachable!(),              // violation\nNone => return Err(Error::Corrupt),  // fixed",
+    },
+    Entry {
+        rule: "indexing",
+        contract: "Direct `xs[i]` panics out of bounds on panic-free paths. Use `.get(i)` or \
+                   prove the bound to the reader at the call site.",
+        example: "let first = xs[0];                   // violation\nlet first = xs.first().ok_or(Error::Empty)?;  // fixed",
+    },
+    Entry {
+        rule: "det-hash",
+        contract: "`HashMap`/`HashSet` iteration order is per-process random; on replay-contract \
+                   crates it silently breaks replay-by-seed. Use `BTreeMap`/`BTreeSet` or sort \
+                   before iterating.",
+        example: "for (k, v) in hash_map { … }         // violation\nfor (k, v) in btree_map { … }        // fixed",
+    },
+    Entry {
+        rule: "det-time",
+        contract: "`SystemTime`/`Instant` make results depend on wall-clock time. Thread a \
+                   seeded or recorded value through instead.",
+        example: "let seed = Instant::now().elapsed().as_nanos();  // violation\nlet seed = cfg.seed;                             // fixed",
+    },
+    Entry {
+        rule: "det-env",
+        contract: "`std::env` makes results depend on the launching environment. Take the value \
+                   as an explicit parameter.",
+        example: "let dir = std::env::var(\"MB_DIR\")?;  // violation\nfn run(dir: &Path) { … }             // fixed",
+    },
+    Entry {
+        rule: "lock-order",
+        contract: "All held→acquired lock pairs across the crate must form an acyclic order; a \
+                   cycle is a potential deadlock. Fix one global acquisition order.",
+        example: "thread A: state.lock() then cache.lock()\nthread B: cache.lock() then state.lock()   // violation: cycle",
+    },
+    Entry {
+        rule: "lock-io",
+        contract: "Blocking I/O while holding a lock stalls every thread contending for it (and \
+                   hands slow peers a denial-of-service lever). Release the lock first.",
+        example: "let g = self.state.lock()…; out.write_all(…)  // violation\ndrop(g); out.write_all(…)                     // fixed",
+    },
+    Entry {
+        rule: "unsafe-gate",
+        contract: "`unsafe` is denied workspace-wide, tests included. Find a safe formulation.",
+        example: "let x = unsafe { *ptr };             // violation",
+    },
+    Entry {
+        rule: "float-total-order",
+        contract: "A float comparator built on `partial_cmp` orders NaN arbitrarily, so sorted \
+                   output depends on input permutation — a silent replay break. Use \
+                   `f64::total_cmp`.",
+        example: "v.sort_by(|a, b| a.partial_cmp(b).unwrap());  // violation\nv.sort_by(|a, b| a.total_cmp(b));             // fixed",
+    },
+    Entry {
+        rule: "tape-free",
+        contract: "The serving path rides one shared `FrozenParams` snapshot: no gradient-tape \
+                   allocation (`Tape`), no per-forward parameter copies (`.inject(`, \
+                   `params.clone()`).",
+        example: "let h = tape.inject(&params);        // violation\nlet h = frozen.forward(&input);      // fixed",
+    },
+    Entry {
+        rule: "bounded-queue",
+        contract: "Serving-path work buffers must show their bound in the pushing function \
+                   (capacity check, truncate, max_batch) — unbounded queues turn overload into \
+                   memory growth instead of fast shedding.",
+        example: "self.pending.push(job);              // violation\nif self.pending.len() < self.capacity { self.pending.push(job); }  // fixed",
+    },
+    Entry {
+        rule: "as-truncation",
+        contract: "`id as u32`-style narrowing wraps silently once the id space outgrows the \
+                   target, aliasing two entities. Use `TryFrom` (reject) or keep the id wide.",
+        example: "buf.put(entity_id as u32);           // violation\nbuf.put(u32::try_from(entity_id)?);  // fixed",
+    },
+    Entry {
+        rule: "unbounded-read",
+        contract: "Store/shard load paths promise bounded-RAM streaming verification; \
+                   `read_to_end` / `fs::read` materializes a multi-gigabyte shard. Stream \
+                   fixed-size chunks or seek + `read_exact` a known length.",
+        example: "file.read_to_end(&mut buf)?;         // violation\nfile.read_exact(&mut chunk)?;        // fixed",
+    },
+    Entry {
+        rule: "panic-reach",
+        contract: "Interprocedural: a call in a panic-protected file (serve, checkpoint, store, \
+                   loadgen) must not transitively reach a panicking site anywhere in the \
+                   workspace. The finding's witness path shows one route. Fix the root, or \
+                   audit the boundary — an allow at a call site stops propagation for every \
+                   transitive caller.",
+        example: "// serve/src/worker.rs\nwork(job);           // violation: work -> parse -> unwrap\n// after the sweep\nwork(job)?;          // parse returns Result now",
+    },
+    Entry {
+        rule: "det-taint",
+        contract: "Interprocedural: replay-contract paths (tensor, core, datagen, store, …) \
+                   must not transitively call nondeterministic sources — time, env, `HashMap` \
+                   iteration, thread id. An allow at the boundary stops propagation.",
+        example: "// core/src/reweight.rs\nlet w = stats();     // violation: stats -> HashMap::new\nlet w = stats_ordered();  // fixed: BTreeMap inside",
+    },
+    Entry {
+        rule: "lock-across-call",
+        contract: "Interprocedural: a lock held at a call site must not reach blocking I/O or a \
+                   re-acquire of the same lock in any transitive callee (self-deadlock with \
+                   std::sync::Mutex). Release the lock before the call or pass the guard down.",
+        example: "let g = self.state.lock()…;\nself.flush_all();    // violation: flush_all -> write_all\ndrop(g);\nself.flush_all();    // fixed",
+    },
+    Entry {
+        rule: "alloc-in-hot-loop",
+        contract: "Interprocedural: allocation-shaped constructs (vec!/format!, to_vec, \
+                   collect, Box::new, …), direct or via any transitive callee, inside loops of \
+                   hot-path files (kernels, frozen forwards, batch drain). Hoist the allocation \
+                   out of the loop or reuse a buffer.",
+        example: "for row in 0..n {\n    let tmp = vec![0.0; d];   // violation: one alloc per row\n}\nlet mut tmp = vec![0.0; d];   // fixed: hoisted\nfor row in 0..n { tmp.fill(0.0); … }",
+    },
+    Entry {
+        rule: "suppression",
+        contract: "`// mb-lint: allow(rule) -- justification` silences a finding on its line \
+                   (or the next line when the comment stands alone). The justification is \
+                   mandatory and non-empty; unknown rule ids are rejected. This rule flags \
+                   malformed suppressions.",
+        example: "// mb-lint: allow(panic-unwrap)                  // violation: no justification\n// mb-lint: allow(panic-unwrap) -- init-only path  // well-formed",
+    },
+];
+
+/// Render the explanation for `rule`, or an error listing known rules.
+pub fn explain(rule: &str) -> Result<String, String> {
+    let entry = ENTRIES.iter().find(|e| e.rule == rule).ok_or_else(|| {
+        format!("unknown rule {rule:?}; known rules:\n  {}", RULE_IDS.join("\n  "))
+    })?;
+    Ok(format!(
+        "rule: {}\n\ncontract:\n  {}\n\nexample:\n{}\n\nsuppression:\n  // mb-lint: allow({}) -- <justification>\n  (audited; the justification is mandatory. For the interprocedural rules an\n  allow is also a propagation boundary: one audit at the right call site\n  clears every transitive caller.)",
+        entry.rule,
+        entry.contract,
+        entry
+            .example
+            .lines()
+            .map(|l| format!("  {l}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        entry.rule,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_id_has_an_entry() {
+        for rule in RULE_IDS {
+            let text = explain(rule).unwrap_or_else(|e| panic!("{rule}: {e}"));
+            assert!(text.contains(rule), "{rule}");
+            assert!(text.contains("contract:"), "{rule}");
+            assert!(text.contains("suppression:"), "{rule}");
+        }
+    }
+
+    #[test]
+    fn entries_match_the_catalogue_exactly() {
+        let entry_ids: Vec<&str> = ENTRIES.iter().map(|e| e.rule).collect();
+        assert_eq!(entry_ids, RULE_IDS, "explain entries must mirror RULE_IDS order");
+    }
+
+    #[test]
+    fn unknown_rule_lists_the_catalogue() {
+        let err = explain("no-such-rule").unwrap_err();
+        assert!(err.contains("panic-reach"));
+        assert!(err.contains("det-taint"));
+    }
+}

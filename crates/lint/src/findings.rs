@@ -19,6 +19,10 @@ pub const RULE_IDS: &[&str] = &[
     "bounded-queue",
     "as-truncation",
     "unbounded-read",
+    "panic-reach",
+    "det-taint",
+    "lock-across-call",
+    "alloc-in-hot-loop",
     "suppression",
 ];
 

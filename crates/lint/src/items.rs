@@ -1,0 +1,608 @@
+//! Item-level parsing: `fn` items, impl/trait context, call edges, and
+//! taint-relevant sites, extracted from the total lexer's token stream.
+//!
+//! This is the per-file half of the interprocedural analysis
+//! ([`crate::graph`] resolves the call edges, [`crate::taint`]
+//! propagates over them). A [`FileSummary`] captures everything later
+//! passes need, so a file whose content hash is unchanged never has to
+//! be re-lexed — the incremental cache ([`crate::cache`]) persists
+//! summaries verbatim and the workspace runner rebuilds the call graph
+//! from them.
+//!
+//! Extraction is token-level and deliberately conservative:
+//!
+//! - a **function item** is a non-`#[cfg(test)]` `fn` with a body; its
+//!   impl/trait type (the first type name of the enclosing `impl`/
+//!   `trait` header, the `for` type for trait impls) is recorded as the
+//!   qualifier;
+//! - a **call edge** is an identifier followed by `(` — classified as a
+//!   free call, a `.method(…)` call (with `self.` receivers kept
+//!   distinct), or a `path::segment(…)` qualified call. Macros
+//!   (`name!(…)`) are not call edges;
+//! - **sites** are the local facts taint propagation starts from:
+//!   panicking constructs, nondeterministic sources, allocation-shaped
+//!   calls, and blocking I/O — each with its loop depth;
+//! - **held locks** at each call site reuse the lock model of
+//!   [`crate::locks`] (`let`-bound guards to scope end or `drop`,
+//!   temporaries to statement end), with `self.…` receiver paths
+//!   qualified by the impl type so acquisitions compare meaningfully
+//!   across functions.
+
+use crate::analyzer::{in_ranges, Sig, KEYWORDS};
+use crate::findings::Finding;
+use crate::lexer::LineMap;
+use crate::locks::{self, LockEdge};
+use std::collections::BTreeSet;
+
+/// Everything the interprocedural passes and the cache need from one
+/// file: the token-level findings, the lock-order edges, the function
+/// items with their call edges and sites, and the per-line allow map.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FileSummary {
+    /// Token-level findings (including `lock-io` and suppression
+    /// hygiene), exactly as a cold [`crate::analyze_file`] run emits
+    /// them.
+    pub findings: Vec<Finding>,
+    /// Lock-order edges observed in this file, first site per edge.
+    pub lock_edges: Vec<LockEdge>,
+    /// Non-test function items defined in this file.
+    pub fns: Vec<FnItem>,
+    /// Per-line `mb-lint: allow(…)` rules, sorted by line.
+    pub allows: Vec<(usize, Vec<String>)>,
+}
+
+impl FileSummary {
+    /// True if an `allow(rule)` covers `line`.
+    pub fn allows(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .binary_search_by_key(&line, |&(l, _)| l)
+            .is_ok_and(|i| self.allows[i].1.iter().any(|r| r == rule))
+    }
+}
+
+/// One function item and its locally-extracted facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Simple function name.
+    pub name: String,
+    /// Impl/trait type context (`impl Server` → `Server`), if any.
+    pub qual: Option<String>,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// 1-based column of the name token.
+    pub col: usize,
+    /// Taint-relevant local sites, in token order.
+    pub sites: Vec<Site>,
+    /// Outgoing call edges, in token order.
+    pub calls: Vec<CallSite>,
+    /// Lock receiver paths this function acquires (self-qualified).
+    pub acquires: Vec<String>,
+}
+
+/// What kind of local fact a [`Site`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// `.unwrap()`, `.expect(…)`, `panic!`-family macro.
+    Panic,
+    /// `HashMap`/`HashSet`, `SystemTime`/`Instant`, `std::env`,
+    /// `thread::current` — per-process or environment-dependent state.
+    Nondet,
+    /// Allocation-shaped construct: `vec!`/`format!`,
+    /// `with_capacity`/`to_vec`/`to_string`/`to_owned`/`collect`,
+    /// `Box::new`/`String::from`.
+    Alloc,
+    /// A blocking I/O method call ([`crate::locks`] recognises it).
+    Io,
+}
+
+/// One taint-relevant local fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// The fact kind.
+    pub kind: SiteKind,
+    /// The matched source token (`unwrap`, `HashMap`, `vec`, …).
+    pub what: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// True when the site sits inside a `for`/`while`/`loop` body.
+    pub in_loop: bool,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(…)` — a free function call.
+    Free,
+    /// `recv.name(…)` — a method call on a non-`self` receiver.
+    Method,
+    /// `self.name(…)` — a method call on `self`.
+    SelfMethod,
+    /// `seg::name(…)` — the immediately-preceding path segment.
+    Qualified(String),
+}
+
+/// One outgoing call edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee naming form.
+    pub kind: CallKind,
+    /// Callee simple name.
+    pub name: String,
+    /// 1-based line of the callee name token.
+    pub line: usize,
+    /// 1-based column of the callee name token.
+    pub col: usize,
+    /// True when the call sits inside a `for`/`while`/`loop` body.
+    pub in_loop: bool,
+    /// Lock receiver paths held at this call site (self-qualified).
+    pub held: Vec<String>,
+}
+
+/// Alloc-shaped method/associated calls (`.to_vec()`,
+/// `Vec::with_capacity(…)`): each allocates on every evaluation.
+const ALLOC_METHODS: &[&str] = &["with_capacity", "to_vec", "to_string", "to_owned", "collect"];
+
+/// Types whose `from`/`new` associated constructors allocate.
+const ALLOC_TYPES: &[&str] = &["Box", "String", "Vec"];
+
+/// Extract the function items of one file. `sig` must be the
+/// significant-token stream of `src`; `#[cfg(test)]` items are skipped
+/// entirely (tests may panic, hash, and allocate freely, and nothing
+/// reachable from a serving entrypoint lives under `#[cfg(test)]`).
+pub(crate) fn collect(
+    src: &str,
+    sig: &[Sig<'_>],
+    map: &LineMap,
+    test_ranges: &[(usize, usize)],
+) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    let mut ctx: Vec<(usize, String)> = Vec::new(); // (body depth, qual)
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < sig.len() {
+        let s = sig[i];
+        match s.text {
+            "{" => {
+                depth += 1;
+                i += 1;
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                ctx.retain(|&(d, _)| d <= depth);
+                i += 1;
+            }
+            "impl" | "trait" if s.tok.kind == crate::lexer::TokenKind::Ident => {
+                match impl_header(sig, i) {
+                    Some((qual, open)) => {
+                        depth += 1;
+                        if let Some(q) = qual {
+                            ctx.push((depth, q));
+                        }
+                        i = open + 1;
+                    }
+                    None => i += 1,
+                }
+            }
+            "fn" if s.tok.kind == crate::lexer::TokenKind::Ident
+                && !in_ranges(test_ranges, s.tok.start) =>
+            {
+                let name = sig.get(i + 1).map_or("?", |n| n.text).to_string();
+                let Some(open) = locks::body_open(sig, i) else {
+                    i += 1;
+                    continue;
+                };
+                let qual = ctx.last().map(|(_, q)| q.clone());
+                let (line, col) =
+                    sig.get(i + 1).map(|n| map.line_col(src, n.tok.start)).unwrap_or((1, 1));
+                let params = param_names(sig, i + 1, open);
+                let (item, end) = scan_fn(src, sig, map, open, name, qual, line, col, &params);
+                fns.push(item);
+                i = end;
+            }
+            _ => i += 1,
+        }
+    }
+    fns
+}
+
+/// Parse an `impl`/`trait` header starting at `sig[at]`: the qualifier
+/// type (the `for` type when present) and the index of the body `{`.
+/// `None` when the header has no body (`impl Trait for T;` is not
+/// valid Rust, but stay total).
+fn impl_header(sig: &[Sig<'_>], at: usize) -> Option<(Option<String>, usize)> {
+    let mut angle = 0i32;
+    let mut qual: Option<String> = None;
+    let mut j = at + 1;
+    while j < sig.len() {
+        let t = sig[j];
+        match t.text {
+            "<" => angle += 1,
+            // `->` in an `impl Fn() -> T` bound must not unbalance.
+            ">" if sig.get(j.wrapping_sub(1)).map(|p| p.text) != Some("-") => angle -= 1,
+            "{" if angle <= 0 => return Some((qual, j)),
+            ";" if angle <= 0 => return None,
+            "for" if angle <= 0 => qual = None, // the `for` type wins
+            _ if angle <= 0
+                && qual.is_none()
+                && t.tok.kind == crate::lexer::TokenKind::Ident
+                && !KEYWORDS.contains(&t.text) =>
+            {
+                qual = Some(t.text.to_string());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Names bound by the parameter list between the fn name and the body
+/// `{`: idents immediately followed by `:` at parameter-list depth,
+/// outside generics. A call to one of these names invokes a
+/// caller-supplied closure, not a workspace function, so it must not
+/// become a call edge.
+fn param_names(sig: &[Sig<'_>], after_name: usize, open: usize) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut j = after_name;
+    while j < open {
+        let t = sig[j];
+        match t.text {
+            "<" => angle += 1,
+            // `->` in an `impl Fn() -> T` bound must not unbalance.
+            ">" if sig.get(j.wrapping_sub(1)).map(|p| p.text) != Some("-") => angle -= 1,
+            "(" => paren += 1,
+            ")" => {
+                paren -= 1;
+                if paren == 0 && angle <= 0 {
+                    break; // end of the parameter list
+                }
+            }
+            _ if paren == 1
+                && angle <= 0
+                && t.tok.kind == crate::lexer::TokenKind::Ident
+                && t.text != "self"
+                && !KEYWORDS.contains(&t.text)
+                && sig.get(j + 1).map(|n| n.text) == Some(":") =>
+            {
+                names.insert(t.text.to_string());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    names
+}
+
+/// A lock currently held (mirror of the model in [`crate::locks`]).
+struct HeldLock {
+    lock: String,
+    depth: usize,
+    guard: Option<String>,
+    temp: bool,
+}
+
+/// Rewrite a `self.…` receiver path with the impl qualifier so lock
+/// names compare meaningfully across functions of the same type.
+fn qualify_lock(path: &str, qual: Option<&str>) -> String {
+    match (path.strip_prefix("self"), qual) {
+        (Some(rest), Some(q)) => format!("{q}{rest}"),
+        _ => path.to_string(),
+    }
+}
+
+/// Scan one function body from its `{` at `sig[open]`; returns the item
+/// and the index one past the closing brace.
+#[allow(clippy::too_many_arguments)]
+fn scan_fn(
+    src: &str,
+    sig: &[Sig<'_>],
+    map: &LineMap,
+    open: usize,
+    name: String,
+    qual: Option<String>,
+    line: usize,
+    col: usize,
+    params: &BTreeSet<String>,
+) -> (FnItem, usize) {
+    let mut sites = Vec::new();
+    let mut calls = Vec::new();
+    let mut acquires: BTreeSet<String> = BTreeSet::new();
+    let mut held: Vec<HeldLock> = Vec::new();
+    let mut loop_bodies: Vec<usize> = Vec::new();
+    let mut pending_loop: Option<i32> = None;
+    let mut depth = 0usize;
+    let mut paren = 0i32;
+    let mut end = sig.len();
+    let mut i = open;
+    while i < sig.len() {
+        let s = sig[i];
+        match s.text {
+            "{" => {
+                depth += 1;
+                if pending_loop == Some(paren) {
+                    loop_bodies.push(depth);
+                    pending_loop = None;
+                }
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                held.retain(|h| h.depth <= depth);
+                while loop_bodies.last().is_some_and(|&d| d > depth) {
+                    loop_bodies.pop();
+                }
+                if depth == 0 {
+                    end = i + 1;
+                    break;
+                }
+            }
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            ";" => held.retain(|h| !(h.temp && h.depth == depth)),
+            "for" | "while" | "loop" if s.tok.kind == crate::lexer::TokenKind::Ident => {
+                pending_loop = Some(paren);
+            }
+            _ => {}
+        }
+        // `drop(g)` releases a bound guard early.
+        if s.text == "drop"
+            && sig.get(i + 1).map(|n| n.text) == Some("(")
+            && sig.get(i + 3).map(|n| n.text) == Some(")")
+        {
+            if let Some(g) = sig.get(i + 2) {
+                held.retain(|h| h.guard.as_deref() != Some(g.text));
+            }
+        }
+        // `<recv>.lock()` acquisition, same model as crate::locks.
+        if s.text == "lock"
+            && i >= 1
+            && sig[i - 1].text == "."
+            && sig.get(i + 1).map(|n| n.text) == Some("(")
+            && sig.get(i + 2).map(|n| n.text) == Some(")")
+        {
+            if let Some((path, recv_start)) = locks::receiver_path(sig, i - 1) {
+                let lock = qualify_lock(&path, qual.as_deref());
+                acquires.insert(lock.clone());
+                let guard = locks::guard_binding(sig, recv_start);
+                let temp = guard.is_none();
+                if !held.iter().any(|h| h.lock == lock) {
+                    held.push(HeldLock { lock, depth, guard, temp });
+                }
+            }
+        }
+        if s.tok.kind == crate::lexer::TokenKind::Ident {
+            let in_loop = !loop_bodies.is_empty();
+            let (l, c) = map.line_col(src, s.tok.start);
+            let held_now = || held.iter().map(|h| h.lock.clone()).collect::<Vec<_>>();
+            if let Some(kind) = site_kind(sig, i) {
+                sites.push(Site { kind, what: s.text.to_string(), line: l, col: c, in_loop });
+                // I/O-named methods may also resolve to a workspace
+                // function (`Storage::read`), so they stay call edges;
+                // panic/alloc-shaped names are std-only.
+                if kind != SiteKind::Io {
+                    i += 1;
+                    continue;
+                }
+            }
+            if let Some(kind) = call_kind(sig, i) {
+                // `f(x)` where `f` is a parameter invokes a
+                // caller-supplied closure: never a workspace edge.
+                if !(matches!(kind, CallKind::Free) && params.contains(s.text)) {
+                    calls.push(CallSite {
+                        kind,
+                        name: s.text.to_string(),
+                        line: l,
+                        col: c,
+                        in_loop,
+                        held: held_now(),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    let item =
+        FnItem { name, qual, line, col, sites, calls, acquires: acquires.into_iter().collect() };
+    (item, end)
+}
+
+/// Classify `sig[i]` as a taint site, if it is one.
+fn site_kind(sig: &[Sig<'_>], i: usize) -> Option<SiteKind> {
+    let s = sig[i];
+    let text_at = |j: usize| sig.get(j).map(|t| t.text);
+    let prev = i.checked_sub(1).and_then(text_at);
+    let next = text_at(i + 1);
+    let method_like = (prev == Some(".") || prev == Some(":")) && next == Some("(");
+    match s.text {
+        "unwrap" | "expect" if prev == Some(".") && next == Some("(") => Some(SiteKind::Panic),
+        "panic" | "unreachable" | "todo" | "unimplemented" if next == Some("!") => {
+            Some(SiteKind::Panic)
+        }
+        "HashMap" | "HashSet" | "SystemTime" | "Instant" => Some(SiteKind::Nondet),
+        "env" => {
+            let double_colon =
+                |a: usize, b: usize| text_at(a) == Some(":") && text_at(b) == Some(":");
+            let adjacent = (i >= 2 && double_colon(i - 2, i - 1)) || double_colon(i + 1, i + 2);
+            adjacent.then_some(SiteKind::Nondet)
+        }
+        "current"
+            if prev == Some(":")
+                && i >= 3
+                && text_at(i - 2) == Some(":")
+                && text_at(i - 3) == Some("thread") =>
+        {
+            Some(SiteKind::Nondet)
+        }
+        "vec" | "format" if next == Some("!") => Some(SiteKind::Alloc),
+        m if ALLOC_METHODS.contains(&m) && method_like => Some(SiteKind::Alloc),
+        "new" | "from"
+            if method_like
+                && prev == Some(":")
+                && i >= 3
+                && text_at(i - 2) == Some(":")
+                && sig.get(i - 3).is_some_and(|t| ALLOC_TYPES.contains(&t.text)) =>
+        {
+            Some(SiteKind::Alloc)
+        }
+        m if locks::IO_METHODS.contains(&m) && method_like => Some(SiteKind::Io),
+        _ => None,
+    }
+}
+
+/// Classify `sig[i]` as a call edge, if it is one.
+fn call_kind(sig: &[Sig<'_>], i: usize) -> Option<CallKind> {
+    let s = sig[i];
+    if sig.get(i + 1).map(|t| t.text) != Some("(") || KEYWORDS.contains(&s.text) {
+        return None;
+    }
+    let prev = i.checked_sub(1).map(|j| sig[j]);
+    match prev.map(|p| p.text) {
+        Some("fn") => None, // a nested definition, not a call
+        Some(".") => {
+            let receiver = i.checked_sub(2).map(|j| sig[j]);
+            let self_recv = receiver.is_some_and(|r| r.text == "self")
+                && i.checked_sub(3).map(|j| sig[j].text) != Some(".");
+            Some(if self_recv { CallKind::SelfMethod } else { CallKind::Method })
+        }
+        Some(":") if i >= 2 && sig[i - 2].text == ":" => {
+            let seg = i
+                .checked_sub(3)
+                .map(|j| sig[j])
+                .filter(|t| t.tok.kind == crate::lexer::TokenKind::Ident)?;
+            Some(CallKind::Qualified(seg.text.to_string()))
+        }
+        _ => Some(CallKind::Free),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::{cfg_test_ranges, significant};
+    use crate::lexer::{lex, LineMap};
+
+    fn items(src: &str) -> Vec<FnItem> {
+        let tokens = lex(src);
+        let sig = significant(&tokens, src);
+        let ranges = cfg_test_ranges(&sig);
+        collect(src, &sig, &LineMap::new(src), &ranges)
+    }
+
+    #[test]
+    fn free_method_and_qualified_calls_are_classified() {
+        let fns = items("fn f(x: u32) { helper(x); self.step(); obj.run(); util::go(); }");
+        assert_eq!(fns.len(), 1);
+        let kinds: Vec<(&str, &CallKind)> =
+            fns[0].calls.iter().map(|c| (c.name.as_str(), &c.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("helper", &CallKind::Free),
+                ("step", &CallKind::SelfMethod),
+                ("run", &CallKind::Method),
+                ("go", &CallKind::Qualified("util".to_string())),
+            ]
+        );
+    }
+
+    #[test]
+    fn macros_and_definitions_are_not_calls() {
+        let fns = items("fn f() { println!(\"x\"); fn g() {} }");
+        assert!(fns[0].calls.is_empty(), "{:?}", fns[0].calls);
+    }
+
+    #[test]
+    fn closure_parameter_invocations_are_not_calls() {
+        let fns = items(
+            "fn drain<F: Fn(usize) -> bool>(n: usize, mut shed: F, keep: impl Fn(u32)) {\n    shed(n);\n    keep(0);\n    other(n);\n}",
+        );
+        let names: Vec<&str> = fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["other"], "param-bound closures must not become edges");
+        // …but a method call that merely shares a parameter's name still is one.
+        let fns = items("fn f(shed: u32, q: &Q) { q.shed(); }");
+        assert_eq!(fns[0].calls.len(), 1);
+    }
+
+    #[test]
+    fn impl_context_becomes_the_qualifier() {
+        let fns = items("impl Server { fn start(&self) {} }\nimpl Drop for Pool { fn drop(&mut self) {} }\nfn free() {}");
+        let quals: Vec<(&str, Option<&str>)> =
+            fns.iter().map(|f| (f.name.as_str(), f.qual.as_deref())).collect();
+        assert_eq!(quals, vec![("start", Some("Server")), ("drop", Some("Pool")), ("free", None)]);
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_type() {
+        let fns = items("impl<T: Clone> Wrap<T> { fn get(&self) {} }");
+        assert_eq!(fns[0].qual.as_deref(), Some("Wrap"));
+    }
+
+    #[test]
+    fn panic_nondet_and_alloc_sites_are_collected() {
+        let fns = items(
+            "fn f(x: Option<u32>) {\n    x.unwrap();\n    let m = HashMap::new();\n    let v = vec![1];\n    let s = n.to_string();\n}",
+        );
+        let kinds: Vec<(SiteKind, &str)> =
+            fns[0].sites.iter().map(|s| (s.kind, s.what.as_str())).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (SiteKind::Panic, "unwrap"),
+                (SiteKind::Nondet, "HashMap"),
+                (SiteKind::Alloc, "vec"),
+                (SiteKind::Alloc, "to_string"),
+            ]
+        );
+    }
+
+    #[test]
+    fn loop_depth_marks_sites_and_calls() {
+        let fns = items(
+            "fn f(n: usize) {\n    let v = vec![0];\n    for i in 0..n {\n        let w = vec![i];\n        helper(i);\n    }\n    tail();\n}",
+        );
+        let f = &fns[0];
+        assert_eq!(f.sites.iter().map(|s| s.in_loop).collect::<Vec<_>>(), vec![false, true]);
+        let by_name: Vec<(&str, bool)> =
+            f.calls.iter().map(|c| (c.name.as_str(), c.in_loop)).collect();
+        assert_eq!(by_name, vec![("helper", true), ("tail", false)]);
+    }
+
+    #[test]
+    fn while_let_bodies_count_as_loops() {
+        let fns = items("fn f(q: &Q) { while let Some(j) = q.pop() { handle(j); } }");
+        let call = fns[0].calls.iter().find(|c| c.name == "handle").unwrap();
+        assert!(call.in_loop);
+        let pop = fns[0].calls.iter().find(|c| c.name == "pop").unwrap();
+        assert!(!pop.in_loop, "the loop condition is evaluated before the body");
+    }
+
+    #[test]
+    fn held_locks_are_qualified_and_scoped() {
+        let src = "impl S {\n    fn f(&self) {\n        let g = self.state.lock().unwrap_or_else(|e| e.into_inner());\n        helper();\n        drop(g);\n        tail();\n    }\n}";
+        let fns = items(src);
+        let f = &fns[0];
+        assert_eq!(f.acquires, vec!["S.state".to_string()]);
+        let helper = f.calls.iter().find(|c| c.name == "helper").unwrap();
+        assert_eq!(helper.held, vec!["S.state".to_string()]);
+        let tail = f.calls.iter().find(|c| c.name == "tail").unwrap();
+        assert!(tail.held.is_empty(), "drop(g) releases before tail()");
+    }
+
+    #[test]
+    fn cfg_test_functions_are_excluded() {
+        let fns =
+            items("fn real() {}\n#[cfg(test)]\nmod tests {\n    fn fake() { x.unwrap(); }\n}");
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "real");
+    }
+
+    #[test]
+    fn io_methods_are_both_sites_and_edges() {
+        let fns = items("fn f(w: &mut W) { w.write_all(b\"x\").ok(); }");
+        assert_eq!(fns[0].sites.iter().filter(|s| s.kind == SiteKind::Io).count(), 1);
+        assert!(fns[0].calls.iter().any(|c| c.name == "write_all"));
+    }
+}

@@ -17,14 +17,28 @@
 //!   while holding a lock;
 //! - an **unsafe gate**: `unsafe` is denied workspace-wide.
 //!
+//! On top of the token-level families sit four **interprocedural**
+//! rules that see across function boundaries: a lightweight item
+//! parser ([`items`]) extracts `fn` items, impl/trait context, and
+//! call edges; a deterministic resolver ([`graph`]) builds the
+//! workspace call graph; and a fixed-point taint engine ([`taint`])
+//! propagates panic / nondeterminism / I/O / allocation facts along it
+//! (`panic-reach`, `det-taint`, `lock-across-call`,
+//! `alloc-in-hot-loop`). Because every run now reads the whole
+//! workspace, per-file summaries are memoized in an incremental cache
+//! ([`cache`]) keyed by content hash — `--json` output is
+//! byte-identical cached or cold.
+//!
 //! The pass is a hand-rolled lexer ([`lexer`]) — strings, char
 //! literals, nested block comments and raw strings handled precisely —
 //! feeding a token-level analyzer ([`analyzer`], [`locks`]).
 //! Violations can be suppressed in place with
 //! `// mb-lint: allow(<rule>) -- <justification>` ([`suppress`]);
-//! suppressions are themselves linted for a non-empty justification.
-//! Pre-existing findings live in a committed baseline
-//! ([`baseline`]) that CI only lets shrink.
+//! suppressions are themselves linted for a non-empty justification,
+//! and for the interprocedural rules an allow is also a propagation
+//! boundary. Pre-existing findings live in a committed baseline
+//! ([`baseline`]) that CI only lets shrink. `--explain <rule>`
+//! ([`explain`]) prints each rule's contract and suppression form.
 //!
 //! Run it as `cargo run -p mb-lint`, `metablink lint`, or in CI via
 //! `scripts/ci.sh`. The crate is deliberately zero-dependency: the
@@ -34,13 +48,19 @@
 
 pub mod analyzer;
 pub mod baseline;
+pub mod cache;
 pub mod cli;
+pub mod explain;
 pub mod findings;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod locks;
 pub mod suppress;
+pub mod taint;
 pub mod workspace;
 
-pub use analyzer::{analyze_file, RuleSet};
+pub use analyzer::{analyze_file, summarize_file, RuleSet};
 pub use findings::{Finding, RULE_IDS};
+pub use items::FileSummary;
 pub use locks::LockGraph;

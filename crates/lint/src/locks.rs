@@ -23,7 +23,7 @@ use crate::lexer::LineMap;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Blocking I/O methods we recognise on the serving path.
-const IO_METHODS: &[&str] = &[
+pub(crate) const IO_METHODS: &[&str] = &[
     "write",
     "write_all",
     "write_fmt",
@@ -65,6 +65,25 @@ struct Site {
     function: String,
 }
 
+/// One `held → acquired` lock-order observation at its first site in a
+/// file, in the file-summary form the incremental cache persists
+/// ([`crate::items::FileSummary`]). Feeding these into [`LockGraph`]
+/// in sorted-file order reproduces exactly the graph a cold full scan
+/// builds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Receiver path of the lock already held.
+    pub held: String,
+    /// Receiver path of the lock being acquired.
+    pub acquired: String,
+    /// 1-based line of the acquisition.
+    pub line: usize,
+    /// 1-based column of the acquisition.
+    pub col: usize,
+    /// Enclosing function name.
+    pub function: String,
+}
+
 /// Crate-wide lock-order graph, fed file by file, analysed by
 /// [`LockGraph::finish`].
 #[derive(Debug, Default)]
@@ -76,6 +95,18 @@ impl LockGraph {
     /// An empty graph.
     pub fn new() -> Self {
         LockGraph::default()
+    }
+
+    /// Feed one summarized edge into the graph; the first site wins,
+    /// so insertion order must be deterministic (sorted-file order).
+    pub fn insert(&mut self, file: &str, edge: &LockEdge) {
+        let key = Edge { held: edge.held.clone(), acquired: edge.acquired.clone() };
+        self.edges.entry(key).or_insert_with(|| Site {
+            file: file.to_string(),
+            line: edge.line,
+            col: edge.col,
+            function: edge.function.clone(),
+        });
     }
 
     /// Emit `lock-order` findings: every edge that participates in a
@@ -136,46 +167,52 @@ struct Held {
     temp: bool,
 }
 
-/// Walk one file's significant tokens; returns `lock-io` findings and
-/// feeds held→acquired edges into `graph`.
-pub(crate) fn analyze(
+/// Walk one file's significant tokens; returns `lock-io` findings plus
+/// the file's held→acquired edges (first site per edge) for the file
+/// summary.
+pub(crate) fn analyze_collect(
     file: &str,
     src: &str,
     sig: &[Sig<'_>],
     map: &LineMap,
     test_ranges: &[(usize, usize)],
-    graph: &mut LockGraph,
-) -> Vec<Finding> {
+) -> (Vec<Finding>, Vec<LockEdge>) {
     let mut findings = Vec::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
     let mut i = 0;
     while i < sig.len() {
         if sig[i].text == "fn" && !in_ranges(test_ranges, sig[i].tok.start) {
             let name = sig.get(i + 1).map_or_else(|| "?".to_string(), |s| s.text.to_string());
             // The body opens at the first `{` outside the parameter list.
-            let mut j = i + 1;
-            let mut paren = 0usize;
-            let body = loop {
-                match sig.get(j).map(|s| s.text) {
-                    None | Some(";") if paren == 0 => break None, // trait method, no body
-                    None => break None,
-                    Some("(") => paren += 1,
-                    Some(")") => paren = paren.saturating_sub(1),
-                    Some("{") if paren == 0 => break Some(j),
-                    _ => {}
-                }
-                j += 1;
-            };
-            let Some(open) = body else {
+            let Some(open) = body_open(sig, i) else {
                 i += 1;
                 continue;
             };
-            let end = scan_function(file, src, sig, map, open, &name, graph, &mut findings);
+            let end = scan_function(file, src, sig, map, open, &name, &mut edges, &mut findings);
             i = end;
             continue;
         }
         i += 1;
     }
-    findings
+    (findings, edges)
+}
+
+/// Index of the `{` opening the body of the `fn` at `sig[at]`, skipping
+/// the parameter list; `None` for trait methods without a body.
+pub(crate) fn body_open(sig: &[Sig<'_>], at: usize) -> Option<usize> {
+    let mut j = at + 1;
+    let mut paren = 0usize;
+    loop {
+        match sig.get(j).map(|s| s.text) {
+            None | Some(";") if paren == 0 => return None,
+            None => return None,
+            Some("(") => paren += 1,
+            Some(")") => paren = paren.saturating_sub(1),
+            Some("{") if paren == 0 => return Some(j),
+            _ => {}
+        }
+        j += 1;
+    }
 }
 
 fn in_ranges(ranges: &[(usize, usize)], offset: usize) -> bool {
@@ -184,7 +221,7 @@ fn in_ranges(ranges: &[(usize, usize)], offset: usize) -> bool {
 
 /// The dotted receiver path ending just before `sig[dot]` (the `.` in
 /// front of `lock`): collects `ident (. ident)*` right-to-left.
-fn receiver_path(sig: &[Sig<'_>], dot: usize) -> Option<(String, usize)> {
+pub(crate) fn receiver_path(sig: &[Sig<'_>], dot: usize) -> Option<(String, usize)> {
     let mut parts: Vec<&str> = Vec::new();
     let mut k = dot; // index of the `.` before `lock`
     loop {
@@ -213,7 +250,7 @@ fn scan_function(
     map: &LineMap,
     open: usize,
     function: &str,
-    graph: &mut LockGraph,
+    edges: &mut Vec<LockEdge>,
     findings: &mut Vec<Finding>,
 ) -> usize {
     let mut held: Vec<Held> = Vec::new();
@@ -252,10 +289,11 @@ fn scan_function(
             if let Some((lock, recv_start)) = receiver_path(sig, i - 1) {
                 let (line, col) = map.line_col(src, s.tok.start);
                 for h in &held {
-                    if h.lock != lock {
-                        let edge = Edge { held: h.lock.clone(), acquired: lock.clone() };
-                        graph.edges.entry(edge).or_insert_with(|| Site {
-                            file: file.to_string(),
+                    let seen = edges.iter().any(|e| e.held == h.lock && e.acquired == lock);
+                    if h.lock != lock && !seen {
+                        edges.push(LockEdge {
+                            held: h.lock.clone(),
+                            acquired: lock.clone(),
                             line,
                             col,
                             function: function.to_string(),
@@ -302,7 +340,7 @@ fn scan_function(
 
 /// For an acquisition whose receiver starts at `sig[recv_start]`, find
 /// a `let [mut] <g> =` immediately before it and return `<g>`.
-fn guard_binding(sig: &[Sig<'_>], recv_start: usize) -> Option<String> {
+pub(crate) fn guard_binding(sig: &[Sig<'_>], recv_start: usize) -> Option<String> {
     let eq = recv_start.checked_sub(1)?;
     if sig[eq].text != "=" {
         return None;

@@ -63,6 +63,13 @@ impl Suppressions {
     pub fn covers(&self, finding: &Finding) -> bool {
         self.allowed.get(&finding.line).is_some_and(|rules| rules.contains(finding.rule))
     }
+
+    /// The per-line allow map as a plain sorted list, for file
+    /// summaries (the taint pass uses it as its propagation-boundary
+    /// and emission filter, and the lint cache persists it).
+    pub fn allowed_lines(&self) -> Vec<(usize, Vec<String>)> {
+        self.allowed.iter().map(|(&line, rules)| (line, rules.iter().cloned().collect())).collect()
+    }
 }
 
 /// Scan a file's comment tokens for suppressions. Returns the

@@ -1,0 +1,464 @@
+//! Fixed-point taint propagation over the call graph, and the four
+//! interprocedural rules it powers (DESIGN.md §15):
+//!
+//! - **panic-reach** — a call in a panic-protected file must not reach
+//!   a panicking site (unwrap/expect/`panic!`-family) in any transitive
+//!   callee;
+//! - **det-taint** — a call in a replay-contract file must not reach a
+//!   nondeterministic source (`HashMap`/`HashSet`, `SystemTime`/
+//!   `Instant`, `std::env`, `thread::current`);
+//! - **lock-across-call** — a call made while holding a lock must not
+//!   reach blocking I/O, nor a (re-)acquire of a lock already held, in
+//!   any transitive callee;
+//! - **alloc-in-hot-loop** — an allocation-shaped construct, direct or
+//!   via any transitive callee, inside a loop of a hot-path file.
+//!
+//! The lattice per function is four booleans (panics / nondet / does
+//! I/O / allocates) plus the set of lock names transitively acquired;
+//! all five facts only ever grow, so the worklist converges. An
+//! audited `// mb-lint: allow(<rule>) -- why` is a **propagation
+//! boundary**: at a taint site it stops the fact from entering the
+//! function, at a call site it stops the callee's fact from flowing
+//! into the caller — so one audit at the right boundary clears every
+//! transitive caller, instead of each caller re-suppressing.
+//!
+//! Findings are emitted at the *call site* in the protected file, with
+//! a witness path (capped) showing one concrete route to the offending
+//! site, and the callee name as the excerpt so spans slice exactly.
+
+use crate::analyzer::RuleSet;
+use crate::findings::Finding;
+use crate::graph::{DefId, Graph};
+use crate::items::{FileSummary, SiteKind};
+use std::collections::BTreeSet;
+
+/// Transitive facts for one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Facts {
+    panics: bool,
+    nondet: bool,
+    does_io: bool,
+    allocates: bool,
+    /// Qualified lock names this function (transitively) acquires.
+    acquires: BTreeSet<String>,
+}
+
+/// Witness-path length cap (hops shown in a finding message).
+const WITNESS_CAP: usize = 6;
+
+/// Map a local site to the facts it seeds and the allow rule that can
+/// stop it from seeding.
+fn site_rule(kind: SiteKind) -> &'static str {
+    match kind {
+        SiteKind::Panic => "panic-reach",
+        SiteKind::Nondet => "det-taint",
+        SiteKind::Io => "lock-across-call",
+        SiteKind::Alloc => "alloc-in-hot-loop",
+    }
+}
+
+/// Run the four interprocedural rules over the summarized workspace.
+/// `files` must be in sorted-file order; `rules[i]` is the rule set of
+/// `files[i]`. Returned findings are unsorted (the caller merges and
+/// sorts them with the token-level ones).
+pub fn run(files: &[(String, FileSummary)], rules: &[RuleSet], graph: &Graph) -> Vec<Finding> {
+    let mut facts: Vec<Vec<Facts>> =
+        files.iter().map(|(_, s)| vec![Facts::default(); s.fns.len()]).collect();
+
+    // Seed local facts, honouring allow boundaries at the site line.
+    for (fi, (_, summary)) in files.iter().enumerate() {
+        for (di, item) in summary.fns.iter().enumerate() {
+            let f = &mut facts[fi][di];
+            for site in &item.sites {
+                if summary.allows(site_rule(site.kind), site.line) {
+                    continue;
+                }
+                match site.kind {
+                    SiteKind::Panic => f.panics = true,
+                    SiteKind::Nondet => f.nondet = true,
+                    SiteKind::Io => f.does_io = true,
+                    SiteKind::Alloc => f.allocates = true,
+                }
+            }
+            f.acquires.extend(item.acquires.iter().cloned());
+        }
+    }
+
+    // Fixed point: propagate callee facts into callers until stable.
+    // Facts only grow, so this terminates; the workspace graph is
+    // small enough that whole-sweep iteration beats worklist overhead.
+    loop {
+        let mut changed = false;
+        for (fi, (_, summary)) in files.iter().enumerate() {
+            for (di, item) in summary.fns.iter().enumerate() {
+                for (ci, call) in item.calls.iter().enumerate() {
+                    let Some(callee) = graph.resolved[fi][di][ci] else { continue };
+                    let from = facts[callee.0][callee.1].clone();
+                    let f = &mut facts[fi][di];
+                    let blocked = |rule: &str| summary.allows(rule, call.line);
+                    if from.panics && !f.panics && !blocked("panic-reach") {
+                        f.panics = true;
+                        changed = true;
+                    }
+                    if from.nondet && !f.nondet && !blocked("det-taint") {
+                        f.nondet = true;
+                        changed = true;
+                    }
+                    if !blocked("lock-across-call") {
+                        if from.does_io && !f.does_io {
+                            f.does_io = true;
+                            changed = true;
+                        }
+                        for lock in &from.acquires {
+                            if f.acquires.insert(lock.clone()) {
+                                changed = true;
+                            }
+                        }
+                    }
+                    if from.allocates && !f.allocates && !blocked("alloc-in-hot-loop") {
+                        f.allocates = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // A deterministic witness route for `rule` starting at `def`:
+    // prefer the first local site of the right kind, else descend into
+    // the first tainted resolved call edge.
+    let witness = |start: DefId, kind: SiteKind| -> String {
+        let has_fact = |id: DefId| {
+            let f = &facts[id.0][id.1];
+            match kind {
+                SiteKind::Panic => f.panics,
+                SiteKind::Nondet => f.nondet,
+                SiteKind::Io => f.does_io,
+                SiteKind::Alloc => f.allocates,
+            }
+        };
+        let mut path = Vec::new();
+        let mut seen = BTreeSet::new();
+        let mut at = start;
+        while seen.insert(at) && path.len() < WITNESS_CAP {
+            let (file, summary) = &files[at.0];
+            let item = &summary.fns[at.1];
+            if let Some(site) = item
+                .sites
+                .iter()
+                .find(|s| s.kind == kind && !summary.allows(site_rule(kind), s.line))
+            {
+                path.push(format!("`{}` ({}:{})", item.name, file, item.line));
+                path.push(format!("`{}` at {}:{}", site.what, file, site.line));
+                return path.join(" -> ");
+            }
+            let next = item.calls.iter().enumerate().find_map(|(ci, call)| {
+                let callee = graph.resolved[at.0][at.1][ci]?;
+                let ok = has_fact(callee) && !summary.allows(site_rule(kind), call.line);
+                ok.then_some(callee)
+            });
+            path.push(format!("`{}` ({}:{})", item.name, file, item.line));
+            match next {
+                Some(n) => at = n,
+                None => break,
+            }
+        }
+        path.push("…".to_string());
+        path.join(" -> ")
+    };
+
+    let mut findings = Vec::new();
+    for (fi, (file, summary)) in files.iter().enumerate() {
+        let r = rules[fi];
+        for (di, item) in summary.fns.iter().enumerate() {
+            for (ci, call) in item.calls.iter().enumerate() {
+                let Some(callee) = graph.resolved[fi][di][ci] else { continue };
+                let cf = &facts[callee.0][callee.1];
+                let emit = |rule: &'static str, message: String, out: &mut Vec<Finding>| {
+                    out.push(Finding {
+                        rule,
+                        file: file.clone(),
+                        line: call.line,
+                        col: call.col,
+                        message,
+                        excerpt: call.name.clone(),
+                    });
+                };
+                if r.panic_reach && cf.panics && !summary.allows("panic-reach", call.line) {
+                    emit(
+                        "panic-reach",
+                        format!(
+                            "call to `{}` (in `{}`) can reach a panic: {}; make the callee \
+                             chain return a typed error, or audit the boundary with an allow",
+                            call.name,
+                            item.name,
+                            witness(callee, SiteKind::Panic)
+                        ),
+                        &mut findings,
+                    );
+                }
+                if r.det_taint && cf.nondet && !summary.allows("det-taint", call.line) {
+                    emit(
+                        "det-taint",
+                        format!(
+                            "call to `{}` (in `{}`) reaches a nondeterministic source: {}; \
+                             replay-contract paths must stay bit-identical — thread the value \
+                             through or use an ordered structure",
+                            call.name,
+                            item.name,
+                            witness(callee, SiteKind::Nondet)
+                        ),
+                        &mut findings,
+                    );
+                }
+                if r.lock_across_call
+                    && !call.held.is_empty()
+                    && !summary.allows("lock-across-call", call.line)
+                {
+                    if cf.does_io {
+                        emit(
+                            "lock-across-call",
+                            format!(
+                                "call to `{}` while holding lock(s) {} (in `{}`) reaches \
+                                 blocking I/O: {}; release the lock before the call",
+                                call.name,
+                                call.held.join(", "),
+                                item.name,
+                                witness(callee, SiteKind::Io)
+                            ),
+                            &mut findings,
+                        );
+                    } else if let Some(lock) = cf.acquires.iter().find(|l| call.held.contains(l)) {
+                        emit(
+                            "lock-across-call",
+                            format!(
+                                "call to `{}` while holding `{lock}` (in `{}`) re-acquires \
+                                 `{lock}` in a callee — self-deadlock; release the lock before \
+                                 the call or pass the guard down",
+                                call.name, item.name
+                            ),
+                            &mut findings,
+                        );
+                    }
+                }
+                if r.alloc_hot_loop
+                    && call.in_loop
+                    && cf.allocates
+                    && !summary.allows("alloc-in-hot-loop", call.line)
+                {
+                    emit(
+                        "alloc-in-hot-loop",
+                        format!(
+                            "call to `{}` inside a loop of this hot path allocates: {}; hoist \
+                             the allocation out of the loop or reuse a buffer",
+                            call.name,
+                            witness(callee, SiteKind::Alloc)
+                        ),
+                        &mut findings,
+                    );
+                }
+            }
+            // Local allocation sites in hot-path loops (no call edge
+            // needed; the site itself is the violation).
+            if r.alloc_hot_loop {
+                for site in &item.sites {
+                    if site.kind == SiteKind::Alloc
+                        && site.in_loop
+                        && !summary.allows("alloc-in-hot-loop", site.line)
+                    {
+                        findings.push(Finding {
+                            rule: "alloc-in-hot-loop",
+                            file: file.clone(),
+                            line: site.line,
+                            col: site.col,
+                            message: format!(
+                                "`{}` allocates on every iteration of a hot-path loop (in \
+                                 `{}`); hoist the allocation out of the loop or reuse a buffer",
+                                site.what, item.name
+                            ),
+                            excerpt: site.what.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::summarize_file;
+
+    /// Summarize `files`, run taint with `protected` rule flags on the
+    /// first file and defaults on the rest.
+    fn lint(files: &[(&str, &str)], protected: RuleSet) -> Vec<Finding> {
+        let summaries: Vec<(String, FileSummary)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), summarize_file(p, s, RuleSet::none())))
+            .collect();
+        let mut rules = vec![RuleSet::none(); files.len()];
+        rules[0] = protected;
+        let graph = Graph::build(&summaries);
+        run(&summaries, &rules, &graph)
+    }
+
+    fn panic_reach() -> RuleSet {
+        RuleSet { panic_reach: true, ..RuleSet::default() }
+    }
+
+    #[test]
+    fn panic_two_hops_deep_is_reached() {
+        let f = lint(
+            &[
+                ("crates/serve/src/worker.rs", "fn work() { outer(); }"),
+                (
+                    "crates/core/src/helper.rs",
+                    "pub fn outer() { inner(); }\nfn inner(x: Option<u32>) { x.unwrap(); }",
+                ),
+            ],
+            panic_reach(),
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "panic-reach");
+        assert_eq!(f[0].excerpt, "outer");
+        assert!(f[0].message.contains("unwrap"), "{}", f[0].message);
+        assert!(f[0].message.contains("crates/core/src/helper.rs"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn allow_at_the_boundary_stops_propagation() {
+        let f = lint(
+            &[
+                ("crates/serve/src/worker.rs", "fn work() { outer(); }"),
+                (
+                    "crates/core/src/helper.rs",
+                    "pub fn outer() {\n    // mb-lint: allow(panic-reach) -- input validated by caller\n    inner();\n}\nfn inner(x: Option<u32>) { x.unwrap(); }",
+                ),
+            ],
+            panic_reach(),
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allow_at_the_call_site_silences_but_keeps_others() {
+        let f = lint(
+            &[
+                (
+                    "crates/serve/src/worker.rs",
+                    "fn a() {\n    // mb-lint: allow(panic-reach) -- audited: spawn-time only\n    outer();\n}\nfn b() { outer(); }",
+                ),
+                ("crates/core/src/helper.rs", "pub fn outer(x: Option<u32>) { x.unwrap(); }"),
+            ],
+            panic_reach(),
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn det_taint_sees_hash_through_a_call() {
+        let f = lint(
+            &[
+                ("crates/core/src/reweight.rs", "fn step() { tally(); }"),
+                ("crates/common/src/util.rs", "pub fn tally() { let m = HashMap::new(); }"),
+            ],
+            RuleSet { det_taint: true, ..RuleSet::default() },
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "det-taint");
+        assert!(f[0].message.contains("HashMap"));
+    }
+
+    #[test]
+    fn lock_across_call_reaches_io_in_a_callee() {
+        let f = lint(
+            &[
+                (
+                    "crates/serve/src/server.rs",
+                    "impl S { fn f(&self) {\n    let g = self.state.lock().unwrap_or_else(|e| e.into_inner());\n    flush_all();\n} }",
+                ),
+                (
+                    "crates/serve/src/io.rs",
+                    "pub fn flush_all(w: &mut W) { w.flush(); }",
+                ),
+            ],
+            RuleSet { lock_across_call: true, ..RuleSet::default() },
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "lock-across-call");
+        assert!(f[0].message.contains("S.state"), "{}", f[0].message);
+        assert!(f[0].message.contains("blocking I/O"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn lock_across_call_catches_reacquire() {
+        let src = "impl S {\n    fn f(&self) {\n        let g = self.state.lock().unwrap_or_else(|e| e.into_inner());\n        self.g();\n    }\n    fn g(&self) {\n        let h = self.state.lock().unwrap_or_else(|e| e.into_inner());\n    }\n}";
+        let f = lint(
+            &[("crates/serve/src/server.rs", src)],
+            RuleSet { lock_across_call: true, ..RuleSet::default() },
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("re-acquires"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn calls_without_held_locks_are_clean() {
+        let f = lint(
+            &[
+                ("crates/serve/src/server.rs", "fn f(w: &mut W) { flush_all(w); }"),
+                ("crates/serve/src/io.rs", "pub fn flush_all(w: &mut W) { w.flush(); }"),
+            ],
+            RuleSet { lock_across_call: true, ..RuleSet::default() },
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn alloc_in_hot_loop_fires_locally_and_through_calls() {
+        let f = lint(
+            &[
+                (
+                    "crates/tensor/src/kernels.rs",
+                    "fn k(n: usize) {\n    for i in 0..n {\n        let v = vec![0; i];\n        helper();\n    }\n}",
+                ),
+                ("crates/tensor/src/util.rs", "pub fn helper() -> String { x.to_string() }"),
+            ],
+            RuleSet { alloc_hot_loop: true, ..RuleSet::default() },
+        );
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["alloc-in-hot-loop", "alloc-in-hot-loop"], "{f:?}");
+        assert!(f.iter().any(|x| x.excerpt == "vec"));
+        assert!(f.iter().any(|x| x.excerpt == "helper"));
+    }
+
+    #[test]
+    fn alloc_outside_the_loop_is_fine() {
+        let f = lint(
+            &[(
+                "crates/tensor/src/kernels.rs",
+                "fn k(n: usize) {\n    let mut v = vec![0; n];\n    for i in 0..n { v.fill(i as f32); }\n}",
+            )],
+            RuleSet { alloc_hot_loop: true, ..RuleSet::default() },
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let f = lint(
+            &[(
+                "crates/serve/src/worker.rs",
+                "fn a(n: u32) { b(n); }\nfn b(n: u32) { a(n); x.unwrap(); }",
+            )],
+            panic_reach(),
+        );
+        assert!(f.iter().all(|x| x.rule == "panic-reach"));
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+}

@@ -1,4 +1,5 @@
-//! Workspace walking and the per-crate rule map.
+//! Workspace walking, the per-crate rule map, and the full lint run
+//! (token-level pass + interprocedural taint + incremental cache).
 //!
 //! The map encodes which guarantees each part of the workspace has
 //! signed up for (DESIGN.md §10):
@@ -8,7 +9,7 @@
 //!   `crates/tensor/src/serialize.rs`, `crates/kb/src/store.rs`);
 //! - **determinism** in every crate covered by the bit-identical
 //!   resume guarantee (`tensor`, `core`, `datagen`, `nlg`, `kb`,
-//!   `eval`, `par`);
+//!   `eval`, `par`, `store`);
 //! - **lock discipline** across `crates/serve/src`;
 //! - the **unsafe gate** workspace-wide;
 //! - **float total order** workspace-wide (tests exempt): a
@@ -31,14 +32,31 @@
 //!   bounded-RAM streaming verification, so `read_to_end`-style
 //!   whole-file loads there silently break the promise at
 //!   million-entity scale.
+//!
+//! The interprocedural families ([`crate::taint`], DESIGN.md §15):
+//!
+//! - **panic-reach** everywhere panic-freedom applies, plus the store
+//!   load paths and the loadgen driver (a panicking helper two calls
+//!   below a serve worker is just as fatal as an inline `unwrap`);
+//! - **det-taint** in every determinism crate (a nondeterministic
+//!   helper called from a replay path breaks replay just as surely);
+//! - **lock-across-call** wherever lock discipline applies;
+//! - **alloc-in-hot-loop** in the hot kernel/batch-drain files.
 
-use crate::analyzer::{analyze_file, RuleSet};
+use crate::analyzer::{self, RuleSet};
+use crate::cache::{self, Cache};
 use crate::findings::Finding;
+use crate::graph::Graph;
+use crate::items::FileSummary;
 use crate::locks::LockGraph;
+use crate::taint;
+use std::collections::BTreeSet;
+use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` falls under the determinism family.
-const DETERMINISM_CRATES: &[&str] = &["tensor", "core", "datagen", "nlg", "kb", "eval", "par"];
+const DETERMINISM_CRATES: &[&str] =
+    &["tensor", "core", "datagen", "nlg", "kb", "eval", "par", "store"];
 
 /// Files (beyond `crates/serve/src`) on the panic-free path.
 const PANIC_FREE_FILES: &[&str] = &[
@@ -52,6 +70,20 @@ const PANIC_FREE_FILES: &[&str] = &[
 /// with must themselves never allocate a tape or copy parameters.
 const TAPE_FREE_FILES: &[&str] =
     &["crates/tensor/src/frozen.rs", "crates/tensor/src/quant.rs", "crates/encoders/src/frozen.rs"];
+
+/// Paths (beyond the panic-freedom set) protected by `panic-reach`:
+/// the store load paths keep serving under churn, and the loadgen
+/// driver's panics abort a whole measurement run.
+const PANIC_REACH_EXTRA: &[&str] = &["crates/store/src/", "crates/bench/src/bin/loadgen.rs"];
+
+/// Hot-path files protected by `alloc-in-hot-loop`: the kernel inner
+/// loops, the frozen forwards, and the serve batch drain.
+const HOT_LOOP_FILES: &[&str] = &[
+    "crates/tensor/src/kernels.rs",
+    "crates/tensor/src/frozen.rs",
+    "crates/encoders/src/frozen.rs",
+    "crates/serve/src/queue.rs",
+];
 
 /// The rule families enforced for a workspace-relative path
 /// (`/`-separated).
@@ -80,6 +112,13 @@ pub fn rules_for(rel_path: &str) -> RuleSet {
     if rel_path.starts_with("crates/store/src/") {
         rules.unbounded_read = true;
     }
+    rules.panic_reach = rules.panic_freedom
+        || PANIC_REACH_EXTRA
+            .iter()
+            .any(|p| rel_path.starts_with(p) || rel_path == p.trim_end_matches('/'));
+    rules.det_taint = rules.determinism;
+    rules.lock_across_call = rules.lock_discipline;
+    rules.alloc_hot_loop = HOT_LOOP_FILES.contains(&rel_path);
     rules
 }
 
@@ -114,20 +153,161 @@ pub fn rust_files(root: &Path) -> Vec<String> {
     out
 }
 
-/// Lint the whole workspace rooted at `root`. Findings are sorted by
-/// (file, line, col, rule).
-pub fn run(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let mut graph = LockGraph::new();
-    for rel in rust_files(root) {
-        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else { continue };
-        findings.extend(analyze_file(&rel, &src, rules_for(&rel), Some(&mut graph)));
+/// Knobs for a full lint run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker threads for per-file analysis (`0`/`1` → sequential).
+    /// Output is byte-identical at any thread count: files are
+    /// assigned round-robin and merged back by index.
+    pub threads: usize,
+    /// Incremental cache file; `None` disables caching entirely.
+    pub cache_path: Option<PathBuf>,
+}
+
+/// What a run did, for `--timing` and the CI cache check.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Files analyzed (cached + cold).
+    pub files: usize,
+    /// Files served from the cache.
+    pub cached: usize,
+    /// Wall-clock of the whole run, milliseconds.
+    pub analysis_ms: u128,
+}
+
+/// A lint run that could not produce a trustworthy report.
+#[derive(Debug)]
+pub enum RunError {
+    /// Workspace files that could not be read (missing, permission,
+    /// non-UTF-8). A silently skipped file would silently skip its
+    /// violations, so this is fatal.
+    Unreadable(Vec<(String, String)>),
+    /// The cache file could not be persisted.
+    Cache(String, String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Unreadable(files) => {
+                writeln!(f, "cannot analyze {} workspace file(s):", files.len())?;
+                for (file, err) in files {
+                    writeln!(f, "  {file}: {err}")?;
+                }
+                write!(f, "a skipped file would skip its violations; fix or remove the file(s)")
+            }
+            RunError::Cache(path, err) => write!(f, "cannot write lint cache {path}: {err}"),
+        }
     }
-    findings.extend(graph.finish());
+}
+
+/// Lint the whole workspace rooted at `root` with default options (no
+/// cache, sequential). Findings are sorted by (file, line, col, rule).
+pub fn run(root: &Path) -> Result<Vec<Finding>, RunError> {
+    run_with(root, &RunOptions::default()).map(|(findings, _)| findings)
+}
+
+/// Lint the whole workspace rooted at `root`.
+pub fn run_with(root: &Path, opts: &RunOptions) -> Result<(Vec<Finding>, RunStats), RunError> {
+    let start = std::time::Instant::now();
+    let mut sources: Vec<(String, String)> = Vec::new();
+    let mut unreadable: Vec<(String, String)> = Vec::new();
+    for rel in rust_files(root) {
+        match std::fs::read_to_string(root.join(&rel)) {
+            Ok(src) => sources.push((rel, src)),
+            Err(e) => unreadable.push((rel, e.to_string())),
+        }
+    }
+    if !unreadable.is_empty() {
+        return Err(RunError::Unreadable(unreadable));
+    }
+
+    let mut cache = match &opts.cache_path {
+        Some(path) => Cache::load(path),
+        None => Cache::empty(),
+    };
+    let hashes: Vec<u64> = sources.iter().map(|(_, src)| cache::fnv64(src.as_bytes())).collect();
+    let mut slots: Vec<Option<FileSummary>> = vec![None; sources.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    let mut cached = 0usize;
+    for (i, (rel, _)) in sources.iter().enumerate() {
+        match cache.get(rel, hashes[i]) {
+            Some(hit) => {
+                slots[i] = Some(hit.clone());
+                cached += 1;
+            }
+            None => misses.push(i),
+        }
+    }
+
+    let threads = opts.threads.max(1).min(misses.len().max(1));
+    if threads == 1 {
+        for &i in &misses {
+            let (rel, src) = &sources[i];
+            slots[i] = Some(analyzer::summarize_file(rel, src, rules_for(rel)));
+        }
+    } else {
+        // Round-robin assignment, merged back by index: the result is
+        // byte-identical to the sequential pass at any thread count.
+        let computed: Vec<Vec<(usize, FileSummary)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let misses = &misses;
+                    let sources = &sources;
+                    scope.spawn(move || {
+                        misses
+                            .iter()
+                            .enumerate()
+                            .filter(|(k, _)| k % threads == t)
+                            .map(|(_, &i)| {
+                                let (rel, src) = &sources[i];
+                                (i, analyzer::summarize_file(rel, src, rules_for(rel)))
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for chunk in computed {
+            for (i, summary) in chunk {
+                slots[i] = Some(summary);
+            }
+        }
+    }
+    let summaries: Vec<(String, FileSummary)> =
+        sources.iter().zip(slots).map(|((rel, _), slot)| (rel.clone(), slot.unwrap())).collect();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut lock_graph = LockGraph::new();
+    for (rel, summary) in &summaries {
+        findings.extend(summary.findings.iter().cloned());
+        for edge in &summary.lock_edges {
+            lock_graph.insert(rel, edge);
+        }
+    }
+    findings.extend(lock_graph.finish());
+    let rulesets: Vec<RuleSet> = summaries.iter().map(|(rel, _)| rules_for(rel)).collect();
+    let call_graph = Graph::build(&summaries);
+    findings.extend(taint::run(&summaries, &rulesets, &call_graph));
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
     });
-    findings
+
+    if let Some(path) = &opts.cache_path {
+        let keep: BTreeSet<String> = summaries.iter().map(|(rel, _)| rel.clone()).collect();
+        for (i, (rel, summary)) in summaries.iter().enumerate() {
+            cache.put(rel.clone(), hashes[i], summary.clone());
+        }
+        cache.retain_files(&keep);
+        if let Err(e) = cache.save(path) {
+            return Err(RunError::Cache(path.display().to_string(), e.to_string()));
+        }
+    }
+
+    let stats =
+        RunStats { files: summaries.len(), cached, analysis_ms: start.elapsed().as_millis() };
+    Ok((findings, stats))
 }
 
 /// Locate the workspace root: the nearest ancestor of `start` whose
@@ -192,6 +372,7 @@ mod tests {
         assert!(rules_for("crates/core/src/reweight.rs").determinism);
         assert!(rules_for("crates/kb/src/index.rs").determinism);
         assert!(rules_for("crates/par/src/lib.rs").determinism);
+        assert!(rules_for("crates/store/src/shard.rs").determinism);
         assert!(!rules_for("crates/serve/src/server.rs").determinism);
         assert!(!rules_for("crates/common/src/lru.rs").determinism);
         // Tests and benches are outside every family but the unsafe
@@ -216,5 +397,38 @@ mod tests {
         assert!(rules_for("crates/serve/src/server.rs").float_total_order);
         assert!(rules_for("crates/common/src/util.rs").float_total_order);
         assert!(rules_for("src/bin/metablink.rs").float_total_order);
+    }
+
+    #[test]
+    fn panic_reach_covers_serve_store_checkpoints_and_loadgen() {
+        assert!(rules_for("crates/serve/src/worker.rs").panic_reach);
+        assert!(rules_for("crates/store/src/shard.rs").panic_reach);
+        assert!(rules_for("crates/tensor/src/checkpoint.rs").panic_reach);
+        assert!(rules_for("crates/bench/src/bin/loadgen.rs").panic_reach);
+        assert!(!rules_for("crates/encoders/src/train.rs").panic_reach);
+        assert!(!rules_for("crates/serve/tests/chaos.rs").panic_reach);
+    }
+
+    #[test]
+    fn det_taint_follows_the_determinism_family() {
+        assert!(rules_for("crates/core/src/reweight.rs").det_taint);
+        assert!(rules_for("crates/store/src/shard.rs").det_taint);
+        assert!(!rules_for("crates/serve/src/server.rs").det_taint);
+        assert!(!rules_for("crates/common/src/lru.rs").det_taint);
+    }
+
+    #[test]
+    fn lock_across_call_follows_lock_discipline() {
+        assert!(rules_for("crates/serve/src/server.rs").lock_across_call);
+        assert!(!rules_for("crates/core/src/linker.rs").lock_across_call);
+    }
+
+    #[test]
+    fn hot_loop_files_get_the_alloc_rule() {
+        for f in HOT_LOOP_FILES {
+            assert!(rules_for(f).alloc_hot_loop, "{f}");
+        }
+        assert!(!rules_for("crates/tensor/src/optim.rs").alloc_hot_loop);
+        assert!(!rules_for("crates/serve/src/server.rs").alloc_hot_loop);
     }
 }

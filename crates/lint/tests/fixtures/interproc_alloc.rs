@@ -1,0 +1,42 @@
+//! Seeded alloc-in-hot-loop fixture: a loop calling an allocating
+//! callee, a direct allocation in a loop, an audited boundary, and a
+//! hoisted fixed variant.
+
+pub fn hot(n: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.extend(make(i));
+    }
+    out
+}
+
+fn make(i: usize) -> Vec<u32> {
+    vec![i as u32]
+}
+
+pub fn direct(n: usize) -> usize {
+    let mut total = 0;
+    for i in 0..n {
+        let s = format!("{i}");
+        total += s.len();
+    }
+    total
+}
+
+pub fn audited(n: usize) -> usize {
+    let mut total = 0;
+    for i in 0..n {
+        // mb-lint: allow(alloc-in-hot-loop) -- fixture: audited boundary
+        total += make(i).len();
+    }
+    total
+}
+
+pub fn hoisted(n: usize) -> u64 {
+    let buf = vec![0u64; n];
+    let mut acc = 0;
+    for v in &buf {
+        acc += *v;
+    }
+    acc
+}

@@ -1,0 +1,25 @@
+//! Seeded det-taint fixture: a replay path reaching a HashMap through
+//! a callee, an audited boundary, and an ordered fixed variant.
+
+pub fn replay_entry() -> usize {
+    stats()
+}
+
+fn stats() -> usize {
+    let m = std::collections::HashMap::<u32, u32>::new();
+    m.len()
+}
+
+pub fn audited_entry() -> usize {
+    // mb-lint: allow(det-taint) -- fixture: audited boundary
+    stats()
+}
+
+pub fn fixed_entry() -> usize {
+    ordered()
+}
+
+fn ordered() -> usize {
+    let m = std::collections::BTreeMap::<u32, u32>::new();
+    m.len()
+}

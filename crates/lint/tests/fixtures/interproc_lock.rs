@@ -1,0 +1,45 @@
+//! Seeded lock-across-call fixture: a guard held across a call that
+//! reaches I/O, one that re-acquires the same lock, an audited
+//! boundary, and a release-first fixed variant.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct S {
+    state: Mutex<u32>,
+}
+
+impl S {
+    pub fn held_io(&self, w: &mut impl Write) {
+        let g = self.state.lock();
+        self.flush_all(w);
+        drop(g);
+    }
+
+    fn flush_all(&self, w: &mut impl Write) {
+        let _ = w.write_all(b"x");
+    }
+
+    pub fn held_reacquire(&self) {
+        let g = self.state.lock();
+        self.bump();
+        drop(g);
+    }
+
+    fn bump(&self) {
+        let _g = self.state.lock();
+    }
+
+    pub fn audited(&self, w: &mut impl Write) {
+        let g = self.state.lock();
+        // mb-lint: allow(lock-across-call) -- fixture: audited boundary
+        self.flush_all(w);
+        drop(g);
+    }
+
+    pub fn released(&self, w: &mut impl Write) {
+        let g = self.state.lock();
+        drop(g);
+        self.flush_all(w);
+    }
+}

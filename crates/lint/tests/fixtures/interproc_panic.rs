@@ -1,0 +1,23 @@
+//! Seeded panic-reach fixture: entrypoints reaching a transitive
+//! panic, an audited boundary, and a fixed variant.
+
+pub fn entry(x: Option<u32>) -> u32 {
+    helper(x)
+}
+
+fn helper(x: Option<u32>) -> u32 {
+    deep(x)
+}
+
+fn deep(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn audited(x: Option<u32>) -> u32 {
+    // mb-lint: allow(panic-reach) -- fixture: audited boundary
+    helper(x)
+}
+
+pub fn fixed(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

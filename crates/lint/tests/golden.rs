@@ -7,7 +7,9 @@
 
 use mb_lint::analyzer::{analyze_file, RuleSet};
 use mb_lint::findings::to_json;
+use mb_lint::graph::Graph;
 use mb_lint::locks::LockGraph;
+use mb_lint::{summarize_file, taint, FileSummary};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -172,6 +174,69 @@ fn lock_discipline_golden() {
     assert_eq!(cycle, vec!["s.a -> s.b", "s.b -> s.a"]);
 }
 
+// --- Interprocedural golden fixtures ----------------------------------
+
+/// Run one fixture through the full interprocedural pipeline as if it
+/// were a protected `src/` file with `rules` enabled.
+fn interproc(name: &str, rules: RuleSet) -> Vec<mb_lint::Finding> {
+    let src = fixture(name);
+    let file = format!("crates/x/src/{name}");
+    let summaries: Vec<(String, FileSummary)> =
+        vec![(file.clone(), summarize_file(&file, &src, rules))];
+    let graph = Graph::build(&summaries);
+    taint::run(&summaries, &[rules], &graph)
+}
+
+#[test]
+fn panic_reach_golden() {
+    let rules = RuleSet { panic_reach: true, ..RuleSet::none() };
+    let found = interproc("interproc_panic.rs", rules);
+    assert_eq!(
+        spans(&found),
+        vec![("panic-reach", 5, 5), ("panic-reach", 9, 5)],
+        "audited (line 18) and fixed (line 22) variants must stay silent"
+    );
+    assert!(found[0].message.contains("unwrap"), "witness path: {}", found[0].message);
+    assert!(found[0].message.contains("deep"), "witness path: {}", found[0].message);
+}
+
+#[test]
+fn det_taint_golden() {
+    let rules = RuleSet { det_taint: true, ..RuleSet::none() };
+    let found = interproc("interproc_det.rs", rules);
+    assert_eq!(
+        spans(&found),
+        vec![("det-taint", 5, 5)],
+        "audited (line 15) and BTreeMap-backed (line 19) variants must stay silent"
+    );
+    assert!(found[0].message.contains("HashMap"), "witness path: {}", found[0].message);
+}
+
+#[test]
+fn lock_across_call_golden() {
+    let rules = RuleSet { lock_across_call: true, ..RuleSet::none() };
+    let found = interproc("interproc_lock.rs", rules);
+    assert_eq!(
+        spans(&found),
+        vec![("lock-across-call", 15, 14), ("lock-across-call", 25, 14)],
+        "audited (line 35) and release-first (line 42) variants must stay silent"
+    );
+    assert!(found[0].message.contains("I/O"), "{}", found[0].message);
+    assert!(found[1].message.contains("re-acquires"), "{}", found[1].message);
+}
+
+#[test]
+fn alloc_in_hot_loop_golden() {
+    let rules = RuleSet { alloc_hot_loop: true, ..RuleSet::none() };
+    let found = interproc("interproc_alloc.rs", rules);
+    assert_eq!(
+        spans(&found),
+        vec![("alloc-in-hot-loop", 8, 20), ("alloc-in-hot-loop", 20, 17)],
+        "audited (line 30) and hoisted (line 36) variants must stay silent"
+    );
+    assert!(found[0].message.contains("vec"), "witness path: {}", found[0].message);
+}
+
 #[test]
 fn json_report_shape() {
     let src = fixture("panic.rs");
@@ -257,6 +322,22 @@ fn binary_fails_on_seeded_violations_of_every_category() {
     for rule in ["panic-unwrap", "indexing", "lock-io", "det-hash", "unsafe-gate"] {
         assert!(json.contains(&format!("\"rule\":\"{rule}\"")), "missing {rule} in\n{json}");
     }
+}
+
+#[test]
+fn binary_exits_2_when_a_workspace_file_cannot_be_parsed() {
+    let ws = TempWs::new("unreadable", &[("crates/serve/src/good.rs", "fn f() -> u32 { 0 }\n")]);
+    // A workspace .rs file that is not UTF-8 cannot be analyzed; the
+    // run must fail loudly (exit 2) rather than silently skip it.
+    std::fs::write(ws.root.join("crates/serve/src/bad.rs"), [0x66, 0x6e, 0xff, 0xfe]).unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_mb-lint"))
+        .args(["--root", ws.root.to_str().unwrap(), "--json"])
+        .output()
+        .expect("spawn mb-lint");
+    assert_eq!(out.status.code(), Some(2), "unreadable file must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad.rs"), "stderr must name the file:\n{stderr}");
+    assert!(out.stdout.is_empty(), "no report on a failed parse");
 }
 
 #[test]

@@ -156,6 +156,11 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    // Panic transparency is this API's contract: a worker panic
+    // re-raises on the caller with its own payload, and with no worker
+    // panic every slot is filled, so the unfilled-slot expect inside
+    // run_indexed is unreachable.
+    // mb-lint: allow(panic-reach) -- panic transparency is the documented contract here
     match run_indexed(threads, n, &f) {
         Ok(v) => v,
         Err(p) => resume_unwind(p),
@@ -184,6 +189,7 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    // mb-lint: allow(panic-reach) -- worker panics become a typed Error::Worker right here
     match run_indexed(threads, items.len(), &|i| f(i, &items[i])) {
         Ok(v) => Ok(v),
         Err(p) => Err(Error::Worker(panic_message(p.as_ref()))),
@@ -249,6 +255,7 @@ where
     F: Fn(usize, &[T]) -> R + Sync,
 {
     let n = chunk_count(items.len(), chunk);
+    // mb-lint: allow(panic-reach) -- worker panics become a typed Error::Worker below
     match run_indexed(threads, n, &|ci| {
         let lo = ci * chunk;
         let hi = (lo + chunk).min(items.len());

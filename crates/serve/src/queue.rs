@@ -116,6 +116,7 @@ impl<T> BatchQueue<T> {
         let mut s = lock_recover(&self.state);
         while s.items.is_empty() {
             if s.closed {
+                // mb-lint: allow(alloc-in-hot-loop) -- shutdown return; with_capacity(0) does not allocate
                 return Drained::empty(0);
             }
             s = wait_recover(&self.available, s);

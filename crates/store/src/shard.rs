@@ -263,7 +263,11 @@ pub fn write_shard(
                 vecs.push(code as u8);
             }
         }
-        QuantMode::Exact => unreachable!("rejected by quant_token above"),
+        QuantMode::Exact => {
+            // Already rejected by quant_token above; kept as a typed
+            // error so this path can never abort a store build.
+            return Err(Error::InvalidConfig("exact quant mode is not persistable".to_string()));
+        }
     }
 
     let meta =
@@ -554,7 +558,11 @@ impl Shard {
                 let codes: Vec<i8> = code_bytes.iter().map(|&b| b as i8).collect();
                 ShardTable::Int8(QuantI8::from_raw(n, dim, codes, scales)?)
             }
-            QuantMode::Exact => unreachable!("parse_quant_token never yields Exact"),
+            QuantMode::Exact => {
+                // parse_quant_token never yields Exact; a typed error
+                // keeps the serving reload path panic-free regardless.
+                return Err(Error::Checkpoint(format!("{what}: exact quant mode in shard header")));
+            }
         };
 
         Ok(Shard {

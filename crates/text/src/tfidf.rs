@@ -35,7 +35,7 @@ impl TfIdf {
     /// Add one document's token set to the statistics.
     pub fn add_document(&mut self, doc: &str) {
         self.num_docs += 1;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for t in tokenize(doc) {
             if seen.insert(t.clone()) {
                 *self.doc_freq.entry(t).or_insert(0) += 1;

@@ -20,9 +20,15 @@ STEPS=(
     "fmt|cargo fmt --all --check"
     "clippy|cargo clippy --workspace --all-targets -- -D warnings"
     # In-repo static analysis: panic-freedom, determinism, lock
-    # discipline, unsafe gate, tape-free serving. Fails on any finding
-    # not in lint-baseline.txt — the baseline only ever shrinks.
+    # discipline, unsafe gate, tape-free serving, plus the
+    # interprocedural panic-reach / det-taint / lock-across-call /
+    # alloc-in-hot-loop rules. Fails on any finding not in
+    # lint-baseline.txt — the baseline only ever shrinks.
     "lint|cargo run -q -p mb-lint"
+    # Incremental lint cache contract: two runs against a fresh cache
+    # must report byte-identical --json, the second fully cached and no
+    # slower than the first.
+    "lint-cache|scripts/lint_cache_check.sh"
     "build|cargo build --release --workspace"
     "test|cargo test -q --workspace"
     # Bench smoke: the probe harness exercises the full pipeline

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# CI check for the mb-lint incremental cache (DESIGN.md §15): two
+# consecutive runs against a fresh cache file must produce
+# byte-identical --json reports, the second run must be served entirely
+# from the cache, and the cached run must not be slower than the cold
+# one. Findings themselves are gated by the `lint` step; here only the
+# cache contract is under test, so exit 1 (findings present) is
+# tolerated as long as both runs agree.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cache="$workdir/lint-cache.txt"
+
+run() { # $1 = cold|warm; prints the timing stats line
+    local code=0
+    cargo run -q -p mb-lint -- --json --timing --cache "$cache" \
+        >"$workdir/$1.json" 2>"$workdir/$1.err" || code=$?
+    if [[ $code -ge 2 ]]; then
+        cat "$workdir/$1.err" >&2
+        echo "lint-cache: mb-lint exited $code on the $1 run" >&2
+        exit 1
+    fi
+    grep -o 'files=[0-9]* cached=[0-9]* analysis_ms=[0-9]*' "$workdir/$1.err"
+}
+
+field() { # $1 = stats line, $2 = key
+    echo "$1" | tr ' ' '\n' | grep "^$2=" | cut -d= -f2
+}
+
+cold_stats=$(run cold)
+warm_stats=$(run warm)
+
+if ! cmp -s "$workdir/cold.json" "$workdir/warm.json"; then
+    echo "lint-cache: cold and warm --json reports differ:" >&2
+    diff "$workdir/cold.json" "$workdir/warm.json" | head >&2
+    exit 1
+fi
+
+files=$(field "$warm_stats" files)
+cached=$(field "$warm_stats" cached)
+cold_ms=$(field "$cold_stats" analysis_ms)
+warm_ms=$(field "$warm_stats" analysis_ms)
+
+if [[ "$cached" != "$files" ]]; then
+    echo "lint-cache: warm run analyzed files it should have cached ($cached/$files)" >&2
+    exit 1
+fi
+if ((warm_ms > cold_ms)); then
+    echo "lint-cache: warm run slower than cold (${warm_ms}ms > ${cold_ms}ms)" >&2
+    exit 1
+fi
+
+echo "lint-cache: ok — byte-identical reports, $cached/$files cached, ${cold_ms}ms cold / ${warm_ms}ms warm"

@@ -82,6 +82,23 @@ fn ci_script_includes_the_retrieval_smoke_stage() {
 }
 
 #[test]
+fn ci_script_runs_the_lint_cache_check_right_after_lint() {
+    let script = script_steps();
+    let lint = script.iter().position(|s| s == "cargo run -q -p mb-lint");
+    let cache = script.iter().position(|s| s == "scripts/lint_cache_check.sh");
+    assert!(lint.is_some(), "the lint stage must stay in CI");
+    assert!(
+        cache.is_some(),
+        "the lint-cache stage must verify byte-identical --json across a cold and a warm run"
+    );
+    assert_eq!(
+        cache,
+        lint.map(|i| i + 1),
+        "lint-cache must run immediately after lint so a cache bug is attributed correctly"
+    );
+}
+
+#[test]
 fn ci_script_includes_the_chaos_serve_stage() {
     let script = script_steps();
     assert!(
