@@ -219,11 +219,13 @@ fn quantized_agreement() -> (f64, f64, usize) {
         cross = c2;
     }
     let exact = TwoStageLinker::new(&bi, &cross, &vocab, world.kb(), dict, base);
-    let want: Vec<_> = exact.link_batch(test).into_iter().map(|r| r.predicted).collect();
+    let want: Vec<_> =
+        exact.link_batch(test).expect("link").into_iter().map(|r| r.predicted).collect();
     let agreement = |quant: QuantMode| -> f64 {
         let cfg = LinkerConfig { quant, ..base };
         let linker = TwoStageLinker::new(&bi, &cross, &vocab, world.kb(), dict, cfg);
-        let got: Vec<_> = linker.link_batch(test).into_iter().map(|r| r.predicted).collect();
+        let got: Vec<_> =
+            linker.link_batch(test).expect("link").into_iter().map(|r| r.predicted).collect();
         let agree = want.iter().zip(&got).filter(|(a, b)| a == b).count();
         100.0 * agree as f64 / want.len().max(1) as f64
     };

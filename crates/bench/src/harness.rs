@@ -114,13 +114,49 @@ impl Harness {
         self.bench_impl(name, Some((units, unit_label)), f)
     }
 
-    fn bench_impl<F: FnMut()>(
+    /// Time two workloads under one interleaved sampling schedule:
+    /// every sample round times one batch of `a`, then one batch of
+    /// `b`, so a machine-noise burst lands on both sides of the
+    /// comparison instead of on whichever bench happened to be
+    /// sampling. Use when the acceptance metric is the *ratio* of the
+    /// two medians (the fused-vs-serial retrieval benches); each
+    /// workload keeps its own per-iteration batching, and the two
+    /// measurements are recorded exactly as two [`Harness::bench_units`]
+    /// calls would record them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn bench_pair_units<A: FnMut(), B: FnMut()>(
         &mut self,
-        name: &str,
-        units: Option<(f64, &'static str)>,
-        mut f: F,
-    ) -> &Measurement {
-        // Warmup: run until the budget elapses, estimating cost.
+        name_a: &str,
+        units_a: f64,
+        mut a: A,
+        name_b: &str,
+        units_b: f64,
+        mut b: B,
+        unit_label: &'static str,
+    ) {
+        let iters_a = self.estimate_iters(&mut a);
+        let iters_b = self.estimate_iters(&mut b);
+        let mut ns_a: Vec<f64> = Vec::with_capacity(self.cfg.samples);
+        let mut ns_b: Vec<f64> = Vec::with_capacity(self.cfg.samples);
+        for _ in 0..self.cfg.samples {
+            let t = Instant::now();
+            for _ in 0..iters_a {
+                a();
+            }
+            ns_a.push(t.elapsed().as_nanos() as f64 / iters_a as f64);
+            let t = Instant::now();
+            for _ in 0..iters_b {
+                b();
+            }
+            ns_b.push(t.elapsed().as_nanos() as f64 / iters_b as f64);
+        }
+        self.record(name_a, Some((units_a, unit_label)), iters_a, ns_a);
+        self.record(name_b, Some((units_b, unit_label)), iters_b, ns_b);
+    }
+
+    /// Warmup: run until the budget elapses, then derive how many
+    /// iterations one timed sample needs to reach `min_sample_time`.
+    fn estimate_iters<F: FnMut()>(&self, f: &mut F) -> u64 {
         let warmup_start = Instant::now();
         let mut warmup_iters = 0u64;
         while warmup_start.elapsed() < self.cfg.warmup || warmup_iters == 0 {
@@ -128,9 +164,16 @@ impl Harness {
             warmup_iters += 1;
         }
         let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
-        let iters_per_sample =
-            ((self.cfg.min_sample_time.as_nanos() as f64 / est_ns).ceil() as u64).max(1);
+        ((self.cfg.min_sample_time.as_nanos() as f64 / est_ns).ceil() as u64).max(1)
+    }
 
+    fn bench_impl<F: FnMut()>(
+        &mut self,
+        name: &str,
+        units: Option<(f64, &'static str)>,
+        mut f: F,
+    ) -> &Measurement {
+        let iters_per_sample = self.estimate_iters(&mut f);
         let mut sample_ns: Vec<f64> = Vec::with_capacity(self.cfg.samples);
         for _ in 0..self.cfg.samples {
             let t = Instant::now();
@@ -139,6 +182,17 @@ impl Harness {
             }
             sample_ns.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
         }
+        self.record(name, units, iters_per_sample, sample_ns)
+    }
+
+    /// Summarize one bench's raw samples and append the measurement.
+    fn record(
+        &mut self,
+        name: &str,
+        units: Option<(f64, &'static str)>,
+        iters_per_sample: u64,
+        mut sample_ns: Vec<f64>,
+    ) -> &Measurement {
         sample_ns.sort_by(|a, b| a.total_cmp(b));
         let n = sample_ns.len();
         let mean = sample_ns.iter().sum::<f64>() / n as f64;
@@ -357,6 +411,32 @@ mod tests {
         assert!(m.median_ns > 0.0);
         assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
         assert!(m.p95_ns >= m.median_ns);
+    }
+
+    #[test]
+    fn paired_sampling_records_both_sides() {
+        let mut h = Harness::with_config(BenchConfig {
+            warmup: Duration::from_millis(2),
+            samples: 5,
+            min_sample_time: Duration::from_micros(100),
+        });
+        let (mut a, mut b) = (0u64, 0u64);
+        h.bench_pair_units(
+            "pair/a",
+            1.0,
+            || a = a.wrapping_add(std::hint::black_box(1)),
+            "pair/b",
+            2.0,
+            || b = b.wrapping_add(std::hint::black_box(2)),
+            "op",
+        );
+        let names: Vec<&str> = h.results().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["pair/a", "pair/b"]);
+        for m in h.results() {
+            assert_eq!(m.samples, 5);
+            assert!(m.median_ns > 0.0);
+            assert!(m.units.is_some());
+        }
     }
 
     #[test]

@@ -62,59 +62,135 @@ pub fn argmax(xs: &[f64]) -> Option<usize> {
     best.map(|(i, _)| i)
 }
 
-/// Top-`k` indices by value, descending. Uses a partial selection so the
-/// cost is `O(n log k)` — this is the hot path of dense retrieval.
-pub fn top_k_desc(xs: &[f64], k: usize) -> Vec<usize> {
-    use std::cmp::Ordering;
-    use std::collections::BinaryHeap;
+/// Min-heap entry of [`TopK`], ordered by score then (reversed) index
+/// for deterministic tie-breaking.
+struct TopKEntry(f64, usize);
 
-    /// Min-heap entry ordered by score then (reversed) index for
-    /// deterministic tie-breaking.
-    struct Entry(f64, usize);
-    impl PartialEq for Entry {
-        fn eq(&self, other: &Self) -> bool {
-            self.cmp(other) == Ordering::Equal
-        }
+impl PartialEq for TopKEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
     }
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
+}
+impl Eq for TopKEntry {}
+impl PartialOrd for TopKEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            // Reverse: BinaryHeap is a max-heap, we want the *worst* kept
-            // element on top so it can be evicted.
-            other
-                .0
-                .partial_cmp(&self.0)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| self.1.cmp(&other.1))
-        }
+}
+impl Ord for TopKEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the *worst* kept
+        // element on top so it can be evicted.
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+/// Streaming top-`k` selection over `(index, score)` pairs — the
+/// incremental form of [`top_k_desc`], for callers that produce scores
+/// on the fly (the fused batched retrieval paths) instead of
+/// materialising a score array first.
+///
+/// The kept set and the final ordering are **identical to
+/// [`top_k_desc`]** over the same `(index, score)` pairs, and they are
+/// independent of push order: candidates are ranked under the strict
+/// total order "higher score first, lowest index on exact float ties"
+/// (`+0.0`/`-0.0` tie like `==`, then index), NaN scores are skipped,
+/// and [`TopK::into_sorted`] applies the same `total_cmp`-then-index
+/// final sort. `top_k_desc` itself is implemented on this selector, so
+/// the two cannot drift.
+pub struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<TopKEntry>,
+}
+
+impl TopK {
+    /// A selector keeping the best `k` pushed candidates.
+    pub fn new(k: usize) -> TopK {
+        // Capacity k+1 keeps evict-then-push reallocation-free; cap it
+        // so an over-large k (relative to what will be pushed) does not
+        // preallocate absurdly.
+        TopK { k, heap: std::collections::BinaryHeap::with_capacity(k.min(1 << 20) + 1) }
     }
 
-    if k == 0 || xs.is_empty() {
-        return Vec::new();
-    }
-    let k = k.min(xs.len());
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
-    for (i, &x) in xs.iter().enumerate() {
-        if x.is_nan() {
-            continue;
+    /// Offer one candidate. NaN scores are skipped; on exact float
+    /// ties (`==`, so `-0.0` ties `+0.0`) the lower index wins.
+    #[inline]
+    pub fn push(&mut self, index: usize, score: f64) {
+        if score.is_nan() {
+            return;
         }
-        if heap.len() < k {
-            heap.push(Entry(x, i));
-        } else if let Some(worst) = heap.peek() {
-            if x > worst.0 || (x == worst.0 && i < worst.1) {
-                heap.pop();
-                heap.push(Entry(x, i));
+        if self.heap.len() < self.k {
+            self.heap.push(TopKEntry(score, index));
+        } else if let Some(mut worst) = self.heap.peek_mut() {
+            if score > worst.0 || (score == worst.0 && index < worst.1) {
+                // Replace-root: one sift instead of a pop + push pair.
+                *worst = TopKEntry(score, index);
             }
         }
     }
-    let mut out: Vec<(f64, usize)> = heap.into_iter().map(|Entry(x, i)| (x, i)).collect();
-    out.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-    out.into_iter().map(|(_, i)| i).collect()
+
+    /// Offer a contiguous run of candidates `(base + i, scores[i])`.
+    /// Equivalent to pushing each in order; once the selector is full,
+    /// 8-wide chunks whose maximum is strictly below the worst kept
+    /// score are skipped wholesale. The maximum test is exact, and a
+    /// chunk whose maximum is NaN (all-NaN) drops to the per-element
+    /// path where NaNs are skipped one by one — so the kept set is
+    /// identical to serial pushes.
+    pub fn push_block(&mut self, base: usize, scores: &[f64]) {
+        let mut i = 0usize;
+        while i < scores.len() {
+            if self.heap.len() == self.k {
+                if let Some(worst) = self.heap.peek() {
+                    let thr = worst.0;
+                    while i + 8 <= scores.len() {
+                        let c = &scores[i..i + 8];
+                        let mx = c[0]
+                            .max(c[1])
+                            .max(c[2].max(c[3]))
+                            .max(c[4].max(c[5]).max(c[6].max(c[7])));
+                        // A score equal to the worst can still win on a
+                        // lower index (and a NaN maximum means the chunk
+                        // needs the per-element path), so only a
+                        // strictly-lower maximum skips the whole chunk.
+                        if mx < thr {
+                            i += 8;
+                        } else {
+                            break;
+                        }
+                    }
+                    if i >= scores.len() {
+                        break;
+                    }
+                }
+            }
+            self.push(base + i, scores[i]);
+            i += 1;
+        }
+    }
+
+    /// The kept candidates as `(index, score)`, best first (ties by
+    /// lowest index) — the exact sort [`top_k_desc`] uses.
+    pub fn into_sorted(self) -> Vec<(usize, f64)> {
+        let mut out: Vec<(f64, usize)> =
+            self.heap.into_iter().map(|TopKEntry(x, i)| (x, i)).collect();
+        out.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        out.into_iter().map(|(x, i)| (i, x)).collect()
+    }
+}
+
+/// Top-`k` indices by value, descending. Uses a partial selection so the
+/// cost is `O(n log k)` — this is the hot path of dense retrieval.
+pub fn top_k_desc(xs: &[f64], k: usize) -> Vec<usize> {
+    if k == 0 || xs.is_empty() {
+        return Vec::new();
+    }
+    let mut sel = TopK::new(k.min(xs.len()));
+    sel.push_block(0, xs);
+    sel.into_sorted().into_iter().map(|(i, _)| i).collect()
 }
 
 /// Clamp a value into `[lo, hi]`.
@@ -191,5 +267,51 @@ mod tests {
     fn top_k_deterministic_on_ties() {
         let xs = [1.0, 1.0, 1.0, 1.0];
         assert_eq!(top_k_desc(&xs, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_streaming_is_push_order_independent() {
+        // Includes exact ties, signed zeros, and a NaN; the kept set and
+        // final ordering must not depend on the order candidates arrive.
+        let xs = [0.5, 1.0, 1.0, -0.0, 0.0, f64::NAN, 0.5, 2.0, -1.0, 1.0];
+        let forward = {
+            let mut sel = TopK::new(4);
+            for (i, &x) in xs.iter().enumerate() {
+                sel.push(i, x);
+            }
+            sel.into_sorted()
+        };
+        let reverse = {
+            let mut sel = TopK::new(4);
+            for (i, &x) in xs.iter().enumerate().rev() {
+                sel.push(i, x);
+            }
+            sel.into_sorted()
+        };
+        let interleaved = {
+            let mut sel = TopK::new(4);
+            for (i, &x) in xs.iter().enumerate().skip(1).step_by(2) {
+                sel.push(i, x);
+            }
+            for (i, &x) in xs.iter().enumerate().step_by(2) {
+                sel.push(i, x);
+            }
+            sel.into_sorted()
+        };
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, interleaved);
+        let serial: Vec<usize> = top_k_desc(&xs, 4);
+        assert_eq!(forward.iter().map(|&(i, _)| i).collect::<Vec<_>>(), serial);
+        for &(i, x) in &forward {
+            assert_eq!(x.to_bits(), xs[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn top_k_streaming_signed_zero_tie_keeps_lower_index() {
+        let mut sel = TopK::new(1);
+        sel.push(3, -0.0);
+        sel.push(7, 0.0);
+        assert_eq!(sel.into_sorted(), vec![(3, -0.0)]);
     }
 }

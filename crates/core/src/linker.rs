@@ -279,6 +279,22 @@ impl<'a> TwoStageLinker<'a> {
         }
     }
 
+    /// Fused stage one for a whole batch: one `top_k_batch` call on
+    /// the same backend [`TwoStageLinker::retrieve`] would pick, so
+    /// row `i` is bit-identical to `retrieve(queries.row(i))`.
+    fn retrieve_batch(
+        &self,
+        queries: &mb_tensor::Tensor,
+    ) -> mb_common::Result<Vec<Vec<(EntityId, f64)>>> {
+        if let Some(ann) = &self.ann {
+            return ann.top_k_batch(queries, self.cfg.k, self.cfg.threads);
+        }
+        match &self.qindex {
+            Some(qi) => qi.top_k_batch(queries, self.cfg.k, self.cfg.threads),
+            None => self.index.top_k_batch(queries, self.cfg.k, self.cfg.threads),
+        }
+    }
+
     /// Build a cross-encoder candidate set for a mention from retrieved
     /// candidates, marking the gold index when present.
     pub fn candidate_set(
@@ -305,26 +321,43 @@ impl<'a> TwoStageLinker<'a> {
     }
 
     /// Full two-stage prediction: the re-ranked best entity, or `None`
-    /// when retrieval returns nothing.
+    /// when retrieval returns nothing (or inference fails).
     pub fn predict(&self, mention: &LinkedMention) -> Option<EntityId> {
-        self.link(mention).predicted
+        self.link(mention).ok().and_then(|r| r.predicted)
     }
 
     /// Full two-stage inference for one mention (a one-element
     /// [`TwoStageLinker::link_batch`]).
-    pub fn link(&self, mention: &LinkedMention) -> LinkResult {
-        self.link_batch(std::slice::from_ref(mention)).pop().expect("one mention in, one out")
+    ///
+    /// # Errors
+    /// Propagates [`TwoStageLinker::link_batch`] errors;
+    /// [`mb_common::Error::Internal`] if the batch path violates its
+    /// one-result-per-mention contract (a bug, reported as a typed
+    /// error so the serving path stays panic-free).
+    pub fn link(&self, mention: &LinkedMention) -> mb_common::Result<LinkResult> {
+        match self.link_batch(std::slice::from_ref(mention))?.pop() {
+            Some(result) => Ok(result),
+            None => Err(mb_common::Error::Internal(
+                "link_batch returned no result for a one-mention batch".to_string(),
+            )),
+        }
     }
 
     /// Batched two-stage inference — the shared serving/evaluation
     /// code path.
     ///
     /// The whole batch runs through **one** fused bi-encoder forward
-    /// (duplicate mention bags are embedded once), per-mention exact
-    /// top-k retrieval, and **one** fused cross-encoder forward over
-    /// all candidate sets. Every tensor op involved is row-independent,
-    /// so element `i` is bit-identical to `link(&mentions[i])`.
-    pub fn link_batch(&self, mentions: &[LinkedMention]) -> Vec<LinkResult> {
+    /// (duplicate mention bags are embedded once), **one** fused
+    /// multi-query retrieval call, and **one** fused cross-encoder
+    /// forward over all candidate sets. Every op involved is
+    /// row-independent, so element `i` is bit-identical to
+    /// `link(&mentions[i])`.
+    ///
+    /// # Errors
+    /// [`mb_common::Error::ShapeMismatch`] when the retrieval backend
+    /// rejects the query matrix — unreachable for a linker whose
+    /// index/ann passed construction validation.
+    pub fn link_batch(&self, mentions: &[LinkedMention]) -> mb_common::Result<Vec<LinkResult>> {
         self.link_batch_cached(mentions, None)
     }
 
@@ -332,13 +365,16 @@ impl<'a> TwoStageLinker<'a> {
     /// cache. Cache values are exact bi-encoder rows, so cached and
     /// uncached results are identical; the serving layer uses this to
     /// skip stage-one forwards for repeated (mention, context) inputs.
+    ///
+    /// # Errors
+    /// Same as [`TwoStageLinker::link_batch`].
     pub fn link_batch_cached(
         &self,
         mentions: &[LinkedMention],
         mut cache: Option<&mut EmbedCache>,
-    ) -> Vec<LinkResult> {
+    ) -> mb_common::Result<Vec<LinkResult>> {
         if mentions.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let bags: Vec<Vec<u32>> =
             mentions.iter().map(|m| mention_bag(self.vocab, &self.cfg.input, m)).collect();
@@ -380,28 +416,39 @@ impl<'a> TwoStageLinker<'a> {
                 }
             }
         }
-        // Stage one: exact top-k + candidate-set assembly per mention,
-        // fanned out over mention index (each mention's work reads only
-        // shared immutable state); stage two: one cross-encoder pass
-        // over every candidate set. Results come back in mention order.
-        let per_mention: Vec<(Vec<(EntityId, f64)>, CandidateSet)> =
+        // Stage one, fused: pack the resolved embeddings into one
+        // `[n, out_dim]` matrix and issue a single multi-query
+        // retrieval call — the backend streams its centroid table /
+        // entity rows once per query block instead of once per query
+        // (DESIGN.md §16), and is bit-identical to per-query `top_k`.
+        let dim = self.bi.config().out_dim;
+        let mut qdata = vec![0.0f64; mentions.len() * dim];
+        for (i, row) in rows.iter().enumerate() {
+            if let Some(r) = row {
+                for (dst, &src) in qdata[i * dim..(i + 1) * dim].iter_mut().zip(r) {
+                    *dst = src;
+                }
+            }
+        }
+        let queries = mb_tensor::Tensor::from_vec(vec![mentions.len(), dim], qdata);
+        let retrieved = self.retrieve_batch(&queries)?;
+        // Candidate-set assembly fans out over mention index (each
+        // mention's work reads only shared immutable state); stage two
+        // is one cross-encoder pass over every candidate set. Results
+        // come back in mention order.
+        let sets: Vec<CandidateSet> =
             mb_par::par_map_range(self.cfg.threads, mentions.len(), |i| {
-                let q = rows[i].as_deref().unwrap_or(&[]);
-                let retrieved = self.retrieve(q);
-                let set = self.candidate_set(&mentions[i], &retrieved);
-                (retrieved, set)
+                self.candidate_set(&mentions[i], &retrieved[i])
             });
-        let (retrieved, sets): (Vec<Vec<(EntityId, f64)>>, Vec<CandidateSet>) =
-            per_mention.into_iter().unzip();
         let scores = self.frozen_cross.score_batch_with(&sets, self.cfg.threads);
-        retrieved
+        Ok(retrieved
             .into_iter()
             .zip(scores)
             .map(|(retrieved, rerank_scores)| {
                 let predicted = mb_common::util::argmax(&rerank_scores).map(|i| retrieved[i].0);
                 LinkResult { retrieved, rerank_scores, predicted }
             })
-            .collect()
+            .collect())
     }
 
     /// Raw integer tallies `(recalled, correct_given_recalled,
@@ -411,7 +458,12 @@ impl<'a> TwoStageLinker<'a> {
         let mut recalled = 0usize;
         let mut correct_given_recalled = 0usize;
         let mut correct = 0usize;
-        for (m, r) in chunk.iter().zip(self.link_batch(chunk)) {
+        // A retrieval shape error is unreachable here: the index (or
+        // ann backend) was validated against the bi-encoder dimension
+        // at construction. Under `evaluate_parallel` this panic is
+        // contained as a typed `Error::Worker` at the fork point.
+        let results = self.link_batch(chunk).expect("construction-validated linker");
+        for (m, r) in chunk.iter().zip(results) {
             let gold_in = r.retrieved.iter().any(|(id, _)| *id == m.entity);
             if gold_in {
                 recalled += 1;
@@ -676,11 +728,12 @@ mod tests {
             LinkerConfig { k: 8, ..LinkerConfig::default() },
         );
         let mentions = &f.test[..24];
-        let singles: Vec<LinkResult> = mentions.iter().map(|m| linker.link(m)).collect();
+        let singles: Vec<LinkResult> =
+            mentions.iter().map(|m| linker.link(m).expect("link")).collect();
         for size in [1usize, 2, 7, 24] {
             let mut batched = Vec::new();
             for chunk in mentions.chunks(size) {
-                batched.extend(linker.link_batch(chunk));
+                batched.extend(linker.link_batch(chunk).expect("link"));
             }
             // PartialEq on LinkResult compares f64 scores exactly:
             // this is the bit-identity guarantee serving relies on.
@@ -703,10 +756,10 @@ mod tests {
         // Repeat mentions so the second pass is all cache hits.
         let mut mentions: Vec<LinkedMention> = f.test[..10].to_vec();
         mentions.extend_from_slice(&f.test[..10]);
-        let uncached = linker.link_batch(&mentions);
+        let uncached = linker.link_batch(&mentions).expect("link");
         let mut cache = EmbedCache::new(64);
-        let first = linker.link_batch_cached(&mentions, Some(&mut cache));
-        let second = linker.link_batch_cached(&mentions, Some(&mut cache));
+        let first = linker.link_batch_cached(&mentions, Some(&mut cache)).expect("link");
+        let second = linker.link_batch_cached(&mentions, Some(&mut cache)).expect("link");
         assert_eq!(first, uncached);
         assert_eq!(second, uncached);
         assert!(cache.hits() >= 10, "duplicate mentions should hit: {} hits", cache.hits());
@@ -723,7 +776,10 @@ mod tests {
             TwoStageLinker::with_index(&f.bi, &f.cross, &f.vocab, f.world.kb(), cfg, index)
                 .expect("well-formed index");
         let direct = TwoStageLinker::new(&f.bi, &f.cross, &f.vocab, f.world.kb(), dict, cfg);
-        assert_eq!(linker.link_batch(&f.test[..4]), direct.link_batch(&f.test[..4]));
+        assert_eq!(
+            linker.link_batch(&f.test[..4]).expect("link"),
+            direct.link_batch(&f.test[..4]).expect("link")
+        );
         // Wrong dimensionality is rejected.
         let bad_dim = DenseIndex::from_vectors(
             mb_tensor::Tensor::zeros([1, f.bi.config().out_dim + 1]),
@@ -790,7 +846,10 @@ mod tests {
         .expect("shared state is consistent");
         assert!(worker.frozen_bi().shares_storage(owner.frozen_bi()));
         assert!(worker.frozen_cross().shares_storage(owner.frozen_cross()));
-        assert_eq!(worker.link_batch(&f.test[..16]), owner.link_batch(&f.test[..16]));
+        assert_eq!(
+            worker.link_batch(&f.test[..16]).expect("link"),
+            owner.link_batch(&f.test[..16]).expect("link")
+        );
     }
 
     #[test]
@@ -800,11 +859,13 @@ mod tests {
         let dict = f.world.kb().domain_entities(domain.id);
         let base = LinkerConfig { k: 16, ..LinkerConfig::default() };
         let exact = TwoStageLinker::new(&f.bi, &f.cross, &f.vocab, f.world.kb(), dict, base);
-        let want: Vec<_> = exact.link_batch(&f.test).into_iter().map(|r| r.predicted).collect();
+        let want: Vec<_> =
+            exact.link_batch(&f.test).expect("link").into_iter().map(|r| r.predicted).collect();
         for quant in [QuantMode::F16, QuantMode::Int8] {
             let cfg = LinkerConfig { quant, ..base };
             let q = TwoStageLinker::new(&f.bi, &f.cross, &f.vocab, f.world.kb(), dict, cfg);
-            let got: Vec<_> = q.link_batch(&f.test).into_iter().map(|r| r.predicted).collect();
+            let got: Vec<_> =
+                q.link_batch(&f.test).expect("link").into_iter().map(|r| r.predicted).collect();
             let agree = want.iter().zip(&got).filter(|(a, b)| a == b).count();
             // Quantization noise may flip genuine near-ties, but top-1
             // decisions must overwhelmingly survive.

@@ -64,7 +64,7 @@ fn replay(f: &Fixture, cache_capacity: usize) -> (Vec<String>, Vec<Vec<u32>>, u6
     let mut cache = EmbedCache::new(cache_capacity);
     let mut rendered = Vec::new();
     for chunk in f.mentions.chunks(12) {
-        for r in linker.link_batch_cached(chunk, Some(&mut cache)) {
+        for r in linker.link_batch_cached(chunk, Some(&mut cache)).expect("link") {
             rendered.push(format!("{:?}", (r.predicted, r.retrieved, r.rerank_scores)));
         }
     }

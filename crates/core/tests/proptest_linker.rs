@@ -81,10 +81,11 @@ mb_check::check! {
         let l = linker(f);
         let batch: Vec<LinkedMention> =
             picks.iter().map(|&i| f.mentions[i].clone()).collect();
-        let sequential: Vec<LinkResult> = batch.iter().map(|m| l.link(m)).collect();
+        let sequential: Vec<LinkResult> =
+            batch.iter().map(|m| l.link(m).expect("link")).collect();
         let mut chunked = Vec::new();
         for c in batch.chunks(chunk) {
-            chunked.extend(l.link_batch(c));
+            chunked.extend(l.link_batch(c).expect("link"));
         }
         // PartialEq on LinkResult compares every f64 exactly: batching
         // and chunking must be bit-transparent.
@@ -99,11 +100,11 @@ mb_check::check! {
         let l = linker(f);
         let batch: Vec<LinkedMention> =
             picks.iter().map(|&i| f.mentions[i].clone()).collect();
-        let uncached = l.link_batch(&batch);
+        let uncached = l.link_batch(&batch).expect("link");
         // A tiny capacity forces evictions mid-batch across repeats.
         let mut cache = EmbedCache::new(capacity);
         for _ in 0..3 {
-            let cached = l.link_batch_cached(&batch, Some(&mut cache));
+            let cached = l.link_batch_cached(&batch, Some(&mut cache)).expect("link");
             prop_assert_eq!(&cached, &uncached);
         }
     }
@@ -149,7 +150,7 @@ fn trained_model_evaluation_is_stable_under_batching() {
     let mut recalled = 0usize;
     let mut correct = 0usize;
     for m in test {
-        let r = linker.link(m);
+        let r = linker.link(m).expect("link");
         if r.retrieved.iter().any(|(id, _)| *id == m.entity) {
             recalled += 1;
         }

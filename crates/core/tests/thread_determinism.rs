@@ -70,6 +70,7 @@ fn link_outputs(f: &Fixture, threads: Threads) -> Vec<(Option<u32>, Vec<u64>, Ve
     );
     linker
         .link_batch(&f.mentions)
+        .expect("link")
         .into_iter()
         .map(|r| {
             let retrieved: Vec<u64> = r.retrieved.iter().map(|(_, s)| s.to_bits()).collect();

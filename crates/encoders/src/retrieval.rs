@@ -18,12 +18,69 @@
 
 use crate::biencoder::BiEncoder;
 use crate::input::{entity_bag, InputConfig};
-use mb_common::util::top_k_desc;
+use mb_common::util::{top_k_desc, TopK};
 use mb_common::Rng;
 use mb_kb::{EntityId, KnowledgeBase};
-use mb_tensor::quant::{QuantF16, QuantI8};
+use mb_tensor::kernels::{dot_block_f64, dot_i8_i32, dot_i8_i64, DOT_BLOCK, I8_EXACT_I32_COLS};
+use mb_tensor::quant::{f16_to_f64, quantize_i8, QuantF16, QuantI8};
 use mb_tensor::{QuantMode, Tensor};
 use mb_text::Vocab;
+
+/// Queries per fused scoring block: the entity table is streamed once
+/// per block instead of once per query, so larger blocks amortize
+/// memory traffic while the per-query accumulators stay resident in
+/// registers/L1. Blocks are a fixed function of query index, so worker
+/// count never changes which queries share a block. Pinned to the
+/// width the multi-accumulator kernels specialize for.
+const QUERY_BLOCK: usize = DOT_BLOCK;
+
+/// Rows per cache-resident scoring chunk in the row-outer int8 path:
+/// one chunk of codes is re-read once per query in the block, so it
+/// must fit comfortably in L2 (512 rows × 256 cols = 128 KiB worst
+/// case) while leaving the score scratch long enough for the
+/// [`TopK::push_block`] pre-filter to skip whole runs.
+const SCORE_CHUNK: usize = 512;
+
+/// Transpose one block of query rows to `[dim, nq]` row-major — the
+/// layout the `dot_block_*` kernels stream.
+fn transpose_block(queries: &Tensor, range: &std::ops::Range<usize>) -> Vec<f64> {
+    let nq = range.len();
+    let dim = queries.cols();
+    let mut qt = vec![0.0f64; dim * nq];
+    for (qslot, qi) in range.clone().enumerate() {
+        for (j, &x) in queries.row(qi).iter().enumerate() {
+            qt[j * nq + qslot] = x;
+        }
+    }
+    qt
+}
+
+/// Validate a `[q, dim]` query matrix against an index, returning the
+/// typed error the serve-reachable batched retrieval paths report
+/// instead of panicking. An empty index accepts any query width (it
+/// returns empty rankings), matching the serial path which never scores.
+fn check_queries(
+    op: &'static str,
+    queries: &Tensor,
+    dim: usize,
+    index_len: usize,
+) -> mb_common::Result<()> {
+    if queries.rank() != 2 {
+        return Err(mb_common::Error::shape(
+            op,
+            "[q, dim] queries",
+            format!("rank-{} tensor {:?}", queries.rank(), queries.shape()),
+        ));
+    }
+    if index_len > 0 && queries.rows() > 0 && queries.cols() != dim {
+        return Err(mb_common::Error::shape(
+            op,
+            format!("query dim {dim}"),
+            format!("query dim {}", queries.cols()),
+        ));
+    }
+    Ok(())
+}
 
 /// A source of scored entity candidates for a query embedding — the
 /// retrieval stage the two-stage linker is generic over.
@@ -53,17 +110,22 @@ pub trait CandidateSource: Send + Sync {
     fn top_k(&self, query: &[f64], k: usize) -> Vec<(EntityId, f64)>;
 
     /// Top-k retrieval for every row of a `[q, dim]` query matrix, with
-    /// queries split across workers; bit-identical at any
-    /// [`mb_par::Threads`] value (each query's ranking is computed
-    /// wholly within one worker).
+    /// queries split across workers; bit-identical to per-query
+    /// [`CandidateSource::top_k`] at any [`mb_par::Threads`] value
+    /// (each query's ranking is computed wholly within one worker).
+    ///
+    /// # Errors
+    /// [`mb_common::Error::ShapeMismatch`] when `queries` is not rank-2
+    /// or its width disagrees with a non-empty index — the serving path
+    /// reports this as a failed request instead of aborting.
     fn top_k_batch(
         &self,
         queries: &Tensor,
         k: usize,
         threads: mb_par::Threads,
-    ) -> Vec<Vec<(EntityId, f64)>> {
-        assert_eq!(queries.rank(), 2, "top_k_batch: queries rank {:?}", queries.shape());
-        mb_par::par_map_range(threads, queries.rows(), |i| self.top_k(queries.row(i), k))
+    ) -> mb_common::Result<Vec<Vec<(EntityId, f64)>>> {
+        check_queries("CandidateSource::top_k_batch", queries, self.dim(), self.len())?;
+        Ok(mb_par::par_map_range(threads, queries.rows(), |i| self.top_k(queries.row(i), k)))
     }
 }
 
@@ -178,21 +240,46 @@ impl DenseIndex {
         top_k_desc(&scores, k).into_iter().map(|i| (self.ids[i], scores[i])).collect()
     }
 
-    /// Top-k retrieval for every row of a `[q, dim]` query matrix, with
-    /// queries split across workers.
+    /// Fused top-k retrieval for every row of a `[q, dim]` query
+    /// matrix: queries are grouped into fixed blocks of [`QUERY_BLOCK`]
+    /// and each entity row is streamed once per block, scored against
+    /// every query in the block, and fed straight into per-query
+    /// streaming [`TopK`] selectors — no per-query score array.
     ///
-    /// Each query's ranking is computed wholly within one worker, and
-    /// ties are broken deterministically (lowest index wins, see
-    /// [`top_k_desc`]), so the result is bit-identical for any
-    /// [`mb_par::Threads`] value.
+    /// Bit-identical to per-query [`DenseIndex::top_k`]: each dot
+    /// product visits elements in the same order as
+    /// [`DenseIndex::score_all`], candidates arrive in ascending row
+    /// order, and [`TopK`] keeps exactly the set and order of
+    /// [`top_k_desc`]. Blocks are a fixed function of query index and
+    /// each query's ranking is computed wholly within one worker, so
+    /// the result is bit-identical for any [`mb_par::Threads`] value.
+    ///
+    /// # Errors
+    /// [`mb_common::Error::ShapeMismatch`] when `queries` is not rank-2
+    /// or its width disagrees with a non-empty index.
     pub fn top_k_batch(
         &self,
         queries: &Tensor,
         k: usize,
         threads: mb_par::Threads,
-    ) -> Vec<Vec<(EntityId, f64)>> {
-        assert_eq!(queries.rank(), 2, "top_k_batch: queries rank {:?}", queries.shape());
-        mb_par::par_map_range(threads, queries.rows(), |i| self.top_k(queries.row(i), k))
+    ) -> mb_common::Result<Vec<Vec<(EntityId, f64)>>> {
+        check_queries("DenseIndex::top_k_batch", queries, self.dim(), self.len())?;
+        let blocks = mb_par::par_chunk_ranges(threads, queries.rows(), QUERY_BLOCK, |_, range| {
+            let nq = range.len();
+            let qt = transpose_block(queries, &range);
+            let mut sels: Vec<TopK> = (0..nq).map(|_| TopK::new(k.min(self.len()))).collect();
+            let mut acc = vec![0.0f64; nq];
+            for i in 0..self.vectors.rows() {
+                dot_block_f64(self.vectors.row(i), &qt, nq, &mut acc);
+                for (sel, &s) in sels.iter_mut().zip(&acc) {
+                    sel.push(i, s);
+                }
+            }
+            sels.into_iter()
+                .map(|sel| sel.into_sorted().into_iter().map(|(i, s)| (self.ids[i], s)).collect())
+                .collect::<Vec<Vec<(EntityId, f64)>>>()
+        });
+        Ok(blocks.into_iter().flatten().collect())
     }
 
     /// Dot product of the query against every indexed vector.
@@ -324,17 +411,121 @@ impl QuantizedIndex {
         top_k_desc(&scores, k).into_iter().map(|i| (self.ids[i], scores[i])).collect()
     }
 
-    /// Top-k retrieval for every row of a `[q, dim]` query matrix, with
-    /// queries split across workers; bit-identical at any
-    /// [`mb_par::Threads`] value.
+    /// Fused top-k retrieval for every row of a `[q, dim]` query
+    /// matrix, blocked like [`DenseIndex::top_k_batch`]: each stored
+    /// row is decoded (f16) or loaded (int8) once per [`QUERY_BLOCK`]
+    /// queries, and int8 queries are quantized once per block instead
+    /// of once per row scan. Bit-identical to per-query
+    /// [`QuantizedIndex::top_k`] at any [`mb_par::Threads`] value: the
+    /// per-element products and the ascending-column fold match the
+    /// `mb_tensor` scoring kernels exactly (f16 decode is exact, and
+    /// the int8 path accumulates the same exact integer).
+    ///
+    /// # Errors
+    /// [`mb_common::Error::ShapeMismatch`] when `queries` is not rank-2
+    /// or its width disagrees with a non-empty index.
     pub fn top_k_batch(
         &self,
         queries: &Tensor,
         k: usize,
         threads: mb_par::Threads,
+    ) -> mb_common::Result<Vec<Vec<(EntityId, f64)>>> {
+        check_queries("QuantizedIndex::top_k_batch", queries, self.dim(), self.len())?;
+        let blocks =
+            mb_par::par_chunk_ranges(threads, queries.rows(), QUERY_BLOCK, |_, range| match &self
+                .table
+            {
+                QuantTable::F16(t) => self.block_f16(t, queries, range, k),
+                QuantTable::Int8(t) => self.block_i8(t, queries, range, k),
+            });
+        Ok(blocks.into_iter().flatten().collect())
+    }
+
+    /// Rank one query block against an f16 table. Each row is decoded
+    /// into a scratch buffer once and scored against the transposed
+    /// query block with one multi-accumulator pass; `f16_to_f64` is
+    /// exact, so `decoded[j] * q[j]` is the same product, in the same
+    /// order, as the kernel's fused decode-and-multiply.
+    fn block_f16(
+        &self,
+        t: &QuantF16,
+        queries: &Tensor,
+        range: std::ops::Range<usize>,
+        k: usize,
     ) -> Vec<Vec<(EntityId, f64)>> {
-        assert_eq!(queries.rank(), 2, "top_k_batch: queries rank {:?}", queries.shape());
-        mb_par::par_map_range(threads, queries.rows(), |i| self.top_k(queries.row(i), k))
+        let cols = t.cols();
+        let bits = t.bits();
+        let nq = range.len();
+        let qt = transpose_block(queries, &range);
+        let mut sels: Vec<TopK> = (0..nq).map(|_| TopK::new(k.min(self.len()))).collect();
+        let mut decoded = vec![0.0f64; cols];
+        let mut acc = vec![0.0f64; nq];
+        for i in 0..t.rows() {
+            for (d, &h) in decoded.iter_mut().zip(&bits[i * cols..(i + 1) * cols]) {
+                *d = f16_to_f64(h);
+            }
+            dot_block_f64(&decoded, &qt, nq, &mut acc);
+            for (sel, &s) in sels.iter_mut().zip(&acc) {
+                sel.push(i, s);
+            }
+        }
+        self.collect_sels(sels)
+    }
+
+    /// Rank one query block against an int8 table, in row chunks small
+    /// enough to stay cache-resident across the per-query passes: for
+    /// each chunk, each query makes one contiguous [`dot_i8_i32`] pass
+    /// (or the `i64` fallback for absurdly wide rows) into a score
+    /// scratch, then offers the whole run to its selector via
+    /// [`TopK::push_block`], whose chunk-max pre-filter skips runs that
+    /// cannot enter the top-k. Queries are quantized once per block;
+    /// products accumulate exactly, so the integer sum — and therefore
+    /// the final `acc as f64 * (row_scale * query_scale)` — is
+    /// bit-identical to the serial scoring kernel's fold, and the
+    /// candidate indices arrive in the same ascending order.
+    fn block_i8(
+        &self,
+        t: &QuantI8,
+        queries: &Tensor,
+        range: std::ops::Range<usize>,
+        k: usize,
+    ) -> Vec<Vec<(EntityId, f64)>> {
+        let cols = t.cols();
+        let codes = t.codes();
+        let scales = t.scales();
+        let preps: Vec<(Vec<i8>, f64)> =
+            range.clone().map(|qi| quantize_i8(queries.row(qi))).collect();
+        let mut sels: Vec<TopK> = (0..range.len()).map(|_| TopK::new(k.min(self.len()))).collect();
+        let narrow = cols <= I8_EXACT_I32_COLS;
+        let mut scratch = vec![0.0f64; SCORE_CHUNK.min(t.rows())];
+        let mut lo = 0usize;
+        while lo < t.rows() {
+            let hi = (lo + SCORE_CHUNK).min(t.rows());
+            let chs = &scales[lo..hi];
+            for (sel, (qc, qs)) in sels.iter_mut().zip(&preps) {
+                let sc = &mut scratch[..hi - lo];
+                if narrow {
+                    for ((s, r), &rs) in sc.iter_mut().zip(lo..hi).zip(chs) {
+                        *s =
+                            f64::from(dot_i8_i32(&codes[r * cols..(r + 1) * cols], qc)) * (rs * qs);
+                    }
+                } else {
+                    for ((s, r), &rs) in sc.iter_mut().zip(lo..hi).zip(chs) {
+                        *s = dot_i8_i64(&codes[r * cols..(r + 1) * cols], qc) as f64 * (rs * qs);
+                    }
+                }
+                sel.push_block(lo, sc);
+            }
+            lo = hi;
+        }
+        self.collect_sels(sels)
+    }
+
+    /// Map finished per-query selectors to `(id, score)` rankings.
+    fn collect_sels(&self, sels: Vec<TopK>) -> Vec<Vec<(EntityId, f64)>> {
+        sels.into_iter()
+            .map(|sel| sel.into_sorted().into_iter().map(|(i, s)| (self.ids[i], s)).collect())
+            .collect()
     }
 }
 
@@ -360,7 +551,7 @@ impl CandidateSource for DenseIndex {
         queries: &Tensor,
         k: usize,
         threads: mb_par::Threads,
-    ) -> Vec<Vec<(EntityId, f64)>> {
+    ) -> mb_common::Result<Vec<Vec<(EntityId, f64)>>> {
         DenseIndex::top_k_batch(self, queries, k, threads)
     }
 }
@@ -387,7 +578,7 @@ impl CandidateSource for QuantizedIndex {
         queries: &Tensor,
         k: usize,
         threads: mb_par::Threads,
-    ) -> Vec<Vec<(EntityId, f64)>> {
+    ) -> mb_common::Result<Vec<Vec<(EntityId, f64)>>> {
         QuantizedIndex::top_k_batch(self, queries, k, threads)
     }
 }
@@ -600,9 +791,12 @@ mod tests {
             assert_eq!(e, g, "{mode:?} flipped a clear-margin top-1");
             // Batched retrieval is bit-identical across thread counts.
             let queries = Tensor::randn(vec![20, 16], 0.0, 1.0, &mut rng);
-            let serial = q.top_k_batch(&queries, 5, mb_par::Threads::single());
+            let serial = q.top_k_batch(&queries, 5, mb_par::Threads::single()).expect("batch");
             for t in [2usize, 4] {
-                assert_eq!(q.top_k_batch(&queries, 5, mb_par::Threads::new(t)), serial);
+                assert_eq!(
+                    q.top_k_batch(&queries, 5, mb_par::Threads::new(t)).expect("batch"),
+                    serial
+                );
             }
         }
     }

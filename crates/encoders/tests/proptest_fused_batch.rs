@@ -1,0 +1,107 @@
+//! Property suite for the fused multi-query retrieval path
+//! (DESIGN.md §16): for ANY batch size, ANY k, and ANY worker count,
+//! `top_k_batch` must be **byte-for-byte** identical to per-query
+//! `top_k` — same entity ids, same `f64::to_bits` score patterns. The
+//! fixtures are the adversarial near-tie distributions from the
+//! quantized-retrieval suite, so the lowest-position tie-break is
+//! actually exercised, not just the clear-margin happy path.
+
+use mb_check::gen;
+use mb_check::prop_assert_eq;
+use mb_common::Rng;
+use mb_encoders::{DenseIndex, QuantizedIndex};
+use mb_kb::EntityId;
+use mb_par::Threads;
+use mb_tensor::{QuantMode, Tensor};
+
+/// An index whose rows are small perturbations of one base direction:
+/// every pair of scores is a near tie by construction.
+fn near_tie_index(n: usize, dim: usize, spread: f64, seed: u64) -> DenseIndex {
+    let mut rng = Rng::seed_from_u64(seed);
+    let base: Vec<f64> = (0..dim).map(|_| rng.f64() * 2.0 - 1.0).collect();
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        for b in &base {
+            data.push(b + (rng.f64() * 2.0 - 1.0) * spread);
+        }
+    }
+    let ids = (0..n as u32).map(EntityId).collect();
+    DenseIndex::from_vectors(Tensor::from_vec(vec![n, dim], data), ids)
+}
+
+/// A `[batch, dim]` query matrix drawn near the index distribution so
+/// rankings hit real near-ties.
+fn query_matrix(batch: usize, dim: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..batch * dim).map(|_| rng.f64() * 2.0 - 1.0).collect();
+    Tensor::from_vec(vec![batch, dim], data)
+}
+
+/// Render rankings to raw bytes: ids plus exact score bit patterns.
+fn bits(rankings: &[Vec<(EntityId, f64)>]) -> Vec<Vec<(u32, u64)>> {
+    rankings.iter().map(|r| r.iter().map(|&(id, s)| (id.0, s.to_bits())).collect()).collect()
+}
+
+mb_check::check! {
+    #![config(cases = 24)]
+
+    fn dense_fused_batch_is_bit_identical_to_serial(seed in gen::u64_any()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let (n, dim) = (4 + rng.below(60), 3 + rng.below(14));
+        let batch = 1 + rng.below(64);
+        let k = 1 + rng.below(n + 4); // sometimes k > n
+        let spread = [1e-12, 1e-6, 1e-2][rng.below(3)];
+        let index = near_tie_index(n, dim, spread, seed ^ 1);
+        let queries = query_matrix(batch, dim, seed ^ 2);
+        let serial: Vec<Vec<(EntityId, f64)>> =
+            (0..batch).map(|i| index.top_k(queries.row(i), k)).collect();
+        let want = bits(&serial);
+        for t in 1..4 {
+            let fused = index.top_k_batch(&queries, k, Threads::new(t)).expect("fused");
+            prop_assert_eq!(
+                &bits(&fused), &want,
+                "dense: batch={} k={} n={} threads={}", batch, k, n, t
+            );
+        }
+    }
+
+    fn quantized_fused_batch_is_bit_identical_to_serial(seed in gen::u64_any()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let (n, dim) = (4 + rng.below(60), 3 + rng.below(14));
+        let batch = 1 + rng.below(64);
+        let k = 1 + rng.below(n + 4);
+        let spread = [1e-6, 1e-3, 1e-1][rng.below(3)];
+        let dense = near_tie_index(n, dim, spread, seed ^ 3);
+        let queries = query_matrix(batch, dim, seed ^ 4);
+        for mode in [QuantMode::F16, QuantMode::Int8] {
+            let index = QuantizedIndex::from_dense(&dense, mode).expect("lossy mode");
+            let serial: Vec<Vec<(EntityId, f64)>> =
+                (0..batch).map(|i| index.top_k(queries.row(i), k)).collect();
+            let want = bits(&serial);
+            for t in 1..4 {
+                let fused = index.top_k_batch(&queries, k, Threads::new(t)).expect("fused");
+                prop_assert_eq!(
+                    &bits(&fused), &want,
+                    "{:?}: batch={} k={} n={} threads={}", mode, batch, k, n, t
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_batches_and_bad_shapes_are_handled_without_panicking() {
+    let index = near_tie_index(12, 6, 1e-3, 9);
+    // Zero queries: empty result at any thread count.
+    let empty = Tensor::zeros(vec![0, 6]);
+    assert!(index.top_k_batch(&empty, 4, Threads::new(2)).expect("empty").is_empty());
+    // Rank-1 queries and wrong widths are typed errors, not panics.
+    let rank1 = Tensor::zeros(vec![6]);
+    assert!(index.top_k_batch(&rank1, 4, Threads::single()).is_err());
+    let wide = Tensor::zeros(vec![2, 7]);
+    assert!(index.top_k_batch(&wide, 4, Threads::single()).is_err());
+    let q = QuantizedIndex::from_dense(&index, QuantMode::F16).expect("f16");
+    assert!(q.top_k_batch(&rank1, 4, Threads::single()).is_err());
+    assert!(q.top_k_batch(&wide, 4, Threads::single()).is_err());
+    assert!(q.top_k_batch(&empty, 4, Threads::new(3)).expect("empty").is_empty());
+}

@@ -89,6 +89,10 @@ enum Reply {
     Done(LinkResult, Arc<Generation>),
     /// Shed at drain time: the deadline could not be met.
     Shed,
+    /// Inference reported a typed error (unreachable for a
+    /// publish-validated generation); the handler answers 500 instead
+    /// of the worker panicking.
+    Failed(String),
 }
 
 /// One queued `/link` request.
@@ -391,13 +395,25 @@ fn worker_loop(shared: &Arc<Shared>) {
             let mentions: Vec<LinkedMention> =
                 drained.batch.iter().map(|j| j.mention.clone()).collect();
             let started = Instant::now();
-            let results = link_with_cache(shared, &linker, generation.id, &mentions);
+            let outcome = link_with_cache(shared, &linker, generation.id, &mentions);
             shared
                 .metrics
                 .record_service_us(started.elapsed().as_micros().min(u64::MAX as u128) as u64);
-            for (job, result) in drained.batch.into_iter().zip(results) {
-                // A dropped receiver just means the client went away.
-                let _ = job.reply.send(Reply::Done(result, Arc::clone(&generation)));
+            match outcome {
+                Ok(results) => {
+                    for (job, result) in drained.batch.into_iter().zip(results) {
+                        // A dropped receiver just means the client went away.
+                        let _ = job.reply.send(Reply::Done(result, Arc::clone(&generation)));
+                    }
+                }
+                Err(e) => {
+                    // Every job in the batch gets the typed failure;
+                    // the worker stays up for the next drain.
+                    let msg = e.to_string();
+                    for job in drained.batch {
+                        let _ = job.reply.send(Reply::Failed(msg.clone()));
+                    }
+                }
             }
         }
     }
@@ -413,7 +429,7 @@ fn link_with_cache(
     linker: &TwoStageLinker<'_>,
     generation_id: u64,
     mentions: &[LinkedMention],
-) -> Vec<LinkResult> {
+) -> mb_common::Result<Vec<LinkResult>> {
     let mut guard = crate::sync::lock_recover(&shared.cache);
     if guard.generation != generation_id {
         if shared.registry.generation_id() == generation_id {
@@ -648,6 +664,9 @@ fn handle_link(req: &Request, shared: &Arc<Shared>) -> HttpReply {
         }
         Ok(Reply::Shed) => {
             HttpReply::shed("deadline exceeded while queued, retry later", scfg.retry_after_s)
+        }
+        Ok(Reply::Failed(msg)) => {
+            HttpReply::json(500, format!("{{\"error\":{}}}", json::escape(&msg)))
         }
         Err(_) => {
             shared.metrics.record_reply_timeout();

@@ -144,7 +144,7 @@ fn concurrent_batched_responses_match_sequential_link() {
         f.model.linker,
     );
     let mentions: Vec<LinkedMention> = f.mentions.iter().take(12).map(served_mention).collect();
-    let expected: Vec<_> = mentions.iter().map(|m| linker.link(m)).collect();
+    let expected: Vec<_> = mentions.iter().map(|m| linker.link(m).expect("link")).collect();
 
     let server = Server::start(
         f.model,

@@ -151,6 +151,61 @@ mb_check::check! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    fn ivf_fused_batch_is_bit_identical_to_serial(
+        seed in gen::u64_any(),
+        int8 in gen::usize_in(0..2),
+        nprobe_pick in gen::usize_in(0..3),
+        batch in gen::usize_in(1..65),
+    ) {
+        // DESIGN.md §16: the fused list-grouped batch path must be
+        // byte-for-byte identical to serial per-query probing — same
+        // ids, same `to_bits` scores — at every nprobe and worker
+        // count, for both shard table encodings.
+        let quant = if int8 == 1 { QuantMode::Int8 } else { QuantMode::F16 };
+        let dir = scratch("ivf-fused");
+        let (store, _) = streamed_store(&dir, 300, seed, quant, 64);
+        let dim = store.dim();
+        let store = Arc::new(store);
+        let cfg = IvfConfig { nlist: 12, nprobe: 4, train_cap: 256, rounds: 4, seed: 7 };
+        let mut ivf = IvfIndex::build(Arc::clone(&store), cfg, Threads::new(2)).expect("build");
+        ivf.set_nprobe([1, 4, 16][nprobe_pick]);
+        let mut rng = mb_common::Rng::seed_from_u64(seed ^ 0x5EED);
+        let mut qdata = Vec::with_capacity(batch * dim);
+        for qi in 0..batch {
+            // Half the queries sit near real entities (the serving
+            // distribution, rich in near-ties), half are random.
+            if qi % 2 == 0 {
+                let mut q = vec![0.0f64; dim];
+                store.dequant_row_into(rng.below(store.len()), &mut q);
+                for x in q.iter_mut() { *x += 0.05 * rng.gaussian(); }
+                qdata.extend_from_slice(&q);
+            } else {
+                qdata.extend((0..dim).map(|_| rng.gaussian()));
+            }
+        }
+        let queries = mb_tensor::Tensor::from_vec(vec![batch, dim], qdata);
+        let serial: Vec<Vec<(u32, u64)>> = (0..batch)
+            .map(|qi| {
+                ivf.top_k(queries.row(qi), 16)
+                    .into_iter()
+                    .map(|(id, s)| (id.0, s.to_bits()))
+                    .collect()
+            })
+            .collect();
+        for t in 1..4 {
+            let fused = ivf.top_k_batch(&queries, 16, Threads::new(t)).expect("fused");
+            let got: Vec<Vec<(u32, u64)>> = fused
+                .into_iter()
+                .map(|r| r.into_iter().map(|(id, s)| (id.0, s.to_bits())).collect())
+                .collect();
+            prop_assert_eq!(
+                &got, &serial,
+                "quant={:?} nprobe={} batch={} threads={}", quant, ivf.nprobe(), batch, t
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     fn ivf_build_and_search_are_worker_count_invariant(
         seed in gen::u64_any(),
         workers in gen::usize_in(2..9),

@@ -82,6 +82,19 @@ fn ci_script_includes_the_retrieval_smoke_stage() {
 }
 
 #[test]
+fn bench_baseline_pins_the_fused_batch_retrieval_benches() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/bench-baseline.json");
+    let baseline = std::fs::read_to_string(path).expect("cannot read bench-baseline.json");
+    for name in ["retrieval/store_ivf/top64_batch8", "retrieval/quant_i8/top64_batch8"] {
+        assert!(
+            baseline.contains(&format!("\"{name}\"")),
+            "bench-baseline.json must pin {name}: the fused serving-drain retrieval \
+             path (DESIGN.md \u{a7}16) is gated by scripts/bench_gate.sh"
+        );
+    }
+}
+
+#[test]
 fn ci_script_runs_the_lint_cache_check_right_after_lint() {
     let script = script_steps();
     let lint = script.iter().position(|s| s == "cargo run -q -p mb-lint");
